@@ -1,0 +1,49 @@
+// Ablation for the optional k-means landmark refinement (an extension
+// beyond the paper, which uses sampled landmarks only but cites
+// k-means-based pivot selection as an alternative): how a few Lloyd
+// iterations affect the cluster radii, the saved computations, and the
+// end-to-end time (refinement itself costs preprocessing).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/options.h"
+
+namespace sweetknn::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  constexpr int kNeighbors = 20;
+  const std::vector<int> iteration_counts = {0, 1, 2, 5};
+
+  std::printf("=== Ablation: k-means landmark refinement (k=%d) ===\n\n",
+              kNeighbors);
+  std::vector<std::string> header = {"dataset"};
+  for (int it : iteration_counts) {
+    header.push_back("it=" + std::to_string(it));
+    header.push_back("saved");
+  }
+  PrintTableHeader(header);
+  for (const char* name : {"kegg", "ipums", "dor"}) {
+    if (!args.WantDataset(name)) continue;
+    const dataset::Dataset data = LoadPaperDataset(name, args);
+    std::vector<std::string> row = {name};
+    for (int iterations : iteration_counts) {
+      core::TiOptions options = core::TiOptions::Sweet();
+      options.kmeans_iterations = iterations;
+      const Measurement m = RunTi(data, kNeighbors, options);
+      row.push_back(FormatDouble(m.sim_time_s * 1e3) + "ms");
+      row.push_back(FormatPercent(m.saved_fraction));
+    }
+    PrintTableRow(row);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sweetknn::bench
+
+int main(int argc, char** argv) { return sweetknn::bench::Main(argc, argv); }

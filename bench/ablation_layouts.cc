@@ -1,0 +1,67 @@
+// Ablations for the data-layout design choices:
+//  - paper Fig. 6: kNearests pool layout (blocked vs interleaved) with
+//    the global-memory placement;
+//  - paper Fig. 7 / IV-C3: point layout (column-major vs row-major, and
+//    row-major with scalar vs float4 vector loads) for the TI kernels.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/options.h"
+
+namespace sweetknn::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  constexpr int kNeighbors = 20;
+
+  std::printf("=== Ablation A (Fig. 6): global kNearests layout (k=%d) "
+              "===\n\n", kNeighbors);
+  PrintTableHeader({"dataset", "blocked(ms)", "interleav(ms)", "gain(X)"});
+  for (const char* name : {"kegg", "ipums"}) {
+    if (!args.WantDataset(name)) continue;
+    const dataset::Dataset data = LoadPaperDataset(name, args);
+    core::TiOptions blocked = core::TiOptions::Sweet();
+    blocked.placement_override = core::KnearestsPlacement::kGlobal;
+    blocked.knearests_layout = core::KnearestsLayout::kBlocked;
+    const Measurement m_blocked = RunTi(data, kNeighbors, blocked);
+    core::TiOptions inter = blocked;
+    inter.knearests_layout = core::KnearestsLayout::kInterleaved;
+    const Measurement m_inter = RunTi(data, kNeighbors, inter);
+    PrintTableRow({name, FormatDouble(m_blocked.sim_time_s * 1e3),
+                   FormatDouble(m_inter.sim_time_s * 1e3),
+                   FormatDouble(m_blocked.sim_time_s / m_inter.sim_time_s,
+                                2)});
+  }
+
+  std::printf("\n=== Ablation B (Fig. 7): point layout for TI kernels "
+              "(k=%d) ===\n\n", kNeighbors);
+  PrintTableHeader({"dataset", "colmajor(ms)", "row-sc(ms)", "row-f4(ms)",
+                    "col/f4(X)"});
+  for (const char* name : {"kegg", "ipums"}) {
+    if (!args.WantDataset(name)) continue;
+    const dataset::Dataset data = LoadPaperDataset(name, args);
+    core::TiOptions col = core::TiOptions::Sweet();
+    col.layout = core::PointLayout::kColumnMajor;
+    const Measurement m_col = RunTi(data, kNeighbors, col);
+    core::TiOptions row1 = core::TiOptions::Sweet();
+    row1.layout = core::PointLayout::kRowMajor;
+    row1.point_vector_width = 1;
+    const Measurement m_row1 = RunTi(data, kNeighbors, row1);
+    core::TiOptions row4 = core::TiOptions::Sweet();
+    row4.layout = core::PointLayout::kRowMajor;
+    row4.point_vector_width = 4;
+    const Measurement m_row4 = RunTi(data, kNeighbors, row4);
+    PrintTableRow({name, FormatDouble(m_col.sim_time_s * 1e3),
+                   FormatDouble(m_row1.sim_time_s * 1e3),
+                   FormatDouble(m_row4.sim_time_s * 1e3),
+                   FormatDouble(m_col.sim_time_s / m_row4.sim_time_s, 2)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sweetknn::bench
+
+int main(int argc, char** argv) { return sweetknn::bench::Main(argc, argv); }

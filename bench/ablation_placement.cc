@@ -1,0 +1,65 @@
+// Ablation for the kNearests placement decision (paper IV-C2 / IV-D2):
+// forcing the array into global memory, shared memory, or registers, at
+// several k values, against the adaptive choice.
+//
+// Expected shape: the adaptive choice tracks the best forced placement:
+// shared memory wins for tiny k (4k <= th1 = 24B), registers for
+// moderate k, global memory for large k (register pressure / spills
+// would kill occupancy).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/options.h"
+
+namespace sweetknn::bench {
+namespace {
+
+std::string PlacementName(core::KnearestsPlacement p) {
+  switch (p) {
+    case core::KnearestsPlacement::kGlobal:
+      return "global";
+    case core::KnearestsPlacement::kShared:
+      return "shared";
+    case core::KnearestsPlacement::kRegisters:
+      return "regs";
+  }
+  return "?";
+}
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const std::vector<int> ks = {4, 20, 64, 512};
+
+  std::printf("=== Ablation: kNearests placement on kegg ===\n\n");
+  PrintTableHeader({"k", "global(ms)", "shared(ms)", "regs(ms)",
+                    "adaptive(ms)", "choice"});
+  const dataset::Dataset data = LoadPaperDataset("kegg", args);
+  for (int k : ks) {
+    std::vector<std::string> row = {std::to_string(k)};
+    for (core::KnearestsPlacement placement :
+         {core::KnearestsPlacement::kGlobal,
+          core::KnearestsPlacement::kShared,
+          core::KnearestsPlacement::kRegisters}) {
+      core::TiOptions options = core::TiOptions::Sweet();
+      options.filter_override = core::Level2Filter::kFull;
+      options.placement_override = placement;
+      const Measurement m = RunTi(data, k, options);
+      row.push_back(FormatDouble(m.sim_time_s * 1e3));
+    }
+    core::TiOptions adaptive = core::TiOptions::Sweet();
+    adaptive.filter_override = core::Level2Filter::kFull;
+    const Measurement m = RunTi(data, k, adaptive);
+    row.push_back(FormatDouble(m.sim_time_s * 1e3));
+    row.push_back(PlacementName(m.placement));
+    PrintTableRow(row);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sweetknn::bench
+
+int main(int argc, char** argv) { return sweetknn::bench::Main(argc, argv); }

@@ -1,0 +1,49 @@
+// Ablation for the thread-data remapping optimization (paper IV-C1,
+// Tables I/II): Sweet KNN with and without the thread->query map that
+// groups a warp's lanes onto queries of the same cluster.
+//
+// Expected shape: remapping raises the level-2 warp efficiency and
+// lowers time on clustered datasets.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/options.h"
+
+namespace sweetknn::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  constexpr int kNeighbors = 20;
+  const char* kAblDatasets[] = {"3DNet", "kegg", "ipums"};
+
+  std::printf("=== Ablation: thread-data remapping (k=%d) ===\n\n",
+              kNeighbors);
+  PrintTableHeader({"dataset", "off(ms)", "off-eff", "on(ms)", "on-eff",
+                    "gain(X)"});
+  for (const char* name : kAblDatasets) {
+    if (!args.WantDataset(name)) continue;
+    const dataset::Dataset data = LoadPaperDataset(name, args);
+
+    core::TiOptions off = core::TiOptions::Sweet();
+    off.remap_threads = false;
+    const Measurement m_off = RunTi(data, kNeighbors, off);
+
+    core::TiOptions on = core::TiOptions::Sweet();
+    on.remap_threads = true;
+    const Measurement m_on = RunTi(data, kNeighbors, on);
+
+    PrintTableRow({name, FormatDouble(m_off.sim_time_s * 1e3),
+                   FormatPercent(m_off.warp_efficiency),
+                   FormatDouble(m_on.sim_time_s * 1e3),
+                   FormatPercent(m_on.warp_efficiency),
+                   FormatDouble(m_off.sim_time_s / m_on.sim_time_s, 2)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sweetknn::bench
+
+int main(int argc, char** argv) { return sweetknn::bench::Main(argc, argv); }

@@ -1,0 +1,117 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "core/ti_knn_gpu.h"
+
+namespace sweetknn::bench {
+
+bool BenchArgs::WantDataset(const std::string& name) const {
+  if (only.empty()) return true;
+  return std::find(only.begin(), only.end(), name) != only.end();
+}
+
+BenchArgs BenchArgs::Parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      args.scale = std::strtod(arg.c_str() + 8, nullptr);
+    } else if (arg.rfind("--only=", 0) == 0) {
+      std::stringstream ss(arg.substr(7));
+      std::string name;
+      while (std::getline(ss, name, ',')) args.only.push_back(name);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale=F] [--only=name1,name2]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+gpusim::Device MakeBenchDevice() {
+  return gpusim::Device(
+      gpusim::DeviceSpec::ScaledK20c(dataset::ScaledDeviceMemoryBytes()));
+}
+
+Measurement RunBaseline(const dataset::Dataset& data, int k) {
+  gpusim::Device dev = MakeBenchDevice();
+  baseline::BruteForceOptions options;
+  options.exact = false;  // Modeled distances: profile-only run.
+  baseline::BruteForceStats stats;
+  baseline::BruteForceGpu(&dev, data.points, data.points, k, options,
+                          &stats);
+  Measurement m;
+  // Kernel time only: PCIe transfers are identical for every engine and
+  // excluded from the comparison, as GPU papers conventionally do.
+  m.sim_time_s = stats.profile.TotalKernelTime();
+  m.query_partitions = stats.query_partitions;
+  m.saved_fraction = 0.0;  // Brute force computes every pair.
+  m.warp_efficiency = stats.profile.AggregateStats().WarpEfficiency();
+  return m;
+}
+
+Measurement RunTi(const dataset::Dataset& data, int k,
+                  const core::TiOptions& options) {
+  gpusim::Device dev = MakeBenchDevice();
+  core::KnnRunStats stats;
+  core::TiKnnEngine::RunOnce(&dev, data.points, data.points, k, options,
+                             &stats);
+  Measurement m;
+  m.sim_time_s = stats.profile.TotalKernelTime();
+  m.saved_fraction = stats.SavedFraction();
+  m.warp_efficiency = stats.level2_warp_efficiency;
+  m.query_partitions = stats.query_partitions;
+  m.filter = stats.filter_used;
+  m.placement = stats.placement_used;
+  m.threads_per_query = stats.threads_per_query;
+  m.landmarks = stats.landmarks_target;
+  return m;
+}
+
+dataset::Dataset LoadPaperDataset(const std::string& name,
+                                  const BenchArgs& args) {
+  return dataset::MakePaperDataset(dataset::PaperDatasetByName(name),
+                                   args.scale);
+}
+
+namespace {
+constexpr int kColumnWidth = 12;
+}  // namespace
+
+void PrintTableHeader(const std::vector<std::string>& columns) {
+  for (const std::string& c : columns) {
+    std::printf("%-*s", kColumnWidth, c.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size() * kColumnWidth; ++i) {
+    std::printf("-");
+  }
+  std::printf("\n");
+}
+
+void PrintTableRow(const std::vector<std::string>& cells) {
+  for (const std::string& c : cells) {
+    std::printf("%-*s", kColumnWidth, c.c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace sweetknn::bench

@@ -1,0 +1,61 @@
+#ifndef SWEETKNN_BENCH_BENCH_COMMON_H_
+#define SWEETKNN_BENCH_BENCH_COMMON_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/brute_force_gpu.h"
+#include "core/options.h"
+#include "dataset/dataset.h"
+#include "dataset/paper_datasets.h"
+#include "gpusim/device.h"
+
+namespace sweetknn::bench {
+
+/// Shared command-line options of all benchmark binaries.
+struct BenchArgs {
+  /// Scales every dataset's point count (quick runs use < 1).
+  double scale = 1.0;
+  /// When set, only datasets whose short name matches run.
+  std::vector<std::string> only;
+
+  bool WantDataset(const std::string& name) const;
+  static BenchArgs Parse(int argc, char** argv);
+};
+
+/// One engine measurement in paper units.
+struct Measurement {
+  double sim_time_s = 0.0;
+  double saved_fraction = 0.0;    // level-2 saved distance computations
+  double warp_efficiency = 0.0;   // of the level-2 filter kernel
+  int query_partitions = 1;
+  core::Level2Filter filter = core::Level2Filter::kFull;
+  core::KnearestsPlacement placement = core::KnearestsPlacement::kGlobal;
+  int threads_per_query = 1;
+  int landmarks = 0;
+};
+
+/// Fresh scaled-K20c device (DESIGN.md section 2).
+gpusim::Device MakeBenchDevice();
+
+/// The paper's baseline (CUBLAS-style brute force) in modeled mode.
+Measurement RunBaseline(const dataset::Dataset& data, int k);
+
+/// A TI engine (basic or Sweet) on the simulated device.
+Measurement RunTi(const dataset::Dataset& data, int k,
+                  const core::TiOptions& options);
+
+/// Generates the scaled stand-in for a paper dataset.
+dataset::Dataset LoadPaperDataset(const std::string& name,
+                                  const BenchArgs& args);
+
+/// Fixed-width table printing helpers.
+void PrintTableHeader(const std::vector<std::string>& columns);
+void PrintTableRow(const std::vector<std::string>& cells);
+std::string FormatDouble(double v, int precision = 2);
+std::string FormatPercent(double fraction, int precision = 1);
+
+}  // namespace sweetknn::bench
+
+#endif  // SWEETKNN_BENCH_BENCH_COMMON_H_

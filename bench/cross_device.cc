@@ -1,0 +1,67 @@
+// Cross-device sanity sweep: the paper's conclusion claims the
+// elastic/adaptive principles generalize beyond one GPU. This bench runs
+// the kegg-class workload on three simulated devices (K20c, K40, and a
+// small 5-SM part) and checks that Sweet KNN's advantage over the basic
+// TI implementation and the brute-force baseline persists on every one.
+
+#include <cstdio>
+
+#include "baseline/brute_force_gpu.h"
+#include "bench_common.h"
+#include "core/ti_knn_gpu.h"
+
+namespace sweetknn::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  constexpr int kNeighbors = 20;
+  const dataset::Dataset data = LoadPaperDataset("kegg", args);
+
+  struct NamedSpec {
+    const char* label;
+    gpusim::DeviceSpec spec;
+  };
+  const NamedSpec devices[] = {
+      {"K20c", gpusim::DeviceSpec::TeslaK20c()},
+      {"K40", gpusim::DeviceSpec::TeslaK40()},
+      {"GTX-small", gpusim::DeviceSpec::GtxSmall()},
+  };
+
+  std::printf("=== Cross-device: kegg workload, k=%d ===\n\n", kNeighbors);
+  PrintTableHeader({"device", "base(ms)", "ti(ms)", "sweet(ms)", "ti(X)",
+                    "sweet(X)"});
+  for (const NamedSpec& device : devices) {
+    double base_ms = 0.0;
+    {
+      gpusim::Device dev(device.spec);
+      baseline::BruteForceOptions options;
+      options.exact = false;
+      baseline::BruteForceStats stats;
+      baseline::BruteForceGpu(&dev, data.points, data.points, kNeighbors,
+                              options, &stats);
+      base_ms = stats.profile.TotalKernelTime() * 1e3;
+    }
+    double ti_ms = 0.0;
+    double sweet_ms = 0.0;
+    for (const bool sweet : {false, true}) {
+      gpusim::Device dev(device.spec);
+      core::KnnRunStats stats;
+      core::TiKnnEngine::RunOnce(&dev, data.points, data.points, kNeighbors,
+                                 sweet ? core::TiOptions::Sweet()
+                                       : core::TiOptions::BasicTi(),
+                                 &stats);
+      (sweet ? sweet_ms : ti_ms) = stats.profile.TotalKernelTime() * 1e3;
+    }
+    PrintTableRow({device.label, FormatDouble(base_ms),
+                   FormatDouble(ti_ms), FormatDouble(sweet_ms),
+                   FormatDouble(base_ms / ti_ms, 2),
+                   FormatDouble(base_ms / sweet_ms, 2)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sweetknn::bench
+
+int main(int argc, char** argv) { return sweetknn::bench::Main(argc, argv); }

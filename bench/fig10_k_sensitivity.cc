@@ -1,0 +1,53 @@
+// Reproduces paper Figure 10: Sweet KNN speedup over the baseline for
+// k in {1, 8, 20, 64, 512} (arcene has only 100 points, so no k=512).
+//
+// Paper shape: speedups generally dip as k grows toward 64 (bigger
+// kNearests arrays, more divergence), then recover at k=512 where the
+// adaptive scheme switches to the partial filter on the k/d > 8
+// datasets (top speedups 120/77/52X at k=1 on 3DNet/skin/kdd).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/options.h"
+
+namespace sweetknn::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const std::vector<int> ks = {1, 8, 20, 64, 512};
+
+  std::printf("=== Figure 10: Sweet KNN speedup vs k ===\n\n");
+  std::vector<std::string> header = {"dataset"};
+  for (int k : ks) header.push_back("k=" + std::to_string(k));
+  PrintTableHeader(header);
+
+  for (const auto& info : dataset::PaperDatasets()) {
+    if (!args.WantDataset(info.name)) continue;
+    const dataset::Dataset data = LoadPaperDataset(info.name, args);
+    std::vector<std::string> row = {info.name};
+    for (int k : ks) {
+      if (static_cast<size_t>(k) > data.n()) {
+        row.push_back("-");
+        continue;
+      }
+      const Measurement base = RunBaseline(data, k);
+      const Measurement sweet = RunTi(data, k, core::TiOptions::Sweet());
+      row.push_back(FormatDouble(base.sim_time_s / sweet.sim_time_s, 2) +
+                    (sweet.filter == core::Level2Filter::kPartial ? "p"
+                                                                  : ""));
+    }
+    PrintTableRow(row);
+  }
+  std::printf("\n('p' marks runs where the adaptive scheme chose the "
+              "partial level-2 filter)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace sweetknn::bench
+
+int main(int argc, char** argv) { return sweetknn::bench::Main(argc, argv); }

@@ -1,0 +1,58 @@
+// Reproduces paper Figure 12: Sweet KNN speedup vs the number of threads
+// cooperating on one query point, on the two small datasets (arcene,
+// dor), k=20.
+//
+// Paper shape: performance rises with threads-per-query until around the
+// adaptive scheme's choice (r*max_cur/|Q|: ~66 for arcene's 100 points,
+// ~4 for dor's 1950), then falls from merge overhead and weakened
+// filtering.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/options.h"
+
+namespace sweetknn::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  constexpr int kNeighbors = 20;
+  const std::vector<int> thread_counts = {2, 4, 8, 16, 32, 64, 128, 256};
+  const char* kFigDatasets[] = {"arcene", "dor"};
+
+  std::printf(
+      "=== Figure 12: speedup vs threads per query point (k=%d) ===\n\n",
+      kNeighbors);
+  std::vector<std::string> header = {"dataset"};
+  for (int t : thread_counts) header.push_back(std::to_string(t));
+  header.push_back("adaptive");
+  PrintTableHeader(header);
+
+  for (const char* name : kFigDatasets) {
+    if (!args.WantDataset(name)) continue;
+    const dataset::Dataset data = LoadPaperDataset(name, args);
+    const Measurement base = RunBaseline(data, kNeighbors);
+    std::vector<std::string> row = {name};
+    for (int t : thread_counts) {
+      core::TiOptions options = core::TiOptions::Sweet();
+      options.threads_per_query_override = t;
+      const Measurement sweet = RunTi(data, kNeighbors, options);
+      row.push_back(FormatDouble(base.sim_time_s / sweet.sim_time_s, 2));
+    }
+    const Measurement adaptive = RunTi(data, kNeighbors,
+                                       core::TiOptions::Sweet());
+    row.push_back(
+        FormatDouble(base.sim_time_s / adaptive.sim_time_s, 2) + " (t=" +
+        std::to_string(adaptive.threads_per_query) + ")");
+    PrintTableRow(row);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sweetknn::bench
+
+int main(int argc, char** argv) { return sweetknn::bench::Main(argc, argv); }

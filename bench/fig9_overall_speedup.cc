@@ -1,0 +1,62 @@
+// Reproduces paper Figure 9: overall speedups of basic KNN-TI and Sweet
+// KNN over the CUBLAS-based brute-force baseline, k = 20, on all nine
+// datasets (query set == target set).
+//
+// Paper reference values (speedup over baseline): 3DNet 22/44, kegg
+// 1.7/5.7, keggD 2.1/4.6, ipums 1.2/5.2, skin 15/24, arcene 0.9/9.2,
+// kdd 1.2/4.2, dor 0.9/5.6, blog 0.85/2.3 (KNN-TI / Sweet KNN; values
+// read off the figure). We check shape, not absolute equality.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/options.h"
+
+namespace sweetknn::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  constexpr int kNeighbors = 20;
+
+  std::printf("=== Figure 9: overall speedups over CUBLAS-based basic KNN "
+              "(k=%d) ===\n\n", kNeighbors);
+  PrintTableHeader({"dataset", "n", "dims", "base(ms)", "ti(ms)",
+                    "sweet(ms)", "ti(X)", "sweet(X)"});
+
+  double ti_product = 1.0;
+  double sweet_product = 1.0;
+  int count = 0;
+  for (const auto& info : dataset::PaperDatasets()) {
+    if (!args.WantDataset(info.name)) continue;
+    const dataset::Dataset data = LoadPaperDataset(info.name, args);
+    const Measurement base = RunBaseline(data, kNeighbors);
+    const Measurement ti =
+        RunTi(data, kNeighbors, core::TiOptions::BasicTi());
+    const Measurement sweet =
+        RunTi(data, kNeighbors, core::TiOptions::Sweet());
+    const double ti_x = base.sim_time_s / ti.sim_time_s;
+    const double sweet_x = base.sim_time_s / sweet.sim_time_s;
+    ti_product *= ti_x;
+    sweet_product *= sweet_x;
+    ++count;
+    PrintTableRow({info.name, std::to_string(data.n()),
+                   std::to_string(data.dims()),
+                   FormatDouble(base.sim_time_s * 1e3),
+                   FormatDouble(ti.sim_time_s * 1e3),
+                   FormatDouble(sweet.sim_time_s * 1e3),
+                   FormatDouble(ti_x, 2), FormatDouble(sweet_x, 2)});
+  }
+  if (count > 0) {
+    std::printf("\ngeomean speedup: KNN-TI %.2fX, Sweet KNN %.2fX\n",
+                std::pow(ti_product, 1.0 / count),
+                std::pow(sweet_product, 1.0 / count));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sweetknn::bench
+
+int main(int argc, char** argv) { return sweetknn::bench::Main(argc, argv); }

@@ -1,0 +1,47 @@
+// Reproduces paper Table IV: saved distance computations and warp
+// efficiency of the level-2 filtering kernel (Algorithm 2), for the basic
+// KNN-TI and Sweet KNN, k = 20.
+//
+// Paper reference values (saved% / warp-eff% for basic, then Sweet):
+//   3DNet 99.7/16.3 -> 99.7/29.4      kegg  99.5/8.7  -> 99.5/42.4
+//   keggD 99.5/10.1 -> 99.5/35.5      ipums 99.4/11.8 -> 99.4/33.3
+//   skin  99.7/19.6 -> 99.7/41.2      arcene 26.9/59.5 -> 1.82/89.8
+//   kdd   99.6/7.1  -> 99.6/57.4      dor   91.5/20.9 -> 70.1/78.6
+//   blog  99.5/21.2 -> 99.5/35.3
+// Shape checks: >99% saved everywhere except arcene/dor; Sweet's warp
+// efficiency is a multiple of basic's.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/options.h"
+
+namespace sweetknn::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  constexpr int kNeighbors = 20;
+
+  std::printf("=== Table IV: level-2 filter profile (k=%d) ===\n\n",
+              kNeighbors);
+  PrintTableHeader({"dataset", "ti-saved", "ti-eff", "sw-saved", "sw-eff"});
+  for (const auto& info : dataset::PaperDatasets()) {
+    if (!args.WantDataset(info.name)) continue;
+    const dataset::Dataset data = LoadPaperDataset(info.name, args);
+    const Measurement ti =
+        RunTi(data, kNeighbors, core::TiOptions::BasicTi());
+    const Measurement sweet =
+        RunTi(data, kNeighbors, core::TiOptions::Sweet());
+    PrintTableRow({info.name, FormatPercent(ti.saved_fraction),
+                   FormatPercent(ti.warp_efficiency),
+                   FormatPercent(sweet.saved_fraction),
+                   FormatPercent(sweet.warp_efficiency)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sweetknn::bench
+
+int main(int argc, char** argv) { return sweetknn::bench::Main(argc, argv); }

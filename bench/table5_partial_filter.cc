@@ -1,0 +1,58 @@
+// Reproduces paper Table V: full vs partial level-2 filter at k=512 on
+// the six datasets with k/d > 8 (3DNet, kegg, keggD, ipums, skin, kdd) —
+// the cases where Sweet KNN's adaptive scheme chooses the partial filter.
+//
+// Paper reference (saved comp / speedup, full then partial):
+//   3DNet 99%/23.5X -> 96%/35.3X      kegg 98%/1.3X  -> 97%/6.3X
+//   keggD 98%/2.7X  -> 97%/5.8X       ipums 98%/10.9X -> 95%/14.1X
+//   skin  99%/10.3X -> 96%/23.2X      kdd  99%/5.9X  -> 98%/30.5X
+// Shape: the partial filter saves slightly fewer computations but wins
+// on time on every dataset.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/options.h"
+
+namespace sweetknn::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  constexpr int kNeighbors = 512;
+  const char* kTableDatasets[] = {"3DNet", "kegg", "keggD",
+                                  "ipums", "skin", "kdd"};
+
+  std::printf("=== Table V: full vs partial level-2 filter (k=%d) ===\n\n",
+              kNeighbors);
+  PrintTableHeader({"dataset", "full-saved", "full(X)", "part-saved",
+                    "part(X)"});
+  for (const char* name : kTableDatasets) {
+    if (!args.WantDataset(name)) continue;
+    const dataset::Dataset data = LoadPaperDataset(name, args);
+    if (data.n() <= static_cast<size_t>(kNeighbors)) {
+      PrintTableRow({name, "-", "-", "-", "-"});
+      continue;
+    }
+    const Measurement base = RunBaseline(data, kNeighbors);
+
+    core::TiOptions full = core::TiOptions::Sweet();
+    full.filter_override = core::Level2Filter::kFull;
+    const Measurement m_full = RunTi(data, kNeighbors, full);
+
+    core::TiOptions partial = core::TiOptions::Sweet();
+    partial.filter_override = core::Level2Filter::kPartial;
+    const Measurement m_partial = RunTi(data, kNeighbors, partial);
+
+    PrintTableRow({name, FormatPercent(m_full.saved_fraction),
+                   FormatDouble(base.sim_time_s / m_full.sim_time_s, 2),
+                   FormatPercent(m_partial.saved_fraction),
+                   FormatDouble(base.sim_time_s / m_partial.sim_time_s, 2)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sweetknn::bench
+
+int main(int argc, char** argv) { return sweetknn::bench::Main(argc, argv); }

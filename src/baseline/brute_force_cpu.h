@@ -1,0 +1,18 @@
+#ifndef SWEETKNN_BASELINE_BRUTE_FORCE_CPU_H_
+#define SWEETKNN_BASELINE_BRUTE_FORCE_CPU_H_
+
+#include "common/knn_result.h"
+#include "common/matrix.h"
+#include "core/options.h"
+
+namespace sweetknn::baseline {
+
+/// Exact CPU brute-force KNN join: the ground-truth oracle for tests.
+/// O(|Q| * |T| * d); use only at test scales.
+KnnResult BruteForceCpu(const HostMatrix& query, const HostMatrix& target,
+                        int k,
+                        core::Metric metric = core::Metric::kEuclidean);
+
+}  // namespace sweetknn::baseline
+
+#endif  // SWEETKNN_BASELINE_BRUTE_FORCE_CPU_H_

@@ -1,0 +1,230 @@
+#include "baseline/ti_knn_cpu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/topk.h"
+#include "core/ti_bounds.h"
+
+namespace sweetknn::baseline {
+
+namespace {
+
+/// One clustered point set: landmark centers, assignments, per-cluster
+/// members (targets: sorted by descending distance to center).
+struct CpuClustering {
+  std::vector<uint32_t> center_ids;        // landmark point indices
+  std::vector<uint32_t> assignment;        // per point
+  std::vector<float> dist_to_center;       // per point
+  std::vector<float> max_dist;             // per cluster
+  std::vector<std::vector<uint32_t>> members;
+};
+
+std::vector<uint32_t> PickLandmarks(const HostMatrix& points, int m,
+                                    Rng* rng) {
+  const size_t n = points.rows();
+  const size_t dims = points.cols();
+  double best_sum = -1.0;
+  std::vector<uint32_t> best;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<uint32_t> cand(static_cast<size_t>(m));
+    for (uint32_t& id : cand) {
+      id = static_cast<uint32_t>(rng->NextBounded(n));
+    }
+    double sum = 0.0;
+    for (int i = 0; i < m; ++i) {
+      for (int j = i + 1; j < m; ++j) {
+        sum += EuclideanDistance(points.row(cand[static_cast<size_t>(i)]),
+                                 points.row(cand[static_cast<size_t>(j)]),
+                                 dims);
+      }
+    }
+    if (sum > best_sum) {
+      best_sum = sum;
+      best = std::move(cand);
+    }
+  }
+  std::sort(best.begin(), best.end());
+  best.erase(std::unique(best.begin(), best.end()), best.end());
+  while (best.size() < static_cast<size_t>(m)) {
+    const uint32_t id = static_cast<uint32_t>(rng->NextBounded(n));
+    if (!std::binary_search(best.begin(), best.end(), id)) {
+      best.insert(std::lower_bound(best.begin(), best.end(), id), id);
+    }
+  }
+  return best;
+}
+
+CpuClustering Cluster(const HostMatrix& points, int m, bool sort_desc,
+                      Rng* rng) {
+  CpuClustering out;
+  const size_t n = points.rows();
+  const size_t dims = points.cols();
+  out.center_ids = PickLandmarks(points, m, rng);
+  out.assignment.resize(n);
+  out.dist_to_center.resize(n);
+  out.max_dist.assign(static_cast<size_t>(m), 0.0f);
+  out.members.resize(static_cast<size_t>(m));
+  for (size_t p = 0; p < n; ++p) {
+    float best = std::numeric_limits<float>::infinity();
+    uint32_t best_c = 0;
+    for (int c = 0; c < m; ++c) {
+      const float d = EuclideanDistance(
+          points.row(p), points.row(out.center_ids[static_cast<size_t>(c)]),
+          dims);
+      if (d < best) {
+        best = d;
+        best_c = static_cast<uint32_t>(c);
+      }
+    }
+    out.assignment[p] = best_c;
+    out.dist_to_center[p] = best;
+    out.max_dist[best_c] = std::max(out.max_dist[best_c], best);
+    out.members[best_c].push_back(static_cast<uint32_t>(p));
+  }
+  if (sort_desc) {
+    for (auto& cluster : out.members) {
+      std::sort(cluster.begin(), cluster.end(), [&](uint32_t a, uint32_t b) {
+        if (out.dist_to_center[a] != out.dist_to_center[b]) {
+          return out.dist_to_center[a] > out.dist_to_center[b];
+        }
+        return a < b;
+      });
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+KnnResult TiKnnCpu(const HostMatrix& query, const HostMatrix& target, int k,
+                   int landmarks, TiCpuStats* stats, uint64_t seed) {
+  SK_CHECK_EQ(query.cols(), target.cols());
+  SK_CHECK_GT(k, 0);
+  const size_t dims = query.cols();
+  const size_t nq = query.rows();
+  const size_t nt = target.rows();
+  Rng rng(seed);
+
+  // Step 1: landmarks and clusters for both sets.
+  const int mq =
+      landmarks > 0
+          ? std::min<int>(landmarks, static_cast<int>(nq))
+          : std::max(1, std::min<int>(static_cast<int>(nq),
+                                      static_cast<int>(
+                                          3.0 * std::sqrt(
+                                                    static_cast<double>(nq)))));
+  const int mt =
+      landmarks > 0
+          ? std::min<int>(landmarks, static_cast<int>(nt))
+          : std::max(1, std::min<int>(static_cast<int>(nt),
+                                      static_cast<int>(
+                                          3.0 * std::sqrt(
+                                                    static_cast<double>(nt)))));
+  CpuClustering qc = Cluster(query, mq, /*sort_desc=*/false, &rng);
+  CpuClustering tc = Cluster(target, mt, /*sort_desc=*/true, &rng);
+
+  // Center-to-center distances.
+  std::vector<float> ccdist(static_cast<size_t>(mq) * mt);
+  for (int a = 0; a < mq; ++a) {
+    for (int b = 0; b < mt; ++b) {
+      ccdist[static_cast<size_t>(a) * mt + b] = EuclideanDistance(
+          query.row(qc.center_ids[static_cast<size_t>(a)]),
+          target.row(tc.center_ids[static_cast<size_t>(b)]), dims);
+    }
+  }
+
+  uint64_t distance_calcs = 0;
+  KnnResult result(nq, k);
+
+  for (int cq = 0; cq < mq; ++cq) {
+    if (qc.members[static_cast<size_t>(cq)].empty()) continue;
+    const float qmax = qc.max_dist[static_cast<size_t>(cq)];
+
+    // Step 2.1: pooled k upper bounds over all target clusters (calUB).
+    std::vector<float> pool;  // max-heap of the k smallest bounds
+    auto pool_max = [&] {
+      return pool.size() == static_cast<size_t>(k)
+                 ? pool.front()
+                 : std::numeric_limits<float>::infinity();
+    };
+    for (int ct = 0; ct < mt; ++ct) {
+      const auto& cluster = tc.members[static_cast<size_t>(ct)];
+      const float cc = ccdist[static_cast<size_t>(cq) * mt + ct];
+      const size_t limit = std::min<size_t>(cluster.size(),
+                                            static_cast<size_t>(k));
+      for (size_t i = 0; i < limit; ++i) {
+        // Closest-to-center members are at the tail (descending order).
+        const float bound = core::TwoLandmarkUpperBound(
+            cc, qmax, tc.dist_to_center[cluster[cluster.size() - 1 - i]]);
+        if (bound >= pool_max()) break;  // Bounds grow with i.
+        if (pool.size() < static_cast<size_t>(k)) {
+          pool.push_back(bound);
+          std::push_heap(pool.begin(), pool.end());
+        } else {
+          std::pop_heap(pool.begin(), pool.end());
+          pool.back() = bound;
+          std::push_heap(pool.begin(), pool.end());
+        }
+      }
+    }
+    const float cluster_ub = pool_max();
+
+    // Step 2.2: group filter, candidates sorted by center distance.
+    std::vector<std::pair<float, uint32_t>> candidates;
+    for (int ct = 0; ct < mt; ++ct) {
+      if (tc.members[static_cast<size_t>(ct)].empty()) continue;
+      const float cc = ccdist[static_cast<size_t>(cq) * mt + ct];
+      const float lb = core::TwoLandmarkLowerBound(
+          cc, qmax, tc.max_dist[static_cast<size_t>(ct)]);
+      // Inclusive comparison: keep kth-place ties (see level1.cc).
+      if (lb <= cluster_ub) {
+        candidates.emplace_back(cc, static_cast<uint32_t>(ct));
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+
+    // Step 3: point-level filtering per query.
+    for (const uint32_t qid : qc.members[static_cast<size_t>(cq)]) {
+      const float* qrow = query.row(qid);
+      TopK heap(k);
+      // Seed the filter bound with the cluster bound; theta tightens as
+      // real neighbors are found.
+      float theta = cluster_ub;
+      for (const auto& [cc_unused, ct] : candidates) {
+        (void)cc_unused;
+        const auto& cluster = tc.members[static_cast<size_t>(ct)];
+        const float q2tc = EuclideanDistance(
+            qrow, target.row(tc.center_ids[ct]), dims);
+        bool broke = false;
+        for (const uint32_t tid : cluster) {
+          const float lb =
+              core::SignedPointBound(q2tc, tc.dist_to_center[tid]);
+          if (lb > theta) {
+            broke = true;
+            break;
+          }
+          if (lb < -theta) continue;
+          const float dist = EuclideanDistance(qrow, target.row(tid), dims);
+          ++distance_calcs;
+          heap.PushIfCloser(Neighbor{tid, dist});
+          theta = std::min(theta, heap.max());
+        }
+        (void)broke;
+      }
+      result.SetRow(qid, heap.Sorted());
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->distance_calcs = distance_calcs;
+    stats->total_pairs = static_cast<uint64_t>(nq) * nt;
+  }
+  return result;
+}
+
+}  // namespace sweetknn::baseline

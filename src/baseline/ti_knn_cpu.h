@@ -1,0 +1,36 @@
+#ifndef SWEETKNN_BASELINE_TI_KNN_CPU_H_
+#define SWEETKNN_BASELINE_TI_KNN_CPU_H_
+
+#include <cstdint>
+
+#include "common/knn_result.h"
+#include "common/matrix.h"
+
+namespace sweetknn::baseline {
+
+/// Profiling output of the sequential TI-KNN.
+struct TiCpuStats {
+  /// Point-to-point distance computations in the point-level filter.
+  uint64_t distance_calcs = 0;
+  uint64_t total_pairs = 0;
+  double SavedFraction() const {
+    if (total_pairs == 0) return 0.0;
+    return (static_cast<double>(total_pairs) -
+            static_cast<double>(distance_calcs)) /
+           static_cast<double>(total_pairs);
+  }
+};
+
+/// Sequential CPU implementation of the triangle-inequality KNN the paper
+/// builds on (Ding et al., VLDB'15 style; the pseudo-code of paper
+/// Fig. 4). Used as a second oracle for the GPU implementation and to
+/// cross-check the saved-computation fractions.
+///
+/// `landmarks` = 0 applies the 3*sqrt(N) rule.
+KnnResult TiKnnCpu(const HostMatrix& query, const HostMatrix& target, int k,
+                   int landmarks = 0, TiCpuStats* stats = nullptr,
+                   uint64_t seed = 7);
+
+}  // namespace sweetknn::baseline
+
+#endif  // SWEETKNN_BASELINE_TI_KNN_CPU_H_

@@ -1,0 +1,39 @@
+#include "common/knn_result.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace sweetknn {
+
+size_t CountResultMismatches(const KnnResult& a, const KnnResult& b,
+                             float tolerance, std::string* first_mismatch) {
+  SK_CHECK_EQ(a.k(), b.k());
+  SK_CHECK_EQ(a.num_queries(), b.num_queries());
+  size_t mismatches = 0;
+  for (size_t q = 0; q < a.num_queries(); ++q) {
+    const Neighbor* ra = a.row(q);
+    const Neighbor* rb = b.row(q);
+    for (int i = 0; i < a.k(); ++i) {
+      const float da = ra[i].distance;
+      const float db = rb[i].distance;
+      const bool both_inf = std::isinf(da) && std::isinf(db);
+      // Scale-aware comparison: KNN distances on larger datasets
+      // accumulate float rounding; compare relative to magnitude.
+      const float scale = std::max(1.0f, std::max(std::fabs(da),
+                                                  std::fabs(db)));
+      if (!both_inf && std::fabs(da - db) > tolerance * scale) {
+        if (mismatches == 0 && first_mismatch != nullptr) {
+          std::ostringstream os;
+          os << "query " << q << " rank " << i << ": " << da << " (idx "
+             << ra[i].index << ") vs " << db << " (idx " << rb[i].index
+             << ")";
+          *first_mismatch = os.str();
+        }
+        ++mismatches;
+      }
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace sweetknn

@@ -1,0 +1,72 @@
+#ifndef SWEETKNN_COMMON_KNN_RESULT_H_
+#define SWEETKNN_COMMON_KNN_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/topk.h"
+
+namespace sweetknn {
+
+/// Sentinel index for padding entries when a query has fewer than k
+/// reachable neighbors (only possible when |T| < k).
+inline constexpr uint32_t kInvalidNeighbor = 0xffffffffu;
+
+/// The k nearest neighbors of every query point, each row sorted by
+/// ascending distance.
+class KnnResult {
+ public:
+  KnnResult() : k_(0) {}
+  KnnResult(size_t num_queries, int k)
+      : k_(k), rows_(num_queries * static_cast<size_t>(k)) {}
+
+  int k() const { return k_; }
+  size_t num_queries() const {
+    return k_ == 0 ? 0 : rows_.size() / static_cast<size_t>(k_);
+  }
+
+  const Neighbor* row(size_t q) const {
+    SK_DCHECK(q < num_queries());
+    return rows_.data() + q * static_cast<size_t>(k_);
+  }
+  Neighbor* mutable_row(size_t q) {
+    SK_DCHECK(q < num_queries());
+    return rows_.data() + q * static_cast<size_t>(k_);
+  }
+
+  /// Fills row q from an ascending-sorted list (padded if shorter than k).
+  void SetRow(size_t q, const std::vector<Neighbor>& sorted) {
+    Neighbor* out = mutable_row(q);
+    for (int i = 0; i < k_; ++i) {
+      if (static_cast<size_t>(i) < sorted.size()) {
+        out[i] = sorted[static_cast<size_t>(i)];
+      } else {
+        out[i] = Neighbor{kInvalidNeighbor,
+                          std::numeric_limits<float>::infinity()};
+      }
+    }
+  }
+
+ private:
+  int k_;
+  std::vector<Neighbor> rows_;
+};
+
+/// Compares two KNN results by neighbor distances with a tolerance
+/// (indices may legitimately differ on exact distance ties). Returns the
+/// number of mismatching (query, rank) slots and optionally a description
+/// of the first mismatch.
+size_t CountResultMismatches(const KnnResult& a, const KnnResult& b,
+                             float tolerance, std::string* first_mismatch);
+
+/// True when the results agree within tolerance on every distance.
+inline bool ResultsMatch(const KnnResult& a, const KnnResult& b,
+                         float tolerance = 1e-4f) {
+  return CountResultMismatches(a, b, tolerance, nullptr) == 0;
+}
+
+}  // namespace sweetknn
+
+#endif  // SWEETKNN_COMMON_KNN_RESULT_H_

@@ -1,0 +1,72 @@
+#ifndef SWEETKNN_COMMON_LOGGING_H_
+#define SWEETKNN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sweetknn {
+
+/// Severity levels for the minimal logging facility.
+enum class LogSeverity {
+  kInfo = 0,
+  kWarning = 1,
+  kError = 2,
+  kFatal = 3,
+};
+
+namespace internal_logging {
+
+/// Stream-style log message collector. Emits on destruction; aborts the
+/// process for kFatal messages.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Sets the minimum severity that is actually printed (default kInfo).
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+}  // namespace sweetknn
+
+#define SK_LOG(severity)                                          \
+  ::sweetknn::internal_logging::LogMessage(                       \
+      ::sweetknn::LogSeverity::k##severity, __FILE__, __LINE__)
+
+/// Aborts with a message when `condition` does not hold. Used for
+/// programmer errors; recoverable errors use Status instead.
+#define SK_CHECK(condition)                                       \
+  if (!(condition))                                               \
+  SK_LOG(Fatal) << "Check failed: " #condition " "
+
+#define SK_CHECK_OP(a, b, op) SK_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define SK_CHECK_EQ(a, b) SK_CHECK_OP(a, b, ==)
+#define SK_CHECK_NE(a, b) SK_CHECK_OP(a, b, !=)
+#define SK_CHECK_LT(a, b) SK_CHECK_OP(a, b, <)
+#define SK_CHECK_LE(a, b) SK_CHECK_OP(a, b, <=)
+#define SK_CHECK_GT(a, b) SK_CHECK_OP(a, b, >)
+#define SK_CHECK_GE(a, b) SK_CHECK_OP(a, b, >=)
+
+#ifdef NDEBUG
+#define SK_DCHECK(condition) \
+  while (false) SK_CHECK(condition)
+#else
+#define SK_DCHECK(condition) SK_CHECK(condition)
+#endif
+
+#endif  // SWEETKNN_COMMON_LOGGING_H_

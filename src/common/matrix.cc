@@ -1,0 +1,11 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+namespace sweetknn {
+
+float EuclideanDistance(const float* a, const float* b, size_t d) {
+  return std::sqrt(SquaredDistance(a, b, d));
+}
+
+}  // namespace sweetknn

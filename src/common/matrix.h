@@ -1,0 +1,74 @@
+#ifndef SWEETKNN_COMMON_MATRIX_H_
+#define SWEETKNN_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace sweetknn {
+
+/// Dense row-major matrix of floats on the host. Row i is the i-th point;
+/// columns are dimensions. This is the canonical host-side container for
+/// query/target point sets.
+class HostMatrix {
+ public:
+  HostMatrix() : rows_(0), cols_(0) {}
+  HostMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  HostMatrix(const HostMatrix&) = default;
+  HostMatrix& operator=(const HostMatrix&) = default;
+  HostMatrix(HostMatrix&&) = default;
+  HostMatrix& operator=(HostMatrix&&) = default;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(size_t r, size_t c) {
+    SK_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(size_t r, size_t c) const {
+    SK_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the beginning of row r.
+  const float* row(size_t r) const {
+    SK_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  float* mutable_row(size_t r) {
+    SK_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  const float* data() const { return data_.data(); }
+  float* mutable_data() { return data_.data(); }
+  const std::vector<float>& storage() const { return data_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+/// Squared Euclidean distance between two d-dimensional points.
+inline float SquaredDistance(const float* a, const float* b, size_t d) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < d; ++i) {
+    const float diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+/// Euclidean distance between two d-dimensional points.
+float EuclideanDistance(const float* a, const float* b, size_t d);
+
+}  // namespace sweetknn
+
+#endif  // SWEETKNN_COMMON_MATRIX_H_

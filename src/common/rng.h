@@ -1,0 +1,78 @@
+#ifndef SWEETKNN_COMMON_RNG_H_
+#define SWEETKNN_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace sweetknn {
+
+/// SplitMix64: used to expand seeds and as a cheap stateless hash.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic xoshiro256** PRNG. Not cryptographic; used for dataset
+/// generation and sampling so that all experiments are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t s = seed;
+    for (auto& word : state_) {
+      s = SplitMix64(s);
+      word = s;
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float NextFloat() {
+    return static_cast<float>(NextU64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  uint64_t NextBounded(uint64_t bound) { return NextU64() % bound; }
+
+  /// Standard normal via Box-Muller (one value per call; the pair's
+  /// second half is cached).
+  double NextGaussian();
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Stateless cheap pseudo-value in [0,1) for an (a, b) pair. Used by the
+/// modeled brute-force baseline to drive the selection kernel with
+/// random-order statistics without computing real distances.
+inline float PairHash01(uint64_t a, uint64_t b) {
+  const uint64_t h = SplitMix64(a * 0x9e3779b97f4a7c15ULL + b);
+  return static_cast<float>(h >> 40) * 0x1.0p-24f;
+}
+
+}  // namespace sweetknn
+
+#endif  // SWEETKNN_COMMON_RNG_H_

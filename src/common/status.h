@@ -1,0 +1,99 @@
+#ifndef SWEETKNN_COMMON_STATUS_H_
+#define SWEETKNN_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace sweetknn {
+
+/// Error codes for recoverable failures (I/O, capacity, bad arguments).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,
+  kIoError,
+  kNotFound,
+  kInternal,
+};
+
+/// A lightweight success-or-error value, used instead of exceptions
+/// (this codebase follows the Google style guide and builds without
+/// exception handling requirements).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: k must be positive".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit wrap.
+  Result(T value) : value_(std::move(value)), status_() {}
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit wrap.
+  Result(Status status) : status_(std::move(status)) {
+    SK_CHECK(!status_.ok()) << "Result constructed from OK status without value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SK_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    SK_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    SK_CHECK(ok()) << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+}  // namespace sweetknn
+
+#define SK_RETURN_IF_ERROR(expr)          \
+  do {                                    \
+    ::sweetknn::Status _st = (expr);      \
+    if (!_st.ok()) return _st;            \
+  } while (false)
+
+#endif  // SWEETKNN_COMMON_STATUS_H_

@@ -1,0 +1,42 @@
+#include "common/topk.h"
+
+#include <queue>
+
+namespace sweetknn {
+
+std::vector<Neighbor> MergeSortedTopK(
+    const std::vector<std::vector<Neighbor>>& lists, int k) {
+  // (distance, list id, offset) entries; smallest distance on top.
+  struct Head {
+    Neighbor n;
+    size_t list;
+    size_t offset;
+  };
+  auto greater = [](const Head& a, const Head& b) {
+    return NeighborLess(b.n, a.n);
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(greater)> frontier(
+      greater);
+  for (size_t i = 0; i < lists.size(); ++i) {
+    if (!lists[i].empty()) frontier.push(Head{lists[i][0], i, 0});
+  }
+  std::vector<Neighbor> out;
+  out.reserve(static_cast<size_t>(k));
+  while (!frontier.empty() && out.size() < static_cast<size_t>(k)) {
+    Head head = frontier.top();
+    frontier.pop();
+    // The same target point may appear in several per-thread heaps when
+    // candidate ranges overlap; drop duplicates.
+    if (out.empty() || !(out.back().index == head.n.index &&
+                         out.back().distance == head.n.distance)) {
+      out.push_back(head.n);
+    }
+    const size_t next = head.offset + 1;
+    if (next < lists[head.list].size()) {
+      frontier.push(Head{lists[head.list][next], head.list, next});
+    }
+  }
+  return out;
+}
+
+}  // namespace sweetknn

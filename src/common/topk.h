@@ -1,0 +1,85 @@
+#ifndef SWEETKNN_COMMON_TOPK_H_
+#define SWEETKNN_COMMON_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace sweetknn {
+
+/// One nearest-neighbor candidate: an index into the target set plus the
+/// distance to the query point.
+struct Neighbor {
+  uint32_t index = 0;
+  float distance = std::numeric_limits<float>::infinity();
+
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.index == b.index && a.distance == b.distance;
+  }
+};
+
+/// Orders by distance, tie-breaking on index so results are deterministic.
+inline bool NeighborLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.index < b.index;
+}
+
+/// Bounded max-heap keeping the k smallest-distance neighbors seen so far.
+/// This mirrors the per-thread `kNearests` structure of the paper's
+/// Algorithm 2: `max()` is the current kth-nearest distance (the filter
+/// threshold theta), and `PushIfCloser` implements the evict-and-insert
+/// update on line 16.
+class TopK {
+ public:
+  explicit TopK(int k) : k_(k) { SK_CHECK_GT(k, 0); }
+
+  int k() const { return k_; }
+  int size() const { return static_cast<int>(heap_.size()); }
+  bool full() const { return size() == k_; }
+
+  /// Current kth-nearest distance; +inf while fewer than k entries exist.
+  float max() const {
+    if (!full()) return std::numeric_limits<float>::infinity();
+    return heap_.front().distance;
+  }
+
+  /// Inserts if the candidate beats the current kth distance. Returns true
+  /// if the heap changed.
+  bool PushIfCloser(Neighbor candidate) {
+    if (!full()) {
+      heap_.push_back(candidate);
+      std::push_heap(heap_.begin(), heap_.end(), NeighborLess);
+      return true;
+    }
+    if (!NeighborLess(candidate, heap_.front())) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), NeighborLess);
+    heap_.back() = candidate;
+    std::push_heap(heap_.begin(), heap_.end(), NeighborLess);
+    return true;
+  }
+
+  /// Neighbors sorted by ascending distance. Does not modify the heap.
+  std::vector<Neighbor> Sorted() const {
+    std::vector<Neighbor> out = heap_;
+    std::sort(out.begin(), out.end(), NeighborLess);
+    return out;
+  }
+
+  const std::vector<Neighbor>& raw() const { return heap_; }
+
+ private:
+  int k_;
+  std::vector<Neighbor> heap_;
+};
+
+/// Merges several ascending-sorted neighbor lists into the k smallest,
+/// as done after multi-thread-per-query execution (paper section IV-B2).
+std::vector<Neighbor> MergeSortedTopK(
+    const std::vector<std::vector<Neighbor>>& lists, int k);
+
+}  // namespace sweetknn
+
+#endif  // SWEETKNN_COMMON_TOPK_H_

@@ -1,0 +1,105 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sweetknn::core {
+
+int PlacementThreshold1(const gpusim::DeviceSpec& spec) {
+  return spec.shared_mem_per_sm_bytes / spec.max_threads_per_sm;
+}
+
+int PlacementThreshold2(const gpusim::DeviceSpec& spec) {
+  return spec.max_registers_per_thread * 4;
+}
+
+namespace {
+
+/// Largest divisor of `n` that is <= `x` (used to make the inner/outer
+/// parallelization factors compose exactly to threads_per_query).
+int LargestDivisorAtMost(int n, int x) {
+  x = std::clamp(x, 1, n);
+  for (int d = x; d >= 1; --d) {
+    if (n % d == 0) return d;
+  }
+  return 1;
+}
+
+}  // namespace
+
+AdaptiveDecision DecideConfiguration(const gpusim::DeviceSpec& spec,
+                                     const TiOptions& options, size_t num_q,
+                                     size_t num_t, size_t dims, int k,
+                                     int num_target_clusters) {
+  SK_CHECK_GT(k, 0);
+  SK_CHECK_GT(dims, 0u);
+  AdaptiveDecision out;
+
+  // Filter strength: k/d > 8 favors the partial filter (section IV-D1).
+  if (options.filter_override.has_value()) {
+    out.filter = *options.filter_override;
+  } else {
+    out.filter = static_cast<double>(k) / static_cast<double>(dims) >
+                         options.partial_filter_kd_threshold
+                     ? Level2Filter::kPartial
+                     : Level2Filter::kFull;
+  }
+
+  // kNearests placement (full filter only; the partial filter has none).
+  if (options.placement_override.has_value()) {
+    out.placement = *options.placement_override;
+  } else {
+    const int bytes = 4 * k;  // The paper sizes the float distance array.
+    if (bytes <= PlacementThreshold1(spec)) {
+      out.placement = KnearestsPlacement::kShared;
+    } else if (bytes <= PlacementThreshold2(spec)) {
+      out.placement = KnearestsPlacement::kRegisters;
+    } else {
+      out.placement = KnearestsPlacement::kGlobal;
+    }
+  }
+
+  // Parallelism (section IV-D3): total threads budget r * max_cur. The
+  // raw per-query count is decomposed as inner_stride * outer so both
+  // loop-parallelization factors are integral: the inner factor aims at
+  // the average cluster size |T|/|CT| (section IV-B2), the outer factor
+  // takes the rest (e.g. arcene: 6656/100 = 66.6 -> 3 x 22 = 66 threads
+  // per query, matching the paper's 66).
+  int tpq_raw = 1;
+  if (options.threads_per_query_override > 0) {
+    tpq_raw = options.threads_per_query_override;
+  } else if (options.elastic_parallelism &&
+             out.filter == Level2Filter::kFull) {
+    const double budget = options.parallelism_r *
+                          static_cast<double>(spec.MaxConcurrentThreads());
+    if (static_cast<double>(num_q) < budget) {
+      tpq_raw = std::max(
+          1, static_cast<int>(budget / static_cast<double>(num_q)));
+    }
+  }
+  if (tpq_raw > 1) {
+    const int avg_cluster = std::max<int>(
+        1, static_cast<int>(num_t /
+                            std::max<size_t>(
+                                1, static_cast<size_t>(num_target_clusters))));
+    if (options.threads_per_query_override > 0) {
+      // A forced count is honored exactly; the inner factor becomes its
+      // largest divisor not exceeding the average cluster size.
+      out.inner_stride = LargestDivisorAtMost(tpq_raw, avg_cluster);
+      out.threads_per_query = tpq_raw;
+    } else {
+      const int inner = std::clamp(avg_cluster, 1, tpq_raw);
+      const int outer = std::max(1, tpq_raw / inner);
+      out.inner_stride = inner;
+      out.threads_per_query = inner * outer;
+    }
+  } else {
+    out.inner_stride = 1;
+    out.threads_per_query = 1;
+  }
+  return out;
+}
+
+}  // namespace sweetknn::core

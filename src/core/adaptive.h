@@ -1,0 +1,42 @@
+#ifndef SWEETKNN_CORE_ADAPTIVE_H_
+#define SWEETKNN_CORE_ADAPTIVE_H_
+
+#include <cstddef>
+
+#include "core/options.h"
+#include "gpusim/device_spec.h"
+
+namespace sweetknn::core {
+
+/// The configuration the adaptive scheme settles on for one problem
+/// instance (paper Fig. 8).
+struct AdaptiveDecision {
+  Level2Filter filter = Level2Filter::kFull;
+  KnearestsPlacement placement = KnearestsPlacement::kRegisters;
+  int threads_per_query = 1;
+  int inner_stride = 1;
+};
+
+/// Shared-memory placement threshold th1 = shared bytes per SM / maximum
+/// concurrent threads per SM (paper IV-D2; 24 bytes on Kepler).
+int PlacementThreshold1(const gpusim::DeviceSpec& spec);
+
+/// Register placement threshold th2 = max registers per thread * 4 bytes
+/// (paper IV-D2; 1020 bytes on Kepler).
+int PlacementThreshold2(const gpusim::DeviceSpec& spec);
+
+/// Runs the decision tree of paper Fig. 8:
+///  - k/d > 8       -> partial level-2 filter (no kNearests at all);
+///  - otherwise the full filter with kNearests placed by 4k vs th1/th2;
+///  - |Q| >= r*max_cur -> query-level parallelism, else r*max_cur/|Q|
+///    threads per query, split between the point loop (factor ~|T|/|CT|)
+///    and the candidate-cluster loop.
+/// Overrides in `options` replace the corresponding branch.
+AdaptiveDecision DecideConfiguration(const gpusim::DeviceSpec& spec,
+                                     const TiOptions& options, size_t num_q,
+                                     size_t num_t, size_t dims, int k,
+                                     int num_target_clusters);
+
+}  // namespace sweetknn::core
+
+#endif  // SWEETKNN_CORE_ADAPTIVE_H_

@@ -1,0 +1,213 @@
+#ifndef SWEETKNN_CORE_KNEARESTS_SIM_H_
+#define SWEETKNN_CORE_KNEARESTS_SIM_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/knn_result.h"
+#include "common/topk.h"
+#include "core/options.h"
+#include "gpusim/memory.h"
+#include "gpusim/warp.h"
+
+namespace sweetknn::core {
+
+/// Warp-local simulation of the per-thread `kNearests` arrays of
+/// Algorithm 2. The neighbor heaps are held functionally (one bounded
+/// max-heap per lane); the placement (global / shared / registers) and the
+/// global-memory layout (paper Fig. 6) determine what instruction and
+/// memory-transaction costs each operation charges:
+///
+///  - kRegisters / kShared: pure ALU cost; the resource pressure is
+///    expressed through the kernel's KernelMeta (regs per thread / shared
+///    bytes per block), which the occupancy model turns into time.
+///  - kGlobal: every heap touch additionally loads/stores through the
+///    simulated global buffers, whose addressing follows the layout:
+///    blocked (Fig. 6a) keeps thread t's heap at [t*k, (t+1)*k);
+///    interleaved (Fig. 6b) puts entry j of thread t at j*num_threads + t
+///    so that lanes working on the same heap level coalesce.
+class KnearestsSim {
+ public:
+  KnearestsSim(int k, KnearestsPlacement placement, KnearestsLayout layout,
+               gpusim::DeviceBuffer<float>* global_dist, size_t total_threads,
+               size_t l2_cache_bytes = 1280 * 1024)
+      : k_(k),
+        placement_(placement),
+        layout_(layout),
+        global_dist_(global_dist),
+        total_threads_(total_threads),
+        l2_cache_bytes_(l2_cache_bytes) {
+    SK_CHECK_GT(k, 0);
+    if (placement_ == KnearestsPlacement::kGlobal) {
+      SK_CHECK(global_dist_ != nullptr);
+      SK_CHECK_GE(global_dist_->size(), total_threads_ * static_cast<size_t>(k));
+    }
+  }
+
+  int k() const { return k_; }
+
+  /// Seeds each active lane's heap with +infinity placeholders.
+  ///
+  /// Note on the paper: Algorithm 2 line 4 seeds kNearests with the
+  /// cluster's pooled k upper bounds. That is subtly unsound: a tight
+  /// low-rank bound (valid as b_1 >= d_1) can survive max-eviction and
+  /// block the true kth neighbor from entering the heap, so theta drops
+  /// below d_k and real neighbors get filtered. We therefore keep theta
+  /// seeded from the cluster UB (line 3, which is sound) but fill the
+  /// heap with real candidates only; placeholders are +inf and never
+  /// displace anything (see DESIGN.md "Deviations").
+  void InitInfinity(gpusim::Warp& w) {
+    w.Op([&](int lane) {
+      auto& heap = heaps_[static_cast<size_t>(lane)];
+      heap.assign(static_cast<size_t>(k_),
+                  Neighbor{kInvalidNeighbor,
+                           std::numeric_limits<float>::infinity()});
+    });
+    if (placement_ == KnearestsPlacement::kGlobal) {
+      ChargeGlobalFill(w, [&](int lane) { return lane; }, /*is_store=*/true);
+    }
+  }
+
+  /// Current kth-nearest distance of a lane (the theta source).
+  float Root(int lane) const {
+    const auto& heap = heaps_[static_cast<size_t>(lane)];
+    return heap.empty() ? std::numeric_limits<float>::infinity()
+                        : heap.front().distance;
+  }
+
+  /// Evict-and-insert for every active lane whose candidate beats its
+  /// root (Algorithm 2 line 16). Returns the mask of lanes that inserted.
+  template <typename TidF>
+  gpusim::LaneMask TryInsert(gpusim::Warp& w, const gpusim::Reg<float>& dist,
+                             const gpusim::Reg<uint32_t>& index,
+                             TidF&& tid_of) {
+    (void)tid_of;
+    const gpusim::LaneMask inserting = w.Ballot([&](int lane) {
+      const Neighbor cand{index[lane], dist[lane]};
+      const auto& heap = heaps_[static_cast<size_t>(lane)];
+      return NeighborLess(cand, heap.front());
+    });
+    if (inserting == 0) return 0;
+    int inserted_count = 0;
+    w.If(inserting, [&] {
+      w.Op([&](int lane) {
+        auto& heap = heaps_[static_cast<size_t>(lane)];
+        std::pop_heap(heap.begin(), heap.end(), NeighborLess);
+        heap.back() = Neighbor{index[lane], dist[lane]};
+        std::push_heap(heap.begin(), heap.end(), NeighborLess);
+        ++inserted_count;
+      });
+      // The paper's kNearests is a flat array: replacing the max is a
+      // linear scan over the k entries plus one write (this O(k) update
+      // cost is precisely why the paper's full filter degrades at large
+      // k and the partial filter takes over, section IV-B1). We keep a
+      // heap functionally but charge the paper's linear-array costs.
+      w.Op([](int) {}, static_cast<uint64_t>(k_) + 2);
+      if (placement_ == KnearestsPlacement::kGlobal) {
+        ChargeGlobalScan(w, inserted_count);
+      }
+    });
+    return inserting;
+  }
+
+  /// Sorts each active lane's heap ascending for output (charges the sort
+  /// and, for global placement, the read-back traffic).
+  void ExtractSorted(gpusim::Warp& w) {
+    w.Op([&](int lane) {
+      auto& heap = heaps_[static_cast<size_t>(lane)];
+      std::sort(heap.begin(), heap.end(), NeighborLess);
+    });
+    const uint64_t sort_cost =
+        static_cast<uint64_t>(k_) *
+        (static_cast<uint64_t>(std::log2(std::max(2, k_))) + 1);
+    w.Op([](int) {}, sort_cost);
+    if (placement_ == KnearestsPlacement::kGlobal) {
+      ChargeGlobalFill(w, [&](int lane) { return lane; }, /*is_store=*/false);
+    }
+  }
+
+  /// Lane heap contents (ascending after ExtractSorted).
+  const std::vector<Neighbor>& Lane(int lane) const {
+    return heaps_[static_cast<size_t>(lane)];
+  }
+
+  /// KernelMeta resource contributions of this placement (paper IV-D2:
+  /// the decision thresholds follow the 4k-byte distance array).
+  static int RegistersForPlacement(KnearestsPlacement placement, int k,
+                                   int base_regs) {
+    return placement == KnearestsPlacement::kRegisters ? base_regs + k
+                                                       : base_regs;
+  }
+  static int SharedBytesForPlacement(KnearestsPlacement placement, int k,
+                                     int block_threads) {
+    return placement == KnearestsPlacement::kShared ? block_threads * 4 * k
+                                                    : 0;
+  }
+
+ private:
+  /// Traffic of touching all k entries of each active lane's heap.
+  template <typename TidF>
+  void ChargeGlobalFill(gpusim::Warp& w, TidF&& tid_of, bool is_store) {
+    (void)tid_of;
+    const uint64_t active = static_cast<uint64_t>(w.ActiveCount());
+    const uint64_t instructions = static_cast<uint64_t>((k_ + 3) / 4);
+    uint64_t transactions = 0;
+    if (layout_ == KnearestsLayout::kBlocked) {
+      // Each lane streams its contiguous k*4-byte block.
+      transactions = active * ((static_cast<uint64_t>(k_) * 4 + 127) / 128 + 1);
+    } else {
+      // Lanes advance through levels together; each level is one
+      // coalesced row across adjacent thread ids.
+      transactions = static_cast<uint64_t>(k_) *
+                     ((active * 4 + 127) / 128);
+    }
+    w.ChargeMemory(transactions, is_store ? 0 : instructions,
+                   is_store ? instructions : 0, DramShare(transactions));
+  }
+
+  /// Traffic of one max-scan replacement for `inserted` lanes: the scan
+  /// walks all k entries, the write touches one. With the interleaved
+  /// layout (Fig. 6b) the lanes read entry j together -> one coalesced
+  /// transaction per entry; with the blocked layout every lane streams
+  /// its own k*4-byte row.
+  void ChargeGlobalScan(gpusim::Warp& w, int inserted) {
+    const uint64_t scan_loads = static_cast<uint64_t>((k_ + 3) / 4);
+    uint64_t transactions = 0;
+    if (layout_ == KnearestsLayout::kBlocked) {
+      const uint64_t per_lane = (static_cast<uint64_t>(k_) * 4 + 127) / 128 + 1;
+      transactions = per_lane * static_cast<uint64_t>(inserted);
+    } else {
+      transactions = static_cast<uint64_t>(k_) *
+                         ((static_cast<uint64_t>(inserted) * 4 + 127) / 128) /
+                         4 +
+                     1;  // float4 reads: k/4 coalesced rows, plus the write.
+    }
+    w.ChargeMemory(transactions, scan_loads, 1, DramShare(transactions));
+  }
+
+  /// Heaps are thread-hot: the fraction of the pool that exceeds L2
+  /// capacity pays DRAM bandwidth, the rest is L2-resident.
+  uint64_t DramShare(uint64_t transactions) const {
+    const double pool_bytes =
+        static_cast<double>(total_threads_) * static_cast<double>(k_) * 4.0;
+    const double miss =
+        std::max(0.0, 1.0 - static_cast<double>(l2_cache_bytes_) /
+                                std::max(1.0, pool_bytes));
+    return static_cast<uint64_t>(static_cast<double>(transactions) * miss);
+  }
+
+  int k_;
+  KnearestsPlacement placement_;
+  KnearestsLayout layout_;
+  gpusim::DeviceBuffer<float>* global_dist_;
+  size_t total_threads_;
+  size_t l2_cache_bytes_;
+  std::array<std::vector<Neighbor>, gpusim::kWarpSize> heaps_;
+};
+
+}  // namespace sweetknn::core
+
+#endif  // SWEETKNN_CORE_KNEARESTS_SIM_H_

@@ -1,0 +1,64 @@
+#include "core/knn_classifier.h"
+
+#include <map>
+
+namespace sweetknn {
+
+KnnClassifier::KnnClassifier(const HostMatrix& train,
+                             std::vector<int> labels, const Options& options)
+    : options_(options), labels_(std::move(labels)),
+      index_(train, options.engine) {
+  SK_CHECK_EQ(labels_.size(), train.rows());
+  SK_CHECK_GT(options_.k, 0);
+}
+
+std::vector<KnnClassifier::Prediction> KnnClassifier::PredictWithConfidence(
+    const HostMatrix& queries) {
+  const KnnResult result = index_.Query(queries, options_.k);
+  std::vector<Prediction> out(queries.rows());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    std::map<int, double> votes;
+    double total = 0.0;
+    for (int i = 0; i < result.k(); ++i) {
+      const Neighbor& n = result.row(q)[i];
+      if (n.index == kInvalidNeighbor) continue;
+      const double weight =
+          options_.distance_weighted
+              ? 1.0 / (static_cast<double>(n.distance) + 1e-8)
+              : 1.0;
+      votes[labels_[n.index]] += weight;
+      total += weight;
+    }
+    Prediction& p = out[q];
+    for (const auto& [label, weight] : votes) {
+      if (weight > p.confidence) {
+        p.label = label;
+        p.confidence = weight;
+      }
+    }
+    if (total > 0.0) p.confidence /= total;
+  }
+  return out;
+}
+
+std::vector<int> KnnClassifier::Predict(const HostMatrix& queries) {
+  const auto predictions = PredictWithConfidence(queries);
+  std::vector<int> out(predictions.size());
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    out[i] = predictions[i].label;
+  }
+  return out;
+}
+
+double KnnClassifier::Score(const HostMatrix& queries,
+                            const std::vector<int>& truth) {
+  SK_CHECK_EQ(truth.size(), queries.rows());
+  const std::vector<int> predicted = Predict(queries);
+  size_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (predicted[i] == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+}  // namespace sweetknn

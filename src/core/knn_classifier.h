@@ -1,0 +1,54 @@
+#ifndef SWEETKNN_CORE_KNN_CLASSIFIER_H_
+#define SWEETKNN_CORE_KNN_CLASSIFIER_H_
+
+#include <vector>
+
+#include "common/knn_result.h"
+#include "common/matrix.h"
+#include "core/sweet_knn.h"
+
+namespace sweetknn {
+
+/// k-NN classification on top of the Sweet KNN index — the canonical
+/// application the paper's introduction motivates (image classification,
+/// pattern recognition).
+class KnnClassifier {
+ public:
+  struct Options {
+    int k = 5;
+    /// Weight votes by 1/(distance + epsilon) instead of counting.
+    bool distance_weighted = false;
+    SweetKnn::Config engine;
+  };
+
+  /// Builds the index over the training points. `labels` are arbitrary
+  /// non-negative class ids, one per training row.
+  KnnClassifier(const HostMatrix& train, std::vector<int> labels,
+                const Options& options);
+  KnnClassifier(const HostMatrix& train, std::vector<int> labels)
+      : KnnClassifier(train, std::move(labels), Options()) {}
+
+  /// Predicted class of every query row.
+  std::vector<int> Predict(const HostMatrix& queries);
+
+  /// Per-query (predicted label, vote share of the winning class).
+  struct Prediction {
+    int label = -1;
+    double confidence = 0.0;
+  };
+  std::vector<Prediction> PredictWithConfidence(const HostMatrix& queries);
+
+  /// Classification accuracy against ground truth.
+  double Score(const HostMatrix& queries, const std::vector<int>& truth);
+
+  int k() const { return options_.k; }
+
+ private:
+  Options options_;
+  std::vector<int> labels_;
+  SweetKnnIndex index_;
+};
+
+}  // namespace sweetknn
+
+#endif  // SWEETKNN_CORE_KNN_CLASSIFIER_H_

@@ -1,0 +1,48 @@
+#include "core/knn_regressor.h"
+
+namespace sweetknn {
+
+KnnRegressor::KnnRegressor(const HostMatrix& train,
+                           std::vector<float> values, const Options& options)
+    : options_(options), values_(std::move(values)),
+      index_(train, options.engine) {
+  SK_CHECK_EQ(values_.size(), train.rows());
+  SK_CHECK_GT(options_.k, 0);
+}
+
+std::vector<float> KnnRegressor::Predict(const HostMatrix& queries) {
+  const KnnResult result = index_.Query(queries, options_.k);
+  std::vector<float> out(queries.rows(), 0.0f);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    double weighted_sum = 0.0;
+    double total_weight = 0.0;
+    for (int i = 0; i < result.k(); ++i) {
+      const Neighbor& n = result.row(q)[i];
+      if (n.index == kInvalidNeighbor) continue;
+      const double weight =
+          options_.distance_weighted
+              ? 1.0 / (static_cast<double>(n.distance) + 1e-8)
+              : 1.0;
+      weighted_sum += weight * values_[n.index];
+      total_weight += weight;
+    }
+    if (total_weight > 0.0) {
+      out[q] = static_cast<float>(weighted_sum / total_weight);
+    }
+  }
+  return out;
+}
+
+double KnnRegressor::MseScore(const HostMatrix& queries,
+                              const std::vector<float>& truth) {
+  SK_CHECK_EQ(truth.size(), queries.rows());
+  const std::vector<float> predicted = Predict(queries);
+  double sum = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double err = predicted[i] - truth[i];
+    sum += err * err;
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+}  // namespace sweetknn

@@ -1,0 +1,44 @@
+#ifndef SWEETKNN_CORE_KNN_REGRESSOR_H_
+#define SWEETKNN_CORE_KNN_REGRESSOR_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/sweet_knn.h"
+
+namespace sweetknn {
+
+/// k-NN regression on top of the Sweet KNN index: the prediction for a
+/// query is the (optionally distance-weighted) mean of its neighbors'
+/// target values.
+class KnnRegressor {
+ public:
+  struct Options {
+    int k = 5;
+    bool distance_weighted = false;
+    SweetKnn::Config engine;
+  };
+
+  KnnRegressor(const HostMatrix& train, std::vector<float> values,
+               const Options& options);
+  KnnRegressor(const HostMatrix& train, std::vector<float> values)
+      : KnnRegressor(train, std::move(values), Options()) {}
+
+  /// Predicted value for every query row.
+  std::vector<float> Predict(const HostMatrix& queries);
+
+  /// Mean squared error against ground truth.
+  double MseScore(const HostMatrix& queries,
+                  const std::vector<float>& truth);
+
+  int k() const { return options_.k; }
+
+ private:
+  Options options_;
+  std::vector<float> values_;
+  SweetKnnIndex index_;
+};
+
+}  // namespace sweetknn
+
+#endif  // SWEETKNN_CORE_KNN_REGRESSOR_H_

@@ -1,0 +1,40 @@
+#ifndef SWEETKNN_CORE_LEVEL1_H_
+#define SWEETKNN_CORE_LEVEL1_H_
+
+#include <cstdint>
+
+#include "core/clustering.h"
+#include "core/options.h"
+#include "gpusim/device.h"
+
+namespace sweetknn::core {
+
+/// Output of level-1 (group-level) filtering, paper Step 2: a per-query-
+/// cluster upper bound on the kth-nearest-neighbor distance, the k pooled
+/// upper bounds used to seed kNearests, and the surviving candidate
+/// target clusters (sorted by ascending center-to-center distance, the
+/// order Step 3 requires).
+struct Level1Result {
+  int k = 0;
+  gpusim::DeviceBuffer<float> cluster_ub;        // per query cluster
+  gpusim::DeviceBuffer<float> cluster_kubs;      // mq x k, row-major
+  gpusim::DeviceBuffer<uint32_t> cand_offsets;   // mq + 1
+  gpusim::DeviceBuffer<uint32_t> cand_clusters;  // flattened candidates
+  gpusim::DeviceBuffer<float> cand_center_dist;  // parallel center dists
+  uint64_t total_candidates = 0;
+
+  /// Host-side candidate count of query cluster cq.
+  uint32_t CandidateCount(int cq) const {
+    return cand_offsets[cq + 1] - cand_offsets[cq];
+  }
+};
+
+/// Runs the calUB kernel (per-query-cluster UB via pooled 2-landmark
+/// bounds with early termination) and the group-filter kernel
+/// (Algorithm 1), then orders each candidate list by center distance.
+Level1Result RunLevel1(gpusim::Device* dev, const QueryClustering& qc,
+                       const TargetClustering& tc, int k, int block_threads);
+
+}  // namespace sweetknn::core
+
+#endif  // SWEETKNN_CORE_LEVEL1_H_

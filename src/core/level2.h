@@ -1,0 +1,58 @@
+#ifndef SWEETKNN_CORE_LEVEL2_H_
+#define SWEETKNN_CORE_LEVEL2_H_
+
+#include <cstdint>
+
+#include "common/knn_result.h"
+#include "core/clustering.h"
+#include "core/device_points.h"
+#include "core/level1.h"
+#include "core/options.h"
+#include "gpusim/device.h"
+
+namespace sweetknn::core {
+
+/// Resolved configuration for one level-2 launch (all adaptive decisions
+/// already taken).
+struct Level2Config {
+  int k = 0;
+  Level2Filter filter = Level2Filter::kFull;
+  KnearestsPlacement placement = KnearestsPlacement::kGlobal;
+  KnearestsLayout knearests_layout = KnearestsLayout::kInterleaved;
+  /// Iterate queries through the cluster-grouped member list (thread-data
+  /// remapping, paper IV-C1) instead of thread i <-> query i.
+  bool remap = false;
+  /// Threads cooperating on one query (paper IV-B2); inner_stride divides
+  /// it: inner_stride threads split each cluster's point loop, the rest
+  /// split the candidate-cluster loop.
+  int threads_per_query = 1;
+  int inner_stride = 1;
+  int block_threads = 256;
+};
+
+/// Profiling side-channel of a level-2 launch.
+struct Level2Stats {
+  /// Point-to-point distance computations (the paper's profiling counter).
+  uint64_t distance_calcs = 0;
+};
+
+/// Runs Step 3 (point-level filtering) over the query slots
+/// [slot_begin, slot_end) — a slot is a position in the (possibly
+/// remapped) query order — and writes each query's k nearest neighbors
+/// into `result`. The caller chooses slot ranges so that per-partition
+/// device buffers fit in memory.
+void RunLevel2(gpusim::Device* dev, const DevicePoints& query,
+               const DevicePoints& target, const QueryClustering& qc,
+               const TargetClustering& tc, const Level1Result& l1,
+               const Level2Config& cfg, size_t slot_begin, size_t slot_end,
+               KnnResult* result, Level2Stats* stats);
+
+/// Device bytes RunLevel2 will allocate for the given slot range (used by
+/// the engine to partition queries against free memory).
+size_t Level2BufferBytes(const Level2Config& cfg, const QueryClustering& qc,
+                         const TargetClustering& tc, const Level1Result& l1,
+                         size_t slot_begin, size_t slot_end);
+
+}  // namespace sweetknn::core
+
+#endif  // SWEETKNN_CORE_LEVEL2_H_

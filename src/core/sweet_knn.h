@@ -1,0 +1,118 @@
+#ifndef SWEETKNN_CORE_SWEET_KNN_H_
+#define SWEETKNN_CORE_SWEET_KNN_H_
+
+#include <vector>
+
+#include "common/knn_result.h"
+#include "common/matrix.h"
+#include "core/options.h"
+#include "core/ti_knn_gpu.h"
+#include "gpusim/device.h"
+
+namespace sweetknn {
+
+/// The library's front door: Sweet KNN with an owned simulated device.
+///
+///   sweetknn::SweetKnn knn;
+///   KnnResult result = knn.SelfJoin(points, /*k=*/20);
+///
+/// For baseline comparisons or custom devices, construct with a Config;
+/// for fine-grained control (re-using clusterings across k values), use
+/// core::TiKnnEngine directly.
+class SweetKnn {
+ public:
+  struct Config {
+    gpusim::DeviceSpec device = gpusim::DeviceSpec::TeslaK20c();
+    core::TiOptions options = core::TiOptions::Sweet();
+  };
+
+  SweetKnn() : SweetKnn(Config{}) {}
+  explicit SweetKnn(const Config& config)
+      : device_(config.device), options_(config.options) {}
+
+  SweetKnn(const SweetKnn&) = delete;
+  SweetKnn& operator=(const SweetKnn&) = delete;
+
+  /// KNN join: the k nearest points of `target` for every row of `query`.
+  KnnResult Join(const HostMatrix& query, const HostMatrix& target, int k,
+                 core::KnnRunStats* stats = nullptr) {
+    return core::TiKnnEngine::RunOnce(&device_, query, target, k, options_,
+                                      stats);
+  }
+
+  /// Self-join (query set == target set), the setting of the paper's
+  /// experiments. Note each point finds itself as its nearest neighbor.
+  KnnResult SelfJoin(const HostMatrix& points, int k,
+                     core::KnnRunStats* stats = nullptr) {
+    return Join(points, points, k, stats);
+  }
+
+  /// Single-query convenience: the k nearest targets of one point.
+  std::vector<Neighbor> Search(const HostMatrix& target,
+                               const std::vector<float>& query_point, int k) {
+    SK_CHECK_EQ(query_point.size(), target.cols());
+    HostMatrix query(1, target.cols());
+    for (size_t j = 0; j < target.cols(); ++j) {
+      query.at(0, j) = query_point[j];
+    }
+    const KnnResult result = Join(query, target, k);
+    return std::vector<Neighbor>(result.row(0), result.row(0) + result.k());
+  }
+
+  gpusim::Device& device() { return device_; }
+  const core::TiOptions& options() const { return options_; }
+
+ private:
+  gpusim::Device device_;
+  core::TiOptions options_;
+};
+
+/// A prebuilt index over a fixed target set: the target-side clustering
+/// (the expensive part of Step 1) is built once, then arbitrary query
+/// batches run against it.
+///
+///   sweetknn::SweetKnnIndex index(gallery);
+///   KnnResult r1 = index.Query(batch1, 10);
+///   KnnResult r2 = index.Query(batch2, 10);
+class SweetKnnIndex {
+ public:
+  explicit SweetKnnIndex(const HostMatrix& target,
+                         const SweetKnn::Config& config = {})
+      : device_(config.device), engine_(&device_, config.options) {
+    engine_.PrepareTarget(target);
+    dims_ = target.cols();
+    size_ = target.rows();
+  }
+
+  SweetKnnIndex(const SweetKnnIndex&) = delete;
+  SweetKnnIndex& operator=(const SweetKnnIndex&) = delete;
+
+  /// The k nearest indexed points for every query row.
+  KnnResult Query(const HostMatrix& queries, int k,
+                  core::KnnRunStats* stats = nullptr) {
+    return engine_.RunQueries(queries, k, stats);
+  }
+
+  /// Single-point convenience.
+  std::vector<Neighbor> Query(const std::vector<float>& point, int k) {
+    SK_CHECK_EQ(point.size(), dims_);
+    HostMatrix one(1, dims_);
+    for (size_t j = 0; j < dims_; ++j) one.at(0, j) = point[j];
+    const KnnResult result = Query(one, k);
+    return std::vector<Neighbor>(result.row(0), result.row(0) + result.k());
+  }
+
+  size_t size() const { return size_; }
+  size_t dims() const { return dims_; }
+  gpusim::Device& device() { return device_; }
+
+ private:
+  gpusim::Device device_;
+  core::TiKnnEngine engine_;
+  size_t dims_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace sweetknn
+
+#endif  // SWEETKNN_CORE_SWEET_KNN_H_

@@ -1,0 +1,46 @@
+#ifndef SWEETKNN_CORE_TI_BOUNDS_H_
+#define SWEETKNN_CORE_TI_BOUNDS_H_
+
+#include <cmath>
+
+namespace sweetknn::core {
+
+/// Triangle-inequality distance bounds (paper section II-B). All
+/// distances are plain Euclidean distances (not squared).
+
+/// 1-landmark lower bound: LB(q,t) = |d(q,L) - d(t,L)|  (paper Eq. 1).
+inline float OneLandmarkLowerBound(float d_q_l, float d_t_l) {
+  return std::fabs(d_q_l - d_t_l);
+}
+
+/// 1-landmark upper bound: UB(q,t) = d(q,L) + d(t,L)  (paper Eq. 2).
+inline float OneLandmarkUpperBound(float d_q_l, float d_t_l) {
+  return d_q_l + d_t_l;
+}
+
+/// 2-landmark lower bound: LB(q,t) = d(L1,L2) - d(q,L1) - d(L2,t)
+/// (paper Eq. 3). May be negative, in which case it carries no
+/// information (distance >= 0 always holds).
+inline float TwoLandmarkLowerBound(float d_l1_l2, float d_q_l1,
+                                   float d_l2_t) {
+  return d_l1_l2 - d_q_l1 - d_l2_t;
+}
+
+/// 2-landmark upper bound: UB(q,t) = d(q,L1) + d(L1,L2) + d(L2,t)
+/// (paper Eq. 4).
+inline float TwoLandmarkUpperBound(float d_l1_l2, float d_q_l1,
+                                   float d_l2_t) {
+  return d_q_l1 + d_l1_l2 + d_l2_t;
+}
+
+/// The signed level-2 quantity of Algorithm 2 line 9:
+/// l = d(q, c_t) - d(t, c_t). |l| is the 1-landmark lower bound; the
+/// sign tells whether t is closer to the center than q's shell (l < 0)
+/// or farther (l > 0), which drives the monotone break.
+inline float SignedPointBound(float d_q_tc, float d_t_tc) {
+  return d_q_tc - d_t_tc;
+}
+
+}  // namespace sweetknn::core
+
+#endif  // SWEETKNN_CORE_TI_BOUNDS_H_

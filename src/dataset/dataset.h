@@ -1,0 +1,22 @@
+#ifndef SWEETKNN_DATASET_DATASET_H_
+#define SWEETKNN_DATASET_DATASET_H_
+
+#include <string>
+#include <utility>
+
+#include "common/matrix.h"
+
+namespace sweetknn::dataset {
+
+/// A named point set. Points are rows of a row-major matrix.
+struct Dataset {
+  std::string name;
+  HostMatrix points;
+
+  size_t n() const { return points.rows(); }
+  size_t dims() const { return points.cols(); }
+};
+
+}  // namespace sweetknn::dataset
+
+#endif  // SWEETKNN_DATASET_DATASET_H_

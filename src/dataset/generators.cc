@@ -1,0 +1,109 @@
+#include "dataset/generators.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace sweetknn::dataset {
+
+Dataset MakeGaussianMixture(const std::string& name,
+                            const MixtureConfig& cfg) {
+  SK_CHECK_GT(cfg.n, 0u);
+  SK_CHECK_GT(cfg.dims, 0u);
+  SK_CHECK_GT(cfg.clusters, 0);
+  Rng rng(cfg.seed);
+
+  // Component centers: uniform in the unit hypercube, or embedded from a
+  // low-dimensional latent space when intrinsic_dim > 0 (see the field's
+  // documentation).
+  HostMatrix centers(static_cast<size_t>(cfg.clusters), cfg.dims);
+  if (cfg.intrinsic_dim <= 0 ||
+      static_cast<size_t>(cfg.intrinsic_dim) >= cfg.dims) {
+    for (size_t c = 0; c < centers.rows(); ++c) {
+      for (size_t j = 0; j < cfg.dims; ++j) {
+        centers.at(c, j) = rng.NextFloat();
+      }
+    }
+  } else {
+    const size_t latent = static_cast<size_t>(cfg.intrinsic_dim);
+    // Random linear embedding with rows scaled so embedded coordinates
+    // keep roughly unit-cube magnitudes.
+    HostMatrix basis(latent, cfg.dims);
+    for (size_t a = 0; a < latent; ++a) {
+      for (size_t j = 0; j < cfg.dims; ++j) {
+        basis.at(a, j) = static_cast<float>(rng.NextGaussian()) /
+                         std::sqrt(static_cast<float>(latent));
+      }
+    }
+    for (size_t c = 0; c < centers.rows(); ++c) {
+      std::vector<float> u(latent);
+      for (size_t a = 0; a < latent; ++a) u[a] = rng.NextFloat();
+      for (size_t j = 0; j < cfg.dims; ++j) {
+        float v = 0.0f;
+        for (size_t a = 0; a < latent; ++a) v += u[a] * basis.at(a, j);
+        centers.at(c, j) = v;
+      }
+    }
+  }
+
+  // Component weights: exponential size profile normalized by the
+  // component count, so size_skew = s makes the largest component e^s
+  // times the smallest regardless of how many components there are.
+  std::vector<double> weights(static_cast<size_t>(cfg.clusters));
+  double total = 0.0;
+  for (size_t c = 0; c < weights.size(); ++c) {
+    weights[c] = std::exp(-cfg.size_skew * static_cast<double>(c) /
+                          static_cast<double>(cfg.clusters));
+    total += weights[c];
+  }
+  for (double& w : weights) w /= total;
+
+  Dataset out;
+  out.name = name;
+  out.points = HostMatrix(cfg.n, cfg.dims);
+  for (size_t i = 0; i < cfg.n; ++i) {
+    // Pick a component by weight.
+    double u = rng.NextDouble();
+    size_t c = 0;
+    while (c + 1 < weights.size() && u >= weights[c]) {
+      u -= weights[c];
+      ++c;
+    }
+    for (size_t j = 0; j < cfg.dims; ++j) {
+      out.points.at(i, j) =
+          centers.at(c, j) +
+          cfg.spread * static_cast<float>(rng.NextGaussian());
+    }
+  }
+  return out;
+}
+
+Dataset MakeUniform(const std::string& name, size_t n, size_t dims,
+                    uint64_t seed) {
+  SK_CHECK(n > 0 && dims > 0);
+  Rng rng(seed);
+  Dataset out;
+  out.name = name;
+  out.points = HostMatrix(n, dims);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dims; ++j) {
+      out.points.at(i, j) = rng.NextFloat();
+    }
+  }
+  return out;
+}
+
+Dataset MakeGrid1D(const std::string& name, size_t n) {
+  SK_CHECK_GT(n, 0u);
+  Dataset out;
+  out.name = name;
+  out.points = HostMatrix(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    out.points.at(i, 0) = static_cast<float>(i);
+  }
+  return out;
+}
+
+}  // namespace sweetknn::dataset

@@ -1,0 +1,62 @@
+#include "dataset/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace sweetknn::dataset {
+
+Status SaveCsv(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  for (size_t i = 0; i < data.n(); ++i) {
+    for (size_t j = 0; j < data.dims(); ++j) {
+      if (j > 0) out << ',';
+      out << data.points.at(i, j);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Dataset> LoadCsv(const std::string& name, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+
+  std::vector<std::vector<float>> rows;
+  std::string line;
+  size_t dims = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<float> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      char* end = nullptr;
+      const float v = std::strtof(cell.c_str(), &end);
+      if (end == cell.c_str()) {
+        return Status::IoError("non-numeric cell '" + cell + "' in " + path);
+      }
+      row.push_back(v);
+    }
+    if (dims == 0) {
+      dims = row.size();
+    } else if (row.size() != dims) {
+      return Status::IoError("ragged row in " + path);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return Status::IoError("empty csv: " + path);
+
+  Dataset out;
+  out.name = name;
+  out.points = HostMatrix(rows.size(), dims);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < dims; ++j) out.points.at(i, j) = rows[i][j];
+  }
+  return out;
+}
+
+}  // namespace sweetknn::dataset

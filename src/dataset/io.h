@@ -1,0 +1,20 @@
+#ifndef SWEETKNN_DATASET_IO_H_
+#define SWEETKNN_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dataset/dataset.h"
+
+namespace sweetknn::dataset {
+
+/// Writes a dataset as headerless CSV (one point per row).
+Status SaveCsv(const Dataset& data, const std::string& path);
+
+/// Loads a headerless numeric CSV as a dataset. All rows must have the
+/// same number of columns.
+Result<Dataset> LoadCsv(const std::string& name, const std::string& path);
+
+}  // namespace sweetknn::dataset
+
+#endif  // SWEETKNN_DATASET_IO_H_

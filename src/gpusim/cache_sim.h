@@ -1,0 +1,50 @@
+#ifndef SWEETKNN_GPUSIM_CACHE_SIM_H_
+#define SWEETKNN_GPUSIM_CACHE_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sweetknn::gpusim {
+
+/// Direct-mapped approximation of the device's L2 cache over 128-byte
+/// segments. Memory instructions consult it so that heavily reused
+/// working sets (e.g. a 100-point dataset scanned by every thread) are
+/// charged L2 bandwidth instead of DRAM bandwidth, as on real hardware.
+/// Deterministic by construction.
+class CacheSim {
+ public:
+  /// K20c has 1.25 MiB of L2 = 10240 segments of 128 B.
+  explicit CacheSim(size_t capacity_segments = 10240)
+      : slots_(NextPow2(capacity_segments), kEmpty) {}
+
+  /// Touches a segment; returns true on hit. Misses install the segment.
+  bool Access(uint64_t segment) {
+    const size_t slot = Hash(segment) & (slots_.size() - 1);
+    if (slots_[slot] == segment) return true;
+    slots_[slot] = segment;
+    return false;
+  }
+
+  void Clear() { slots_.assign(slots_.size(), kEmpty); }
+
+ private:
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+
+  static size_t NextPow2(size_t v) {
+    size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+  static uint64_t Hash(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  std::vector<uint64_t> slots_;
+};
+
+}  // namespace sweetknn::gpusim
+
+#endif  // SWEETKNN_GPUSIM_CACHE_SIM_H_

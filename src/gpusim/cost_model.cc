@@ -1,0 +1,60 @@
+#include "gpusim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpusim/occupancy.h"
+#include "gpusim/warp.h"
+
+namespace sweetknn::gpusim {
+
+void CostModel::Finalize(LaunchRecord* record) const {
+  const Occupancy occ =
+      ComputeOccupancy(spec_, record->block_threads, record->regs_per_thread,
+                       record->shared_bytes_per_block);
+  record->occupancy = occ.fraction;
+
+  const int warps_per_block =
+      (record->block_threads + kWarpSize - 1) / kWarpSize;
+  const double total_warps =
+      static_cast<double>(record->grid_blocks) * warps_per_block;
+  const double resident_capacity =
+      static_cast<double>(occ.warps_per_sm) * spec_.num_sms;
+  const double resident_warps =
+      std::max(1.0, std::min(total_warps, resident_capacity));
+
+  // Fraction of issue / memory capacity reachable with the resident
+  // warps (memory saturates with far fewer warps than the ALUs).
+  const double busy = std::clamp(
+      resident_warps / (kWarpsToSaturateSm * spec_.num_sms), kMinHiding, 1.0);
+  const double busy_mem = std::clamp(
+      resident_warps / (kWarpsToSaturateMemory * spec_.num_sms), kMinHiding,
+      1.0);
+
+  const KernelStats& s = record->stats;
+  const double issue_rate =
+      spec_.issue_per_sm_per_cycle * spec_.num_sms * spec_.core_clock_hz;
+  const double compute_s =
+      static_cast<double>(s.warp_instructions) / (issue_rate * busy);
+  // DRAM traffic at DRAM bandwidth; total (L2-served) traffic is still
+  // bounded by the L2's own bandwidth.
+  const double dram_s = static_cast<double>(s.dram_transactions) *
+                        static_cast<double>(Warp::kSegmentBytes) /
+                        (spec_.mem_bandwidth_bytes_per_s * busy_mem);
+  const double l2_s = static_cast<double>(s.global_transactions) *
+                      static_cast<double>(Warp::kSegmentBytes) /
+                      (spec_.l2_bandwidth_bytes_per_s * busy_mem);
+  const double memory_s = std::max(dram_s, l2_s);
+  // Conflict-free atomics flow at near memory-op throughput (their
+  // transactions are already counted); only same-address replays pay the
+  // serialization latency.
+  const double atomic_s =
+      (static_cast<double>(s.atomic_operations) * 2.0 +
+       static_cast<double>(s.atomic_serializations) * kAtomicCycles) /
+      (spec_.core_clock_hz * std::max(1.0, busy_mem * spec_.num_sms));
+
+  record->sim_time_s = std::max(std::max(compute_s, memory_s), atomic_s) +
+                       spec_.kernel_launch_overhead_s;
+}
+
+}  // namespace sweetknn::gpusim

@@ -1,0 +1,54 @@
+#ifndef SWEETKNN_GPUSIM_COST_MODEL_H_
+#define SWEETKNN_GPUSIM_COST_MODEL_H_
+
+#include "gpusim/device_spec.h"
+#include "gpusim/stats.h"
+
+namespace sweetknn::gpusim {
+
+/// Analytic model converting a kernel's measured event counts into a
+/// simulated execution time (documented in DESIGN.md section 6).
+///
+/// time = max(compute, memory, atomic) / hiding + launch_overhead
+///   compute = warp_instructions / (SMs * issue_rate * clock * busy)
+///   memory  = transactions * 128B / (bandwidth * busy)
+///   atomic  = (atomic_ops + serializations) * atomic_cycles / clock
+///   busy    = fraction of the chip's issue/bandwidth capacity reachable
+///             with the warps actually resident (small grids can't
+///             saturate the machine)
+///   hiding  = latency-hiding capability; it degrades when fewer warps
+///             are resident per SM than needed to cover latency.
+class CostModel {
+ public:
+  /// Warps per SM needed to saturate instruction issue (arithmetic
+  /// latency hiding). 16 warps/SM = 25% occupancy on Kepler.
+  static constexpr double kWarpsToSaturateSm = 16.0;
+  /// Warps per SM needed to saturate the memory system: far fewer
+  /// outstanding requests suffice to fill DRAM bandwidth.
+  static constexpr double kWarpsToSaturateMemory = 4.0;
+  /// Simulated cycles charged per atomic operation replay.
+  static constexpr double kAtomicCycles = 24.0;
+  /// Floor on the latency-hiding factor, so that a 1-warp kernel is slow
+  /// but not absurdly so.
+  static constexpr double kMinHiding = 0.05;
+
+  explicit CostModel(const DeviceSpec& spec) : spec_(spec) {}
+
+  /// Fills record->occupancy and record->sim_time_s from record->stats and
+  /// the launch geometry.
+  void Finalize(LaunchRecord* record) const;
+
+  /// Simulated seconds for a host<->device transfer of `bytes`.
+  double TransferTime(size_t bytes) const {
+    return static_cast<double>(bytes) / spec_.pcie_bandwidth_bytes_per_s;
+  }
+
+  const DeviceSpec& spec() const { return spec_; }
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace sweetknn::gpusim
+
+#endif  // SWEETKNN_GPUSIM_COST_MODEL_H_

@@ -1,0 +1,15 @@
+#include "gpusim/device.h"
+
+namespace sweetknn::gpusim {
+
+const LaunchRecord& Device::RecordAnalyticLaunch(const std::string& name,
+                                                 double sim_time_s) {
+  LaunchRecord record;
+  record.kernel_name = name;
+  record.analytic = true;
+  record.sim_time_s = sim_time_s;
+  profile_.launches.push_back(std::move(record));
+  return profile_.launches.back();
+}
+
+}  // namespace sweetknn::gpusim

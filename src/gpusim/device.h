@@ -1,0 +1,174 @@
+#ifndef SWEETKNN_GPUSIM_DEVICE_H_
+#define SWEETKNN_GPUSIM_DEVICE_H_
+
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "gpusim/cache_sim.h"
+#include "gpusim/cost_model.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/memory.h"
+#include "gpusim/stats.h"
+#include "gpusim/warp.h"
+
+namespace sweetknn::gpusim {
+
+/// Launch geometry (1-D grids are sufficient for every kernel here).
+struct LaunchConfig {
+  int grid_blocks = 1;
+  int block_threads = 256;
+
+  /// Grid covering at least `threads` threads with the given block size.
+  static LaunchConfig Cover(int64_t threads, int block_threads) {
+    SK_CHECK_GT(threads, 0);
+    SK_CHECK_GT(block_threads, 0);
+    LaunchConfig cfg;
+    cfg.block_threads = block_threads;
+    cfg.grid_blocks =
+        static_cast<int>((threads + block_threads - 1) / block_threads);
+    return cfg;
+  }
+
+  int64_t TotalThreads() const {
+    return static_cast<int64_t>(grid_blocks) * block_threads;
+  }
+};
+
+/// Static kernel resource requirements, as the CUDA compiler would report.
+/// They drive the occupancy computation (and therefore simulated time).
+struct KernelMeta {
+  std::string name;
+  int regs_per_thread = 32;
+  int shared_bytes_per_block = 0;
+};
+
+/// A simulated GPU: owns global memory, executes kernels warp by warp in
+/// lockstep SIMT semantics, and accumulates a Profile of launches with
+/// simulated times from the cost model.
+class Device {
+ public:
+  explicit Device(DeviceSpec spec)
+      : spec_(std::move(spec)),
+        allocator_(spec_.global_mem_bytes),
+        cost_model_(spec_),
+        cache_(spec_.l2_cache_bytes / Warp::kSegmentBytes) {}
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceSpec& spec() const { return spec_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  // --- Memory ---------------------------------------------------------------
+
+  size_t free_bytes() const { return allocator_.free_bytes(); }
+  size_t used_bytes() const { return allocator_.used(); }
+  size_t peak_used_bytes() const { return allocator_.peak_used(); }
+
+  /// Allocates `count` elements; aborts if the device is out of memory
+  /// (callers that partition should consult free_bytes() / CanAllocate
+  /// first, like real code sizing against cudaMemGetInfo).
+  template <typename T>
+  DeviceBuffer<T> Alloc(size_t count, const char* what = "buffer") {
+    uint64_t base = 0;
+    SK_CHECK(allocator_.Allocate(count * sizeof(T), &base))
+        << "simulated device out of memory allocating " << count * sizeof(T)
+        << " bytes for " << what << " (free: " << allocator_.free_bytes()
+        << ")";
+    return DeviceBuffer<T>(&allocator_, base, count);
+  }
+
+  bool CanAllocate(size_t bytes) const {
+    const size_t rounded = (bytes + 255) & ~size_t{255};
+    return rounded <= allocator_.free_bytes();
+  }
+
+  /// Host-to-device copy: fills the buffer and charges PCIe transfer time.
+  template <typename T>
+  void CopyToDevice(DeviceBuffer<T>* buf, const T* src, size_t count) {
+    SK_CHECK_LE(count, buf->size());
+    std::memcpy(buf->data(), src, count * sizeof(T));
+    profile_.transfer_time_s += cost_model_.TransferTime(count * sizeof(T));
+  }
+
+  /// Device-to-host copy; charges PCIe transfer time.
+  template <typename T>
+  void CopyToHost(const DeviceBuffer<T>& buf, T* dst, size_t count) {
+    SK_CHECK_LE(count, buf.size());
+    std::memcpy(dst, buf.data(), count * sizeof(T));
+    profile_.transfer_time_s += cost_model_.TransferTime(count * sizeof(T));
+  }
+
+  /// Charges PCIe time for a transfer whose data already lives host-side
+  /// (used by hybrid kernels that fill host results directly).
+  void ChargeTransfer(size_t bytes) {
+    profile_.transfer_time_s += cost_model_.TransferTime(bytes);
+  }
+
+  // --- Execution --------------------------------------------------------------
+
+  /// Launches `kernel` (signature void(Warp&)) over the grid: the functor
+  /// runs once per warp, with partial trailing warps masked. Returns the
+  /// finalized launch record (valid until the next launch).
+  template <typename KernelFn>
+  const LaunchRecord& Launch(const KernelMeta& meta, const LaunchConfig& cfg,
+                             KernelFn&& kernel) {
+    SK_CHECK_GT(cfg.grid_blocks, 0);
+    SK_CHECK_GT(cfg.block_threads, 0);
+    SK_CHECK_LE(cfg.block_threads, spec_.max_threads_per_block);
+
+    LaunchRecord record;
+    record.kernel_name = meta.name;
+    record.grid_blocks = cfg.grid_blocks;
+    record.block_threads = cfg.block_threads;
+    record.regs_per_thread = meta.regs_per_thread;
+    record.shared_bytes_per_block = meta.shared_bytes_per_block;
+
+    const int warps_per_block =
+        (cfg.block_threads + kWarpSize - 1) / kWarpSize;
+    for (int block = 0; block < cfg.grid_blocks; ++block) {
+      for (int w = 0; w < warps_per_block; ++w) {
+        const int lanes_before = w * kWarpSize;
+        const int lanes =
+            std::min(kWarpSize, cfg.block_threads - lanes_before);
+        const LaneMask mask =
+            lanes >= kWarpSize ? kFullMask : ((LaneMask{1} << lanes) - 1);
+        Warp warp(&record.stats, block, cfg.block_threads, w, mask,
+                  &cache_);
+        kernel(warp);
+      }
+    }
+
+    cost_model_.Finalize(&record);
+    profile_.launches.push_back(std::move(record));
+    return profile_.launches.back();
+  }
+
+  /// Records an analytically modeled launch (e.g. a CUBLAS GEMM call):
+  /// no functional execution, just a named time contribution.
+  const LaunchRecord& RecordAnalyticLaunch(const std::string& name,
+                                           double sim_time_s);
+
+  // --- Profiling ---------------------------------------------------------------
+
+  const Profile& profile() const { return profile_; }
+  Profile* mutable_profile() { return &profile_; }
+  void ResetProfile() { profile_.Clear(); }
+
+  /// Simulated time accumulated so far (kernels + transfers).
+  double SimTime() const { return profile_.TotalTime(); }
+
+ private:
+  DeviceSpec spec_;
+  internal_memory::Allocator allocator_;
+  CostModel cost_model_;
+  CacheSim cache_;
+  Profile profile_;
+};
+
+}  // namespace sweetknn::gpusim
+
+#endif  // SWEETKNN_GPUSIM_DEVICE_H_

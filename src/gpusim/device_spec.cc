@@ -1,0 +1,49 @@
+#include "gpusim/device_spec.h"
+
+namespace sweetknn::gpusim {
+
+DeviceSpec DeviceSpec::TeslaK20c() {
+  DeviceSpec spec;
+  spec.name = "Tesla K20c";
+  return spec;
+}
+
+DeviceSpec DeviceSpec::TeslaK40() {
+  DeviceSpec spec;
+  spec.name = "Tesla K40";
+  spec.num_sms = 15;
+  spec.core_clock_hz = 745e6;
+  spec.mem_bandwidth_bytes_per_s = 288e9;
+  spec.peak_sp_flops = 4.29e12;
+  spec.global_mem_bytes = 12ull * 1024 * 1024 * 1024;
+  spec.l2_cache_bytes = 1536 * 1024;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::GtxSmall() {
+  DeviceSpec spec;
+  spec.name = "GTX small";
+  spec.num_sms = 5;
+  spec.max_threads_per_sm = 2048;
+  spec.core_clock_hz = 1020e6;
+  spec.mem_bandwidth_bytes_per_s = 86e9;
+  spec.l2_bandwidth_bytes_per_s = 300e9;
+  spec.peak_sp_flops = 1.3e12;
+  spec.global_mem_bytes = 2ull * 1024 * 1024 * 1024;
+  spec.l2_cache_bytes = 2048 * 1024;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::ScaledK20c(size_t global_mem_bytes) {
+  DeviceSpec spec = TeslaK20c();
+  spec.name = "Scaled K20c";
+  spec.global_mem_bytes = global_mem_bytes;
+  // The cache is scaled together with global memory so that the ratio of
+  // dataset working set to cache capacity stays close to the paper's
+  // (otherwise every scaled-down dataset would fit in L2 and memory
+  // behaviour would vanish from the results).
+  spec.l2_cache_bytes = 128 * 1024;
+  return spec;
+}
+
+}  // namespace sweetknn::gpusim

@@ -1,0 +1,68 @@
+#ifndef SWEETKNN_GPUSIM_DEVICE_SPEC_H_
+#define SWEETKNN_GPUSIM_DEVICE_SPEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sweetknn::gpusim {
+
+/// Warp width of the simulated architecture (NVIDIA-style SIMT).
+inline constexpr int kWarpSize = 32;
+
+/// Static description of a simulated GPU. The defaults mirror the NVIDIA
+/// Tesla K20c (Kepler GK110) used in the paper's evaluation; a scaled
+/// preset shrinks global memory so that scaled-down datasets reproduce the
+/// paper's memory-overflow / query-partitioning behaviour.
+struct DeviceSpec {
+  std::string name;
+
+  int num_sms = 13;
+  int max_threads_per_sm = 2048;
+  int max_blocks_per_sm = 16;
+  int max_threads_per_block = 1024;
+  int shared_mem_per_sm_bytes = 48 * 1024;
+  int shared_mem_per_block_bytes = 48 * 1024;
+  int registers_per_sm = 65536;
+  int max_registers_per_thread = 255;
+
+  double core_clock_hz = 706e6;
+  /// Warp instructions each SM can issue per cycle (Kepler: 4 schedulers).
+  double issue_per_sm_per_cycle = 4.0;
+  double mem_bandwidth_bytes_per_s = 208e9;
+  /// Aggregate on-chip cached-read bandwidth (L2 plus the per-SM
+  /// read-only/texture caches); cache hits are bounded by this instead of
+  /// DRAM bandwidth.
+  double l2_bandwidth_bytes_per_s = 1000e9;
+  /// L2 capacity in bytes (drives the cache simulation).
+  size_t l2_cache_bytes = 1280 * 1024;
+  double pcie_bandwidth_bytes_per_s = 6e9;
+  double peak_sp_flops = 3.52e12;
+
+  size_t global_mem_bytes = 5ull * 1024 * 1024 * 1024;
+  double kernel_launch_overhead_s = 5e-6;
+
+  /// Maximum number of threads concurrently resident on the whole chip,
+  /// the `max_cur` quantity of the paper's adaptive scheme (section IV-D3).
+  int MaxConcurrentThreads() const { return num_sms * max_threads_per_sm; }
+  int MaxWarpsPerSm() const { return max_threads_per_sm / kWarpSize; }
+
+  /// Tesla K20c as used in the paper.
+  static DeviceSpec TeslaK20c();
+
+  /// Tesla K40 (more SMs, higher clock/bandwidth) — for checking that the
+  /// reconciliation behaviour is not K20c-specific.
+  static DeviceSpec TeslaK40();
+
+  /// GeForce GTX 750 (small Maxwell: 5 SMs, 86 GB/s) — a low-end device
+  /// where occupancy effects dominate.
+  static DeviceSpec GtxSmall();
+
+  /// K20c compute resources with a reduced global memory, for scaled-down
+  /// dataset experiments (see DESIGN.md section 2).
+  static DeviceSpec ScaledK20c(size_t global_mem_bytes);
+};
+
+}  // namespace sweetknn::gpusim
+
+#endif  // SWEETKNN_GPUSIM_DEVICE_SPEC_H_

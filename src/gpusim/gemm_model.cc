@@ -1,0 +1,44 @@
+#include "gpusim/gemm_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sweetknn::gpusim {
+
+double GemmModel::Efficiency(int64_t m, int64_t n, int64_t k) const {
+  SK_CHECK(m > 0 && n > 0 && k > 0);
+  const double tiles = std::ceil(static_cast<double>(m) / kTileEdge) *
+                       std::ceil(static_cast<double>(n) / kTileEdge);
+  const double tile_util = std::min(
+      1.0, tiles / (kTilesToSaturate * static_cast<double>(spec_.num_sms)));
+  const double depth_util =
+      std::min(1.0, static_cast<double>(k) / kDepthToSaturate);
+  // Partial tiles on the boundary also waste lanes; fold that into the
+  // fractional part of the tile grid.
+  const double edge_util =
+      (static_cast<double>(m) / (std::ceil(m / kTileEdge) * kTileEdge)) *
+      (static_cast<double>(n) / (std::ceil(n / kTileEdge) * kTileEdge));
+  return kPeakEfficiency * tile_util * depth_util * edge_util;
+}
+
+double GemmModel::Time(int64_t m, int64_t n, int64_t k) const {
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(k);
+  const double bytes =
+      4.0 * (static_cast<double>(m) * k + static_cast<double>(k) * n +
+             static_cast<double>(m) * n);
+  const double compute_s = flops / (spec_.peak_sp_flops * Efficiency(m, n, k));
+  const double memory_s = bytes / spec_.mem_bandwidth_bytes_per_s;
+  // Tiny GEMMs are latency-bound, not efficiency-extrapolated: a single
+  // tile running serially on one SM at a conservative fraction of that
+  // SM's peak caps how bad the efficiency model can get.
+  const double serial_cap_s =
+      flops / (spec_.peak_sp_flops / spec_.num_sms * 0.3) +
+      bytes / spec_.mem_bandwidth_bytes_per_s;
+  return std::min(std::max(compute_s, memory_s), serial_cap_s) +
+         spec_.kernel_launch_overhead_s;
+}
+
+}  // namespace sweetknn::gpusim

@@ -1,0 +1,48 @@
+#ifndef SWEETKNN_GPUSIM_GEMM_MODEL_H_
+#define SWEETKNN_GPUSIM_GEMM_MODEL_H_
+
+#include <cstdint>
+
+#include "gpusim/device_spec.h"
+
+namespace sweetknn::gpusim {
+
+/// Analytic roofline model of a CUBLAS sgemm call, C(m x n) = A(m x k) *
+/// B(k x n). The paper's baseline (Garcia et al.) computes the query-target
+/// distance matrix with CUBLAS; since CUBLAS is a closed pre-tuned library,
+/// we model it instead of simulating it instruction by instruction:
+///
+///   time = max(flops / (peak * efficiency), bytes / bandwidth) + launch
+///
+/// where efficiency captures CUBLAS's behaviour of approaching peak only
+/// for large, deep GEMMs: a tile-utilization term (how many 128x128 output
+/// tiles exist relative to what the chip needs to be busy) and a k-depth
+/// term (short reductions can't amortize the prologue). Both effects are
+/// well documented for real CUBLAS and matter for the paper's small
+/// datasets (arcene, dor).
+class GemmModel {
+ public:
+  /// Output tile edge CUBLAS-style kernels produce per thread block.
+  static constexpr double kTileEdge = 128.0;
+  /// Concurrent tiles needed to saturate the chip (2 blocks per SM).
+  static constexpr double kTilesToSaturate = 2.0;
+  /// Efficiency of CUBLAS at asymptotic sizes.
+  static constexpr double kPeakEfficiency = 0.75;
+  /// k-depth at which the reduction loop reaches full throughput.
+  static constexpr double kDepthToSaturate = 64.0;
+
+  explicit GemmModel(const DeviceSpec& spec) : spec_(spec) {}
+
+  /// Simulated seconds for one sgemm call.
+  double Time(int64_t m, int64_t n, int64_t k) const;
+
+  /// The model's efficiency factor in (0, kPeakEfficiency].
+  double Efficiency(int64_t m, int64_t n, int64_t k) const;
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace sweetknn::gpusim
+
+#endif  // SWEETKNN_GPUSIM_GEMM_MODEL_H_

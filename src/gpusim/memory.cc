@@ -1,0 +1,22 @@
+#include "gpusim/memory.h"
+
+namespace sweetknn::gpusim::internal_memory {
+
+bool Allocator::Allocate(size_t bytes, uint64_t* base_addr) {
+  // Round to the 256-byte allocation granularity of real devices.
+  const size_t rounded = (bytes + 255) & ~size_t{255};
+  if (used_ + rounded > capacity_) return false;
+  used_ += rounded;
+  if (used_ > peak_used_) peak_used_ = used_;
+  *base_addr = next_addr_;
+  next_addr_ += rounded;
+  return true;
+}
+
+void Allocator::Free(size_t bytes) {
+  const size_t rounded = (bytes + 255) & ~size_t{255};
+  SK_CHECK_LE(rounded, used_);
+  used_ -= rounded;
+}
+
+}  // namespace sweetknn::gpusim::internal_memory

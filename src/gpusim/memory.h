@@ -1,0 +1,113 @@
+#ifndef SWEETKNN_GPUSIM_MEMORY_H_
+#define SWEETKNN_GPUSIM_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace sweetknn::gpusim {
+
+class Device;
+
+namespace internal_memory {
+
+/// Bookkeeping shared by all DeviceBuffer instantiations: capacity
+/// accounting plus a flat simulated address space used for coalescing
+/// computations. Owned by Device.
+class Allocator {
+ public:
+  explicit Allocator(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+  Allocator(const Allocator&) = delete;
+  Allocator& operator=(const Allocator&) = delete;
+
+  /// Reserves `bytes`; returns the simulated base address, or false if the
+  /// device is out of memory. Addresses are 256-byte aligned like real
+  /// cudaMalloc allocations.
+  bool Allocate(size_t bytes, uint64_t* base_addr);
+  void Free(size_t bytes);
+
+  size_t capacity() const { return capacity_; }
+  size_t used() const { return used_; }
+  size_t free_bytes() const { return capacity_ - used_; }
+  /// High-water mark of simultaneous allocation.
+  size_t peak_used() const { return peak_used_; }
+
+ private:
+  size_t capacity_;
+  size_t used_ = 0;
+  size_t peak_used_ = 0;
+  uint64_t next_addr_ = 256;
+};
+
+}  // namespace internal_memory
+
+/// A typed allocation in simulated device global memory. Functionally the
+/// data lives in host memory so kernels (and tests) can read results, but
+/// every in-kernel access must go through Warp::Load/Store/Atomic* so that
+/// memory transactions are counted. Move-only; frees its reservation on
+/// destruction.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      allocator_ = other.allocator_;
+      base_addr_ = other.base_addr_;
+      data_ = std::move(other.data_);
+      other.allocator_ = nullptr;
+      other.base_addr_ = 0;
+    }
+    return *this;
+  }
+  ~DeviceBuffer() { Release(); }
+
+  bool valid() const { return allocator_ != nullptr; }
+  size_t size() const { return data_.size(); }
+  uint64_t base_addr() const { return base_addr_; }
+
+  /// Simulated device byte address of element i.
+  uint64_t AddressOf(size_t i) const { return base_addr_ + i * sizeof(T); }
+
+  /// Raw element access. Kernels must not use this directly for global
+  /// data (it bypasses transaction counting); it exists for host-side
+  /// setup/teardown and for Warp's internal implementation.
+  T& operator[](size_t i) {
+    SK_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    SK_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+ private:
+  friend class Device;
+  DeviceBuffer(internal_memory::Allocator* allocator, uint64_t base_addr,
+               size_t count)
+      : allocator_(allocator), base_addr_(base_addr), data_(count) {}
+
+  void Release() {
+    if (allocator_ != nullptr) {
+      allocator_->Free(data_.size() * sizeof(T));
+      allocator_ = nullptr;
+    }
+    data_.clear();
+  }
+
+  internal_memory::Allocator* allocator_ = nullptr;
+  uint64_t base_addr_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace sweetknn::gpusim
+
+#endif  // SWEETKNN_GPUSIM_MEMORY_H_

@@ -1,0 +1,54 @@
+#include "gpusim/occupancy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sweetknn::gpusim {
+
+Occupancy ComputeOccupancy(const DeviceSpec& spec, int block_threads,
+                           int regs_per_thread, int shared_bytes_per_block) {
+  SK_CHECK_GT(block_threads, 0);
+  SK_CHECK_LE(block_threads, spec.max_threads_per_block);
+  Occupancy out;
+
+  const int by_threads = spec.max_threads_per_sm / block_threads;
+  const int by_blocks = spec.max_blocks_per_sm;
+  const int regs_per_block = regs_per_thread * block_threads;
+  const int by_regs = regs_per_block > 0
+                          ? spec.registers_per_sm / regs_per_block
+                          : spec.max_blocks_per_sm;
+  const int by_shared = shared_bytes_per_block > 0
+                            ? spec.shared_mem_per_sm_bytes /
+                                  shared_bytes_per_block
+                            : spec.max_blocks_per_sm;
+
+  out.blocks_per_sm =
+      std::min(std::min(by_threads, by_blocks), std::min(by_regs, by_shared));
+  if (out.blocks_per_sm <= 0) {
+    out.blocks_per_sm = 0;
+    out.warps_per_sm = 0;
+    out.fraction = 0.0;
+  } else {
+    const int warps_per_block = (block_threads + kWarpSize - 1) / kWarpSize;
+    out.warps_per_sm = out.blocks_per_sm * warps_per_block;
+    out.warps_per_sm = std::min(out.warps_per_sm, spec.MaxWarpsPerSm());
+    out.fraction = static_cast<double>(out.warps_per_sm) /
+                   static_cast<double>(spec.MaxWarpsPerSm());
+  }
+
+  // Record the binding resource for diagnostics.
+  const int cap = out.blocks_per_sm;
+  if (cap == by_threads) {
+    out.limiter = Occupancy::Limiter::kThreads;
+  } else if (cap == by_regs) {
+    out.limiter = Occupancy::Limiter::kRegisters;
+  } else if (cap == by_shared) {
+    out.limiter = Occupancy::Limiter::kSharedMemory;
+  } else if (cap == by_blocks) {
+    out.limiter = Occupancy::Limiter::kBlocks;
+  }
+  return out;
+}
+
+}  // namespace sweetknn::gpusim

@@ -1,0 +1,29 @@
+#ifndef SWEETKNN_GPUSIM_OCCUPANCY_H_
+#define SWEETKNN_GPUSIM_OCCUPANCY_H_
+
+#include "gpusim/device_spec.h"
+
+namespace sweetknn::gpusim {
+
+/// Occupancy result for one kernel configuration on one device.
+struct Occupancy {
+  /// Thread blocks that fit concurrently on one SM.
+  int blocks_per_sm = 0;
+  /// Warps concurrently resident on one SM.
+  int warps_per_sm = 0;
+  /// warps_per_sm over the SM's architectural warp limit, in [0, 1].
+  double fraction = 0.0;
+  /// Which resource capped the result (for diagnostics).
+  enum class Limiter { kThreads, kBlocks, kRegisters, kSharedMemory, kNone };
+  Limiter limiter = Limiter::kNone;
+};
+
+/// Computes how many blocks of `block_threads` threads using
+/// `regs_per_thread` registers and `shared_bytes_per_block` shared memory
+/// fit on one SM — the standard CUDA occupancy calculation.
+Occupancy ComputeOccupancy(const DeviceSpec& spec, int block_threads,
+                           int regs_per_thread, int shared_bytes_per_block);
+
+}  // namespace sweetknn::gpusim
+
+#endif  // SWEETKNN_GPUSIM_OCCUPANCY_H_

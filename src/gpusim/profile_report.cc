@@ -1,0 +1,72 @@
+#include "gpusim/profile_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace sweetknn::gpusim {
+
+std::vector<ProfileRow> SummarizeProfile(const Profile& profile) {
+  std::map<std::string, ProfileRow> by_name;
+  std::map<std::string, KernelStats> merged_stats;
+  for (const LaunchRecord& launch : profile.launches) {
+    ProfileRow& row = by_name[launch.kernel_name];
+    row.kernel_name = launch.kernel_name;
+    ++row.launches;
+    row.time_s += launch.sim_time_s;
+    row.warp_instructions += launch.stats.warp_instructions;
+    row.global_transactions += launch.stats.global_transactions;
+    row.dram_transactions += launch.stats.dram_transactions;
+    row.analytic = row.analytic || launch.analytic;
+    merged_stats[launch.kernel_name].Merge(launch.stats);
+  }
+  const double total = profile.TotalKernelTime();
+  std::vector<ProfileRow> rows;
+  rows.reserve(by_name.size());
+  for (auto& [name, row] : by_name) {
+    const KernelStats& merged = merged_stats[name];
+    row.warp_efficiency =
+        merged.warp_instructions > 0 ? merged.WarpEfficiency() : 0.0;
+    row.time_share = total > 0.0 ? row.time_s / total : 0.0;
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ProfileRow& a, const ProfileRow& b) {
+              if (a.time_s != b.time_s) return a.time_s > b.time_s;
+              return a.kernel_name < b.kernel_name;
+            });
+  return rows;
+}
+
+std::string FormatProfileReport(const Profile& profile) {
+  const std::vector<ProfileRow> rows = SummarizeProfile(profile);
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-32s %10s %7s %9s %9s\n", "kernel",
+                "time(ms)", "share", "launches", "warp-eff");
+  out += line;
+  for (const ProfileRow& row : rows) {
+    if (row.analytic) {
+      std::snprintf(line, sizeof(line), "%-32s %10.3f %6.1f%% %9d %9s\n",
+                    row.kernel_name.c_str(), row.time_s * 1e3,
+                    row.time_share * 100.0, row.launches, "(model)");
+    } else {
+      std::snprintf(line, sizeof(line), "%-32s %10.3f %6.1f%% %9d %8.1f%%\n",
+                    row.kernel_name.c_str(), row.time_s * 1e3,
+                    row.time_share * 100.0, row.launches,
+                    row.warp_efficiency * 100.0);
+    }
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-32s %10.3f %6.1f%%\n", "total",
+                profile.TotalKernelTime() * 1e3, 100.0);
+  out += line;
+  if (profile.transfer_time_s > 0.0) {
+    std::snprintf(line, sizeof(line), "%-32s %10.3f\n",
+                  "host<->device transfers", profile.transfer_time_s * 1e3);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace sweetknn::gpusim

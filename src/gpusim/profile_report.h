@@ -1,0 +1,38 @@
+#ifndef SWEETKNN_GPUSIM_PROFILE_REPORT_H_
+#define SWEETKNN_GPUSIM_PROFILE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "gpusim/stats.h"
+
+namespace sweetknn::gpusim {
+
+/// One row of the per-kernel profile summary: launches of the same kernel
+/// name merged together, nvprof-style derived metrics included.
+struct ProfileRow {
+  std::string kernel_name;
+  int launches = 0;
+  double time_s = 0.0;
+  double time_share = 0.0;  // Of total kernel time.
+  uint64_t warp_instructions = 0;
+  uint64_t global_transactions = 0;
+  uint64_t dram_transactions = 0;
+  double warp_efficiency = 0.0;
+  bool analytic = false;
+};
+
+/// Aggregates a profile into per-kernel rows, sorted by descending time.
+std::vector<ProfileRow> SummarizeProfile(const Profile& profile);
+
+/// Renders the summary as a fixed-width text table (one string, ends with
+/// a newline), e.g.:
+///
+///   kernel                      time(ms)  share  launches  warp-eff
+///   level2_full_filter             2.563  68.1%         1     64.9%
+///   ...
+std::string FormatProfileReport(const Profile& profile);
+
+}  // namespace sweetknn::gpusim
+
+#endif  // SWEETKNN_GPUSIM_PROFILE_REPORT_H_

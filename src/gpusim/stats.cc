@@ -1,0 +1,16 @@
+#include "gpusim/stats.h"
+
+namespace sweetknn::gpusim {
+
+KernelStats Profile::StatsForKernelsMatching(const std::string& substr) const {
+  KernelStats out;
+  for (const LaunchRecord& record : launches) {
+    if (!record.analytic &&
+        record.kernel_name.find(substr) != std::string::npos) {
+      out.Merge(record.stats);
+    }
+  }
+  return out;
+}
+
+}  // namespace sweetknn::gpusim

@@ -1,0 +1,103 @@
+#ifndef SWEETKNN_GPUSIM_STATS_H_
+#define SWEETKNN_GPUSIM_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sweetknn::gpusim {
+
+/// Event counters for one kernel execution, in the spirit of nvprof
+/// hardware counters.
+struct KernelStats {
+  /// Warp-level instructions issued (every side of a divergent branch
+  /// issues separately, exactly as on hardware).
+  uint64_t warp_instructions = 0;
+  /// Sum over issued warp instructions of the number of active lanes.
+  uint64_t active_lane_ops = 0;
+  /// Branches where a warp's lanes took both sides.
+  uint64_t divergent_branches = 0;
+  /// 128-byte global-memory transactions (loads + stores).
+  uint64_t global_transactions = 0;
+  /// Subset of global_transactions that missed the simulated L2 cache
+  /// and reached DRAM.
+  uint64_t dram_transactions = 0;
+  uint64_t global_load_instructions = 0;
+  uint64_t global_store_instructions = 0;
+  uint64_t atomic_operations = 0;
+  /// Extra serialization steps caused by same-address conflicts among the
+  /// lanes of one warp issuing an atomic together.
+  uint64_t atomic_serializations = 0;
+
+  /// nvprof's warp_execution_efficiency: average fraction of active lanes
+  /// per issued warp instruction.
+  double WarpEfficiency() const {
+    if (warp_instructions == 0) return 1.0;
+    return static_cast<double>(active_lane_ops) /
+           (32.0 * static_cast<double>(warp_instructions));
+  }
+
+  void Merge(const KernelStats& other) {
+    warp_instructions += other.warp_instructions;
+    active_lane_ops += other.active_lane_ops;
+    divergent_branches += other.divergent_branches;
+    global_transactions += other.global_transactions;
+    dram_transactions += other.dram_transactions;
+    global_load_instructions += other.global_load_instructions;
+    global_store_instructions += other.global_store_instructions;
+    atomic_operations += other.atomic_operations;
+    atomic_serializations += other.atomic_serializations;
+  }
+};
+
+/// Everything recorded about one kernel launch, including the simulated
+/// execution time assigned by the cost model.
+struct LaunchRecord {
+  std::string kernel_name;
+  int grid_blocks = 0;
+  int block_threads = 0;
+  int regs_per_thread = 0;
+  int shared_bytes_per_block = 0;
+  KernelStats stats;
+  /// Achieved occupancy: resident warps per SM over the maximum.
+  double occupancy = 0.0;
+  /// Simulated kernel execution time in seconds (cost model output).
+  double sim_time_s = 0.0;
+  /// True for analytically modeled launches (e.g. the CUBLAS GEMM call),
+  /// whose stats fields other than sim_time_s are estimates.
+  bool analytic = false;
+};
+
+/// Accumulated view of a device's activity: all launches plus transfers.
+struct Profile {
+  std::vector<LaunchRecord> launches;
+  double transfer_time_s = 0.0;
+
+  double TotalKernelTime() const {
+    double total = 0.0;
+    for (const LaunchRecord& record : launches) total += record.sim_time_s;
+    return total;
+  }
+  double TotalTime() const { return TotalKernelTime() + transfer_time_s; }
+
+  /// Merged counters over all non-analytic launches.
+  KernelStats AggregateStats() const {
+    KernelStats out;
+    for (const LaunchRecord& record : launches) {
+      if (!record.analytic) out.Merge(record.stats);
+    }
+    return out;
+  }
+
+  /// Merged counters over launches whose kernel name contains `substr`.
+  KernelStats StatsForKernelsMatching(const std::string& substr) const;
+
+  void Clear() {
+    launches.clear();
+    transfer_time_s = 0.0;
+  }
+};
+
+}  // namespace sweetknn::gpusim
+
+#endif  // SWEETKNN_GPUSIM_STATS_H_

@@ -1,0 +1,77 @@
+#include "gpusim/trace_export.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace sweetknn::gpusim {
+
+namespace {
+/// Escapes a string for embedding in JSON.
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string ProfileToChromeTrace(const Profile& profile) {
+  std::string out = "{\"traceEvents\":[\n";
+  double cursor_us = 0.0;
+  char buf[512];
+  bool first = true;
+  for (const LaunchRecord& launch : profile.launches) {
+    const double duration_us = launch.sim_time_s * 1e6;
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+        "\"ts\":%.3f,\"dur\":%.3f,\"args\":{"
+        "\"grid_blocks\":%d,\"block_threads\":%d,\"occupancy\":%.3f,"
+        "\"warp_instructions\":%llu,\"transactions\":%llu,"
+        "\"dram_transactions\":%llu,\"warp_efficiency\":%.4f,"
+        "\"analytic\":%s}}",
+        first ? "" : ",\n", JsonEscape(launch.kernel_name).c_str(),
+        cursor_us, duration_us, launch.grid_blocks, launch.block_threads,
+        launch.occupancy,
+        static_cast<unsigned long long>(launch.stats.warp_instructions),
+        static_cast<unsigned long long>(launch.stats.global_transactions),
+        static_cast<unsigned long long>(launch.stats.dram_transactions),
+        launch.stats.WarpEfficiency(), launch.analytic ? "true" : "false");
+    out += buf;
+    cursor_us += duration_us;
+    first = false;
+  }
+  if (profile.transfer_time_s > 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"pcie transfers\",\"ph\":\"X\",\"pid\":1,"
+                  "\"tid\":2,\"ts\":0,\"dur\":%.3f,\"args\":{}}",
+                  first ? "" : ",\n", profile.transfer_time_s * 1e6);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const Profile& profile, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  file << ProfileToChromeTrace(profile);
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace sweetknn::gpusim

@@ -1,0 +1,22 @@
+#ifndef SWEETKNN_GPUSIM_TRACE_EXPORT_H_
+#define SWEETKNN_GPUSIM_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "gpusim/stats.h"
+
+namespace sweetknn::gpusim {
+
+/// Serializes a profile as a Chrome trace-event JSON (load it in
+/// chrome://tracing or Perfetto): one complete event per kernel launch
+/// placed back-to-back on the simulated-device track, with the counters
+/// attached as event arguments.
+std::string ProfileToChromeTrace(const Profile& profile);
+
+/// Writes the trace JSON to a file.
+Status WriteChromeTrace(const Profile& profile, const std::string& path);
+
+}  // namespace sweetknn::gpusim
+
+#endif  // SWEETKNN_GPUSIM_TRACE_EXPORT_H_

@@ -1,0 +1,69 @@
+#include "baseline/brute_force_cpu.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace sweetknn::baseline {
+namespace {
+
+TEST(BruteForceCpuTest, HandComputedCase) {
+  HostMatrix points(4, 1);
+  points.at(0, 0) = 0.0f;
+  points.at(1, 0) = 1.0f;
+  points.at(2, 0) = 3.0f;
+  points.at(3, 0) = 7.0f;
+  const KnnResult r = BruteForceCpu(points, points, 2);
+  // Query 0: itself (0), then point 1 (distance 1).
+  EXPECT_EQ(r.row(0)[0].index, 0u);
+  EXPECT_EQ(r.row(0)[1].index, 1u);
+  EXPECT_FLOAT_EQ(r.row(0)[1].distance, 1.0f);
+  // Query 3: itself, then point 2 (distance 4).
+  EXPECT_EQ(r.row(3)[1].index, 2u);
+  EXPECT_FLOAT_EQ(r.row(3)[1].distance, 4.0f);
+}
+
+TEST(BruteForceCpuTest, SelfJoinNearestIsSelf) {
+  const HostMatrix points = testing::UniformPoints(50, 3, 21);
+  const KnnResult r = BruteForceCpu(points, points, 1);
+  for (size_t q = 0; q < 50; ++q) {
+    EXPECT_EQ(r.row(q)[0].index, static_cast<uint32_t>(q));
+    EXPECT_FLOAT_EQ(r.row(q)[0].distance, 0.0f);
+  }
+}
+
+TEST(BruteForceCpuTest, DistinctQueryTargetSets) {
+  HostMatrix query(1, 2);
+  query.at(0, 0) = 0.5f;
+  query.at(0, 1) = 0.5f;
+  HostMatrix target(3, 2);
+  target.at(0, 0) = 0.0f;
+  target.at(1, 0) = 0.5f;
+  target.at(1, 1) = 0.6f;
+  target.at(2, 0) = 2.0f;
+  const KnnResult r = BruteForceCpu(query, target, 3);
+  EXPECT_EQ(r.row(0)[0].index, 1u);
+}
+
+TEST(BruteForceCpuTest, KLargerThanTargetsPads) {
+  const HostMatrix query = testing::UniformPoints(3, 2, 22);
+  const HostMatrix target = testing::UniformPoints(2, 2, 23);
+  const KnnResult r = BruteForceCpu(query, target, 5);
+  EXPECT_NE(r.row(0)[0].index, kInvalidNeighbor);
+  EXPECT_NE(r.row(0)[1].index, kInvalidNeighbor);
+  for (int i = 2; i < 5; ++i) {
+    EXPECT_EQ(r.row(0)[i].index, kInvalidNeighbor);
+  }
+}
+
+TEST(BruteForceCpuTest, RowsAreAscending) {
+  const HostMatrix points = testing::UniformPoints(60, 4, 24);
+  const KnnResult r = BruteForceCpu(points, points, 10);
+  for (size_t q = 0; q < 60; ++q) {
+    for (int i = 1; i < 10; ++i) {
+      EXPECT_LE(r.row(q)[i - 1].distance, r.row(q)[i].distance);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sweetknn::baseline

@@ -1,0 +1,136 @@
+#include "baseline/brute_force_gpu.h"
+
+#include "baseline/brute_force_cpu.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace sweetknn::baseline {
+namespace {
+
+using testing::ClusteredPoints;
+using testing::ExpectResultsMatch;
+
+TEST(BruteForceGpuTest, ExactModeMatchesCpuOracle) {
+  const HostMatrix points = ClusteredPoints(200, 6, 4, 41);
+  gpusim::Device dev(gpusim::DeviceSpec::TeslaK20c());
+  BruteForceOptions options;
+  options.exact = true;
+  BruteForceStats stats;
+  const KnnResult r = BruteForceGpu(&dev, points, points, 5, options,
+                                    &stats);
+  ExpectResultsMatch(BruteForceCpu(points, points, 5), r,
+                     /*tolerance=*/5e-3f);  // Norm-trick loses precision.
+  EXPECT_EQ(stats.query_partitions, 1);
+  EXPECT_GT(stats.sim_time_s, 0.0);
+}
+
+TEST(BruteForceGpuTest, PartitionsWhenMatrixExceedsMemory) {
+  const HostMatrix points = ClusteredPoints(512, 4, 4, 42);
+  // Memory fits points but not the 512 x 512 distance matrix.
+  gpusim::DeviceSpec spec = gpusim::DeviceSpec::ScaledK20c(300 * 1024);
+  gpusim::Device dev(spec);
+  BruteForceOptions options;
+  options.exact = true;
+  BruteForceStats stats;
+  const KnnResult r = BruteForceGpu(&dev, points, points, 3, options,
+                                    &stats);
+  EXPECT_GT(stats.query_partitions, 1);
+  ExpectResultsMatch(BruteForceCpu(points, points, 3), r, 5e-3f);
+}
+
+TEST(BruteForceGpuTest, ModeledModeProducesProfileOnly) {
+  const HostMatrix points = ClusteredPoints(300, 8, 4, 43);
+  gpusim::Device dev(gpusim::DeviceSpec::TeslaK20c());
+  BruteForceOptions options;
+  options.exact = false;
+  BruteForceStats stats;
+  BruteForceGpu(&dev, points, points, 5, options, &stats);
+  EXPECT_GT(stats.sim_time_s, 0.0);
+  bool saw_gemm = false;
+  bool saw_select = false;
+  for (const auto& launch : stats.profile.launches) {
+    saw_gemm |= launch.kernel_name == "cublas_sgemm";
+    saw_select |= launch.kernel_name == "bf_select";
+  }
+  EXPECT_TRUE(saw_gemm);
+  EXPECT_TRUE(saw_select);
+}
+
+TEST(BruteForceGpuTest, ModeledAndExactChargeSimilarTime) {
+  // The pseudo-distance control flow should cost about the same as the
+  // real one (selection is scan-dominated).
+  const HostMatrix points = ClusteredPoints(256, 5, 4, 44);
+  BruteForceStats exact_stats;
+  BruteForceStats modeled_stats;
+  {
+    gpusim::Device dev(gpusim::DeviceSpec::TeslaK20c());
+    BruteForceOptions options;
+    options.exact = true;
+    BruteForceGpu(&dev, points, points, 8, options, &exact_stats);
+  }
+  {
+    gpusim::Device dev(gpusim::DeviceSpec::TeslaK20c());
+    BruteForceOptions options;
+    options.exact = false;
+    BruteForceGpu(&dev, points, points, 8, options, &modeled_stats);
+  }
+  EXPECT_NEAR(modeled_stats.sim_time_s / exact_stats.sim_time_s, 1.0, 0.2);
+}
+
+TEST(BruteForceGpuTest, LargerKTakesLonger) {
+  const HostMatrix points = ClusteredPoints(400, 4, 4, 45);
+  BruteForceOptions options;
+  options.exact = false;
+  BruteForceStats k_small;
+  BruteForceStats k_large;
+  {
+    gpusim::Device dev(gpusim::DeviceSpec::TeslaK20c());
+    BruteForceGpu(&dev, points, points, 2, options, &k_small);
+  }
+  {
+    gpusim::Device dev(gpusim::DeviceSpec::TeslaK20c());
+    BruteForceGpu(&dev, points, points, 64, options, &k_large);
+  }
+  EXPECT_GT(k_large.sim_time_s, k_small.sim_time_s);
+}
+
+TEST(BruteForceGpuTest, PureCudaVariantMatchesOracle) {
+  const HostMatrix points = ClusteredPoints(180, 5, 4, 46);
+  gpusim::Device dev(gpusim::DeviceSpec::TeslaK20c());
+  BruteForceOptions options;
+  options.variant = BruteForceVariant::kPureCuda;
+  options.exact = true;
+  BruteForceStats stats;
+  const KnnResult r =
+      BruteForceGpu(&dev, points, points, 6, options, &stats);
+  ExpectResultsMatch(baseline::BruteForceCpu(points, points, 6), r);
+  bool saw_kernel = false;
+  for (const auto& launch : stats.profile.launches) {
+    saw_kernel |= launch.kernel_name == "bf_pure_cuda";
+  }
+  EXPECT_TRUE(saw_kernel);
+}
+
+TEST(BruteForceGpuTest, CublasVariantBeatsPureCudaAtScale) {
+  // The paper's stated reason for the CUBLAS baseline.
+  const HostMatrix points = ClusteredPoints(2048, 29, 16, 47);
+  BruteForceOptions options;
+  options.exact = false;
+  BruteForceStats cublas;
+  BruteForceStats cuda;
+  {
+    gpusim::Device dev(gpusim::DeviceSpec::TeslaK20c());
+    options.variant = BruteForceVariant::kCublas;
+    BruteForceGpu(&dev, points, points, 20, options, &cublas);
+  }
+  {
+    gpusim::Device dev(gpusim::DeviceSpec::TeslaK20c());
+    options.variant = BruteForceVariant::kPureCuda;
+    BruteForceGpu(&dev, points, points, 20, options, &cuda);
+  }
+  EXPECT_LT(cublas.profile.TotalKernelTime(),
+            cuda.profile.TotalKernelTime());
+}
+
+}  // namespace
+}  // namespace sweetknn::baseline

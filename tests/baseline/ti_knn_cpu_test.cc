@@ -1,0 +1,77 @@
+#include "baseline/ti_knn_cpu.h"
+
+#include <tuple>
+
+#include "baseline/brute_force_cpu.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace sweetknn::baseline {
+namespace {
+
+using testing::ClusteredPoints;
+using testing::ExpectResultsMatch;
+using testing::UniformPoints;
+
+TEST(TiKnnCpuTest, MatchesBruteForceOnClusteredData) {
+  const HostMatrix points = ClusteredPoints(300, 8, 5, 31);
+  const KnnResult expected = BruteForceCpu(points, points, 6);
+  TiCpuStats stats;
+  const KnnResult actual = TiKnnCpu(points, points, 6, 0, &stats);
+  ExpectResultsMatch(expected, actual);
+  EXPECT_GT(stats.SavedFraction(), 0.3);
+  EXPECT_EQ(stats.total_pairs, 300u * 300u);
+}
+
+TEST(TiKnnCpuTest, MatchesBruteForceOnUniformData) {
+  const HostMatrix points = UniformPoints(200, 6, 32);
+  ExpectResultsMatch(BruteForceCpu(points, points, 4),
+                     TiKnnCpu(points, points, 4));
+}
+
+TEST(TiKnnCpuTest, DistinctSets) {
+  const HostMatrix query = ClusteredPoints(80, 5, 3, 33);
+  const HostMatrix target = ClusteredPoints(220, 5, 4, 34);
+  ExpectResultsMatch(BruteForceCpu(query, target, 7),
+                     TiKnnCpu(query, target, 7));
+}
+
+TEST(TiKnnCpuTest, LandmarkOverrideStillExact) {
+  const HostMatrix points = ClusteredPoints(250, 4, 4, 35);
+  for (int landmarks : {1, 4, 16, 64, 250}) {
+    ExpectResultsMatch(BruteForceCpu(points, points, 5),
+                       TiKnnCpu(points, points, 5, landmarks));
+  }
+}
+
+TEST(TiKnnCpuTest, TighterClustersSaveMore) {
+  const HostMatrix loose = ClusteredPoints(400, 8, 8, 36, /*spread=*/0.3f);
+  const HostMatrix tight = ClusteredPoints(400, 8, 8, 36, /*spread=*/0.01f);
+  TiCpuStats loose_stats;
+  TiCpuStats tight_stats;
+  TiKnnCpu(loose, loose, 5, 0, &loose_stats);
+  TiKnnCpu(tight, tight, 5, 0, &tight_stats);
+  EXPECT_GT(tight_stats.SavedFraction(), loose_stats.SavedFraction());
+}
+
+// Parameterized sweep over (n, dims, k).
+class TiCpuSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TiCpuSweep, AlwaysExact) {
+  const auto [n, dims, k] = GetParam();
+  const HostMatrix points =
+      ClusteredPoints(static_cast<size_t>(n), static_cast<size_t>(dims), 4,
+                      static_cast<uint64_t>(n * 100 + dims * 10 + k));
+  ExpectResultsMatch(BruteForceCpu(points, points, k),
+                     TiKnnCpu(points, points, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TiCpuSweep,
+    ::testing::Combine(::testing::Values(30, 100, 320),
+                       ::testing::Values(2, 9, 33),
+                       ::testing::Values(1, 5, 17)));
+
+}  // namespace
+}  // namespace sweetknn::baseline

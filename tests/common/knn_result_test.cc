@@ -1,0 +1,70 @@
+#include "common/knn_result.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace sweetknn {
+namespace {
+
+TEST(KnnResultTest, Dimensions) {
+  KnnResult result(10, 3);
+  EXPECT_EQ(result.k(), 3);
+  EXPECT_EQ(result.num_queries(), 10u);
+}
+
+TEST(KnnResultTest, SetRowStoresSorted) {
+  KnnResult result(2, 3);
+  result.SetRow(0, {{4, 0.1f}, {7, 0.2f}, {9, 0.3f}});
+  EXPECT_EQ(result.row(0)[0].index, 4u);
+  EXPECT_EQ(result.row(0)[2].index, 9u);
+}
+
+TEST(KnnResultTest, SetRowPadsShortLists) {
+  KnnResult result(1, 4);
+  result.SetRow(0, {{1, 0.5f}});
+  EXPECT_EQ(result.row(0)[0].index, 1u);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(result.row(0)[i].index, kInvalidNeighbor);
+    EXPECT_TRUE(std::isinf(result.row(0)[i].distance));
+  }
+}
+
+TEST(KnnResultTest, MatchIgnoresIndexOnEqualDistance) {
+  KnnResult a(1, 2);
+  KnnResult b(1, 2);
+  a.SetRow(0, {{1, 0.5f}, {2, 0.7f}});
+  b.SetRow(0, {{9, 0.5f}, {8, 0.7f}});
+  EXPECT_TRUE(ResultsMatch(a, b));
+}
+
+TEST(KnnResultTest, MismatchDetected) {
+  KnnResult a(1, 2);
+  KnnResult b(1, 2);
+  a.SetRow(0, {{1, 0.5f}, {2, 0.7f}});
+  b.SetRow(0, {{1, 0.5f}, {2, 0.9f}});
+  std::string description;
+  EXPECT_EQ(CountResultMismatches(a, b, 1e-4f, &description), 1u);
+  EXPECT_NE(description.find("rank 1"), std::string::npos);
+}
+
+TEST(KnnResultTest, ToleranceIsRelative) {
+  KnnResult a(1, 1);
+  KnnResult b(1, 1);
+  a.SetRow(0, {{1, 1000.0f}});
+  b.SetRow(0, {{1, 1000.05f}});
+  // 0.05 absolute, but 5e-5 relative: passes at 1e-4 tolerance.
+  EXPECT_TRUE(ResultsMatch(a, b, 1e-4f));
+  EXPECT_FALSE(ResultsMatch(a, b, 1e-6f));
+}
+
+TEST(KnnResultTest, InfinitePaddingMatches) {
+  KnnResult a(1, 2);
+  KnnResult b(1, 2);
+  a.SetRow(0, {{1, 0.5f}});
+  b.SetRow(0, {{1, 0.5f}});
+  EXPECT_TRUE(ResultsMatch(a, b));
+}
+
+}  // namespace
+}  // namespace sweetknn

@@ -1,0 +1,54 @@
+#include "common/logging.h"
+
+#include "gtest/gtest.h"
+
+namespace sweetknn {
+namespace {
+
+TEST(LoggingTest, MinSeverityRoundTrip) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(original);
+}
+
+TEST(LoggingTest, InfoMessagesDoNotAbort) {
+  SK_LOG(Info) << "informational " << 42;
+  SK_LOG(Warning) << "warning";
+  SK_LOG(Error) << "error (non-fatal)";
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH(SK_LOG(Fatal) << "boom", "boom");
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  const int x = 1;
+  EXPECT_DEATH(SK_CHECK(x == 2) << "x was " << x, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckOpPrintsOperands) {
+  EXPECT_DEATH(SK_CHECK_EQ(3, 4), "3 vs 4");
+  EXPECT_DEATH(SK_CHECK_LT(9, 2), "9 vs 2");
+}
+
+TEST(LoggingTest, PassingChecksAreSilent) {
+  SK_CHECK(true);
+  SK_CHECK_EQ(1, 1);
+  SK_CHECK_NE(1, 2);
+  SK_CHECK_LE(1, 1);
+  SK_CHECK_GE(2, 1);
+  SK_CHECK_GT(2, 1);
+  SK_CHECK_LT(1, 2);
+}
+
+TEST(LoggingTest, DcheckActiveMatchesBuildMode) {
+#ifdef NDEBUG
+  SK_DCHECK(false);  // Compiled out in release builds.
+#else
+  EXPECT_DEATH(SK_DCHECK(false), "Check failed");
+#endif
+}
+
+}  // namespace
+}  // namespace sweetknn

@@ -1,0 +1,84 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace sweetknn {
+namespace {
+
+TEST(HostMatrixTest, DefaultIsEmpty) {
+  HostMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(HostMatrixTest, ZeroInitialized) {
+  HostMatrix m(3, 4);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(m.at(r, c), 0.0f);
+    }
+  }
+}
+
+TEST(HostMatrixTest, RowMajorLayout) {
+  HostMatrix m(2, 3);
+  m.at(1, 2) = 7.0f;
+  EXPECT_EQ(m.data()[1 * 3 + 2], 7.0f);
+  EXPECT_EQ(m.row(1)[2], 7.0f);
+}
+
+TEST(HostMatrixTest, MutableRowWrites) {
+  HostMatrix m(2, 2);
+  m.mutable_row(0)[1] = 3.0f;
+  EXPECT_EQ(m.at(0, 1), 3.0f);
+}
+
+TEST(DistanceTest, KnownValues) {
+  const float a[] = {0.0f, 0.0f};
+  const float b[] = {3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(SquaredDistance(a, b, 2), 25.0f);
+  EXPECT_FLOAT_EQ(EuclideanDistance(a, b, 2), 5.0f);
+}
+
+TEST(DistanceTest, SelfDistanceIsZero) {
+  const float a[] = {1.5f, -2.0f, 0.25f};
+  EXPECT_FLOAT_EQ(EuclideanDistance(a, a, 3), 0.0f);
+}
+
+TEST(DistanceTest, SymmetryProperty) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    float a[8];
+    float b[8];
+    for (int i = 0; i < 8; ++i) {
+      a[i] = rng.NextFloat();
+      b[i] = rng.NextFloat();
+    }
+    EXPECT_FLOAT_EQ(EuclideanDistance(a, b, 8), EuclideanDistance(b, a, 8));
+  }
+}
+
+TEST(DistanceTest, TriangleInequalityProperty) {
+  Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    float a[4];
+    float b[4];
+    float c[4];
+    for (int i = 0; i < 4; ++i) {
+      a[i] = rng.NextFloat();
+      b[i] = rng.NextFloat();
+      c[i] = rng.NextFloat();
+    }
+    const float ab = EuclideanDistance(a, b, 4);
+    const float bc = EuclideanDistance(b, c, 4);
+    const float ac = EuclideanDistance(a, c, 4);
+    EXPECT_LE(ac, ab + bc + 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace sweetknn

@@ -1,0 +1,100 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace sweetknn {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, FloatInUnitInterval) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.NextFloat();
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, GaussianMomentsAreRoughlyStandard) {
+  Rng rng(10);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(SplitMixTest, IsDeterministicAndSpreads) {
+  EXPECT_EQ(SplitMix64(1), SplitMix64(1));
+  EXPECT_NE(SplitMix64(1), SplitMix64(2));
+  // Avalanche sanity: flipping one input bit flips many output bits.
+  const uint64_t a = SplitMix64(0x1234);
+  const uint64_t b = SplitMix64(0x1235);
+  int diff_bits = __builtin_popcountll(a ^ b);
+  EXPECT_GT(diff_bits, 16);
+}
+
+TEST(PairHashTest, DeterministicUnitRange) {
+  EXPECT_EQ(PairHash01(3, 4), PairHash01(3, 4));
+  EXPECT_NE(PairHash01(3, 4), PairHash01(4, 3));
+  for (uint64_t a = 0; a < 30; ++a) {
+    for (uint64_t b = 0; b < 30; ++b) {
+      const float v = PairHash01(a, b);
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LT(v, 1.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sweetknn

@@ -1,0 +1,145 @@
+#include "common/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace sweetknn {
+namespace {
+
+TEST(TopKTest, EmptyHeapHasInfiniteMax) {
+  TopK heap(3);
+  EXPECT_EQ(heap.size(), 0);
+  EXPECT_FALSE(heap.full());
+  EXPECT_TRUE(std::isinf(heap.max()));
+}
+
+TEST(TopKTest, FillsUpToK) {
+  TopK heap(2);
+  EXPECT_TRUE(heap.PushIfCloser({0, 5.0f}));
+  EXPECT_FALSE(heap.full());
+  EXPECT_TRUE(heap.PushIfCloser({1, 7.0f}));
+  EXPECT_TRUE(heap.full());
+  EXPECT_FLOAT_EQ(heap.max(), 7.0f);
+}
+
+TEST(TopKTest, RejectsWorseCandidatesWhenFull) {
+  TopK heap(2);
+  heap.PushIfCloser({0, 1.0f});
+  heap.PushIfCloser({1, 2.0f});
+  EXPECT_FALSE(heap.PushIfCloser({2, 3.0f}));
+  EXPECT_FLOAT_EQ(heap.max(), 2.0f);
+}
+
+TEST(TopKTest, EvictsMaxOnBetterCandidate) {
+  TopK heap(2);
+  heap.PushIfCloser({0, 1.0f});
+  heap.PushIfCloser({1, 2.0f});
+  EXPECT_TRUE(heap.PushIfCloser({2, 1.5f}));
+  EXPECT_FLOAT_EQ(heap.max(), 1.5f);
+  const auto sorted = heap.Sorted();
+  EXPECT_EQ(sorted[0].index, 0u);
+  EXPECT_EQ(sorted[1].index, 2u);
+}
+
+TEST(TopKTest, TieBreaksOnIndex) {
+  TopK heap(1);
+  heap.PushIfCloser({5, 1.0f});
+  // Equal distance, smaller index wins.
+  EXPECT_TRUE(heap.PushIfCloser({2, 1.0f}));
+  EXPECT_EQ(heap.Sorted()[0].index, 2u);
+  // Equal distance, larger index loses.
+  EXPECT_FALSE(heap.PushIfCloser({9, 1.0f}));
+}
+
+TEST(TopKTest, SortedIsAscending) {
+  Rng rng(11);
+  TopK heap(8);
+  for (int i = 0; i < 100; ++i) {
+    heap.PushIfCloser({static_cast<uint32_t>(i), rng.NextFloat()});
+  }
+  const auto sorted = heap.Sorted();
+  ASSERT_EQ(sorted.size(), 8u);
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LE(sorted[i - 1].distance, sorted[i].distance);
+  }
+}
+
+// Property: TopK over a random stream equals sort-based selection.
+class TopKPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopKPropertyTest, MatchesSortBasedSelection) {
+  const int k = GetParam();
+  Rng rng(static_cast<uint64_t>(k) * 977);
+  std::vector<Neighbor> all;
+  TopK heap(k);
+  for (uint32_t i = 0; i < 500; ++i) {
+    const Neighbor n{i, rng.NextFloat()};
+    all.push_back(n);
+    heap.PushIfCloser(n);
+  }
+  std::sort(all.begin(), all.end(), NeighborLess);
+  const auto sorted = heap.Sorted();
+  ASSERT_EQ(sorted.size(), static_cast<size_t>(std::min(k, 500)));
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i], all[i]) << "rank " << i << " for k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TopKPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 20, 64, 100, 499,
+                                           500, 501));
+
+TEST(MergeSortedTopKTest, MergesDisjointLists) {
+  std::vector<std::vector<Neighbor>> lists = {
+      {{0, 0.1f}, {1, 0.4f}},
+      {{2, 0.2f}, {3, 0.5f}},
+      {{4, 0.3f}},
+  };
+  const auto merged = MergeSortedTopK(lists, 3);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].index, 0u);
+  EXPECT_EQ(merged[1].index, 2u);
+  EXPECT_EQ(merged[2].index, 4u);
+}
+
+TEST(MergeSortedTopKTest, DropsExactDuplicates) {
+  std::vector<std::vector<Neighbor>> lists = {
+      {{7, 0.1f}, {8, 0.2f}},
+      {{7, 0.1f}, {9, 0.3f}},
+  };
+  const auto merged = MergeSortedTopK(lists, 4);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].index, 7u);
+}
+
+TEST(MergeSortedTopKTest, HandlesEmptyLists) {
+  std::vector<std::vector<Neighbor>> lists = {{}, {{1, 0.5f}}, {}};
+  const auto merged = MergeSortedTopK(lists, 2);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].index, 1u);
+}
+
+TEST(MergeSortedTopKTest, PropertyMatchesGlobalSelection) {
+  Rng rng(42);
+  std::vector<std::vector<Neighbor>> lists(6);
+  std::vector<Neighbor> all;
+  uint32_t id = 0;
+  for (auto& list : lists) {
+    for (int i = 0; i < 20; ++i) {
+      list.push_back({id++, rng.NextFloat()});
+    }
+    std::sort(list.begin(), list.end(), NeighborLess);
+    all.insert(all.end(), list.begin(), list.end());
+  }
+  std::sort(all.begin(), all.end(), NeighborLess);
+  const auto merged = MergeSortedTopK(lists, 15);
+  ASSERT_EQ(merged.size(), 15u);
+  for (size_t i = 0; i < merged.size(); ++i) EXPECT_EQ(merged[i], all[i]);
+}
+
+}  // namespace
+}  // namespace sweetknn

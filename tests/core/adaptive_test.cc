@@ -1,0 +1,121 @@
+#include "core/adaptive.h"
+
+#include "gtest/gtest.h"
+
+namespace sweetknn::core {
+namespace {
+
+const gpusim::DeviceSpec kSpec = gpusim::DeviceSpec::TeslaK20c();
+
+TEST(AdaptiveTest, PlacementThresholdsMatchPaperValues) {
+  // Paper IV-D2: th1 = 48KB / 2048 = 24 bytes, th2 = 255 * 4 = 1020.
+  EXPECT_EQ(PlacementThreshold1(kSpec), 24);
+  EXPECT_EQ(PlacementThreshold2(kSpec), 1020);
+}
+
+TEST(AdaptiveTest, FilterRuleKOverD) {
+  TiOptions options;
+  // k=512, d=29: k/d = 17.7 > 8 -> partial.
+  EXPECT_EQ(DecideConfiguration(kSpec, options, 10000, 10000, 29, 512, 300)
+                .filter,
+            Level2Filter::kPartial);
+  // k=512, d=281: k/d = 1.8 -> full.
+  EXPECT_EQ(DecideConfiguration(kSpec, options, 10000, 10000, 281, 512, 300)
+                .filter,
+            Level2Filter::kFull);
+  // k=20, d=4: k/d = 5 -> full (matches the paper: partial only at 512).
+  EXPECT_EQ(
+      DecideConfiguration(kSpec, options, 10000, 10000, 4, 20, 300).filter,
+      Level2Filter::kFull);
+}
+
+TEST(AdaptiveTest, PlacementFollowsFig8) {
+  TiOptions options;
+  // 4k <= 24 -> shared memory.
+  EXPECT_EQ(DecideConfiguration(kSpec, options, 10000, 10000, 32, 6, 300)
+                .placement,
+            KnearestsPlacement::kShared);
+  // 24 < 4k <= 1020 -> registers.
+  EXPECT_EQ(DecideConfiguration(kSpec, options, 10000, 10000, 32, 20, 300)
+                .placement,
+            KnearestsPlacement::kRegisters);
+  EXPECT_EQ(DecideConfiguration(kSpec, options, 10000, 10000, 32, 255, 300)
+                .placement,
+            KnearestsPlacement::kRegisters);
+  // 4k > 1020 -> global memory.
+  EXPECT_EQ(DecideConfiguration(kSpec, options, 10000, 10000, 32, 256, 300)
+                .placement,
+            KnearestsPlacement::kGlobal);
+}
+
+TEST(AdaptiveTest, LargeQuerySetsUseQueryParallelism) {
+  TiOptions options;
+  // r * max_cur = 0.25 * 26624 = 6656; |Q| = 10000 >= 6656.
+  const AdaptiveDecision d =
+      DecideConfiguration(kSpec, options, 10000, 10000, 32, 20, 300);
+  EXPECT_EQ(d.threads_per_query, 1);
+  EXPECT_EQ(d.inner_stride, 1);
+}
+
+TEST(AdaptiveTest, ArceneScaleMatchesPaperExample) {
+  // Paper IV-D3: 2048*13/(4*100) = 66 threads per query for arcene; the
+  // inner factor follows |T|/|CT| = 100/30 ~ 3.
+  TiOptions options;
+  const AdaptiveDecision d =
+      DecideConfiguration(kSpec, options, 100, 100, 10000, 20, 30);
+  EXPECT_EQ(d.threads_per_query, 66);
+  EXPECT_EQ(d.inner_stride, 3);
+}
+
+TEST(AdaptiveTest, DorScaleMatchesPaperExample) {
+  // Paper: (2048*13)/(4*1950) = 3.4 -> a handful of threads per query.
+  TiOptions options;
+  const AdaptiveDecision d =
+      DecideConfiguration(kSpec, options, 1950, 1950, 100000, 20, 132);
+  EXPECT_GE(d.threads_per_query, 3);
+  EXPECT_LE(d.threads_per_query, 4);
+}
+
+TEST(AdaptiveTest, OverridesAreHonoredExactly) {
+  TiOptions options;
+  options.filter_override = Level2Filter::kPartial;
+  options.placement_override = KnearestsPlacement::kShared;
+  options.threads_per_query_override = 8;
+  const AdaptiveDecision d =
+      DecideConfiguration(kSpec, options, 100, 100, 64, 20, 30);
+  EXPECT_EQ(d.filter, Level2Filter::kPartial);
+  EXPECT_EQ(d.placement, KnearestsPlacement::kShared);
+  EXPECT_EQ(d.threads_per_query, 8);
+  EXPECT_EQ(8 % d.inner_stride, 0);  // Must divide the forced count.
+}
+
+TEST(AdaptiveTest, PartialFilterDisablesMultiThreading) {
+  TiOptions options;  // k/d > 8 with few queries.
+  const AdaptiveDecision d =
+      DecideConfiguration(kSpec, options, 100, 100, 4, 64, 30);
+  EXPECT_EQ(d.filter, Level2Filter::kPartial);
+  EXPECT_EQ(d.threads_per_query, 1);
+}
+
+TEST(AdaptiveTest, DisabledElasticityForcesSingleThread) {
+  TiOptions options = TiOptions::BasicTi();
+  const AdaptiveDecision d =
+      DecideConfiguration(kSpec, options, 100, 100, 64, 20, 30);
+  EXPECT_EQ(d.threads_per_query, 1);
+}
+
+TEST(AdaptiveTest, InnerStrideDividesThreadsPerQuery) {
+  TiOptions options;
+  for (size_t nq : {37, 100, 500, 1000, 3000}) {
+    for (int ct : {3, 10, 55, 200}) {
+      const AdaptiveDecision d =
+          DecideConfiguration(kSpec, options, nq, 4096, 64, 20, ct);
+      ASSERT_GT(d.inner_stride, 0);
+      EXPECT_EQ(d.threads_per_query % d.inner_stride, 0)
+          << "nq=" << nq << " ct=" << ct;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sweetknn::core

@@ -1,0 +1,131 @@
+#include "core/knearests_sim.h"
+
+#include "common/rng.h"
+#include "common/topk.h"
+#include "gpusim/device.h"
+#include "gtest/gtest.h"
+
+namespace sweetknn::core {
+namespace {
+
+class KnearestsSimTest : public ::testing::Test {
+ protected:
+  KnearestsSimTest() : dev_(gpusim::DeviceSpec::TeslaK20c()) {}
+
+  /// Runs one warp feeding `stream` candidates to every lane and returns
+  /// the stats; `out` receives lane 0's final sorted neighbors.
+  gpusim::KernelStats Run(int k, KnearestsPlacement placement,
+                          KnearestsLayout layout,
+                          const std::vector<Neighbor>& stream,
+                          std::vector<Neighbor>* out) {
+    gpusim::DeviceBuffer<float> pool;
+    if (placement == KnearestsPlacement::kGlobal) {
+      pool = dev_.Alloc<float>(32 * static_cast<size_t>(k), "pool");
+    }
+    const auto& rec = dev_.Launch(
+        gpusim::KernelMeta{"knear", 32, 0}, gpusim::LaunchConfig{1, 32},
+        [&](gpusim::Warp& w) {
+          KnearestsSim knear(
+              k, placement, layout,
+              placement == KnearestsPlacement::kGlobal ? &pool : nullptr,
+              32);
+          knear.InitInfinity(w);
+          for (const Neighbor& n : stream) {
+            gpusim::Reg<float> dist;
+            gpusim::Reg<uint32_t> idx;
+            w.Op([&](int lane) {
+              dist[lane] = n.distance;
+              idx[lane] = n.index;
+            });
+            knear.TryInsert(w, dist, idx, [](int lane) { return lane; });
+          }
+          knear.ExtractSorted(w);
+          if (out != nullptr) *out = knear.Lane(0);
+        });
+    return rec.stats;
+  }
+
+  gpusim::Device dev_;
+};
+
+TEST_F(KnearestsSimTest, MatchesTopKSelection) {
+  Rng rng(7);
+  std::vector<Neighbor> stream;
+  TopK oracle(5);
+  for (uint32_t i = 0; i < 200; ++i) {
+    const Neighbor n{i, rng.NextFloat()};
+    stream.push_back(n);
+    oracle.PushIfCloser(n);
+  }
+  std::vector<Neighbor> got;
+  Run(5, KnearestsPlacement::kRegisters, KnearestsLayout::kInterleaved,
+      stream, &got);
+  const auto expected = oracle.Sorted();
+  ASSERT_EQ(got.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(got[i], expected[i]);
+}
+
+TEST_F(KnearestsSimTest, PlaceholdersRemainWhenStreamIsShort) {
+  std::vector<Neighbor> got;
+  Run(4, KnearestsPlacement::kRegisters, KnearestsLayout::kInterleaved,
+      {{9, 0.5f}}, &got);
+  EXPECT_EQ(got[0].index, 9u);
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(got[i].index, kInvalidNeighbor);
+  }
+}
+
+TEST_F(KnearestsSimTest, GlobalPlacementChargesMemory) {
+  Rng rng(8);
+  std::vector<Neighbor> stream;
+  for (uint32_t i = 0; i < 100; ++i) stream.push_back({i, rng.NextFloat()});
+  const auto regs = Run(8, KnearestsPlacement::kRegisters,
+                        KnearestsLayout::kInterleaved, stream, nullptr);
+  const auto global = Run(8, KnearestsPlacement::kGlobal,
+                          KnearestsLayout::kInterleaved, stream, nullptr);
+  EXPECT_GT(global.global_transactions, regs.global_transactions);
+}
+
+TEST_F(KnearestsSimTest, InterleavedBeatsBlockedAtSmallK) {
+  // Paper Fig. 6: layout 2 (interleaved) coalesces the scan.
+  Rng rng(9);
+  std::vector<Neighbor> stream;
+  for (uint32_t i = 0; i < 200; ++i) stream.push_back({i, rng.NextFloat()});
+  const auto blocked = Run(20, KnearestsPlacement::kGlobal,
+                           KnearestsLayout::kBlocked, stream, nullptr);
+  const auto inter = Run(20, KnearestsPlacement::kGlobal,
+                         KnearestsLayout::kInterleaved, stream, nullptr);
+  EXPECT_LT(inter.global_transactions, blocked.global_transactions);
+}
+
+TEST_F(KnearestsSimTest, InsertionCostGrowsWithK) {
+  // The linear-array update makes each insertion O(k) — the effect the
+  // partial filter exploits at large k (paper IV-B1).
+  Rng rng(10);
+  std::vector<Neighbor> stream;
+  for (uint32_t i = 0; i < 300; ++i) stream.push_back({i, rng.NextFloat()});
+  const auto k_small = Run(8, KnearestsPlacement::kRegisters,
+                           KnearestsLayout::kInterleaved, stream, nullptr);
+  const auto k_large = Run(128, KnearestsPlacement::kRegisters,
+                           KnearestsLayout::kInterleaved, stream, nullptr);
+  EXPECT_GT(k_large.warp_instructions, 2 * k_small.warp_instructions);
+}
+
+TEST_F(KnearestsSimTest, ResourceAccounting) {
+  EXPECT_EQ(KnearestsSim::RegistersForPlacement(
+                KnearestsPlacement::kRegisters, 20, 44),
+            64);
+  EXPECT_EQ(
+      KnearestsSim::RegistersForPlacement(KnearestsPlacement::kGlobal, 20,
+                                          44),
+      44);
+  EXPECT_EQ(KnearestsSim::SharedBytesForPlacement(
+                KnearestsPlacement::kShared, 6, 256),
+            256 * 24);
+  EXPECT_EQ(KnearestsSim::SharedBytesForPlacement(
+                KnearestsPlacement::kRegisters, 6, 256),
+            0);
+}
+
+}  // namespace
+}  // namespace sweetknn::core

@@ -1,0 +1,133 @@
+#include "core/level1.h"
+
+#include <algorithm>
+
+#include "baseline/brute_force_cpu.h"
+#include "core/ti_bounds.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace sweetknn::core {
+namespace {
+
+using testing::ClusteredPoints;
+
+struct Level1Fixture {
+  gpusim::Device dev{gpusim::DeviceSpec::TeslaK20c()};
+  HostMatrix points;
+  DevicePoints d_points;
+  QueryClustering qc;
+  TargetClustering tc;
+  Level1Result l1;
+  KnnResult truth;
+  int k;
+
+  Level1Fixture(size_t n, size_t dims, int k_in, uint64_t seed)
+      : points(ClusteredPoints(n, dims, 5, seed)), k(k_in) {
+    d_points =
+        DevicePoints::Upload(&dev, points, PointLayout::kRowMajor, "p");
+    ClusteringConfig cfg;
+    tc = BuildTargetClustering(&dev, d_points, cfg);
+    qc = QueryClusteringFromTarget(&dev, d_points, tc);
+    l1 = RunLevel1(&dev, qc, tc, k, 256);
+    truth = baseline::BruteForceCpu(points, points, k);
+  }
+};
+
+// The central soundness invariant: the per-cluster upper bound must
+// dominate every member query's true kth-nearest distance. (The bug that
+// motivated the kNearests-seeding deviation was caught by exactly this
+// property.)
+TEST(Level1Test, ClusterUbDominatesTrueKthDistance) {
+  Level1Fixture f(400, 8, 5, 101);
+  for (size_t q = 0; q < 400; ++q) {
+    const uint32_t cid = f.qc.assignment[q];
+    EXPECT_GE(f.l1.cluster_ub[cid] + 1e-5f, f.truth.row(q)[f.k - 1].distance)
+        << "query " << q;
+  }
+}
+
+TEST(Level1Test, PooledKubsDominateRankwise) {
+  Level1Fixture f(300, 6, 4, 102);
+  for (size_t q = 0; q < 300; ++q) {
+    const uint32_t cid = f.qc.assignment[q];
+    std::vector<float> kubs(static_cast<size_t>(f.k));
+    for (int j = 0; j < f.k; ++j) {
+      kubs[static_cast<size_t>(j)] =
+          f.l1.cluster_kubs[cid * static_cast<uint32_t>(f.k) +
+                            static_cast<uint32_t>(j)];
+    }
+    std::sort(kubs.begin(), kubs.end());
+    for (int j = 0; j < f.k; ++j) {
+      EXPECT_GE(kubs[static_cast<size_t>(j)] + 1e-5f,
+                f.truth.row(q)[j].distance)
+          << "query " << q << " rank " << j;
+    }
+  }
+}
+
+// Completeness: every target cluster that holds one of a query's true k
+// nearest neighbors must survive the group filter for that query's
+// cluster.
+TEST(Level1Test, CandidatesCoverTrueNeighborClusters) {
+  Level1Fixture f(350, 7, 6, 103);
+  // Build target-point -> cluster map.
+  std::vector<uint32_t> cluster_of(350);
+  for (int c = 0; c < f.tc.num_clusters; ++c) {
+    for (uint32_t i = f.tc.member_offsets[c]; i < f.tc.member_offsets[c + 1];
+         ++i) {
+      cluster_of[f.tc.member_ids[i]] = static_cast<uint32_t>(c);
+    }
+  }
+  for (size_t q = 0; q < 350; ++q) {
+    const uint32_t cid = f.qc.assignment[q];
+    std::set<uint32_t> candidates;
+    for (uint32_t i = f.l1.cand_offsets[cid]; i < f.l1.cand_offsets[cid + 1];
+         ++i) {
+      candidates.insert(f.l1.cand_clusters[i]);
+    }
+    for (int j = 0; j < f.k; ++j) {
+      const uint32_t neighbor = f.truth.row(q)[j].index;
+      EXPECT_TRUE(candidates.count(cluster_of[neighbor]))
+          << "query " << q << " neighbor " << neighbor;
+    }
+  }
+}
+
+TEST(Level1Test, CandidateListsSortedByCenterDistance) {
+  Level1Fixture f(300, 5, 5, 104);
+  for (int cq = 0; cq < f.qc.num_clusters; ++cq) {
+    float prev = -1.0f;
+    for (uint32_t i = f.l1.cand_offsets[cq]; i < f.l1.cand_offsets[cq + 1];
+         ++i) {
+      EXPECT_GE(f.l1.cand_center_dist[i], prev);
+      prev = f.l1.cand_center_dist[i];
+    }
+  }
+}
+
+TEST(Level1Test, CandidateDistancesAreExactCenterDistances) {
+  Level1Fixture f(250, 4, 3, 105);
+  for (int cq = 0; cq < f.qc.num_clusters; ++cq) {
+    for (uint32_t i = f.l1.cand_offsets[cq]; i < f.l1.cand_offsets[cq + 1];
+         ++i) {
+      const float expected =
+          AccessorDistance(f.qc.centers.HostPoint(static_cast<size_t>(cq)),
+                           f.tc.centers.HostPoint(f.l1.cand_clusters[i]), 4);
+      EXPECT_NEAR(f.l1.cand_center_dist[i], expected, 1e-5f);
+    }
+  }
+}
+
+TEST(Level1Test, FilteringActuallyExcludesClusters) {
+  // On clustered data the group filter must drop a large share of the
+  // mq x mt pairs.
+  Level1Fixture f(500, 8, 5, 106);
+  const uint64_t pairs = static_cast<uint64_t>(f.qc.num_clusters) *
+                         static_cast<uint64_t>(f.tc.num_clusters);
+  EXPECT_LT(f.l1.total_candidates, pairs / 2);
+  EXPECT_GT(f.l1.total_candidates, 0u);
+}
+
+}  // namespace
+}  // namespace sweetknn::core

@@ -1,0 +1,133 @@
+#include "core/level2.h"
+
+#include "baseline/brute_force_cpu.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace sweetknn::core {
+namespace {
+
+using testing::ClusteredPoints;
+using testing::ExpectResultsMatch;
+
+struct Level2Fixture {
+  gpusim::Device dev{gpusim::DeviceSpec::TeslaK20c()};
+  HostMatrix points;
+  DevicePoints d_points;
+  QueryClustering qc;
+  TargetClustering tc;
+  Level1Result l1;
+  int k;
+
+  Level2Fixture(size_t n, size_t dims, int k_in, uint64_t seed)
+      : points(ClusteredPoints(n, dims, 5, seed)), k(k_in) {
+    d_points =
+        DevicePoints::Upload(&dev, points, PointLayout::kRowMajor, "p");
+    ClusteringConfig cfg;
+    tc = BuildTargetClustering(&dev, d_points, cfg);
+    qc = QueryClusteringFromTarget(&dev, d_points, tc);
+    l1 = RunLevel1(&dev, qc, tc, k, 256);
+  }
+
+  Level2Config Config(Level2Filter filter) const {
+    Level2Config cfg;
+    cfg.k = k;
+    cfg.filter = filter;
+    cfg.placement = KnearestsPlacement::kRegisters;
+    cfg.remap = true;
+    cfg.threads_per_query = 1;
+    cfg.inner_stride = 1;
+    return cfg;
+  }
+};
+
+TEST(Level2Test, PartitionedRunsEqualSingleRun) {
+  Level2Fixture f(300, 6, 5, 111);
+  const Level2Config cfg = f.Config(Level2Filter::kFull);
+
+  KnnResult whole(300, f.k);
+  Level2Stats stats_whole;
+  RunLevel2(&f.dev, f.d_points, f.d_points, f.qc, f.tc, f.l1, cfg, 0, 300,
+            &whole, &stats_whole);
+
+  KnnResult split(300, f.k);
+  Level2Stats stats_split;
+  RunLevel2(&f.dev, f.d_points, f.d_points, f.qc, f.tc, f.l1, cfg, 0, 120,
+            &split, &stats_split);
+  RunLevel2(&f.dev, f.d_points, f.d_points, f.qc, f.tc, f.l1, cfg, 120, 300,
+            &split, &stats_split);
+
+  ExpectResultsMatch(whole, split);
+  EXPECT_EQ(stats_whole.distance_calcs, stats_split.distance_calcs);
+}
+
+TEST(Level2Test, PartialAndFullFiltersAgree) {
+  Level2Fixture f(280, 5, 6, 112);
+  KnnResult full(280, f.k);
+  Level2Stats s_full;
+  RunLevel2(&f.dev, f.d_points, f.d_points, f.qc, f.tc, f.l1,
+            f.Config(Level2Filter::kFull), 0, 280, &full, &s_full);
+  KnnResult partial(280, f.k);
+  Level2Stats s_partial;
+  RunLevel2(&f.dev, f.d_points, f.d_points, f.qc, f.tc, f.l1,
+            f.Config(Level2Filter::kPartial), 0, 280, &partial, &s_partial);
+  ExpectResultsMatch(full, partial);
+  ExpectResultsMatch(baseline::BruteForceCpu(f.points, f.points, f.k),
+                     partial);
+  // The frozen-theta partial filter computes at least as many distances.
+  EXPECT_GE(s_partial.distance_calcs, s_full.distance_calcs);
+}
+
+TEST(Level2Test, MultiThreadVariantsAgree) {
+  Level2Fixture f(96, 8, 4, 113);
+  const KnnResult expected = baseline::BruteForceCpu(f.points, f.points,
+                                                     f.k);
+  for (const auto& [tpq, fi] : {std::pair<int, int>{4, 2},
+                               std::pair<int, int>{8, 4},
+                               std::pair<int, int>{6, 3},
+                               std::pair<int, int>{16, 1}}) {
+    Level2Config cfg = f.Config(Level2Filter::kFull);
+    cfg.threads_per_query = tpq;
+    cfg.inner_stride = fi;
+    KnnResult result(96, f.k);
+    Level2Stats stats;
+    RunLevel2(&f.dev, f.d_points, f.d_points, f.qc, f.tc, f.l1, cfg, 0, 96,
+              &result, &stats);
+    ExpectResultsMatch(expected, result);
+  }
+}
+
+TEST(Level2Test, SavedComputationsReportedAgainstTotalPairs) {
+  Level2Fixture f(320, 6, 5, 114);
+  KnnResult result(320, f.k);
+  Level2Stats stats;
+  RunLevel2(&f.dev, f.d_points, f.d_points, f.qc, f.tc, f.l1,
+            f.Config(Level2Filter::kFull), 0, 320, &result, &stats);
+  EXPECT_GT(stats.distance_calcs, 0u);
+  EXPECT_LT(stats.distance_calcs, 320u * 320u / 2);
+}
+
+TEST(Level2Test, BufferBytesCoversFullFilterAllocations) {
+  Level2Fixture f(200, 4, 8, 115);
+  Level2Config cfg = f.Config(Level2Filter::kFull);
+  cfg.placement = KnearestsPlacement::kGlobal;
+  cfg.threads_per_query = 4;
+  cfg.inner_stride = 2;
+  const size_t estimate =
+      Level2BufferBytes(cfg, f.qc, f.tc, f.l1, 0, 200);
+  // out (200*8*8) + global pool (800*8*4) + partial heaps (800*8*8) +
+  // theta (800).
+  EXPECT_GE(estimate, 200u * 8 * 8 + 800u * 8 * 4 + 800u * 8 * 8);
+}
+
+TEST(Level2Test, BufferBytesGrowsWithSurvivorCapacityForPartial) {
+  Level2Fixture f(200, 4, 8, 116);
+  const size_t partial_bytes = Level2BufferBytes(
+      f.Config(Level2Filter::kPartial), f.qc, f.tc, f.l1, 0, 200);
+  const size_t full_bytes = Level2BufferBytes(
+      f.Config(Level2Filter::kFull), f.qc, f.tc, f.l1, 0, 200);
+  EXPECT_GT(partial_bytes, full_bytes);
+}
+
+}  // namespace
+}  // namespace sweetknn::core

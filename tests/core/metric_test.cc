@@ -1,0 +1,102 @@
+#include "baseline/brute_force_cpu.h"
+
+#include "common/rng.h"
+#include "core/sweet_knn.h"
+#include "core/ti_bounds.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace sweetknn::core {
+namespace {
+
+using testing::ClusteredPoints;
+using testing::ExpectResultsMatch;
+
+TEST(MetricTest, ManhattanAccessorDistance) {
+  const float a[] = {0.0f, 0.0f, 1.0f};
+  const float b[] = {3.0f, -4.0f, 1.0f};
+  EXPECT_FLOAT_EQ(AccessorDistance(PointAccessor{a, 1}, PointAccessor{b, 1},
+                                   3, Metric::kManhattan),
+                  7.0f);
+  EXPECT_FLOAT_EQ(AccessorDistance(PointAccessor{a, 1}, PointAccessor{b, 1},
+                                   3, Metric::kEuclidean),
+                  5.0f);
+}
+
+TEST(MetricTest, ManhattanSatisfiesTriangleInequality) {
+  Rng rng(171);
+  for (int trial = 0; trial < 200; ++trial) {
+    float p[3][4];
+    for (auto& point : p) {
+      for (float& v : point) v = rng.NextFloat();
+    }
+    auto dist = [&](int i, int j) {
+      return AccessorDistance(PointAccessor{p[i], 1},
+                              PointAccessor{p[j], 1}, 4,
+                              Metric::kManhattan);
+    };
+    EXPECT_LE(dist(0, 2), dist(0, 1) + dist(1, 2) + 1e-5f);
+  }
+}
+
+TEST(MetricTest, SweetKnnExactUnderManhattan) {
+  const HostMatrix points = ClusteredPoints(300, 6, 5, 172);
+  SweetKnn::Config config;
+  config.options.metric = Metric::kManhattan;
+  SweetKnn knn(config);
+  KnnRunStats stats;
+  const KnnResult result = knn.SelfJoin(points, 5, &stats);
+  ExpectResultsMatch(
+      baseline::BruteForceCpu(points, points, 5, Metric::kManhattan),
+      result);
+  // TI filtering still prunes under L1.
+  EXPECT_GT(stats.SavedFraction(), 0.5);
+}
+
+TEST(MetricTest, BasicTiExactUnderManhattan) {
+  const HostMatrix points = ClusteredPoints(250, 4, 4, 173);
+  TiOptions options = TiOptions::BasicTi();
+  options.metric = Metric::kManhattan;
+  gpusim::Device dev(gpusim::DeviceSpec::TeslaK20c());
+  ExpectResultsMatch(
+      baseline::BruteForceCpu(points, points, 4, Metric::kManhattan),
+      TiKnnEngine::RunOnce(&dev, points, points, 4, options, nullptr));
+}
+
+TEST(MetricTest, MetricsProduceDifferentNeighborSets) {
+  // An anisotropic configuration where L1 and L2 disagree.
+  HostMatrix target(2, 2);
+  target.at(0, 0) = 1.2f;  // L2: 1.2, L1: 1.2.
+  target.at(1, 0) = 0.9f;  // L2: sqrt(0.81+0.81) = 1.27, L1: 1.8.
+  target.at(1, 1) = 0.9f;
+  HostMatrix query(1, 2);
+  auto nearest = [&](Metric metric) {
+    return baseline::BruteForceCpu(query, target, 1, metric).row(0)[0].index;
+  };
+  EXPECT_EQ(nearest(Metric::kEuclidean), 0u);
+  EXPECT_EQ(nearest(Metric::kManhattan), 0u);
+  // Flip: make the diagonal point L2-closer but L1-farther.
+  target.at(0, 0) = 1.25f;
+  EXPECT_EQ(nearest(Metric::kEuclidean), 0u);  // 1.25 vs 1.27.
+  EXPECT_EQ(nearest(Metric::kManhattan), 0u);  // 1.25 vs 1.8.
+  target.at(0, 0) = 1.28f;
+  EXPECT_EQ(nearest(Metric::kEuclidean), 1u);  // 1.28 vs 1.27.
+  EXPECT_EQ(nearest(Metric::kManhattan), 0u);  // 1.28 vs 1.8.
+}
+
+TEST(MetricTest, ManhattanWithKMeansAndPartialFilter) {
+  const HostMatrix points = ClusteredPoints(400, 2, 6, 174);
+  SweetKnn::Config config;
+  config.options.metric = Metric::kManhattan;
+  config.options.kmeans_iterations = 2;
+  SweetKnn knn(config);
+  KnnRunStats stats;
+  const KnnResult result = knn.SelfJoin(points, 20, &stats);
+  EXPECT_EQ(stats.filter_used, Level2Filter::kPartial);
+  ExpectResultsMatch(
+      baseline::BruteForceCpu(points, points, 20, Metric::kManhattan),
+      result);
+}
+
+}  // namespace
+}  // namespace sweetknn::core

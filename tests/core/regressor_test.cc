@@ -1,0 +1,73 @@
+#include "core/knn_regressor.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace sweetknn {
+namespace {
+
+TEST(KnnRegressorTest, RecoversSmoothFunction) {
+  // f(x) = sin(4x) sampled densely on [0,1]; 5-NN mean approximates it.
+  HostMatrix train(400, 1);
+  std::vector<float> values(400);
+  for (size_t i = 0; i < 400; ++i) {
+    const float x = static_cast<float>(i) / 400.0f;
+    train.at(i, 0) = x;
+    values[i] = std::sin(4.0f * x);
+  }
+  KnnRegressor regressor(train, values);
+  HostMatrix queries(50, 1);
+  std::vector<float> truth(50);
+  for (size_t i = 0; i < 50; ++i) {
+    const float x = 0.01f + static_cast<float>(i) / 51.0f;
+    queries.at(i, 0) = x;
+    truth[i] = std::sin(4.0f * x);
+  }
+  EXPECT_LT(regressor.MseScore(queries, truth), 1e-3);
+}
+
+TEST(KnnRegressorTest, ExactAtTrainingPoints) {
+  HostMatrix train(3, 1);
+  train.at(0, 0) = 0.0f;
+  train.at(1, 0) = 10.0f;
+  train.at(2, 0) = 20.0f;
+  KnnRegressor::Options options;
+  options.k = 1;
+  KnnRegressor regressor(train, {5.0f, 7.0f, 9.0f}, options);
+  HostMatrix query(1, 1);
+  query.at(0, 0) = 10.0f;
+  EXPECT_FLOAT_EQ(regressor.Predict(query)[0], 7.0f);
+}
+
+TEST(KnnRegressorTest, DistanceWeightingPullsTowardNearest) {
+  HostMatrix train(2, 1);
+  train.at(0, 0) = 0.0f;
+  train.at(1, 0) = 1.0f;
+  HostMatrix query(1, 1);
+  query.at(0, 0) = 0.1f;
+  KnnRegressor::Options plain;
+  plain.k = 2;
+  KnnRegressor mean(train, {0.0f, 10.0f}, plain);
+  EXPECT_FLOAT_EQ(mean.Predict(query)[0], 5.0f);
+  KnnRegressor::Options weighted = plain;
+  weighted.distance_weighted = true;
+  KnnRegressor pulled(train, {0.0f, 10.0f}, weighted);
+  EXPECT_LT(pulled.Predict(query)[0], 2.0f);
+}
+
+TEST(KnnRegressorTest, PadsGracefullyWhenKExceedsTraining) {
+  HostMatrix train(2, 1);
+  train.at(1, 0) = 1.0f;
+  KnnRegressor::Options options;
+  options.k = 5;
+  KnnRegressor regressor(train, {2.0f, 4.0f}, options);
+  HostMatrix query(1, 1);
+  query.at(0, 0) = 0.5f;
+  EXPECT_FLOAT_EQ(regressor.Predict(query)[0], 3.0f);
+}
+
+}  // namespace
+}  // namespace sweetknn

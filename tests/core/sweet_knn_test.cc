@@ -1,0 +1,104 @@
+#include "core/sweet_knn.h"
+
+#include "baseline/brute_force_cpu.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace sweetknn {
+namespace {
+
+using testing::ClusteredPoints;
+using testing::ExpectResultsMatch;
+
+TEST(SweetKnnTest, SelfJoinMatchesOracle) {
+  const HostMatrix points = ClusteredPoints(300, 6, 5, 121);
+  SweetKnn knn;
+  const KnnResult result = knn.SelfJoin(points, 5);
+  ExpectResultsMatch(baseline::BruteForceCpu(points, points, 5), result);
+}
+
+TEST(SweetKnnTest, JoinWithDistinctSets) {
+  const HostMatrix query = ClusteredPoints(120, 4, 3, 122);
+  const HostMatrix target = ClusteredPoints(260, 4, 4, 123);
+  SweetKnn knn;
+  const KnnResult result = knn.Join(query, target, 4);
+  ExpectResultsMatch(baseline::BruteForceCpu(query, target, 4), result);
+}
+
+TEST(SweetKnnTest, SearchSingleQuery) {
+  HostMatrix target(5, 2);
+  for (size_t i = 0; i < 5; ++i) {
+    target.at(i, 0) = static_cast<float>(i);
+  }
+  SweetKnn knn;
+  const auto neighbors = knn.Search(target, {2.1f, 0.0f}, 2);
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_EQ(neighbors[0].index, 2u);
+  EXPECT_EQ(neighbors[1].index, 3u);
+}
+
+TEST(SweetKnnTest, StatsAreFilledOut) {
+  const HostMatrix points = ClusteredPoints(256, 8, 4, 124);
+  SweetKnn knn;
+  core::KnnRunStats stats;
+  knn.SelfJoin(points, 6, &stats);
+  EXPECT_EQ(stats.total_pairs, 256u * 256u);
+  EXPECT_GT(stats.distance_calcs, 0u);
+  EXPECT_GT(stats.SavedFraction(), 0.0);
+  EXPECT_GT(stats.sim_time_s, 0.0);
+  EXPECT_GT(stats.level2_warp_efficiency, 0.0);
+  EXPECT_LE(stats.level2_warp_efficiency, 1.0);
+  EXPECT_GT(stats.landmarks_target, 0);
+  EXPECT_FALSE(stats.profile.launches.empty());
+}
+
+TEST(SweetKnnTest, ReusableAcrossCalls) {
+  SweetKnn knn;
+  const HostMatrix a = ClusteredPoints(100, 3, 3, 125);
+  const HostMatrix b = ClusteredPoints(150, 5, 3, 126);
+  ExpectResultsMatch(baseline::BruteForceCpu(a, a, 3), knn.SelfJoin(a, 3));
+  ExpectResultsMatch(baseline::BruteForceCpu(b, b, 3), knn.SelfJoin(b, 3));
+}
+
+TEST(SweetKnnTest, CustomConfigBasicTi) {
+  SweetKnn::Config config;
+  config.options = core::TiOptions::BasicTi();
+  SweetKnn knn(config);
+  const HostMatrix points = ClusteredPoints(200, 4, 4, 127);
+  ExpectResultsMatch(baseline::BruteForceCpu(points, points, 4),
+                     knn.SelfJoin(points, 4));
+}
+
+TEST(SweetKnnEngineTest, PreparedEngineServesMultipleKs) {
+  const HostMatrix points = ClusteredPoints(220, 5, 4, 128);
+  gpusim::Device dev(gpusim::DeviceSpec::TeslaK20c());
+  core::TiKnnEngine engine(&dev, core::TiOptions::Sweet());
+  engine.Prepare(points, points);
+  for (int k : {1, 3, 9, 33}) {
+    core::KnnRunStats stats;
+    const KnnResult result = engine.Run(k, &stats);
+    ExpectResultsMatch(baseline::BruteForceCpu(points, points, k), result);
+  }
+}
+
+TEST(SweetKnnEngineTest, MemoryConstrainedDevicePartitionsQueries) {
+  const HostMatrix points = ClusteredPoints(512, 4, 4, 129);
+  // Enough memory for the points and clustering, but small enough that
+  // the level-2 output buffers force query partitioning at large k.
+  gpusim::Device dev(gpusim::DeviceSpec::ScaledK20c(640 * 1024));
+  core::TiKnnEngine engine(&dev, core::TiOptions::Sweet());
+  engine.Prepare(points, points);
+  core::KnnRunStats stats;
+  const KnnResult result = engine.Run(48, &stats);
+  EXPECT_GT(stats.query_partitions, 1);
+  ExpectResultsMatch(baseline::BruteForceCpu(points, points, 48), result);
+}
+
+TEST(SweetKnnEngineDeathTest, RunBeforePrepareAborts) {
+  gpusim::Device dev(gpusim::DeviceSpec::TeslaK20c());
+  core::TiKnnEngine engine(&dev, core::TiOptions::Sweet());
+  EXPECT_DEATH(engine.Run(5, nullptr), "Prepare");
+}
+
+}  // namespace
+}  // namespace sweetknn

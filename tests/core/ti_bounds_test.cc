@@ -1,0 +1,78 @@
+#include "core/ti_bounds.h"
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace sweetknn::core {
+namespace {
+
+/// Random point in [0,1)^d.
+void RandomPoint(Rng* rng, float* out, size_t dims) {
+  for (size_t i = 0; i < dims; ++i) out[i] = rng->NextFloat();
+}
+
+TEST(TiBoundsTest, OneLandmarkBoundsHoldForRandomTriples) {
+  Rng rng(71);
+  constexpr size_t kDims = 6;
+  for (int trial = 0; trial < 500; ++trial) {
+    float q[kDims];
+    float t[kDims];
+    float landmark[kDims];
+    RandomPoint(&rng, q, kDims);
+    RandomPoint(&rng, t, kDims);
+    RandomPoint(&rng, landmark, kDims);
+    const float d_q_l = EuclideanDistance(q, landmark, kDims);
+    const float d_t_l = EuclideanDistance(t, landmark, kDims);
+    const float d_q_t = EuclideanDistance(q, t, kDims);
+    EXPECT_LE(OneLandmarkLowerBound(d_q_l, d_t_l), d_q_t + 1e-5f);
+    EXPECT_GE(OneLandmarkUpperBound(d_q_l, d_t_l), d_q_t - 1e-5f);
+  }
+}
+
+TEST(TiBoundsTest, TwoLandmarkBoundsHoldForRandomQuadruples) {
+  Rng rng(72);
+  constexpr size_t kDims = 5;
+  for (int trial = 0; trial < 500; ++trial) {
+    float q[kDims];
+    float t[kDims];
+    float l1[kDims];
+    float l2[kDims];
+    RandomPoint(&rng, q, kDims);
+    RandomPoint(&rng, t, kDims);
+    RandomPoint(&rng, l1, kDims);
+    RandomPoint(&rng, l2, kDims);
+    const float d_l1_l2 = EuclideanDistance(l1, l2, kDims);
+    const float d_q_l1 = EuclideanDistance(q, l1, kDims);
+    const float d_l2_t = EuclideanDistance(l2, t, kDims);
+    const float d_q_t = EuclideanDistance(q, t, kDims);
+    EXPECT_LE(TwoLandmarkLowerBound(d_l1_l2, d_q_l1, d_l2_t), d_q_t + 1e-5f);
+    EXPECT_GE(TwoLandmarkUpperBound(d_l1_l2, d_q_l1, d_l2_t), d_q_t - 1e-5f);
+  }
+}
+
+TEST(TiBoundsTest, SignedPointBoundAbsIsLowerBound) {
+  Rng rng(73);
+  constexpr size_t kDims = 4;
+  for (int trial = 0; trial < 500; ++trial) {
+    float q[kDims];
+    float t[kDims];
+    float center[kDims];
+    RandomPoint(&rng, q, kDims);
+    RandomPoint(&rng, t, kDims);
+    RandomPoint(&rng, center, kDims);
+    const float lb = SignedPointBound(EuclideanDistance(q, center, kDims),
+                                      EuclideanDistance(t, center, kDims));
+    EXPECT_LE(std::fabs(lb), EuclideanDistance(q, t, kDims) + 1e-5f);
+  }
+}
+
+TEST(TiBoundsTest, BoundsAreTightAtDegeneratePlacements) {
+  // t == landmark: both one-landmark bounds collapse to the true distance.
+  const float d_q_l = 0.7f;
+  EXPECT_FLOAT_EQ(OneLandmarkLowerBound(d_q_l, 0.0f), d_q_l);
+  EXPECT_FLOAT_EQ(OneLandmarkUpperBound(d_q_l, 0.0f), d_q_l);
+}
+
+}  // namespace
+}  // namespace sweetknn::core

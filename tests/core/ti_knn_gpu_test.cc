@@ -1,0 +1,137 @@
+#include "core/ti_knn_gpu.h"
+
+#include <tuple>
+
+#include "baseline/brute_force_cpu.h"
+#include "core/sweet_knn.h"
+#include "dataset/paper_datasets.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace sweetknn {
+namespace {
+
+using core::KnearestsLayout;
+using core::KnearestsPlacement;
+using core::KnnRunStats;
+using core::Level2Filter;
+using core::PointLayout;
+using core::TiKnnEngine;
+using core::TiOptions;
+using testing::ClusteredPoints;
+using testing::ExpectResultsMatch;
+using testing::UniformPoints;
+
+gpusim::Device MakeDevice() {
+  return gpusim::Device(gpusim::DeviceSpec::TeslaK20c());
+}
+
+TEST(TiKnnGpuTest, BasicTiMatchesBruteForceOnClusteredData) {
+  const HostMatrix points = ClusteredPoints(400, 8, 6, 42);
+  gpusim::Device dev = MakeDevice();
+  KnnRunStats stats;
+  const KnnResult result = TiKnnEngine::RunOnce(
+      &dev, points, points, 5, TiOptions::BasicTi(), &stats);
+  const KnnResult expected = baseline::BruteForceCpu(points, points, 5);
+  ExpectResultsMatch(expected, result);
+  EXPECT_GT(stats.SavedFraction(), 0.3);
+}
+
+TEST(TiKnnGpuTest, SweetMatchesBruteForceOnClusteredData) {
+  const HostMatrix points = ClusteredPoints(400, 8, 6, 43);
+  gpusim::Device dev = MakeDevice();
+  KnnRunStats stats;
+  const KnnResult result =
+      TiKnnEngine::RunOnce(&dev, points, points, 5, TiOptions::Sweet(),
+                           &stats);
+  const KnnResult expected = baseline::BruteForceCpu(points, points, 5);
+  ExpectResultsMatch(expected, result);
+}
+
+TEST(TiKnnGpuTest, SweetMatchesBruteForceOnUniformData) {
+  const HostMatrix points = UniformPoints(300, 5, 44);
+  gpusim::Device dev = MakeDevice();
+  const KnnResult result =
+      TiKnnEngine::RunOnce(&dev, points, points, 7, TiOptions::Sweet(),
+                           nullptr);
+  ExpectResultsMatch(baseline::BruteForceCpu(points, points, 7), result);
+}
+
+TEST(TiKnnGpuTest, DistinctQueryAndTargetSets) {
+  const HostMatrix query = ClusteredPoints(150, 6, 4, 45);
+  const HostMatrix target = ClusteredPoints(350, 6, 5, 46);
+  gpusim::Device dev = MakeDevice();
+  const KnnResult result = TiKnnEngine::RunOnce(
+      &dev, query, target, 4, TiOptions::Sweet(), nullptr);
+  ExpectResultsMatch(baseline::BruteForceCpu(query, target, 4), result);
+}
+
+TEST(TiKnnGpuTest, PartialFilterMatchesBruteForce) {
+  // k/d > 8 so the adaptive scheme picks the partial filter: d=2, k=20.
+  const HostMatrix points = ClusteredPoints(300, 2, 5, 47);
+  gpusim::Device dev = MakeDevice();
+  KnnRunStats stats;
+  const KnnResult result = TiKnnEngine::RunOnce(
+      &dev, points, points, 20, TiOptions::Sweet(), &stats);
+  EXPECT_EQ(stats.filter_used, Level2Filter::kPartial);
+  ExpectResultsMatch(baseline::BruteForceCpu(points, points, 20), result);
+}
+
+TEST(TiKnnGpuTest, MultiThreadPerQueryMatchesBruteForce) {
+  // Few queries -> the adaptive scheme uses many threads per query.
+  const HostMatrix points = ClusteredPoints(80, 16, 3, 48);
+  gpusim::Device dev = MakeDevice();
+  KnnRunStats stats;
+  const KnnResult result = TiKnnEngine::RunOnce(
+      &dev, points, points, 6, TiOptions::Sweet(), &stats);
+  EXPECT_GT(stats.threads_per_query, 1);
+  ExpectResultsMatch(baseline::BruteForceCpu(points, points, 6), result);
+}
+
+TEST(TiKnnGpuTest, KLargerThanTargetSetPadsWithInvalid) {
+  const HostMatrix query = ClusteredPoints(40, 4, 2, 49);
+  const HostMatrix target = ClusteredPoints(5, 4, 2, 50);
+  gpusim::Device dev = MakeDevice();
+  const KnnResult result = TiKnnEngine::RunOnce(
+      &dev, query, target, 8, TiOptions::Sweet(), nullptr);
+  const KnnResult expected = baseline::BruteForceCpu(query, target, 8);
+  ExpectResultsMatch(expected, result);
+  EXPECT_EQ(result.row(0)[5].index, kInvalidNeighbor);
+}
+
+// Every combination of placement, layout, remap and point layout must
+// return identical (correct) neighbors — only performance may differ.
+class Level2ConfigTest
+    : public ::testing::TestWithParam<
+          std::tuple<KnearestsPlacement, KnearestsLayout, bool,
+                     PointLayout>> {};
+
+TEST_P(Level2ConfigTest, MatchesBruteForce) {
+  const auto [placement, layout, remap, point_layout] = GetParam();
+  const HostMatrix points = ClusteredPoints(250, 10, 5, 51);
+  TiOptions options = TiOptions::Sweet();
+  options.placement_override = placement;
+  options.knearests_layout = layout;
+  options.remap_threads = remap;
+  options.layout = point_layout;
+  options.filter_override = Level2Filter::kFull;
+  gpusim::Device dev = MakeDevice();
+  const KnnResult result =
+      TiKnnEngine::RunOnce(&dev, points, points, 5, options, nullptr);
+  ExpectResultsMatch(baseline::BruteForceCpu(points, points, 5), result);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, Level2ConfigTest,
+    ::testing::Combine(
+        ::testing::Values(KnearestsPlacement::kGlobal,
+                          KnearestsPlacement::kShared,
+                          KnearestsPlacement::kRegisters),
+        ::testing::Values(KnearestsLayout::kBlocked,
+                          KnearestsLayout::kInterleaved),
+        ::testing::Bool(),
+        ::testing::Values(PointLayout::kRowMajor,
+                          PointLayout::kColumnMajor)));
+
+}  // namespace
+}  // namespace sweetknn

@@ -1,0 +1,162 @@
+#include "dataset/generators.h"
+
+#include <cmath>
+
+#include "common/matrix.h"
+#include "gtest/gtest.h"
+
+namespace sweetknn::dataset {
+namespace {
+
+TEST(GeneratorsTest, MixtureShapeAndName) {
+  MixtureConfig cfg;
+  cfg.n = 100;
+  cfg.dims = 7;
+  cfg.clusters = 4;
+  cfg.seed = 3;
+  const Dataset data = MakeGaussianMixture("demo", cfg);
+  EXPECT_EQ(data.name, "demo");
+  EXPECT_EQ(data.n(), 100u);
+  EXPECT_EQ(data.dims(), 7u);
+}
+
+TEST(GeneratorsTest, MixtureDeterministicPerSeed) {
+  MixtureConfig cfg;
+  cfg.n = 50;
+  cfg.dims = 3;
+  cfg.clusters = 2;
+  cfg.seed = 9;
+  const Dataset a = MakeGaussianMixture("a", cfg);
+  const Dataset b = MakeGaussianMixture("b", cfg);
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points.data()[i], b.points.data()[i]);
+  }
+  cfg.seed = 10;
+  const Dataset c = MakeGaussianMixture("c", cfg);
+  EXPECT_NE(a.points.at(0, 0), c.points.at(0, 0));
+}
+
+TEST(GeneratorsTest, TightClustersAreTight) {
+  // With a tiny spread, points huddle around few locations: the average
+  // nearest-neighbor distance is far below the average pair distance.
+  MixtureConfig cfg;
+  cfg.n = 200;
+  cfg.dims = 8;
+  cfg.clusters = 5;
+  cfg.spread = 0.001f;
+  cfg.seed = 4;
+  const Dataset data = MakeGaussianMixture("tight", cfg);
+  double nn_sum = 0.0;
+  double all_sum = 0.0;
+  size_t all_count = 0;
+  for (size_t i = 0; i < data.n(); ++i) {
+    float nn = 1e30f;
+    for (size_t j = 0; j < data.n(); ++j) {
+      if (i == j) continue;
+      const float d = EuclideanDistance(data.points.row(i),
+                                        data.points.row(j), data.dims());
+      nn = std::min(nn, d);
+      all_sum += d;
+      ++all_count;
+    }
+    nn_sum += nn;
+  }
+  const double avg_nn = nn_sum / static_cast<double>(data.n());
+  const double avg_all = all_sum / static_cast<double>(all_count);
+  EXPECT_LT(avg_nn * 20, avg_all);
+}
+
+TEST(GeneratorsTest, SizeSkewIsNormalized) {
+  // size_skew = s means the largest component is ~e^s times the smallest,
+  // independent of the component count.
+  MixtureConfig cfg;
+  cfg.n = 20000;
+  cfg.dims = 2;
+  cfg.clusters = 10;
+  cfg.spread = 1e-6f;
+  cfg.size_skew = 1.0f;
+  cfg.seed = 5;
+  const Dataset data = MakeGaussianMixture("skewed", cfg);
+  // Count points per component by nearest of the 10 tight locations.
+  // The first point of each run is enough: use cluster of point via
+  // round-trip: components are far apart relative to spread, so cluster
+  // sizes can be recovered by hashing coordinates.
+  std::vector<int> counts;
+  std::vector<std::pair<float, float>> centers;
+  for (size_t i = 0; i < data.n(); ++i) {
+    const float x = data.points.at(i, 0);
+    const float y = data.points.at(i, 1);
+    bool found = false;
+    for (size_t c = 0; c < centers.size(); ++c) {
+      if (std::fabs(centers[c].first - x) < 1e-3f &&
+          std::fabs(centers[c].second - y) < 1e-3f) {
+        ++counts[c];
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      centers.emplace_back(x, y);
+      counts.push_back(1);
+    }
+  }
+  ASSERT_EQ(counts.size(), 10u);
+  const auto [min_it, max_it] = std::minmax_element(counts.begin(),
+                                                    counts.end());
+  const double ratio = static_cast<double>(*max_it) / *min_it;
+  EXPECT_GT(ratio, 1.8);  // ~e^1 = 2.72 with sampling noise.
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(GeneratorsTest, IntrinsicDimVariesCenterDistances) {
+  // Full-dimensional centers concentrate pairwise distances; a low
+  // intrinsic dimension spreads them (higher coefficient of variation).
+  auto center_distance_cv = [](int intrinsic) {
+    MixtureConfig cfg;
+    cfg.n = 400;
+    cfg.dims = 64;
+    cfg.clusters = 400;  // One point per component: points ~ centers.
+    cfg.spread = 1e-5f;
+    cfg.size_skew = 0.0f;
+    cfg.intrinsic_dim = intrinsic;
+    cfg.seed = 6;
+    const Dataset data = MakeGaussianMixture("c", cfg);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    int count = 0;
+    for (size_t i = 0; i < data.n(); i += 7) {
+      for (size_t j = i + 1; j < data.n(); j += 7) {
+        const double d = EuclideanDistance(data.points.row(i),
+                                           data.points.row(j), 64);
+        sum += d;
+        sum_sq += d * d;
+        ++count;
+      }
+    }
+    const double mean = sum / count;
+    const double var = sum_sq / count - mean * mean;
+    return std::sqrt(std::max(0.0, var)) / mean;
+  };
+  EXPECT_GT(center_distance_cv(2), 1.5 * center_distance_cv(0));
+}
+
+TEST(GeneratorsTest, UniformInUnitCube) {
+  const Dataset data = MakeUniform("u", 500, 4, 11);
+  for (size_t i = 0; i < data.n(); ++i) {
+    for (size_t j = 0; j < data.dims(); ++j) {
+      EXPECT_GE(data.points.at(i, j), 0.0f);
+      EXPECT_LT(data.points.at(i, j), 1.0f);
+    }
+  }
+}
+
+TEST(GeneratorsTest, Grid1DIsSequential) {
+  const Dataset data = MakeGrid1D("g", 10);
+  EXPECT_EQ(data.dims(), 1u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_FLOAT_EQ(data.points.at(i, 0), static_cast<float>(i));
+  }
+}
+
+}  // namespace
+}  // namespace sweetknn::dataset

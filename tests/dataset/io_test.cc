@@ -1,0 +1,78 @@
+#include "dataset/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "dataset/generators.h"
+#include "gtest/gtest.h"
+
+namespace sweetknn::dataset {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(IoTest, SaveLoadRoundtrip) {
+  MixtureConfig cfg;
+  cfg.n = 20;
+  cfg.dims = 5;
+  cfg.clusters = 2;
+  cfg.seed = 1;
+  const Dataset original = MakeGaussianMixture("roundtrip", cfg);
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SaveCsv(original, path).ok());
+
+  const Result<Dataset> loaded = LoadCsv("roundtrip", path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().n(), 20u);
+  EXPECT_EQ(loaded.value().dims(), 5u);
+  for (size_t i = 0; i < 20; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(loaded.value().points.at(i, j), original.points.at(i, j),
+                  1e-4f);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadMissingFileFails) {
+  const Result<Dataset> r = LoadCsv("x", "/nonexistent/file.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(IoTest, LoadRaggedRowsFails) {
+  const std::string path = TempPath("ragged.csv");
+  std::ofstream(path) << "1,2,3\n4,5\n";
+  const Result<Dataset> r = LoadCsv("x", path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ragged"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadNonNumericFails) {
+  const std::string path = TempPath("text.csv");
+  std::ofstream(path) << "1,2\nfoo,3\n";
+  EXPECT_FALSE(LoadCsv("x", path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadEmptyFails) {
+  const std::string path = TempPath("empty.csv");
+  std::ofstream(path) << "";
+  EXPECT_FALSE(LoadCsv("x", path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, SkipsBlankLines) {
+  const std::string path = TempPath("blank.csv");
+  std::ofstream(path) << "1,2\n\n3,4\n";
+  const Result<Dataset> r = LoadCsv("x", path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().n(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sweetknn::dataset

@@ -1,0 +1,120 @@
+// Statistical property tests of the dataset generators: the structural
+// claims DESIGN.md makes about the paper-dataset stand-ins must actually
+// hold, because every reproduced number depends on them.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/matrix.h"
+#include "dataset/generators.h"
+#include "dataset/paper_datasets.h"
+#include "gtest/gtest.h"
+
+namespace sweetknn::dataset {
+namespace {
+
+/// Crude micro-cluster recovery: greedily assign points to an existing
+/// representative within `radius`, else open a new cluster.
+std::map<size_t, int> GreedyClusterSizes(const HostMatrix& points,
+                                         float radius) {
+  std::vector<size_t> representatives;
+  std::map<size_t, int> sizes;
+  for (size_t i = 0; i < points.rows(); ++i) {
+    bool placed = false;
+    for (const size_t rep : representatives) {
+      if (EuclideanDistance(points.row(i), points.row(rep),
+                            points.cols()) < radius) {
+        ++sizes[rep];
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      representatives.push_back(i);
+      sizes[i] = 1;
+    }
+  }
+  return sizes;
+}
+
+TEST(MixturePropertyTest, MicroClustersAreRecoverable) {
+  MixtureConfig cfg;
+  cfg.n = 2000;
+  cfg.dims = 16;
+  cfg.clusters = 50;
+  cfg.spread = 0.002f;
+  cfg.size_skew = 1.0f;
+  cfg.intrinsic_dim = 3;
+  cfg.seed = 211;
+  const Dataset data = MakeGaussianMixture("m", cfg);
+  // Radius well above the intra-cluster diameter but below typical
+  // center separation.
+  const auto sizes = GreedyClusterSizes(data.points, 0.05f);
+  EXPECT_GE(sizes.size(), 35u);
+  EXPECT_LE(sizes.size(), 80u);
+}
+
+TEST(MixturePropertyTest, PaperDatasetsHaveTiExploitableStructure) {
+  // For every clustered paper dataset the average nearest-neighbor
+  // distance must be a small fraction of the average pairwise distance —
+  // the property that lets TI filtering save >99%.
+  for (const char* name : {"kegg", "skin", "blog"}) {
+    const auto& info = PaperDatasetByName(name);
+    const Dataset data = MakePaperDataset(info, 0.1);
+    double nn_sum = 0.0;
+    double pair_sum = 0.0;
+    size_t pair_count = 0;
+    const size_t n = std::min<size_t>(data.n(), 300);
+    for (size_t i = 0; i < n; ++i) {
+      float nn = 1e30f;
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const float d = EuclideanDistance(data.points.row(i),
+                                          data.points.row(j), data.dims());
+        nn = std::min(nn, d);
+        pair_sum += d;
+        ++pair_count;
+      }
+      nn_sum += nn;
+    }
+    const double ratio = (nn_sum / static_cast<double>(n)) /
+                         (pair_sum / static_cast<double>(pair_count));
+    EXPECT_LT(ratio, 0.15) << name;
+  }
+}
+
+TEST(MixturePropertyTest, ArceneHasNoExploitableStructure) {
+  const Dataset data = MakePaperDataset(PaperDatasetByName("arcene"), 1.0);
+  double nn_sum = 0.0;
+  double pair_sum = 0.0;
+  size_t pair_count = 0;
+  for (size_t i = 0; i < data.n(); ++i) {
+    float nn = 1e30f;
+    for (size_t j = 0; j < data.n(); ++j) {
+      if (i == j) continue;
+      const float d = EuclideanDistance(data.points.row(i),
+                                        data.points.row(j), data.dims());
+      nn = std::min(nn, d);
+      pair_sum += d;
+      ++pair_count;
+    }
+    nn_sum += nn;
+  }
+  const double ratio = (nn_sum / static_cast<double>(data.n())) /
+                       (pair_sum / static_cast<double>(pair_count));
+  // Distances concentrate: the nearest neighbor is nearly as far as the
+  // average pair — triangle-inequality bounds cannot prune.
+  EXPECT_GT(ratio, 0.7);
+}
+
+TEST(MixturePropertyTest, ScaleFactorPreservesStructureKnobs) {
+  const auto& info = PaperDatasetByName("kegg");
+  const Dataset big = MakePaperDataset(info, 0.2);
+  const Dataset small = MakePaperDataset(info, 0.1);
+  EXPECT_EQ(big.dims(), small.dims());
+  EXPECT_EQ(big.n(), 2 * small.n());
+}
+
+}  // namespace
+}  // namespace sweetknn::dataset

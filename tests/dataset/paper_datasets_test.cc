@@ -1,0 +1,83 @@
+#include "dataset/paper_datasets.h"
+
+#include "gtest/gtest.h"
+
+namespace sweetknn::dataset {
+namespace {
+
+TEST(PaperDatasetsTest, AllNineDatasetsPresent) {
+  const auto& all = PaperDatasets();
+  ASSERT_EQ(all.size(), 9u);
+  const char* expected[] = {"3DNet", "kegg", "keggD", "ipums", "skin",
+                            "arcene", "kdd",  "dor",   "blog"};
+  for (size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(all[i].name, expected[i]);
+  }
+}
+
+TEST(PaperDatasetsTest, PaperShapesMatchTableIII) {
+  EXPECT_EQ(PaperDatasetByName("3DNet").paper_points, 434874u);
+  EXPECT_EQ(PaperDatasetByName("3DNet").paper_dims, 4u);
+  EXPECT_EQ(PaperDatasetByName("kdd").paper_points, 4000000u);
+  EXPECT_EQ(PaperDatasetByName("arcene").paper_dims, 10000u);
+  EXPECT_EQ(PaperDatasetByName("dor").paper_dims, 100000u);
+  EXPECT_EQ(PaperDatasetByName("blog").paper_dims, 281u);
+}
+
+TEST(PaperDatasetsTest, TableVDatasetsKeepExactDims) {
+  // The k/d > 8 adaptive decision at k=512 must fire for exactly the six
+  // Table V datasets, so their dimensionalities are preserved.
+  for (const char* name : {"3DNet", "kegg", "keggD", "ipums", "skin",
+                           "kdd"}) {
+    const auto& info = PaperDatasetByName(name);
+    EXPECT_EQ(info.scaled_dims, info.paper_dims) << name;
+    EXPECT_GT(512.0 / info.scaled_dims, 8.0) << name;
+  }
+  // And must not fire for the other three.
+  for (const char* name : {"arcene", "dor", "blog"}) {
+    const auto& info = PaperDatasetByName(name);
+    EXPECT_LT(512.0 / info.scaled_dims, 8.0) << name;
+  }
+}
+
+TEST(PaperDatasetsTest, ArceneAndDorKeepExactPointCounts) {
+  EXPECT_EQ(PaperDatasetByName("arcene").scaled_points, 100u);
+  EXPECT_EQ(PaperDatasetByName("dor").scaled_points, 1950u);
+}
+
+TEST(PaperDatasetsTest, GenerationHonorsScaleFactor) {
+  const auto& info = PaperDatasetByName("kegg");
+  const Dataset full = MakePaperDataset(info, 0.25);
+  EXPECT_EQ(full.n(), info.scaled_points / 4);
+  EXPECT_EQ(full.dims(), info.scaled_dims);
+  EXPECT_EQ(full.name, "kegg");
+}
+
+TEST(PaperDatasetsTest, GenerationIsDeterministic) {
+  const auto& info = PaperDatasetByName("skin");
+  const Dataset a = MakePaperDataset(info, 0.05);
+  const Dataset b = MakePaperDataset(info, 0.05);
+  EXPECT_EQ(a.points.at(3, 1), b.points.at(3, 1));
+}
+
+TEST(PaperDatasetsDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH(PaperDatasetByName("nope"), "unknown paper dataset");
+}
+
+TEST(PaperDatasetsTest, ScaledDeviceMemoryPreservesPartitioningRatios) {
+  // The baseline's |Q| x |T| float matrix must exceed scaled device
+  // memory for the datasets the paper reports as partitioned, and fit
+  // for arcene/dor.
+  const size_t mem = ScaledDeviceMemoryBytes();
+  for (const char* name : {"3DNet", "skin", "ipums", "kdd"}) {
+    const auto& info = PaperDatasetByName(name);
+    EXPECT_GT(info.scaled_points * info.scaled_points * 4, mem) << name;
+  }
+  for (const char* name : {"arcene", "dor"}) {
+    const auto& info = PaperDatasetByName(name);
+    EXPECT_LT(info.scaled_points * info.scaled_points * 4, mem) << name;
+  }
+}
+
+}  // namespace
+}  // namespace sweetknn::dataset

@@ -1,0 +1,109 @@
+#include "gpusim/device.h"
+#include "gpusim/warp.h"
+#include "gtest/gtest.h"
+
+namespace sweetknn::gpusim {
+namespace {
+
+class AtomicsTest : public ::testing::Test {
+ protected:
+  AtomicsTest() : dev_(DeviceSpec::TeslaK20c()) {}
+
+  template <typename F>
+  KernelStats RunWarp(F&& body) {
+    const LaunchRecord& rec =
+        dev_.Launch(KernelMeta{"test", 32, 0}, LaunchConfig{1, 32},
+                    [&](Warp& w) { body(w); });
+    return rec.stats;
+  }
+
+  Device dev_;
+};
+
+TEST_F(AtomicsTest, AtomicAddAccumulatesAndReturnsOld) {
+  auto counter = dev_.Alloc<uint32_t>(1, "c");
+  std::vector<uint32_t> olds(32);
+  RunWarp([&](Warp& w) {
+    w.AtomicAdd(
+        counter, [](int) { return 0; }, [](int) { return uint32_t{1}; },
+        [&](int lane, uint32_t old) { olds[static_cast<size_t>(lane)] = old; });
+  });
+  EXPECT_EQ(counter[0], 32u);
+  // Old values are the sequence 0..31 (warp-serialized).
+  std::sort(olds.begin(), olds.end());
+  for (uint32_t i = 0; i < 32; ++i) EXPECT_EQ(olds[i], i);
+}
+
+TEST_F(AtomicsTest, SameAddressConflictsSerialize) {
+  auto counter = dev_.Alloc<uint32_t>(1, "c");
+  const KernelStats s = RunWarp([&](Warp& w) {
+    w.AtomicAdd(
+        counter, [](int) { return 0; }, [](int) { return uint32_t{1}; },
+        [](int, uint32_t) {});
+  });
+  EXPECT_EQ(s.atomic_operations, 32u);
+  EXPECT_EQ(s.atomic_serializations, 31u);
+}
+
+TEST_F(AtomicsTest, DistinctAddressesDoNotSerialize) {
+  auto counters = dev_.Alloc<uint32_t>(32, "c");
+  const KernelStats s = RunWarp([&](Warp& w) {
+    w.AtomicAdd(
+        counters, [](int lane) { return lane; },
+        [](int) { return uint32_t{1}; }, [](int, uint32_t) {});
+  });
+  EXPECT_EQ(s.atomic_operations, 32u);
+  EXPECT_EQ(s.atomic_serializations, 0u);
+}
+
+TEST_F(AtomicsTest, AtomicMinFloatKeepsMinimum) {
+  auto cell = dev_.Alloc<float>(1, "c");
+  cell[0] = 100.0f;
+  RunWarp([&](Warp& w) {
+    w.AtomicMinFloat(cell, [](int) { return 0; }, [](int lane) {
+      return static_cast<float>(lane + 5);
+    });
+  });
+  EXPECT_FLOAT_EQ(cell[0], 5.0f);
+}
+
+TEST_F(AtomicsTest, AtomicMaxFloatKeepsMaximum) {
+  auto cell = dev_.Alloc<float>(1, "c");
+  RunWarp([&](Warp& w) {
+    w.AtomicMaxFloat(cell, [](int) { return 0; }, [](int lane) {
+      return static_cast<float>(lane);
+    });
+  });
+  EXPECT_FLOAT_EQ(cell[0], 31.0f);
+}
+
+TEST_F(AtomicsTest, AtomicMinU64PackedArgmin) {
+  auto cell = dev_.Alloc<uint64_t>(1, "c");
+  cell[0] = ~uint64_t{0};
+  RunWarp([&](Warp& w) {
+    w.AtomicMin(cell, [](int) { return 0; }, [](int lane) {
+      // Key = (value << 32) | lane; lane 7 has the smallest value.
+      const uint64_t value = static_cast<uint64_t>((lane * 13) % 29);
+      return (value << 32) | static_cast<uint64_t>(lane);
+    });
+  });
+  // lane 9: (9*13)%29 = 117%29 = 1; lane 0 gives 0 -> smallest.
+  EXPECT_EQ(cell[0] >> 32, 0u);
+  EXPECT_EQ(cell[0] & 0xffffffffu, 0u);
+}
+
+TEST_F(AtomicsTest, MaskedAtomicOnlyActiveLanes) {
+  auto counter = dev_.Alloc<uint32_t>(1, "c");
+  RunWarp([&](Warp& w) {
+    const LaneMask low = w.Ballot([](int lane) { return lane < 4; });
+    w.If(low, [&] {
+      w.AtomicAdd(
+          counter, [](int) { return 0; }, [](int) { return uint32_t{1}; },
+          [](int, uint32_t) {});
+    });
+  });
+  EXPECT_EQ(counter[0], 4u);
+}
+
+}  // namespace
+}  // namespace sweetknn::gpusim

@@ -1,0 +1,148 @@
+#include "gpusim/device.h"
+#include "gpusim/warp.h"
+#include "gtest/gtest.h"
+
+namespace sweetknn::gpusim {
+namespace {
+
+/// Device with a huge cold cache so DRAM counts equal transaction counts
+/// unless a test wants hits.
+class CoalescingTest : public ::testing::Test {
+ protected:
+  CoalescingTest() : dev_(DeviceSpec::TeslaK20c()) {}
+
+  /// Launches a single full warp running `body`.
+  template <typename F>
+  KernelStats RunWarp(F&& body) {
+    const LaunchRecord& rec =
+        dev_.Launch(KernelMeta{"test", 32, 0}, LaunchConfig{1, 32},
+                    [&](Warp& w) { body(w); });
+    return rec.stats;
+  }
+
+  Device dev_;
+};
+
+TEST_F(CoalescingTest, BroadcastLoadIsOneTransaction) {
+  auto buf = dev_.Alloc<float>(1024, "buf");
+  const KernelStats s = RunWarp([&](Warp& w) {
+    w.Load(buf, [](int) { return 0; }, [](int, float) {});
+  });
+  EXPECT_EQ(s.global_transactions, 1u);
+  EXPECT_EQ(s.global_load_instructions, 1u);
+}
+
+TEST_F(CoalescingTest, ConsecutiveFloatsCoalesceToOneSegment) {
+  auto buf = dev_.Alloc<float>(1024, "buf");
+  // 32 x 4B = 128B = exactly one segment (alloc is 256-aligned).
+  const KernelStats s = RunWarp([&](Warp& w) {
+    w.Load(buf, [](int lane) { return lane; }, [](int, float) {});
+  });
+  EXPECT_EQ(s.global_transactions, 1u);
+}
+
+TEST_F(CoalescingTest, Stride32FloatsIsFullyScattered) {
+  auto buf = dev_.Alloc<float>(32 * 32, "buf");
+  const KernelStats s = RunWarp([&](Warp& w) {
+    w.Load(buf, [](int lane) { return lane * 32; }, [](int, float) {});
+  });
+  EXPECT_EQ(s.global_transactions, 32u);
+}
+
+TEST_F(CoalescingTest, Stride2FloatsTouchesTwoSegments) {
+  auto buf = dev_.Alloc<float>(64, "buf");
+  const KernelStats s = RunWarp([&](Warp& w) {
+    w.Load(buf, [](int lane) { return lane * 2; }, [](int, float) {});
+  });
+  EXPECT_EQ(s.global_transactions, 2u);
+}
+
+TEST_F(CoalescingTest, StoreCountsLikeLoad) {
+  auto buf = dev_.Alloc<float>(1024, "buf");
+  const KernelStats s = RunWarp([&](Warp& w) {
+    w.Store(buf, [](int lane) { return lane; }, [](int) { return 1.0f; });
+  });
+  EXPECT_EQ(s.global_transactions, 1u);
+  EXPECT_EQ(s.global_store_instructions, 1u);
+  EXPECT_EQ(buf[5], 1.0f);
+}
+
+TEST_F(CoalescingTest, LoadRangeChargesVectorizedInstructions) {
+  auto buf = dev_.Alloc<float>(32 * 64, "buf");
+  // Each lane reads 64 consecutive floats with float4 loads.
+  const KernelStats s = RunWarp([&](Warp& w) {
+    w.LoadRange(buf, [](int lane) { return lane * 64; }, 64, 4,
+                [](int, const float*) {});
+  });
+  EXPECT_EQ(s.global_load_instructions, 16u);  // 64 / 4.
+  // 64 floats = 256B = 2 segments per lane, all disjoint.
+  EXPECT_EQ(s.global_transactions, 64u);
+}
+
+TEST_F(CoalescingTest, LoadRangeScalarChargesPerElement) {
+  auto buf = dev_.Alloc<float>(32 * 64, "buf");
+  const KernelStats s = RunWarp([&](Warp& w) {
+    w.LoadRange(buf, [](int lane) { return lane * 64; }, 64, 1,
+                [](int, const float*) {});
+  });
+  EXPECT_EQ(s.global_load_instructions, 64u);
+}
+
+TEST_F(CoalescingTest, LoadRangeBroadcastSharesSegments) {
+  auto buf = dev_.Alloc<float>(1024, "buf");
+  // All lanes read the same 64-float row: segments are shared.
+  const KernelStats s = RunWarp([&](Warp& w) {
+    w.LoadRange(buf, [](int) { return 0; }, 64, 4, [](int, const float*) {});
+  });
+  EXPECT_EQ(s.global_transactions, 2u);
+}
+
+TEST_F(CoalescingTest, LoadStridedMultipliesFirstElementPattern) {
+  // Column-major layout: 64 points x 8 dims, stride = 64.
+  auto buf = dev_.Alloc<float>(64 * 8, "buf");
+  const KernelStats s = RunWarp([&](Warp& w) {
+    w.LoadStrided(buf, [](int lane) { return lane; }, 8, 64,
+                  [](int, const float*) {});
+  });
+  EXPECT_EQ(s.global_load_instructions, 8u);
+  // Lanes 0..31 consecutive -> 1 segment per dimension.
+  EXPECT_EQ(s.global_transactions, 8u);
+}
+
+TEST_F(CoalescingTest, LoadStridedScatteredLanes) {
+  auto buf = dev_.Alloc<float>(32 * 64 * 4, "buf");
+  const KernelStats s = RunWarp([&](Warp& w) {
+    // Lanes 64 apart: each lane's element is its own segment.
+    w.LoadStrided(buf, [](int lane) { return lane * 64; }, 4, 2048,
+                  [](int, const float*) {});
+  });
+  EXPECT_EQ(s.global_transactions, 32u * 4u);
+}
+
+TEST_F(CoalescingTest, StoreRangeWritesValues) {
+  auto buf = dev_.Alloc<float>(32 * 4, "buf");
+  RunWarp([&](Warp& w) {
+    w.StoreRange(buf, [](int lane) { return lane * 4; }, 4, 4,
+                 [](int lane, size_t j) {
+                   return static_cast<float>(lane * 10 + static_cast<int>(j));
+                 });
+  });
+  EXPECT_FLOAT_EQ(buf[0], 0.0f);
+  EXPECT_FLOAT_EQ(buf[5 * 4 + 2], 52.0f);
+}
+
+TEST_F(CoalescingTest, CacheHitsReduceDramTraffic) {
+  auto buf = dev_.Alloc<float>(32, "buf");
+  const KernelStats first = RunWarp([&](Warp& w) {
+    w.Load(buf, [](int lane) { return lane; }, [](int, float) {});
+  });
+  EXPECT_EQ(first.dram_transactions, 1u);  // Cold miss.
+  const KernelStats second = RunWarp([&](Warp& w) {
+    w.Load(buf, [](int lane) { return lane; }, [](int, float) {});
+  });
+  EXPECT_EQ(second.global_transactions, 1u);
+  EXPECT_EQ(second.dram_transactions, 0u);  // L2 hit.
+}
+
+}  // namespace
+}  // namespace sweetknn::gpusim

@@ -1,0 +1,102 @@
+#include "gpusim/cost_model.h"
+
+#include "gpusim/warp.h"
+#include "gtest/gtest.h"
+
+namespace sweetknn::gpusim {
+namespace {
+
+LaunchRecord MakeRecord(int grid_blocks, int block_threads,
+                        uint64_t instructions, uint64_t transactions,
+                        uint64_t dram) {
+  LaunchRecord rec;
+  rec.kernel_name = "test";
+  rec.grid_blocks = grid_blocks;
+  rec.block_threads = block_threads;
+  rec.regs_per_thread = 32;
+  rec.shared_bytes_per_block = 0;
+  rec.stats.warp_instructions = instructions;
+  rec.stats.active_lane_ops = instructions * 32;
+  rec.stats.global_transactions = transactions;
+  rec.stats.dram_transactions = dram;
+  return rec;
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest() : model_(DeviceSpec::TeslaK20c()) {}
+  CostModel model_;
+};
+
+TEST_F(CostModelTest, MoreInstructionsTakeLonger) {
+  LaunchRecord small = MakeRecord(1000, 256, 1'000'000, 0, 0);
+  LaunchRecord large = MakeRecord(1000, 256, 10'000'000, 0, 0);
+  model_.Finalize(&small);
+  model_.Finalize(&large);
+  EXPECT_GT(large.sim_time_s, small.sim_time_s);
+  // Compute-bound: 10x the instructions ~ 10x time minus launch overhead.
+  EXPECT_NEAR((large.sim_time_s - model_.spec().kernel_launch_overhead_s) /
+                  (small.sim_time_s - model_.spec().kernel_launch_overhead_s),
+              10.0, 0.5);
+}
+
+TEST_F(CostModelTest, SmallGridsExposeLatency) {
+  // Same work, tiny grid vs saturating grid.
+  LaunchRecord tiny = MakeRecord(1, 32, 1'000'000, 0, 0);
+  LaunchRecord big = MakeRecord(1000, 256, 1'000'000, 0, 0);
+  model_.Finalize(&tiny);
+  model_.Finalize(&big);
+  EXPECT_GT(tiny.sim_time_s, 5.0 * big.sim_time_s);
+}
+
+TEST_F(CostModelTest, DramBoundKernel) {
+  // 1 GiB of DRAM traffic at 208 GB/s ~ 5.2 ms.
+  const uint64_t transactions = (1ull << 30) / 128;
+  LaunchRecord rec = MakeRecord(1000, 256, 1000, transactions, transactions);
+  model_.Finalize(&rec);
+  EXPECT_NEAR(rec.sim_time_s, 5.16e-3, 0.5e-3);
+}
+
+TEST_F(CostModelTest, CacheHitsAreCheaperThanDram) {
+  const uint64_t transactions = (1ull << 30) / 128;
+  LaunchRecord miss = MakeRecord(1000, 256, 1000, transactions, transactions);
+  LaunchRecord hit = MakeRecord(1000, 256, 1000, transactions, 0);
+  model_.Finalize(&miss);
+  model_.Finalize(&hit);
+  EXPECT_LT(hit.sim_time_s, miss.sim_time_s);
+  EXPECT_GT(hit.sim_time_s, 1e-4);  // Still bounded by L2 bandwidth.
+}
+
+TEST_F(CostModelTest, LaunchOverheadIsFloor) {
+  LaunchRecord rec = MakeRecord(1, 32, 0, 0, 0);
+  model_.Finalize(&rec);
+  EXPECT_GE(rec.sim_time_s, model_.spec().kernel_launch_overhead_s);
+}
+
+TEST_F(CostModelTest, OccupancyIsRecorded) {
+  LaunchRecord rec = MakeRecord(1000, 256, 1000, 0, 0);
+  model_.Finalize(&rec);
+  EXPECT_GT(rec.occupancy, 0.9);
+  LaunchRecord heavy = MakeRecord(1000, 256, 1000, 0, 0);
+  heavy.regs_per_thread = 128;
+  model_.Finalize(&heavy);
+  EXPECT_LT(heavy.occupancy, rec.occupancy);
+}
+
+TEST_F(CostModelTest, AtomicsAddTime) {
+  LaunchRecord rec = MakeRecord(1000, 256, 1000, 0, 0);
+  rec.stats.atomic_operations = 10'000'000;
+  rec.stats.atomic_serializations = 10'000'000;
+  model_.Finalize(&rec);
+  LaunchRecord base = MakeRecord(1000, 256, 1000, 0, 0);
+  model_.Finalize(&base);
+  EXPECT_GT(rec.sim_time_s, base.sim_time_s);
+}
+
+TEST_F(CostModelTest, TransferTimeMatchesPcieBandwidth) {
+  const double t = model_.TransferTime(6ull * 1000 * 1000 * 1000);
+  EXPECT_NEAR(t, 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace sweetknn::gpusim

@@ -1,0 +1,74 @@
+#include "gpusim/gemm_model.h"
+
+#include "gtest/gtest.h"
+
+namespace sweetknn::gpusim {
+namespace {
+
+class GemmModelTest : public ::testing::Test {
+ protected:
+  GemmModelTest() : model_(DeviceSpec::TeslaK20c()) {}
+  GemmModel model_;
+};
+
+TEST_F(GemmModelTest, EfficiencyBounded) {
+  for (int64_t size : {32, 128, 1024, 8192}) {
+    const double eff = model_.Efficiency(size, size, size);
+    EXPECT_GT(eff, 0.0);
+    EXPECT_LE(eff, GemmModel::kPeakEfficiency);
+  }
+}
+
+TEST_F(GemmModelTest, LargeGemmApproachesPeakEfficiency) {
+  EXPECT_NEAR(model_.Efficiency(8192, 8192, 8192),
+              GemmModel::kPeakEfficiency, 0.01);
+}
+
+TEST_F(GemmModelTest, SmallGemmIsInefficient) {
+  EXPECT_LT(model_.Efficiency(100, 100, 100), 0.05);
+}
+
+TEST_F(GemmModelTest, ShallowGemmIsInefficient) {
+  // Tiny reduction depth can't amortize the prologue.
+  EXPECT_LT(model_.Efficiency(4096, 4096, 4),
+            0.2 * model_.Efficiency(4096, 4096, 256));
+}
+
+TEST_F(GemmModelTest, LargeGemmTimeNearRoofline) {
+  const int64_t n = 4096;
+  const double flops = 2.0 * n * n * n;
+  const double ideal =
+      flops / (DeviceSpec::TeslaK20c().peak_sp_flops *
+               GemmModel::kPeakEfficiency);
+  EXPECT_NEAR(model_.Time(n, n, n), ideal, ideal * 0.2);
+}
+
+TEST_F(GemmModelTest, TimeMonotonicInDepth) {
+  double prev = 0.0;
+  for (int64_t k : {16, 64, 256, 1024, 4096}) {
+    const double t = model_.Time(1024, 1024, k);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST_F(GemmModelTest, TinyGemmIsCappedBySerialBound) {
+  // A 30x30x10000 GEMM must not cost more than the serial single-SM cap.
+  const double t = model_.Time(30, 30, 10000);
+  const DeviceSpec spec = DeviceSpec::TeslaK20c();
+  const double flops = 2.0 * 30 * 30 * 10000;
+  const double serial =
+      flops / (spec.peak_sp_flops / spec.num_sms * 0.3) + 1e-3;
+  EXPECT_LT(t, serial);
+  EXPECT_LT(t, 1e-3);
+}
+
+TEST_F(GemmModelTest, MemoryBoundThinGemm) {
+  // m=1 row: bytes dominate flops.
+  const double t = model_.Time(1, 4096, 4096);
+  const double bytes = 4.0 * (4096.0 + 4096.0 * 4096 + 4096);
+  EXPECT_GE(t, bytes / DeviceSpec::TeslaK20c().mem_bandwidth_bytes_per_s);
+}
+
+}  // namespace
+}  // namespace sweetknn::gpusim

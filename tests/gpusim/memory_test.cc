@@ -1,0 +1,85 @@
+#include "gpusim/memory.h"
+
+#include "gpusim/device.h"
+#include "gtest/gtest.h"
+
+namespace sweetknn::gpusim {
+namespace {
+
+DeviceSpec SmallSpec() {
+  DeviceSpec spec = DeviceSpec::TeslaK20c();
+  spec.global_mem_bytes = 1024 * 1024;  // 1 MiB.
+  return spec;
+}
+
+TEST(DeviceMemoryTest, TracksUsage) {
+  Device dev(SmallSpec());
+  EXPECT_EQ(dev.used_bytes(), 0u);
+  {
+    auto buf = dev.Alloc<float>(1000, "a");
+    // Rounded to 256-byte granularity: 4000 -> 4096.
+    EXPECT_EQ(dev.used_bytes(), 4096u);
+    EXPECT_EQ(buf.size(), 1000u);
+  }
+  EXPECT_EQ(dev.used_bytes(), 0u);  // Freed on destruction.
+  EXPECT_EQ(dev.peak_used_bytes(), 4096u);
+}
+
+TEST(DeviceMemoryTest, AddressesAreAlignedAndDisjoint) {
+  Device dev(SmallSpec());
+  auto a = dev.Alloc<float>(10, "a");
+  auto b = dev.Alloc<float>(10, "b");
+  EXPECT_EQ(a.base_addr() % 256, 0u);
+  EXPECT_EQ(b.base_addr() % 256, 0u);
+  EXPECT_GE(b.base_addr(), a.base_addr() + 256);
+}
+
+TEST(DeviceMemoryTest, CanAllocateRespectsCapacity) {
+  Device dev(SmallSpec());
+  EXPECT_TRUE(dev.CanAllocate(1024 * 1024));
+  auto buf = dev.Alloc<uint8_t>(512 * 1024, "half");
+  EXPECT_TRUE(dev.CanAllocate(512 * 1024));
+  EXPECT_FALSE(dev.CanAllocate(600 * 1024));
+}
+
+TEST(DeviceMemoryTest, MoveTransfersOwnership) {
+  Device dev(SmallSpec());
+  DeviceBuffer<float> a = dev.Alloc<float>(64, "a");
+  a[3] = 9.0f;
+  const uint64_t addr = a.base_addr();
+  DeviceBuffer<float> b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): intended.
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.base_addr(), addr);
+  EXPECT_EQ(b[3], 9.0f);
+  EXPECT_EQ(dev.used_bytes(), 256u);
+}
+
+TEST(DeviceMemoryTest, AddressOfIsElementwise) {
+  Device dev(SmallSpec());
+  auto buf = dev.Alloc<float>(16, "a");
+  EXPECT_EQ(buf.AddressOf(4), buf.base_addr() + 16);
+}
+
+TEST(DeviceMemoryDeathTest, OutOfMemoryAborts) {
+  Device dev(SmallSpec());
+  EXPECT_DEATH(dev.Alloc<float>(10 * 1024 * 1024, "too big"),
+               "out of memory");
+}
+
+TEST(TransferTest, CopiesChargeTime) {
+  Device dev(SmallSpec());
+  auto buf = dev.Alloc<float>(256, "a");
+  std::vector<float> host(256, 2.0f);
+  dev.CopyToDevice(&buf, host.data(), host.size());
+  EXPECT_EQ(buf[100], 2.0f);
+  const double after_h2d = dev.profile().transfer_time_s;
+  EXPECT_GT(after_h2d, 0.0);
+  std::vector<float> back(256);
+  dev.CopyToHost(buf, back.data(), back.size());
+  EXPECT_EQ(back[100], 2.0f);
+  EXPECT_GT(dev.profile().transfer_time_s, after_h2d);
+}
+
+}  // namespace
+}  // namespace sweetknn::gpusim

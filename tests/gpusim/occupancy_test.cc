@@ -1,0 +1,62 @@
+#include "gpusim/occupancy.h"
+
+#include "gtest/gtest.h"
+
+namespace sweetknn::gpusim {
+namespace {
+
+const DeviceSpec kSpec = DeviceSpec::TeslaK20c();
+
+TEST(OccupancyTest, LightKernelIsThreadLimited) {
+  // 256 threads, 16 regs, no shared: 8 blocks fit by threads (2048/256).
+  const Occupancy occ = ComputeOccupancy(kSpec, 256, 16, 0);
+  EXPECT_EQ(occ.blocks_per_sm, 8);
+  EXPECT_EQ(occ.warps_per_sm, 64);
+  EXPECT_DOUBLE_EQ(occ.fraction, 1.0);
+}
+
+TEST(OccupancyTest, RegisterPressureLimits) {
+  // 128 regs/thread * 256 threads = 32768 regs/block; 65536/32768 = 2.
+  const Occupancy occ = ComputeOccupancy(kSpec, 256, 128, 0);
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+  EXPECT_EQ(occ.limiter, Occupancy::Limiter::kRegisters);
+  EXPECT_DOUBLE_EQ(occ.fraction, 2 * 8 / 64.0);
+}
+
+TEST(OccupancyTest, SharedMemoryLimits) {
+  // 24 KiB shared per block -> 2 blocks per SM.
+  const Occupancy occ = ComputeOccupancy(kSpec, 256, 16, 24 * 1024);
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+  EXPECT_EQ(occ.limiter, Occupancy::Limiter::kSharedMemory);
+}
+
+TEST(OccupancyTest, BlockCountLimits) {
+  // Tiny blocks: 2048/32 = 64 by threads, but max 16 blocks per SM.
+  const Occupancy occ = ComputeOccupancy(kSpec, 32, 16, 0);
+  EXPECT_EQ(occ.blocks_per_sm, 16);
+  EXPECT_EQ(occ.warps_per_sm, 16);
+  EXPECT_DOUBLE_EQ(occ.fraction, 0.25);
+}
+
+TEST(OccupancyTest, OversizedSharedYieldsZero) {
+  const Occupancy occ = ComputeOccupancy(kSpec, 256, 16, 49 * 1024);
+  EXPECT_EQ(occ.blocks_per_sm, 0);
+  EXPECT_DOUBLE_EQ(occ.fraction, 0.0);
+}
+
+TEST(OccupancyTest, MoreRegistersNeverRaisesOccupancy) {
+  double prev = 1.0;
+  for (int regs = 16; regs <= 255; regs += 16) {
+    const Occupancy occ = ComputeOccupancy(kSpec, 256, regs, 0);
+    EXPECT_LE(occ.fraction, prev) << "regs=" << regs;
+    prev = occ.fraction;
+  }
+}
+
+TEST(OccupancyTest, WarpsCappedAtArchitecturalLimit) {
+  const Occupancy occ = ComputeOccupancy(kSpec, 1024, 16, 0);
+  EXPECT_LE(occ.warps_per_sm, kSpec.MaxWarpsPerSm());
+}
+
+}  // namespace
+}  // namespace sweetknn::gpusim

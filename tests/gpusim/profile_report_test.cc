@@ -1,0 +1,76 @@
+#include "gpusim/profile_report.h"
+
+#include "gpusim/device.h"
+#include "gtest/gtest.h"
+
+namespace sweetknn::gpusim {
+namespace {
+
+Profile MakeProfile() {
+  Device dev(DeviceSpec::TeslaK20c());
+  auto buf = dev.Alloc<float>(1024, "buf");
+  dev.Launch(KernelMeta{"alpha", 32, 0}, LaunchConfig{4, 256}, [&](Warp& w) {
+    w.Op([](int) {}, 100);
+  });
+  dev.Launch(KernelMeta{"alpha", 32, 0}, LaunchConfig{4, 256}, [&](Warp& w) {
+    w.Op([](int) {}, 100);
+  });
+  dev.Launch(KernelMeta{"beta", 32, 0}, LaunchConfig{1, 32}, [&](Warp& w) {
+    const LaneMask low = w.Ballot([](int lane) { return lane < 8; });
+    w.If(low, [&] { w.Op([](int) {}); });
+    w.Load(buf, [](int lane) { return lane; }, [](int, float) {});
+  });
+  dev.RecordAnalyticLaunch("gemm", 1e-3);
+  return dev.profile();
+}
+
+TEST(ProfileReportTest, MergesLaunchesByName) {
+  const auto rows = SummarizeProfile(MakeProfile());
+  ASSERT_EQ(rows.size(), 3u);
+  // Sorted by descending time: the analytic 1 ms launch leads.
+  EXPECT_EQ(rows[0].kernel_name, "gemm");
+  EXPECT_TRUE(rows[0].analytic);
+  const auto alpha = std::find_if(rows.begin(), rows.end(), [](auto& r) {
+    return r.kernel_name == "alpha";
+  });
+  ASSERT_NE(alpha, rows.end());
+  EXPECT_EQ(alpha->launches, 2);
+  // 2 launches x 4 blocks x 8 warps x 100-cost op.
+  EXPECT_EQ(alpha->warp_instructions, 2u * 4 * 8 * 100);
+}
+
+TEST(ProfileReportTest, SharesSumToOne) {
+  const auto rows = SummarizeProfile(MakeProfile());
+  double total_share = 0.0;
+  for (const auto& row : rows) total_share += row.time_share;
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+}
+
+TEST(ProfileReportTest, EfficiencyIsPerKernel) {
+  const auto rows = SummarizeProfile(MakeProfile());
+  const auto beta = std::find_if(rows.begin(), rows.end(), [](auto& r) {
+    return r.kernel_name == "beta";
+  });
+  ASSERT_NE(beta, rows.end());
+  // Ballot (32) + masked op (8) + load (32) over 3 instructions.
+  EXPECT_NEAR(beta->warp_efficiency, (32.0 + 8.0 + 32.0) / 96.0, 1e-9);
+}
+
+TEST(ProfileReportTest, FormattedReportMentionsEveryKernel) {
+  const std::string report = FormatProfileReport(MakeProfile());
+  EXPECT_NE(report.find("alpha"), std::string::npos);
+  EXPECT_NE(report.find("beta"), std::string::npos);
+  EXPECT_NE(report.find("gemm"), std::string::npos);
+  EXPECT_NE(report.find("(model)"), std::string::npos);
+  EXPECT_NE(report.find("total"), std::string::npos);
+}
+
+TEST(ProfileReportTest, EmptyProfile) {
+  Profile empty;
+  EXPECT_TRUE(SummarizeProfile(empty).empty());
+  const std::string report = FormatProfileReport(empty);
+  EXPECT_NE(report.find("kernel"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sweetknn::gpusim

@@ -1,0 +1,71 @@
+#include "gpusim/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "gpusim/device.h"
+#include "gtest/gtest.h"
+
+namespace sweetknn::gpusim {
+namespace {
+
+Profile MakeProfile() {
+  Device dev(DeviceSpec::TeslaK20c());
+  dev.Launch(KernelMeta{"ker\"nel", 32, 0}, LaunchConfig{2, 64},
+             [](Warp& w) { w.Op([](int) {}, 50); });
+  dev.RecordAnalyticLaunch("gemm", 2e-3);
+  dev.ChargeTransfer(1024);
+  return dev.profile();
+}
+
+TEST(TraceExportTest, ProducesValidJsonStructure) {
+  const std::string json = ProfileToChromeTrace(MakeProfile());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("gemm"), std::string::npos);
+  EXPECT_NE(json.find("pcie transfers"), std::string::npos);
+  // The quote in the kernel name is escaped.
+  EXPECT_NE(json.find("ker\\\"nel"), std::string::npos);
+  // Balanced braces (crude structural check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(TraceExportTest, EventsArePlacedBackToBack) {
+  const std::string json = ProfileToChromeTrace(MakeProfile());
+  // The second event starts where the first ends: its ts must be > 0.
+  const size_t second = json.find("gemm");
+  ASSERT_NE(second, std::string::npos);
+  const size_t ts_pos = json.find("\"ts\":", second - 200);
+  ASSERT_NE(ts_pos, std::string::npos);
+}
+
+TEST(TraceExportTest, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/trace.json";
+  ASSERT_TRUE(WriteChromeTrace(MakeProfile(), path).ok());
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string contents((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("traceEvents"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceExportTest, WriteToBadPathFails) {
+  EXPECT_FALSE(WriteChromeTrace(MakeProfile(), "/no/such/dir/x.json").ok());
+}
+
+TEST(DeviceSpecPresetsTest, PresetsDiffer) {
+  const DeviceSpec k20 = DeviceSpec::TeslaK20c();
+  const DeviceSpec k40 = DeviceSpec::TeslaK40();
+  const DeviceSpec small = DeviceSpec::GtxSmall();
+  EXPECT_GT(k40.num_sms, k20.num_sms);
+  EXPECT_GT(k40.peak_sp_flops, k20.peak_sp_flops);
+  EXPECT_LT(small.num_sms, k20.num_sms);
+  EXPECT_LT(small.mem_bandwidth_bytes_per_s,
+            k20.mem_bandwidth_bytes_per_s);
+}
+
+}  // namespace
+}  // namespace sweetknn::gpusim

@@ -1,0 +1,191 @@
+// Edge cases of the SIMT DSL: interactions of nested control flow,
+// partial warps, and accounting invariants.
+
+#include "gpusim/device.h"
+#include "gpusim/warp.h"
+#include "gtest/gtest.h"
+
+namespace sweetknn::gpusim {
+namespace {
+
+struct WarpFixture {
+  KernelStats stats;
+  Warp warp;
+  explicit WarpFixture(LaneMask mask = kFullMask)
+      : warp(&stats, 0, 256, 0, mask) {}
+};
+
+TEST(WarpEdgeTest, BallotOnPartialWarpIgnoresInactiveLanes) {
+  WarpFixture f(/*mask=*/0x000000ff);
+  const LaneMask all = f.warp.Ballot([](int) { return true; });
+  EXPECT_EQ(all, 0x000000ffu);
+}
+
+TEST(WarpEdgeTest, IfElseInsideWhileWithBreak) {
+  WarpFixture f;
+  Reg<int> i;
+  Reg<int> even_work;
+  Reg<int> odd_work;
+  f.warp.Op([&](int lane) {
+    i[lane] = 0;
+    even_work[lane] = 0;
+    odd_work[lane] = 0;
+  });
+  f.warp.While(
+      [&](int lane) { return i[lane] < 10; },
+      [&] {
+        const LaneMask even =
+            f.warp.Ballot([](int lane) { return lane % 2 == 0; });
+        f.warp.IfElse(
+            even,
+            [&] {
+              // Even lanes break after 3 iterations.
+              f.warp.BreakIf(
+                  f.warp.Ballot([&](int lane) { return i[lane] >= 3; }));
+              f.warp.Op([&](int lane) { ++even_work[lane]; });
+            },
+            [&] { f.warp.Op([&](int lane) { ++odd_work[lane]; }); });
+        f.warp.Op([&](int lane) { ++i[lane]; });
+      });
+  for (int lane = 0; lane < 32; ++lane) {
+    if (lane % 2 == 0) {
+      EXPECT_EQ(even_work[lane], 3) << lane;
+      EXPECT_EQ(i[lane], 3) << lane;
+    } else {
+      EXPECT_EQ(odd_work[lane], 10) << lane;
+      EXPECT_EQ(i[lane], 10) << lane;
+    }
+  }
+}
+
+TEST(WarpEdgeTest, TripleNestedLoops) {
+  WarpFixture f;
+  Reg<int> total;
+  Reg<int> a;
+  f.warp.Op([&](int lane) { total[lane] = 0; });
+  f.warp.Op([&](int lane) { a[lane] = 0; });
+  f.warp.While(
+      [&](int lane) { return a[lane] < 2; },
+      [&] {
+        Reg<int> b;
+        f.warp.Op([&](int lane) { b[lane] = 0; });
+        f.warp.While(
+            [&](int lane) { return b[lane] < 3; },
+            [&] {
+              Reg<int> c;
+              f.warp.Op([&](int lane) { c[lane] = 0; });
+              f.warp.While(
+                  [&](int lane) { return c[lane] < 4; },
+                  [&] {
+                    f.warp.Op([&](int lane) {
+                      ++total[lane];
+                      ++c[lane];
+                    });
+                  });
+              f.warp.Op([&](int lane) { ++b[lane]; });
+            });
+        f.warp.Op([&](int lane) { ++a[lane]; });
+      });
+  for (int lane = 0; lane < 32; ++lane) {
+    EXPECT_EQ(total[lane], 2 * 3 * 4);
+  }
+}
+
+TEST(WarpEdgeTest, ActiveLaneOpsNeverExceedInstructionCapacity) {
+  WarpFixture f;
+  Reg<int> i;
+  f.warp.Op([&](int lane) { i[lane] = 0; });
+  f.warp.While([&](int lane) { return i[lane] <= lane; },
+               [&] {
+                 f.warp.BreakIf(f.warp.Ballot(
+                     [](int lane) { return lane == 31; }));
+                 f.warp.Op([&](int lane) { ++i[lane]; });
+               });
+  EXPECT_LE(f.stats.active_lane_ops, f.stats.warp_instructions * 32);
+}
+
+TEST(WarpEdgeTest, ContinueThenBreakInSameIteration) {
+  WarpFixture f;
+  Reg<int> i;
+  Reg<int> late_work;
+  f.warp.Op([&](int lane) {
+    i[lane] = 0;
+    late_work[lane] = 0;
+  });
+  f.warp.While(
+      [&](int lane) { return i[lane] < 8; },
+      [&] {
+        f.warp.Op([&](int lane) { ++i[lane]; });
+        // Lanes 0-7 skip the tail this iteration.
+        f.warp.ContinueIf(f.warp.Ballot([](int lane) { return lane < 8; }));
+        // Lanes 16+ leave the loop entirely once i reaches 4.
+        f.warp.BreakIf(f.warp.Ballot(
+            [&](int lane) { return lane >= 16 && i[lane] >= 4; }));
+        f.warp.Op([&](int lane) { ++late_work[lane]; });
+      });
+  for (int lane = 0; lane < 32; ++lane) {
+    if (lane < 8) {
+      EXPECT_EQ(late_work[lane], 0) << lane;
+      EXPECT_EQ(i[lane], 8) << lane;
+    } else if (lane < 16) {
+      EXPECT_EQ(late_work[lane], 8) << lane;
+    } else {
+      EXPECT_EQ(late_work[lane], 3) << lane;  // i = 1,2,3 survive the break.
+      EXPECT_EQ(i[lane], 4) << lane;
+    }
+  }
+}
+
+TEST(WarpEdgeTest, LoadRangeOnPartialWarpCountsOnlyActiveLanes) {
+  Device dev(DeviceSpec::TeslaK20c());
+  auto buf = dev.Alloc<float>(32 * 16, "buf");
+  const auto& rec =
+      dev.Launch(KernelMeta{"t", 32, 0}, LaunchConfig{1, 8}, [&](Warp& w) {
+        w.LoadRange(buf, [](int lane) { return lane * 16; }, 16, 4,
+                    [](int, const float*) {});
+      });
+  // 8 lanes x 16 floats = 64 bytes... 16 floats = 64B -> shares segments:
+  // lanes are 64B apart, so two lanes per 128B segment: 4 transactions.
+  EXPECT_EQ(rec.stats.global_transactions, 4u);
+}
+
+TEST(WarpEdgeTest, DivergenceCountsAreMonotonicInNesting) {
+  WarpFixture flat;
+  flat.warp.If(flat.warp.Ballot([](int lane) { return lane < 16; }),
+               [&] { flat.warp.Op([](int) {}); });
+  WarpFixture nested;
+  nested.warp.If(nested.warp.Ballot([](int lane) { return lane < 16; }),
+                 [&] {
+                   nested.warp.If(nested.warp.Ballot(
+                                      [](int lane) { return lane < 8; }),
+                                  [&] { nested.warp.Op([](int) {}); });
+                 });
+  EXPECT_GT(nested.stats.divergent_branches,
+            flat.stats.divergent_branches);
+}
+
+TEST(WarpEdgeTest, WhileWithImmediatelyFalseCondition) {
+  WarpFixture f;
+  int bodies = 0;
+  f.warp.While([](int) { return false; }, [&] { ++bodies; });
+  EXPECT_EQ(bodies, 0);
+  // The condition evaluation itself is one instruction.
+  EXPECT_EQ(f.stats.warp_instructions, 1u);
+}
+
+TEST(WarpEdgeTest, StoreRangePartialTailRange) {
+  Device dev(DeviceSpec::TeslaK20c());
+  auto buf = dev.Alloc<float>(32 * 7, "buf");
+  dev.Launch(KernelMeta{"t", 32, 0}, LaunchConfig{1, 32}, [&](Warp& w) {
+    // 7 elements with width 4 -> 2 instructions per lane-range.
+    w.StoreRange(buf, [](int lane) { return lane * 7; }, 7, 4,
+                 [](int lane, size_t j) {
+                   return static_cast<float>(lane + static_cast<int>(j));
+                 });
+  });
+  EXPECT_FLOAT_EQ(buf[3 * 7 + 6], 9.0f);
+  EXPECT_EQ(dev.profile().launches[0].stats.global_store_instructions, 2u);
+}
+
+}  // namespace
+}  // namespace sweetknn::gpusim

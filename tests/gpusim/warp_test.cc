@@ -1,0 +1,259 @@
+#include "gpusim/warp.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace sweetknn::gpusim {
+namespace {
+
+/// Standalone warp over fresh stats, full mask unless specified.
+struct WarpFixture {
+  KernelStats stats;
+  Warp warp;
+  explicit WarpFixture(LaneMask mask = kFullMask)
+      : warp(&stats, /*block_id=*/0, /*block_threads=*/256,
+             /*warp_in_block=*/0, mask) {}
+};
+
+TEST(WarpTest, OpChargesOneInstructionAllLanes) {
+  WarpFixture f;
+  int calls = 0;
+  f.warp.Op([&](int) { ++calls; });
+  EXPECT_EQ(calls, 32);
+  EXPECT_EQ(f.stats.warp_instructions, 1u);
+  EXPECT_EQ(f.stats.active_lane_ops, 32u);
+}
+
+TEST(WarpTest, OpWithCostScalesCharges) {
+  WarpFixture f;
+  f.warp.Op([](int) {}, /*cost=*/10);
+  EXPECT_EQ(f.stats.warp_instructions, 10u);
+  EXPECT_EQ(f.stats.active_lane_ops, 320u);
+}
+
+TEST(WarpTest, PartialMaskOnlyRunsActiveLanes) {
+  WarpFixture f(/*mask=*/0x0000000f);
+  std::vector<int> lanes;
+  f.warp.Op([&](int lane) { lanes.push_back(lane); });
+  EXPECT_EQ(lanes, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(f.stats.active_lane_ops, 4u);
+}
+
+TEST(WarpTest, GlobalThreadIdGeometry) {
+  KernelStats stats;
+  Warp w(&stats, /*block_id=*/3, /*block_threads=*/128, /*warp_in_block=*/2,
+         kFullMask);
+  EXPECT_EQ(w.GlobalThreadId(0), 3 * 128 + 2 * 32);
+  EXPECT_EQ(w.GlobalThreadId(31), 3 * 128 + 2 * 32 + 31);
+  EXPECT_EQ(w.BlockThreadId(5), 2 * 32 + 5);
+}
+
+TEST(WarpTest, BallotEvaluatesPredicate) {
+  WarpFixture f;
+  const LaneMask even = f.warp.Ballot([](int lane) { return lane % 2 == 0; });
+  EXPECT_EQ(even, 0x55555555u);
+  EXPECT_EQ(f.stats.warp_instructions, 1u);
+}
+
+TEST(WarpTest, IfNarrowsMaskAndCountsDivergence) {
+  WarpFixture f;
+  const LaneMask low = f.warp.Ballot([](int lane) { return lane < 8; });
+  int calls = 0;
+  f.warp.If(low, [&] { f.warp.Op([&](int) { ++calls; }); });
+  EXPECT_EQ(calls, 8);
+  EXPECT_EQ(f.stats.divergent_branches, 1u);
+  // Mask restored afterwards.
+  calls = 0;
+  f.warp.Op([&](int) { ++calls; });
+  EXPECT_EQ(calls, 32);
+}
+
+TEST(WarpTest, IfAllLanesIsNotDivergent) {
+  WarpFixture f;
+  f.warp.If(kFullMask, [&] { f.warp.Op([](int) {}); });
+  EXPECT_EQ(f.stats.divergent_branches, 0u);
+}
+
+TEST(WarpTest, IfNoLanesSkipsBody) {
+  WarpFixture f;
+  bool entered = false;
+  f.warp.If(0, [&] { entered = true; });
+  EXPECT_FALSE(entered);
+}
+
+TEST(WarpTest, IfElseRunsBothSidesSerially) {
+  WarpFixture f;
+  const LaneMask low = f.warp.Ballot([](int lane) { return lane < 10; });
+  int then_calls = 0;
+  int else_calls = 0;
+  f.warp.IfElse(
+      low, [&] { f.warp.Op([&](int) { ++then_calls; }); },
+      [&] { f.warp.Op([&](int) { ++else_calls; }); });
+  EXPECT_EQ(then_calls, 10);
+  EXPECT_EQ(else_calls, 22);
+  EXPECT_EQ(f.stats.divergent_branches, 1u);
+}
+
+TEST(WarpTest, WhileUniformTripCount) {
+  WarpFixture f;
+  Reg<int> i;
+  f.warp.Op([&](int lane) { i[lane] = 0; });
+  int iterations = 0;
+  f.warp.While([&](int lane) { return i[lane] < 5; },
+               [&] {
+                 ++iterations;
+                 f.warp.Op([&](int lane) { ++i[lane]; });
+               });
+  EXPECT_EQ(iterations, 5);
+  EXPECT_EQ(f.stats.divergent_branches, 0u);
+}
+
+TEST(WarpTest, WhileUnevenTripsIdleFinishedLanes) {
+  WarpFixture f;
+  Reg<int> i;
+  Reg<int> work;
+  f.warp.Op([&](int lane) {
+    i[lane] = 0;
+    work[lane] = 0;
+  });
+  // Lane l iterates l+1 times; warp runs 32 iterations total.
+  int iterations = 0;
+  f.warp.While([&](int lane) { return i[lane] <= lane; },
+               [&] {
+                 ++iterations;
+                 f.warp.Op([&](int lane) {
+                   ++i[lane];
+                   ++work[lane];
+                 });
+               });
+  EXPECT_EQ(iterations, 32);
+  for (int lane = 0; lane < 32; ++lane) {
+    EXPECT_EQ(work[lane], lane + 1);
+  }
+  // Efficiency decays as lanes retire: divergence recorded.
+  EXPECT_GT(f.stats.divergent_branches, 0u);
+}
+
+TEST(WarpTest, BreakIfStopsLanes) {
+  WarpFixture f;
+  Reg<int> i;
+  f.warp.Op([&](int lane) { i[lane] = 0; });
+  f.warp.While([&](int lane) { return i[lane] < 100; },
+               [&] {
+                 f.warp.BreakIf(
+                     f.warp.Ballot([&](int lane) { return i[lane] >= lane; }));
+                 f.warp.Op([&](int lane) { ++i[lane]; });
+               });
+  // Lane l breaks when i == l, so the final value of i is l.
+  for (int lane = 0; lane < 32; ++lane) {
+    EXPECT_EQ(i[lane], lane);
+  }
+}
+
+TEST(WarpTest, ContinueIfSkipsRestOfIteration) {
+  WarpFixture f;
+  Reg<int> i;
+  Reg<int> executed;
+  f.warp.Op([&](int lane) {
+    i[lane] = 0;
+    executed[lane] = 0;
+  });
+  f.warp.While([&](int lane) { return i[lane] < 4; },
+               [&] {
+                 f.warp.Op([&](int lane) { ++i[lane]; });
+                 // Skip even lanes for the tail of the body.
+                 f.warp.ContinueIf(
+                     f.warp.Ballot([](int lane) { return lane % 2 == 0; }));
+                 f.warp.Op([&](int lane) { ++executed[lane]; });
+               });
+  for (int lane = 0; lane < 32; ++lane) {
+    EXPECT_EQ(executed[lane], lane % 2 == 0 ? 0 : 4) << "lane " << lane;
+    EXPECT_EQ(i[lane], 4);  // Continue rejoins at the next iteration.
+  }
+}
+
+TEST(WarpTest, NestedWhileBreakAffectsInnerOnly) {
+  WarpFixture f;
+  Reg<int> outer;
+  Reg<int> inner_total;
+  f.warp.Op([&](int lane) {
+    outer[lane] = 0;
+    inner_total[lane] = 0;
+  });
+  f.warp.While([&](int lane) { return outer[lane] < 3; },
+               [&] {
+                 Reg<int> j;
+                 f.warp.Op([&](int lane) { j[lane] = 0; });
+                 f.warp.While([&](int lane) { return j[lane] < 10; },
+                              [&] {
+                                f.warp.BreakIf(f.warp.Ballot(
+                                    [&](int lane) { return j[lane] >= 2; }));
+                                f.warp.Op([&](int lane) {
+                                  ++j[lane];
+                                  ++inner_total[lane];
+                                });
+                              });
+                 f.warp.Op([&](int lane) { ++outer[lane]; });
+               });
+  for (int lane = 0; lane < 32; ++lane) {
+    EXPECT_EQ(outer[lane], 3);
+    EXPECT_EQ(inner_total[lane], 6);  // 2 inner iterations x 3 outer.
+  }
+}
+
+TEST(WarpTest, BreakInsideIfExitsLoop) {
+  WarpFixture f;
+  Reg<int> i;
+  f.warp.Op([&](int lane) { i[lane] = 0; });
+  f.warp.While([&](int lane) { return i[lane] < 100; },
+               [&] {
+                 const LaneMask past = f.warp.Ballot(
+                     [&](int lane) { return i[lane] >= 7; });
+                 f.warp.If(past, [&] { f.warp.BreakIf(f.warp.active()); });
+                 f.warp.Op([&](int lane) { ++i[lane]; });
+               });
+  for (int lane = 0; lane < 32; ++lane) {
+    EXPECT_EQ(i[lane], 7);
+  }
+}
+
+TEST(WarpTest, ChargeManualAccumulates) {
+  WarpFixture f;
+  f.warp.ChargeManual(100, 1600);
+  EXPECT_EQ(f.stats.warp_instructions, 100u);
+  EXPECT_EQ(f.stats.active_lane_ops, 1600u);
+}
+
+TEST(WarpTest, ChargeMemoryDefaultsAllDram) {
+  WarpFixture f;
+  f.warp.ChargeMemory(10, 4, 6);
+  EXPECT_EQ(f.stats.global_transactions, 10u);
+  EXPECT_EQ(f.stats.dram_transactions, 10u);
+  EXPECT_EQ(f.stats.global_load_instructions, 4u);
+  EXPECT_EQ(f.stats.global_store_instructions, 6u);
+}
+
+TEST(WarpTest, ChargeMemoryWithCachedShare) {
+  WarpFixture f;
+  f.warp.ChargeMemory(10, 4, 6, /*dram_transactions=*/3);
+  EXPECT_EQ(f.stats.global_transactions, 10u);
+  EXPECT_EQ(f.stats.dram_transactions, 3u);
+}
+
+TEST(WarpEfficiencyTest, FullWarpIsFullyEfficient) {
+  WarpFixture f;
+  f.warp.Op([](int) {});
+  EXPECT_DOUBLE_EQ(f.stats.WarpEfficiency(), 1.0);
+}
+
+TEST(WarpEfficiencyTest, DivergedHalvesEfficiency) {
+  WarpFixture f;
+  const LaneMask low = f.warp.Ballot([](int lane) { return lane < 16; });
+  f.warp.If(low, [&] { f.warp.Op([](int) {}); });
+  // Two instructions: ballot (32 active) + masked op (16 active).
+  EXPECT_DOUBLE_EQ(f.stats.WarpEfficiency(), (32.0 + 16.0) / 64.0);
+}
+
+}  // namespace
+}  // namespace sweetknn::gpusim

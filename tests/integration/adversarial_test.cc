@@ -1,0 +1,144 @@
+// Adversarial and degenerate inputs: configurations that stress the
+// bound logic, tie handling, and partitioning paths.
+
+#include "baseline/brute_force_cpu.h"
+#include "core/sweet_knn.h"
+#include "common/rng.h"
+#include "dataset/generators.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace sweetknn {
+namespace {
+
+using testing::ExpectResultsMatch;
+
+void ExpectExact(const HostMatrix& points, int k) {
+  SweetKnn knn;
+  ExpectResultsMatch(baseline::BruteForceCpu(points, points, k),
+                     knn.SelfJoin(points, k));
+}
+
+TEST(AdversarialTest, AllPointsIdentical) {
+  HostMatrix points(100, 5);
+  for (size_t i = 0; i < 100; ++i) {
+    for (size_t j = 0; j < 5; ++j) points.at(i, j) = 3.25f;
+  }
+  SweetKnn knn;
+  const KnnResult result = knn.SelfJoin(points, 4);
+  // All distances are zero; ties broken by index => neighbors 0,1,2,3.
+  for (size_t q = 0; q < 100; ++q) {
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_FLOAT_EQ(result.row(q)[i].distance, 0.0f);
+      EXPECT_EQ(result.row(q)[i].index, static_cast<uint32_t>(i));
+    }
+  }
+}
+
+TEST(AdversarialTest, CollinearPoints) {
+  HostMatrix points(200, 3);
+  for (size_t i = 0; i < 200; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      points.at(i, j) = static_cast<float>(i) * 0.5f;
+    }
+  }
+  ExpectExact(points, 5);
+}
+
+TEST(AdversarialTest, TwoDistantSingletonsAmongClusters) {
+  HostMatrix points = testing::ClusteredPoints(300, 4, 4, 181, 0.01f);
+  // Isolated outliers whose kth neighbor is far outside any cluster.
+  for (size_t j = 0; j < 4; ++j) {
+    points.at(0, j) = 100.0f;
+    points.at(1, j) = -100.0f;
+  }
+  ExpectExact(points, 6);
+}
+
+TEST(AdversarialTest, DuplicatedBlocksExactTies) {
+  // Every point duplicated 4x: massive distance ties everywhere.
+  HostMatrix points(240, 3);
+  Rng rng(182);
+  for (size_t g = 0; g < 60; ++g) {
+    float v[3] = {rng.NextFloat(), rng.NextFloat(), rng.NextFloat()};
+    for (size_t copy = 0; copy < 4; ++copy) {
+      for (size_t j = 0; j < 3; ++j) points.at(g * 4 + copy, j) = v[j];
+    }
+  }
+  ExpectExact(points, 7);
+}
+
+TEST(AdversarialTest, SingleCluster) {
+  const HostMatrix points = testing::ClusteredPoints(150, 6, 1, 183);
+  ExpectExact(points, 5);
+}
+
+TEST(AdversarialTest, HugeKNearlyWholeSet) {
+  const HostMatrix points = testing::ClusteredPoints(120, 4, 3, 184);
+  ExpectExact(points, 119);
+  ExpectExact(points, 120);
+}
+
+TEST(AdversarialTest, ZeroVarianceDimensions) {
+  HostMatrix points = testing::ClusteredPoints(200, 8, 4, 185);
+  for (size_t i = 0; i < 200; ++i) {
+    points.at(i, 3) = 0.0f;
+    points.at(i, 7) = 42.0f;
+  }
+  ExpectExact(points, 5);
+}
+
+TEST(AdversarialTest, ExtremeCoordinateMagnitudes) {
+  HostMatrix points(100, 2);
+  Rng rng(186);
+  for (size_t i = 0; i < 100; ++i) {
+    points.at(i, 0) = 1e6f + rng.NextFloat();
+    points.at(i, 1) = 1e-6f * rng.NextFloat();
+  }
+  // Relative tolerance: distances carry the 1e6 offset's rounding.
+  SweetKnn knn;
+  const KnnResult result = knn.SelfJoin(points, 4);
+  const KnnResult oracle = baseline::BruteForceCpu(points, points, 4);
+  std::string msg;
+  EXPECT_EQ(CountResultMismatches(oracle, result, 1e-3f, &msg), 0u) << msg;
+}
+
+TEST(AdversarialTest, HighlySkewedClusterSizes) {
+  dataset::MixtureConfig cfg;
+  cfg.n = 400;
+  cfg.dims = 5;
+  cfg.clusters = 8;
+  cfg.size_skew = 6.0f;  // Largest component ~e^6 times the smallest.
+  cfg.seed = 187;
+  const dataset::Dataset data = dataset::MakeGaussianMixture("skew", cfg);
+  ExpectExact(data.points, 9);
+}
+
+TEST(AdversarialTest, QueriesDisjointFromTargets) {
+  // Query cloud entirely outside the target clusters.
+  const HostMatrix target = testing::ClusteredPoints(250, 3, 4, 188);
+  HostMatrix query(40, 3);
+  Rng rng(189);
+  for (size_t i = 0; i < 40; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      query.at(i, j) = 50.0f + rng.NextFloat();
+    }
+  }
+  SweetKnn knn;
+  ExpectResultsMatch(baseline::BruteForceCpu(query, target, 5),
+                     knn.Join(query, target, 5));
+}
+
+TEST(AdversarialTest, SingleTargetPoint) {
+  const HostMatrix query = testing::UniformPoints(30, 4, 190);
+  HostMatrix target(1, 4);
+  SweetKnn knn;
+  const KnnResult result = knn.Join(query, target, 3);
+  for (size_t q = 0; q < 30; ++q) {
+    EXPECT_EQ(result.row(q)[0].index, 0u);
+    EXPECT_EQ(result.row(q)[1].index, kInvalidNeighbor);
+  }
+}
+
+}  // namespace
+}  // namespace sweetknn

@@ -1,0 +1,75 @@
+// Cross-validation of the profiling counters: the sequential CPU TI-KNN
+// and the GPU basic TI implementation run the same algorithm, so their
+// saved-computation fractions must be in the same ballpark (they differ
+// only through landmark RNG streams and theta-update ordering).
+
+#include "baseline/ti_knn_cpu.h"
+#include "core/ti_knn_gpu.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace sweetknn {
+namespace {
+
+TEST(CounterConsistencyTest, CpuAndGpuSavedFractionsAgree) {
+  const HostMatrix points = testing::ClusteredPoints(600, 8, 10, 201,
+                                                     /*spread=*/0.01f);
+  baseline::TiCpuStats cpu_stats;
+  baseline::TiKnnCpu(points, points, 8, 0, &cpu_stats);
+
+  gpusim::Device dev(gpusim::DeviceSpec::TeslaK20c());
+  core::KnnRunStats gpu_stats;
+  core::TiKnnEngine::RunOnce(&dev, points, points, 8,
+                             core::TiOptions::BasicTi(), &gpu_stats);
+
+  EXPECT_EQ(cpu_stats.total_pairs, gpu_stats.total_pairs);
+  EXPECT_GT(cpu_stats.SavedFraction(), 0.8);
+  EXPECT_GT(gpu_stats.SavedFraction(), 0.8);
+  EXPECT_NEAR(cpu_stats.SavedFraction(), gpu_stats.SavedFraction(), 0.1);
+}
+
+TEST(CounterConsistencyTest, SweetMultiThreadingMayOnlyWeakenFiltering) {
+  // Shared-theta multi-threading never computes fewer distances than the
+  // single-thread full filter on the same clustering.
+  const HostMatrix points = testing::ClusteredPoints(150, 6, 4, 202);
+  core::TiOptions single = core::TiOptions::Sweet();
+  single.elastic_parallelism = false;
+  core::TiOptions multi = core::TiOptions::Sweet();
+  multi.threads_per_query_override = 8;
+
+  gpusim::Device dev_a(gpusim::DeviceSpec::TeslaK20c());
+  core::KnnRunStats stats_single;
+  core::TiKnnEngine::RunOnce(&dev_a, points, points, 5, single,
+                             &stats_single);
+  gpusim::Device dev_b(gpusim::DeviceSpec::TeslaK20c());
+  core::KnnRunStats stats_multi;
+  core::TiKnnEngine::RunOnce(&dev_b, points, points, 5, multi,
+                             &stats_multi);
+
+  EXPECT_GE(stats_multi.distance_calcs, stats_single.distance_calcs);
+}
+
+TEST(CounterConsistencyTest, PartialFilterComputesMoreButSavesMost) {
+  const HostMatrix points = testing::ClusteredPoints(500, 6, 8, 203,
+                                                     /*spread=*/0.01f);
+  core::TiOptions full = core::TiOptions::Sweet();
+  full.filter_override = core::Level2Filter::kFull;
+  core::TiOptions partial = core::TiOptions::Sweet();
+  partial.filter_override = core::Level2Filter::kPartial;
+
+  gpusim::Device dev_a(gpusim::DeviceSpec::TeslaK20c());
+  core::KnnRunStats stats_full;
+  core::TiKnnEngine::RunOnce(&dev_a, points, points, 10, full, &stats_full);
+  gpusim::Device dev_b(gpusim::DeviceSpec::TeslaK20c());
+  core::KnnRunStats stats_partial;
+  core::TiKnnEngine::RunOnce(&dev_b, points, points, 10, partial,
+                             &stats_partial);
+
+  EXPECT_GE(stats_partial.distance_calcs, stats_full.distance_calcs);
+  // The paper's observation: "most distance computations could still be
+  // saved even with the weakened level-2 filtering".
+  EXPECT_GT(stats_partial.SavedFraction(), 0.8);
+}
+
+}  // namespace
+}  // namespace sweetknn

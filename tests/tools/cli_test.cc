@@ -1,0 +1,115 @@
+// Smoke tests of the sweetknn_cli binary: spawn it against generated CSVs
+// and validate the output against the in-process oracle.
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "baseline/brute_force_cpu.h"
+#include "dataset/generators.h"
+#include "dataset/io.h"
+#include "gtest/gtest.h"
+
+namespace sweetknn {
+namespace {
+
+std::string CliPath() {
+  // The test binary lives in build/tests/, the CLI in build/tools/.
+  const char* env = std::getenv("SWEETKNN_CLI");
+  return env != nullptr ? env : "../tools/sweetknn_cli";
+}
+
+/// Runs a command and captures stdout.
+int RunCommand(const std::string& cmd, std::string* output) {
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  std::array<char, 4096> chunk;
+  output->clear();
+  while (std::fgets(chunk.data(), chunk.size(), pipe) != nullptr) {
+    *output += chunk.data();
+  }
+  return pclose(pipe);
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset::MixtureConfig cfg;
+    cfg.n = 150;
+    cfg.dims = 4;
+    cfg.clusters = 3;
+    cfg.seed = 17;
+    data_ = dataset::MakeGaussianMixture("cli", cfg);
+    csv_path_ = ::testing::TempDir() + "/cli_points.csv";
+    ASSERT_TRUE(dataset::SaveCsv(data_, csv_path_).ok());
+  }
+  void TearDown() override { std::remove(csv_path_.c_str()); }
+
+  dataset::Dataset data_;
+  std::string csv_path_;
+};
+
+TEST_F(CliTest, SelfJoinMatchesOracle) {
+  std::string output;
+  const int status = RunCommand(
+      CliPath() + " --target=" + csv_path_ + " --k=3 2>/dev/null", &output);
+  ASSERT_EQ(status, 0) << "is the CLI built? " << CliPath();
+
+  const KnnResult oracle =
+      baseline::BruteForceCpu(data_.points, data_.points, 3);
+  std::stringstream lines(output);
+  std::string line;
+  size_t q = 0;
+  while (std::getline(lines, line)) {
+    std::stringstream cells(line);
+    std::string cell;
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(std::getline(cells, cell, ','));
+      const uint32_t idx = static_cast<uint32_t>(std::stoul(cell));
+      ASSERT_TRUE(std::getline(cells, cell, ','));
+      const float dist = std::stof(cell);
+      EXPECT_NEAR(dist, oracle.row(q)[i].distance, 2e-4f)
+          << "query " << q << " rank " << i << " idx " << idx;
+    }
+    ++q;
+  }
+  EXPECT_EQ(q, 150u);
+}
+
+TEST_F(CliTest, EngineVariantsAgree) {
+  std::string sweet;
+  std::string basic;
+  ASSERT_EQ(RunCommand(CliPath() + " --target=" + csv_path_ +
+                           " --k=2 --engine=sweet 2>/dev/null",
+                       &sweet),
+            0);
+  ASSERT_EQ(RunCommand(CliPath() + " --target=" + csv_path_ +
+                           " --k=2 --engine=basic 2>/dev/null",
+                       &basic),
+            0);
+  EXPECT_EQ(sweet, basic);
+}
+
+TEST_F(CliTest, BadUsageFails) {
+  std::string output;
+  EXPECT_NE(RunCommand(CliPath() + " --bogus 2>/dev/null", &output), 0);
+  EXPECT_NE(RunCommand(CliPath() + " --target=/does/not/exist.csv --k=2"
+                                   " 2>/dev/null",
+                       &output),
+            0);
+}
+
+TEST_F(CliTest, ProfileFlagPrintsReport) {
+  std::string output;
+  ASSERT_EQ(RunCommand(CliPath() + " --target=" + csv_path_ +
+                           " --k=2 --profile 2>&1 >/dev/null",
+                       &output),
+            0);
+  EXPECT_NE(output.find("level2_full_filter"), std::string::npos);
+  EXPECT_NE(output.find("saved computations"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sweetknn
