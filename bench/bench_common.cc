@@ -5,6 +5,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/stopwatch.h"
 #include "core/ti_knn_gpu.h"
 
 namespace sweetknn::bench {
@@ -43,9 +44,11 @@ Measurement RunBaseline(const dataset::Dataset& data, int k) {
   baseline::BruteForceOptions options;
   options.exact = false;  // Modeled distances: profile-only run.
   baseline::BruteForceStats stats;
+  const Stopwatch wall;
   baseline::BruteForceGpu(&dev, data.points, data.points, k, options,
                           &stats);
   Measurement m;
+  m.wall_time_s = wall.ElapsedSeconds();
   // Kernel time only: PCIe transfers are identical for every engine and
   // excluded from the comparison, as GPU papers conventionally do.
   m.sim_time_s = stats.profile.TotalKernelTime();
@@ -59,9 +62,11 @@ Measurement RunTi(const dataset::Dataset& data, int k,
                   const core::TiOptions& options) {
   gpusim::Device dev = MakeBenchDevice();
   core::KnnRunStats stats;
+  const Stopwatch wall;
   core::TiKnnEngine::RunOnce(&dev, data.points, data.points, k, options,
                              &stats);
   Measurement m;
+  m.wall_time_s = wall.ElapsedSeconds();
   m.sim_time_s = stats.profile.TotalKernelTime();
   m.saved_fraction = stats.SavedFraction();
   m.warp_efficiency = stats.level2_warp_efficiency;

@@ -27,6 +27,9 @@ struct BenchArgs {
 /// One engine measurement in paper units.
 struct Measurement {
   double sim_time_s = 0.0;
+  /// Host wall-clock of the whole run (simulation cost, not a paper
+  /// number) — what the parallel execution engine improves.
+  double wall_time_s = 0.0;
   double saved_fraction = 0.0;    // level-2 saved distance computations
   double warp_efficiency = 0.0;   // of the level-2 filter kernel
   int query_partitions = 1;

@@ -23,7 +23,7 @@ int Main(int argc, char** argv) {
   std::printf("=== Figure 9: overall speedups over CUBLAS-based basic KNN "
               "(k=%d) ===\n\n", kNeighbors);
   PrintTableHeader({"dataset", "n", "dims", "base(ms)", "ti(ms)",
-                    "sweet(ms)", "ti(X)", "sweet(X)"});
+                    "sweet(ms)", "ti(X)", "sweet(X)", "wall(s)"});
 
   double ti_product = 1.0;
   double sweet_product = 1.0;
@@ -46,7 +46,10 @@ int Main(int argc, char** argv) {
                    FormatDouble(base.sim_time_s * 1e3),
                    FormatDouble(ti.sim_time_s * 1e3),
                    FormatDouble(sweet.sim_time_s * 1e3),
-                   FormatDouble(ti_x, 2), FormatDouble(sweet_x, 2)});
+                   FormatDouble(ti_x, 2), FormatDouble(sweet_x, 2),
+                   FormatDouble(base.wall_time_s + ti.wall_time_s +
+                                    sweet.wall_time_s,
+                                3)});
   }
   if (count > 0) {
     std::printf("\ngeomean speedup: KNN-TI %.2fX, Sweet KNN %.2fX\n",

@@ -1,0 +1,167 @@
+// Measures the parallel execution engine: host wall-clock of Sweet KNN
+// runs with 1 worker (legacy serial engine) versus N workers, asserting
+// along the way that simulated times and neighbor results are
+// byte-identical — the engine only changes how fast the simulation runs,
+// never what it computes. Emits BENCH_parallel_engine.json so the perf
+// trajectory is tracked from this PR on.
+//
+// Usage: parallel_engine [--scale=F] [--only=a,b] [--threads=N]
+// --threads defaults to SWEETKNN_SIM_THREADS when set (> 1), else the
+// host's hardware concurrency (at least 2, so the parallel path is
+// exercised even on small hosts).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/ti_knn_gpu.h"
+
+namespace sweetknn::bench {
+namespace {
+
+struct EngineRun {
+  KnnResult result{0, 1};
+  double sim_time_s = 0.0;
+  double wall_time_s = 0.0;
+  std::vector<double> launch_times;
+};
+
+EngineRun RunSweet(const dataset::Dataset& data, int k, int sim_threads) {
+  gpusim::Device dev = MakeBenchDevice();
+  core::TiOptions options = core::TiOptions::Sweet();
+  options.sim_threads = sim_threads;
+  core::KnnRunStats stats;
+  const Stopwatch wall;
+  EngineRun run;
+  run.result = core::TiKnnEngine::RunOnce(&dev, data.points, data.points, k,
+                                          options, &stats);
+  run.wall_time_s = wall.ElapsedSeconds();
+  run.sim_time_s = stats.profile.TotalKernelTime();
+  for (const gpusim::LaunchRecord& record : stats.profile.launches) {
+    run.launch_times.push_back(record.sim_time_s);
+  }
+  return run;
+}
+
+bool Identical(const EngineRun& a, const EngineRun& b) {
+  if (a.sim_time_s != b.sim_time_s) return false;
+  if (a.launch_times != b.launch_times) return false;
+  if (a.result.num_queries() != b.result.num_queries()) return false;
+  if (a.result.k() != b.result.k()) return false;
+  for (size_t q = 0; q < a.result.num_queries(); ++q) {
+    for (int j = 0; j < a.result.k(); ++j) {
+      if (a.result.row(q)[j].index != b.result.row(q)[j].index) return false;
+      if (a.result.row(q)[j].distance != b.result.row(q)[j].distance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  int threads = 0;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 10);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const BenchArgs args =
+      BenchArgs::Parse(static_cast<int>(rest.size()), rest.data());
+  if (threads <= 0) threads = common::SimThreadsFromEnv();
+  if (threads <= 1) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 1 ? static_cast<int>(hw) : 2;
+  }
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  constexpr int kNeighbors = 20;
+
+  std::printf("=== Parallel execution engine: serial vs %d-worker "
+              "wall-clock (Sweet KNN, k=%d) ===\n\n",
+              threads, kNeighbors);
+  PrintTableHeader({"dataset", "n", "serial(s)", "parallel(s)", "speedup",
+                    "sim(ms)", "identical"});
+
+  struct Row {
+    std::string name;
+    size_t n = 0;
+    double serial_wall_s = 0.0;
+    double parallel_wall_s = 0.0;
+    double sim_time_s = 0.0;
+    bool identical = false;
+  };
+  std::vector<Row> rows;
+  double speedup_product = 1.0;
+  bool all_identical = true;
+  for (const auto& info : dataset::PaperDatasets()) {
+    if (!args.WantDataset(info.name)) continue;
+    const dataset::Dataset data = LoadPaperDataset(info.name, args);
+    const EngineRun serial = RunSweet(data, kNeighbors, 1);
+    const EngineRun parallel = RunSweet(data, kNeighbors, threads);
+    Row row;
+    row.name = info.name;
+    row.n = data.n();
+    row.serial_wall_s = serial.wall_time_s;
+    row.parallel_wall_s = parallel.wall_time_s;
+    row.sim_time_s = serial.sim_time_s;
+    row.identical = Identical(serial, parallel);
+    all_identical = all_identical && row.identical;
+    speedup_product *= row.serial_wall_s / row.parallel_wall_s;
+    rows.push_back(row);
+    PrintTableRow({row.name, std::to_string(row.n),
+                   FormatDouble(row.serial_wall_s, 3),
+                   FormatDouble(row.parallel_wall_s, 3),
+                   FormatDouble(row.serial_wall_s / row.parallel_wall_s, 2),
+                   FormatDouble(row.sim_time_s * 1e3),
+                   row.identical ? "yes" : "NO"});
+  }
+  const double geomean =
+      rows.empty() ? 1.0
+                   : std::pow(speedup_product, 1.0 / rows.size());
+  std::printf("\ngeomean wall-clock speedup: %.2fX (%u host cores); "
+              "sim results identical: %s\n",
+              geomean, host_cores, all_identical ? "yes" : "NO");
+
+  FILE* json = std::fopen("BENCH_parallel_engine.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"parallel_engine\",\n"
+                 "  \"workers\": %d,\n  \"host_cores\": %u,\n"
+                 "  \"scale\": %g,\n  \"datasets\": [\n",
+                 threads, host_cores, args.scale);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::fprintf(
+          json,
+          "    {\"name\": \"%s\", \"n\": %zu, \"serial_wall_s\": %.6f, "
+          "\"parallel_wall_s\": %.6f, \"speedup\": %.3f, "
+          "\"sim_time_s\": %.9g, \"sim_identical\": %s}%s\n",
+          row.name.c_str(), row.n, row.serial_wall_s, row.parallel_wall_s,
+          row.serial_wall_s / row.parallel_wall_s, row.sim_time_s,
+          row.identical ? "true" : "false",
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n  \"geomean_speedup\": %.3f,\n"
+                 "  \"all_sim_identical\": %s\n}\n",
+                 geomean, all_identical ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_parallel_engine.json\n");
+  }
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sweetknn::bench
+
+int main(int argc, char** argv) { return sweetknn::bench::Main(argc, argv); }

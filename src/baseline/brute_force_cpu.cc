@@ -1,28 +1,37 @@
 #include "baseline/brute_force_cpu.h"
 
+#include "common/parallel_for.h"
+#include "common/thread_pool.h"
 #include "common/topk.h"
 #include "core/device_points.h"
 
 namespace sweetknn::baseline {
 
 KnnResult BruteForceCpu(const HostMatrix& query, const HostMatrix& target,
-                        int k, core::Metric metric) {
+                        int k, core::Metric metric, int threads) {
   SK_CHECK_EQ(query.cols(), target.cols());
   SK_CHECK_GT(k, 0);
   KnnResult result(query.rows(), k);
   const size_t dims = query.cols();
-  for (size_t q = 0; q < query.rows(); ++q) {
-    TopK heap(k);
-    const float* qrow = query.row(q);
-    for (size_t t = 0; t < target.rows(); ++t) {
-      const float dist =
-          core::AccessorDistance(core::PointAccessor{qrow, 1},
-                                 core::PointAccessor{target.row(t), 1},
-                                 dims, metric);
-      heap.PushIfCloser(Neighbor{static_cast<uint32_t>(t), dist});
-    }
-    result.SetRow(q, heap.Sorted());
-  }
+  const int workers =
+      threads > 0 ? threads : common::SimThreadsFromEnv();
+  // Queries are independent, so splitting them across workers changes
+  // nothing but wall-clock.
+  common::ParallelFor(
+      workers, query.rows(), /*grain=*/8, [&](size_t begin, size_t end) {
+        for (size_t q = begin; q < end; ++q) {
+          TopK heap(k);
+          const float* qrow = query.row(q);
+          for (size_t t = 0; t < target.rows(); ++t) {
+            const float dist =
+                core::AccessorDistance(core::PointAccessor{qrow, 1},
+                                       core::PointAccessor{target.row(t), 1},
+                                       dims, metric);
+            heap.PushIfCloser(Neighbor{static_cast<uint32_t>(t), dist});
+          }
+          result.SetRow(q, heap.Sorted());
+        }
+      });
   return result;
 }
 

@@ -8,10 +8,13 @@
 namespace sweetknn::baseline {
 
 /// Exact CPU brute-force KNN join: the ground-truth oracle for tests.
-/// O(|Q| * |T| * d); use only at test scales.
+/// O(|Q| * |T| * d); use only at test scales. `threads` = host workers
+/// over the (independent) queries; 0 inherits SWEETKNN_SIM_THREADS. The
+/// result is identical for any thread count.
 KnnResult BruteForceCpu(const HostMatrix& query, const HostMatrix& target,
                         int k,
-                        core::Metric metric = core::Metric::kEuclidean);
+                        core::Metric metric = core::Metric::kEuclidean,
+                        int threads = 0);
 
 }  // namespace sweetknn::baseline
 

@@ -6,7 +6,9 @@
 #include <numeric>
 #include <vector>
 
+#include "common/parallel_for.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/topk.h"
 #include "core/ti_bounds.h"
 
@@ -102,7 +104,8 @@ CpuClustering Cluster(const HostMatrix& points, int m, bool sort_desc,
 }  // namespace
 
 KnnResult TiKnnCpu(const HostMatrix& query, const HostMatrix& target, int k,
-                   int landmarks, TiCpuStats* stats, uint64_t seed) {
+                   int landmarks, TiCpuStats* stats, uint64_t seed,
+                   int threads) {
   SK_CHECK_EQ(query.cols(), target.cols());
   SK_CHECK_GT(k, 0);
   const size_t dims = query.cols();
@@ -138,8 +141,21 @@ KnnResult TiKnnCpu(const HostMatrix& query, const HostMatrix& target, int k,
     }
   }
 
-  uint64_t distance_calcs = 0;
+  common::ShardedCounter distance_calcs;
   KnnResult result(nq, k);
+
+  // Step 2 runs serially per query cluster; the per-query Step 3 work is
+  // independent given the cluster's {bound, candidate list}, so it is
+  // flattened into one list and split across workers. Each query's filter
+  // runs exactly as in the serial version, so results are identical for
+  // any thread count.
+  struct ClusterPlan {
+    float cluster_ub = 0.0f;
+    std::vector<std::pair<float, uint32_t>> candidates;
+  };
+  std::vector<ClusterPlan> plans(static_cast<size_t>(mq));
+  std::vector<std::pair<uint32_t, uint32_t>> work;  // (qid, cq)
+  work.reserve(nq);
 
   for (int cq = 0; cq < mq; ++cq) {
     if (qc.members[static_cast<size_t>(cq)].empty()) continue;
@@ -187,41 +203,53 @@ KnnResult TiKnnCpu(const HostMatrix& query, const HostMatrix& target, int k,
       }
     }
     std::sort(candidates.begin(), candidates.end());
-
-    // Step 3: point-level filtering per query.
+    plans[static_cast<size_t>(cq)] =
+        ClusterPlan{cluster_ub, std::move(candidates)};
     for (const uint32_t qid : qc.members[static_cast<size_t>(cq)]) {
-      const float* qrow = query.row(qid);
-      TopK heap(k);
-      // Seed the filter bound with the cluster bound; theta tightens as
-      // real neighbors are found.
-      float theta = cluster_ub;
-      for (const auto& [cc_unused, ct] : candidates) {
-        (void)cc_unused;
-        const auto& cluster = tc.members[static_cast<size_t>(ct)];
-        const float q2tc = EuclideanDistance(
-            qrow, target.row(tc.center_ids[ct]), dims);
-        bool broke = false;
-        for (const uint32_t tid : cluster) {
-          const float lb =
-              core::SignedPointBound(q2tc, tc.dist_to_center[tid]);
-          if (lb > theta) {
-            broke = true;
-            break;
-          }
-          if (lb < -theta) continue;
-          const float dist = EuclideanDistance(qrow, target.row(tid), dims);
-          ++distance_calcs;
-          heap.PushIfCloser(Neighbor{tid, dist});
-          theta = std::min(theta, heap.max());
-        }
-        (void)broke;
-      }
-      result.SetRow(qid, heap.Sorted());
+      work.emplace_back(qid, static_cast<uint32_t>(cq));
     }
   }
 
+  // Step 3: point-level filtering per query.
+  const int workers = threads > 0 ? threads : common::SimThreadsFromEnv();
+  common::ParallelFor(
+      workers, work.size(), /*grain=*/16, [&](size_t begin, size_t end) {
+        for (size_t widx = begin; widx < end; ++widx) {
+          const auto [qid, cq] = work[widx];
+          const ClusterPlan& plan = plans[cq];
+          const float* qrow = query.row(qid);
+          TopK heap(k);
+          // Seed the filter bound with the cluster bound; theta tightens
+          // as real neighbors are found.
+          float theta = plan.cluster_ub;
+          for (const auto& [cc_unused, ct] : plan.candidates) {
+            (void)cc_unused;
+            const auto& cluster = tc.members[static_cast<size_t>(ct)];
+            const float q2tc = EuclideanDistance(
+                qrow, target.row(tc.center_ids[ct]), dims);
+            bool broke = false;
+            for (const uint32_t tid : cluster) {
+              const float lb =
+                  core::SignedPointBound(q2tc, tc.dist_to_center[tid]);
+              if (lb > theta) {
+                broke = true;
+                break;
+              }
+              if (lb < -theta) continue;
+              const float dist =
+                  EuclideanDistance(qrow, target.row(tid), dims);
+              distance_calcs.Add(1);
+              heap.PushIfCloser(Neighbor{tid, dist});
+              theta = std::min(theta, heap.max());
+            }
+            (void)broke;
+          }
+          result.SetRow(qid, heap.Sorted());
+        }
+      });
+
   if (stats != nullptr) {
-    stats->distance_calcs = distance_calcs;
+    stats->distance_calcs = distance_calcs.Sum();
     stats->total_pairs = static_cast<uint64_t>(nq) * nt;
   }
   return result;

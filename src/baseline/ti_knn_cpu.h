@@ -26,10 +26,12 @@ struct TiCpuStats {
 /// Fig. 4). Used as a second oracle for the GPU implementation and to
 /// cross-check the saved-computation fractions.
 ///
-/// `landmarks` = 0 applies the 3*sqrt(N) rule.
+/// `landmarks` = 0 applies the 3*sqrt(N) rule. `threads` = host workers
+/// for the per-query point-level filter (0 inherits SWEETKNN_SIM_THREADS);
+/// neighbors and counters are identical for any thread count.
 KnnResult TiKnnCpu(const HostMatrix& query, const HostMatrix& target, int k,
                    int landmarks = 0, TiCpuStats* stats = nullptr,
-                   uint64_t seed = 7);
+                   uint64_t seed = 7, int threads = 0);
 
 }  // namespace sweetknn::baseline
 

@@ -1,0 +1,59 @@
+#ifndef SWEETKNN_COMMON_PARALLEL_FOR_H_
+#define SWEETKNN_COMMON_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+
+#include "common/thread_pool.h"
+
+namespace sweetknn::common {
+
+/// Number of fixed-size chunks ParallelFor splits [0, n) into. Chunk
+/// boundaries depend only on (n, grain) — never on the worker count — so
+/// per-chunk partial results merged in chunk index order reproduce the same
+/// floating-point and counter totals for any number of workers.
+inline size_t NumChunks(size_t n, size_t grain) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  return (n + grain - 1) / grain;
+}
+
+/// Runs fn(chunk, begin, end) for every grain-sized chunk of [0, n).
+/// Chunks are claimed dynamically by up to `workers` fork-join participants
+/// (1 = plain serial loop on the calling thread). fn must be safe to call
+/// concurrently for distinct chunks.
+template <typename Fn>
+void ParallelForChunks(int workers, size_t n, size_t grain, const Fn& fn) {
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = NumChunks(n, grain);
+  if (num_chunks == 0) return;
+  workers = std::min<int>(workers, static_cast<int>(num_chunks));
+  if (workers <= 1) {
+    for (size_t c = 0; c < num_chunks; ++c) {
+      fn(c, c * grain, std::min(n, (c + 1) * grain));
+    }
+    return;
+  }
+  std::atomic<size_t> cursor{0};
+  ThreadPool::Global()->ForkJoin(workers, [&](int) {
+    for (;;) {
+      const size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      fn(c, c * grain, std::min(n, (c + 1) * grain));
+    }
+  });
+}
+
+/// Runs fn(begin, end) over grain-sized slices of [0, n) on up to `workers`
+/// threads. Use when per-chunk identity does not matter (independent
+/// elements, e.g. one KNN query per index).
+template <typename Fn>
+void ParallelFor(int workers, size_t n, size_t grain, const Fn& fn) {
+  ParallelForChunks(workers, n, grain,
+                    [&](size_t, size_t begin, size_t end) { fn(begin, end); });
+}
+
+}  // namespace sweetknn::common
+
+#endif  // SWEETKNN_COMMON_PARALLEL_FOR_H_

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <string>
 
+#include "common/parallel_for.h"
 #include "common/rng.h"
 #include "gpusim/gemm_model.h"
 
@@ -233,11 +234,36 @@ DevicePoints RefineCentersKMeans(Device* dev, const DevicePoints& points,
                     &assignment, &dist, nullptr);
     HostMatrix means(m, dims);
     std::vector<uint32_t> counts(m, 0);
-    for (size_t p = 0; p < n; ++p) {
-      const uint32_t c = assignment[p];
-      ++counts[c];
-      for (size_t j = 0; j < dims; ++j) {
-        means.at(c, j) += points.At(p, j);
+    // Per-chunk partial sums merged in chunk index order. Chunk boundaries
+    // are fixed by kChunkPoints alone — never by the worker count — so the
+    // float accumulation order, and therefore the refined centers, are
+    // identical for any number of workers (and match the old serial sweep
+    // exactly whenever n fits in one chunk).
+    constexpr size_t kChunkPoints = 4096;
+    const size_t num_chunks = common::NumChunks(n, kChunkPoints);
+    std::vector<HostMatrix> chunk_means(num_chunks);
+    std::vector<std::vector<uint32_t>> chunk_counts(num_chunks);
+    common::ParallelForChunks(
+        dev->execution_threads(), n, kChunkPoints,
+        [&](size_t chunk, size_t begin, size_t end) {
+          HostMatrix local_means(m, dims);
+          std::vector<uint32_t> local_counts(m, 0);
+          for (size_t p = begin; p < end; ++p) {
+            const uint32_t c = assignment[p];
+            ++local_counts[c];
+            for (size_t j = 0; j < dims; ++j) {
+              local_means.at(c, j) += points.At(p, j);
+            }
+          }
+          chunk_means[chunk] = std::move(local_means);
+          chunk_counts[chunk] = std::move(local_counts);
+        });
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      for (size_t c = 0; c < m; ++c) {
+        counts[c] += chunk_counts[chunk][c];
+        for (size_t j = 0; j < dims; ++j) {
+          means.at(c, j) += chunk_means[chunk].at(c, j);
+        }
       }
     }
     for (size_t c = 0; c < m; ++c) {
@@ -279,6 +305,11 @@ MemberLists BuildMemberLists(Device* dev,
   DeviceBuffer<uint32_t> local_ids = dev->Alloc<uint32_t>(n, "local ids");
 
   KernelMeta count_meta{std::string("count_members:") + tag, 24, 0};
+  // The fetch-add old value becomes the point's local ID, i.e. its slot in
+  // the scatter pass — a block-execution-order-dependent result the
+  // parallel engine cannot reproduce bit-exactly. O(n) and cheap: keep it
+  // on the serial engine.
+  count_meta.host_serial = true;
   dev->Launch(count_meta,
               LaunchConfig::Cover(static_cast<int64_t>(n), block_threads),
               [&](Warp& w) {

@@ -363,6 +363,12 @@ Level1Result RunLevel1(Device* dev, const QueryClustering& qc,
     // Fill pass: cursors restart from zero.
     for (int cq = 0; cq < mq; ++cq) cand_count[cq] = 0;
     KernelMeta meta{"level1_group_filter_fill", 40, 0};
+    // The fetch-add old value reserves the store slot, so the candidate
+    // order (and the transaction pattern of the scatter) depends on block
+    // execution order: keep this launch on the serial engine. It is O(mq *
+    // mt) — negligible next to level 2 — and the per-cluster sort below
+    // re-establishes a total order anyway.
+    meta.host_serial = true;
     dev->Launch(meta, LaunchConfig::Cover(pairs, block_threads),
                 [&](Warp& w) {
       pair_kernel(w, [&](Warp& w2, Reg<int>& cq, Reg<int>& ct,

@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/knearests_sim.h"
 #include "core/ti_bounds.h"
 
@@ -144,7 +145,16 @@ void RunFull(Device* dev, const DevicePoints& query,
   const int regs = KnearestsSim::RegistersForPlacement(cfg.placement, k, 44);
   const int shared = KnearestsSim::SharedBytesForPlacement(
       cfg.placement, k, cfg.block_threads);
+  // Distance counting from concurrently executing blocks goes through a
+  // sharded counter; the plain uint64 in Level2Stats would race.
+  common::ShardedCounter distance_calcs;
   KernelMeta meta{"level2_full_filter", regs, shared};
+  // When tpq divides the block size, every cooperating thread group (and
+  // its shared theta slot) lives inside one block, so parallel block
+  // execution cannot reorder theta propagation. Otherwise a group
+  // straddles a block boundary and theta updates become cross-block and
+  // execution-order dependent — run those launches serially.
+  meta.host_serial = tpq > 1 && cfg.block_threads % tpq != 0;
   dev->Launch(meta,
               LaunchConfig::Cover(static_cast<int64_t>(total_threads),
                                   cfg.block_threads),
@@ -294,7 +304,7 @@ void RunFull(Device* dev, const DevicePoints& query,
                         [&](int lane) {
                           dist[lane] = AccessorDistance(
                               qpoint[lane], tpoint[lane], dims, metric);
-                          ++stats->distance_calcs;
+                          distance_calcs.Add(1);
                         },
                         DistanceOpCost(dims));
                     const LaneMask inserted = knear.TryInsert(
@@ -362,6 +372,7 @@ void RunFull(Device* dev, const DevicePoints& query,
       }
     });
   });
+  stats->distance_calcs += distance_calcs.Sum();
 
   if (tpq > 1) {
     // Merge each query's tpq sorted partial heaps (merge-sort style,
@@ -481,6 +492,10 @@ void RunPartial(Device* dev, const DevicePoints& query,
   DeviceBuffer<uint32_t> out_idx =
       dev->Alloc<uint32_t>(nslots * static_cast<size_t>(k), "l2 out idx");
 
+  // See RunFull: block-concurrent distance counting needs sharding. The
+  // filter itself is parallel-safe — each slot's survivor count and
+  // survivor range are touched only by that slot's own thread.
+  common::ShardedCounter distance_calcs;
   KernelMeta meta{"level2_partial_filter", 40, 0};
   dev->Launch(meta,
               LaunchConfig::Cover(static_cast<int64_t>(nslots),
@@ -589,7 +604,7 @@ void RunPartial(Device* dev, const DevicePoints& query,
                         [&](int lane) {
                           dist[lane] = AccessorDistance(
                               qpoint[lane], tpoint[lane], dims, metric);
-                          ++stats->distance_calcs;
+                          distance_calcs.Add(1);
                         },
                         DistanceOpCost(dims));
                     Reg<uint32_t> pos;
@@ -621,6 +636,7 @@ void RunPartial(Device* dev, const DevicePoints& query,
           });
     });
   });
+  stats->distance_calcs += distance_calcs.Sum();
 
   // Selection kernel: each thread loads its query's survivors into
   // shared memory, sorts them with a bitonic network, and writes the k

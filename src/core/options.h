@@ -78,6 +78,12 @@ struct TiOptions {
   int threads_per_query_override = 0;
   /// k/d threshold for choosing the partial filter (paper: 8).
   double partial_filter_kd_threshold = 8.0;
+  /// Host worker threads for the simulator's parallel execution engine
+  /// and host-side sweeps. 0 = inherit the device's current setting
+  /// (which defaults to SWEETKNN_SIM_THREADS, or 1); 1 = the exact legacy
+  /// serial path. Any value produces bit-identical results and simulated
+  /// times; only host wall-clock changes.
+  int sim_threads = 0;
 
   /// Configuration of the paper's basic KNN-TI (section III): no Sweet
   /// optimizations — always the full filter with a global interleaved

@@ -18,6 +18,9 @@ ClusteringConfig MakeClusteringConfig(const TiOptions& options) {
 
 void TiKnnEngine::PrepareTarget(const HostMatrix& target) {
   SK_CHECK(!target.empty());
+  if (options_.sim_threads > 0) {
+    dev_->set_execution_threads(options_.sim_threads);
+  }
   dev_->ResetProfile();
   target_ = DevicePoints::Upload(dev_, target, options_.layout,
                                  "target points",
@@ -57,6 +60,9 @@ KnnResult TiKnnEngine::RunQueries(const HostMatrix& query, int k,
                                   KnnRunStats* stats) {
   SK_CHECK(target_prepared_) << "call PrepareTarget() or Prepare() first";
   SK_CHECK_EQ(query.cols(), target_.dims());
+  if (options_.sim_threads > 0) {
+    dev_->set_execution_threads(options_.sim_threads);
+  }
   dev_->ResetProfile();
   query_ = DevicePoints::Upload(dev_, query, options_.layout, "query batch",
                                 options_.point_vector_width,

@@ -1,15 +1,20 @@
 #ifndef SWEETKNN_GPUSIM_DEVICE_H_
 #define SWEETKNN_GPUSIM_DEVICE_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "gpusim/cache_sim.h"
 #include "gpusim/cost_model.h"
 #include "gpusim/device_spec.h"
+#include "gpusim/exec_engine.h"
 #include "gpusim/memory.h"
 #include "gpusim/stats.h"
 #include "gpusim/warp.h"
@@ -43,6 +48,14 @@ struct KernelMeta {
   std::string name;
   int regs_per_thread = 32;
   int shared_bytes_per_block = 0;
+  /// Run this launch's grid serially on the calling thread even when the
+  /// device uses a parallel execution engine. Set it for kernels whose
+  /// cross-block atomic *old values* feed functional state (e.g. fetch-add
+  /// slot reservation followed by stores at the reserved offsets): their
+  /// results depend on block execution order, which concurrent blocks
+  /// cannot reproduce. Order-free atomics (pure add/min/max reductions)
+  /// do not need it.
+  bool host_serial = false;
 };
 
 /// A simulated GPU: owns global memory, executes kernels warp by warp in
@@ -82,8 +95,9 @@ class Device {
   }
 
   bool CanAllocate(size_t bytes) const {
-    const size_t rounded = (bytes + 255) & ~size_t{255};
-    return rounded <= allocator_.free_bytes();
+    // Same rounding the allocator applies, so the two can never disagree.
+    return internal_memory::RoundUpAllocation(bytes) <=
+           allocator_.free_bytes();
   }
 
   /// Host-to-device copy: fills the buffer and charges PCIe transfer time.
@@ -110,9 +124,24 @@ class Device {
 
   // --- Execution --------------------------------------------------------------
 
+  /// Host worker threads used to execute simulated grids. 1 (the default
+  /// unless SWEETKNN_SIM_THREADS says otherwise) is the exact legacy serial
+  /// engine; N > 1 dispatches blocks across the shared thread pool with
+  /// bit-identical stats and results (see docs/gpusim.md, "Execution
+  /// engine").
+  int execution_threads() const { return execution_threads_; }
+  void set_execution_threads(int n) {
+    execution_threads_ = std::clamp(n, 1, common::kMaxSimThreads);
+  }
+
   /// Launches `kernel` (signature void(Warp&)) over the grid: the functor
-  /// runs once per warp, with partial trailing warps masked. Returns the
-  /// finalized launch record (valid until the next launch).
+  /// runs once per warp, with partial trailing warps masked. With
+  /// execution_threads() > 1 the grid's blocks run on concurrent host
+  /// threads — `kernel` must then be safe to invoke concurrently (capture
+  /// no mutable host state outside Warp; every Sweet KNN kernel qualifies
+  /// or is marked KernelMeta::host_serial). Returns the finalized launch
+  /// record; the reference stays valid until ResetProfile (launches live in
+  /// a std::deque, so later launches never invalidate it).
   template <typename KernelFn>
   const LaunchRecord& Launch(const KernelMeta& meta, const LaunchConfig& cfg,
                              KernelFn&& kernel) {
@@ -127,19 +156,15 @@ class Device {
     record.regs_per_thread = meta.regs_per_thread;
     record.shared_bytes_per_block = meta.shared_bytes_per_block;
 
-    const int warps_per_block =
-        (cfg.block_threads + kWarpSize - 1) / kWarpSize;
-    for (int block = 0; block < cfg.grid_blocks; ++block) {
-      for (int w = 0; w < warps_per_block; ++w) {
-        const int lanes_before = w * kWarpSize;
-        const int lanes =
-            std::min(kWarpSize, cfg.block_threads - lanes_before);
-        const LaneMask mask =
-            lanes >= kWarpSize ? kFullMask : ((LaneMask{1} << lanes) - 1);
-        Warp warp(&record.stats, block, cfg.block_threads, w, mask,
-                  &cache_);
-        kernel(warp);
+    const int workers =
+        meta.host_serial ? 1 : std::min(execution_threads_, cfg.grid_blocks);
+    if (workers <= 1) {
+      for (int block = 0; block < cfg.grid_blocks; ++block) {
+        RunBlock(block, cfg, kernel, &record.stats, &cache_,
+                 /*locks=*/nullptr, /*trace=*/nullptr);
       }
+    } else {
+      RunGridParallel(cfg, kernel, workers, &record.stats);
     }
 
     cost_model_.Finalize(&record);
@@ -162,11 +187,93 @@ class Device {
   double SimTime() const { return profile_.TotalTime(); }
 
  private:
+  /// Runs all warps of one block against the given stat sink / cache /
+  /// lock-table / trace combination.
+  template <typename KernelFn>
+  void RunBlock(int block, const LaunchConfig& cfg, KernelFn& kernel,
+                KernelStats* stats, CacheSim* cache, HostAtomicLocks* locks,
+                SegmentTrace* trace) {
+    const int warps_per_block =
+        (cfg.block_threads + kWarpSize - 1) / kWarpSize;
+    for (int w = 0; w < warps_per_block; ++w) {
+      const int lanes_before = w * kWarpSize;
+      const int lanes = std::min(kWarpSize, cfg.block_threads - lanes_before);
+      const LaneMask mask =
+          lanes >= kWarpSize ? kFullMask : ((LaneMask{1} << lanes) - 1);
+      Warp warp(stats, block, cfg.block_threads, w, mask, cache, locks,
+                trace);
+      kernel(warp);
+    }
+  }
+
+  /// Parallel engine: splits the grid into chunks of consecutive blocks,
+  /// runs chunks on pool workers against private KernelStats shards and
+  /// per-chunk segment traces, then merges shards and replays traces in
+  /// block order through the device cache. Stat counters are additive and
+  /// the replay reproduces the serial cache-access sequence, so the merged
+  /// record is bit-identical to serial execution for any worker count or
+  /// chunking. Chunk size only affects scheduling granularity.
+  template <typename KernelFn>
+  void RunGridParallel(const LaunchConfig& cfg, KernelFn& kernel, int workers,
+                       KernelStats* out_stats) {
+    const int chunk_blocks = std::max(1, cfg.grid_blocks / (workers * 4));
+    const int num_chunks =
+        (cfg.grid_blocks + chunk_blocks - 1) / chunk_blocks;
+    struct Shard {
+      KernelStats stats;
+      SegmentTrace trace;
+      std::atomic<bool> done{false};
+    };
+    std::vector<Shard> shards(static_cast<size_t>(num_chunks));
+    std::atomic<int> cursor{0};
+    std::mutex replay_mutex;
+    int replay_frontier = 0;   // guarded by replay_mutex
+    uint64_t replay_dram = 0;  // guarded by replay_mutex
+    // Replays every finished chunk that is next in block order and frees
+    // its trace, keeping peak trace memory near one in-flight chunk per
+    // worker instead of the whole launch.
+    auto drain_replays = [&] {
+      std::lock_guard<std::mutex> lock(replay_mutex);
+      while (replay_frontier < num_chunks &&
+             shards[static_cast<size_t>(replay_frontier)].done.load(
+                 std::memory_order_acquire)) {
+        Shard& shard = shards[static_cast<size_t>(replay_frontier)];
+        replay_dram += shard.trace.ReplayInto(&cache_);
+        shard.trace.Release();
+        ++replay_frontier;
+      }
+    };
+    common::ThreadPool::Global()->ForkJoin(
+        std::min(workers, num_chunks), [&](int) {
+          for (;;) {
+            const int c = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (c >= num_chunks) return;
+            Shard& shard = shards[static_cast<size_t>(c)];
+            const int begin = c * chunk_blocks;
+            const int end = std::min(cfg.grid_blocks, begin + chunk_blocks);
+            for (int block = begin; block < end; ++block) {
+              RunBlock(block, cfg, kernel, &shard.stats, /*cache=*/nullptr,
+                       &atomic_locks_, &shard.trace);
+            }
+            shard.done.store(true, std::memory_order_release);
+            // The worker that completes the last outstanding chunk in
+            // block order drains everything behind it, so after the join
+            // the frontier has always reached num_chunks.
+            drain_replays();
+          }
+        });
+    for (const Shard& shard : shards) out_stats->Merge(shard.stats);
+    SK_DCHECK(replay_frontier == num_chunks);
+    out_stats->dram_transactions += replay_dram;
+  }
+
   DeviceSpec spec_;
   internal_memory::Allocator allocator_;
   CostModel cost_model_;
   CacheSim cache_;
+  HostAtomicLocks atomic_locks_;
   Profile profile_;
+  int execution_threads_ = common::SimThreadsFromEnv();
 };
 
 }  // namespace sweetknn::gpusim

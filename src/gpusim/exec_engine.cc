@@ -1,0 +1,34 @@
+#include "gpusim/exec_engine.h"
+
+namespace sweetknn::gpusim {
+
+uint64_t SegmentTrace::ReplayInto(CacheSim* cache) const {
+  uint64_t dram = 0;
+  size_t i = 0;
+  const size_t size = words_.size();
+  while (i < size) {
+    const uint64_t head = words_[i];
+    const uint64_t tag = head & kTagMask;
+    const uint64_t payload = head & ~kTagMask;
+    if (tag == kIntervalTag) {
+      const uint64_t last = words_[i + 1];
+      for (uint64_t seg = payload; seg <= last; ++seg) {
+        if (!cache->Access(seg)) ++dram;
+      }
+      i += 2;
+    } else {
+      SK_DCHECK(tag == kStridedTag);
+      const size_t count = static_cast<size_t>(payload);
+      const uint64_t multiplier = words_[i + 1];
+      uint64_t misses = 0;
+      for (size_t j = 0; j < count; ++j) {
+        if (!cache->Access(words_[i + 2 + j])) ++misses;
+      }
+      dram += misses * multiplier;
+      i += 2 + count;
+    }
+  }
+  return dram;
+}
+
+}  // namespace sweetknn::gpusim

@@ -1,0 +1,105 @@
+#ifndef SWEETKNN_GPUSIM_EXEC_ENGINE_H_
+#define SWEETKNN_GPUSIM_EXEC_ENGINE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "gpusim/cache_sim.h"
+
+namespace sweetknn::gpusim {
+
+/// Append-only log of the 128-byte-segment accesses one chunk of grid
+/// blocks makes while running on a pool worker.
+///
+/// The L2 model (CacheSim) is a single global structure whose hit/miss
+/// outcome depends on the order accesses arrive, so workers cannot consult
+/// it concurrently without making dram_transactions depend on thread
+/// scheduling. Instead each chunk records its accesses here and the engine
+/// replays the traces through the device's cache strictly in block order —
+/// reproducing the exact serial access sequence, hence bit-identical
+/// dram_transactions for any worker count.
+///
+/// Two record kinds mirror the two ways Warp touches the cache:
+///  - Interval: a coalesced run [first, last] of segments, each charged one
+///    transaction and one cache probe (Warp::FlushSegments).
+///  - Strided: the distinct first-element segments of a strided load; cache
+///    misses among them are charged `multiplier` times (Warp::LoadStrided
+///    probes once per distinct segment and scales by the element count).
+///
+/// Encoding: a flat word stream. Segment indices occupy the low 62 bits
+/// (addresses are far below 2^62); the top two bits tag the record kind.
+class SegmentTrace {
+ public:
+  void AddInterval(uint64_t first_segment, uint64_t last_segment) {
+    words_.push_back(kIntervalTag | first_segment);
+    words_.push_back(last_segment);
+  }
+
+  void AddStrided(uint64_t multiplier, const uint64_t* segments,
+                  size_t count) {
+    words_.push_back(kStridedTag | static_cast<uint64_t>(count));
+    words_.push_back(multiplier);
+    words_.insert(words_.end(), segments, segments + count);
+  }
+
+  bool empty() const { return words_.empty(); }
+
+  /// Feeds every recorded access through `cache` in recorded order and
+  /// returns the DRAM transactions the serial engine would have charged.
+  uint64_t ReplayInto(CacheSim* cache) const;
+
+  /// Frees the backing storage (traces can dominate a launch's footprint,
+  /// so the engine drops each chunk right after replay).
+  void Release() {
+    words_.clear();
+    words_.shrink_to_fit();
+  }
+
+ private:
+  static constexpr uint64_t kTagMask = uint64_t{3} << 62;
+  static constexpr uint64_t kIntervalTag = 0;
+  static constexpr uint64_t kStridedTag = uint64_t{1} << 62;
+
+  std::vector<uint64_t> words_;
+};
+
+/// Striped spinlocks backing simulated device atomics when grid blocks run
+/// on concurrent host threads. The simulator performs read-modify-writes
+/// directly on host memory; a lock striped by cell address makes them
+/// host-atomic (two lanes hitting the same cell always hash to the same
+/// stripe). Serial execution passes no lock table and pays nothing.
+class HostAtomicLocks {
+ public:
+  void Lock(uint64_t addr) {
+    std::atomic<bool>& stripe = stripes_[StripeIndex(addr)].locked;
+    while (stripe.exchange(true, std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+
+  void Unlock(uint64_t addr) {
+    stripes_[StripeIndex(addr)].locked.store(false,
+                                             std::memory_order_release);
+  }
+
+ private:
+  static constexpr size_t kStripes = 1024;
+
+  static size_t StripeIndex(uint64_t addr) {
+    return static_cast<size_t>((addr * uint64_t{0x9E3779B97F4A7C15}) >> 32) &
+           (kStripes - 1);
+  }
+
+  struct alignas(64) Stripe {
+    std::atomic<bool> locked{false};
+  };
+  std::vector<Stripe> stripes_{kStripes};
+};
+
+}  // namespace sweetknn::gpusim
+
+#endif  // SWEETKNN_GPUSIM_EXEC_ENGINE_H_

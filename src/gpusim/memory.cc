@@ -3,8 +3,7 @@
 namespace sweetknn::gpusim::internal_memory {
 
 bool Allocator::Allocate(size_t bytes, uint64_t* base_addr) {
-  // Round to the 256-byte allocation granularity of real devices.
-  const size_t rounded = (bytes + 255) & ~size_t{255};
+  const size_t rounded = RoundUpAllocation(bytes);
   if (used_ + rounded > capacity_) return false;
   used_ += rounded;
   if (used_ > peak_used_) peak_used_ = used_;
@@ -14,7 +13,7 @@ bool Allocator::Allocate(size_t bytes, uint64_t* base_addr) {
 }
 
 void Allocator::Free(size_t bytes) {
-  const size_t rounded = (bytes + 255) & ~size_t{255};
+  const size_t rounded = RoundUpAllocation(bytes);
   SK_CHECK_LE(rounded, used_);
   used_ -= rounded;
 }

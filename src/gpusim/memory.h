@@ -13,6 +13,18 @@ class Device;
 
 namespace internal_memory {
 
+/// Allocation granularity: addresses and sizes are 256-byte aligned like
+/// real cudaMalloc allocations.
+inline constexpr size_t kAllocationAlign = 256;
+
+/// Rounds a byte request up to the allocation granularity. The single
+/// source of truth shared by Allocator::Allocate/Free and
+/// Device::CanAllocate, so the capacity check and the allocator can never
+/// disagree on alignment.
+inline size_t RoundUpAllocation(size_t bytes) {
+  return (bytes + kAllocationAlign - 1) & ~(kAllocationAlign - 1);
+}
+
 /// Bookkeeping shared by all DeviceBuffer instantiations: capacity
 /// accounting plus a flat simulated address space used for coalescing
 /// computations. Owned by Device.

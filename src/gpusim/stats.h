@@ -2,8 +2,8 @@
 #define SWEETKNN_GPUSIM_STATS_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
-#include <vector>
 
 namespace sweetknn::gpusim {
 
@@ -69,8 +69,11 @@ struct LaunchRecord {
 };
 
 /// Accumulated view of a device's activity: all launches plus transfers.
+/// Launches live in a deque so references handed out by Device::Launch
+/// stay valid as later launches append (a vector would invalidate them on
+/// reallocation).
 struct Profile {
-  std::vector<LaunchRecord> launches;
+  std::deque<LaunchRecord> launches;
   double transfer_time_s = 0.0;
 
   double TotalKernelTime() const {

@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "gpusim/cache_sim.h"
 #include "gpusim/device_spec.h"
+#include "gpusim/exec_engine.h"
 #include "gpusim/memory.h"
 #include "gpusim/stats.h"
 
@@ -42,14 +43,22 @@ class Warp {
   /// Bytes per coalesced global-memory transaction.
   static constexpr uint64_t kSegmentBytes = 128;
 
+  /// `cache`: L2 model consulted inline (serial engine). `locks`: striped
+  /// spinlocks making atomics host-atomic, passed only when blocks run on
+  /// concurrent host threads. `trace`: when set, cache-order-dependent
+  /// accesses are recorded instead of probed inline (`cache` is ignored) so
+  /// the engine can replay them in block order — see SegmentTrace.
   Warp(KernelStats* stats, int block_id, int block_threads, int warp_in_block,
-       LaneMask initial_mask, CacheSim* cache = nullptr)
+       LaneMask initial_mask, CacheSim* cache = nullptr,
+       HostAtomicLocks* locks = nullptr, SegmentTrace* trace = nullptr)
       : stats_(stats),
         block_id_(block_id),
         block_threads_(block_threads),
         warp_in_block_(warp_in_block),
         active_(initial_mask),
-        cache_(cache) {}
+        cache_(cache),
+        locks_(locks),
+        trace_(trace) {}
 
   Warp(const Warp&) = delete;
   Warp& operator=(const Warp&) = delete;
@@ -262,21 +271,30 @@ class Warp {
     // them, and replicate both counts per element (each further element
     // repeats the same lane pattern shifted by the stride).
     std::sort(segments_.begin(), segments_.end());
-    uint64_t first_elem_segments = 0;
-    uint64_t first_elem_misses = 0;
+    std::array<uint64_t, kWarpSize> distinct;
+    size_t first_elem_segments = 0;
     uint64_t prev = ~uint64_t{0};
     for (const auto& [seg_first, seg_last] : segments_) {
       if (seg_first != prev) {
-        ++first_elem_segments;
-        if (cache_ == nullptr || !cache_->Access(seg_first)) {
-          ++first_elem_misses;
-        }
+        distinct[first_elem_segments++] = seg_first;
       }
       prev = seg_first;
       (void)seg_last;
     }
     segments_.clear();
-    stats_->global_transactions += first_elem_segments * count;
+    stats_->global_transactions +=
+        static_cast<uint64_t>(first_elem_segments) * count;
+    if (trace_ != nullptr) {
+      // DRAM charge is resolved at block-ordered replay time.
+      trace_->AddStrided(count, distinct.data(), first_elem_segments);
+      return;
+    }
+    uint64_t first_elem_misses = 0;
+    for (size_t s = 0; s < first_elem_segments; ++s) {
+      if (cache_ == nullptr || !cache_->Access(distinct[s])) {
+        ++first_elem_misses;
+      }
+    }
     stats_->dram_transactions += first_elem_misses * count;
   }
 
@@ -415,7 +433,15 @@ class Warp {
       const uint64_t addr = buf.AddressOf(i);
       addresses[static_cast<size_t>(n++)] = addr;
       AddSegments(addr, sizeof(T));
-      rmw(lane, buf[i]);
+      if (locks_ != nullptr) {
+        // Blocks run on concurrent host threads: the simulated atomic must
+        // be a real host atomic on the backing cell.
+        locks_->Lock(addr);
+        rmw(lane, buf[i]);
+        locks_->Unlock(addr);
+      } else {
+        rmw(lane, buf[i]);
+      }
     });
     FlushSegments();
     stats_->atomic_operations += static_cast<uint64_t>(n);
@@ -444,7 +470,10 @@ class Warp {
     uint64_t cur_last = segments_[0].second;
     auto emit = [&](uint64_t first, uint64_t last) {
       count += last - first + 1;
-      if (cache_ != nullptr) {
+      if (trace_ != nullptr) {
+        // DRAM charge is resolved at block-ordered replay time.
+        trace_->AddInterval(first, last);
+      } else if (cache_ != nullptr) {
         for (uint64_t seg = first; seg <= last; ++seg) {
           if (!cache_->Access(seg)) ++stats_->dram_transactions;
         }
@@ -472,6 +501,8 @@ class Warp {
   int warp_in_block_;
   LaneMask active_;
   CacheSim* cache_;
+  HostAtomicLocks* locks_ = nullptr;
+  SegmentTrace* trace_ = nullptr;
   std::vector<LoopFrame> loop_stack_;
   std::vector<std::pair<uint64_t, uint64_t>> segments_;
 };

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Builds the project with ThreadSanitizer (-DSWEETKNN_TSAN=ON) and runs
+# the gpusim + core test suites under it. parallel_launch_test drives the
+# execution engine at 2 and 8 workers, so the pool, the striped atomic
+# locks, and the trace-replay pipeline are all exercised under TSan.
+#
+# Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DSWEETKNN_TSAN=ON >/dev/null
+
+TESTS=(
+  warp_test
+  coalescing_test
+  memory_test
+  atomics_test
+  device_test
+  parallel_launch_test
+  clustering_test
+  level1_test
+  level2_test
+  ti_knn_gpu_test
+)
+
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"
+
+status=0
+for t in "${TESTS[@]}"; do
+  echo "=== TSan: $t ==="
+  if ! "$BUILD_DIR/tests/$t"; then
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "TSan check passed: ${#TESTS[@]} suites clean."
+else
+  echo "TSan check FAILED." >&2
+fi
+exit "$status"
