@@ -1,0 +1,105 @@
+#ifndef SWEETKNN_COMMON_BLOCKING_QUEUE_H_
+#define SWEETKNN_COMMON_BLOCKING_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace sweetknn::common {
+
+/// Multi-producer multi-consumer FIFO used as the admission queue of the
+/// serving layer: producers (client threads) push requests, a consumer
+/// (the batch dispatcher) drains them with the blocking / timed pops a
+/// micro-batcher needs. Close() ends the stream: pushes are rejected,
+/// pops keep succeeding until the queue is empty and then return false,
+/// so a consumer loop `while (WaitPop(&x)) ...` drains everything that
+/// was admitted before shutdown.
+template <typename T>
+class BlockingQueue {
+ public:
+  BlockingQueue() = default;
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  /// Enqueues an item. Returns false (dropping the item) iff the queue
+  /// was already closed.
+  bool Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+      if (items_.size() > peak_depth_) peak_depth_ = items_.size();
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty.
+  bool WaitPop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    return PopLocked(out);
+  }
+
+  /// Like WaitPop with a timeout; false on timeout or closed-and-empty.
+  template <typename Rep, typename Period>
+  bool WaitPopFor(T* out, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, timeout,
+                 [this] { return closed_ || !items_.empty(); });
+    return PopLocked(out);
+  }
+
+  /// Non-blocking pop.
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return PopLocked(out);
+  }
+
+  /// Rejects future pushes and wakes every waiter. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// High-water mark of size() over the queue's lifetime (the serving
+  /// layer reports it as queue-depth pressure).
+  size_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_depth_;
+  }
+
+ private:
+  bool PopLocked(T* out) {
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  size_t peak_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace sweetknn::common
+
+#endif  // SWEETKNN_COMMON_BLOCKING_QUEUE_H_

@@ -1,0 +1,69 @@
+#include "core/shard_merge.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/topk.h"
+
+namespace sweetknn::core {
+
+KnnResult MergeShardResults(const std::vector<KnnResult>& shard_results,
+                            const std::vector<uint32_t>& shard_offsets,
+                            int k) {
+  SK_CHECK_GT(k, 0);
+  SK_CHECK(!shard_results.empty());
+  SK_CHECK_EQ(shard_results.size(), shard_offsets.size());
+  const size_t num_queries = shard_results[0].num_queries();
+  for (const KnnResult& r : shard_results) {
+    SK_CHECK_EQ(r.num_queries(), num_queries);
+    SK_CHECK_EQ(r.k(), k);
+  }
+
+  KnnResult merged(num_queries, k);
+  std::vector<Neighbor> pool;
+  pool.reserve(shard_results.size() * static_cast<size_t>(k));
+  for (size_t q = 0; q < num_queries; ++q) {
+    pool.clear();
+    for (size_t s = 0; s < shard_results.size(); ++s) {
+      const Neighbor* row = shard_results[s].row(q);
+      for (int i = 0; i < k; ++i) {
+        if (row[i].index == kInvalidNeighbor) break;  // padding: rest too
+        pool.push_back(
+            Neighbor{row[i].index + shard_offsets[s], row[i].distance});
+      }
+    }
+    const size_t keep = std::min(pool.size(), static_cast<size_t>(k));
+    std::partial_sort(pool.begin(), pool.begin() + keep, pool.end(),
+                      NeighborLess);
+    pool.resize(keep);
+    merged.SetRow(q, pool);
+  }
+  return merged;
+}
+
+void AccumulateRunStats(const KnnRunStats& shard, KnnRunStats* total) {
+  total->distance_calcs += shard.distance_calcs;
+  total->total_pairs += shard.total_pairs;
+  total->sim_time_s = std::max(total->sim_time_s, shard.sim_time_s);
+  total->landmarks_query = std::max(total->landmarks_query,
+                                    shard.landmarks_query);
+  total->landmarks_target += shard.landmarks_target;
+  total->query_partitions = std::max(total->query_partitions,
+                                     shard.query_partitions);
+  // Adaptive decisions may legitimately differ per shard (each shard sees
+  // its own |T|); report the last shard's as representative.
+  total->filter_used = shard.filter_used;
+  total->placement_used = shard.placement_used;
+  total->threads_per_query = shard.threads_per_query;
+  for (const gpusim::LaunchRecord& record : shard.profile.launches) {
+    total->profile.launches.push_back(record);
+  }
+  total->profile.transfer_time_s += shard.profile.transfer_time_s;
+  gpusim::KernelStats filter_stats =
+      total->profile.StatsForKernelsMatching("level2_full_filter");
+  filter_stats.Merge(
+      total->profile.StatsForKernelsMatching("level2_partial_filter"));
+  total->level2_warp_efficiency = filter_stats.WarpEfficiency();
+}
+
+}  // namespace sweetknn::core

@@ -1,0 +1,38 @@
+#ifndef SWEETKNN_CORE_SHARD_MERGE_H_
+#define SWEETKNN_CORE_SHARD_MERGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/knn_result.h"
+#include "core/options.h"
+
+namespace sweetknn::core {
+
+/// Merges per-shard KNN results into the exact global top-k.
+///
+/// Shard s holds a contiguous slice of the target set starting at global
+/// row `shard_offsets[s]`, and `shard_results[s]` is the exact top-k of
+/// that slice (rows ascending under NeighborLess, indices local to the
+/// slice, padded with kInvalidNeighbor when the slice has fewer than k
+/// rows). Because every global top-k neighbor lives in exactly one slice
+/// and appears in that slice's top-k, the k smallest entries of the union
+/// (after remapping local indices to global) are exactly the global
+/// top-k; NeighborLess is a total order (distance, then index), so the
+/// merged rows are bit-identical to a single-engine run over the whole
+/// target set.
+KnnResult MergeShardResults(const std::vector<KnnResult>& shard_results,
+                            const std::vector<uint32_t>& shard_offsets,
+                            int k);
+
+/// Accumulates one shard's run stats into a service-level aggregate:
+/// work counters (distance_calcs, total_pairs) and landmark counts add;
+/// sim_time_s takes the max, since shards model devices running
+/// concurrently and the batch completes when the slowest shard does;
+/// launches are concatenated and level2_warp_efficiency is recomputed
+/// over the merged profile.
+void AccumulateRunStats(const KnnRunStats& shard, KnnRunStats* total);
+
+}  // namespace sweetknn::core
+
+#endif  // SWEETKNN_CORE_SHARD_MERGE_H_

@@ -1,6 +1,7 @@
 #ifndef SWEETKNN_CORE_SWEET_KNN_H_
 #define SWEETKNN_CORE_SWEET_KNN_H_
 
+#include <cstring>
 #include <vector>
 
 #include "common/knn_result.h"
@@ -52,9 +53,8 @@ class SweetKnn {
                                const std::vector<float>& query_point, int k) {
     SK_CHECK_EQ(query_point.size(), target.cols());
     HostMatrix query(1, target.cols());
-    for (size_t j = 0; j < target.cols(); ++j) {
-      query.at(0, j) = query_point[j];
-    }
+    std::memcpy(query.mutable_row(0), query_point.data(),
+                target.cols() * sizeof(float));
     const KnnResult result = Join(query, target, k);
     return std::vector<Neighbor>(result.row(0), result.row(0) + result.k());
   }
@@ -97,7 +97,7 @@ class SweetKnnIndex {
   std::vector<Neighbor> Query(const std::vector<float>& point, int k) {
     SK_CHECK_EQ(point.size(), dims_);
     HostMatrix one(1, dims_);
-    for (size_t j = 0; j < dims_; ++j) one.at(0, j) = point[j];
+    std::memcpy(one.mutable_row(0), point.data(), dims_ * sizeof(float));
     const KnnResult result = Query(one, k);
     return std::vector<Neighbor>(result.row(0), result.row(0) + result.k());
   }

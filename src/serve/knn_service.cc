@@ -1,0 +1,247 @@
+#include "serve/knn_service.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "core/shard_merge.h"
+
+namespace sweetknn::serve {
+
+KnnService::KnnService(const HostMatrix& target, const ServiceConfig& config)
+    : config_(config), target_rows_(target.rows()), dims_(target.cols()) {
+  SK_CHECK(!target.empty()) << "KnnService needs a non-empty target set";
+  SK_CHECK_GT(config_.max_batch_size, 0);
+  const int num_shards = std::clamp(
+      config_.num_shards, 1, static_cast<int>(target_rows_));
+
+  // Each shard simulates its own device, so the shard fan-out below is the
+  // host-parallel axis. The shard engines are pinned to one execution
+  // thread: ThreadPool::ForkJoin is non-reentrant from slot 0, so a shard
+  // running inside the fan-out must never open a nested region — and by
+  // the execution engine's guarantee this changes nothing but wall-clock.
+  core::TiOptions shard_options = config_.options;
+  shard_options.sim_threads = 1;
+
+  const size_t base = target_rows_ / static_cast<size_t>(num_shards);
+  const size_t rem = target_rows_ % static_cast<size_t>(num_shards);
+  std::vector<HostMatrix> slices;
+  size_t offset = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    const size_t rows = base + (static_cast<size_t>(s) < rem ? 1 : 0);
+    HostMatrix slice(rows, dims_);
+    std::memcpy(slice.mutable_data(), target.row(offset),
+                rows * dims_ * sizeof(float));
+    slices.push_back(std::move(slice));
+    auto shard = std::make_unique<Shard>(config_.device, shard_options);
+    shard->offset = static_cast<uint32_t>(offset);
+    shard_offsets_.push_back(static_cast<uint32_t>(offset));
+    shards_.push_back(std::move(shard));
+    offset += rows;
+  }
+  // Build the per-shard indexes (upload + landmark clustering) in
+  // parallel; each PrepareTarget touches only its own device.
+  common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
+    shards_[static_cast<size_t>(s)]->engine.PrepareTarget(
+        slices[static_cast<size_t>(s)]);
+  });
+
+  dispatcher_ = std::thread(&KnnService::DispatchLoop, this);
+}
+
+KnnService::~KnnService() { Shutdown(); }
+
+void KnnService::Shutdown() {
+  shut_down_.store(true, std::memory_order_release);
+  queue_.Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::future<KnnResult> KnnService::Submit(RequestPtr request) {
+  SK_CHECK(!shut_down_.load(std::memory_order_acquire))
+      << "KnnService: request after Shutdown()";
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+    stats_.queries += request->num_rows;
+  }
+  std::future<KnnResult> future = request->promise.get_future();
+  SK_CHECK(queue_.Push(std::move(request)))
+      << "KnnService: request after Shutdown()";
+  return future;
+}
+
+std::vector<Neighbor> KnnService::Search(
+    const std::vector<float>& query_point, int k) {
+  SK_CHECK_EQ(query_point.size(), dims_);
+  SK_CHECK_GT(k, 0);
+  std::string key;
+  if (config_.cache_capacity > 0) {
+    key = CacheKey(query_point.data(), dims_, k);
+    std::vector<Neighbor> cached;
+    if (CacheLookup(key, &cached)) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.requests;
+      ++stats_.queries;
+      return cached;
+    }
+  }
+
+  auto request = std::make_unique<Request>();
+  request->rows = query_point;
+  request->num_rows = 1;
+  request->k = k;
+  const KnnResult result = Submit(std::move(request)).get();
+  std::vector<Neighbor> neighbors(result.row(0), result.row(0) + result.k());
+  if (config_.cache_capacity > 0) CacheInsert(key, neighbors);
+  return neighbors;
+}
+
+KnnResult KnnService::JoinBatch(const HostMatrix& queries, int k) {
+  SK_CHECK(!queries.empty());
+  SK_CHECK_EQ(queries.cols(), dims_);
+  SK_CHECK_GT(k, 0);
+  auto request = std::make_unique<Request>();
+  request->rows = queries.storage();
+  request->num_rows = queries.rows();
+  request->k = k;
+  return Submit(std::move(request)).get();
+}
+
+void KnnService::DispatchLoop() {
+  RequestPtr first;
+  while (queue_.WaitPop(&first)) {
+    // Micro-batching: coalesce admitted requests until max_batch_size
+    // query rows are on board or max_batch_wait has passed since the
+    // batch opened.
+    std::vector<RequestPtr> batch;
+    size_t rows = first->num_rows;
+    batch.push_back(std::move(first));
+    const auto deadline =
+        std::chrono::steady_clock::now() + config_.max_batch_wait;
+    while (rows < static_cast<size_t>(config_.max_batch_size)) {
+      RequestPtr next;
+      if (!queue_.TryPop(&next)) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline || !queue_.WaitPopFor(&next, deadline - now)) {
+          break;  // the batch is as full as it will get
+        }
+      }
+      rows += next->num_rows;
+      batch.push_back(std::move(next));
+    }
+
+    // One engine batch per distinct k, preserving admission order within
+    // each group (and deterministic k order across groups).
+    std::map<int, std::vector<RequestPtr>> by_k;
+    for (RequestPtr& request : batch) {
+      by_k[request->k].push_back(std::move(request));
+    }
+    for (auto& [k, group] : by_k) {
+      (void)k;
+      RunGroup(std::move(group));
+    }
+  }
+}
+
+void KnnService::RunGroup(std::vector<RequestPtr> group) {
+  const int k = group[0]->k;
+  size_t rows = 0;
+  for (const RequestPtr& request : group) rows += request->num_rows;
+  HostMatrix queries(rows, dims_);
+  size_t row = 0;
+  for (const RequestPtr& request : group) {
+    std::memcpy(queries.mutable_row(row), request->rows.data(),
+                request->num_rows * dims_ * sizeof(float));
+    row += request->num_rows;
+  }
+
+  const int num_shards = static_cast<int>(shards_.size());
+  std::vector<KnnResult> shard_results(static_cast<size_t>(num_shards));
+  std::vector<core::KnnRunStats> shard_stats(
+      static_cast<size_t>(num_shards));
+  common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
+    const auto idx = static_cast<size_t>(s);
+    shard_results[idx] =
+        shards_[idx]->engine.RunQueries(queries, k, &shard_stats[idx]);
+  });
+  const KnnResult merged =
+      core::MergeShardResults(shard_results, shard_offsets_, k);
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.batches;
+    stats_.batched_queries += rows;
+    double slowest = 0.0;
+    for (const core::KnnRunStats& s : shard_stats) {
+      stats_.total_sim_time_s += s.sim_time_s;
+      slowest = std::max(slowest, s.sim_time_s);
+      stats_.distance_calcs += s.distance_calcs;
+    }
+    stats_.critical_sim_time_s += slowest;
+  }
+
+  // Slice the merged result back into per-request answers.
+  row = 0;
+  for (RequestPtr& request : group) {
+    KnnResult answer(request->num_rows, k);
+    for (size_t q = 0; q < request->num_rows; ++q) {
+      std::memcpy(answer.mutable_row(q), merged.row(row + q),
+                  static_cast<size_t>(k) * sizeof(Neighbor));
+    }
+    row += request->num_rows;
+    request->promise.set_value(std::move(answer));
+  }
+}
+
+ServiceStats KnnService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ServiceStats snapshot = stats_;
+  snapshot.peak_queue_depth = queue_.peak_depth();
+  return snapshot;
+}
+
+std::string KnnService::CacheKey(const float* row, size_t dims, int k) {
+  std::string key(sizeof(int) + dims * sizeof(float), '\0');
+  std::memcpy(key.data(), &k, sizeof(int));
+  std::memcpy(key.data() + sizeof(int), row, dims * sizeof(float));
+  return key;
+}
+
+bool KnnService::CacheLookup(const std::string& key,
+                             std::vector<Neighbor>* out) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.cache_lookups;
+  }
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  *out = it->second.neighbors;
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  ++stats_.cache_hits;
+  return true;
+}
+
+void KnnService::CacheInsert(const std::string& key,
+                             std::vector<Neighbor> value) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    it->second.neighbors = std::move(value);
+    return;
+  }
+  lru_.push_front(key);
+  cache_.emplace(key, CacheEntry{lru_.begin(), std::move(value)});
+  while (cache_.size() > config_.cache_capacity) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+}  // namespace sweetknn::serve

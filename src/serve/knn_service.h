@@ -1,0 +1,187 @@
+#ifndef SWEETKNN_SERVE_KNN_SERVICE_H_
+#define SWEETKNN_SERVE_KNN_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/knn_result.h"
+#include "common/matrix.h"
+#include "core/options.h"
+#include "core/ti_knn_gpu.h"
+#include "gpusim/device.h"
+
+namespace sweetknn::serve {
+
+/// Knobs of the serving layer.
+struct ServiceConfig {
+  /// Target-set shards, each a simulated device with its own prepared
+  /// TiKnnEngine index. Clamped to the target row count.
+  int num_shards = 2;
+  /// Micro-batching: the dispatcher coalesces admitted requests until a
+  /// batch holds this many query rows ...
+  int max_batch_size = 64;
+  /// ... or this much wall-clock has passed since the batch's first
+  /// request, whichever comes first.
+  std::chrono::microseconds max_batch_wait{500};
+  /// LRU result-cache entries, keyed on (k, query row bytes). 0 = off.
+  /// Serves single-row Search() requests only.
+  size_t cache_capacity = 0;
+  gpusim::DeviceSpec device = gpusim::DeviceSpec::TeslaK20c();
+  core::TiOptions options = core::TiOptions::Sweet();
+};
+
+/// Service-level counters, all cumulative since construction.
+struct ServiceStats {
+  uint64_t requests = 0;        ///< Search/JoinBatch calls admitted.
+  uint64_t queries = 0;         ///< Query rows answered (incl. cache hits).
+  uint64_t batches = 0;         ///< Micro-batches dispatched to the shards.
+  uint64_t batched_queries = 0; ///< Query rows that went through engines.
+  uint64_t cache_lookups = 0;
+  uint64_t cache_hits = 0;
+  uint64_t peak_queue_depth = 0;  ///< Admission-queue high-water mark.
+  /// Simulated device time summed over every shard of every batch (the
+  /// throughput cost: total device-seconds consumed).
+  double total_sim_time_s = 0.0;
+  /// Per-batch max over shards, summed over batches (the latency cost:
+  /// shards run concurrently, a batch completes with its slowest shard).
+  double critical_sim_time_s = 0.0;
+  /// Level-2 distance computations summed over shards.
+  uint64_t distance_calcs = 0;
+
+  /// Mean fraction of max_batch_size filled per dispatched batch (> 1 is
+  /// possible when one JoinBatch request exceeds max_batch_size).
+  double BatchOccupancy(int max_batch_size) const {
+    if (batches == 0 || max_batch_size <= 0) return 0.0;
+    return static_cast<double>(batched_queries) /
+           (static_cast<double>(batches) *
+            static_cast<double>(max_batch_size));
+  }
+  double MeanBatchSize() const {
+    if (batches == 0) return 0.0;
+    return static_cast<double>(batched_queries) /
+           static_cast<double>(batches);
+  }
+  /// Critical-path device time amortized over every batched query row —
+  /// the number micro-batching drives down.
+  double AmortizedSimTimePerQuery() const {
+    if (batched_queries == 0) return 0.0;
+    return critical_sim_time_s / static_cast<double>(batched_queries);
+  }
+};
+
+/// A concurrent batched KNN serving front-end over sharded
+/// TiKnnEngine indexes — the first "many users" code path of the
+/// ROADMAP's north star.
+///
+/// Construction partitions the target rows into `num_shards` contiguous
+/// slices and prepares one engine per slice (PrepareTarget: upload +
+/// landmark clustering) on its own simulated device. Client threads call
+/// Search/JoinBatch concurrently; requests land in an admission queue
+/// that a dispatcher thread drains with dynamic micro-batching
+/// (max_batch_size / max_batch_wait). Each micro-batch fans out over the
+/// shards on the shared host thread pool and the per-shard top-k lists
+/// are merged into the exact global top-k (see MergeShardResults for the
+/// exactness argument) — answers are bit-identical to a single-engine
+/// RunOnce over the unsharded target set.
+///
+///   KnnService service(gallery, {.num_shards = 4});
+///   // from many threads:
+///   std::vector<Neighbor> nn = service.Search(point, /*k=*/10);
+///   KnnResult batch = service.JoinBatch(queries, /*k=*/10);
+class KnnService {
+ public:
+  explicit KnnService(const HostMatrix& target,
+                      const ServiceConfig& config = {});
+  ~KnnService();
+
+  KnnService(const KnnService&) = delete;
+  KnnService& operator=(const KnnService&) = delete;
+
+  /// The k nearest target rows of one query point. Thread-safe; blocks
+  /// until the request's micro-batch has been served (or a cache hit
+  /// answers immediately).
+  std::vector<Neighbor> Search(const std::vector<float>& query_point, int k);
+
+  /// The k nearest target rows for every row of `queries`, as one
+  /// request (the rows always ride in the same micro-batch and the row
+  /// order is preserved). Thread-safe; blocks until served.
+  KnnResult JoinBatch(const HostMatrix& queries, int k);
+
+  /// Rejects new requests, drains everything already admitted, and joins
+  /// the dispatcher. Idempotent; also run by the destructor.
+  void Shutdown();
+
+  /// Consistent snapshot of the cumulative counters.
+  ServiceStats stats() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  size_t target_rows() const { return target_rows_; }
+  size_t dims() const { return dims_; }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Shard {
+    explicit Shard(const gpusim::DeviceSpec& spec,
+                   const core::TiOptions& options)
+        : dev(spec), engine(&dev, options) {}
+    gpusim::Device dev;
+    core::TiKnnEngine engine;
+    uint32_t offset = 0;  ///< First global target row of this slice.
+  };
+
+  struct Request {
+    std::vector<float> rows;  ///< num_rows * dims query coordinates.
+    size_t num_rows = 0;
+    int k = 0;
+    bool cacheable = false;  ///< Single-row Search with caching enabled.
+    std::promise<KnnResult> promise;
+  };
+  using RequestPtr = std::unique_ptr<Request>;
+
+  std::future<KnnResult> Submit(RequestPtr request);
+  void DispatchLoop();
+  /// Runs one same-k group of coalesced requests through every shard and
+  /// fulfills their promises.
+  void RunGroup(std::vector<RequestPtr> group);
+
+  // LRU result cache (single-row Search results), guarded by cache_mutex_.
+  static std::string CacheKey(const float* row, size_t dims, int k);
+  bool CacheLookup(const std::string& key, std::vector<Neighbor>* out);
+  void CacheInsert(const std::string& key, std::vector<Neighbor> value);
+
+  ServiceConfig config_;
+  size_t target_rows_ = 0;
+  size_t dims_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<uint32_t> shard_offsets_;
+
+  common::BlockingQueue<RequestPtr> queue_;
+  std::thread dispatcher_;
+  std::atomic<bool> shut_down_{false};
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;  // guarded by stats_mutex_ (except peak_queue_depth,
+                        // read from the queue at snapshot time)
+
+  std::mutex cache_mutex_;
+  std::list<std::string> lru_;  // front = most recent
+  struct CacheEntry {
+    std::list<std::string>::iterator lru_pos;
+    std::vector<Neighbor> neighbors;
+  };
+  std::unordered_map<std::string, CacheEntry> cache_;
+};
+
+}  // namespace sweetknn::serve
+
+#endif  // SWEETKNN_SERVE_KNN_SERVICE_H_

@@ -1,0 +1,106 @@
+#include "common/blocking_queue.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace sweetknn::common {
+namespace {
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> queue;
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.Push(i));
+  EXPECT_EQ(queue.size(), 5u);
+  int value = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.TryPop(&value));
+    EXPECT_EQ(value, i);
+  }
+  EXPECT_FALSE(queue.TryPop(&value));
+}
+
+TEST(BlockingQueueTest, WaitPopBlocksUntilPush) {
+  BlockingQueue<int> queue;
+  int value = 0;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    queue.Push(42);
+  });
+  EXPECT_TRUE(queue.WaitPop(&value));
+  EXPECT_EQ(value, 42);
+  producer.join();
+}
+
+TEST(BlockingQueueTest, WaitPopForTimesOutEmpty) {
+  BlockingQueue<int> queue;
+  int value = 0;
+  EXPECT_FALSE(queue.WaitPopFor(&value, std::chrono::microseconds(200)));
+}
+
+TEST(BlockingQueueTest, CloseDrainsThenEnds) {
+  BlockingQueue<int> queue;
+  queue.Push(1);
+  queue.Push(2);
+  queue.Close();
+  EXPECT_FALSE(queue.Push(3));  // rejected after close
+  int value = 0;
+  EXPECT_TRUE(queue.WaitPop(&value));
+  EXPECT_EQ(value, 1);
+  EXPECT_TRUE(queue.WaitPop(&value));
+  EXPECT_EQ(value, 2);
+  EXPECT_FALSE(queue.WaitPop(&value));  // empty + closed
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedWaiter) {
+  BlockingQueue<int> queue;
+  std::thread waiter([&] {
+    int value = 0;
+    EXPECT_FALSE(queue.WaitPop(&value));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  queue.Close();
+  waiter.join();
+}
+
+TEST(BlockingQueueTest, PeakDepthIsHighWaterMark) {
+  BlockingQueue<int> queue;
+  for (int i = 0; i < 7; ++i) queue.Push(i);
+  int value = 0;
+  while (queue.TryPop(&value)) {
+  }
+  queue.Push(0);
+  EXPECT_EQ(queue.peak_depth(), 7u);
+}
+
+TEST(BlockingQueueTest, ManyProducersOneConsumer) {
+  BlockingQueue<int> queue;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> seen;
+  std::thread consumer([&] {
+    int value = 0;
+    while (queue.WaitPop(&value)) seen.push_back(value);
+  });
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  consumer.join();
+  ASSERT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+  }
+}
+
+}  // namespace
+}  // namespace sweetknn::common

@@ -1,0 +1,107 @@
+// The index-style PrepareTarget/RunQueries path under multiple uneven
+// query batches: per-row answers must be bit-identical to one RunOnce
+// over the concatenated query set, and every batch's stats must fold in
+// the amortized target-preparation profile.
+
+#include <cstring>
+#include <vector>
+
+#include "core/ti_knn_gpu.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace sweetknn::core {
+namespace {
+
+using ::sweetknn::testing::ClusteredPoints;
+
+HostMatrix Slice(const HostMatrix& m, size_t begin, size_t rows) {
+  HostMatrix out(rows, m.cols());
+  std::memcpy(out.mutable_data(), m.row(begin),
+              rows * m.cols() * sizeof(float));
+  return out;
+}
+
+double PrepLaunchTime(const gpusim::Profile& profile) {
+  double total = 0.0;
+  for (const gpusim::LaunchRecord& record : profile.launches) {
+    if (record.kernel_name.find("target") != std::string::npos) {
+      total += record.sim_time_s;
+    }
+  }
+  return total;
+}
+
+TEST(MultiBatchTest, ThreeUnevenBatchesEqualSingleRunOnce) {
+  const HostMatrix target = ClusteredPoints(380, 5, 4, 601);
+  const HostMatrix queries = ClusteredPoints(120, 5, 3, 602);
+  constexpr int kNeighbors = 6;
+
+  gpusim::Device single_dev(gpusim::DeviceSpec::TeslaK20c());
+  const KnnResult reference = TiKnnEngine::RunOnce(
+      &single_dev, queries, target, kNeighbors, TiOptions::Sweet(), nullptr);
+
+  gpusim::Device dev(gpusim::DeviceSpec::TeslaK20c());
+  TiKnnEngine engine(&dev, TiOptions::Sweet());
+  engine.PrepareTarget(target);
+
+  const std::vector<size_t> batch_rows = {37, 5, 78};  // uneven, sums to 120
+  size_t begin = 0;
+  std::vector<KnnRunStats> batch_stats;
+  for (size_t rows : batch_rows) {
+    KnnRunStats stats;
+    const KnnResult batch = engine.RunQueries(
+        Slice(queries, begin, rows), kNeighbors, &stats);
+    ASSERT_EQ(batch.num_queries(), rows);
+    for (size_t q = 0; q < rows; ++q) {
+      for (int i = 0; i < kNeighbors; ++i) {
+        ASSERT_EQ(reference.row(begin + q)[i].index, batch.row(q)[i].index)
+            << "query " << begin + q << " rank " << i;
+        ASSERT_EQ(reference.row(begin + q)[i].distance,
+                  batch.row(q)[i].distance)
+            << "query " << begin + q << " rank " << i;
+      }
+    }
+    batch_stats.push_back(std::move(stats));
+    begin += rows;
+  }
+
+  // Every batch amortizes the same target preparation: its launches are
+  // spliced into each batch profile with identical total simulated time.
+  const double prep0 = PrepLaunchTime(batch_stats[0].profile);
+  EXPECT_GT(prep0, 0.0);
+  for (const KnnRunStats& stats : batch_stats) {
+    EXPECT_DOUBLE_EQ(PrepLaunchTime(stats.profile), prep0);
+    EXPECT_GT(stats.sim_time_s, prep0);  // plus per-batch query work
+  }
+
+  // Work counters are per batch, not cumulative across batches.
+  EXPECT_EQ(batch_stats[0].total_pairs, 37u * 380u);
+  EXPECT_EQ(batch_stats[1].total_pairs, 5u * 380u);
+  EXPECT_EQ(batch_stats[2].total_pairs, 78u * 380u);
+  for (const KnnRunStats& stats : batch_stats) {
+    EXPECT_GT(stats.distance_calcs, 0u);
+    EXPECT_LE(stats.distance_calcs, stats.total_pairs);
+  }
+}
+
+TEST(MultiBatchTest, BatchSimTimesAreReproducible) {
+  // Running the same batch against two independently prepared engines
+  // yields the same simulated time: the amortized profile is a pure
+  // function of the target set and options.
+  const HostMatrix target = ClusteredPoints(250, 4, 4, 603);
+  const HostMatrix batch = ClusteredPoints(40, 4, 2, 604);
+  double times[2];
+  for (int round = 0; round < 2; ++round) {
+    gpusim::Device dev(gpusim::DeviceSpec::TeslaK20c());
+    TiKnnEngine engine(&dev, TiOptions::Sweet());
+    engine.PrepareTarget(target);
+    KnnRunStats stats;
+    engine.RunQueries(batch, 5, &stats);
+    times[round] = stats.sim_time_s;
+  }
+  EXPECT_DOUBLE_EQ(times[0], times[1]);
+}
+
+}  // namespace
+}  // namespace sweetknn::core

@@ -1,0 +1,115 @@
+#include "core/shard_merge.h"
+
+#include <vector>
+
+#include "baseline/brute_force_cpu.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace sweetknn::core {
+namespace {
+
+KnnResult ResultFromRows(
+    const std::vector<std::vector<Neighbor>>& rows, int k) {
+  KnnResult out(rows.size(), k);
+  for (size_t q = 0; q < rows.size(); ++q) out.SetRow(q, rows[q]);
+  return out;
+}
+
+TEST(ShardMergeTest, RemapsAndPicksGlobalTopK) {
+  // Shard 0 holds target rows [0, 3), shard 1 holds [3, 6).
+  const KnnResult s0 = ResultFromRows(
+      {{{0, 1.0f}, {2, 4.0f}}, {{1, 0.5f}, {0, 9.0f}}}, 2);
+  const KnnResult s1 = ResultFromRows(
+      {{{1, 2.0f}, {0, 3.0f}}, {{2, 0.25f}, {1, 0.75f}}}, 2);
+  const KnnResult merged = MergeShardResults({s0, s1}, {0, 3}, 2);
+  ASSERT_EQ(merged.num_queries(), 2u);
+  EXPECT_EQ(merged.row(0)[0], (Neighbor{0, 1.0f}));
+  EXPECT_EQ(merged.row(0)[1], (Neighbor{4, 2.0f}));
+  EXPECT_EQ(merged.row(1)[0], (Neighbor{5, 0.25f}));
+  EXPECT_EQ(merged.row(1)[1], (Neighbor{1, 0.5f}));
+}
+
+TEST(ShardMergeTest, ExactDistanceTiesBreakOnGlobalIndex) {
+  const KnnResult s0 = ResultFromRows({{{1, 2.0f}, {0, 7.0f}}}, 2);
+  const KnnResult s1 = ResultFromRows({{{0, 2.0f}, {1, 2.0f}}}, 2);
+  const KnnResult merged = MergeShardResults({s0, s1}, {0, 2}, 2);
+  // Three candidates at distance 2.0: global ids 1, 2, 3 — keep 1 and 2.
+  EXPECT_EQ(merged.row(0)[0], (Neighbor{1, 2.0f}));
+  EXPECT_EQ(merged.row(0)[1], (Neighbor{2, 2.0f}));
+}
+
+TEST(ShardMergeTest, PaddedShardRowsAreSkipped) {
+  // Shard 1's slice has one row: its second slot is padding.
+  const KnnResult s0 = ResultFromRows({{{0, 5.0f}, {1, 6.0f}}}, 2);
+  const KnnResult s1 = ResultFromRows({{{0, 1.0f}}}, 2);
+  const KnnResult merged = MergeShardResults({s0, s1}, {0, 2}, 2);
+  EXPECT_EQ(merged.row(0)[0], (Neighbor{2, 1.0f}));
+  EXPECT_EQ(merged.row(0)[1], (Neighbor{0, 5.0f}));
+}
+
+TEST(ShardMergeTest, FewerCandidatesThanKPadsLikeSingleEngine) {
+  const KnnResult s0 = ResultFromRows({{{0, 1.0f}}}, 3);
+  const KnnResult s1 = ResultFromRows({{{0, 2.0f}}}, 3);
+  const KnnResult merged = MergeShardResults({s0, s1}, {0, 1}, 3);
+  EXPECT_EQ(merged.row(0)[0], (Neighbor{0, 1.0f}));
+  EXPECT_EQ(merged.row(0)[1], (Neighbor{1, 2.0f}));
+  EXPECT_EQ(merged.row(0)[2].index, kInvalidNeighbor);
+}
+
+TEST(ShardMergeTest, MergedBruteForceShardsEqualWholeSetBitwise) {
+  // Property check against the oracle: brute-force each slice, merge,
+  // compare bit-for-bit with brute force over the whole target.
+  const HostMatrix target = testing::ClusteredPoints(157, 5, 4, 501);
+  const HostMatrix queries = testing::ClusteredPoints(23, 5, 2, 502);
+  constexpr int kNeighbors = 9;
+  const KnnResult whole =
+      baseline::BruteForceCpu(queries, target, kNeighbors);
+
+  const std::vector<size_t> cuts = {0, 40, 41, 157};  // uneven slices
+  std::vector<KnnResult> shard_results;
+  std::vector<uint32_t> offsets;
+  for (size_t s = 0; s + 1 < cuts.size(); ++s) {
+    const size_t rows = cuts[s + 1] - cuts[s];
+    HostMatrix slice(rows, target.cols());
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t j = 0; j < target.cols(); ++j) {
+        slice.at(r, j) = target.at(cuts[s] + r, j);
+      }
+    }
+    shard_results.push_back(
+        baseline::BruteForceCpu(queries, slice, kNeighbors));
+    offsets.push_back(static_cast<uint32_t>(cuts[s]));
+  }
+  const KnnResult merged =
+      MergeShardResults(shard_results, offsets, kNeighbors);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    for (int i = 0; i < kNeighbors; ++i) {
+      EXPECT_EQ(whole.row(q)[i].index, merged.row(q)[i].index);
+      EXPECT_EQ(whole.row(q)[i].distance, merged.row(q)[i].distance);
+    }
+  }
+}
+
+TEST(AccumulateRunStatsTest, CountersAddAndSimTimeTakesMax) {
+  KnnRunStats total;
+  KnnRunStats a;
+  a.distance_calcs = 100;
+  a.total_pairs = 1000;
+  a.sim_time_s = 0.5;
+  a.landmarks_target = 10;
+  KnnRunStats b;
+  b.distance_calcs = 50;
+  b.total_pairs = 500;
+  b.sim_time_s = 0.75;
+  b.landmarks_target = 7;
+  AccumulateRunStats(a, &total);
+  AccumulateRunStats(b, &total);
+  EXPECT_EQ(total.distance_calcs, 150u);
+  EXPECT_EQ(total.total_pairs, 1500u);
+  EXPECT_DOUBLE_EQ(total.sim_time_s, 0.75);
+  EXPECT_EQ(total.landmarks_target, 17);
+}
+
+}  // namespace
+}  // namespace sweetknn::core

@@ -37,6 +37,47 @@ TEST(SweetKnnTest, SearchSingleQuery) {
   EXPECT_EQ(neighbors[1].index, 3u);
 }
 
+TEST(SweetKnnTest, SearchBreaksDuplicateDistanceTiesByIndex) {
+  // Four targets at exactly the same location, plus one farther away:
+  // the tied nearest neighbors must come back in ascending index order
+  // with bitwise-equal distances.
+  HostMatrix target(5, 3);
+  for (size_t i = 0; i < 4; ++i) {
+    target.at(i, 0) = 1.5f;
+    target.at(i, 1) = -2.0f;
+    target.at(i, 2) = 0.25f;
+  }
+  target.at(4, 0) = 50.0f;
+  SweetKnn knn;
+  const auto neighbors = knn.Search(target, {1.5f, -2.0f, 0.25f}, 3);
+  ASSERT_EQ(neighbors.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(neighbors[static_cast<size_t>(i)].index,
+              static_cast<uint32_t>(i));
+    EXPECT_EQ(neighbors[static_cast<size_t>(i)].distance, 0.0f);
+  }
+}
+
+TEST(SweetKnnTest, SearchCopiesQueryRowFaithfully) {
+  // The query row is memcpy'd from the input vector; verify against the
+  // oracle on an irregular point (catches stride/offset mistakes).
+  const HostMatrix target = ClusteredPoints(180, 7, 3, 130);
+  const std::vector<float> point = {0.31f, -0.7f, 2.25f, 0.0f,
+                                    -1.125f, 0.5f, 3.875f};
+  SweetKnn knn;
+  const auto neighbors = knn.Search(target, point, 4);
+  HostMatrix query(1, 7);
+  for (size_t j = 0; j < 7; ++j) query.at(0, j) = point[j];
+  const KnnResult oracle = baseline::BruteForceCpu(query, target, 4);
+  ASSERT_EQ(neighbors.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(neighbors[static_cast<size_t>(i)].index,
+              oracle.row(0)[i].index);
+    EXPECT_NEAR(neighbors[static_cast<size_t>(i)].distance,
+                oracle.row(0)[i].distance, 2e-4f);
+  }
+}
+
 TEST(SweetKnnTest, StatsAreFilledOut) {
   const HostMatrix points = ClusteredPoints(256, 8, 4, 124);
   SweetKnn knn;

@@ -1,0 +1,216 @@
+// Differential fuzzing: ~200 seeded random configurations of the TI
+// engine (n, d, k, metric, filter strength, placement, layout,
+// sim_threads, ...) checked against the BruteForceCpu oracle, and — for
+// the serving layer's exactness guarantee — a sharded KnnService driven
+// by concurrent clients checked bit-for-bit against the single-engine
+// result of the same options. Any mismatch prints a one-line repro of
+// the failing seed/config.
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "baseline/brute_force_cpu.h"
+#include "common/rng.h"
+#include "core/ti_knn_gpu.h"
+#include "gtest/gtest.h"
+#include "serve/knn_service.h"
+#include "test_util.h"
+
+namespace sweetknn {
+namespace {
+
+constexpr uint64_t kBaseSeed = 20260806;
+constexpr int kNumConfigs = 200;
+
+struct FuzzConfig {
+  uint64_t seed = 0;
+  size_t n = 0;
+  size_t query_n = 0;  // == n for self-joins
+  size_t dims = 0;
+  int k = 0;
+  bool self_join = false;
+  int clusters = 1;
+  int service_shards = 2;
+  core::TiOptions options;
+};
+
+const char* FilterName(const std::optional<core::Level2Filter>& f) {
+  if (!f.has_value()) return "adaptive";
+  return *f == core::Level2Filter::kFull ? "full" : "partial";
+}
+
+const char* PlacementName(
+    const std::optional<core::KnearestsPlacement>& p) {
+  if (!p.has_value()) return "adaptive";
+  switch (*p) {
+    case core::KnearestsPlacement::kGlobal: return "global";
+    case core::KnearestsPlacement::kShared: return "shared";
+    case core::KnearestsPlacement::kRegisters: return "registers";
+  }
+  return "?";
+}
+
+/// One-line repro of a failing config, pasteable into a bug report.
+std::string Repro(const FuzzConfig& cfg) {
+  std::ostringstream out;
+  out << "seed=" << cfg.seed << " n=" << cfg.n << " m=" << cfg.query_n
+      << " d=" << cfg.dims << " k=" << cfg.k
+      << " self_join=" << (cfg.self_join ? 1 : 0)
+      << " clusters=" << cfg.clusters << " metric="
+      << (cfg.options.metric == core::Metric::kEuclidean ? "euclidean"
+                                                         : "manhattan")
+      << " filter=" << FilterName(cfg.options.filter_override)
+      << " placement=" << PlacementName(cfg.options.placement_override)
+      << " layout="
+      << (cfg.options.layout == core::PointLayout::kRowMajor ? "row" : "col")
+      << " vec=" << cfg.options.point_vector_width
+      << " knl="
+      << (cfg.options.knearests_layout == core::KnearestsLayout::kBlocked
+              ? "blocked"
+              : "interleaved")
+      << " remap=" << (cfg.options.remap_threads ? 1 : 0)
+      << " elastic=" << (cfg.options.elastic_parallelism ? 1 : 0)
+      << " tpq=" << cfg.options.threads_per_query_override
+      << " sim_threads=" << cfg.options.sim_threads
+      << " shards=" << cfg.service_shards;
+  return out.str();
+}
+
+FuzzConfig DrawConfig(uint64_t seed) {
+  Rng rng(seed);
+  FuzzConfig cfg;
+  cfg.seed = seed;
+  cfg.n = 24 + rng.NextBounded(233);
+  cfg.dims = 1 + rng.NextBounded(16);
+  cfg.k = 1 + static_cast<int>(
+                  rng.NextBounded(std::min<uint64_t>(cfg.n, 48)));
+  cfg.self_join = rng.NextBounded(2) == 0;
+  cfg.query_n = cfg.self_join ? cfg.n : 8 + rng.NextBounded(cfg.n);
+  cfg.clusters = 1 + static_cast<int>(rng.NextBounded(5));
+  cfg.service_shards = 2 + static_cast<int>(rng.NextBounded(2));
+
+  core::TiOptions& opt = cfg.options;
+  opt.metric = rng.NextBounded(2) == 0 ? core::Metric::kEuclidean
+                                       : core::Metric::kManhattan;
+  opt.layout = rng.NextBounded(2) == 0 ? core::PointLayout::kRowMajor
+                                       : core::PointLayout::kColumnMajor;
+  opt.point_vector_width = rng.NextBounded(2) == 0 ? 4 : 1;
+  opt.knearests_layout = rng.NextBounded(2) == 0
+                             ? core::KnearestsLayout::kInterleaved
+                             : core::KnearestsLayout::kBlocked;
+  opt.remap_threads = rng.NextBounded(2) == 0;
+  opt.elastic_parallelism = rng.NextBounded(2) == 0;
+  switch (rng.NextBounded(3)) {
+    case 0: break;  // adaptive
+    case 1: opt.filter_override = core::Level2Filter::kFull; break;
+    case 2: opt.filter_override = core::Level2Filter::kPartial; break;
+  }
+  switch (rng.NextBounded(4)) {
+    case 0: break;  // adaptive
+    case 1: opt.placement_override = core::KnearestsPlacement::kGlobal;
+      break;
+    case 2:
+      // A forced shared-memory kNearests must actually fit in shared
+      // memory (the adaptive scheme only picks it when it does).
+      if (opt.block_threads * 4 * cfg.k <= 40 * 1024) {
+        opt.placement_override = core::KnearestsPlacement::kShared;
+      }
+      break;
+    case 3: opt.placement_override = core::KnearestsPlacement::kRegisters;
+      break;
+  }
+  const uint64_t tpq = rng.NextBounded(4);
+  opt.threads_per_query_override = tpq < 2 ? 0 : static_cast<int>(tpq);
+  opt.sim_threads = rng.NextBounded(2) == 0 ? 1 : 4;
+  return cfg;
+}
+
+void RunConfig(const FuzzConfig& cfg) {
+  const HostMatrix target = testing::ClusteredPoints(
+      cfg.n, cfg.dims, cfg.clusters, SplitMix64(cfg.seed), 0.08f);
+  const HostMatrix distinct_query =
+      cfg.self_join ? HostMatrix()
+                    : testing::ClusteredPoints(cfg.query_n, cfg.dims,
+                                               cfg.clusters,
+                                               SplitMix64(cfg.seed + 1),
+                                               0.08f);
+  const HostMatrix& queries = cfg.self_join ? target : distinct_query;
+
+  const KnnResult oracle = baseline::BruteForceCpu(
+      queries, target, cfg.k, cfg.options.metric);
+
+  gpusim::Device dev(gpusim::DeviceSpec::TeslaK20c());
+  const KnnResult engine_result = core::TiKnnEngine::RunOnce(
+      &dev, queries, target, cfg.k, cfg.options, nullptr);
+
+  std::string mismatch;
+  const size_t bad =
+      CountResultMismatches(oracle, engine_result, 2e-4f, &mismatch);
+  if (bad != 0) {
+    ADD_FAILURE() << "engine vs oracle: " << bad << " bad slots ("
+                  << mismatch << ") — repro: " << Repro(cfg);
+    return;
+  }
+
+  // Serving layer: sharded + micro-batched + concurrent clients must be
+  // bit-identical to the single-engine result above.
+  serve::ServiceConfig service_config;
+  service_config.num_shards = cfg.service_shards;
+  service_config.max_batch_size = 16;
+  service_config.max_batch_wait = std::chrono::microseconds(300);
+  service_config.options = cfg.options;
+  serve::KnnService service(target, service_config);
+
+  constexpr int kClients = 4;
+  std::vector<KnnResult> answers(kClients);
+  std::vector<size_t> begins(kClients);
+  std::vector<std::thread> clients;
+  const size_t per_client = (queries.rows() + kClients - 1) / kClients;
+  for (int c = 0; c < kClients; ++c) {
+    const size_t begin = std::min(queries.rows(), c * per_client);
+    const size_t end = std::min(queries.rows(), begin + per_client);
+    begins[static_cast<size_t>(c)] = begin;
+    if (begin == end) continue;
+    clients.emplace_back([&, c, begin, end] {
+      HostMatrix slice(end - begin, queries.cols());
+      for (size_t r = begin; r < end; ++r) {
+        for (size_t j = 0; j < queries.cols(); ++j) {
+          slice.at(r - begin, j) = queries.at(r, j);
+        }
+      }
+      answers[static_cast<size_t>(c)] = service.JoinBatch(slice, cfg.k);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    const KnnResult& answer = answers[static_cast<size_t>(c)];
+    for (size_t r = 0; r < answer.num_queries(); ++r) {
+      const size_t global = begins[static_cast<size_t>(c)] + r;
+      for (int i = 0; i < cfg.k; ++i) {
+        const Neighbor& want = engine_result.row(global)[i];
+        const Neighbor& got = answer.row(r)[i];
+        if (want.index != got.index || want.distance != got.distance) {
+          ADD_FAILURE() << "service vs single engine: query " << global
+                        << " rank " << i << " want (" << want.index << ", "
+                        << want.distance << ") got (" << got.index << ", "
+                        << got.distance << ") — repro: " << Repro(cfg);
+          return;
+        }
+      }
+    }
+  }
+}
+
+TEST(DifferentialFuzzTest, SweepMatchesOracleAndServiceIsBitIdentical) {
+  for (int i = 0; i < kNumConfigs; ++i) {
+    const FuzzConfig cfg = DrawConfig(kBaseSeed + static_cast<uint64_t>(i));
+    SCOPED_TRACE(Repro(cfg));
+    RunConfig(cfg);
+    if (::testing::Test::HasFailure()) break;  // first repro is enough
+  }
+}
+
+}  // namespace
+}  // namespace sweetknn

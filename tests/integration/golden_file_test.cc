@@ -1,0 +1,126 @@
+// Golden-file regression tests: the full KnnResult (neighbor ids and
+// distances) plus the key aggregate KernelStats counters of a
+// TiOptions::Sweet() run over two small paper-dataset stand-ins,
+// snapshotted into checked-in text files. Any change to clustering,
+// filtering, the simulator, or the cost model that shifts a neighbor,
+// a distance bit, or a counter shows up as a golden diff.
+//
+// To regenerate after an intentional behavior change:
+//   ./build/tests/golden_file_test --update_goldens
+//
+// The snapshots pin IEEE-754 float results produced by this repository's
+// toolchain; distances are printed with %.9g (float round-trip) and
+// simulated times with %.17g (double round-trip).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/ti_knn_gpu.h"
+#include "dataset/paper_datasets.h"
+#include "gtest/gtest.h"
+
+#ifndef SWEETKNN_GOLDEN_DIR
+#define SWEETKNN_GOLDEN_DIR "tests/goldens"
+#endif
+
+namespace sweetknn {
+namespace {
+
+bool g_update_goldens = false;
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(SWEETKNN_GOLDEN_DIR) + "/" + name + ".golden";
+}
+
+std::string Snapshot(const std::string& dataset_name, double size_factor,
+                     int k) {
+  const dataset::Dataset data = dataset::MakePaperDataset(
+      dataset::PaperDatasetByName(dataset_name), size_factor);
+
+  gpusim::Device dev(gpusim::DeviceSpec::TeslaK20c());
+  core::KnnRunStats stats;
+  const KnnResult result = core::TiKnnEngine::RunOnce(
+      &dev, data.points, data.points, k, core::TiOptions::Sweet(), &stats);
+
+  const gpusim::KernelStats agg = stats.profile.AggregateStats();
+  std::ostringstream out;
+  out << "dataset " << dataset_name << " n " << data.n() << " d "
+      << data.dims() << " k " << k << "\n";
+  out << "distance_calcs " << stats.distance_calcs << " total_pairs "
+      << stats.total_pairs << "\n";
+  out << "landmarks_query " << stats.landmarks_query << " landmarks_target "
+      << stats.landmarks_target << " threads_per_query "
+      << stats.threads_per_query << "\n";
+  out << "warp_instructions " << agg.warp_instructions << " active_lane_ops "
+      << agg.active_lane_ops << " divergent_branches "
+      << agg.divergent_branches << "\n";
+  out << "global_transactions " << agg.global_transactions
+      << " dram_transactions " << agg.dram_transactions
+      << " atomic_operations " << agg.atomic_operations << "\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", stats.sim_time_s);
+  out << "sim_time_s " << buf << "\n";
+  for (size_t q = 0; q < result.num_queries(); ++q) {
+    out << q << ":";
+    for (int i = 0; i < result.k(); ++i) {
+      const Neighbor& n = result.row(q)[i];
+      std::snprintf(buf, sizeof(buf), "%.9g", n.distance);
+      out << " " << n.index << ":" << buf;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void CheckGolden(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (g_update_goldens) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    std::printf("updated %s\n", path.c_str());
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — run this binary with --update_goldens to create it";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  if (expected.str() == actual) return;
+  // Point at the first differing line rather than dumping both files.
+  std::istringstream a(expected.str());
+  std::istringstream b(actual);
+  std::string line_a;
+  std::string line_b;
+  size_t line_no = 1;
+  while (std::getline(a, line_a)) {
+    if (!std::getline(b, line_b)) line_b = "<missing>";
+    if (line_a != line_b) break;
+    ++line_no;
+  }
+  FAIL() << "golden mismatch for " << name << " at line " << line_no
+         << "\n  golden: " << line_a << "\n  actual: " << line_b
+         << "\nif the change is intentional, rerun with --update_goldens";
+}
+
+TEST(GoldenFileTest, Kegg) { CheckGolden("kegg", Snapshot("kegg", 0.02, 10)); }
+
+TEST(GoldenFileTest, SpatialNetwork3D) {
+  CheckGolden("3DNet", Snapshot("3DNet", 0.005, 10));
+}
+
+}  // namespace
+}  // namespace sweetknn
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update_goldens") {
+      sweetknn::g_update_goldens = true;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -101,6 +101,33 @@ TEST_F(CliTest, BadUsageFails) {
             0);
 }
 
+TEST_F(CliTest, ServeBenchReportsServiceCounters) {
+  std::string output;
+  ASSERT_EQ(RunCommand(CliPath() + " serve-bench --target=" + csv_path_ +
+                           " --k=3 --shards=2 --clients=3 --requests=4"
+                           " --rows=2 --max-batch=8 --cache=4 2>/dev/null",
+                       &output),
+            0);
+  // 3 clients x 4 requests x 2 rows = 24 queries through the service.
+  EXPECT_NE(output.find("requests 12 queries 24"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("batch occupancy"), std::string::npos) << output;
+  EXPECT_NE(output.find("amortized sim time per query"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("cache lookups"), std::string::npos) << output;
+}
+
+TEST_F(CliTest, ServeBenchBadUsageFails) {
+  std::string output;
+  EXPECT_NE(RunCommand(CliPath() + " serve-bench --k=3 2>/dev/null",
+                       &output),
+            0);
+  EXPECT_NE(RunCommand(CliPath() + " serve-bench --target=" + csv_path_ +
+                           " --shards=0 2>/dev/null",
+                       &output),
+            0);
+}
+
 TEST_F(CliTest, ProfileFlagPrintsReport) {
   std::string output;
   ASSERT_EQ(RunCommand(CliPath() + " --target=" + csv_path_ +

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Builds the project with ThreadSanitizer (-DSWEETKNN_TSAN=ON) and runs
-# the gpusim + core test suites under it. parallel_launch_test drives the
-# execution engine at 2 and 8 workers, so the pool, the striped atomic
-# locks, and the trace-replay pipeline are all exercised under TSan.
+# the gpusim + core + serve test suites under it. parallel_launch_test
+# drives the execution engine at 2 and 8 workers, so the pool, the
+# striped atomic locks, and the trace-replay pipeline are all exercised
+# under TSan; blocking_queue_test and knn_service_test exercise the
+# serving layer's admission queue, dispatcher, shard fan-out, and LRU
+# cache under concurrent clients.
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -23,6 +26,8 @@ TESTS=(
   level1_test
   level2_test
   ti_knn_gpu_test
+  blocking_queue_test
+  knn_service_test
 )
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"

@@ -9,16 +9,32 @@
 //   idx0,dist0,idx1,dist1,...
 // With no --query, runs a self-join of the target set. --profile prints
 // the per-kernel simulated-time breakdown.
+//
+// A second mode drives the concurrent serving layer (docs/serving.md):
+//
+//   sweetknn_cli serve-bench --target=points.csv [--k=10] [--shards=2]
+//                [--clients=4] [--requests=32] [--rows=4]
+//                [--max-batch=64] [--wait-us=500] [--cache=0]
+//
+// It builds a sharded KnnService over the target set, fires `clients`
+// host threads each issuing `requests` JoinBatch calls of `rows` query
+// rows (drawn cyclically from the target set), and prints the service
+// counters: batches, mean batch size, occupancy, amortized simulated
+// time per query, and host throughput.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "baseline/brute_force_gpu.h"
+#include "common/stopwatch.h"
 #include "core/sweet_knn.h"
 #include "dataset/io.h"
 #include "gpusim/profile_report.h"
+#include "serve/knn_service.h"
 
 namespace {
 
@@ -68,10 +84,140 @@ bool ParseArgs(int argc, char** argv, CliArgs* out) {
           out->engine == "brute");
 }
 
+struct ServeBenchArgs {
+  std::string target_path;
+  int k = 10;
+  int shards = 2;
+  int clients = 4;
+  int requests = 32;  // per client
+  int rows = 4;       // query rows per JoinBatch request
+  int max_batch = 64;
+  int wait_us = 500;
+  size_t cache = 0;
+};
+
+int ServeBenchUsage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s serve-bench --target=FILE [--k=N] [--shards=N]\n"
+               "          [--clients=N] [--requests=N] [--rows=N]\n"
+               "          [--max-batch=N] [--wait-us=N] [--cache=N]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseServeBenchArgs(int argc, char** argv, ServeBenchArgs* out) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value("--target=")) {
+      out->target_path = v;
+    } else if (const char* v = value("--k=")) {
+      out->k = std::atoi(v);
+    } else if (const char* v = value("--shards=")) {
+      out->shards = std::atoi(v);
+    } else if (const char* v = value("--clients=")) {
+      out->clients = std::atoi(v);
+    } else if (const char* v = value("--requests=")) {
+      out->requests = std::atoi(v);
+    } else if (const char* v = value("--rows=")) {
+      out->rows = std::atoi(v);
+    } else if (const char* v = value("--max-batch=")) {
+      out->max_batch = std::atoi(v);
+    } else if (const char* v = value("--wait-us=")) {
+      out->wait_us = std::atoi(v);
+    } else if (const char* v = value("--cache=")) {
+      out->cache = static_cast<size_t>(std::atoll(v));
+    } else {
+      return false;
+    }
+  }
+  return !out->target_path.empty() && out->k > 0 && out->shards > 0 &&
+         out->clients > 0 && out->requests > 0 && out->rows > 0 &&
+         out->max_batch > 0 && out->wait_us >= 0;
+}
+
+int ServeBench(int argc, char** argv) {
+  using namespace sweetknn;
+  ServeBenchArgs args;
+  if (!ParseServeBenchArgs(argc, argv, &args)) return ServeBenchUsage(argv[0]);
+
+  const auto target = dataset::LoadCsv("target", args.target_path);
+  if (!target.ok()) {
+    std::fprintf(stderr, "error: %s\n", target.status().ToString().c_str());
+    return 1;
+  }
+  const HostMatrix& points = target.value().points;
+
+  serve::ServiceConfig config;
+  config.num_shards = args.shards;
+  config.max_batch_size = args.max_batch;
+  config.max_batch_wait = std::chrono::microseconds(args.wait_us);
+  config.cache_capacity = args.cache;
+  serve::KnnService service(points, config);
+  std::fprintf(stderr,
+               "serve-bench: target %zu x %zu, k=%d, shards=%d, "
+               "clients=%d x %d requests x %d rows\n",
+               points.rows(), points.cols(), args.k, service.num_shards(),
+               args.clients, args.requests, args.rows);
+
+  const Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < args.clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < args.requests; ++r) {
+        HostMatrix batch(static_cast<size_t>(args.rows), points.cols());
+        // Query rows cycle through the target set, staggered per client.
+        const size_t base = static_cast<size_t>(c * args.requests + r) *
+                            static_cast<size_t>(args.rows);
+        for (int row = 0; row < args.rows; ++row) {
+          const size_t src = (base + static_cast<size_t>(row)) %
+                             points.rows();
+          std::memcpy(batch.mutable_row(static_cast<size_t>(row)),
+                      points.row(src), points.cols() * sizeof(float));
+        }
+        service.JoinBatch(batch, args.k);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double wall_s = wall.ElapsedSeconds();
+  service.Shutdown();
+
+  const serve::ServiceStats stats = service.stats();
+  std::printf("requests %llu queries %llu batches %llu\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.queries),
+              static_cast<unsigned long long>(stats.batches));
+  std::printf("mean batch size %.2f, batch occupancy %.1f%%, "
+              "peak queue depth %llu\n",
+              stats.MeanBatchSize(),
+              stats.BatchOccupancy(config.max_batch_size) * 100.0,
+              static_cast<unsigned long long>(stats.peak_queue_depth));
+  std::printf("amortized sim time per query %.3f us "
+              "(critical %.6f s, total %.6f s over %d shards)\n",
+              stats.AmortizedSimTimePerQuery() * 1e6,
+              stats.critical_sim_time_s, stats.total_sim_time_s,
+              service.num_shards());
+  if (config.cache_capacity > 0) {
+    std::printf("cache lookups %llu hits %llu\n",
+                static_cast<unsigned long long>(stats.cache_lookups),
+                static_cast<unsigned long long>(stats.cache_hits));
+  }
+  std::printf("wall %.3f s (%.0f queries/s)\n", wall_s,
+              static_cast<double>(stats.queries) / wall_s);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace sweetknn;
+  if (argc > 1 && std::strcmp(argv[1], "serve-bench") == 0) {
+    return ServeBench(argc, argv);
+  }
   CliArgs args;
   if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
 
