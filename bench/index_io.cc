@@ -1,0 +1,157 @@
+// Measures what the snapshot store buys at startup: cold index
+// preparation (upload + Step-1 landmark clustering) vs warm-starting the
+// same index from a snapshot file. For each paper dataset it reports the
+// cold build time, the one-off save time, the warm load time, the
+// speedup, and the snapshot size on disk — while asserting that the
+// warm-loaded index answers a probe batch bit-identically to the
+// cold-built one. Emits BENCH_index_io.json.
+//
+// Usage: index_io [--scale=F] [--only=a,b]
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "core/sweet_knn.h"
+
+namespace sweetknn::bench {
+namespace {
+
+constexpr int kNeighbors = 10;
+constexpr size_t kProbeQueries = 64;
+
+struct IoRun {
+  std::string name;
+  size_t n = 0;
+  size_t dims = 0;
+  double cold_build_s = 0.0;
+  double save_s = 0.0;
+  double warm_load_s = 0.0;
+  double speedup = 0.0;  // cold_build_s / warm_load_s
+  uintmax_t snapshot_bytes = 0;
+  bool exact = false;
+};
+
+HostMatrix ProbePrefix(const HostMatrix& points) {
+  const size_t rows = std::min(points.rows(), kProbeQueries);
+  HostMatrix queries(rows, points.cols());
+  std::memcpy(queries.mutable_data(), points.row(0),
+              rows * points.cols() * sizeof(float));
+  return queries;
+}
+
+bool BitIdentical(const KnnResult& a, const KnnResult& b) {
+  if (a.num_queries() != b.num_queries() || a.k() != b.k()) return false;
+  for (size_t q = 0; q < a.num_queries(); ++q) {
+    if (std::memcmp(a.row(q), b.row(q),
+                    static_cast<size_t>(a.k()) * sizeof(Neighbor)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+IoRun RunOne(const dataset::Dataset& data, const std::string& path) {
+  IoRun run;
+  run.n = data.n();
+  run.dims = data.dims();
+
+  const Stopwatch cold_sw;
+  SweetKnnIndex cold(data.points);
+  run.cold_build_s = cold_sw.ElapsedSeconds();
+
+  const Stopwatch save_sw;
+  const Status saved = cold.Save(path, data.name);
+  run.save_s = save_sw.ElapsedSeconds();
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return run;
+  }
+  std::error_code ec;
+  run.snapshot_bytes = std::filesystem::file_size(path, ec);
+
+  const Stopwatch load_sw;
+  Result<std::unique_ptr<SweetKnnIndex>> warm = SweetKnnIndex::Load(path);
+  run.warm_load_s = load_sw.ElapsedSeconds();
+  if (!warm.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 warm.status().ToString().c_str());
+    return run;
+  }
+  run.speedup = run.warm_load_s > 0.0 ? run.cold_build_s / run.warm_load_s
+                                      : 0.0;
+
+  const HostMatrix probe = ProbePrefix(data.points);
+  run.exact = BitIdentical(cold.Query(probe, kNeighbors),
+                           warm.value()->Query(probe, kNeighbors));
+  return run;
+}
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "bench_index_io.sksnap";
+
+  std::printf("=== Index persistence: cold Prepare vs snapshot load, "
+              "k=%d probe ===\n\n",
+              kNeighbors);
+  PrintTableHeader({"dataset", "n", "d", "cold(s)", "save(s)", "load(s)",
+                    "speedup", "bytes", "exact"});
+
+  std::vector<IoRun> runs;
+  bool all_exact = true;
+  for (const auto& info : dataset::PaperDatasets()) {
+    if (!args.WantDataset(info.name)) continue;
+    const dataset::Dataset data = LoadPaperDataset(info.name, args);
+    IoRun run = RunOne(data, path);
+    run.name = info.name;
+    all_exact = all_exact && run.exact;
+    PrintTableRow({run.name, std::to_string(run.n),
+                   std::to_string(run.dims),
+                   FormatDouble(run.cold_build_s, 4),
+                   FormatDouble(run.save_s, 4),
+                   FormatDouble(run.warm_load_s, 4),
+                   FormatDouble(run.speedup, 1),
+                   std::to_string(run.snapshot_bytes),
+                   run.exact ? "yes" : "NO"});
+    runs.push_back(std::move(run));
+  }
+  std::remove(path.c_str());
+  std::printf("\nwarm-loaded answers bit-identical to cold-built: %s\n",
+              all_exact ? "yes" : "NO");
+
+  FILE* json = std::fopen("BENCH_index_io.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"index_io\",\n  \"k\": %d,\n"
+                 "  \"scale\": %g,\n  \"runs\": [\n",
+                 kNeighbors, args.scale);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const IoRun& run = runs[i];
+      std::fprintf(
+          json,
+          "    {\"name\": \"%s\", \"n\": %zu, \"dims\": %zu, "
+          "\"cold_build_s\": %.6f, \"save_s\": %.6f, "
+          "\"warm_load_s\": %.6f, \"speedup\": %.3f, "
+          "\"snapshot_bytes\": %ju, \"exact\": %s}%s\n",
+          run.name.c_str(), run.n, run.dims, run.cold_build_s, run.save_s,
+          run.warm_load_s, run.speedup,
+          static_cast<uintmax_t>(run.snapshot_bytes),
+          run.exact ? "true" : "false", i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"all_exact\": %s\n}\n",
+                 all_exact ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_index_io.json\n");
+  }
+  return all_exact ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sweetknn::bench
+
+int main(int argc, char** argv) { return sweetknn::bench::Main(argc, argv); }

@@ -1,0 +1,36 @@
+#ifndef SWEETKNN_COMMON_CRC32_H_
+#define SWEETKNN_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sweetknn::common {
+
+/// Incremental CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the
+/// checksum the snapshot store uses per section and per file. Usage:
+///
+///   Crc32 crc;
+///   crc.Update(bytes, len);
+///   uint32_t digest = crc.Final();
+///
+/// Final() is idempotent; Update after Final continues the same stream.
+class Crc32 {
+ public:
+  void Update(const void* data, size_t len);
+  uint32_t Final() const { return state_ ^ 0xffffffffu; }
+  void Reset() { state_ = 0xffffffffu; }
+
+  /// One-shot convenience.
+  static uint32_t Of(const void* data, size_t len) {
+    Crc32 crc;
+    crc.Update(data, len);
+    return crc.Final();
+  }
+
+ private:
+  uint32_t state_ = 0xffffffffu;
+};
+
+}  // namespace sweetknn::common
+
+#endif  // SWEETKNN_COMMON_CRC32_H_

@@ -519,6 +519,55 @@ QueryClustering QueryClusteringFromTarget(Device* dev,
   return out;
 }
 
+TargetClusteringHost DownloadTargetClustering(const TargetClustering& tc) {
+  TargetClusteringHost out;
+  out.num_clusters = tc.num_clusters;
+  const size_t m = static_cast<size_t>(tc.num_clusters);
+  const size_t n = tc.assignment.size();
+  out.centers = HostMatrix(tc.centers.n(), tc.centers.dims());
+  for (size_t c = 0; c < tc.centers.n(); ++c) {
+    for (size_t j = 0; j < tc.centers.dims(); ++j) {
+      out.centers.at(c, j) = tc.centers.At(c, j);
+    }
+  }
+  out.assignment.assign(tc.assignment.data(), tc.assignment.data() + n);
+  out.member_offsets.assign(tc.member_offsets.data(),
+                            tc.member_offsets.data() + m + 1);
+  out.member_ids.assign(tc.member_ids.data(), tc.member_ids.data() + n);
+  out.member_dists.assign(tc.member_dists.data(), tc.member_dists.data() + n);
+  out.max_dist.assign(tc.max_dist.data(), tc.max_dist.data() + m);
+  return out;
+}
+
+TargetClustering UploadTargetClustering(Device* dev,
+                                        const TargetClusteringHost& host,
+                                        PointLayout layout, int vector_width,
+                                        Metric metric) {
+  const size_t n = host.assignment.size();
+  const size_t m = static_cast<size_t>(host.num_clusters);
+  SK_CHECK_EQ(host.centers.rows(), m);
+  SK_CHECK_EQ(host.member_offsets.size(), m + 1);
+  SK_CHECK_EQ(host.member_ids.size(), n);
+  SK_CHECK_EQ(host.member_dists.size(), n);
+  SK_CHECK_EQ(host.max_dist.size(), m);
+
+  TargetClustering out;
+  out.num_clusters = host.num_clusters;
+  out.centers = DevicePoints::Upload(dev, host.centers, layout,
+                                     "target centers", vector_width, metric);
+  out.assignment = dev->Alloc<uint32_t>(n, "t assignment");
+  dev->CopyToDevice(&out.assignment, host.assignment.data(), n);
+  out.member_offsets = dev->Alloc<uint32_t>(m + 1, "member offsets");
+  dev->CopyToDevice(&out.member_offsets, host.member_offsets.data(), m + 1);
+  out.member_ids = dev->Alloc<uint32_t>(n, "member ids");
+  dev->CopyToDevice(&out.member_ids, host.member_ids.data(), n);
+  out.member_dists = dev->Alloc<float>(n, "t member dists");
+  dev->CopyToDevice(&out.member_dists, host.member_dists.data(), n);
+  out.max_dist = dev->Alloc<float>(m, "target radius");
+  dev->CopyToDevice(&out.max_dist, host.max_dist.data(), m);
+  return out;
+}
+
 TargetClustering BuildTargetClustering(Device* dev,
                                        const DevicePoints& target,
                                        const ClusteringConfig& cfg) {

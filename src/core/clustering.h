@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/matrix.h"
 #include "core/device_points.h"
 #include "core/options.h"
 #include "gpusim/device.h"
@@ -83,6 +84,33 @@ QueryClustering QueryClusteringFromTarget(gpusim::Device* dev,
 TargetClustering BuildTargetClustering(gpusim::Device* dev,
                                        const DevicePoints& target,
                                        const ClusteringConfig& cfg);
+
+/// Host-side, serializable image of a TargetClustering — what the index
+/// snapshot store (src/store) persists so that a restart can skip the
+/// Step-1 landmark clustering entirely.
+struct TargetClusteringHost {
+  int num_clusters = 0;
+  HostMatrix centers;                    // m x dims
+  std::vector<uint32_t> assignment;      // |T|
+  std::vector<uint32_t> member_offsets;  // m + 1
+  std::vector<uint32_t> member_ids;      // |T|, desc by distance
+  std::vector<float> member_dists;       // parallel to member_ids
+  std::vector<float> max_dist;           // per cluster
+};
+
+/// Copies a prepared target clustering to the host (no simulated-device
+/// charge: persistence happens outside the modeled GPU timeline).
+TargetClusteringHost DownloadTargetClustering(const TargetClustering& tc);
+
+/// Re-materializes a host clustering image on `dev`, charging the H2D
+/// uploads. The live allocations (and therefore free_bytes, which feeds
+/// the query-side landmark-count rule) end up byte-for-byte the same
+/// sizes as after BuildTargetClustering, so a warm-started engine answers
+/// every subsequent query bit-identically to a cold-built one.
+TargetClustering UploadTargetClustering(gpusim::Device* dev,
+                                        const TargetClusteringHost& host,
+                                        PointLayout layout, int vector_width,
+                                        Metric metric);
 
 }  // namespace sweetknn::core
 

@@ -2,10 +2,13 @@
 #define SWEETKNN_CORE_SWEET_KNN_H_
 
 #include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/knn_result.h"
 #include "common/matrix.h"
+#include "common/status.h"
 #include "core/options.h"
 #include "core/ti_knn_gpu.h"
 #include "gpusim/device.h"
@@ -102,11 +105,37 @@ class SweetKnnIndex {
     return std::vector<Neighbor>(result.row(0), result.row(0) + result.k());
   }
 
+  /// Persists the prepared index (target points + target clustering +
+  /// configuration fingerprints) to `path` in the src/store snapshot
+  /// format. `dataset_name` is recorded as provenance. Defined in
+  /// src/store/index_io.cc; link sweetknn_store to use it.
+  Status Save(const std::string& path,
+              const std::string& dataset_name = "") const;
+
+  /// Restores an index persisted by Save, skipping the Step-1 landmark
+  /// clustering. The snapshot must have been built under the same options
+  /// and device spec as `config` (fingerprint-checked); a warm-loaded
+  /// index answers every query bit-identically to a cold-built one.
+  /// Defined in src/store/index_io.cc; link sweetknn_store to use it.
+  static Result<std::unique_ptr<SweetKnnIndex>> Load(
+      const std::string& path, const SweetKnn::Config& config = {});
+
   size_t size() const { return size_; }
   size_t dims() const { return dims_; }
   gpusim::Device& device() { return device_; }
+  const core::TiKnnEngine& engine() const { return engine_; }
 
  private:
+  struct WarmStartTag {};
+  SweetKnnIndex(WarmStartTag, const HostMatrix& target,
+                const core::TargetClusteringHost& clustering,
+                const SweetKnn::Config& config)
+      : device_(config.device), engine_(&device_, config.options) {
+    engine_.RestoreTarget(target, clustering);
+    dims_ = target.cols();
+    size_ = target.rows();
+  }
+
   gpusim::Device device_;
   core::TiKnnEngine engine_;
   size_t dims_ = 0;

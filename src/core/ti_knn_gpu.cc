@@ -32,6 +32,41 @@ void TiKnnEngine::PrepareTarget(const HostMatrix& target) {
   prepared_ = false;
 }
 
+void TiKnnEngine::RestoreTarget(const HostMatrix& target,
+                                const TargetClusteringHost& clustering) {
+  SK_CHECK(!target.empty());
+  SK_CHECK_EQ(clustering.assignment.size(), target.rows());
+  if (options_.sim_threads > 0) {
+    dev_->set_execution_threads(options_.sim_threads);
+  }
+  dev_->ResetProfile();
+  target_ = DevicePoints::Upload(dev_, target, options_.layout,
+                                 "target points",
+                                 options_.point_vector_width,
+                                 options_.metric);
+  tc_ = UploadTargetClustering(dev_, clustering, options_.layout,
+                               options_.point_vector_width, options_.metric);
+  prepare_profile_ = dev_->profile();
+  target_prepared_ = true;
+  prepared_ = false;
+}
+
+HostMatrix TiKnnEngine::ExportTarget() const {
+  SK_CHECK(target_prepared_) << "call PrepareTarget() or Prepare() first";
+  HostMatrix out(target_.n(), target_.dims());
+  for (size_t p = 0; p < target_.n(); ++p) {
+    for (size_t j = 0; j < target_.dims(); ++j) {
+      out.at(p, j) = target_.At(p, j);
+    }
+  }
+  return out;
+}
+
+TargetClusteringHost TiKnnEngine::ExportTargetClustering() const {
+  SK_CHECK(target_prepared_) << "call PrepareTarget() or Prepare() first";
+  return DownloadTargetClustering(tc_);
+}
+
 void TiKnnEngine::Prepare(const HostMatrix& query, const HostMatrix& target) {
   SK_CHECK(!query.empty() && !target.empty());
   SK_CHECK_EQ(query.cols(), target.cols());

@@ -45,6 +45,23 @@ class TiKnnEngine {
   /// Query batches then run against it via RunQueries.
   void PrepareTarget(const HostMatrix& target);
 
+  /// Warm start from a persisted index image (src/store): uploads the
+  /// target and re-materializes the given clustering instead of running
+  /// the Step-1 landmark build. Leaves the engine in the same state as
+  /// PrepareTarget on the same data — same live device allocations (so
+  /// the adaptive scheme sees the same free memory) and therefore
+  /// bit-identical answers from every subsequent RunQueries call.
+  void RestoreTarget(const HostMatrix& target,
+                     const TargetClusteringHost& clustering);
+
+  /// Host copy of the prepared target point set (row-major, whatever the
+  /// device layout is). Requires PrepareTarget/Prepare/RestoreTarget.
+  HostMatrix ExportTarget() const;
+
+  /// Host image of the prepared target clustering, ready for
+  /// serialization. Requires PrepareTarget/Prepare/RestoreTarget.
+  TargetClusteringHost ExportTargetClustering() const;
+
   /// Runs a query batch against the prepared target: uploads the batch,
   /// builds its query-side clustering, and runs Steps 2-3. The reported
   /// stats cover the batch (query preprocessing + filtering) plus the

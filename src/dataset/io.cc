@@ -10,10 +10,15 @@ namespace sweetknn::dataset {
 Status SaveCsv(const Dataset& data, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for writing: " + path);
+  char cell[32];
   for (size_t i = 0; i < data.n(); ++i) {
     for (size_t j = 0; j < data.dims(); ++j) {
       if (j > 0) out << ',';
-      out << data.points.at(i, j);
+      // %.9g: enough digits that every float round-trips exactly
+      // (operator<< defaults to 6 significant digits and loses bits).
+      std::snprintf(cell, sizeof(cell), "%.9g",
+                    static_cast<double>(data.points.at(i, j)));
+      out << cell;
     }
     out << '\n';
   }
@@ -28,7 +33,10 @@ Result<Dataset> LoadCsv(const std::string& name, const std::string& path) {
   std::vector<std::vector<float>> rows;
   std::string line;
   size_t dims = 0;
+  size_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF
     if (line.empty()) continue;
     std::vector<float> row;
     std::stringstream ss(line);
@@ -36,19 +44,32 @@ Result<Dataset> LoadCsv(const std::string& name, const std::string& path) {
     while (std::getline(ss, cell, ',')) {
       char* end = nullptr;
       const float v = std::strtof(cell.c_str(), &end);
-      if (end == cell.c_str()) {
-        return Status::IoError("non-numeric cell '" + cell + "' in " + path);
+      while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+      if (end == cell.c_str() || *end != '\0') {
+        return Status::IoError(
+            path + ":" + std::to_string(line_number) + ": column " +
+            std::to_string(row.size() + 1) + ": non-numeric cell '" + cell +
+            "'");
       }
       row.push_back(v);
+    }
+    if (row.empty()) {
+      return Status::IoError(path + ":" + std::to_string(line_number) +
+                             ": row has no cells");
     }
     if (dims == 0) {
       dims = row.size();
     } else if (row.size() != dims) {
-      return Status::IoError("ragged row in " + path);
+      return Status::IoError(
+          path + ":" + std::to_string(line_number) + ": ragged row: " +
+          std::to_string(row.size()) + " columns, expected " +
+          std::to_string(dims));
     }
     rows.push_back(std::move(row));
   }
-  if (rows.empty()) return Status::IoError("empty csv: " + path);
+  if (rows.empty()) {
+    return Status::IoError(path + ": empty csv (no data rows)");
+  }
 
   Dataset out;
   out.name = name;

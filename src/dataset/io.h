@@ -8,11 +8,15 @@
 
 namespace sweetknn::dataset {
 
-/// Writes a dataset as headerless CSV (one point per row).
+/// Writes a dataset as headerless CSV (one point per row). Values are
+/// rendered with %.9g, so SaveCsv -> LoadCsv reproduces every float
+/// bit for bit.
 Status SaveCsv(const Dataset& data, const std::string& path);
 
 /// Loads a headerless numeric CSV as a dataset. All rows must have the
-/// same number of columns.
+/// same number of columns; blank lines are skipped, CRLF endings are
+/// accepted. Malformed input (ragged rows, non-numeric cells, an empty
+/// file) yields a Status naming the offending line and column.
 Result<Dataset> LoadCsv(const std::string& name, const std::string& path);
 
 }  // namespace sweetknn::dataset

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <utility>
 
@@ -12,7 +13,7 @@
 namespace sweetknn::serve {
 
 KnnService::KnnService(const HostMatrix& target, const ServiceConfig& config)
-    : config_(config), target_rows_(target.rows()), dims_(target.cols()) {
+    : config_(config), dims_(target.cols()), target_rows_(target.rows()) {
   SK_CHECK(!target.empty()) << "KnnService needs a non-empty target set";
   SK_CHECK_GT(config_.max_batch_size, 0);
   const int num_shards = std::clamp(
@@ -42,12 +43,52 @@ KnnService::KnnService(const HostMatrix& target, const ServiceConfig& config)
     shards_.push_back(std::move(shard));
     offset += rows;
   }
-  // Build the per-shard indexes (upload + landmark clustering) in
-  // parallel; each PrepareTarget touches only its own device.
+  // Warm start: restore the prepared indexes from the snapshot directory
+  // if one is configured and its contents match this service exactly;
+  // anything less falls back to the cold build below (correctness never
+  // depends on the snapshots).
+  std::vector<store::IndexSnapshot> snapshots;
+  bool warm = false;
+  if (!config_.snapshot_dir.empty()) {
+    Result<std::vector<store::IndexSnapshot>> loaded =
+        LoadShardSet(config_.snapshot_dir, num_shards, config_, dims_);
+    if (loaded.ok()) {
+      snapshots = std::move(loaded).value();
+      warm = true;
+      for (int s = 0; s < num_shards; ++s) {
+        const auto idx = static_cast<size_t>(s);
+        const store::IndexSnapshot& snap = snapshots[idx];
+        if (snap.shard_offset != shard_offsets_[idx] ||
+            snap.target.rows() != slices[idx].rows() ||
+            std::memcmp(snap.target.data(), slices[idx].data(),
+                        slices[idx].size() * sizeof(float)) != 0) {
+          SK_LOG(Warning) << "KnnService: snapshot shard " << s
+                          << " does not hold this target's bytes; "
+                          << "cold-building all shards";
+          warm = false;
+          break;
+        }
+      }
+    } else {
+      SK_LOG(Warning) << "KnnService: warm start from '"
+                      << config_.snapshot_dir << "' failed ("
+                      << loaded.status().ToString()
+                      << "); cold-building all shards";
+    }
+  }
+
+  // Build the per-shard indexes in parallel; each PrepareTarget /
+  // RestoreTarget touches only its own device.
   common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
-    shards_[static_cast<size_t>(s)]->engine.PrepareTarget(
-        slices[static_cast<size_t>(s)]);
+    const auto idx = static_cast<size_t>(s);
+    if (warm) {
+      shards_[idx]->engine.RestoreTarget(snapshots[idx].target,
+                                         snapshots[idx].clustering);
+    } else {
+      shards_[idx]->engine.PrepareTarget(slices[idx]);
+    }
   });
+  if (warm) stats_.warm_started_shards = static_cast<uint64_t>(num_shards);
 
   dispatcher_ = std::thread(&KnnService::DispatchLoop, this);
 }
@@ -159,6 +200,10 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
     row += request->num_rows;
   }
 
+  // The whole group runs against one index generation: a concurrent
+  // SwapIndex waits here (or we wait for it), so no request's rows can
+  // straddle a swap.
+  std::lock_guard<std::mutex> index_lock(index_mutex_);
   const int num_shards = static_cast<int>(shards_.size());
   std::vector<KnnResult> shard_results(static_cast<size_t>(num_shards));
   std::vector<core::KnnRunStats> shard_stats(
@@ -195,6 +240,158 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
     row += request->num_rows;
     request->promise.set_value(std::move(answer));
   }
+}
+
+Result<std::vector<store::IndexSnapshot>> KnnService::LoadShardSet(
+    const std::string& dir, int num_shards, const ServiceConfig& config,
+    size_t dims) {
+  Result<std::vector<std::string>> listed = store::ListShardSnapshots(dir);
+  if (!listed.ok()) return listed.status();
+  if (static_cast<int>(listed.value().size()) != num_shards) {
+    return Status::InvalidArgument(
+        dir + " holds " + std::to_string(listed.value().size()) +
+        " shard snapshots, this service has " + std::to_string(num_shards) +
+        " shards");
+  }
+
+  // Snapshot files parse and validate independently: fan the reads out
+  // over the host pool.
+  std::vector<store::IndexSnapshot> snapshots(
+      static_cast<size_t>(num_shards));
+  std::vector<Status> statuses(static_cast<size_t>(num_shards));
+  common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
+    const auto idx = static_cast<size_t>(s);
+    Result<store::IndexSnapshot> snap = store::LoadIndexSnapshot(
+        store::ShardSnapshotPath(dir, s, num_shards));
+    if (snap.ok()) {
+      snapshots[idx] = std::move(snap).value();
+    } else {
+      statuses[idx] = snap.status();
+    }
+  });
+
+  const std::string want_options = store::OptionsFingerprint(config.options);
+  const std::string want_device = store::DeviceFingerprint(config.device);
+  uint64_t next_offset = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    const auto idx = static_cast<size_t>(s);
+    SK_RETURN_IF_ERROR(statuses[idx]);
+    const store::IndexSnapshot& snap = snapshots[idx];
+    const std::string where =
+        store::ShardSnapshotPath(dir, s, num_shards);
+    if (snap.shard_index != static_cast<uint32_t>(s) ||
+        snap.shard_count != static_cast<uint32_t>(num_shards)) {
+      return Status::InvalidArgument(
+          where + " records shard " + std::to_string(snap.shard_index) +
+          "-of-" + std::to_string(snap.shard_count) + ", expected " +
+          std::to_string(s) + "-of-" + std::to_string(num_shards));
+    }
+    if (snap.target.cols() != dims) {
+      return Status::InvalidArgument(
+          where + " holds " + std::to_string(snap.target.cols()) +
+          "-dimensional points, this service serves " +
+          std::to_string(dims) + " dimensions");
+    }
+    if (snap.options_fingerprint != want_options) {
+      return Status::InvalidArgument(
+          where + " was built under different options: file has [" +
+          snap.options_fingerprint + "], this service is [" + want_options +
+          "]");
+    }
+    if (snap.device_fingerprint != want_device) {
+      return Status::InvalidArgument(
+          where + " was built for a different device: file has [" +
+          snap.device_fingerprint + "], this service is [" + want_device +
+          "]");
+    }
+    if (snap.shard_offset != next_offset) {
+      return Status::InvalidArgument(
+          where + " starts at global row " +
+          std::to_string(snap.shard_offset) + ", expected " +
+          std::to_string(next_offset) + " (shards must tile the target)");
+    }
+    next_offset += snap.target.rows();
+  }
+  return snapshots;
+}
+
+store::IndexSnapshot KnnService::ExportShard(int s) const {
+  const Shard& shard = *shards_[static_cast<size_t>(s)];
+  store::IndexSnapshot snap;
+  snap.dataset_name = config_.dataset_name;
+  snap.builder = "KnnService::SaveSnapshots";
+  snap.shard_index = static_cast<uint32_t>(s);
+  snap.shard_count = static_cast<uint32_t>(shards_.size());
+  snap.shard_offset = shard.offset;
+  snap.target = shard.engine.ExportTarget();
+  snap.clustering = shard.engine.ExportTargetClustering();
+  snap.options_fingerprint = store::OptionsFingerprint(config_.options);
+  snap.device_fingerprint = store::DeviceFingerprint(config_.device);
+  return snap;
+}
+
+Status KnnService::SaveSnapshots(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create snapshot directory " + dir + ": " +
+                           ec.message());
+  }
+  std::lock_guard<std::mutex> index_lock(index_mutex_);
+  const int num_shards = static_cast<int>(shards_.size());
+  for (int s = 0; s < num_shards; ++s) {
+    SK_RETURN_IF_ERROR(store::SaveIndexSnapshot(
+        ExportShard(s), store::ShardSnapshotPath(dir, s, num_shards)));
+  }
+  return Status::Ok();
+}
+
+Status KnnService::SwapIndex(const std::string& dir) {
+  const int num_shards = static_cast<int>(shards_.size());
+  Result<std::vector<store::IndexSnapshot>> loaded =
+      LoadShardSet(dir, num_shards, config_, dims_);
+  if (!loaded.ok()) return loaded.status();
+  std::vector<store::IndexSnapshot>& snapshots = loaded.value();
+
+  // Re-materialize the replacement generation off to the side; the live
+  // index keeps serving while this runs.
+  core::TiOptions shard_options = config_.options;
+  shard_options.sim_threads = 1;
+  std::vector<std::unique_ptr<Shard>> fresh;
+  std::vector<uint32_t> fresh_offsets;
+  size_t total_rows = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    const auto idx = static_cast<size_t>(s);
+    auto shard = std::make_unique<Shard>(config_.device, shard_options);
+    shard->offset = static_cast<uint32_t>(snapshots[idx].shard_offset);
+    fresh_offsets.push_back(shard->offset);
+    total_rows += snapshots[idx].target.rows();
+    fresh.push_back(std::move(shard));
+  }
+  common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
+    const auto idx = static_cast<size_t>(s);
+    fresh[idx]->engine.RestoreTarget(snapshots[idx].target,
+                                     snapshots[idx].clustering);
+  });
+
+  {
+    std::lock_guard<std::mutex> index_lock(index_mutex_);
+    shards_.swap(fresh);
+    shard_offsets_ = std::move(fresh_offsets);
+    target_rows_ = total_rows;
+  }
+  // `fresh` now holds the previous generation; it dies here, after the
+  // lock, so teardown never blocks the dispatcher.
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+    cache_.clear();
+    lru_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.index_swaps;
+  }
+  return Status::Ok();
 }
 
 ServiceStats KnnService::stats() const {

@@ -16,9 +16,11 @@
 #include "common/blocking_queue.h"
 #include "common/knn_result.h"
 #include "common/matrix.h"
+#include "common/status.h"
 #include "core/options.h"
 #include "core/ti_knn_gpu.h"
 #include "gpusim/device.h"
+#include "store/snapshot.h"
 
 namespace sweetknn::serve {
 
@@ -38,6 +40,17 @@ struct ServiceConfig {
   size_t cache_capacity = 0;
   gpusim::DeviceSpec device = gpusim::DeviceSpec::TeslaK20c();
   core::TiOptions options = core::TiOptions::Sweet();
+  /// If non-empty, warm start: restore each shard's prepared index from
+  /// "<snapshot_dir>/shard-<s>-of-<n>.sksnap" instead of running the
+  /// Step-1 landmark clustering. The snapshots must match the service's
+  /// options/device fingerprints, shard geometry, and the target bytes
+  /// passed to the constructor; on any mismatch or load failure the
+  /// service logs a warning and cold-builds every shard (check
+  /// stats().warm_started_shards to see which path ran).
+  std::string snapshot_dir;
+  /// Dataset name recorded as provenance in snapshots written by
+  /// SaveSnapshots.
+  std::string dataset_name;
 };
 
 /// Service-level counters, all cumulative since construction.
@@ -57,6 +70,10 @@ struct ServiceStats {
   double critical_sim_time_s = 0.0;
   /// Level-2 distance computations summed over shards.
   uint64_t distance_calcs = 0;
+  /// Shards restored from snapshots at construction (0 = cold build).
+  uint64_t warm_started_shards = 0;
+  /// Completed SwapIndex calls.
+  uint64_t index_swaps = 0;
 
   /// Mean fraction of max_batch_size filled per dispatched batch (> 1 is
   /// possible when one JoinBatch request exceeds max_batch_size).
@@ -121,11 +138,30 @@ class KnnService {
   /// the dispatcher. Idempotent; also run by the destructor.
   void Shutdown();
 
+  /// Persists every shard's prepared index into `dir` (created if
+  /// missing) as "shard-<s>-of-<n>.sksnap". Waits for the in-flight
+  /// micro-batch; safe to call while clients keep submitting. A later
+  /// service with the same config warm-starts from the directory.
+  Status SaveSnapshots(const std::string& dir);
+
+  /// Hot-swap: loads a complete shard set from `dir`, re-materializes
+  /// the replacement engines off to the side, then swaps them in behind
+  /// the in-flight micro-batch and clears the result cache. Every
+  /// request is answered entirely by one index generation — never a mix.
+  /// The set must have this service's shard count, dims, and
+  /// options/device fingerprints; on any failure the live index stays
+  /// untouched and the error is returned. Must not be called from a
+  /// host-pool worker thread (it runs its own fork-join region).
+  Status SwapIndex(const std::string& dir);
+
   /// Consistent snapshot of the cumulative counters.
   ServiceStats stats() const;
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
-  size_t target_rows() const { return target_rows_; }
+  size_t target_rows() const {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    return target_rows_;
+  }
   size_t dims() const { return dims_; }
   const ServiceConfig& config() const { return config_; }
 
@@ -151,8 +187,21 @@ class KnnService {
   std::future<KnnResult> Submit(RequestPtr request);
   void DispatchLoop();
   /// Runs one same-k group of coalesced requests through every shard and
-  /// fulfills their promises.
+  /// fulfills their promises. Holds index_mutex_ for the whole group, so
+  /// a group never straddles a SwapIndex.
   void RunGroup(std::vector<RequestPtr> group);
+
+  /// Loads and fully validates "<dir>/shard-<s>-of-<num_shards>.sksnap"
+  /// for every shard (files read in parallel on the host pool): shard
+  /// geometry, dims, contiguous offsets, and the options/device
+  /// fingerprints of `config`. Nothing about the live service changes.
+  static Result<std::vector<store::IndexSnapshot>> LoadShardSet(
+      const std::string& dir, int num_shards, const ServiceConfig& config,
+      size_t dims);
+
+  /// Exports one shard's prepared index as a snapshot. Caller holds
+  /// index_mutex_.
+  store::IndexSnapshot ExportShard(int s) const;
 
   // LRU result cache (single-row Search results), guarded by cache_mutex_.
   static std::string CacheKey(const float* row, size_t dims, int k);
@@ -160,8 +209,14 @@ class KnnService {
   void CacheInsert(const std::string& key, std::vector<Neighbor> value);
 
   ServiceConfig config_;
-  size_t target_rows_ = 0;
   size_t dims_ = 0;
+
+  /// Guards the live index generation: shards_, shard_offsets_ and
+  /// target_rows_. Held by RunGroup (dispatcher thread) for each group,
+  /// by SwapIndex for the swap, and by SaveSnapshots for the export, so
+  /// a swap waits for the in-flight group and vice versa.
+  mutable std::mutex index_mutex_;
+  size_t target_rows_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<uint32_t> shard_offsets_;
 

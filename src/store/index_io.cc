@@ -1,0 +1,54 @@
+// SweetKnnIndex::Save/Load. Declared in core/sweet_knn.h but defined
+// here so that sweetknn_core does not depend on the store library
+// (store links core, not the other way around).
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/sweet_knn.h"
+#include "store/snapshot.h"
+
+namespace sweetknn {
+
+Status SweetKnnIndex::Save(const std::string& path,
+                           const std::string& dataset_name) const {
+  store::IndexSnapshot snapshot;
+  snapshot.dataset_name = dataset_name;
+  snapshot.builder = "SweetKnnIndex::Save";
+  snapshot.shard_index = 0;
+  snapshot.shard_count = 1;
+  snapshot.shard_offset = 0;
+  snapshot.target = engine_.ExportTarget();
+  snapshot.clustering = engine_.ExportTargetClustering();
+  snapshot.options_fingerprint = store::OptionsFingerprint(engine_.options());
+  snapshot.device_fingerprint = store::DeviceFingerprint(device_.spec());
+  return store::SaveIndexSnapshot(snapshot, path);
+}
+
+Result<std::unique_ptr<SweetKnnIndex>> SweetKnnIndex::Load(
+    const std::string& path, const SweetKnn::Config& config) {
+  Result<store::IndexSnapshot> snapshot = store::LoadIndexSnapshot(path);
+  if (!snapshot.ok()) return snapshot.status();
+
+  const std::string want_options = store::OptionsFingerprint(config.options);
+  if (snapshot.value().options_fingerprint != want_options) {
+    return Status::InvalidArgument(
+        "snapshot " + path + " was built under different options: file has [" +
+        snapshot.value().options_fingerprint + "], this config is [" +
+        want_options + "]");
+  }
+  const std::string want_device = store::DeviceFingerprint(config.device);
+  if (snapshot.value().device_fingerprint != want_device) {
+    return Status::InvalidArgument(
+        "snapshot " + path + " was built for a different device: file has [" +
+        snapshot.value().device_fingerprint + "], this config is [" +
+        want_device + "]");
+  }
+
+  return std::unique_ptr<SweetKnnIndex>(
+      new SweetKnnIndex(WarmStartTag{}, snapshot.value().target,
+                        snapshot.value().clustering, config));
+}
+
+}  // namespace sweetknn

@@ -1,0 +1,165 @@
+#ifndef SWEETKNN_STORE_SNAPSHOT_H_
+#define SWEETKNN_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/matrix.h"
+#include "common/status.h"
+#include "core/clustering.h"
+#include "core/options.h"
+#include "gpusim/device_spec.h"
+
+namespace sweetknn::store {
+
+// ---------------------------------------------------------------------------
+// On-disk format (docs/persistence.md has the layout diagram)
+//
+//   [magic 8B "SKSNAP01"][format version u32][endianness guard u32]
+//   repeated sections, each:
+//     [section id u32][payload length u64][payload][crc32(payload) u32]
+//   [end section: id=0, length=0, crc32 of empty payload]
+//   [file crc32 u32 over every preceding byte]
+//
+// All integers are fixed-width native-endian; the endianness guard makes
+// a foreign-endian file fail loudly instead of decoding garbage. The file
+// CRC covers everything before it, so any single corrupted byte anywhere
+// (including inside the per-section CRCs, or in the file CRC field
+// itself) is detected.
+// ---------------------------------------------------------------------------
+
+inline constexpr char kSnapshotMagic[8] = {'S', 'K', 'S', 'N',
+                                           'A', 'P', '0', '1'};
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+inline constexpr uint32_t kEndiannessGuard = 0x01020304u;
+
+/// Section ids. New sections get new ids; readers reject unknown ids
+/// (same-version files always contain exactly the sections their writer
+/// produced, so an unknown id means corruption, not extension).
+enum SnapshotSectionId : uint32_t {
+  kSectionEnd = 0,          ///< terminator, zero-length
+  kSectionMeta = 1,         ///< provenance: names, shard geometry, shape
+  kSectionFingerprint = 2,  ///< TiOptions + DeviceSpec fingerprints
+  kSectionTarget = 3,       ///< the target HostMatrix
+  kSectionClustering = 4,   ///< the prepared TargetClustering
+};
+
+/// Canonical rendering of every TiOptions field that can influence a
+/// prepared index or the answers computed against it. sim_threads is
+/// deliberately excluded: the execution engine guarantees bit-identical
+/// results at any worker count, so a snapshot is valid across them.
+std::string OptionsFingerprint(const core::TiOptions& options);
+
+/// Canonical rendering of a DeviceSpec. Device geometry feeds the
+/// landmark-count rule (via free memory) and the adaptive scheme, so an
+/// index is only warm-start-safe on the device it was built for.
+std::string DeviceFingerprint(const gpusim::DeviceSpec& spec);
+
+/// Everything a warm start needs: the serialized image of one fully
+/// prepared TI index plus the configuration it was built under and where
+/// the data came from.
+struct IndexSnapshot {
+  // Provenance.
+  std::string dataset_name;
+  std::string builder;  ///< free-form, e.g. "sweetknn_cli index-build"
+  /// Shard geometry; (0, 1, 0) for a standalone single index.
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
+  uint64_t shard_offset = 0;  ///< first global target row of this shard
+
+  HostMatrix target;
+  core::TargetClusteringHost clustering;
+
+  std::string options_fingerprint;
+  std::string device_fingerprint;
+};
+
+/// Streaming writer: sections are appended one at a time, each CRC'd as
+/// it goes, and Finish() seals the file with the end marker and the
+/// whole-file CRC. Any filesystem failure surfaces as a Status from the
+/// call that hit it (and poisons every later call).
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(const std::string& path);
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  Status WriteSection(uint32_t id, std::string_view payload);
+  Status Finish();
+
+ private:
+  Status Append(const void* data, size_t len);
+
+  std::string path_;
+  std::ofstream out_;
+  common::Crc32 file_crc_;
+  bool finished_ = false;
+  Status deferred_error_;
+};
+
+/// Reader: Open() reads the whole file and validates it end to end —
+/// magic, version, endianness, section structure, every section CRC and
+/// the file CRC — before exposing a single byte of payload. Every failure
+/// mode (truncation, bad magic, version skew, checksum mismatch,
+/// trailing garbage) is a descriptive Status, never a crash.
+class SnapshotReader {
+ public:
+  struct SectionInfo {
+    uint32_t id = 0;
+    uint64_t size = 0;
+    uint32_t crc = 0;
+  };
+
+  /// Default-constructed readers hold no sections; use Open(). (Public
+  /// only because Result<T> needs a default-constructible T.)
+  SnapshotReader() = default;
+
+  static Result<SnapshotReader> Open(const std::string& path);
+
+  /// Payload of the section with this id, or nullptr if absent.
+  const std::string* Section(uint32_t id) const;
+
+  const std::vector<SectionInfo>& sections() const { return sections_; }
+  uint32_t format_version() const { return format_version_; }
+  uint64_t file_size() const { return file_size_; }
+
+ private:
+  uint32_t format_version_ = 0;
+  uint64_t file_size_ = 0;
+  std::vector<SectionInfo> sections_;
+  std::vector<std::string> payloads_;  // parallel to sections_
+};
+
+/// Serializes a snapshot to `path` (see the format comment above). The
+/// encoding is canonical: Save(Load(file)) reproduces `file` byte for
+/// byte.
+Status SaveIndexSnapshot(const IndexSnapshot& snapshot,
+                         const std::string& path);
+
+/// Reads and fully validates a snapshot: file integrity via
+/// SnapshotReader, then structural consistency of the decoded index
+/// (shape agreement, monotone offsets, in-range ids — everything
+/// index-verify checks).
+Result<IndexSnapshot> LoadIndexSnapshot(const std::string& path);
+
+/// The structural-consistency half of loading, usable on any decoded
+/// snapshot (index-verify runs it; Load runs it before returning).
+Status ValidateIndexSnapshot(const IndexSnapshot& snapshot);
+
+/// Canonical file name of one shard's snapshot inside a snapshot
+/// directory: "shard-<index>-of-<count>.sksnap".
+std::string ShardSnapshotPath(const std::string& dir, int shard_index,
+                              int shard_count);
+
+/// Lists a snapshot directory's complete shard set in shard order.
+/// Errors if the directory is missing, holds no shard snapshots, or the
+/// set is incomplete / inconsistent (mixed counts, gaps).
+Result<std::vector<std::string>> ListShardSnapshots(const std::string& dir);
+
+}  // namespace sweetknn::store
+
+#endif  // SWEETKNN_STORE_SNAPSHOT_H_

@@ -27,10 +27,35 @@ TEST(IoTest, SaveLoadRoundtrip) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded.value().n(), 20u);
   EXPECT_EQ(loaded.value().dims(), 5u);
+  // SaveCsv writes %.9g, so the round trip is exact, not merely close.
   for (size_t i = 0; i < 20; ++i) {
     for (size_t j = 0; j < 5; ++j) {
-      EXPECT_NEAR(loaded.value().points.at(i, j), original.points.at(i, j),
-                  1e-4f);
+      EXPECT_EQ(loaded.value().points.at(i, j), original.points.at(i, j))
+          << "row " << i << " col " << j;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, RoundtripIsExactForAwkwardFloats) {
+  // Values operator<<'s default 6-digit precision mangles.
+  Dataset data;
+  data.name = "awkward";
+  data.points = HostMatrix(2, 3);
+  data.points.at(0, 0) = 0.1f;
+  data.points.at(0, 1) = 1.0f / 3.0f;
+  data.points.at(0, 2) = 123456789.0f;
+  data.points.at(1, 0) = 1.17549435e-38f;  // FLT_MIN
+  data.points.at(1, 1) = 3.40282347e+38f;  // FLT_MAX
+  data.points.at(1, 2) = -1.9999999f;
+  const std::string path = TempPath("awkward.csv");
+  ASSERT_TRUE(SaveCsv(data, path).ok());
+  const Result<Dataset> loaded = LoadCsv("awkward", path);
+  ASSERT_TRUE(loaded.ok());
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(loaded.value().points.at(i, j), data.points.at(i, j))
+          << "row " << i << " col " << j;
     }
   }
   std::remove(path.c_str());
@@ -48,20 +73,57 @@ TEST(IoTest, LoadRaggedRowsFails) {
   const Result<Dataset> r = LoadCsv("x", path);
   EXPECT_FALSE(r.ok());
   EXPECT_NE(r.status().message().find("ragged"), std::string::npos);
+  // The error names the offending line and the column counts.
+  EXPECT_NE(r.status().message().find(":2:"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("2 columns, expected 3"),
+            std::string::npos)
+      << r.status().message();
   std::remove(path.c_str());
 }
 
 TEST(IoTest, LoadNonNumericFails) {
   const std::string path = TempPath("text.csv");
   std::ofstream(path) << "1,2\nfoo,3\n";
-  EXPECT_FALSE(LoadCsv("x", path).ok());
+  const Result<Dataset> r = LoadCsv("x", path);
+  ASSERT_FALSE(r.ok());
+  // The error pinpoints line 2, column 1, and quotes the cell.
+  EXPECT_NE(r.status().message().find(":2:"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("column 1"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("'foo'"), std::string::npos)
+      << r.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadTrailingGarbageCellFails) {
+  const std::string path = TempPath("garbage.csv");
+  std::ofstream(path) << "1,2\n3,4x\n";
+  const Result<Dataset> r = LoadCsv("x", path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("column 2"), std::string::npos)
+      << r.status().message();
   std::remove(path.c_str());
 }
 
 TEST(IoTest, LoadEmptyFails) {
   const std::string path = TempPath("empty.csv");
   std::ofstream(path) << "";
-  EXPECT_FALSE(LoadCsv("x", path).ok());
+  const Result<Dataset> r = LoadCsv("x", path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("empty"), std::string::npos)
+      << r.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, AcceptsCrlfLineEndings) {
+  const std::string path = TempPath("crlf.csv");
+  std::ofstream(path) << "1,2\r\n3,4\r\n";
+  const Result<Dataset> r = LoadCsv("x", path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().n(), 2u);
+  EXPECT_EQ(r.value().points.at(1, 1), 4.0f);
   std::remove(path.c_str());
 }
 

@@ -3,15 +3,22 @@
 // sim_threads, ...) checked against the BruteForceCpu oracle, and — for
 // the serving layer's exactness guarantee — a sharded KnnService driven
 // by concurrent clients checked bit-for-bit against the single-engine
-// result of the same options. Any mismatch prints a one-line repro of
-// the failing seed/config.
+// result of the same options. A second sweep proves the persistence
+// guarantee: an index saved to a snapshot and warm-loaded answers
+// bit-identically to the cold-built one under every fuzzed
+// configuration. Any mismatch prints a one-line repro of the failing
+// seed/config.
 
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "baseline/brute_force_cpu.h"
 #include "common/rng.h"
+#include "core/sweet_knn.h"
 #include "core/ti_knn_gpu.h"
 #include "gtest/gtest.h"
 #include "serve/knn_service.h"
@@ -201,6 +208,38 @@ void RunConfig(const FuzzConfig& cfg) {
       }
     }
   }
+
+  // Persistence: the same service warm-started from per-shard snapshots
+  // must also be bit-identical to the single-engine result.
+  const std::string snapshot_dir =
+      ::testing::TempDir() + "/fuzz_service_snapshots";
+  std::filesystem::remove_all(snapshot_dir);
+  const Status saved = service.SaveSnapshots(snapshot_dir);
+  if (!saved.ok()) {
+    ADD_FAILURE() << "SaveSnapshots failed: " << saved.ToString()
+                  << " — repro: " << Repro(cfg);
+    return;
+  }
+  serve::ServiceConfig warm_config = service_config;
+  warm_config.snapshot_dir = snapshot_dir;
+  serve::KnnService warm_service(target, warm_config);
+  if (warm_service.stats().warm_started_shards !=
+      static_cast<uint64_t>(warm_service.num_shards())) {
+    ADD_FAILURE() << "service fell back to a cold build — repro: "
+                  << Repro(cfg);
+    std::filesystem::remove_all(snapshot_dir);
+    return;
+  }
+  const KnnResult warm_answer = warm_service.JoinBatch(queries, cfg.k);
+  for (size_t q = 0; q < warm_answer.num_queries(); ++q) {
+    if (std::memcmp(engine_result.row(q), warm_answer.row(q),
+                    static_cast<size_t>(cfg.k) * sizeof(Neighbor)) != 0) {
+      ADD_FAILURE() << "warm-started service diverged at query " << q
+                    << " — repro: " << Repro(cfg);
+      break;
+    }
+  }
+  std::filesystem::remove_all(snapshot_dir);
 }
 
 TEST(DifferentialFuzzTest, SweepMatchesOracleAndServiceIsBitIdentical) {
@@ -210,6 +249,57 @@ TEST(DifferentialFuzzTest, SweepMatchesOracleAndServiceIsBitIdentical) {
     RunConfig(cfg);
     if (::testing::Test::HasFailure()) break;  // first repro is enough
   }
+}
+
+/// Cold-built index vs Save → Load of the same index: every answer must
+/// be bit-identical under the fuzzed options, not merely close.
+void RunWarmStartConfig(const FuzzConfig& cfg, const std::string& path) {
+  const HostMatrix target = testing::ClusteredPoints(
+      cfg.n, cfg.dims, cfg.clusters, SplitMix64(cfg.seed), 0.08f);
+  const HostMatrix queries = testing::ClusteredPoints(
+      cfg.query_n, cfg.dims, cfg.clusters, SplitMix64(cfg.seed + 1), 0.08f);
+
+  SweetKnn::Config config;
+  config.options = cfg.options;
+  SweetKnnIndex cold(target, config);
+  const Status saved = cold.Save(path, "warm-start-fuzz");
+  if (!saved.ok()) {
+    ADD_FAILURE() << "Save failed: " << saved.ToString()
+                  << " — repro: " << Repro(cfg);
+    return;
+  }
+  Result<std::unique_ptr<SweetKnnIndex>> warm =
+      SweetKnnIndex::Load(path, config);
+  if (!warm.ok()) {
+    ADD_FAILURE() << "Load failed: " << warm.status().ToString()
+                  << " — repro: " << Repro(cfg);
+    return;
+  }
+
+  const KnnResult want = cold.Query(queries, cfg.k);
+  const KnnResult got = warm.value()->Query(queries, cfg.k);
+  ASSERT_EQ(want.num_queries(), got.num_queries());
+  for (size_t q = 0; q < want.num_queries(); ++q) {
+    if (std::memcmp(want.row(q), got.row(q),
+                    static_cast<size_t>(cfg.k) * sizeof(Neighbor)) != 0) {
+      ADD_FAILURE() << "warm-loaded index diverged at query " << q
+                    << " — repro: " << Repro(cfg);
+      return;
+    }
+  }
+}
+
+TEST(DifferentialFuzzTest, WarmStartedIndexIsBitIdenticalAcrossConfigs) {
+  const std::string path = ::testing::TempDir() + "/fuzz_warm.sksnap";
+  constexpr int kWarmConfigs = 40;
+  for (int i = 0; i < kWarmConfigs; ++i) {
+    const FuzzConfig cfg = DrawConfig(kBaseSeed + 1000 +
+                                      static_cast<uint64_t>(i));
+    SCOPED_TRACE(Repro(cfg));
+    RunWarmStartConfig(cfg, path);
+    if (::testing::Test::HasFailure()) break;
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,331 @@
+#include "store/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "core/sweet_knn.h"
+#include "gtest/gtest.h"
+
+namespace sweetknn::store {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+HostMatrix RandomMatrix(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  HostMatrix m(n, dims);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dims; ++j) {
+      m.at(i, j) = static_cast<float>(rng.NextDouble() * 10.0 - 5.0);
+    }
+  }
+  return m;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A freshly built single-shard index snapshot, produced through the real
+/// build path (SweetKnnIndex::Save).
+IndexSnapshot BuildSnapshot(const std::string& path, size_t n = 80,
+                            size_t dims = 6, uint64_t seed = 7) {
+  const HostMatrix target = RandomMatrix(n, dims, seed);
+  SweetKnnIndex index(target);
+  EXPECT_TRUE(index.Save(path, "unit-test").ok());
+  Result<IndexSnapshot> snap = LoadIndexSnapshot(path);
+  EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+  return std::move(snap).value();
+}
+
+TEST(SnapshotWriterReaderTest, SectionRoundTrip) {
+  const std::string path = TempPath("sections.sksnap");
+  {
+    SnapshotWriter writer(path);
+    ASSERT_TRUE(writer.WriteSection(kSectionMeta, "hello").ok());
+    ASSERT_TRUE(writer.WriteSection(kSectionTarget, std::string()).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  Result<SnapshotReader> reader = SnapshotReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value().format_version(), kSnapshotFormatVersion);
+  ASSERT_EQ(reader.value().sections().size(), 2u);
+  ASSERT_NE(reader.value().Section(kSectionMeta), nullptr);
+  EXPECT_EQ(*reader.value().Section(kSectionMeta), "hello");
+  ASSERT_NE(reader.value().Section(kSectionTarget), nullptr);
+  EXPECT_TRUE(reader.value().Section(kSectionTarget)->empty());
+  EXPECT_EQ(reader.value().Section(kSectionClustering), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotWriterReaderTest, EndMarkerIdIsReserved) {
+  const std::string path = TempPath("reserved.sksnap");
+  SnapshotWriter writer(path);
+  EXPECT_FALSE(writer.WriteSection(kSectionEnd, "x").ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotWriterReaderTest, MissingFileIsDescriptiveError) {
+  Result<SnapshotReader> reader =
+      SnapshotReader::Open("/nonexistent/no.sksnap");
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+}
+
+TEST(SnapshotWriterReaderTest, BadMagicRejected) {
+  const std::string path = TempPath("magic.sksnap");
+  WriteFile(path, "NOTASNAP-------------------------");
+  Result<SnapshotReader> reader = SnapshotReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("magic"), std::string::npos)
+      << reader.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotWriterReaderTest, VersionSkewRejected) {
+  const std::string path = TempPath("version.sksnap");
+  {
+    SnapshotWriter writer(path);
+    ASSERT_TRUE(writer.WriteSection(kSectionMeta, "x").ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  std::string bytes = ReadFile(path);
+  const uint32_t future = kSnapshotFormatVersion + 1;
+  std::memcpy(bytes.data() + sizeof(kSnapshotMagic), &future,
+              sizeof(future));
+  WriteFile(path, bytes);
+  Result<SnapshotReader> reader = SnapshotReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("version skew"),
+            std::string::npos)
+      << reader.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotWriterReaderTest, TrailingGarbageRejected) {
+  const std::string path = TempPath("trailing.sksnap");
+  {
+    SnapshotWriter writer(path);
+    ASSERT_TRUE(writer.WriteSection(kSectionMeta, "x").ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  WriteFile(path, ReadFile(path) + "junk");
+  Result<SnapshotReader> reader = SnapshotReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("trailing"), std::string::npos)
+      << reader.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotWriterReaderTest, EveryTruncationRejected) {
+  const std::string path = TempPath("trunc.sksnap");
+  {
+    SnapshotWriter writer(path);
+    ASSERT_TRUE(writer.WriteSection(kSectionMeta, "payload").ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  const std::string bytes = ReadFile(path);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteFile(path, bytes.substr(0, len));
+    Result<SnapshotReader> reader = SnapshotReader::Open(path);
+    EXPECT_FALSE(reader.ok()) << "accepted a " << len << "-byte prefix of a "
+                              << bytes.size() << "-byte snapshot";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexSnapshotTest, SaveLoadPreservesEverything) {
+  const std::string path = TempPath("index.sksnap");
+  const HostMatrix target = RandomMatrix(120, 5, 3);
+  SweetKnnIndex index(target);
+  ASSERT_TRUE(index.Save(path, "dataset-name").ok());
+
+  Result<IndexSnapshot> snap = LoadIndexSnapshot(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  const IndexSnapshot& s = snap.value();
+  EXPECT_EQ(s.dataset_name, "dataset-name");
+  EXPECT_EQ(s.builder, "SweetKnnIndex::Save");
+  EXPECT_EQ(s.shard_index, 0u);
+  EXPECT_EQ(s.shard_count, 1u);
+  EXPECT_EQ(s.shard_offset, 0u);
+  ASSERT_EQ(s.target.rows(), target.rows());
+  ASSERT_EQ(s.target.cols(), target.cols());
+  EXPECT_EQ(std::memcmp(s.target.data(), target.data(),
+                        target.size() * sizeof(float)),
+            0);
+  EXPECT_GT(s.clustering.num_clusters, 0);
+  EXPECT_EQ(s.clustering.assignment.size(), target.rows());
+  EXPECT_EQ(s.options_fingerprint,
+            OptionsFingerprint(core::TiOptions::Sweet()));
+  EXPECT_EQ(s.device_fingerprint,
+            DeviceFingerprint(gpusim::DeviceSpec::TeslaK20c()));
+  std::remove(path.c_str());
+}
+
+TEST(IndexSnapshotTest, SaveLoadSaveIsByteIdentical) {
+  const std::string path1 = TempPath("canonical1.sksnap");
+  const std::string path2 = TempPath("canonical2.sksnap");
+  const IndexSnapshot snap = BuildSnapshot(path1);
+  ASSERT_TRUE(SaveIndexSnapshot(snap, path2).ok());
+  EXPECT_EQ(ReadFile(path1), ReadFile(path2));
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(IndexSnapshotTest, WarmLoadedIndexAnswersBitIdentically) {
+  const std::string path = TempPath("warm.sksnap");
+  const HostMatrix target = RandomMatrix(150, 7, 11);
+  SweetKnnIndex cold(target);
+  ASSERT_TRUE(cold.Save(path).ok());
+
+  Result<std::unique_ptr<SweetKnnIndex>> warm = SweetKnnIndex::Load(path);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm.value()->size(), cold.size());
+  EXPECT_EQ(warm.value()->dims(), cold.dims());
+
+  const HostMatrix queries = RandomMatrix(40, 7, 12);
+  for (const int k : {1, 5, 17}) {
+    const KnnResult a = cold.Query(queries, k);
+    const KnnResult b = warm.value()->Query(queries, k);
+    ASSERT_EQ(a.num_queries(), b.num_queries());
+    ASSERT_EQ(a.k(), b.k());
+    for (size_t q = 0; q < a.num_queries(); ++q) {
+      ASSERT_EQ(std::memcmp(a.row(q), b.row(q),
+                            static_cast<size_t>(k) * sizeof(Neighbor)),
+                0)
+          << "k=" << k << " query " << q;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexSnapshotTest, LoadRejectsOptionsFingerprintMismatch) {
+  const std::string path = TempPath("optmismatch.sksnap");
+  BuildSnapshot(path);
+  SweetKnn::Config config;
+  config.options = core::TiOptions::BasicTi();
+  Result<std::unique_ptr<SweetKnnIndex>> loaded =
+      SweetKnnIndex::Load(path, config);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("different options"),
+            std::string::npos)
+      << loaded.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(IndexSnapshotTest, LoadRejectsDeviceFingerprintMismatch) {
+  const std::string path = TempPath("devmismatch.sksnap");
+  BuildSnapshot(path);
+  SweetKnn::Config config;
+  config.device = gpusim::DeviceSpec::TeslaK40();
+  Result<std::unique_ptr<SweetKnnIndex>> loaded =
+      SweetKnnIndex::Load(path, config);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("different device"),
+            std::string::npos)
+      << loaded.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(IndexSnapshotTest, SimThreadsDoesNotChangeTheFingerprint) {
+  core::TiOptions a = core::TiOptions::Sweet();
+  core::TiOptions b = a;
+  b.sim_threads = 7;
+  EXPECT_EQ(OptionsFingerprint(a), OptionsFingerprint(b));
+  b.kmeans_iterations = 3;
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+}
+
+TEST(ValidateIndexSnapshotTest, CatchesStructuralCorruption) {
+  const std::string path = TempPath("structural.sksnap");
+  const IndexSnapshot good = BuildSnapshot(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(ValidateIndexSnapshot(good).ok());
+
+  {
+    IndexSnapshot bad = good;
+    bad.clustering.assignment[0] =
+        static_cast<uint32_t>(bad.clustering.num_clusters);
+    EXPECT_FALSE(ValidateIndexSnapshot(bad).ok());
+  }
+  {
+    IndexSnapshot bad = good;
+    bad.clustering.member_offsets.back() += 1;
+    EXPECT_FALSE(ValidateIndexSnapshot(bad).ok());
+  }
+  {
+    IndexSnapshot bad = good;
+    bad.clustering.member_ids[1] = bad.clustering.member_ids[0];
+    EXPECT_FALSE(ValidateIndexSnapshot(bad).ok());
+  }
+  {
+    IndexSnapshot bad = good;
+    bad.clustering.num_clusters = 0;
+    EXPECT_FALSE(ValidateIndexSnapshot(bad).ok());
+  }
+  {
+    IndexSnapshot bad = good;
+    bad.shard_index = 3;
+    bad.shard_count = 2;
+    EXPECT_FALSE(ValidateIndexSnapshot(bad).ok());
+  }
+}
+
+TEST(ShardDirectoryTest, PathNamingAndListing) {
+  EXPECT_EQ(ShardSnapshotPath("/d", 2, 8), "/d/shard-2-of-8.sksnap");
+
+  const std::string dir = TempPath("shardset");
+  std::filesystem::create_directories(dir);
+  for (int s = 0; s < 3; ++s) {
+    WriteFile(ShardSnapshotPath(dir, s, 3), "placeholder");
+  }
+  Result<std::vector<std::string>> listed = ListShardSnapshots(dir);
+  ASSERT_TRUE(listed.ok()) << listed.status().ToString();
+  ASSERT_EQ(listed.value().size(), 3u);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(listed.value()[static_cast<size_t>(s)],
+              ShardSnapshotPath(dir, s, 3));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShardDirectoryTest, IncompleteOrInconsistentSetsRejected) {
+  EXPECT_FALSE(ListShardSnapshots("/nonexistent/dir").ok());
+
+  const std::string dir = TempPath("badshardset");
+  std::filesystem::create_directories(dir);
+  EXPECT_FALSE(ListShardSnapshots(dir).ok());  // no snapshots at all
+
+  WriteFile(ShardSnapshotPath(dir, 0, 3), "x");
+  WriteFile(ShardSnapshotPath(dir, 2, 3), "x");
+  Result<std::vector<std::string>> gap = ListShardSnapshots(dir);
+  ASSERT_FALSE(gap.ok());
+  EXPECT_NE(gap.status().message().find("missing shard 1"),
+            std::string::npos)
+      << gap.status().message();
+
+  WriteFile(ShardSnapshotPath(dir, 1, 3), "x");
+  WriteFile(ShardSnapshotPath(dir, 0, 2), "x");  // mixed shard counts
+  EXPECT_FALSE(ListShardSnapshots(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sweetknn::store

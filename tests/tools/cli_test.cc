@@ -4,6 +4,8 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -126,6 +128,85 @@ TEST_F(CliTest, ServeBenchBadUsageFails) {
                            " --shards=0 2>/dev/null",
                        &output),
             0);
+}
+
+TEST_F(CliTest, IndexBuildInspectVerifyRoundTrip) {
+  const std::string dir = ::testing::TempDir() + "/cli_index";
+  std::filesystem::remove_all(dir);
+
+  std::string output;
+  ASSERT_EQ(RunCommand(CliPath() + " index-build --target=" + csv_path_ +
+                           " --out-dir=" + dir +
+                           " --shards=2 --dataset=cli 2>/dev/null",
+                       &output),
+            0);
+  EXPECT_NE(output.find("total"), std::string::npos) << output;
+  EXPECT_NE(output.find("2 snapshots"), std::string::npos) << output;
+
+  const std::string shard0 = dir + "/shard-0-of-2.sksnap";
+  ASSERT_EQ(RunCommand(CliPath() + " index-inspect --snapshot=" + shard0 +
+                           " 2>/dev/null",
+                       &output),
+            0);
+  EXPECT_NE(output.find("format version 1"), std::string::npos) << output;
+  EXPECT_NE(output.find("section 3 (target)"), std::string::npos) << output;
+  EXPECT_NE(output.find("dataset 'cli'"), std::string::npos) << output;
+  EXPECT_NE(output.find("shard 0 of 2"), std::string::npos) << output;
+
+  ASSERT_EQ(RunCommand(CliPath() + " index-verify --snapshot-dir=" + dir +
+                           " 2>/dev/null",
+                       &output),
+            0);
+  EXPECT_NE(output.find("OK"), std::string::npos) << output;
+  EXPECT_EQ(output.find("FAIL"), std::string::npos) << output;
+
+  // Corrupt one byte of shard 0: verify must fail with a nonzero exit.
+  {
+    std::fstream f(shard0, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(32);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(32);
+    f.write(&byte, 1);
+  }
+  EXPECT_NE(RunCommand(CliPath() + " index-verify --snapshot=" + shard0 +
+                           " 2>/dev/null",
+                       &output),
+            0);
+  EXPECT_NE(output.find("FAIL"), std::string::npos) << output;
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(CliTest, ServeBenchWarmStartsFromSnapshots) {
+  const std::string dir = ::testing::TempDir() + "/cli_warm";
+  std::filesystem::remove_all(dir);
+
+  std::string output;
+  ASSERT_EQ(RunCommand(CliPath() + " index-build --target=" + csv_path_ +
+                           " --out-dir=" + dir + " --shards=2 2>/dev/null",
+                       &output),
+            0);
+  ASSERT_EQ(RunCommand(CliPath() + " serve-bench --target=" + csv_path_ +
+                           " --k=3 --shards=2 --clients=2 --requests=2"
+                           " --snapshot-dir=" + dir +
+                           " --require-warm 2>&1",
+                       &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("warm-started"), std::string::npos) << output;
+
+  // --require-warm against an empty directory must fail loudly (the
+  // service falls back to a cold build, which the flag forbids).
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  EXPECT_NE(RunCommand(CliPath() + " serve-bench --target=" + csv_path_ +
+                           " --k=3 --shards=2 --clients=2 --requests=2"
+                           " --snapshot-dir=" + dir +
+                           " --require-warm 2>/dev/null",
+                       &output),
+            0);
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(CliTest, ProfileFlagPrintsReport) {

@@ -5,7 +5,8 @@
 # striped atomic locks, and the trace-replay pipeline are all exercised
 # under TSan; blocking_queue_test and knn_service_test exercise the
 # serving layer's admission queue, dispatcher, shard fan-out, and LRU
-# cache under concurrent clients.
+# cache under concurrent clients; hot_swap_test swaps index generations
+# behind live traffic.
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -28,6 +29,7 @@ TESTS=(
   ti_knn_gpu_test
   blocking_queue_test
   knn_service_test
+  hot_swap_test
 )
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"

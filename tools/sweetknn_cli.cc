@@ -20,10 +20,26 @@
 // host threads each issuing `requests` JoinBatch calls of `rows` query
 // rows (drawn cyclically from the target set), and prints the service
 // counters: batches, mean batch size, occupancy, amortized simulated
-// time per query, and host throughput.
+// time per query, and host throughput. With --snapshot-dir=DIR the
+// service warm-starts from persisted shard snapshots (--require-warm
+// turns a cold-build fallback into an error).
+//
+// Index persistence (docs/persistence.md):
+//
+//   sweetknn_cli index-build --target=points.csv --out-dir=DIR
+//                [--shards=N] [--dataset=NAME]
+//   sweetknn_cli index-inspect --snapshot=FILE
+//   sweetknn_cli index-verify --snapshot=FILE | --snapshot-dir=DIR
+//
+// index-build prepares the sharded index (Step-1 landmark clustering)
+// and persists one snapshot per shard; index-inspect prints a
+// snapshot's sections and provenance; index-verify re-reads and fully
+// validates snapshots (checksums + structural consistency), exiting
+// non-zero on the first bad file.
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -35,6 +51,7 @@
 #include "dataset/io.h"
 #include "gpusim/profile_report.h"
 #include "serve/knn_service.h"
+#include "store/snapshot.h"
 
 namespace {
 
@@ -94,13 +111,16 @@ struct ServeBenchArgs {
   int max_batch = 64;
   int wait_us = 500;
   size_t cache = 0;
+  std::string snapshot_dir;  // warm-start source, empty = cold build
+  bool require_warm = false;
 };
 
 int ServeBenchUsage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s serve-bench --target=FILE [--k=N] [--shards=N]\n"
                "          [--clients=N] [--requests=N] [--rows=N]\n"
-               "          [--max-batch=N] [--wait-us=N] [--cache=N]\n",
+               "          [--max-batch=N] [--wait-us=N] [--cache=N]\n"
+               "          [--snapshot-dir=DIR] [--require-warm]\n",
                argv0);
   return 2;
 }
@@ -130,6 +150,10 @@ bool ParseServeBenchArgs(int argc, char** argv, ServeBenchArgs* out) {
       out->wait_us = std::atoi(v);
     } else if (const char* v = value("--cache=")) {
       out->cache = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--snapshot-dir=")) {
+      out->snapshot_dir = v;
+    } else if (arg == "--require-warm") {
+      out->require_warm = true;
     } else {
       return false;
     }
@@ -156,11 +180,21 @@ int ServeBench(int argc, char** argv) {
   config.max_batch_size = args.max_batch;
   config.max_batch_wait = std::chrono::microseconds(args.wait_us);
   config.cache_capacity = args.cache;
+  config.snapshot_dir = args.snapshot_dir;
   serve::KnnService service(points, config);
+  const uint64_t warm_shards = service.stats().warm_started_shards;
+  if (args.require_warm && warm_shards == 0) {
+    std::fprintf(stderr,
+                 "error: --require-warm, but the service cold-built its "
+                 "shards (snapshot dir '%s' unusable)\n",
+                 args.snapshot_dir.c_str());
+    return 1;
+  }
   std::fprintf(stderr,
-               "serve-bench: target %zu x %zu, k=%d, shards=%d, "
+               "serve-bench: target %zu x %zu, k=%d, shards=%d (%s), "
                "clients=%d x %d requests x %d rows\n",
                points.rows(), points.cols(), args.k, service.num_shards(),
+               warm_shards > 0 ? "warm-started" : "cold-built",
                args.clients, args.requests, args.rows);
 
   const Stopwatch wall;
@@ -211,12 +245,200 @@ int ServeBench(int argc, char** argv) {
   return 0;
 }
 
+// --- index-build / index-inspect / index-verify ----------------------------
+
+int IndexBuild(int argc, char** argv) {
+  using namespace sweetknn;
+  std::string target_path;
+  std::string out_dir;
+  std::string dataset_name;
+  int shards = 2;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value("--target=")) {
+      target_path = v;
+    } else if (const char* v = value("--out-dir=")) {
+      out_dir = v;
+    } else if (const char* v = value("--dataset=")) {
+      dataset_name = v;
+    } else if (const char* v = value("--shards=")) {
+      shards = std::atoi(v);
+    } else {
+      target_path.clear();
+      break;
+    }
+  }
+  if (target_path.empty() || out_dir.empty() || shards <= 0) {
+    std::fprintf(stderr,
+                 "usage: %s index-build --target=FILE --out-dir=DIR"
+                 " [--shards=N] [--dataset=NAME]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const auto target = dataset::LoadCsv(
+      dataset_name.empty() ? "target" : dataset_name, target_path);
+  if (!target.ok()) {
+    std::fprintf(stderr, "error: %s\n", target.status().ToString().c_str());
+    return 1;
+  }
+  const HostMatrix& points = target.value().points;
+
+  serve::ServiceConfig config;
+  config.num_shards = shards;
+  config.dataset_name = target.value().name;
+  const Stopwatch build;
+  serve::KnnService service(points, config);
+  const double build_s = build.ElapsedSeconds();
+  const Status saved = service.SaveSnapshots(out_dir);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "error: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  service.Shutdown();
+
+  std::fprintf(stderr, "index-build: %zu x %zu rows, %d shards, %.3f s\n",
+               points.rows(), points.cols(), service.num_shards(), build_s);
+  uintmax_t total_bytes = 0;
+  for (int s = 0; s < service.num_shards(); ++s) {
+    const std::string path =
+        store::ShardSnapshotPath(out_dir, s, service.num_shards());
+    std::error_code ec;
+    const uintmax_t bytes = std::filesystem::file_size(path, ec);
+    total_bytes += ec ? 0 : bytes;
+    std::printf("%s %ju bytes\n", path.c_str(),
+                static_cast<uintmax_t>(ec ? 0 : bytes));
+  }
+  std::printf("total %ju bytes in %d snapshots\n", total_bytes,
+              service.num_shards());
+  return 0;
+}
+
+const char* SectionName(uint32_t id) {
+  switch (id) {
+    case sweetknn::store::kSectionMeta: return "meta";
+    case sweetknn::store::kSectionFingerprint: return "fingerprint";
+    case sweetknn::store::kSectionTarget: return "target";
+    case sweetknn::store::kSectionClustering: return "clustering";
+    default: return "?";
+  }
+}
+
+int IndexInspect(int argc, char** argv) {
+  using namespace sweetknn;
+  std::string path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--snapshot=", 0) == 0) {
+      path = arg.substr(std::strlen("--snapshot="));
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s index-inspect --snapshot=FILE\n",
+                 argv[0]);
+    return 2;
+  }
+
+  Result<store::SnapshotReader> reader = store::SnapshotReader::Open(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "error: %s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: format version %u, %llu bytes\n", path.c_str(),
+              reader.value().format_version(),
+              static_cast<unsigned long long>(reader.value().file_size()));
+  for (const store::SnapshotReader::SectionInfo& s :
+       reader.value().sections()) {
+    std::printf("  section %u (%s): %llu bytes, crc32 %08x\n", s.id,
+                SectionName(s.id), static_cast<unsigned long long>(s.size),
+                s.crc);
+  }
+
+  Result<store::IndexSnapshot> snap = store::LoadIndexSnapshot(path);
+  if (!snap.ok()) {
+    std::fprintf(stderr, "error: %s\n", snap.status().ToString().c_str());
+    return 1;
+  }
+  const store::IndexSnapshot& index = snap.value();
+  std::printf("dataset '%s' built by '%s'\n", index.dataset_name.c_str(),
+              index.builder.c_str());
+  std::printf("shard %u of %u, global rows [%llu, %llu)\n",
+              index.shard_index, index.shard_count,
+              static_cast<unsigned long long>(index.shard_offset),
+              static_cast<unsigned long long>(index.shard_offset +
+                                              index.target.rows()));
+  std::printf("target %zu x %zu, %d landmark clusters\n",
+              index.target.rows(), index.target.cols(),
+              index.clustering.num_clusters);
+  std::printf("options [%s]\n", index.options_fingerprint.c_str());
+  std::printf("device [%s]\n", index.device_fingerprint.c_str());
+  return 0;
+}
+
+int IndexVerify(int argc, char** argv) {
+  using namespace sweetknn;
+  std::vector<std::string> paths;
+  std::string dir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--snapshot=", 0) == 0) {
+      paths.push_back(arg.substr(std::strlen("--snapshot=")));
+    } else if (arg.rfind("--snapshot-dir=", 0) == 0) {
+      dir = arg.substr(std::strlen("--snapshot-dir="));
+    }
+  }
+  if (!dir.empty()) {
+    Result<std::vector<std::string>> listed = store::ListShardSnapshots(dir);
+    if (!listed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   listed.status().ToString().c_str());
+      return 1;
+    }
+    for (const std::string& p : listed.value()) paths.push_back(p);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s index-verify --snapshot=FILE ..."
+                 " | --snapshot-dir=DIR\n",
+                 argv[0]);
+    return 2;
+  }
+
+  for (const std::string& p : paths) {
+    Result<store::IndexSnapshot> snap = store::LoadIndexSnapshot(p);
+    if (!snap.ok()) {
+      std::printf("FAIL %s: %s\n", p.c_str(),
+                  snap.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("OK %s (shard %u of %u, %zu x %zu, %d clusters)\n",
+                p.c_str(), snap.value().shard_index,
+                snap.value().shard_count, snap.value().target.rows(),
+                snap.value().target.cols(),
+                snap.value().clustering.num_clusters);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace sweetknn;
   if (argc > 1 && std::strcmp(argv[1], "serve-bench") == 0) {
     return ServeBench(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "index-build") == 0) {
+    return IndexBuild(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "index-inspect") == 0) {
+    return IndexInspect(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "index-verify") == 0) {
+    return IndexVerify(argc, argv);
   }
   CliArgs args;
   if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
