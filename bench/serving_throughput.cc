@@ -3,8 +3,10 @@
 // micro-batch size knob. For each (dataset, max_batch_size) point it
 // reports host throughput, mean batch size, batch occupancy, and the
 // amortized simulated device time per query — the number dynamic
-// micro-batching drives down — while asserting that every served answer
-// is bit-identical to a single-engine RunOnce over the unsharded target
+// micro-batching drives down — plus request-latency and queue-wait
+// percentiles and the per-stage simulated-time split from the service's
+// metrics registry, while asserting that every served answer is
+// bit-identical to a single-engine RunOnce over the unsharded target
 // set. Emits BENCH_serving.json.
 //
 // Usage: serving_throughput [--scale=F] [--only=a,b] [--shards=N]
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "core/ti_knn_gpu.h"
 #include "serve/knn_service.h"
@@ -39,8 +42,27 @@ struct ServingRun {
   double amortized_sim_s = 0.0;
   double critical_sim_s = 0.0;
   double total_sim_s = 0.0;
+  // End-to-end request latency and queue-wait percentiles (seconds),
+  // pulled from the service's metrics registry.
+  double latency_p50_s = 0.0;
+  double latency_p90_s = 0.0;
+  double latency_p99_s = 0.0;
+  double queue_wait_p50_s = 0.0;
+  double queue_wait_p90_s = 0.0;
+  double queue_wait_p99_s = 0.0;
+  // Per-stage simulated time over all shards (seconds).
+  double sim_level1_s = 0.0;
+  double sim_level2_s = 0.0;
+  double sim_transfer_s = 0.0;
+  double sim_preprocess_s = 0.0;
   bool exact = false;
 };
+
+/// Reads one counter back out of a parsed JSON metrics export.
+/// GetCounter registers on first use, so an absent name reads as 0.
+double CounterValue(common::MetricsRegistry* parsed, const char* name) {
+  return parsed->GetCounter(name, "")->value();
+}
 
 /// The query workload: a prefix of the target set, so every request has
 /// in-distribution points and the single-engine reference stays small.
@@ -81,7 +103,7 @@ ServingRun RunOne(const dataset::Dataset& data, const HostMatrix& queries,
         HostMatrix slice(rows, queries.cols());
         std::memcpy(slice.mutable_data(), queries.row(begin),
                     rows * queries.cols() * sizeof(float));
-        answers[r] = service.JoinBatch(slice, kNeighbors);
+        answers[r] = service.JoinBatch(slice, kNeighbors).value();
       }
     });
   }
@@ -116,6 +138,27 @@ ServingRun RunOne(const dataset::Dataset& data, const HostMatrix& queries,
   run.amortized_sim_s = stats.AmortizedSimTimePerQuery();
   run.critical_sim_s = stats.critical_sim_time_s;
   run.total_sim_s = stats.total_sim_time_s;
+  const common::HistogramSnapshot latency =
+      service.metrics().SnapshotHistogram("sweetknn_request_latency_seconds");
+  run.latency_p50_s = latency.Percentile(0.50);
+  run.latency_p90_s = latency.Percentile(0.90);
+  run.latency_p99_s = latency.Percentile(0.99);
+  const common::HistogramSnapshot queue_wait =
+      service.metrics().SnapshotHistogram("sweetknn_queue_wait_seconds");
+  run.queue_wait_p50_s = queue_wait.Percentile(0.50);
+  run.queue_wait_p90_s = queue_wait.Percentile(0.90);
+  run.queue_wait_p99_s = queue_wait.Percentile(0.99);
+  common::MetricsRegistry parsed;
+  if (common::ParseMetricsJson(service.ExportMetricsJson(), &parsed).ok()) {
+    run.sim_level1_s =
+        CounterValue(&parsed, "sweetknn_sim_level1_seconds_total");
+    run.sim_level2_s =
+        CounterValue(&parsed, "sweetknn_sim_level2_seconds_total");
+    run.sim_transfer_s =
+        CounterValue(&parsed, "sweetknn_sim_transfer_seconds_total");
+    run.sim_preprocess_s =
+        CounterValue(&parsed, "sweetknn_sim_preprocess_seconds_total");
+  }
   run.exact = exact;
   return run;
 }
@@ -143,7 +186,8 @@ int Main(int argc, char** argv) {
               "%d-row requests, k=%d ===\n\n",
               shards, clients, kRowsPerRequest, kNeighbors);
   PrintTableHeader({"dataset", "n", "batch", "wall(s)", "qps", "mean_b",
-                    "occup", "amort_sim(us)", "exact"});
+                    "occup", "amort_sim(us)", "p50(us)", "p99(us)",
+                    "exact"});
 
   std::vector<ServingRun> runs;
   bool all_exact = true;
@@ -166,6 +210,8 @@ int Main(int argc, char** argv) {
                      FormatDouble(run.mean_batch, 2),
                      FormatPercent(run.occupancy),
                      FormatDouble(run.amortized_sim_s * 1e6, 3),
+                     FormatDouble(run.latency_p50_s * 1e6, 1),
+                     FormatDouble(run.latency_p99_s * 1e6, 1),
                      run.exact ? "yes" : "NO"});
       runs.push_back(std::move(run));
     }
@@ -190,10 +236,18 @@ int Main(int argc, char** argv) {
           "\"mean_batch_size\": %.3f, \"batch_occupancy\": %.4f, "
           "\"amortized_sim_s_per_query\": %.9g, "
           "\"critical_sim_s\": %.9g, \"total_sim_s\": %.9g, "
+          "\"latency_s\": {\"p50\": %.9g, \"p90\": %.9g, \"p99\": %.9g}, "
+          "\"queue_wait_s\": {\"p50\": %.9g, \"p90\": %.9g, \"p99\": %.9g}, "
+          "\"sim_stage_s\": {\"level1\": %.9g, \"level2\": %.9g, "
+          "\"transfer\": %.9g, \"preprocess\": %.9g}, "
           "\"exact\": %s}%s\n",
           run.name.c_str(), run.n, run.num_queries, run.max_batch_size,
           run.wall_s, run.qps, run.mean_batch, run.occupancy,
           run.amortized_sim_s, run.critical_sim_s, run.total_sim_s,
+          run.latency_p50_s, run.latency_p90_s, run.latency_p99_s,
+          run.queue_wait_p50_s, run.queue_wait_p90_s, run.queue_wait_p99_s,
+          run.sim_level1_s, run.sim_level2_s, run.sim_transfer_s,
+          run.sim_preprocess_s,
           run.exact ? "true" : "false", i + 1 < runs.size() ? "," : "");
     }
     std::fprintf(json, "  ],\n  \"all_exact\": %s\n}\n",

@@ -1,0 +1,586 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+namespace sweetknn::common {
+
+namespace {
+
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (cur < value && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::string FormatMetricValue(double v) {
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= rank && counts[i] > 0) {
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double into_bucket =
+          rank - static_cast<double>(cumulative - counts[i]);
+      const double fraction =
+          std::clamp(into_bucket / static_cast<double>(counts[i]), 0.0, 1.0);
+      return std::min(lower + (upper - lower) * fraction, max);
+    }
+  }
+  return max;  // target rank lands in the overflow bucket
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  SK_CHECK(!bounds_.empty()) << "histogram needs at least one bucket edge";
+  SK_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bucket edges must ascend";
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, value);
+  AtomicMaxDouble(&max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(counts_.size());
+  for (const std::atomic<uint64_t>& c : counts_) {
+    snap.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::ImportState(const std::vector<uint64_t>& counts, double sum,
+                            uint64_t count, double max) {
+  SK_CHECK_EQ(counts.size(), counts_.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts_[i].store(counts[i], std::memory_order_relaxed);
+  }
+  sum_.store(sum, std::memory_order_relaxed);
+  count_.store(count, std::memory_order_relaxed);
+  max_.store(max, std::memory_order_relaxed);
+}
+
+std::vector<double> LatencyBucketsSeconds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 10.0; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2.0 * decade);
+    bounds.push_back(5.0 * decade);
+  }
+  bounds.push_back(10.0);
+  return bounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.type = Type::kCounter;
+    entry.help = help;
+    entry.counter = std::make_unique<Counter>();
+    it = entries_.emplace(name, std::move(entry)).first;
+  }
+  SK_CHECK(it->second.type == Type::kCounter)
+      << "metric '" << name << "' already registered with another type";
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.type = Type::kGauge;
+    entry.help = help;
+    entry.gauge = std::make_unique<Gauge>();
+    it = entries_.emplace(name, std::move(entry)).first;
+  }
+  SK_CHECK(it->second.type == Type::kGauge)
+      << "metric '" << name << "' already registered with another type";
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.type = Type::kHistogram;
+    entry.help = help;
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+    it = entries_.emplace(name, std::move(entry)).first;
+  }
+  SK_CHECK(it->second.type == Type::kHistogram)
+      << "metric '" << name << "' already registered with another type";
+  return it->second.histogram.get();
+}
+
+HistogramSnapshot MetricsRegistry::SnapshotHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.type != Type::kHistogram) {
+    return HistogramSnapshot{};
+  }
+  return it->second.histogram->Snapshot();
+}
+
+namespace {
+
+/// Minimal JSON string escaping: the metric names and help strings here
+/// are plain identifiers/sentences, but stay correct for quotes and
+/// backslashes anyway.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\n  \"metrics\": [\n";
+  size_t emitted = 0;
+  for (const auto& [name, entry] : entries_) {
+    out << "    {\"name\": \"" << JsonEscape(name) << "\", ";
+    switch (entry.type) {
+      case Type::kCounter:
+        out << "\"type\": \"counter\", \"help\": \"" << JsonEscape(entry.help)
+            << "\", \"value\": " << FormatMetricValue(entry.counter->value())
+            << "}";
+        break;
+      case Type::kGauge:
+        out << "\"type\": \"gauge\", \"help\": \"" << JsonEscape(entry.help)
+            << "\", \"value\": " << FormatMetricValue(entry.gauge->value())
+            << "}";
+        break;
+      case Type::kHistogram: {
+        const HistogramSnapshot snap = entry.histogram->Snapshot();
+        out << "\"type\": \"histogram\", \"help\": \""
+            << JsonEscape(entry.help) << "\", \"le\": [";
+        for (size_t i = 0; i < snap.bounds.size(); ++i) {
+          out << (i > 0 ? ", " : "") << FormatMetricValue(snap.bounds[i]);
+        }
+        out << "], \"counts\": [";
+        for (size_t i = 0; i < snap.counts.size(); ++i) {
+          out << (i > 0 ? ", " : "") << snap.counts[i];
+        }
+        out << "], \"sum\": " << FormatMetricValue(snap.sum)
+            << ", \"count\": " << snap.count
+            << ", \"max\": " << FormatMetricValue(snap.max)
+            << ", \"mean\": " << FormatMetricValue(snap.Mean())
+            << ", \"p50\": " << FormatMetricValue(snap.Percentile(0.50))
+            << ", \"p90\": " << FormatMetricValue(snap.Percentile(0.90))
+            << ", \"p99\": " << FormatMetricValue(snap.Percentile(0.99))
+            << "}";
+        break;
+      }
+    }
+    out << (++emitted < entries_.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+std::string MetricsRegistry::ExportPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.help.empty()) {
+      out << "# HELP " << name << " " << entry.help << "\n";
+    }
+    switch (entry.type) {
+      case Type::kCounter:
+        out << "# TYPE " << name << " counter\n"
+            << name << " " << FormatMetricValue(entry.counter->value())
+            << "\n";
+        break;
+      case Type::kGauge:
+        out << "# TYPE " << name << " gauge\n"
+            << name << " " << FormatMetricValue(entry.gauge->value()) << "\n";
+        break;
+      case Type::kHistogram: {
+        const HistogramSnapshot snap = entry.histogram->Snapshot();
+        out << "# TYPE " << name << " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < snap.bounds.size(); ++i) {
+          cumulative += snap.counts[i];
+          out << name << "_bucket{le=\"" << FormatMetricValue(snap.bounds[i])
+              << "\"} " << cumulative << "\n";
+        }
+        out << name << "_bucket{le=\"+Inf\"} " << snap.count << "\n"
+            << name << "_sum " << FormatMetricValue(snap.sum) << "\n"
+            << name << "_count " << snap.count << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::FormatTable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  char line[256];
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.type) {
+      case Type::kCounter:
+      case Type::kGauge: {
+        const double v = entry.type == Type::kCounter
+                             ? entry.counter->value()
+                             : entry.gauge->value();
+        std::snprintf(line, sizeof(line), "%-44s %s\n", name.c_str(),
+                      FormatMetricValue(v).c_str());
+        out << line;
+        break;
+      }
+      case Type::kHistogram: {
+        const HistogramSnapshot snap = entry.histogram->Snapshot();
+        std::snprintf(line, sizeof(line),
+                      "%-44s count %llu mean %.3g p50 %.3g p90 %.3g "
+                      "p99 %.3g max %.3g\n",
+                      name.c_str(),
+                      static_cast<unsigned long long>(snap.count),
+                      snap.Mean(), snap.Percentile(0.50),
+                      snap.Percentile(0.90), snap.Percentile(0.99), snap.max);
+        out << line;
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+// --- Parsers ---------------------------------------------------------------
+
+namespace {
+
+/// A tiny JSON value model and recursive-descent parser covering the
+/// subset the exporters emit (objects, arrays, strings, numbers).
+struct JsonValue {
+  enum class Kind { kNull, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    const bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) c = text_[pos_++];
+      out->push_back(c);
+    }
+    return pos_ < text_.size() && text_[pos_++] == '"';
+  }
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      SkipSpace();
+      if (Consume('}')) return true;
+      for (;;) {
+        std::string key;
+        JsonValue value;
+        if (!ParseString(&key) || !Consume(':') || !ParseValue(&value)) {
+          return false;
+        }
+        out->object.emplace_back(std::move(key), std::move(value));
+        if (Consume('}')) return true;
+        if (!Consume(',')) return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      SkipSpace();
+      if (Consume(']')) return true;
+      for (;;) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        if (Consume(']')) return true;
+        if (!Consume(',')) return false;
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    char* end = nullptr;
+    out->number = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    pos_ = static_cast<size_t>(end - text_.c_str());
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Status MalformedMetric(const std::string& what) {
+  return Status::InvalidArgument("malformed metrics document: " + what);
+}
+
+}  // namespace
+
+Status ParseMetricsJson(const std::string& text, MetricsRegistry* out) {
+  JsonValue root;
+  if (!JsonParser(text).Parse(&root) ||
+      root.kind != JsonValue::Kind::kObject) {
+    return MalformedMetric("not a JSON object");
+  }
+  const JsonValue* metrics = root.Find("metrics");
+  if (metrics == nullptr || metrics->kind != JsonValue::Kind::kArray) {
+    return MalformedMetric("missing \"metrics\" array");
+  }
+  for (const JsonValue& m : metrics->array) {
+    const JsonValue* name = m.Find("name");
+    const JsonValue* type = m.Find("type");
+    const JsonValue* help = m.Find("help");
+    if (name == nullptr || type == nullptr || help == nullptr) {
+      return MalformedMetric("metric without name/type/help");
+    }
+    if (type->string == "counter" || type->string == "gauge") {
+      const JsonValue* value = m.Find("value");
+      if (value == nullptr) return MalformedMetric(name->string);
+      if (type->string == "counter") {
+        out->GetCounter(name->string, help->string)
+            ->Increment(value->number);
+      } else {
+        out->GetGauge(name->string, help->string)->Set(value->number);
+      }
+      continue;
+    }
+    if (type->string != "histogram") {
+      return MalformedMetric("unknown type '" + type->string + "'");
+    }
+    const JsonValue* le = m.Find("le");
+    const JsonValue* counts = m.Find("counts");
+    const JsonValue* sum = m.Find("sum");
+    const JsonValue* count = m.Find("count");
+    const JsonValue* max = m.Find("max");
+    if (le == nullptr || counts == nullptr || sum == nullptr ||
+        count == nullptr || max == nullptr ||
+        counts->array.size() != le->array.size() + 1) {
+      return MalformedMetric("histogram " + name->string);
+    }
+    std::vector<double> bounds;
+    for (const JsonValue& b : le->array) bounds.push_back(b.number);
+    std::vector<uint64_t> bucket_counts;
+    for (const JsonValue& c : counts->array) {
+      bucket_counts.push_back(static_cast<uint64_t>(c.number));
+    }
+    out->GetHistogram(name->string, help->string, bounds)
+        ->ImportState(bucket_counts, sum->number,
+                      static_cast<uint64_t>(count->number), max->number);
+  }
+  return Status::Ok();
+}
+
+Status ParseMetricsPrometheusText(const std::string& text,
+                                  MetricsRegistry* out) {
+  // Accumulated histogram state, materialized when its _count arrives
+  // (the exporter always emits buckets, _sum, _count in that order).
+  struct PendingHistogram {
+    std::string help;
+    std::vector<double> bounds;
+    std::vector<uint64_t> cumulative;
+    uint64_t inf_count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, PendingHistogram> pending;
+  std::map<std::string, std::string> helps;
+  std::map<std::string, std::string> types;
+
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const size_t space = rest.find(' ');
+      if (space == std::string::npos) return MalformedMetric(line);
+      helps[rest.substr(0, space)] = rest.substr(space + 1);
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const size_t space = rest.find(' ');
+      if (space == std::string::npos) return MalformedMetric(line);
+      types[rest.substr(0, space)] = rest.substr(space + 1);
+      continue;
+    }
+    if (line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) return MalformedMetric(line);
+    std::string key = line.substr(0, space);
+    const double value = std::strtod(line.c_str() + space + 1, nullptr);
+
+    // Histogram sample lines: <name>_bucket{le="<edge>"}, _sum, _count.
+    const size_t brace = key.find('{');
+    if (brace != std::string::npos) {
+      if (brace < 7 || key.compare(brace - 7, 7, "_bucket") != 0) {
+        return MalformedMetric(line);
+      }
+      const std::string name = key.substr(0, brace - 7);
+      const size_t open = key.find('"', brace);
+      const size_t close = key.rfind('"');
+      if (open == std::string::npos || close <= open) {
+        return MalformedMetric(line);
+      }
+      const std::string edge = key.substr(open + 1, close - open - 1);
+      PendingHistogram& h = pending[name];
+      if (edge == "+Inf") {
+        h.inf_count = static_cast<uint64_t>(value);
+      } else {
+        h.bounds.push_back(std::strtod(edge.c_str(), nullptr));
+        h.cumulative.push_back(static_cast<uint64_t>(value));
+      }
+      continue;
+    }
+    auto strip_suffix = [&key](const char* suffix) -> std::string {
+      const size_t len = std::strlen(suffix);
+      if (key.size() > len &&
+          key.compare(key.size() - len, len, suffix) == 0) {
+        return key.substr(0, key.size() - len);
+      }
+      return std::string();
+    };
+    const std::string sum_name = strip_suffix("_sum");
+    if (!sum_name.empty() && pending.count(sum_name) > 0) {
+      pending[sum_name].sum = value;
+      continue;
+    }
+    const std::string count_name = strip_suffix("_count");
+    if (!count_name.empty() && pending.count(count_name) > 0) {
+      // The final histogram line: materialize it.
+      PendingHistogram& h = pending[count_name];
+      const uint64_t total = static_cast<uint64_t>(value);
+      if (total != h.inf_count) return MalformedMetric(line);
+      std::vector<uint64_t> counts;
+      uint64_t previous = 0;
+      double max = 0.0;
+      for (size_t i = 0; i < h.cumulative.size(); ++i) {
+        if (h.cumulative[i] < previous) return MalformedMetric(line);
+        counts.push_back(h.cumulative[i] - previous);
+        if (counts.back() > 0) max = h.bounds[i];
+        previous = h.cumulative[i];
+      }
+      if (total < previous) return MalformedMetric(line);
+      counts.push_back(total - previous);
+      // The text format does not carry the exact max; the tightest
+      // recoverable bound is the highest non-empty bucket edge (or the
+      // mean for overflow-only data). Percentiles stay within it.
+      if (counts.back() > 0 && total > 0) {
+        max = std::max(max, h.sum / static_cast<double>(total));
+      }
+      out->GetHistogram(count_name, helps[count_name], h.bounds)
+          ->ImportState(counts, h.sum, total, max);
+      pending.erase(count_name);
+      continue;
+    }
+    const std::string& type = types[key];
+    if (type == "counter") {
+      out->GetCounter(key, helps[key])->Increment(value);
+    } else if (type == "gauge") {
+      out->GetGauge(key, helps[key])->Set(value);
+    } else {
+      return MalformedMetric("untyped sample '" + key + "'");
+    }
+  }
+  if (!pending.empty()) {
+    return MalformedMetric("truncated histogram '" +
+                           pending.begin()->first + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace sweetknn::common

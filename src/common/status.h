@@ -16,6 +16,10 @@ enum class StatusCode {
   kIoError,
   kNotFound,
   kInternal,
+  /// The component is shutting down (or otherwise refusing work); the
+  /// request was rejected without side effects and may be retried
+  /// elsewhere.
+  kUnavailable,
 };
 
 /// A lightweight success-or-error value, used instead of exceptions
@@ -42,6 +46,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

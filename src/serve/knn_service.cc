@@ -12,10 +12,40 @@
 
 namespace sweetknn::serve {
 
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double SecondsBetween(SteadyClock::time_point from,
+                      SteadyClock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Splits a profile's simulated kernel time by pipeline stage. Kernel
+/// names are stable identifiers ("level1_calub", "level2_full_filter",
+/// ...); everything that is neither level-1 nor level-2 filtering is
+/// preprocessing (upload layout kernels, landmark clustering, member
+/// scatter — the amortized Step-1 work plus per-batch query prep).
+void AccumulateStageTimes(const gpusim::Profile& profile, double* level1,
+                          double* level2, double* preprocess) {
+  for (const gpusim::LaunchRecord& record : profile.launches) {
+    if (record.kernel_name.rfind("level1", 0) == 0) {
+      *level1 += record.sim_time_s;
+    } else if (record.kernel_name.rfind("level2", 0) == 0) {
+      *level2 += record.sim_time_s;
+    } else {
+      *preprocess += record.sim_time_s;
+    }
+  }
+}
+
+}  // namespace
+
 KnnService::KnnService(const HostMatrix& target, const ServiceConfig& config)
     : config_(config), dims_(target.cols()), target_rows_(target.rows()) {
   SK_CHECK(!target.empty()) << "KnnService needs a non-empty target set";
   SK_CHECK_GT(config_.max_batch_size, 0);
+  InitMetrics();
   const int num_shards = std::clamp(
       config_.num_shards, 1, static_cast<int>(target_rows_));
 
@@ -95,38 +125,155 @@ KnnService::KnnService(const HostMatrix& target, const ServiceConfig& config)
 
 KnnService::~KnnService() { Shutdown(); }
 
+void KnnService::InitMetrics() {
+  const std::vector<double> latency = common::LatencyBucketsSeconds();
+  m_requests_ = metrics_.GetCounter(
+      "sweetknn_requests_total", "Search/JoinBatch calls admitted");
+  m_queries_ = metrics_.GetCounter(
+      "sweetknn_queries_total",
+      "Query rows answered, including cache hits");
+  m_rejected_ = metrics_.GetCounter(
+      "sweetknn_rejected_requests_total",
+      "Requests rejected because the service was shutting down");
+  m_batches_ = metrics_.GetCounter(
+      "sweetknn_batches_total", "Micro-batches dispatched");
+  m_engine_groups_ = metrics_.GetCounter(
+      "sweetknn_engine_groups_total",
+      "Same-k groups run through the shard engines");
+  m_batched_queries_ = metrics_.GetCounter(
+      "sweetknn_batched_queries_total",
+      "Query rows that went through the engines");
+  m_cache_lookups_ = metrics_.GetCounter(
+      "sweetknn_cache_lookups_total", "Result-cache lookups");
+  m_cache_hits_ = metrics_.GetCounter(
+      "sweetknn_cache_hits_total", "Result-cache hits");
+  m_cache_stale_drops_ = metrics_.GetCounter(
+      "sweetknn_cache_stale_drops_total",
+      "Cache inserts dropped because an index swap completed first");
+  m_index_swaps_ = metrics_.GetCounter(
+      "sweetknn_index_swaps_total", "Completed SwapIndex calls");
+  m_distance_calcs_ = metrics_.GetCounter(
+      "sweetknn_distance_calcs_total",
+      "Level-2 distance computations summed over shards");
+  m_sim_level1_ = metrics_.GetCounter(
+      "sweetknn_sim_level1_seconds_total",
+      "Simulated seconds in level-1 (landmark filter) kernels");
+  m_sim_level2_ = metrics_.GetCounter(
+      "sweetknn_sim_level2_seconds_total",
+      "Simulated seconds in level-2 (point filter) kernels");
+  m_sim_transfer_ = metrics_.GetCounter(
+      "sweetknn_sim_transfer_seconds_total",
+      "Simulated seconds in PCIe transfers");
+  m_sim_preprocess_ = metrics_.GetCounter(
+      "sweetknn_sim_preprocess_seconds_total",
+      "Simulated seconds in preprocessing kernels (upload layout, "
+      "clustering, member scatter)");
+  m_sim_total_ = metrics_.GetCounter(
+      "sweetknn_sim_device_seconds_total",
+      "Simulated device seconds summed over every shard");
+  m_sim_critical_ = metrics_.GetCounter(
+      "sweetknn_sim_critical_seconds_total",
+      "Per-group max shard time, summed (the latency cost)");
+  m_filter_full_ = metrics_.GetCounter(
+      "sweetknn_adaptive_filter_full_total",
+      "Shard runs that used the full level-2 filter");
+  m_filter_partial_ = metrics_.GetCounter(
+      "sweetknn_adaptive_filter_partial_total",
+      "Shard runs that used the partial level-2 filter");
+  m_placement_global_ = metrics_.GetCounter(
+      "sweetknn_adaptive_placement_global_total",
+      "Shard runs with the kNearests array in global memory");
+  m_placement_shared_ = metrics_.GetCounter(
+      "sweetknn_adaptive_placement_shared_total",
+      "Shard runs with the kNearests array in shared memory");
+  m_placement_registers_ = metrics_.GetCounter(
+      "sweetknn_adaptive_placement_registers_total",
+      "Shard runs with the kNearests array in registers");
+  m_threads_per_query_ = metrics_.GetHistogram(
+      "sweetknn_adaptive_threads_per_query",
+      "Threads cooperating on one query, per shard run",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048});
+  m_queue_wait_ = metrics_.GetHistogram(
+      "sweetknn_queue_wait_seconds",
+      "Admission to dequeue by the dispatcher", latency);
+  m_batch_assembly_ = metrics_.GetHistogram(
+      "sweetknn_batch_assembly_seconds",
+      "First dequeue to micro-batch sealed", latency);
+  m_shard_fanout_ = metrics_.GetHistogram(
+      "sweetknn_shard_fanout_seconds",
+      "Host wall-clock of the shard fan-out critical path", latency);
+  m_merge_ = metrics_.GetHistogram(
+      "sweetknn_merge_seconds", "Host wall-clock of the shard merge",
+      latency);
+  m_request_latency_ = metrics_.GetHistogram(
+      "sweetknn_request_latency_seconds",
+      "Admission to promise fulfillment, end to end", latency);
+  m_batch_rows_ = metrics_.GetHistogram(
+      "sweetknn_batch_size_rows", "Query rows per dispatched micro-batch",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  m_queue_depth_ = metrics_.GetGauge(
+      "sweetknn_queue_depth", "Admission-queue depth");
+  m_peak_queue_depth_ = metrics_.GetGauge(
+      "sweetknn_peak_queue_depth", "Admission-queue high-water mark");
+  m_index_generation_ = metrics_.GetGauge(
+      "sweetknn_index_generation", "Live index generation (SwapIndex count)");
+}
+
 void KnnService::Shutdown() {
-  shut_down_.store(true, std::memory_order_release);
   queue_.Close();
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
-std::future<KnnResult> KnnService::Submit(RequestPtr request) {
-  SK_CHECK(!shut_down_.load(std::memory_order_acquire))
-      << "KnnService: request after Shutdown()";
+Result<std::future<KnnResult>> KnnService::Submit(RequestPtr request) {
+  const size_t rows = request->num_rows;
+  request->admit_time = SteadyClock::now();
+  std::future<KnnResult> future = request->promise.get_future();
+  // Push() refuses once Shutdown() has closed the queue — including when
+  // the close lands between our caller's checks and here. Rejection is a
+  // clean Unavailable, never an abort: a serving process must survive
+  // clients racing its shutdown.
+  if (!queue_.Push(std::move(request))) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected_requests;
+    }
+    m_rejected_->Increment();
+    return Status::Unavailable(
+        "KnnService is shut down; request rejected");
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.requests;
-    stats_.queries += request->num_rows;
+    stats_.queries += rows;
   }
-  std::future<KnnResult> future = request->promise.get_future();
-  SK_CHECK(queue_.Push(std::move(request)))
-      << "KnnService: request after Shutdown()";
+  m_requests_->Increment();
+  m_queries_->Increment(static_cast<double>(rows));
+  m_queue_depth_->Set(static_cast<double>(queue_.size()));
   return future;
 }
 
-std::vector<Neighbor> KnnService::Search(
+Result<std::vector<Neighbor>> KnnService::Search(
     const std::vector<float>& query_point, int k) {
   SK_CHECK_EQ(query_point.size(), dims_);
   SK_CHECK_GT(k, 0);
+  const SteadyClock::time_point start = SteadyClock::now();
+  // Captured before the answer is computed: if a SwapIndex completes
+  // while this request is in flight, the insert below must be dropped.
+  const uint64_t generation =
+      index_generation_.load(std::memory_order_acquire);
   std::string key;
   if (config_.cache_capacity > 0) {
     key = CacheKey(query_point.data(), dims_, k);
     std::vector<Neighbor> cached;
     if (CacheLookup(key, &cached)) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.requests;
-      ++stats_.queries;
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.requests;
+        ++stats_.queries;
+      }
+      m_requests_->Increment();
+      m_queries_->Increment();
+      m_request_latency_->Observe(SecondsBetween(start, SteadyClock::now()));
       return cached;
     }
   }
@@ -135,13 +282,18 @@ std::vector<Neighbor> KnnService::Search(
   request->rows = query_point;
   request->num_rows = 1;
   request->k = k;
-  const KnnResult result = Submit(std::move(request)).get();
+  Result<std::future<KnnResult>> submitted = Submit(std::move(request));
+  if (!submitted.ok()) return submitted.status();
+  const KnnResult result = submitted.value().get();
   std::vector<Neighbor> neighbors(result.row(0), result.row(0) + result.k());
-  if (config_.cache_capacity > 0) CacheInsert(key, neighbors);
+  if (config_.cache_capacity > 0) {
+    if (pre_cache_insert_hook_) pre_cache_insert_hook_();
+    CacheInsert(key, neighbors, generation);
+  }
   return neighbors;
 }
 
-KnnResult KnnService::JoinBatch(const HostMatrix& queries, int k) {
+Result<KnnResult> KnnService::JoinBatch(const HostMatrix& queries, int k) {
   SK_CHECK(!queries.empty());
   SK_CHECK_EQ(queries.cols(), dims_);
   SK_CHECK_GT(k, 0);
@@ -149,7 +301,9 @@ KnnResult KnnService::JoinBatch(const HostMatrix& queries, int k) {
   request->rows = queries.storage();
   request->num_rows = queries.rows();
   request->k = k;
-  return Submit(std::move(request)).get();
+  Result<std::future<KnnResult>> submitted = Submit(std::move(request));
+  if (!submitted.ok()) return submitted.status();
+  return submitted.value().get();
 }
 
 void KnnService::DispatchLoop() {
@@ -158,22 +312,36 @@ void KnnService::DispatchLoop() {
     // Micro-batching: coalesce admitted requests until max_batch_size
     // query rows are on board or max_batch_wait has passed since the
     // batch opened.
+    const SteadyClock::time_point opened = SteadyClock::now();
+    m_queue_wait_->Observe(SecondsBetween(first->admit_time, opened));
     std::vector<RequestPtr> batch;
     size_t rows = first->num_rows;
     batch.push_back(std::move(first));
-    const auto deadline =
-        std::chrono::steady_clock::now() + config_.max_batch_wait;
+    const auto deadline = opened + config_.max_batch_wait;
     while (rows < static_cast<size_t>(config_.max_batch_size)) {
       RequestPtr next;
       if (!queue_.TryPop(&next)) {
-        const auto now = std::chrono::steady_clock::now();
+        const auto now = SteadyClock::now();
         if (now >= deadline || !queue_.WaitPopFor(&next, deadline - now)) {
           break;  // the batch is as full as it will get
         }
       }
+      m_queue_wait_->Observe(
+          SecondsBetween(next->admit_time, SteadyClock::now()));
       rows += next->num_rows;
       batch.push_back(std::move(next));
     }
+    m_batch_assembly_->Observe(SecondsBetween(opened, SteadyClock::now()));
+    m_batch_rows_->Observe(static_cast<double>(rows));
+    m_queue_depth_->Set(static_cast<double>(queue_.size()));
+    // One micro-batch dispatched; the per-k engine groups below are
+    // accounted separately (engine_groups), so mixed-k traffic cannot
+    // inflate the batch count and skew occupancy.
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.batches;
+    }
+    m_batches_->Increment();
 
     // One engine batch per distinct k, preserving admission order within
     // each group (and deterministic k order across groups).
@@ -208,26 +376,19 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
   std::vector<KnnResult> shard_results(static_cast<size_t>(num_shards));
   std::vector<core::KnnRunStats> shard_stats(
       static_cast<size_t>(num_shards));
+  const SteadyClock::time_point fanout_start = SteadyClock::now();
   common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
     const auto idx = static_cast<size_t>(s);
     shard_results[idx] =
         shards_[idx]->engine.RunQueries(queries, k, &shard_stats[idx]);
   });
+  const SteadyClock::time_point merge_start = SteadyClock::now();
+  m_shard_fanout_->Observe(SecondsBetween(fanout_start, merge_start));
   const KnnResult merged =
       core::MergeShardResults(shard_results, shard_offsets_, k);
+  m_merge_->Observe(SecondsBetween(merge_start, SteadyClock::now()));
 
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.batches;
-    stats_.batched_queries += rows;
-    double slowest = 0.0;
-    for (const core::KnnRunStats& s : shard_stats) {
-      stats_.total_sim_time_s += s.sim_time_s;
-      slowest = std::max(slowest, s.sim_time_s);
-      stats_.distance_calcs += s.distance_calcs;
-    }
-    stats_.critical_sim_time_s += slowest;
-  }
+  RecordGroupStats(shard_stats, rows);
 
   // Slice the merged result back into per-request answers.
   row = 0;
@@ -238,8 +399,60 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
                   static_cast<size_t>(k) * sizeof(Neighbor));
     }
     row += request->num_rows;
+    m_request_latency_->Observe(
+        SecondsBetween(request->admit_time, SteadyClock::now()));
     request->promise.set_value(std::move(answer));
   }
+}
+
+void KnnService::RecordGroupStats(
+    const std::vector<core::KnnRunStats>& shard_stats, size_t rows) {
+  double slowest = 0.0;
+  double total = 0.0;
+  double level1 = 0.0;
+  double level2 = 0.0;
+  double transfer = 0.0;
+  double preprocess = 0.0;
+  uint64_t distance_calcs = 0;
+  for (const core::KnnRunStats& s : shard_stats) {
+    total += s.sim_time_s;
+    slowest = std::max(slowest, s.sim_time_s);
+    distance_calcs += s.distance_calcs;
+    AccumulateStageTimes(s.profile, &level1, &level2, &preprocess);
+    transfer += s.profile.transfer_time_s;
+    (s.filter_used == core::Level2Filter::kFull ? m_filter_full_
+                                                : m_filter_partial_)
+        ->Increment();
+    switch (s.placement_used) {
+      case core::KnearestsPlacement::kGlobal:
+        m_placement_global_->Increment();
+        break;
+      case core::KnearestsPlacement::kShared:
+        m_placement_shared_->Increment();
+        break;
+      case core::KnearestsPlacement::kRegisters:
+        m_placement_registers_->Increment();
+        break;
+    }
+    m_threads_per_query_->Observe(static_cast<double>(s.threads_per_query));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.engine_groups;
+    stats_.batched_queries += rows;
+    stats_.total_sim_time_s += total;
+    stats_.critical_sim_time_s += slowest;
+    stats_.distance_calcs += distance_calcs;
+  }
+  m_engine_groups_->Increment();
+  m_batched_queries_->Increment(static_cast<double>(rows));
+  m_sim_total_->Increment(total);
+  m_sim_critical_->Increment(slowest);
+  m_distance_calcs_->Increment(static_cast<double>(distance_calcs));
+  m_sim_level1_->Increment(level1);
+  m_sim_level2_->Increment(level2);
+  m_sim_transfer_->Increment(transfer);
+  m_sim_preprocess_->Increment(preprocess);
 }
 
 Result<std::vector<store::IndexSnapshot>> KnnService::LoadShardSet(
@@ -379,7 +592,14 @@ Status KnnService::SwapIndex(const std::string& dir) {
     shards_.swap(fresh);
     shard_offsets_ = std::move(fresh_offsets);
     target_rows_ = total_rows;
+    // Bump the generation before the cache clear below: any in-flight
+    // request that computed its answer against the old shards now holds
+    // a stale generation tag, so its CacheInsert is dropped whether it
+    // lands before or after the clear.
+    index_generation_.fetch_add(1, std::memory_order_acq_rel);
   }
+  m_index_generation_->Set(
+      static_cast<double>(index_generation_.load(std::memory_order_acquire)));
   // `fresh` now holds the previous generation; it dies here, after the
   // lock, so teardown never blocks the dispatcher.
   {
@@ -391,6 +611,7 @@ Status KnnService::SwapIndex(const std::string& dir) {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.index_swaps;
   }
+  m_index_swaps_->Increment();
   return Status::Ok();
 }
 
@@ -399,6 +620,18 @@ ServiceStats KnnService::stats() const {
   ServiceStats snapshot = stats_;
   snapshot.peak_queue_depth = queue_.peak_depth();
   return snapshot;
+}
+
+std::string KnnService::ExportMetricsJson() const {
+  m_queue_depth_->Set(static_cast<double>(queue_.size()));
+  m_peak_queue_depth_->Set(static_cast<double>(queue_.peak_depth()));
+  return metrics_.ExportJson();
+}
+
+std::string KnnService::ExportMetricsText() const {
+  m_queue_depth_->Set(static_cast<double>(queue_.size()));
+  m_peak_queue_depth_->Set(static_cast<double>(queue_.peak_depth()));
+  return metrics_.ExportPrometheusText();
 }
 
 std::string KnnService::CacheKey(const float* row, size_t dims, int k) {
@@ -410,34 +643,60 @@ std::string KnnService::CacheKey(const float* row, size_t dims, int k) {
 
 bool KnnService::CacheLookup(const std::string& key,
                              std::vector<Neighbor>* out) {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      *out = it->second.neighbors;
+      hit = true;
+    }
+  }
+  // Stats are recorded after releasing cache_mutex_: stats_mutex_ never
+  // nests inside the cache lock (see the lock-order note in the header).
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.cache_lookups;
+    if (hit) ++stats_.cache_hits;
   }
-  auto it = cache_.find(key);
-  if (it == cache_.end()) return false;
-  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-  *out = it->second.neighbors;
-  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-  ++stats_.cache_hits;
-  return true;
+  m_cache_lookups_->Increment();
+  if (hit) m_cache_hits_->Increment();
+  return hit;
 }
 
 void KnnService::CacheInsert(const std::string& key,
-                             std::vector<Neighbor> value) {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    it->second.neighbors = std::move(value);
-    return;
+                             std::vector<Neighbor> value,
+                             uint64_t generation) {
+  bool stale = false;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    // A SwapIndex that completed after this answer was computed has
+    // already bumped the generation (under index_mutex_, before clearing
+    // the cache): inserting now would serve pre-swap neighbors forever.
+    if (index_generation_.load(std::memory_order_acquire) != generation) {
+      stale = true;
+    } else {
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        it->second.neighbors = std::move(value);
+      } else {
+        lru_.push_front(key);
+        cache_.emplace(key, CacheEntry{lru_.begin(), std::move(value)});
+        while (cache_.size() > config_.cache_capacity) {
+          cache_.erase(lru_.back());
+          lru_.pop_back();
+        }
+      }
+    }
   }
-  lru_.push_front(key);
-  cache_.emplace(key, CacheEntry{lru_.begin(), std::move(value)});
-  while (cache_.size() > config_.cache_capacity) {
-    cache_.erase(lru_.back());
-    lru_.pop_back();
+  if (stale) {
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.cache_stale_drops;
+    }
+    m_cache_stale_drops_->Increment();
   }
 }
 

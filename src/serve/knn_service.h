@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -16,6 +17,7 @@
 #include "common/blocking_queue.h"
 #include "common/knn_result.h"
 #include "common/matrix.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "core/options.h"
 #include "core/ti_knn_gpu.h"
@@ -53,14 +55,27 @@ struct ServiceConfig {
   std::string dataset_name;
 };
 
-/// Service-level counters, all cumulative since construction.
+/// Service-level counters, all cumulative since construction. The
+/// metrics registry (KnnService::metrics()) carries the richer view —
+/// latency histograms, per-stage simulated time, adaptive decisions.
 struct ServiceStats {
   uint64_t requests = 0;        ///< Search/JoinBatch calls admitted.
   uint64_t queries = 0;         ///< Query rows answered (incl. cache hits).
-  uint64_t batches = 0;         ///< Micro-batches dispatched to the shards.
+  /// Search/JoinBatch calls rejected because the service was shutting
+  /// down (never admitted, not counted in requests).
+  uint64_t rejected_requests = 0;
+  /// Micro-batches dispatched by the batching loop (one per coalescing
+  /// window, regardless of how many distinct k values it held).
+  uint64_t batches = 0;
+  /// Same-k groups run through the shard engines. A mixed-k micro-batch
+  /// produces several engine groups, so engine_groups >= batches.
+  uint64_t engine_groups = 0;
   uint64_t batched_queries = 0; ///< Query rows that went through engines.
   uint64_t cache_lookups = 0;
   uint64_t cache_hits = 0;
+  /// Result-cache inserts dropped because an index swap completed after
+  /// the answer was computed (the stale-insert guard).
+  uint64_t cache_stale_drops = 0;
   uint64_t peak_queue_depth = 0;  ///< Admission-queue high-water mark.
   /// Simulated device time summed over every shard of every batch (the
   /// throughput cost: total device-seconds consumed).
@@ -75,8 +90,8 @@ struct ServiceStats {
   /// Completed SwapIndex calls.
   uint64_t index_swaps = 0;
 
-  /// Mean fraction of max_batch_size filled per dispatched batch (> 1 is
-  /// possible when one JoinBatch request exceeds max_batch_size).
+  /// Mean fraction of max_batch_size filled per dispatched micro-batch
+  /// (> 1 is possible when one JoinBatch request exceeds max_batch_size).
   double BatchOccupancy(int max_batch_size) const {
     if (batches == 0 || max_batch_size <= 0) return 0.0;
     return static_cast<double>(batched_queries) /
@@ -113,8 +128,13 @@ struct ServiceStats {
 ///
 ///   KnnService service(gallery, {.num_shards = 4});
 ///   // from many threads:
-///   std::vector<Neighbor> nn = service.Search(point, /*k=*/10);
-///   KnnResult batch = service.JoinBatch(queries, /*k=*/10);
+///   std::vector<Neighbor> nn = service.Search(point, /*k=*/10).value();
+///   KnnResult batch = service.JoinBatch(queries, /*k=*/10).value();
+///
+/// Lock order (to keep the TSan suites meaningful): index_mutex_ may be
+/// held while taking stats_mutex_ (RunGroup does); cache_mutex_ never
+/// nests with either — cache bookkeeping that needs stats releases the
+/// cache lock first.
 class KnnService {
  public:
   explicit KnnService(const HostMatrix& target,
@@ -126,16 +146,21 @@ class KnnService {
 
   /// The k nearest target rows of one query point. Thread-safe; blocks
   /// until the request's micro-batch has been served (or a cache hit
-  /// answers immediately).
-  std::vector<Neighbor> Search(const std::vector<float>& query_point, int k);
+  /// answers immediately). Returns Unavailable — without aborting and
+  /// without side effects — if the request raced a concurrent
+  /// Shutdown(); such rejections are counted in stats().rejected_requests.
+  Result<std::vector<Neighbor>> Search(const std::vector<float>& query_point,
+                                       int k);
 
   /// The k nearest target rows for every row of `queries`, as one
   /// request (the rows always ride in the same micro-batch and the row
-  /// order is preserved). Thread-safe; blocks until served.
-  KnnResult JoinBatch(const HostMatrix& queries, int k);
+  /// order is preserved). Thread-safe; blocks until served. Returns
+  /// Unavailable if the request raced a concurrent Shutdown().
+  Result<KnnResult> JoinBatch(const HostMatrix& queries, int k);
 
   /// Rejects new requests, drains everything already admitted, and joins
-  /// the dispatcher. Idempotent; also run by the destructor.
+  /// the dispatcher. Idempotent; also run by the destructor. Every
+  /// future admitted before the shutdown still resolves with its answer.
   void Shutdown();
 
   /// Persists every shard's prepared index into `dir` (created if
@@ -146,16 +171,35 @@ class KnnService {
 
   /// Hot-swap: loads a complete shard set from `dir`, re-materializes
   /// the replacement engines off to the side, then swaps them in behind
-  /// the in-flight micro-batch and clears the result cache. Every
-  /// request is answered entirely by one index generation — never a mix.
-  /// The set must have this service's shard count, dims, and
-  /// options/device fingerprints; on any failure the live index stays
-  /// untouched and the error is returned. Must not be called from a
-  /// host-pool worker thread (it runs its own fork-join region).
+  /// the in-flight micro-batch, bumps the index generation, and clears
+  /// the result cache. Every request is answered entirely by one index
+  /// generation — never a mix — and answers computed against the old
+  /// generation can never repopulate the cache after the swap. The set
+  /// must have this service's shard count, dims, and options/device
+  /// fingerprints; on any failure the live index stays untouched and the
+  /// error is returned. Must not be called from a host-pool worker
+  /// thread (it runs its own fork-join region).
   Status SwapIndex(const std::string& dir);
 
   /// Consistent snapshot of the cumulative counters.
   ServiceStats stats() const;
+
+  /// The service's metrics registry: latency histograms (queue wait,
+  /// batch assembly, shard fan-out, merge, end-to-end), per-stage
+  /// simulated-time counters, adaptive-decision counts, and counter
+  /// mirrors of ServiceStats. See docs/serving.md, "Metrics".
+  const common::MetricsRegistry& metrics() const { return metrics_; }
+  /// Registry exports with queue-depth gauges refreshed first.
+  std::string ExportMetricsJson() const;
+  std::string ExportMetricsText() const;
+
+  /// Test-only: invoked on the client thread after a cache-miss Search
+  /// has computed its answer, immediately before the result-cache
+  /// insert. Set it before any traffic; used to force the
+  /// swap-vs-insert interleaving deterministically.
+  void SetPreCacheInsertHookForTest(std::function<void()> hook) {
+    pre_cache_insert_hook_ = std::move(hook);
+  }
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   size_t target_rows() const {
@@ -179,17 +223,30 @@ class KnnService {
     std::vector<float> rows;  ///< num_rows * dims query coordinates.
     size_t num_rows = 0;
     int k = 0;
-    bool cacheable = false;  ///< Single-row Search with caching enabled.
+    std::chrono::steady_clock::time_point admit_time;
     std::promise<KnnResult> promise;
   };
   using RequestPtr = std::unique_ptr<Request>;
 
-  std::future<KnnResult> Submit(RequestPtr request);
+  /// Registers every metric of the registry and caches the pointers.
+  void InitMetrics();
+
+  /// Admission. Fails with Unavailable (counting the rejection) when the
+  /// queue has been closed by Shutdown(); a successful return guarantees
+  /// the future resolves, because the dispatcher drains everything
+  /// admitted before the close.
+  Result<std::future<KnnResult>> Submit(RequestPtr request);
   void DispatchLoop();
   /// Runs one same-k group of coalesced requests through every shard and
   /// fulfills their promises. Holds index_mutex_ for the whole group, so
   /// a group never straddles a SwapIndex.
   void RunGroup(std::vector<RequestPtr> group);
+  /// Folds one engine group's shard stats into ServiceStats and the
+  /// metrics registry: per-stage simulated time (level-1 / level-2 /
+  /// transfer / preprocessing) and the adaptive decisions each shard
+  /// took. Caller must NOT hold stats_mutex_.
+  void RecordGroupStats(const std::vector<core::KnnRunStats>& shard_stats,
+                        size_t rows);
 
   /// Loads and fully validates "<dir>/shard-<s>-of-<num_shards>.sksnap"
   /// for every shard (files read in parallel on the host pool): shard
@@ -206,7 +263,11 @@ class KnnService {
   // LRU result cache (single-row Search results), guarded by cache_mutex_.
   static std::string CacheKey(const float* row, size_t dims, int k);
   bool CacheLookup(const std::string& key, std::vector<Neighbor>* out);
-  void CacheInsert(const std::string& key, std::vector<Neighbor> value);
+  /// Inserts unless `generation` (captured before the query ran) is no
+  /// longer the live index generation — a swap completed in between, and
+  /// the value would resurrect pre-swap neighbors into the fresh cache.
+  void CacheInsert(const std::string& key, std::vector<Neighbor> value,
+                   uint64_t generation);
 
   ServiceConfig config_;
   size_t dims_ = 0;
@@ -219,14 +280,53 @@ class KnnService {
   size_t target_rows_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<uint32_t> shard_offsets_;
+  /// Bumped by every completed SwapIndex; cache inserts tagged with an
+  /// older generation are dropped (see CacheInsert).
+  std::atomic<uint64_t> index_generation_{0};
 
   common::BlockingQueue<RequestPtr> queue_;
   std::thread dispatcher_;
-  std::atomic<bool> shut_down_{false};
 
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;  // guarded by stats_mutex_ (except peak_queue_depth,
                         // read from the queue at snapshot time)
+
+  common::MetricsRegistry metrics_;
+  // Cached registry pointers (stable for the registry's lifetime).
+  common::Counter* m_requests_ = nullptr;
+  common::Counter* m_queries_ = nullptr;
+  common::Counter* m_rejected_ = nullptr;
+  common::Counter* m_batches_ = nullptr;
+  common::Counter* m_engine_groups_ = nullptr;
+  common::Counter* m_batched_queries_ = nullptr;
+  common::Counter* m_cache_lookups_ = nullptr;
+  common::Counter* m_cache_hits_ = nullptr;
+  common::Counter* m_cache_stale_drops_ = nullptr;
+  common::Counter* m_index_swaps_ = nullptr;
+  common::Counter* m_distance_calcs_ = nullptr;
+  common::Counter* m_sim_level1_ = nullptr;
+  common::Counter* m_sim_level2_ = nullptr;
+  common::Counter* m_sim_transfer_ = nullptr;
+  common::Counter* m_sim_preprocess_ = nullptr;
+  common::Counter* m_sim_total_ = nullptr;
+  common::Counter* m_sim_critical_ = nullptr;
+  common::Counter* m_filter_full_ = nullptr;
+  common::Counter* m_filter_partial_ = nullptr;
+  common::Counter* m_placement_global_ = nullptr;
+  common::Counter* m_placement_shared_ = nullptr;
+  common::Counter* m_placement_registers_ = nullptr;
+  common::Histogram* m_threads_per_query_ = nullptr;
+  common::Histogram* m_queue_wait_ = nullptr;
+  common::Histogram* m_batch_assembly_ = nullptr;
+  common::Histogram* m_shard_fanout_ = nullptr;
+  common::Histogram* m_merge_ = nullptr;
+  common::Histogram* m_request_latency_ = nullptr;
+  common::Histogram* m_batch_rows_ = nullptr;
+  common::Gauge* m_queue_depth_ = nullptr;
+  common::Gauge* m_peak_queue_depth_ = nullptr;
+  common::Gauge* m_index_generation_ = nullptr;
+
+  std::function<void()> pre_cache_insert_hook_;
 
   std::mutex cache_mutex_;
   std::list<std::string> lru_;  // front = most recent

@@ -1,0 +1,280 @@
+// The metrics library: bucket edges, percentile extraction, exporter
+// formats and their round-trips, and concurrent recording.
+
+#include "common/metrics.h"
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace sweetknn::common {
+namespace {
+
+TEST(CounterTest, AccumulatesDeltas) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0.0);
+  c.Increment();
+  c.Increment(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(7.0);
+  g.Add(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+}
+
+TEST(HistogramTest, BucketEdgesAreInclusiveUpperBounds) {
+  // Prometheus semantics: a bucket's `le` edge includes the edge value.
+  Histogram h({1.0, 2.0, 5.0});
+  h.Observe(0.5);   // bucket 0 (le 1)
+  h.Observe(1.0);   // bucket 0 — exactly on the edge
+  h.Observe(1.001);  // bucket 1 (le 2)
+  h.Observe(5.0);   // bucket 2 — exactly on the edge
+  h.Observe(9.0);   // overflow
+  const HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.001 + 5.0 + 9.0);
+  EXPECT_DOUBLE_EQ(snap.max, 9.0);
+}
+
+TEST(HistogramTest, LatencyBucketsAscendAndCoverMicrosToTenSeconds) {
+  const std::vector<double> bounds = LatencyBucketsSeconds();
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(bounds.back(), 10.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << i;
+  }
+}
+
+TEST(HistogramTest, PercentilesInterpolateAndClampToMax) {
+  Histogram h({10.0, 20.0, 30.0});
+  for (int i = 0; i < 50; ++i) h.Observe(5.0);    // bucket 0
+  for (int i = 0; i < 40; ++i) h.Observe(15.0);   // bucket 1
+  for (int i = 0; i < 10; ++i) h.Observe(25.0);   // bucket 2
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  // p50: rank 50 is the last of bucket 0 → interpolates to its top edge.
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.50), 10.0);
+  // p90: rank 90 closes bucket 1 → its top edge.
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.90), 20.0);
+  // p92: 2 ranks into bucket 2 of width 10 holding 10 observations.
+  EXPECT_NEAR(snap.Percentile(0.92), 22.0, 1e-9);
+  // p99 interpolates to 29 but clamps to the observed max (25): a
+  // percentile never exceeds a real observation.
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.99), 25.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), 25.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.0), 0.0);
+  // Empty histogram: all percentiles are 0.
+  EXPECT_DOUBLE_EQ(Histogram({1.0}).Snapshot().Percentile(0.99), 0.0);
+}
+
+TEST(HistogramTest, OverflowObservationsReportTheMax) {
+  Histogram h({1.0});
+  h.Observe(4.0);
+  h.Observe(8.0);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.50), 8.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.99), 8.0);
+}
+
+TEST(HistogramTest, ConcurrentObservationsAllLand) {
+  Histogram h(LatencyBucketsSeconds());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(1e-6 * static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucketed = 0;
+  for (const uint64_t c : snap.counts) bucketed += c;
+  EXPECT_EQ(bucketed, snap.count);
+  EXPECT_DOUBLE_EQ(snap.max, 8e-6);
+  // 5000 observations of t µs for t = 1..8.
+  EXPECT_NEAR(snap.sum, 5000.0 * 36.0 * 1e-6, 1e-9);
+}
+
+TEST(RegistryTest, ConcurrentCountersAreExact) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("storm_total", "concurrent increments");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Each increment adds exactly 1.0; 80000 is far below 2^53, so the
+  // double accumulation is exact.
+  EXPECT_DOUBLE_EQ(c->value(), kThreads * static_cast<double>(kPerThread));
+}
+
+TEST(RegistryTest, GetIsIdempotentPerName) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x_total", "help");
+  Counter* b = registry.GetCounter("x_total", "ignored on re-get");
+  EXPECT_EQ(a, b);
+  Histogram* h1 = registry.GetHistogram("h", "help", {1.0, 2.0});
+  Histogram* h2 = registry.GetHistogram("h", "help", {9.0});  // bounds kept
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h2->bounds().size(), 2u);
+}
+
+TEST(RegistryTest, SnapshotHistogramOfUnknownNameIsEmpty) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.SnapshotHistogram("nope").count, 0u);
+}
+
+MetricsRegistry* FillRegistry(MetricsRegistry* r) {
+  r->GetCounter("alpha_total", "a counter")->Increment(41.5);
+  r->GetGauge("beta_depth", "a gauge")->Set(-3.0);
+  Histogram* h = r->GetHistogram("gamma_seconds", "a histogram",
+                                 {0.001, 0.01, 0.1, 1.0});
+  h->Observe(0.0004);
+  h->Observe(0.02);
+  h->Observe(0.02);
+  h->Observe(2.5);  // overflow
+  return r;
+}
+
+TEST(ExportTest, JsonCarriesRawBucketsAndDerivedPercentiles) {
+  MetricsRegistry registry;
+  const std::string json = FillRegistry(&registry)->ExportJson();
+  EXPECT_NE(json.find("\"name\": \"alpha_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 41.5"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"beta_depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": -3"), std::string::npos);
+  EXPECT_NE(json.find("\"le\": [0.001, 0.01, 0.1, 1]"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\": [1, 0, 2, 0, 1]"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"count\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"max\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusTextIsCumulativeWithInfBucket) {
+  MetricsRegistry registry;
+  const std::string text =
+      FillRegistry(&registry)->ExportPrometheusText();
+  EXPECT_NE(text.find("# HELP alpha_total a counter\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE alpha_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("\nalpha_total 41.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE beta_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gamma_seconds histogram\n"),
+            std::string::npos);
+  // Cumulative buckets: 1, 1, 3, 3, then +Inf == _count.
+  EXPECT_NE(text.find("gamma_seconds_bucket{le=\"0.001\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gamma_seconds_bucket{le=\"0.01\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gamma_seconds_bucket{le=\"0.1\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gamma_seconds_bucket{le=\"1\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gamma_seconds_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gamma_seconds_count 4\n"), std::string::npos);
+}
+
+TEST(ExportTest, JsonRoundTripsBitIdentically) {
+  MetricsRegistry registry;
+  const std::string json = FillRegistry(&registry)->ExportJson();
+  MetricsRegistry parsed;
+  ASSERT_TRUE(ParseMetricsJson(json, &parsed).ok());
+  EXPECT_EQ(parsed.ExportJson(), json);
+  // And the reconstructed histogram state is numerically identical.
+  const HistogramSnapshot a = registry.SnapshotHistogram("gamma_seconds");
+  const HistogramSnapshot b = parsed.SnapshotHistogram("gamma_seconds");
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.Percentile(0.9), b.Percentile(0.9));
+}
+
+TEST(ExportTest, PrometheusTextRoundTripsBitIdentically) {
+  MetricsRegistry registry;
+  const std::string text =
+      FillRegistry(&registry)->ExportPrometheusText();
+  MetricsRegistry parsed;
+  ASSERT_TRUE(ParseMetricsPrometheusText(text, &parsed).ok());
+  EXPECT_EQ(parsed.ExportPrometheusText(), text);
+}
+
+TEST(ExportTest, AwkwardDoublesSurviveTheJsonRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("pi_total", "")->Increment(3.141592653589793);
+  registry.GetCounter("tiny_total", "")->Increment(1.0000000000000002);
+  registry.GetGauge("micro", "")->Set(1e-6);
+  const std::string json = registry.ExportJson();
+  MetricsRegistry parsed;
+  ASSERT_TRUE(ParseMetricsJson(json, &parsed).ok());
+  EXPECT_EQ(parsed.GetCounter("pi_total", "")->value(), 3.141592653589793);
+  EXPECT_EQ(parsed.GetCounter("tiny_total", "")->value(),
+            1.0000000000000002);
+  EXPECT_EQ(parsed.GetGauge("micro", "")->value(), 1e-6);
+  EXPECT_EQ(parsed.ExportJson(), json);
+}
+
+TEST(ExportTest, ParsersRejectMalformedInput) {
+  MetricsRegistry r1;
+  EXPECT_FALSE(ParseMetricsJson("not json", &r1).ok());
+  MetricsRegistry r2;
+  EXPECT_FALSE(ParseMetricsJson("{\"metrics\": 3}", &r2).ok());
+  MetricsRegistry r3;
+  EXPECT_FALSE(
+      ParseMetricsJson("{\"metrics\": [{\"name\": \"x\"}]}", &r3).ok());
+  MetricsRegistry r4;
+  // A histogram whose buckets never get their _count line is truncated.
+  EXPECT_FALSE(ParseMetricsPrometheusText(
+                   "# TYPE h histogram\nh_bucket{le=\"1\"} 2\n", &r4)
+                   .ok());
+  MetricsRegistry r5;
+  EXPECT_FALSE(
+      ParseMetricsPrometheusText("mystery_sample 4\n", &r5).ok());
+}
+
+TEST(ExportTest, FormatTableRendersEveryMetric) {
+  MetricsRegistry registry;
+  const std::string table = FillRegistry(&registry)->FormatTable();
+  EXPECT_NE(table.find("alpha_total"), std::string::npos);
+  EXPECT_NE(table.find("41.5"), std::string::npos);
+  EXPECT_NE(table.find("beta_depth"), std::string::npos);
+  EXPECT_NE(table.find("gamma_seconds"), std::string::npos);
+  EXPECT_NE(table.find("count 4"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
+}
+
+TEST(FormatMetricValueTest, ShortestRoundTrip) {
+  EXPECT_EQ(FormatMetricValue(0.0), "0");
+  EXPECT_EQ(FormatMetricValue(1.0), "1");
+  EXPECT_EQ(FormatMetricValue(41.5), "41.5");
+  EXPECT_EQ(FormatMetricValue(1e-6), "1e-06");
+  // Round-trip exactness on an awkward mantissa.
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(std::strtod(FormatMetricValue(v).c_str(), nullptr), v);
+}
+
+}  // namespace
+}  // namespace sweetknn::common

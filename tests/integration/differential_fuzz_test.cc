@@ -186,7 +186,8 @@ void RunConfig(const FuzzConfig& cfg) {
           slice.at(r - begin, j) = queries.at(r, j);
         }
       }
-      answers[static_cast<size_t>(c)] = service.JoinBatch(slice, cfg.k);
+      answers[static_cast<size_t>(c)] =
+          service.JoinBatch(slice, cfg.k).value();
     });
   }
   for (std::thread& t : clients) t.join();
@@ -230,7 +231,8 @@ void RunConfig(const FuzzConfig& cfg) {
     std::filesystem::remove_all(snapshot_dir);
     return;
   }
-  const KnnResult warm_answer = warm_service.JoinBatch(queries, cfg.k);
+  const KnnResult warm_answer =
+      warm_service.JoinBatch(queries, cfg.k).value();
   for (size_t q = 0; q < warm_answer.num_queries(); ++q) {
     if (std::memcmp(engine_result.row(q), warm_answer.row(q),
                     static_cast<size_t>(cfg.k) * sizeof(Neighbor)) != 0) {

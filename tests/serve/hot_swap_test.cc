@@ -69,8 +69,8 @@ TEST(HotSwapTest, WarmStartMatchesColdBitwise) {
   EXPECT_EQ(warm.target_rows(), cold.target_rows());
 
   for (const int k : {1, 7}) {
-    const KnnResult a = cold.JoinBatch(queries, k);
-    const KnnResult b = warm.JoinBatch(queries, k);
+    const KnnResult a = cold.JoinBatch(queries, k).value();
+    const KnnResult b = warm.JoinBatch(queries, k).value();
     EXPECT_TRUE(SameResult(a, b)) << "k=" << k;
   }
   std::filesystem::remove_all(dir);
@@ -106,8 +106,8 @@ TEST(HotSwapTest, CorruptSnapshotsFallBackToColdBuild) {
   // Correctness is unaffected by the fallback.
   const HostMatrix queries = RandomMatrix(10, 4, 4);
   KnnService reference(target, config);
-  EXPECT_TRUE(SameResult(service.JoinBatch(queries, 5),
-                         reference.JoinBatch(queries, 5)));
+  EXPECT_TRUE(SameResult(service.JoinBatch(queries, 5).value(),
+                         reference.JoinBatch(queries, 5).value()));
   std::filesystem::remove_all(dir);
 }
 
@@ -124,11 +124,11 @@ TEST(HotSwapTest, SwapChangesGenerationAndFailedSwapDoesNot) {
   config.num_shards = 2;
   KnnService service_b(b, config);
   ASSERT_TRUE(service_b.SaveSnapshots(dir_b).ok());
-  const KnnResult expected_b = service_b.JoinBatch(queries, k);
+  const KnnResult expected_b = service_b.JoinBatch(queries, k).value();
 
   KnnService live(a, config);
   ASSERT_TRUE(live.SaveSnapshots(dir_a).ok());
-  const KnnResult expected_a = live.JoinBatch(queries, k);
+  const KnnResult expected_a = live.JoinBatch(queries, k).value();
   ASSERT_FALSE(SameResult(expected_a, expected_b));
 
   // Failed swaps: missing directory, wrong shard count — the live index
@@ -146,17 +146,17 @@ TEST(HotSwapTest, SwapChangesGenerationAndFailedSwapDoesNot) {
             std::string::npos)
       << wrong_count.message();
   EXPECT_EQ(live.stats().index_swaps, 0u);
-  EXPECT_TRUE(SameResult(live.JoinBatch(queries, k), expected_a));
+  EXPECT_TRUE(SameResult(live.JoinBatch(queries, k).value(), expected_a));
 
   // A real swap: answers flip to generation B, rows update, swap counted.
   ASSERT_TRUE(live.SwapIndex(dir_b).ok());
   EXPECT_EQ(live.stats().index_swaps, 1u);
   EXPECT_EQ(live.target_rows(), b.rows());
-  EXPECT_TRUE(SameResult(live.JoinBatch(queries, k), expected_b));
+  EXPECT_TRUE(SameResult(live.JoinBatch(queries, k).value(), expected_b));
 
   // And back.
   ASSERT_TRUE(live.SwapIndex(dir_a).ok());
-  EXPECT_TRUE(SameResult(live.JoinBatch(queries, k), expected_a));
+  EXPECT_TRUE(SameResult(live.JoinBatch(queries, k).value(), expected_a));
   std::filesystem::remove_all(dir_a);
   std::filesystem::remove_all(dir_b);
   std::filesystem::remove_all(dir_wrong);
@@ -178,15 +178,15 @@ TEST(HotSwapTest, SwapInvalidatesTheResultCache) {
   KnnService live(a, config);
 
   const std::vector<float> point(a.row(5), a.row(5) + a.cols());
-  const std::vector<Neighbor> before = live.Search(point, 4);
-  EXPECT_EQ(live.Search(point, 4), before);  // cache hit
+  const std::vector<Neighbor> before = live.Search(point, 4).value();
+  EXPECT_EQ(live.Search(point, 4).value(), before);  // cache hit
   EXPECT_GT(live.stats().cache_hits, 0u);
 
   ASSERT_TRUE(live.SwapIndex(dir_b).ok());
-  const std::vector<Neighbor> after = live.Search(point, 4);
+  const std::vector<Neighbor> after = live.Search(point, 4).value();
   // The swap emptied the cache: the answer comes from generation B, not
   // from a stale cached generation-A entry.
-  EXPECT_EQ(after, service_b2.Search(point, 4));
+  EXPECT_EQ(after, service_b2.Search(point, 4).value());
   std::filesystem::remove_all(dir_b);
 }
 
@@ -205,10 +205,10 @@ TEST(HotSwapTest, ConcurrentClientsNeverSeeMixedGenerations) {
   {
     KnnService sa(a, config);
     ASSERT_TRUE(sa.SaveSnapshots(dir_a).ok());
-    expected_a = sa.JoinBatch(queries, k);
+    expected_a = sa.JoinBatch(queries, k).value();
     KnnService sb(b, config);
     ASSERT_TRUE(sb.SaveSnapshots(dir_b).ok());
-    expected_b = sb.JoinBatch(queries, k);
+    expected_b = sb.JoinBatch(queries, k).value();
   }
   ASSERT_FALSE(SameResult(expected_a, expected_b));
 
@@ -219,7 +219,7 @@ TEST(HotSwapTest, ConcurrentClientsNeverSeeMixedGenerations) {
   for (int c = 0; c < 4; ++c) {
     clients.emplace_back([&] {
       for (int r = 0; r < 25; ++r) {
-        const KnnResult got = live.JoinBatch(queries, k);
+        const KnnResult got = live.JoinBatch(queries, k).value();
         served.fetch_add(1);
         // Every answer is entirely one generation — A or B, never a
         // row-wise mixture.

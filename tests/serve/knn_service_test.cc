@@ -3,7 +3,9 @@
 
 #include "serve/knn_service.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -65,7 +67,7 @@ TEST(KnnServiceTest, ConcurrentClientsBitIdenticalToSingleEngine) {
           slice.at(r, j) = queries.at(c * kRowsPerClient + r, j);
         }
       }
-      answers[c] = service.JoinBatch(slice, kNeighbors);
+      answers[c] = service.JoinBatch(slice, kNeighbors).value();
     });
   }
   for (std::thread& t : clients) t.join();
@@ -111,7 +113,7 @@ TEST(KnnServiceTest, ConcurrentSearchesMatchSingleEngine) {
            q += kClients) {
         std::vector<float> point(queries.row(q),
                                  queries.row(q) + queries.cols());
-        answers[q] = service.Search(point, kNeighbors);
+        answers[q] = service.Search(point, kNeighbors).value();
       }
     });
   }
@@ -138,7 +140,7 @@ TEST(KnnServiceTest, MixedKRequestsEachMatchOracle) {
   std::vector<std::thread> clients;
   for (size_t i = 0; i < ks.size(); ++i) {
     clients.emplace_back(
-        [&, i] { answers[i] = service.JoinBatch(queries, ks[i]); });
+        [&, i] { answers[i] = service.JoinBatch(queries, ks[i]).value(); });
   }
   for (std::thread& t : clients) t.join();
 
@@ -170,7 +172,7 @@ TEST(KnnServiceTest, KLargerThanShardSliceAndTargetPads) {
     serve::ServiceConfig config;
     config.num_shards = 4;
     serve::KnnService service(target, config);
-    const KnnResult answer = service.JoinBatch(queries, k);
+    const KnnResult answer = service.JoinBatch(queries, k).value();
     for (size_t q = 0; q < queries.rows(); ++q) {
       ExpectRowBitIdentical(reference.row(q), answer.row(q), k, q);
     }
@@ -184,7 +186,7 @@ TEST(KnnServiceTest, MoreShardsThanTargetRowsClamps) {
   config.num_shards = 8;
   serve::KnnService service(target, config);
   EXPECT_EQ(service.num_shards(), 3);
-  const auto neighbors = service.Search({1.1f, 0.0f}, 2);
+  const auto neighbors = service.Search({1.1f, 0.0f}, 2).value();
   ASSERT_EQ(neighbors.size(), 2u);
   EXPECT_EQ(neighbors[0].index, 1u);
   EXPECT_EQ(neighbors[1].index, 2u);
@@ -198,13 +200,13 @@ TEST(KnnServiceTest, CacheServesRepeatedSearches) {
   serve::KnnService service(target, config);
 
   const std::vector<float> point = {0.25f, 0.5f, 0.75f};
-  const auto first = service.Search(point, 4);
-  const auto second = service.Search(point, 4);
-  const auto third = service.Search(point, 4);
+  const auto first = service.Search(point, 4).value();
+  const auto second = service.Search(point, 4).value();
+  const auto third = service.Search(point, 4).value();
   EXPECT_EQ(first, second);
   EXPECT_EQ(first, third);
   // A different k is a different cache key.
-  const auto other_k = service.Search(point, 2);
+  const auto other_k = service.Search(point, 2).value();
   EXPECT_EQ(other_k.size(), 2u);
   EXPECT_EQ(other_k[0], first[0]);
 
@@ -224,10 +226,10 @@ TEST(KnnServiceTest, LruEvictsLeastRecentlyUsed) {
 
   const std::vector<float> a = {0.1f, 0.1f};
   const std::vector<float> b = {0.9f, 0.9f};
-  service.Search(a, 3);  // miss, cached
-  service.Search(b, 3);  // miss, evicts a
-  service.Search(a, 3);  // miss again
-  service.Search(a, 3);  // hit
+  ASSERT_TRUE(service.Search(a, 3).ok());  // miss, cached
+  ASSERT_TRUE(service.Search(b, 3).ok());  // miss, evicts a
+  ASSERT_TRUE(service.Search(a, 3).ok());  // miss again
+  ASSERT_TRUE(service.Search(a, 3).ok());  // hit
   const serve::ServiceStats stats = service.stats();
   EXPECT_EQ(stats.cache_lookups, 4u);
   EXPECT_EQ(stats.cache_hits, 1u);
@@ -236,16 +238,129 @@ TEST(KnnServiceTest, LruEvictsLeastRecentlyUsed) {
 TEST(KnnServiceTest, ShutdownIsIdempotent) {
   const HostMatrix target = ClusteredPoints(120, 3, 3, 409);
   serve::KnnService service(target);
-  EXPECT_EQ(service.JoinBatch(target, 3).num_queries(), 120u);
+  EXPECT_EQ(service.JoinBatch(target, 3).value().num_queries(), 120u);
   service.Shutdown();
   service.Shutdown();
 }
 
-TEST(KnnServiceDeathTest, RequestAfterShutdownAborts) {
+TEST(KnnServiceTest, RequestAfterShutdownIsRejectedGracefully) {
   const HostMatrix target = ClusteredPoints(60, 2, 2, 410);
   serve::KnnService service(target);
   service.Shutdown();
-  EXPECT_DEATH(service.Search({0.5f, 0.5f}, 2), "Shutdown");
+  const auto search = service.Search({0.5f, 0.5f}, 2);
+  ASSERT_FALSE(search.ok());
+  EXPECT_EQ(search.status().code(), StatusCode::kUnavailable);
+  const auto batch = service.JoinBatch(target, 2);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kUnavailable);
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected_requests, 2u);
+  EXPECT_EQ(stats.requests, 0u);
+}
+
+TEST(KnnServiceTest, BatchAccountingCountsMicroBatchesNotKGroups) {
+  const HostMatrix target = ClusteredPoints(200, 3, 3, 413);
+  serve::ServiceConfig config;
+  config.num_shards = 2;
+  config.max_batch_size = 3;
+  config.max_batch_wait = std::chrono::microseconds(2'000'000);
+  serve::KnnService service(target, config);
+
+  // Three single-row requests with two distinct k values coalesce into
+  // one micro-batch (the batch seals the moment the third row lands,
+  // well inside the 2 s window): one batch, two engine groups. Counting
+  // a "batch" per k-group would report occupancy 0.5 here instead of 1.
+  const std::vector<int> ks = {3, 3, 5};
+  std::vector<std::thread> clients;
+  for (const int k : ks) {
+    clients.emplace_back([&service, &target, k] {
+      HostMatrix one(1, target.cols());
+      for (size_t j = 0; j < target.cols(); ++j) {
+        one.at(0, j) = target.at(0, j);
+      }
+      EXPECT_TRUE(service.JoinBatch(one, k).ok());
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.engine_groups, 2u);
+  EXPECT_EQ(stats.batched_queries, 3u);
+  EXPECT_DOUBLE_EQ(stats.MeanBatchSize(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.BatchOccupancy(config.max_batch_size), 1.0);
+}
+
+TEST(KnnServiceTest, MetricsMirrorStatsAndCarryStageBreakdown) {
+  const HostMatrix target = ClusteredPoints(240, 4, 3, 414);
+  const HostMatrix queries = ClusteredPoints(12, 4, 2, 415);
+  serve::ServiceConfig config;
+  config.num_shards = 2;
+  serve::KnnService service(target, config);
+  ASSERT_TRUE(service.JoinBatch(queries, 4).ok());
+  const serve::ServiceStats stats = service.stats();
+
+  // Every wall-clock histogram saw this one request/batch.
+  for (const char* name :
+       {"sweetknn_request_latency_seconds", "sweetknn_queue_wait_seconds",
+        "sweetknn_batch_assembly_seconds", "sweetknn_shard_fanout_seconds",
+        "sweetknn_merge_seconds"}) {
+    const common::HistogramSnapshot snap =
+        service.metrics().SnapshotHistogram(name);
+    EXPECT_EQ(snap.count, 1u) << name;
+    EXPECT_GE(snap.max, 0.0) << name;
+    EXPECT_GE(snap.Percentile(0.99), snap.Percentile(0.50)) << name;
+  }
+  const common::HistogramSnapshot rows =
+      service.metrics().SnapshotHistogram("sweetknn_batch_size_rows");
+  EXPECT_EQ(rows.count, 1u);
+  EXPECT_DOUBLE_EQ(rows.sum, 12.0);
+  // One adaptive decision per shard run.
+  const common::HistogramSnapshot tpq = service.metrics().SnapshotHistogram(
+      "sweetknn_adaptive_threads_per_query");
+  EXPECT_EQ(tpq.count, 2u);
+
+  // Counters mirror ServiceStats, and the per-stage simulated times
+  // partition the device total exactly (modulo summation order).
+  const std::string json = service.ExportMetricsJson();
+  common::MetricsRegistry parsed;
+  ASSERT_TRUE(common::ParseMetricsJson(json, &parsed).ok());
+  auto counter = [&parsed](const char* name) {
+    return parsed.GetCounter(name, "")->value();
+  };
+  EXPECT_EQ(counter("sweetknn_requests_total"),
+            static_cast<double>(stats.requests));
+  EXPECT_EQ(counter("sweetknn_batches_total"),
+            static_cast<double>(stats.batches));
+  EXPECT_EQ(counter("sweetknn_engine_groups_total"),
+            static_cast<double>(stats.engine_groups));
+  EXPECT_EQ(counter("sweetknn_batched_queries_total"),
+            static_cast<double>(stats.batched_queries));
+  EXPECT_EQ(counter("sweetknn_distance_calcs_total"),
+            static_cast<double>(stats.distance_calcs));
+  EXPECT_EQ(counter("sweetknn_sim_device_seconds_total"),
+            stats.total_sim_time_s);
+  EXPECT_EQ(counter("sweetknn_sim_critical_seconds_total"),
+            stats.critical_sim_time_s);
+  const double staged = counter("sweetknn_sim_level1_seconds_total") +
+                        counter("sweetknn_sim_level2_seconds_total") +
+                        counter("sweetknn_sim_transfer_seconds_total") +
+                        counter("sweetknn_sim_preprocess_seconds_total");
+  EXPECT_GT(counter("sweetknn_sim_level1_seconds_total"), 0.0);
+  EXPECT_GT(counter("sweetknn_sim_level2_seconds_total"), 0.0);
+  EXPECT_GT(counter("sweetknn_sim_preprocess_seconds_total"), 0.0);
+  EXPECT_NEAR(staged, stats.total_sim_time_s,
+              1e-9 * std::max(1.0, stats.total_sim_time_s));
+  EXPECT_EQ(counter("sweetknn_adaptive_filter_full_total") +
+                counter("sweetknn_adaptive_filter_partial_total"),
+            static_cast<double>(stats.engine_groups * 2));  // 2 shards
+
+  // Both exports round-trip bit-identically through their parsers.
+  EXPECT_EQ(parsed.ExportJson(), json);
+  const std::string text = service.ExportMetricsText();
+  common::MetricsRegistry parsed_text;
+  ASSERT_TRUE(common::ParseMetricsPrometheusText(text, &parsed_text).ok());
+  EXPECT_EQ(parsed_text.ExportPrometheusText(), text);
 }
 
 TEST(KnnServiceTest, SweepShardCountsStayExact) {
@@ -256,7 +371,7 @@ TEST(KnnServiceTest, SweepShardCountsStayExact) {
     serve::ServiceConfig config;
     config.num_shards = shards;
     serve::KnnService service(target, config);
-    const KnnResult answer = service.JoinBatch(queries, 6);
+    const KnnResult answer = service.JoinBatch(queries, 6).value();
     testing::ExpectResultsMatch(oracle, answer);
   }
 }

@@ -1,0 +1,114 @@
+// Regression suite for the Submit-vs-Shutdown race.
+//
+// KnnService::Submit used to SK_CHECK that the service was still open,
+// then Push into the admission queue — a client racing Shutdown() could
+// pass the check and hit the closed queue, aborting the whole process.
+// Now the closed queue is the single source of truth: a losing Submit
+// returns Unavailable (counted in stats().rejected_requests) and every
+// request admitted before the close still resolves with its answer.
+// Runs under TSan via tools/check_tsan.sh.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/knn_result.h"
+#include "common/matrix.h"
+#include "common/status.h"
+#include "gtest/gtest.h"
+#include "serve/knn_service.h"
+#include "test_util.h"
+
+namespace sweetknn::serve {
+namespace {
+
+TEST(ShutdownStormTest, EveryRequestResolvesOrIsRejectedCleanly) {
+  const HostMatrix target = sweetknn::testing::ClusteredPoints(160, 3, 3, 501);
+  ServiceConfig config;
+  config.num_shards = 2;
+  config.max_batch_size = 8;
+  KnnService service(target, config);
+
+  // Producers hammer the service until they see a rejection; the main
+  // thread closes it mid-storm. Every call must either carry a full
+  // answer or a clean Unavailable — never abort, never hang.
+  constexpr int kProducers = 6;
+  std::atomic<uint64_t> answered{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      HostMatrix one(1, target.cols());
+      for (size_t j = 0; j < target.cols(); ++j) {
+        one.at(0, j) = target.at(static_cast<size_t>(p), j);
+      }
+      for (;;) {
+        const Result<KnnResult> got = service.JoinBatch(one, 3);
+        if (got.ok()) {
+          EXPECT_EQ(got.value().num_queries(), 1u);
+          EXPECT_EQ(got.value().k(), 3);
+          answered.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          return;  // the service is down; this producer is done
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Let the storm build before pulling the plug.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.Shutdown();
+  for (std::thread& t : producers) t.join();
+
+  // Every producer ran until its first rejection.
+  EXPECT_EQ(rejected.load(), static_cast<uint64_t>(kProducers));
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected_requests, static_cast<uint64_t>(kProducers));
+  EXPECT_EQ(stats.requests, answered.load());
+  // Everything admitted was also served: nothing lost in the drain.
+  EXPECT_EQ(stats.batched_queries, answered.load());
+}
+
+TEST(ShutdownStormTest, MixedSearchAndJoinBatchSurviveTheClose) {
+  const HostMatrix target = sweetknn::testing::ClusteredPoints(120, 2, 3, 502);
+  ServiceConfig config;
+  config.num_shards = 2;
+  config.cache_capacity = 16;  // exercise the cache path during the race
+  KnnService service(target, config);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> outcomes{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      const std::vector<float> point = {0.1f * static_cast<float>(c), 0.5f};
+      HostMatrix one(1, 2);
+      one.at(0, 0) = point[0];
+      one.at(0, 1) = point[1];
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto searched = service.Search(point, 2);
+        if (!searched.ok()) {
+          EXPECT_EQ(searched.status().code(), StatusCode::kUnavailable);
+        }
+        const auto joined = service.JoinBatch(one, 2);
+        if (!joined.ok()) {
+          EXPECT_EQ(joined.status().code(), StatusCode::kUnavailable);
+        }
+        outcomes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  service.Shutdown();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : clients) t.join();
+  EXPECT_GT(outcomes.load(), 0u);
+}
+
+}  // namespace
+}  // namespace sweetknn::serve

@@ -1,0 +1,161 @@
+// Regression suite for the stale-cache-insert race around SwapIndex.
+//
+// A cache-miss Search computes its answer against index generation G,
+// then inserts it into the result cache. If a SwapIndex completes in
+// between, the insert used to land in the freshly cleared cache and the
+// pre-swap answer was served forever after. Inserts are now tagged with
+// the generation captured before the query ran and dropped when it no
+// longer matches (stats().cache_stale_drops). The deterministic test
+// forces the interleaving with the pre-insert test hook; the storm
+// variant hunts the same bug (and data races, under TSan) with free
+//-running swappers. Runs under TSan via tools/check_tsan.sh.
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/knn_result.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "serve/knn_service.h"
+
+namespace sweetknn::serve {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+HostMatrix RandomMatrix(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  HostMatrix m(n, dims);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < dims; ++j) {
+      m.at(i, j) = static_cast<float>(rng.NextDouble() * 10.0 - 5.0);
+    }
+  }
+  return m;
+}
+
+TEST(SwapStalenessTest, InsertRacingSwapIsDroppedNotServed) {
+  const HostMatrix a = RandomMatrix(130, 4, 20);
+  const HostMatrix b = RandomMatrix(130, 4, 21);
+  const std::string dir_b = TempDir("stale_b");
+  constexpr int kNeighbors = 4;
+
+  ServiceConfig config;
+  config.num_shards = 2;
+  config.cache_capacity = 32;
+  {
+    KnnService builder(b, config);
+    ASSERT_TRUE(builder.SaveSnapshots(dir_b).ok());
+  }
+  KnnService reference_b(b, config);
+  KnnService live(a, config);
+
+  const std::vector<float> point(a.row(3), a.row(3) + a.cols());
+  const std::vector<Neighbor> expected_b =
+      reference_b.Search(point, kNeighbors).value();
+
+  // Force the race deterministically: the first cache-miss Search
+  // computes its answer against generation A, and right before it can
+  // insert, a full SwapIndex to generation B completes (cache cleared,
+  // generation bumped). The stale answer must be dropped, not cached.
+  std::atomic<int> swaps_fired{0};
+  live.SetPreCacheInsertHookForTest([&] {
+    if (swaps_fired.fetch_add(1) == 0) {
+      ASSERT_TRUE(live.SwapIndex(dir_b).ok());
+    }
+  });
+  const std::vector<Neighbor> raced = live.Search(point, kNeighbors).value();
+  EXPECT_NE(raced, expected_b);  // computed against generation A
+  EXPECT_EQ(live.stats().cache_stale_drops, 1u);
+
+  // The poisoned insert never landed: the same Search now answers from
+  // generation B (recomputed, then cached and served from cache).
+  const std::vector<Neighbor> after = live.Search(point, kNeighbors).value();
+  EXPECT_EQ(after, expected_b);
+  const std::vector<Neighbor> cached = live.Search(point, kNeighbors).value();
+  EXPECT_EQ(cached, expected_b);
+  EXPECT_GT(live.stats().cache_hits, 0u);
+  EXPECT_EQ(live.stats().cache_stale_drops, 1u);
+
+  std::filesystem::remove_all(dir_b);
+}
+
+TEST(SwapStalenessTest, SearchersRacingSwappersNeverSeeForeignAnswers) {
+  const HostMatrix a = RandomMatrix(110, 3, 22);
+  const HostMatrix b = RandomMatrix(110, 3, 23);
+  const std::string dir_a = TempDir("storm_a");
+  const std::string dir_b = TempDir("storm_b");
+  constexpr int kNeighbors = 3;
+  constexpr size_t kPoints = 6;
+
+  ServiceConfig config;
+  config.num_shards = 2;
+  config.cache_capacity = 16;
+  std::vector<std::vector<Neighbor>> expected_a(kPoints);
+  std::vector<std::vector<Neighbor>> expected_b(kPoints);
+  std::vector<std::vector<float>> points;
+  for (size_t i = 0; i < kPoints; ++i) {
+    points.emplace_back(a.row(i * 7), a.row(i * 7) + a.cols());
+  }
+  {
+    KnnService sa(a, config);
+    ASSERT_TRUE(sa.SaveSnapshots(dir_a).ok());
+    KnnService sb(b, config);
+    ASSERT_TRUE(sb.SaveSnapshots(dir_b).ok());
+    for (size_t i = 0; i < kPoints; ++i) {
+      expected_a[i] = sa.Search(points[i], kNeighbors).value();
+      expected_b[i] = sb.Search(points[i], kNeighbors).value();
+      ASSERT_NE(expected_a[i], expected_b[i]) << "degenerate fixture";
+    }
+  }
+
+  KnnService live(a, config);
+  std::atomic<int> foreign{0};
+  std::vector<std::thread> searchers;
+  std::atomic<bool> stop{false};
+  for (int c = 0; c < 4; ++c) {
+    searchers.emplace_back([&, c] {
+      size_t i = static_cast<size_t>(c);
+      while (!stop.load(std::memory_order_acquire)) {
+        i = (i + 1) % kPoints;
+        const std::vector<Neighbor> got =
+            live.Search(points[i], kNeighbors).value();
+        // Cached or computed, an answer is always exactly one
+        // generation's — a stale insert surviving a swap shows up here
+        // as a generation-A answer long after the last swap to B.
+        if (got != expected_a[i] && got != expected_b[i]) {
+          foreign.fetch_add(1);
+        }
+      }
+    });
+  }
+  constexpr int kSwaps = 8;
+  for (int s = 0; s < kSwaps; ++s) {
+    ASSERT_TRUE(live.SwapIndex(s % 2 == 0 ? dir_b : dir_a).ok());
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : searchers) t.join();
+  EXPECT_EQ(foreign.load(), 0);
+
+  // The index has been on generation A since the final swap and every
+  // searcher has stopped: whatever the cache now holds must serve
+  // generation-A answers.
+  for (size_t i = 0; i < kPoints; ++i) {
+    EXPECT_EQ(live.Search(points[i], kNeighbors).value(), expected_a[i]) << i;
+  }
+  EXPECT_EQ(live.stats().index_swaps, static_cast<uint64_t>(kSwaps));
+
+  std::filesystem::remove_all(dir_a);
+  std::filesystem::remove_all(dir_b);
+}
+
+}  // namespace
+}  // namespace sweetknn::serve

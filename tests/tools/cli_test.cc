@@ -119,6 +119,54 @@ TEST_F(CliTest, ServeBenchReportsServiceCounters) {
   EXPECT_NE(output.find("cache lookups"), std::string::npos) << output;
 }
 
+TEST_F(CliTest, ServeBenchWritesMetricsJsonAndStatsRendersIt) {
+  const std::string metrics_path = ::testing::TempDir() + "/cli_metrics.json";
+  std::remove(metrics_path.c_str());
+
+  std::string output;
+  ASSERT_EQ(RunCommand(CliPath() + " serve-bench --target=" + csv_path_ +
+                           " --k=3 --shards=2 --clients=2 --requests=4"
+                           " --rows=2 --metrics-out=" + metrics_path +
+                           " 2>/dev/null",
+                       &output),
+            0);
+  EXPECT_NE(output.find("request latency p50"), std::string::npos) << output;
+  EXPECT_NE(output.find("queue wait p99"), std::string::npos) << output;
+
+  std::ifstream in(metrics_path);
+  ASSERT_TRUE(in.good()) << metrics_path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("sweetknn_requests_total"), std::string::npos);
+  EXPECT_NE(json.find("sweetknn_request_latency_seconds"), std::string::npos);
+  EXPECT_NE(json.find("sweetknn_sim_level1_seconds_total"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"histogram\""), std::string::npos);
+
+  // `stats` reads the file back and renders every metric as a table.
+  ASSERT_EQ(RunCommand(CliPath() + " stats --metrics=" + metrics_path +
+                           " 2>/dev/null",
+                       &output),
+            0);
+  EXPECT_NE(output.find("sweetknn_requests_total"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("sweetknn_queue_wait_seconds"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("p99"), std::string::npos) << output;
+  std::remove(metrics_path.c_str());
+}
+
+TEST_F(CliTest, StatsBadUsageFails) {
+  std::string output;
+  EXPECT_NE(RunCommand(CliPath() + " stats 2>/dev/null", &output), 0);
+  EXPECT_NE(RunCommand(CliPath() + " stats --metrics=/does/not/exist.json"
+                                   " 2>/dev/null",
+                       &output),
+            0);
+}
+
 TEST_F(CliTest, ServeBenchBadUsageFails) {
   std::string output;
   EXPECT_NE(RunCommand(CliPath() + " serve-bench --k=3 2>/dev/null",

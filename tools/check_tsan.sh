@@ -6,7 +6,9 @@
 # under TSan; blocking_queue_test and knn_service_test exercise the
 # serving layer's admission queue, dispatcher, shard fan-out, and LRU
 # cache under concurrent clients; hot_swap_test swaps index generations
-# behind live traffic.
+# behind live traffic; metrics_test hammers the lock-free counters and
+# histograms from many threads; shutdown_storm_test races Submit against
+# Shutdown; swap_staleness_test races cache inserts against SwapIndex.
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -28,8 +30,11 @@ TESTS=(
   level2_test
   ti_knn_gpu_test
   blocking_queue_test
+  metrics_test
   knn_service_test
   hot_swap_test
+  shutdown_storm_test
+  swap_staleness_test
 )
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"

@@ -15,14 +15,23 @@
 //   sweetknn_cli serve-bench --target=points.csv [--k=10] [--shards=2]
 //                [--clients=4] [--requests=32] [--rows=4]
 //                [--max-batch=64] [--wait-us=500] [--cache=0]
+//                [--metrics-out=FILE]
 //
 // It builds a sharded KnnService over the target set, fires `clients`
 // host threads each issuing `requests` JoinBatch calls of `rows` query
 // rows (drawn cyclically from the target set), and prints the service
 // counters: batches, mean batch size, occupancy, amortized simulated
-// time per query, and host throughput. With --snapshot-dir=DIR the
-// service warm-starts from persisted shard snapshots (--require-warm
-// turns a cold-build fallback into an error).
+// time per query, latency percentiles, and host throughput. With
+// --snapshot-dir=DIR the service warm-starts from persisted shard
+// snapshots (--require-warm turns a cold-build fallback into an error).
+// --metrics-out=FILE dumps the full metrics registry as JSON (see
+// docs/serving.md, "Metrics"); render such a dump later with:
+//
+//   sweetknn_cli stats --metrics=FILE
+//
+// which auto-detects the JSON or Prometheus text format and prints a
+// fixed-width table of every metric (histograms with
+// count/mean/p50/p90/p99/max).
 //
 // Index persistence (docs/persistence.md):
 //
@@ -41,6 +50,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -113,6 +123,7 @@ struct ServeBenchArgs {
   size_t cache = 0;
   std::string snapshot_dir;  // warm-start source, empty = cold build
   bool require_warm = false;
+  std::string metrics_out;  // JSON metrics dump target, empty = none
 };
 
 int ServeBenchUsage(const char* argv0) {
@@ -120,7 +131,8 @@ int ServeBenchUsage(const char* argv0) {
                "usage: %s serve-bench --target=FILE [--k=N] [--shards=N]\n"
                "          [--clients=N] [--requests=N] [--rows=N]\n"
                "          [--max-batch=N] [--wait-us=N] [--cache=N]\n"
-               "          [--snapshot-dir=DIR] [--require-warm]\n",
+               "          [--snapshot-dir=DIR] [--require-warm]\n"
+               "          [--metrics-out=FILE]\n",
                argv0);
   return 2;
 }
@@ -154,6 +166,8 @@ bool ParseServeBenchArgs(int argc, char** argv, ServeBenchArgs* out) {
       out->snapshot_dir = v;
     } else if (arg == "--require-warm") {
       out->require_warm = true;
+    } else if (const char* v = value("--metrics-out=")) {
+      out->metrics_out = v;
     } else {
       return false;
     }
@@ -212,7 +226,7 @@ int ServeBench(int argc, char** argv) {
           std::memcpy(batch.mutable_row(static_cast<size_t>(row)),
                       points.row(src), points.cols() * sizeof(float));
         }
-        service.JoinBatch(batch, args.k);
+        if (!service.JoinBatch(batch, args.k).ok()) return;
       }
     });
   }
@@ -240,8 +254,66 @@ int ServeBench(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.cache_lookups),
                 static_cast<unsigned long long>(stats.cache_hits));
   }
+  const common::HistogramSnapshot latency =
+      service.metrics().SnapshotHistogram("sweetknn_request_latency_seconds");
+  const common::HistogramSnapshot queue_wait =
+      service.metrics().SnapshotHistogram("sweetknn_queue_wait_seconds");
+  std::printf("request latency p50 %.1f us p90 %.1f us p99 %.1f us "
+              "(queue wait p99 %.1f us)\n",
+              latency.Percentile(0.50) * 1e6, latency.Percentile(0.90) * 1e6,
+              latency.Percentile(0.99) * 1e6,
+              queue_wait.Percentile(0.99) * 1e6);
   std::printf("wall %.3f s (%.0f queries/s)\n", wall_s,
               static_cast<double>(stats.queries) / wall_s);
+  if (!args.metrics_out.empty()) {
+    std::ofstream out(args.metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   args.metrics_out.c_str());
+      return 1;
+    }
+    out << service.ExportMetricsJson();
+    std::fprintf(stderr, "metrics written to %s\n", args.metrics_out.c_str());
+  }
+  return 0;
+}
+
+// --- stats: render a metrics dump ------------------------------------------
+
+int Stats(int argc, char** argv) {
+  using namespace sweetknn;
+  std::string path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics=", 0) == 0) {
+      path = arg.substr(std::strlen("--metrics="));
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s stats --metrics=FILE\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  // Both exporter formats are accepted: a JSON document opens with '{',
+  // Prometheus text with a '#' comment or a bare sample name.
+  const size_t first = text.find_first_not_of(" \t\r\n");
+  const bool json = first != std::string::npos && text[first] == '{';
+  common::MetricsRegistry registry;
+  const Status parsed =
+      json ? common::ParseMetricsJson(text, &registry)
+           : common::ParseMetricsPrometheusText(text, &registry);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                 parsed.ToString().c_str());
+    return 1;
+  }
+  std::fputs(registry.FormatTable().c_str(), stdout);
   return 0;
 }
 
@@ -430,6 +502,9 @@ int main(int argc, char** argv) {
   using namespace sweetknn;
   if (argc > 1 && std::strcmp(argv[1], "serve-bench") == 0) {
     return ServeBench(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
+    return Stats(argc, argv);
   }
   if (argc > 1 && std::strcmp(argv[1], "index-build") == 0) {
     return IndexBuild(argc, argv);
