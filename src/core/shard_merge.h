@@ -2,6 +2,7 @@
 #define SWEETKNN_CORE_SHARD_MERGE_H_
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "common/knn_result.h"
@@ -24,6 +25,42 @@ namespace sweetknn::core {
 KnnResult MergeShardResults(const std::vector<KnnResult>& shard_results,
                             const std::vector<uint32_t>& shard_offsets,
                             int k);
+
+/// One input of MergeMutableResults: a per-source exact KNN result plus
+/// how its local indices translate to stable ids and which of those ids
+/// are dead. Sources are views; the caller keeps everything alive for
+/// the duration of the merge.
+struct MergeSource {
+  /// Exact top-k' of this source's point set, rows ascending under
+  /// NeighborLess on (distance, local index), padded with
+  /// kInvalidNeighbor. k' may differ per source (see the over-query
+  /// requirement on MergeMutableResults).
+  const KnnResult* result = nullptr;
+  /// Maps local index i to stable id id_map[i]. Must be strictly
+  /// increasing so local-index tie-breaking equals stable-id
+  /// tie-breaking. nullptr: stable id = local index + offset.
+  const uint32_t* id_map = nullptr;
+  uint32_t offset = 0;
+  /// Stable ids deleted from this source but still physically present in
+  /// it (masked out during the merge). nullptr = none.
+  const std::unordered_set<uint32_t>* tombstones = nullptr;
+};
+
+/// Merges per-source exact KNN results — frozen base shards plus delta
+/// buffers — into the exact global top-k over the union of the sources'
+/// *live* points, with neighbor indices remapped to stable ids.
+///
+/// Exactness requires each source's result to survive its own masking:
+/// a source with t tombstoned rows must be queried at k' >= k + t, so
+/// that after dropping the (at most t) dead entries it still contributes
+/// its top-k live points. Every live global top-k point then appears in
+/// exactly one source's surviving list, and the k smallest of the pooled
+/// survivors under NeighborLess on (distance, stable id) are exactly the
+/// global top-k; since every id_map is strictly increasing, that order
+/// is the one a cold-built index over the live points in ascending-id
+/// order would produce — the merged rows are bit-identical to it.
+KnnResult MergeMutableResults(const std::vector<MergeSource>& sources,
+                              int k);
 
 /// Accumulates one shard's run stats into a service-level aggregate:
 /// work counters (distance_calcs, total_pairs) and landmark counts add;

@@ -1,0 +1,188 @@
+#include "core/sweet_knn.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/shard_merge.h"
+
+namespace sweetknn {
+
+SweetKnnIndex::SweetKnnIndex(const HostMatrix& target,
+                             const SweetKnn::Config& config)
+    : config_(config),
+      device_(std::make_unique<gpusim::Device>(config.device)),
+      engine_(std::make_unique<core::TiKnnEngine>(device_.get(),
+                                                  config.options)),
+      dims_(target.cols()),
+      base_rows_(target.rows()),
+      next_id_(static_cast<uint32_t>(target.rows())) {
+  engine_->PrepareTarget(target);
+  delta_.dims = dims_;
+}
+
+SweetKnnIndex::SweetKnnIndex(WarmStartTag, const HostMatrix& target,
+                             const core::TargetClusteringHost& clustering,
+                             const SweetKnn::Config& config)
+    : config_(config),
+      device_(std::make_unique<gpusim::Device>(config.device)),
+      engine_(std::make_unique<core::TiKnnEngine>(device_.get(),
+                                                  config.options)),
+      dims_(target.cols()),
+      base_rows_(target.rows()),
+      next_id_(static_cast<uint32_t>(target.rows())) {
+  engine_->RestoreTarget(target, clustering);
+  delta_.dims = dims_;
+}
+
+void SweetKnnIndex::AdoptOverlay(std::vector<uint32_t> id_map,
+                                 std::vector<uint32_t> delta_ids,
+                                 std::vector<float> delta_points,
+                                 const std::vector<uint32_t>& tombstones,
+                                 uint32_t next_id) {
+  id_map_ = std::move(id_map);
+  SK_CHECK(id_map_.empty() || id_map_.size() == base_rows_);
+  delta_.ids = std::move(delta_ids);
+  delta_.points = std::move(delta_points);
+  SK_CHECK_EQ(delta_.points.size(), delta_.ids.size() * dims_);
+  delta_.tombstones.clear();
+  delta_.tombstones.insert(tombstones.begin(), tombstones.end());
+  if (next_id != 0) {
+    next_id_ = next_id;
+  }
+  SK_CHECK_GE(next_id_, base_rows_ == 0 ? 0u : BaseId(base_rows_ - 1) + 1);
+  if (!delta_.ids.empty()) SK_CHECK_GT(next_id_, delta_.ids.back());
+}
+
+KnnResult SweetKnnIndex::Query(const HostMatrix& queries, int k,
+                               core::KnnRunStats* stats) {
+  SK_CHECK_EQ(queries.cols(), dims_);
+  if (pristine()) {
+    return engine_->RunQueries(queries, k, stats);
+  }
+  // Over-query the frozen base so tombstone masking can never leave a
+  // row short of k live candidates.
+  const int base_k = k + static_cast<int>(delta_.tombstones.size());
+  const KnnResult base = engine_->RunQueries(queries, base_k, stats);
+  std::vector<core::MergeSource> sources;
+  core::MergeSource base_src;
+  base_src.result = &base;
+  base_src.id_map = id_map_.empty() ? nullptr : id_map_.data();
+  base_src.tombstones =
+      delta_.tombstones.empty() ? nullptr : &delta_.tombstones;
+  sources.push_back(base_src);
+  KnnResult delta_result;
+  if (delta_.size() > 0) {
+    delta_result = core::ScanDelta(delta_, queries, k,
+                                   config_.options.metric);
+    core::MergeSource delta_src;
+    delta_src.result = &delta_result;
+    delta_src.id_map = delta_.ids.data();
+    sources.push_back(delta_src);
+  }
+  return core::MergeMutableResults(sources, k);
+}
+
+std::vector<Neighbor> SweetKnnIndex::Query(const std::vector<float>& point,
+                                           int k) {
+  SK_CHECK_EQ(point.size(), dims_);
+  HostMatrix one(1, dims_);
+  std::memcpy(one.mutable_row(0), point.data(), dims_ * sizeof(float));
+  const KnnResult result = Query(one, k);
+  return std::vector<Neighbor>(result.row(0), result.row(0) + result.k());
+}
+
+uint32_t SweetKnnIndex::Insert(const std::vector<float>& point) {
+  SK_CHECK_EQ(point.size(), dims_);
+  const uint32_t id = next_id_++;
+  delta_.Append(id, point.data());
+  MaybeCompact();
+  return id;
+}
+
+bool SweetKnnIndex::BaseContains(uint32_t id) const {
+  if (id_map_.empty()) return id < base_rows_;
+  return std::binary_search(id_map_.begin(), id_map_.end(), id);
+}
+
+bool SweetKnnIndex::Remove(uint32_t id) {
+  const size_t pos = delta_.Find(id);
+  if (pos != core::DeltaBuffer::kNotFound) {
+    // Delta points were never clustered; erase in place.
+    delta_.EraseAt(pos);
+    return true;
+  }
+  if (!BaseContains(id) || delta_.tombstones.count(id) != 0) return false;
+  delta_.tombstones.insert(id);
+  MaybeCompact();
+  return true;
+}
+
+std::vector<uint32_t> SweetKnnIndex::LiveIds() const {
+  std::vector<uint32_t> live;
+  live.reserve(size());
+  for (size_t i = 0; i < base_rows_; ++i) {
+    const uint32_t id = BaseId(i);
+    if (delta_.tombstones.count(id) == 0) live.push_back(id);
+  }
+  // Every delta id exceeds every base id (ids are allocated monotonically
+  // and the delta postdates the base), so this stays ascending.
+  live.insert(live.end(), delta_.ids.begin(), delta_.ids.end());
+  return live;
+}
+
+void SweetKnnIndex::MaybeCompact() {
+  const double fraction = config_.compact_delta_fraction;
+  if (fraction <= 0.0) return;
+  const double overlay =
+      static_cast<double>(delta_.size() + delta_.tombstones.size());
+  if (overlay > fraction * static_cast<double>(base_rows_)) Compact();
+}
+
+void SweetKnnIndex::Compact() {
+  if (delta_.Pristine() && id_map_.empty()) return;
+  const size_t live = size();
+  if (live == 0) return;  // an empty base cannot be clustered; keep masking
+
+  const HostMatrix base_points = engine_->ExportTarget();
+  HostMatrix fresh(live, dims_);
+  std::vector<uint32_t> fresh_ids;
+  fresh_ids.reserve(live);
+  size_t out = 0;
+  for (size_t i = 0; i < base_rows_; ++i) {
+    const uint32_t id = BaseId(i);
+    if (delta_.tombstones.count(id) != 0) continue;
+    std::memcpy(fresh.mutable_row(out), base_points.row(i),
+                dims_ * sizeof(float));
+    fresh_ids.push_back(id);
+    ++out;
+  }
+  for (size_t i = 0; i < delta_.size(); ++i) {
+    std::memcpy(fresh.mutable_row(out), delta_.point(i),
+                dims_ * sizeof(float));
+    fresh_ids.push_back(delta_.ids[i]);
+    ++out;
+  }
+  SK_CHECK_EQ(out, live);
+
+  // A fresh device, not a re-used one: the adaptive scheme reads free
+  // device memory, so rebuilding on the old device (with the old base
+  // still allocated) could cluster differently than a cold build.
+  device_ = std::make_unique<gpusim::Device>(config_.device);
+  engine_ =
+      std::make_unique<core::TiKnnEngine>(device_.get(), config_.options);
+  engine_->PrepareTarget(fresh);
+  base_rows_ = live;
+  // Normalize: ids 0..live-1 need no map (lets Save emit v1 again).
+  bool identity = true;
+  for (size_t i = 0; i < fresh_ids.size(); ++i) {
+    if (fresh_ids[i] != i) {
+      identity = false;
+      break;
+    }
+  }
+  id_map_ = identity ? std::vector<uint32_t>{} : std::move(fresh_ids);
+  delta_.Clear();
+  ++compactions_;
+}
+
+}  // namespace sweetknn

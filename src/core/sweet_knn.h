@@ -9,6 +9,7 @@
 #include "common/knn_result.h"
 #include "common/matrix.h"
 #include "common/status.h"
+#include "core/delta_overlay.h"
 #include "core/options.h"
 #include "core/ti_knn_gpu.h"
 #include "gpusim/device.h"
@@ -28,6 +29,10 @@ class SweetKnn {
   struct Config {
     gpusim::DeviceSpec device = gpusim::DeviceSpec::TeslaK20c();
     core::TiOptions options = core::TiOptions::Sweet();
+    /// SweetKnnIndex only: auto-compact when the overlay (delta points +
+    /// tombstones) exceeds this fraction of the base rows. <= 0 disables
+    /// auto-compaction (Compact() stays available).
+    double compact_delta_fraction = 0.25;
   };
 
   SweetKnn() : SweetKnn(Config{}) {}
@@ -70,76 +75,138 @@ class SweetKnn {
   core::TiOptions options_;
 };
 
-/// A prebuilt index over a fixed target set: the target-side clustering
-/// (the expensive part of Step 1) is built once, then arbitrary query
-/// batches run against it.
+/// A prebuilt index over a target set: the target-side clustering (the
+/// expensive part of Step 1) is built once, then arbitrary query batches
+/// run against it.
 ///
 ///   sweetknn::SweetKnnIndex index(gallery);
 ///   KnnResult r1 = index.Query(batch1, 10);
 ///   KnnResult r2 = index.Query(batch2, 10);
+///
+/// The target set is mutable: Insert/Remove buffer changes in a delta
+/// overlay (new points served by an exact brute-force side scan, deleted
+/// rows masked by stable id at merge time) without touching the frozen
+/// base, and Compact() — run automatically once the overlay exceeds
+/// Config::compact_delta_fraction of the base — folds the overlay into a
+/// freshly clustered base. Answers are exact at every point: a mutated
+/// index answers bit-identically to a cold-built index over the
+/// surviving point set arranged in ascending stable-id order (the
+/// mutation-differential fuzz suite proves this; docs/mutability.md has
+/// the argument).
+///
+/// Rows are named by stable ids: the initial target's rows get ids
+/// 0..rows-1, every Insert allocates the next id, and ids are never
+/// reused. Query results report stable ids.
+///
+/// Not thread-safe; serve::KnnService is the concurrent front-end.
 class SweetKnnIndex {
  public:
   explicit SweetKnnIndex(const HostMatrix& target,
-                         const SweetKnn::Config& config = {})
-      : device_(config.device), engine_(&device_, config.options) {
-    engine_.PrepareTarget(target);
-    dims_ = target.cols();
-    size_ = target.rows();
-  }
+                         const SweetKnn::Config& config = {});
 
   SweetKnnIndex(const SweetKnnIndex&) = delete;
   SweetKnnIndex& operator=(const SweetKnnIndex&) = delete;
 
-  /// The k nearest indexed points for every query row.
+  /// The k nearest live points for every query row, as stable ids. When
+  /// tombstones exist, the base engine is over-queried at
+  /// k + |tombstones| so that masking can never starve the top-k.
   KnnResult Query(const HostMatrix& queries, int k,
-                  core::KnnRunStats* stats = nullptr) {
-    return engine_.RunQueries(queries, k, stats);
-  }
+                  core::KnnRunStats* stats = nullptr);
 
   /// Single-point convenience.
-  std::vector<Neighbor> Query(const std::vector<float>& point, int k) {
-    SK_CHECK_EQ(point.size(), dims_);
-    HostMatrix one(1, dims_);
-    std::memcpy(one.mutable_row(0), point.data(), dims_ * sizeof(float));
-    const KnnResult result = Query(one, k);
-    return std::vector<Neighbor>(result.row(0), result.row(0) + result.k());
-  }
+  std::vector<Neighbor> Query(const std::vector<float>& point, int k);
 
-  /// Persists the prepared index (target points + target clustering +
+  /// Adds a point; returns its stable id. The point lands in the delta
+  /// buffer and is served exactly from the next Query on. May trigger
+  /// auto-compaction (see Config::compact_delta_fraction).
+  uint32_t Insert(const std::vector<float>& point);
+
+  /// Deletes the point with this stable id. Delta-resident points are
+  /// erased in place; base rows are tombstoned until the next
+  /// compaction. Returns false if the id was never live or already
+  /// removed. Removing every point is allowed — queries then answer all
+  /// padding. May trigger auto-compaction.
+  bool Remove(uint32_t id);
+
+  /// Folds the overlay into a fresh base: survivors of the old base plus
+  /// the delta points, arranged in ascending stable-id order, get a
+  /// from-scratch Step-1 clustering on a fresh simulated device (so the
+  /// adaptive scheme sees exactly the allocation state of a cold build).
+  /// No-op when the overlay is empty or no points survive.
+  void Compact();
+
+  /// Persists the index (target points + target clustering + overlay +
   /// configuration fingerprints) to `path` in the src/store snapshot
-  /// format. `dataset_name` is recorded as provenance. Defined in
-  /// src/store/index_io.cc; link sweetknn_store to use it.
+  /// format; a pristine (never-mutated) index writes the backward-
+  /// compatible v1 format, a mutated one v2. `dataset_name` is recorded
+  /// as provenance. Defined in src/store/index_io.cc; link
+  /// sweetknn_store to use it.
   Status Save(const std::string& path,
               const std::string& dataset_name = "") const;
 
-  /// Restores an index persisted by Save, skipping the Step-1 landmark
-  /// clustering. The snapshot must have been built under the same options
-  /// and device spec as `config` (fingerprint-checked); a warm-loaded
-  /// index answers every query bit-identically to a cold-built one.
-  /// Defined in src/store/index_io.cc; link sweetknn_store to use it.
+  /// Restores an index persisted by Save — including any delta/tombstone
+  /// overlay — skipping the Step-1 landmark clustering. The snapshot
+  /// must have been built under the same options and device spec as
+  /// `config` (fingerprint-checked); a warm-loaded index answers every
+  /// query bit-identically to the index that was saved. Defined in
+  /// src/store/index_io.cc; link sweetknn_store to use it.
   static Result<std::unique_ptr<SweetKnnIndex>> Load(
       const std::string& path, const SweetKnn::Config& config = {});
 
-  size_t size() const { return size_; }
+  /// Live points: base rows minus tombstones plus delta points.
+  size_t size() const {
+    return base_rows_ - delta_.tombstones.size() + delta_.size();
+  }
   size_t dims() const { return dims_; }
-  gpusim::Device& device() { return device_; }
-  const core::TiKnnEngine& engine() const { return engine_; }
+  /// Rows in the frozen TI-clustered base (including tombstoned ones).
+  size_t base_rows() const { return base_rows_; }
+  size_t delta_size() const { return delta_.size(); }
+  size_t tombstone_count() const { return delta_.tombstones.size(); }
+  /// The next stable id Insert will allocate.
+  uint32_t next_id() const { return next_id_; }
+  /// Compactions run so far (auto or manual).
+  uint64_t compactions() const { return compactions_; }
+  /// True when the index has no overlay and answers straight from the
+  /// base (a never-mutated or freshly compacted-to-identity index).
+  bool pristine() const { return delta_.Pristine() && id_map_.empty(); }
+  /// The live stable ids, ascending.
+  std::vector<uint32_t> LiveIds() const;
+
+  gpusim::Device& device() { return *device_; }
+  const core::TiKnnEngine& engine() const { return *engine_; }
 
  private:
   struct WarmStartTag {};
   SweetKnnIndex(WarmStartTag, const HostMatrix& target,
                 const core::TargetClusteringHost& clustering,
-                const SweetKnn::Config& config)
-      : device_(config.device), engine_(&device_, config.options) {
-    engine_.RestoreTarget(target, clustering);
-    dims_ = target.cols();
-    size_ = target.rows();
-  }
+                const SweetKnn::Config& config);
 
-  gpusim::Device device_;
-  core::TiKnnEngine engine_;
+  /// Installs a restored overlay (Load's v2 path). `id_map` empty means
+  /// identity; `next_id` 0 means pristine (base rows).
+  void AdoptOverlay(std::vector<uint32_t> id_map,
+                    std::vector<uint32_t> delta_ids,
+                    std::vector<float> delta_points,
+                    const std::vector<uint32_t>& tombstones,
+                    uint32_t next_id);
+
+  /// Stable id of base row `i`.
+  uint32_t BaseId(size_t i) const {
+    return id_map_.empty() ? static_cast<uint32_t>(i) : id_map_[i];
+  }
+  bool BaseContains(uint32_t id) const;
+  void MaybeCompact();
+
+  SweetKnn::Config config_;
+  std::unique_ptr<gpusim::Device> device_;
+  std::unique_ptr<core::TiKnnEngine> engine_;
   size_t dims_ = 0;
-  size_t size_ = 0;
+  size_t base_rows_ = 0;
+  /// Base row -> stable id, strictly increasing; empty = identity
+  /// (initial build, or a compaction that produced ids 0..rows-1).
+  std::vector<uint32_t> id_map_;
+  core::DeltaBuffer delta_;
+  uint32_t next_id_ = 0;
+  uint64_t compactions_ = 0;
 };
 
 }  // namespace sweetknn

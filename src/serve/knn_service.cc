@@ -4,6 +4,7 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <numeric>
 #include <utility>
 
 #include "common/logging.h"
@@ -39,6 +40,13 @@ void AccumulateStageTimes(const gpusim::Profile& profile, double* level1,
   }
 }
 
+/// Stable ids of one snapshot's base rows, in row order.
+uint32_t SnapshotBaseId(const store::IndexSnapshot& snap, size_t row) {
+  return snap.id_map.empty()
+             ? static_cast<uint32_t>(snap.shard_offset + row)
+             : snap.id_map[row];
+}
+
 }  // namespace
 
 KnnService::KnnService(const HostMatrix& target, const ServiceConfig& config)
@@ -48,6 +56,10 @@ KnnService::KnnService(const HostMatrix& target, const ServiceConfig& config)
   InitMetrics();
   const int num_shards = std::clamp(
       config_.num_shards, 1, static_cast<int>(target_rows_));
+  // config_ carries the effective count from here on: it is the one
+  // shard-count readable without index_mutex_ (the count never changes
+  // after construction; SwapIndex replaces shards, never their number).
+  config_.num_shards = num_shards;
 
   // Each shard simulates its own device, so the shard fan-out below is the
   // host-parallel axis. The shard engines are pinned to one execution
@@ -69,19 +81,29 @@ KnnService::KnnService(const HostMatrix& target, const ServiceConfig& config)
     slices.push_back(std::move(slice));
     auto shard = std::make_unique<Shard>(config_.device, shard_options);
     shard->offset = static_cast<uint32_t>(offset);
+    shard->set_base_rows(rows);
+    shard->delta.dims = dims_;
+    shard->epoch = ++epoch_counter_;
     shard_offsets_.push_back(static_cast<uint32_t>(offset));
     shards_.push_back(std::move(shard));
     offset += rows;
   }
+  // The constructor's rows carry stable ids 0..rows-1; Insert allocates
+  // upward from here.
+  next_id_ = static_cast<uint32_t>(target_rows_);
+
   // Warm start: restore the prepared indexes from the snapshot directory
   // if one is configured and its contents match this service exactly;
   // anything less falls back to the cold build below (correctness never
-  // depends on the snapshots).
+  // depends on the snapshots). Overlay (v2) sets are rejected here — the
+  // byte-compare below only makes sense for pristine indexes; mutated
+  // sets are adopted with FromSnapshots instead.
   std::vector<store::IndexSnapshot> snapshots;
   bool warm = false;
   if (!config_.snapshot_dir.empty()) {
     Result<std::vector<store::IndexSnapshot>> loaded =
-        LoadShardSet(config_.snapshot_dir, num_shards, config_, dims_);
+        LoadShardSet(config_.snapshot_dir, num_shards, config_, dims_,
+                     /*allow_overlay=*/false);
     if (loaded.ok()) {
       snapshots = std::move(loaded).value();
       warm = true;
@@ -120,10 +142,48 @@ KnnService::KnnService(const HostMatrix& target, const ServiceConfig& config)
   });
   if (warm) stats_.warm_started_shards = static_cast<uint64_t>(num_shards);
 
-  dispatcher_ = std::thread(&KnnService::DispatchLoop, this);
+  UpdateOverlayGauges();
+  StartThreads();
+}
+
+KnnService::KnnService(AdoptTag, std::vector<store::IndexSnapshot> snapshots,
+                       const ServiceConfig& config)
+    : config_(config), dims_(snapshots[0].target.cols()) {
+  SK_CHECK_GT(config_.max_batch_size, 0);
+  config_.num_shards = static_cast<int>(snapshots.size());
+  InitMetrics();
+  ShardSet set = BuildShardsFromSnapshots(std::move(snapshots));
+  for (std::unique_ptr<Shard>& shard : set.shards) {
+    shard->epoch = ++epoch_counter_;
+  }
+  shards_ = std::move(set.shards);
+  shard_offsets_ = std::move(set.offsets);
+  target_rows_ = set.live_rows;
+  next_id_ = set.next_id;
+  UpdateOverlayGauges();
+  StartThreads();
+}
+
+Result<std::unique_ptr<KnnService>> KnnService::FromSnapshots(
+    const std::string& dir, const ServiceConfig& config) {
+  Result<std::vector<std::string>> listed = store::ListShardSnapshots(dir);
+  if (!listed.ok()) return listed.status();
+  const int num_shards = static_cast<int>(listed.value().size());
+  Result<std::vector<store::IndexSnapshot>> loaded = LoadShardSet(
+      dir, num_shards, config, /*dims=*/0, /*allow_overlay=*/true);
+  if (!loaded.ok()) return loaded.status();
+  return std::unique_ptr<KnnService>(
+      new KnnService(AdoptTag{}, std::move(loaded).value(), config));
 }
 
 KnnService::~KnnService() { Shutdown(); }
+
+void KnnService::StartThreads() {
+  dispatcher_ = std::thread(&KnnService::DispatchLoop, this);
+  if (config_.auto_compact) {
+    compactor_ = std::thread(&KnnService::CompactorLoop, this);
+  }
+}
 
 void KnnService::InitMetrics() {
   const std::vector<double> latency = common::LatencyBucketsSeconds();
@@ -149,7 +209,8 @@ void KnnService::InitMetrics() {
       "sweetknn_cache_hits_total", "Result-cache hits");
   m_cache_stale_drops_ = metrics_.GetCounter(
       "sweetknn_cache_stale_drops_total",
-      "Cache inserts dropped because an index swap completed first");
+      "Cache inserts dropped because a swap, mutation, or compaction "
+      "completed first");
   m_index_swaps_ = metrics_.GetCounter(
       "sweetknn_index_swaps_total", "Completed SwapIndex calls");
   m_distance_calcs_ = metrics_.GetCounter(
@@ -189,6 +250,26 @@ void KnnService::InitMetrics() {
   m_placement_registers_ = metrics_.GetCounter(
       "sweetknn_adaptive_placement_registers_total",
       "Shard runs with the kNearests array in registers");
+  m_inserts_ = metrics_.GetCounter(
+      "sweetknn_inserts_total", "Points admitted through Insert/InsertBatch");
+  m_removes_ = metrics_.GetCounter(
+      "sweetknn_removes_total", "Successful Remove calls");
+  m_remove_misses_ = metrics_.GetCounter(
+      "sweetknn_remove_misses_total",
+      "Remove calls naming an unknown or already-removed id");
+  m_compactions_ = metrics_.GetCounter(
+      "sweetknn_compactions_total",
+      "Shard compactions installed (background or explicit)");
+  m_compaction_aborts_ = metrics_.GetCounter(
+      "sweetknn_compaction_aborts_total",
+      "Compactions abandoned because a swap superseded the shard");
+  m_compacted_rows_ = metrics_.GetCounter(
+      "sweetknn_compacted_rows_total",
+      "Rows clustered into fresh bases by compactions");
+  m_compaction_seconds_ = metrics_.GetHistogram(
+      "sweetknn_compaction_seconds",
+      "Host wall-clock of one shard compaction (capture to install)",
+      latency);
   m_threads_per_query_ = metrics_.GetHistogram(
       "sweetknn_adaptive_threads_per_query",
       "Threads cooperating on one query, per shard run",
@@ -217,9 +298,24 @@ void KnnService::InitMetrics() {
       "sweetknn_peak_queue_depth", "Admission-queue high-water mark");
   m_index_generation_ = metrics_.GetGauge(
       "sweetknn_index_generation", "Live index generation (SwapIndex count)");
+  m_delta_points_ = metrics_.GetGauge(
+      "sweetknn_delta_points",
+      "Current delta-buffered points, summed over shards");
+  m_tombstones_ = metrics_.GetGauge(
+      "sweetknn_tombstones", "Current tombstoned ids, summed over shards");
+  m_live_rows_ = metrics_.GetGauge(
+      "sweetknn_live_rows",
+      "Live target rows: base minus tombstones plus delta");
 }
 
 void KnnService::Shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(compact_mutex_);
+    compactor_stop_ = true;
+  }
+  compact_cv_.notify_all();
+  if (compactor_.joinable()) compactor_.join();
   queue_.Close();
   if (dispatcher_.joinable()) dispatcher_.join();
 }
@@ -257,10 +353,10 @@ Result<std::vector<Neighbor>> KnnService::Search(
   SK_CHECK_EQ(query_point.size(), dims_);
   SK_CHECK_GT(k, 0);
   const SteadyClock::time_point start = SteadyClock::now();
-  // Captured before the answer is computed: if a SwapIndex completes
-  // while this request is in flight, the insert below must be dropped.
-  const uint64_t generation =
-      index_generation_.load(std::memory_order_acquire);
+  // Captured before the answer is computed: if a swap, mutation, or
+  // compaction completes while this request is in flight, the cache
+  // insert below must be dropped.
+  const uint64_t epoch = cache_epoch_.load(std::memory_order_acquire);
   std::string key;
   if (config_.cache_capacity > 0) {
     key = CacheKey(query_point.data(), dims_, k);
@@ -288,7 +384,7 @@ Result<std::vector<Neighbor>> KnnService::Search(
   std::vector<Neighbor> neighbors(result.row(0), result.row(0) + result.k());
   if (config_.cache_capacity > 0) {
     if (pre_cache_insert_hook_) pre_cache_insert_hook_();
-    CacheInsert(key, neighbors, generation);
+    CacheInsert(key, neighbors, epoch);
   }
   return neighbors;
 }
@@ -304,6 +400,112 @@ Result<KnnResult> KnnService::JoinBatch(const HostMatrix& queries, int k) {
   Result<std::future<KnnResult>> submitted = Submit(std::move(request));
   if (!submitted.ok()) return submitted.status();
   return submitted.value().get();
+}
+
+Result<uint32_t> KnnService::Insert(const std::vector<float>& point) {
+  SK_CHECK_EQ(point.size(), dims_);
+  HostMatrix one(1, dims_);
+  std::memcpy(one.mutable_data(), point.data(), dims_ * sizeof(float));
+  Result<std::vector<uint32_t>> ids = InsertBatch(one);
+  if (!ids.ok()) return ids.status();
+  return ids.value()[0];
+}
+
+Result<std::vector<uint32_t>> KnnService::InsertBatch(
+    const HostMatrix& points) {
+  SK_CHECK(!points.empty());
+  SK_CHECK_EQ(points.cols(), dims_);
+  std::vector<uint32_t> ids;
+  ids.reserve(points.rows());
+  {
+    std::lock_guard<std::mutex> index_lock(index_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      return Status::Unavailable(
+          "KnnService is shut down; insert rejected");
+    }
+    for (size_t r = 0; r < points.rows(); ++r) {
+      const uint32_t id = next_id_++;
+      Shard& shard =
+          *shards_[id % static_cast<uint32_t>(shards_.size())];
+      shard.delta.Append(id, points.row(r));
+      ids.push_back(id);
+      ++target_rows_;
+    }
+    BumpCacheEpochLocked();
+    UpdateOverlayGauges();
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      MaybeScheduleCompaction(*shard);
+    }
+  }
+  ClearCache();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.inserts += ids.size();
+  }
+  m_inserts_->Increment(static_cast<double>(ids.size()));
+  return ids;
+}
+
+Result<bool> KnnService::Remove(uint32_t id) {
+  bool removed = false;
+  {
+    std::lock_guard<std::mutex> index_lock(index_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      return Status::Unavailable(
+          "KnnService is shut down; remove rejected");
+    }
+    const int s = OwningShard(id);
+    if (s >= 0) {
+      Shard& shard = *shards_[static_cast<size_t>(s)];
+      if (shard.delta.tombstones.count(id) == 0) {
+        const size_t pos = shard.delta.Find(id);
+        if (pos == core::DeltaBuffer::kNotFound ||
+            (shard.compact_watermark != kNoCompaction &&
+             pos < shard.compact_watermark)) {
+          // A base point, or a delta entry an in-flight compaction has
+          // already consumed (the rebuild contains it): mask it. Erasing
+          // a consumed entry would resurrect the point at install.
+          shard.delta.tombstones.insert(id);
+        } else {
+          shard.delta.EraseAt(pos);
+        }
+        removed = true;
+        --target_rows_;
+        BumpCacheEpochLocked();
+        UpdateOverlayGauges();
+        MaybeScheduleCompaction(shard);
+      }
+    }
+  }
+  if (removed) ClearCache();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (removed) {
+      ++stats_.removes;
+    } else {
+      ++stats_.remove_misses;
+    }
+  }
+  (removed ? m_removes_ : m_remove_misses_)->Increment();
+  return removed;
+}
+
+int KnnService::OwningShard(uint32_t id) const {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    if (shard.delta.Find(id) != core::DeltaBuffer::kNotFound) {
+      return static_cast<int>(s);
+    }
+    if (shard.id_map.empty()) {
+      if (id >= shard.offset && id < shard.offset + shard.base_rows()) {
+        return static_cast<int>(s);
+      }
+    } else if (std::binary_search(shard.id_map.begin(), shard.id_map.end(),
+                                  id)) {
+      return static_cast<int>(s);
+    }
+  }
+  return -1;
 }
 
 void KnnService::DispatchLoop() {
@@ -368,24 +570,75 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
     row += request->num_rows;
   }
 
-  // The whole group runs against one index generation: a concurrent
-  // SwapIndex waits here (or we wait for it), so no request's rows can
-  // straddle a swap.
+  // The whole group runs against one index state: a concurrent
+  // SwapIndex, mutation, or compaction install waits here (or we wait
+  // for it), so no request's rows can straddle an index change.
   std::lock_guard<std::mutex> index_lock(index_mutex_);
   const int num_shards = static_cast<int>(shards_.size());
+  bool all_pristine = true;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    if (!shard->Pristine()) {
+      all_pristine = false;
+      break;
+    }
+  }
+
   std::vector<KnnResult> shard_results(static_cast<size_t>(num_shards));
+  std::vector<KnnResult> delta_results(static_cast<size_t>(num_shards));
   std::vector<core::KnnRunStats> shard_stats(
       static_cast<size_t>(num_shards));
   const SteadyClock::time_point fanout_start = SteadyClock::now();
-  common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
-    const auto idx = static_cast<size_t>(s);
-    shard_results[idx] =
-        shards_[idx]->engine.RunQueries(queries, k, &shard_stats[idx]);
-  });
+  if (all_pristine) {
+    common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
+      const auto idx = static_cast<size_t>(s);
+      shard_results[idx] =
+          shards_[idx]->engine.RunQueries(queries, k, &shard_stats[idx]);
+    });
+  } else {
+    // Mutated path: each shard's frozen base is over-queried at
+    // k + |tombstones| (masking can then never starve the top k) and its
+    // delta points are answered by the exact CPU side scan; the merge
+    // applies the tombstone masks and re-ranks by (distance, stable id).
+    // The delta scan contributes no simulated device time — it models
+    // host-side work the GPU index never sees.
+    common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
+      const auto idx = static_cast<size_t>(s);
+      const Shard& shard = *shards_[idx];
+      const int base_k =
+          k + static_cast<int>(shard.delta.tombstones.size());
+      shard_results[idx] =
+          shards_[idx]->engine.RunQueries(queries, base_k,
+                                          &shard_stats[idx]);
+      delta_results[idx] =
+          core::ScanDelta(shard.delta, queries, k, config_.options.metric);
+    });
+  }
   const SteadyClock::time_point merge_start = SteadyClock::now();
   m_shard_fanout_->Observe(SecondsBetween(fanout_start, merge_start));
-  const KnnResult merged =
-      core::MergeShardResults(shard_results, shard_offsets_, k);
+  KnnResult merged;
+  if (all_pristine) {
+    merged = core::MergeShardResults(shard_results, shard_offsets_, k);
+  } else {
+    std::vector<core::MergeSource> sources;
+    for (int s = 0; s < num_shards; ++s) {
+      const auto idx = static_cast<size_t>(s);
+      const Shard& shard = *shards_[idx];
+      core::MergeSource base;
+      base.result = &shard_results[idx];
+      base.id_map = shard.id_map.empty() ? nullptr : shard.id_map.data();
+      base.offset = shard.offset;
+      base.tombstones =
+          shard.delta.tombstones.empty() ? nullptr : &shard.delta.tombstones;
+      sources.push_back(base);
+      if (shard.delta.size() > 0) {
+        core::MergeSource delta;
+        delta.result = &delta_results[idx];
+        delta.id_map = shard.delta.ids.data();
+        sources.push_back(delta);
+      }
+    }
+    merged = core::MergeMutableResults(sources, k);
+  }
   m_merge_->Observe(SecondsBetween(merge_start, SteadyClock::now()));
 
   RecordGroupStats(shard_stats, rows);
@@ -455,9 +708,221 @@ void KnnService::RecordGroupStats(
   m_sim_preprocess_->Increment(preprocess);
 }
 
+// ---------------------------------------------------------------------------
+// Compaction
+// ---------------------------------------------------------------------------
+
+bool KnnService::OverThreshold(const Shard& shard) const {
+  if (config_.compact_delta_fraction <= 0.0) return false;
+  const size_t overlay = shard.delta.size() + shard.delta.tombstones.size();
+  if (overlay == 0) return false;
+  return static_cast<double>(overlay) >
+         config_.compact_delta_fraction *
+             static_cast<double>(std::max<size_t>(shard.base_rows(), 1));
+}
+
+void KnnService::MaybeScheduleCompaction(const Shard& shard) {
+  if (!config_.auto_compact) return;
+  if (shard.compact_watermark != kNoCompaction) return;
+  if (!OverThreshold(shard)) return;
+  {
+    std::lock_guard<std::mutex> lock(compact_mutex_);
+    compact_pending_ = true;
+  }
+  compact_cv_.notify_one();
+}
+
+int KnnService::PickCompactionCandidate() {
+  std::lock_guard<std::mutex> index_lock(index_mutex_);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    if (shard.compact_watermark == kNoCompaction && OverThreshold(shard) &&
+        shard.live_rows() > 0) {
+      return static_cast<int>(s);
+    }
+  }
+  return -1;
+}
+
+void KnnService::CompactorLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(compact_mutex_);
+      compact_cv_.wait(lock,
+                       [this] { return compact_pending_ || compactor_stop_; });
+      if (compactor_stop_) return;
+      compact_pending_ = false;
+    }
+    // Drain every over-threshold shard, one rebuild at a time; serving
+    // continues throughout (the index lock is only held for the capture
+    // and the install).
+    for (;;) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      const int candidate = PickCompactionCandidate();
+      if (candidate < 0) break;
+      // An abort (epoch superseded by a swap) is already counted; any
+      // other status here would be a logic error worth the log line.
+      const Status status = CompactShardInternal(candidate);
+      if (!status.ok() && status.code() != StatusCode::kUnavailable) {
+        SK_LOG(Warning) << "KnnService: background compaction of shard "
+                        << candidate << " failed: " << status.ToString();
+        break;
+      }
+    }
+  }
+}
+
+Status KnnService::CompactShard(int shard) {
+  SK_CHECK_GE(shard, 0);
+  // The shard count is fixed at construction (SwapIndex replaces the
+  // shards but never their number); checking config_ avoids touching
+  // shards_ outside index_mutex_.
+  SK_CHECK_LT(shard, config_.num_shards);
+  return CompactShardInternal(shard);
+}
+
+Status KnnService::CompactAll() {
+  const int num_shards = config_.num_shards;
+  for (int s = 0; s < num_shards; ++s) {
+    SK_RETURN_IF_ERROR(CompactShardInternal(s));
+  }
+  return Status::Ok();
+}
+
+Status KnnService::CompactShardInternal(int s) {
+  const SteadyClock::time_point start = SteadyClock::now();
+  CompactionPlan plan;
+  // Capture: everything the rebuild needs, snapshotted under the index
+  // lock. The consumed prefix is delta[0..watermark); entries appended
+  // after the capture stay in the suffix and carry over untouched.
+  {
+    std::lock_guard<std::mutex> index_lock(index_mutex_);
+    Shard& shard = *shards_[static_cast<size_t>(s)];
+    if (shard.compact_watermark != kNoCompaction) {
+      return Status::Unavailable(
+          "shard " + std::to_string(s) +
+          " already has a compaction in flight");
+    }
+    if (shard.delta.Pristine()) return Status::Ok();  // nothing to fold
+    if (shard.live_rows() == 0) {
+      // Every point removed: an empty base cannot be clustered. The
+      // overlay stays as is; queries keep answering all padding.
+      return Status::Ok();
+    }
+    plan.shard = s;
+    plan.epoch = shard.epoch;
+    plan.watermark = shard.delta.size();
+    plan.captured_tombstones = shard.delta.tombstones;
+    shard.compact_watermark = plan.watermark;
+
+    // The new base: base survivors, then consumed live delta entries —
+    // ascending stable-id order, because every delta id postdates (and
+    // exceeds) every base id of its shard.
+    const HostMatrix base = shard.engine.ExportTarget();
+    std::vector<size_t> base_survivors;
+    for (size_t i = 0; i < base.rows(); ++i) {
+      if (plan.captured_tombstones.count(shard.BaseId(i)) == 0) {
+        base_survivors.push_back(i);
+      }
+    }
+    std::vector<size_t> delta_survivors;
+    for (size_t j = 0; j < plan.watermark; ++j) {
+      if (plan.captured_tombstones.count(shard.delta.ids[j]) == 0) {
+        delta_survivors.push_back(j);
+      }
+    }
+    plan.points =
+        HostMatrix(base_survivors.size() + delta_survivors.size(), dims_);
+    plan.ids.reserve(plan.points.rows());
+    size_t out = 0;
+    for (size_t i : base_survivors) {
+      std::memcpy(plan.points.mutable_row(out++), base.row(i),
+                  dims_ * sizeof(float));
+      plan.ids.push_back(shard.BaseId(i));
+    }
+    for (size_t j : delta_survivors) {
+      std::memcpy(plan.points.mutable_row(out++), shard.delta.point(j),
+                  dims_ * sizeof(float));
+      plan.ids.push_back(shard.delta.ids[j]);
+    }
+  }
+
+  // Rebuild off-lock: a fresh simulated device (so the adaptive scheme
+  // sees the same free memory a cold build would) and a full Step-1
+  // clustering over the captured points. Serving continues against the
+  // old shard the whole time.
+  core::TiOptions shard_options = config_.options;
+  shard_options.sim_threads = 1;
+  auto fresh = std::make_unique<Shard>(config_.device, shard_options);
+  fresh->engine.PrepareTarget(plan.points);
+  fresh->set_base_rows(plan.points.rows());
+  fresh->delta.dims = dims_;
+  const bool identity =
+      !plan.ids.empty() && plan.ids.front() == 0 &&
+      plan.ids.back() == static_cast<uint32_t>(plan.ids.size()) - 1;
+  if (identity) {
+    fresh->offset = 0;  // ids are literally 0..n-1: back to pristine form
+  } else {
+    fresh->id_map = plan.ids;
+    fresh->offset = 0;  // unused once an explicit id map is set
+  }
+
+  // Install: only if the shard we captured from is still the live one
+  // (a SwapIndex assigns fresh epochs, orphaning this rebuild).
+  std::unique_ptr<Shard> retired;
+  {
+    std::lock_guard<std::mutex> index_lock(index_mutex_);
+    if (static_cast<size_t>(s) >= shards_.size() ||
+        shards_[static_cast<size_t>(s)]->epoch != plan.epoch) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.compaction_aborts;
+      }
+      m_compaction_aborts_->Increment();
+      return Status::Unavailable(
+          "shard " + std::to_string(s) +
+          " was replaced while its compaction ran; rebuild discarded");
+    }
+    Shard& old = *shards_[static_cast<size_t>(s)];
+    // Mutations that landed during the rebuild carry over: the delta
+    // suffix verbatim (its entries are never tombstoned — removes past
+    // the watermark erase physically), and removes of captured rows as
+    // tombstones of the new base.
+    for (size_t j = plan.watermark; j < old.delta.size(); ++j) {
+      fresh->delta.Append(old.delta.ids[j], old.delta.point(j));
+    }
+    for (uint32_t id : old.delta.tombstones) {
+      if (plan.captured_tombstones.count(id) == 0) {
+        fresh->delta.tombstones.insert(id);
+      }
+    }
+    fresh->epoch = ++epoch_counter_;
+    shards_[static_cast<size_t>(s)].swap(fresh);
+    shard_offsets_[static_cast<size_t>(s)] =
+        shards_[static_cast<size_t>(s)]->offset;
+    retired = std::move(fresh);
+    BumpCacheEpochLocked();
+    UpdateOverlayGauges();
+  }
+  retired.reset();  // the old engine dies here, off the serving path
+  ClearCache();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.compactions;
+  }
+  m_compactions_->Increment();
+  m_compacted_rows_->Increment(static_cast<double>(plan.points.rows()));
+  m_compaction_seconds_->Observe(SecondsBetween(start, SteadyClock::now()));
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
 Result<std::vector<store::IndexSnapshot>> KnnService::LoadShardSet(
     const std::string& dir, int num_shards, const ServiceConfig& config,
-    size_t dims) {
+    size_t dims, bool allow_overlay) {
   Result<std::vector<std::string>> listed = store::ListShardSnapshots(dir);
   if (!listed.ok()) return listed.status();
   if (static_cast<int>(listed.value().size()) != num_shards) {
@@ -485,7 +950,7 @@ Result<std::vector<store::IndexSnapshot>> KnnService::LoadShardSet(
 
   const std::string want_options = store::OptionsFingerprint(config.options);
   const std::string want_device = store::DeviceFingerprint(config.device);
-  uint64_t next_offset = 0;
+  bool any_overlay = false;
   for (int s = 0; s < num_shards; ++s) {
     const auto idx = static_cast<size_t>(s);
     SK_RETURN_IF_ERROR(statuses[idx]);
@@ -499,6 +964,7 @@ Result<std::vector<store::IndexSnapshot>> KnnService::LoadShardSet(
           "-of-" + std::to_string(snap.shard_count) + ", expected " +
           std::to_string(s) + "-of-" + std::to_string(num_shards));
     }
+    if (dims == 0) dims = snapshots[0].target.cols();
     if (snap.target.cols() != dims) {
       return Status::InvalidArgument(
           where + " holds " + std::to_string(snap.target.cols()) +
@@ -517,15 +983,91 @@ Result<std::vector<store::IndexSnapshot>> KnnService::LoadShardSet(
           snap.device_fingerprint + "], this service is [" + want_device +
           "]");
     }
-    if (snap.shard_offset != next_offset) {
-      return Status::InvalidArgument(
-          where + " starts at global row " +
-          std::to_string(snap.shard_offset) + ", expected " +
-          std::to_string(next_offset) + " (shards must tile the target)");
+    if (snap.HasOverlay()) {
+      if (!allow_overlay) {
+        return Status::InvalidArgument(
+            where + " carries a mutation overlay; adopt mutated snapshot "
+            "sets with KnnService::FromSnapshots");
+      }
+      any_overlay = true;
     }
-    next_offset += snap.target.rows();
+  }
+
+  if (!any_overlay) {
+    // Pristine sets must tile the target: shard s's rows are global rows
+    // [offset, offset + rows).
+    uint64_t next_offset = 0;
+    for (int s = 0; s < num_shards; ++s) {
+      const store::IndexSnapshot& snap = snapshots[static_cast<size_t>(s)];
+      if (snap.shard_offset != next_offset) {
+        return Status::InvalidArgument(
+            store::ShardSnapshotPath(dir, s, num_shards) +
+            " starts at global row " + std::to_string(snap.shard_offset) +
+            ", expected " + std::to_string(next_offset) +
+            " (shards must tile the target)");
+      }
+      next_offset += snap.target.rows();
+    }
+  } else {
+    // Mutated sets no longer tile; what must hold instead is that every
+    // stable id — base (tombstoned or not) and delta — lives in exactly
+    // one shard.
+    std::vector<uint32_t> all_ids;
+    for (const store::IndexSnapshot& snap : snapshots) {
+      for (size_t i = 0; i < snap.target.rows(); ++i) {
+        all_ids.push_back(SnapshotBaseId(snap, i));
+      }
+      all_ids.insert(all_ids.end(), snap.delta_ids.begin(),
+                     snap.delta_ids.end());
+    }
+    std::sort(all_ids.begin(), all_ids.end());
+    const auto dup = std::adjacent_find(all_ids.begin(), all_ids.end());
+    if (dup != all_ids.end()) {
+      return Status::InvalidArgument(
+          dir + ": stable id " + std::to_string(*dup) +
+          " appears in more than one shard snapshot");
+    }
   }
   return snapshots;
+}
+
+KnnService::ShardSet KnnService::BuildShardsFromSnapshots(
+    std::vector<store::IndexSnapshot> snapshots) const {
+  core::TiOptions shard_options = config_.options;
+  shard_options.sim_threads = 1;
+  const int num_shards = static_cast<int>(snapshots.size());
+  ShardSet set;
+  set.next_id = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    const auto idx = static_cast<size_t>(s);
+    store::IndexSnapshot& snap = snapshots[idx];
+    auto shard = std::make_unique<Shard>(config_.device, shard_options);
+    shard->offset = static_cast<uint32_t>(snap.shard_offset);
+    shard->set_base_rows(snap.target.rows());
+    shard->id_map = snap.id_map;
+    shard->delta.dims = snap.target.cols();
+    shard->delta.ids = snap.delta_ids;
+    shard->delta.points = snap.delta_points.storage();
+    shard->delta.tombstones.insert(snap.tombstones.begin(),
+                                   snap.tombstones.end());
+    set.live_rows += shard->live_rows();
+    // The id allocator restarts strictly above every id any shard knows
+    // (file next_ids already satisfy that; pristine shards contribute
+    // their last base id).
+    uint32_t ceiling = shard->BaseId(snap.target.rows() - 1) + 1;
+    if (!snap.delta_ids.empty()) {
+      ceiling = std::max(ceiling, snap.delta_ids.back() + 1);
+    }
+    set.next_id = std::max({set.next_id, snap.next_id, ceiling});
+    set.offsets.push_back(shard->offset);
+    set.shards.push_back(std::move(shard));
+  }
+  common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
+    const auto idx = static_cast<size_t>(s);
+    set.shards[idx]->engine.RestoreTarget(snapshots[idx].target,
+                                          snapshots[idx].clustering);
+  });
+  return set;
 }
 
 store::IndexSnapshot KnnService::ExportShard(int s) const {
@@ -540,6 +1082,33 @@ store::IndexSnapshot KnnService::ExportShard(int s) const {
   snap.clustering = shard.engine.ExportTargetClustering();
   snap.options_fingerprint = store::OptionsFingerprint(config_.options);
   snap.device_fingerprint = store::DeviceFingerprint(config_.device);
+  if (!shard.Pristine()) {
+    snap.id_map = shard.id_map;
+    // Normalization: a tombstoned delta entry (the transient state of a
+    // remove that hit a compaction-consumed row) is simply dead — the
+    // snapshot drops both the entry and its tombstone, restoring the
+    // file invariant that tombstones name base rows only.
+    for (size_t j = 0; j < shard.delta.size(); ++j) {
+      if (shard.delta.tombstones.count(shard.delta.ids[j]) == 0) {
+        snap.delta_ids.push_back(shard.delta.ids[j]);
+      }
+    }
+    snap.delta_points = HostMatrix(snap.delta_ids.size(), dims_);
+    size_t out = 0;
+    for (size_t j = 0; j < shard.delta.size(); ++j) {
+      if (shard.delta.tombstones.count(shard.delta.ids[j]) == 0) {
+        std::memcpy(snap.delta_points.mutable_row(out++),
+                    shard.delta.point(j), dims_ * sizeof(float));
+      }
+    }
+    for (uint32_t id : shard.delta.tombstones) {
+      if (shard.delta.Find(id) == core::DeltaBuffer::kNotFound) {
+        snap.tombstones.push_back(id);
+      }
+    }
+    std::sort(snap.tombstones.begin(), snap.tombstones.end());
+    snap.next_id = next_id_;
+  }
   return snap;
 }
 
@@ -560,53 +1129,44 @@ Status KnnService::SaveSnapshots(const std::string& dir) {
 }
 
 Status KnnService::SwapIndex(const std::string& dir) {
-  const int num_shards = static_cast<int>(shards_.size());
+  // shards_ itself is index_mutex_ territory; the fixed count is not.
+  const int num_shards = config_.num_shards;
   Result<std::vector<store::IndexSnapshot>> loaded =
-      LoadShardSet(dir, num_shards, config_, dims_);
+      LoadShardSet(dir, num_shards, config_, dims_, /*allow_overlay=*/true);
   if (!loaded.ok()) return loaded.status();
-  std::vector<store::IndexSnapshot>& snapshots = loaded.value();
 
   // Re-materialize the replacement generation off to the side; the live
   // index keeps serving while this runs.
-  core::TiOptions shard_options = config_.options;
-  shard_options.sim_threads = 1;
-  std::vector<std::unique_ptr<Shard>> fresh;
-  std::vector<uint32_t> fresh_offsets;
-  size_t total_rows = 0;
-  for (int s = 0; s < num_shards; ++s) {
-    const auto idx = static_cast<size_t>(s);
-    auto shard = std::make_unique<Shard>(config_.device, shard_options);
-    shard->offset = static_cast<uint32_t>(snapshots[idx].shard_offset);
-    fresh_offsets.push_back(shard->offset);
-    total_rows += snapshots[idx].target.rows();
-    fresh.push_back(std::move(shard));
-  }
-  common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
-    const auto idx = static_cast<size_t>(s);
-    fresh[idx]->engine.RestoreTarget(snapshots[idx].target,
-                                     snapshots[idx].clustering);
-  });
+  ShardSet set = BuildShardsFromSnapshots(std::move(loaded).value());
 
   {
     std::lock_guard<std::mutex> index_lock(index_mutex_);
-    shards_.swap(fresh);
-    shard_offsets_ = std::move(fresh_offsets);
-    target_rows_ = total_rows;
+    // Fresh epochs orphan every compaction captured against the old
+    // generation: its install will see a mismatch and discard itself.
+    for (std::unique_ptr<Shard>& shard : set.shards) {
+      shard->epoch = ++epoch_counter_;
+    }
+    shards_.swap(set.shards);
+    shard_offsets_ = std::move(set.offsets);
+    target_rows_ = set.live_rows;
+    // The allocator never rewinds — ids of the replaced generation must
+    // stay retired, or a later insert could collide with an id a client
+    // still holds.
+    next_id_ = std::max(next_id_, set.next_id);
     // Bump the generation before the cache clear below: any in-flight
     // request that computed its answer against the old shards now holds
-    // a stale generation tag, so its CacheInsert is dropped whether it
-    // lands before or after the clear.
+    // a stale epoch tag, so its CacheInsert is dropped whether it lands
+    // before or after the clear.
     index_generation_.fetch_add(1, std::memory_order_acq_rel);
+    BumpCacheEpochLocked();
+    UpdateOverlayGauges();
   }
   m_index_generation_->Set(
       static_cast<double>(index_generation_.load(std::memory_order_acquire)));
-  // `fresh` now holds the previous generation; it dies here, after the
-  // lock, so teardown never blocks the dispatcher.
-  {
-    std::lock_guard<std::mutex> cache_lock(cache_mutex_);
-    cache_.clear();
-    lru_.clear();
-  }
+  // `set.shards` now holds the previous generation; it dies here, after
+  // the lock, so teardown never blocks the dispatcher.
+  set.shards.clear();
+  ClearCache();
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.index_swaps;
@@ -615,9 +1175,49 @@ Status KnnService::SwapIndex(const std::string& dir) {
   return Status::Ok();
 }
 
+// ---------------------------------------------------------------------------
+// Stats, metrics, cache
+// ---------------------------------------------------------------------------
+
+void KnnService::BumpCacheEpochLocked() {
+  cache_epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void KnnService::ClearCache() {
+  if (config_.cache_capacity == 0) return;
+  std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+  cache_.clear();
+  lru_.clear();
+}
+
+void KnnService::UpdateOverlayGauges() {
+  size_t delta_points = 0;
+  size_t tombstones = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    delta_points += shard->delta.size();
+    tombstones += shard->delta.tombstones.size();
+  }
+  m_delta_points_->Set(static_cast<double>(delta_points));
+  m_tombstones_->Set(static_cast<double>(tombstones));
+  m_live_rows_->Set(static_cast<double>(target_rows_));
+}
+
 ServiceStats KnnService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ServiceStats snapshot = stats_;
+  uint64_t delta_points = 0;
+  uint64_t tombstones = 0;
+  ServiceStats snapshot;
+  {
+    // index_mutex_ before stats_mutex_ — the service-wide lock order.
+    std::lock_guard<std::mutex> index_lock(index_mutex_);
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      delta_points += shard->delta.size();
+      tombstones += shard->delta.tombstones.size();
+    }
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  snapshot.delta_points = delta_points;
+  snapshot.tombstones = tombstones;
   snapshot.peak_queue_depth = queue_.peak_depth();
   return snapshot;
 }
@@ -666,15 +1266,15 @@ bool KnnService::CacheLookup(const std::string& key,
 }
 
 void KnnService::CacheInsert(const std::string& key,
-                             std::vector<Neighbor> value,
-                             uint64_t generation) {
+                             std::vector<Neighbor> value, uint64_t epoch) {
   bool stale = false;
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
-    // A SwapIndex that completed after this answer was computed has
-    // already bumped the generation (under index_mutex_, before clearing
-    // the cache): inserting now would serve pre-swap neighbors forever.
-    if (index_generation_.load(std::memory_order_acquire) != generation) {
+    // A swap, mutation, or compaction that completed after this answer
+    // was computed has already bumped the cache epoch (under
+    // index_mutex_, before clearing the cache): inserting now would
+    // serve pre-change neighbors forever.
+    if (cache_epoch_.load(std::memory_order_acquire) != epoch) {
       stale = true;
     } else {
       auto it = cache_.find(key);

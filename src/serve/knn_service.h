@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -19,6 +20,7 @@
 #include "common/matrix.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "core/delta_overlay.h"
 #include "core/options.h"
 #include "core/ti_knn_gpu.h"
 #include "gpusim/device.h"
@@ -46,18 +48,30 @@ struct ServiceConfig {
   /// "<snapshot_dir>/shard-<s>-of-<n>.sksnap" instead of running the
   /// Step-1 landmark clustering. The snapshots must match the service's
   /// options/device fingerprints, shard geometry, and the target bytes
-  /// passed to the constructor; on any mismatch or load failure the
-  /// service logs a warning and cold-builds every shard (check
-  /// stats().warm_started_shards to see which path ran).
+  /// passed to the constructor (which also means they must be pristine —
+  /// adopt mutated snapshots with FromSnapshots instead); on any
+  /// mismatch or load failure the service logs a warning and cold-builds
+  /// every shard (check stats().warm_started_shards to see which path
+  /// ran).
   std::string snapshot_dir;
   /// Dataset name recorded as provenance in snapshots written by
   /// SaveSnapshots.
   std::string dataset_name;
+  /// Mutability (docs/mutability.md): a shard is scheduled for
+  /// compaction once its overlay (delta points + tombstones) exceeds
+  /// this fraction of its frozen base rows. <= 0 disables the threshold
+  /// (CompactShard/CompactAll stay available).
+  double compact_delta_fraction = 0.25;
+  /// Run the background compactor thread, which rebuilds over-threshold
+  /// shards off the serving path. false = compaction happens only via
+  /// explicit CompactShard/CompactAll calls (deterministic; tests use
+  /// this).
+  bool auto_compact = true;
 };
 
 /// Service-level counters, all cumulative since construction. The
 /// metrics registry (KnnService::metrics()) carries the richer view —
-/// latency histograms, per-stage simulated time, adaptive decisions.
+/// latency histograms, per-stage sim time, compaction timings.
 struct ServiceStats {
   uint64_t requests = 0;        ///< Search/JoinBatch calls admitted.
   uint64_t queries = 0;         ///< Query rows answered (incl. cache hits).
@@ -73,8 +87,9 @@ struct ServiceStats {
   uint64_t batched_queries = 0; ///< Query rows that went through engines.
   uint64_t cache_lookups = 0;
   uint64_t cache_hits = 0;
-  /// Result-cache inserts dropped because an index swap completed after
-  /// the answer was computed (the stale-insert guard).
+  /// Result-cache inserts dropped because an index swap, mutation, or
+  /// compaction completed after the answer was computed (the
+  /// stale-insert guard).
   uint64_t cache_stale_drops = 0;
   uint64_t peak_queue_depth = 0;  ///< Admission-queue high-water mark.
   /// Simulated device time summed over every shard of every batch (the
@@ -89,6 +104,20 @@ struct ServiceStats {
   uint64_t warm_started_shards = 0;
   /// Completed SwapIndex calls.
   uint64_t index_swaps = 0;
+  /// Points admitted through Insert/InsertBatch.
+  uint64_t inserts = 0;
+  /// Successful Remove calls.
+  uint64_t removes = 0;
+  /// Remove calls naming an id that was never live or already removed.
+  uint64_t remove_misses = 0;
+  /// Shard compactions installed (background or explicit).
+  uint64_t compactions = 0;
+  /// Compactions abandoned because a SwapIndex (or competing install)
+  /// replaced the shard while the rebuild ran off-lock.
+  uint64_t compaction_aborts = 0;
+  /// Current overlay size, summed over shards (gauges, not cumulative).
+  uint64_t delta_points = 0;
+  uint64_t tombstones = 0;
 
   /// Mean fraction of max_batch_size filled per dispatched micro-batch
   /// (> 1 is possible when one JoinBatch request exceeds max_batch_size).
@@ -122,19 +151,29 @@ struct ServiceStats {
 /// that a dispatcher thread drains with dynamic micro-batching
 /// (max_batch_size / max_batch_wait). Each micro-batch fans out over the
 /// shards on the shared host thread pool and the per-shard top-k lists
-/// are merged into the exact global top-k (see MergeShardResults for the
-/// exactness argument) — answers are bit-identical to a single-engine
-/// RunOnce over the unsharded target set.
+/// are merged into the exact global top-k — answers are bit-identical to
+/// a single-engine RunOnce over the unsharded target set.
+///
+/// The target set is mutable while serving: Insert/Remove buffer changes
+/// in per-shard delta overlays (new points served by an exact
+/// brute-force side scan merged through MergeMutableResults, deleted ids
+/// tombstone-masked), and a background compactor folds over-threshold
+/// overlays into freshly clustered bases off the serving path —
+/// queries never block on a compaction, and every answer reflects one
+/// consistent index state (mutations and swaps are serialized with
+/// query groups on index_mutex_). Rows are named by stable ids: the
+/// constructor's target rows get 0..rows-1 and Insert allocates upward.
 ///
 ///   KnnService service(gallery, {.num_shards = 4});
 ///   // from many threads:
 ///   std::vector<Neighbor> nn = service.Search(point, /*k=*/10).value();
-///   KnnResult batch = service.JoinBatch(queries, /*k=*/10).value();
+///   uint32_t id = service.Insert(new_point).value();
+///   service.Remove(id);
 ///
 /// Lock order (to keep the TSan suites meaningful): index_mutex_ may be
-/// held while taking stats_mutex_ (RunGroup does); cache_mutex_ never
-/// nests with either — cache bookkeeping that needs stats releases the
-/// cache lock first.
+/// held while taking stats_mutex_ or compact_mutex_ (never the
+/// reverse); cache_mutex_ never nests with any of them — cache
+/// bookkeeping that needs stats releases the cache lock first.
 class KnnService {
  public:
   explicit KnnService(const HostMatrix& target,
@@ -143,6 +182,15 @@ class KnnService {
 
   KnnService(const KnnService&) = delete;
   KnnService& operator=(const KnnService&) = delete;
+
+  /// Adopts a complete shard snapshot set — including any mutation
+  /// overlays (.sksnap v2) — as a new service. The number of shards
+  /// comes from the file set (config.num_shards is ignored); the
+  /// fingerprints must match `config`. This is how a mutated service
+  /// warm-starts exactly: SaveSnapshots + FromSnapshots round-trips
+  /// every answer bit-identically.
+  static Result<std::unique_ptr<KnnService>> FromSnapshots(
+      const std::string& dir, const ServiceConfig& config = {});
 
   /// The k nearest target rows of one query point. Thread-safe; blocks
   /// until the request's micro-batch has been served (or a cache hit
@@ -158,27 +206,58 @@ class KnnService {
   /// Unavailable if the request raced a concurrent Shutdown().
   Result<KnnResult> JoinBatch(const HostMatrix& queries, int k);
 
-  /// Rejects new requests, drains everything already admitted, and joins
-  /// the dispatcher. Idempotent; also run by the destructor. Every
-  /// future admitted before the shutdown still resolves with its answer.
+  /// Adds a point to the serving set; returns its stable id. The point
+  /// is served exactly from the next admitted query group on.
+  /// Thread-safe; never blocks on a compaction. Returns Unavailable
+  /// when racing a Shutdown().
+  Result<uint32_t> Insert(const std::vector<float>& point);
+
+  /// Insert for many rows under one lock acquisition; returns their
+  /// stable ids in row order.
+  Result<std::vector<uint32_t>> InsertBatch(const HostMatrix& points);
+
+  /// Deletes the point with this stable id. Returns true if it was
+  /// live, false if unknown or already removed; Unavailable when racing
+  /// a Shutdown(). Removing every point is allowed — queries then
+  /// answer all padding.
+  Result<bool> Remove(uint32_t id);
+
+  /// Synchronously folds one shard's overlay into a freshly clustered
+  /// base (same protocol as the background compactor: capture under the
+  /// lock, rebuild off-lock, install behind the in-flight group).
+  /// Returns Unavailable if a competing compaction or swap superseded
+  /// the rebuild; Ok when installed or when there was nothing to do.
+  Status CompactShard(int shard);
+  /// CompactShard over every shard, stopping at the first error.
+  Status CompactAll();
+
+  /// Rejects new requests and mutations, drains everything already
+  /// admitted, and joins the dispatcher and the compactor. Idempotent;
+  /// also run by the destructor. Every future admitted before the
+  /// shutdown still resolves with its answer.
   void Shutdown();
 
-  /// Persists every shard's prepared index into `dir` (created if
-  /// missing) as "shard-<s>-of-<n>.sksnap". Waits for the in-flight
-  /// micro-batch; safe to call while clients keep submitting. A later
-  /// service with the same config warm-starts from the directory.
+  /// Persists every shard's prepared index — including its mutation
+  /// overlay, if any — into `dir` (created if missing) as
+  /// "shard-<s>-of-<n>.sksnap" (v1 for pristine shards, v2 for mutated
+  /// ones). Waits for the in-flight micro-batch; safe to call while
+  /// clients keep submitting. A pristine directory warm-starts a later
+  /// service with the same config; a mutated one is adopted with
+  /// FromSnapshots.
   Status SaveSnapshots(const std::string& dir);
 
-  /// Hot-swap: loads a complete shard set from `dir`, re-materializes
-  /// the replacement engines off to the side, then swaps them in behind
-  /// the in-flight micro-batch, bumps the index generation, and clears
-  /// the result cache. Every request is answered entirely by one index
-  /// generation — never a mix — and answers computed against the old
-  /// generation can never repopulate the cache after the swap. The set
-  /// must have this service's shard count, dims, and options/device
-  /// fingerprints; on any failure the live index stays untouched and the
-  /// error is returned. Must not be called from a host-pool worker
-  /// thread (it runs its own fork-join region).
+  /// Hot-swap: loads a complete shard set from `dir` (v1 or v2),
+  /// re-materializes the replacement engines off to the side, then
+  /// swaps them in behind the in-flight micro-batch, bumps the index
+  /// generation, and clears the result cache. Every request is answered
+  /// entirely by one index generation — never a mix — and answers
+  /// computed against the old generation can never repopulate the cache
+  /// after the swap. Pending (uncompacted) mutations of the old
+  /// generation are replaced wholesale along with it. The set must have
+  /// this service's shard count, dims, and options/device fingerprints;
+  /// on any failure the live index stays untouched and the error is
+  /// returned. Must not be called from a host-pool worker thread (it
+  /// runs its own fork-join region).
   Status SwapIndex(const std::string& dir);
 
   /// Consistent snapshot of the cumulative counters.
@@ -186,8 +265,9 @@ class KnnService {
 
   /// The service's metrics registry: latency histograms (queue wait,
   /// batch assembly, shard fan-out, merge, end-to-end), per-stage
-  /// simulated-time counters, adaptive-decision counts, and counter
-  /// mirrors of ServiceStats. See docs/serving.md, "Metrics".
+  /// simulated-time counters, adaptive-decision counts,
+  /// mutation/compaction counters, and counter mirrors of ServiceStats.
+  /// See docs/serving.md, "Metrics".
   const common::MetricsRegistry& metrics() const { return metrics_; }
   /// Registry exports with queue-depth gauges refreshed first.
   std::string ExportMetricsJson() const;
@@ -202,6 +282,7 @@ class KnnService {
   }
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// Live rows: base rows minus tombstones plus delta points.
   size_t target_rows() const {
     std::lock_guard<std::mutex> lock(index_mutex_);
     return target_rows_;
@@ -210,6 +291,9 @@ class KnnService {
   const ServiceConfig& config() const { return config_; }
 
  private:
+  /// No active compaction on this shard.
+  static constexpr size_t kNoCompaction = static_cast<size_t>(-1);
+
   struct Shard {
     explicit Shard(const gpusim::DeviceSpec& spec,
                    const core::TiOptions& options)
@@ -217,6 +301,34 @@ class KnnService {
     gpusim::Device dev;
     core::TiKnnEngine engine;
     uint32_t offset = 0;  ///< First global target row of this slice.
+    /// Base row -> stable id, strictly increasing; empty = identity
+    /// shifted by `offset`.
+    std::vector<uint32_t> id_map;
+    /// Inserts since the base was clustered, plus tombstoned ids.
+    core::DeltaBuffer delta;
+    /// Install ticket: bumped (from epoch_counter_) whenever the shard
+    /// object is created or replaced. A compactor that captured an older
+    /// epoch must abandon its install.
+    uint64_t epoch = 0;
+    /// While a compaction is in flight: how many delta entries the
+    /// compactor captured. Removes of captured entries tombstone instead
+    /// of erasing (the rebuild already contains them); the suffix past
+    /// the watermark stays freely mutable.
+    size_t compact_watermark = kNoCompaction;
+
+    bool Pristine() const { return delta.Pristine() && id_map.empty(); }
+    uint32_t BaseId(size_t i) const {
+      return id_map.empty() ? offset + static_cast<uint32_t>(i)
+                            : id_map[i];
+    }
+    size_t base_rows() const { return base_rows_; }
+    void set_base_rows(size_t n) { base_rows_ = n; }
+    size_t live_rows() const {
+      return base_rows_ - delta.tombstones.size() + delta.size();
+    }
+
+   private:
+    size_t base_rows_ = 0;
   };
 
   struct Request {
@@ -228,8 +340,27 @@ class KnnService {
   };
   using RequestPtr = std::unique_ptr<Request>;
 
+  /// Everything a compaction captures under the lock before rebuilding
+  /// off-lock.
+  struct CompactionPlan {
+    int shard = -1;
+    uint64_t epoch = 0;          ///< Shard epoch at capture.
+    size_t watermark = 0;        ///< Delta entries consumed by the plan.
+    HostMatrix points;           ///< Survivors + consumed delta, id order.
+    std::vector<uint32_t> ids;   ///< Stable ids of `points` rows.
+    /// Tombstones at capture (already excluded from `points`).
+    std::unordered_set<uint32_t> captured_tombstones;
+  };
+
+  /// Snapshot-set adoption (FromSnapshots).
+  struct AdoptTag {};
+  KnnService(AdoptTag, std::vector<store::IndexSnapshot> snapshots,
+             const ServiceConfig& config);
+
   /// Registers every metric of the registry and caches the pointers.
   void InitMetrics();
+  /// Starts the dispatcher and (if configured) the compactor.
+  void StartThreads();
 
   /// Admission. Fails with Unavailable (counting the rejection) when the
   /// queue has been closed by Shutdown(); a successful return guarantees
@@ -239,57 +370,118 @@ class KnnService {
   void DispatchLoop();
   /// Runs one same-k group of coalesced requests through every shard and
   /// fulfills their promises. Holds index_mutex_ for the whole group, so
-  /// a group never straddles a SwapIndex.
+  /// a group never straddles a SwapIndex, mutation, or compaction
+  /// install.
   void RunGroup(std::vector<RequestPtr> group);
   /// Folds one engine group's shard stats into ServiceStats and the
-  /// metrics registry: per-stage simulated time (level-1 / level-2 /
-  /// transfer / preprocessing) and the adaptive decisions each shard
-  /// took. Caller must NOT hold stats_mutex_.
+  /// metrics registry. Caller must NOT hold stats_mutex_.
   void RecordGroupStats(const std::vector<core::KnnRunStats>& shard_stats,
                         size_t rows);
 
+  /// The background compactor: sleeps until a mutation pushes some shard
+  /// over the threshold (or Shutdown), then rebuilds candidates one at a
+  /// time.
+  void CompactorLoop();
+  /// First over-threshold shard with no compaction in flight, or -1.
+  int PickCompactionCandidate();
+  /// Capture -> rebuild (off-lock) -> install for one shard. See
+  /// docs/mutability.md for the protocol.
+  Status CompactShardInternal(int s);
+  /// Overlay fraction check for one shard. Caller holds index_mutex_.
+  bool OverThreshold(const Shard& shard) const;
+  /// Wakes the compactor if `shard` warrants it. Caller holds
+  /// index_mutex_.
+  void MaybeScheduleCompaction(const Shard& shard);
+  /// Shard owning stable id `id`, or -1. Caller holds index_mutex_.
+  int OwningShard(uint32_t id) const;
+  /// Marks answers computed before now as stale for the cache and
+  /// clears it. Caller holds index_mutex_ for the bump; the clear runs
+  /// after release.
+  void BumpCacheEpochLocked();
+  void ClearCache();
+  /// Refreshes the overlay gauges. Caller holds index_mutex_.
+  void UpdateOverlayGauges();
+
   /// Loads and fully validates "<dir>/shard-<s>-of-<num_shards>.sksnap"
   /// for every shard (files read in parallel on the host pool): shard
-  /// geometry, dims, contiguous offsets, and the options/device
-  /// fingerprints of `config`. Nothing about the live service changes.
+  /// geometry, dims (0 = adopt the files' dims), and the options/device
+  /// fingerprints of `config`. Pristine sets must tile the target
+  /// contiguously; sets with mutation overlays (only accepted when
+  /// `allow_overlay`) are instead checked for globally unique stable
+  /// ids. Nothing about the live service changes.
   static Result<std::vector<store::IndexSnapshot>> LoadShardSet(
       const std::string& dir, int num_shards, const ServiceConfig& config,
-      size_t dims);
+      size_t dims, bool allow_overlay);
 
-  /// Exports one shard's prepared index as a snapshot. Caller holds
-  /// index_mutex_.
+  /// A replacement shard set materialized off to the side, ready to
+  /// install. Epochs are assigned at install time (under index_mutex_).
+  struct ShardSet {
+    std::vector<std::unique_ptr<Shard>> shards;
+    std::vector<uint32_t> offsets;
+    size_t live_rows = 0;
+    uint32_t next_id = 0;
+  };
+  /// Materializes shards from validated snapshots (RestoreTarget in
+  /// parallel on the host pool). Touches nothing of the live service.
+  ShardSet BuildShardsFromSnapshots(
+      std::vector<store::IndexSnapshot> snapshots) const;
+
+  /// Exports one shard's prepared index as a snapshot, normalizing the
+  /// overlay (delta entries tombstoned mid-compaction are dropped
+  /// outright). Caller holds index_mutex_.
   store::IndexSnapshot ExportShard(int s) const;
 
   // LRU result cache (single-row Search results), guarded by cache_mutex_.
   static std::string CacheKey(const float* row, size_t dims, int k);
   bool CacheLookup(const std::string& key, std::vector<Neighbor>* out);
-  /// Inserts unless `generation` (captured before the query ran) is no
-  /// longer the live index generation — a swap completed in between, and
-  /// the value would resurrect pre-swap neighbors into the fresh cache.
+  /// Inserts unless `epoch` (captured before the query ran) is no
+  /// longer the live cache epoch — a swap, mutation, or compaction
+  /// completed in between, and the value would resurrect stale
+  /// neighbors into the fresh cache.
   void CacheInsert(const std::string& key, std::vector<Neighbor> value,
-                   uint64_t generation);
+                   uint64_t epoch);
 
   ServiceConfig config_;
   size_t dims_ = 0;
 
-  /// Guards the live index generation: shards_, shard_offsets_ and
-  /// target_rows_. Held by RunGroup (dispatcher thread) for each group,
-  /// by SwapIndex for the swap, and by SaveSnapshots for the export, so
-  /// a swap waits for the in-flight group and vice versa.
+  /// Guards the live index state: shards_ (including their overlays),
+  /// shard_offsets_, target_rows_, next_id_ and epoch_counter_. Held by
+  /// RunGroup (dispatcher thread) for each group, by mutations, by
+  /// SwapIndex / compaction installs for the swap, and by SaveSnapshots
+  /// for the export, so each of those is atomic with respect to the
+  /// others.
   mutable std::mutex index_mutex_;
   size_t target_rows_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<uint32_t> shard_offsets_;
-  /// Bumped by every completed SwapIndex; cache inserts tagged with an
-  /// older generation are dropped (see CacheInsert).
+  /// Next stable id Insert allocates; starts at the initial row count.
+  uint32_t next_id_ = 0;
+  /// Source of shard epochs (see Shard::epoch).
+  uint64_t epoch_counter_ = 0;
+  /// Bumped by every completed SwapIndex; surfaced as a gauge.
   std::atomic<uint64_t> index_generation_{0};
+  /// Bumped by every index change that invalidates computed answers:
+  /// swaps, mutations, compaction installs. Cache inserts tagged with an
+  /// older epoch are dropped (see CacheInsert).
+  std::atomic<uint64_t> cache_epoch_{0};
 
   common::BlockingQueue<RequestPtr> queue_;
   std::thread dispatcher_;
 
+  /// Compactor wake-up state. compact_mutex_ may be taken while holding
+  /// index_mutex_ (mutations scheduling work), never the reverse — the
+  /// compactor drops it before touching the index.
+  std::mutex compact_mutex_;
+  std::condition_variable compact_cv_;
+  bool compact_pending_ = false;
+  bool compactor_stop_ = false;
+  std::thread compactor_;
+  /// Set by Shutdown before the queue closes; mutations check it.
+  std::atomic<bool> stopping_{false};
+
   mutable std::mutex stats_mutex_;
-  ServiceStats stats_;  // guarded by stats_mutex_ (except peak_queue_depth,
-                        // read from the queue at snapshot time)
+  ServiceStats stats_;  // guarded by stats_mutex_ (except peak_queue_depth
+                        // and the overlay gauges, read at snapshot time)
 
   common::MetricsRegistry metrics_;
   // Cached registry pointers (stable for the registry's lifetime).
@@ -315,6 +507,13 @@ class KnnService {
   common::Counter* m_placement_global_ = nullptr;
   common::Counter* m_placement_shared_ = nullptr;
   common::Counter* m_placement_registers_ = nullptr;
+  common::Counter* m_inserts_ = nullptr;
+  common::Counter* m_removes_ = nullptr;
+  common::Counter* m_remove_misses_ = nullptr;
+  common::Counter* m_compactions_ = nullptr;
+  common::Counter* m_compaction_aborts_ = nullptr;
+  common::Counter* m_compacted_rows_ = nullptr;
+  common::Histogram* m_compaction_seconds_ = nullptr;
   common::Histogram* m_threads_per_query_ = nullptr;
   common::Histogram* m_queue_wait_ = nullptr;
   common::Histogram* m_batch_assembly_ = nullptr;
@@ -325,6 +524,9 @@ class KnnService {
   common::Gauge* m_queue_depth_ = nullptr;
   common::Gauge* m_peak_queue_depth_ = nullptr;
   common::Gauge* m_index_generation_ = nullptr;
+  common::Gauge* m_delta_points_ = nullptr;
+  common::Gauge* m_tombstones_ = nullptr;
+  common::Gauge* m_live_rows_ = nullptr;
 
   std::function<void()> pre_cache_insert_hook_;
 

@@ -2,7 +2,10 @@
 // here so that sweetknn_core does not depend on the store library
 // (store links core, not the other way around).
 
+#include <algorithm>
+#include <cstring>
 #include <memory>
+#include <numeric>
 #include <string>
 #include <utility>
 
@@ -19,10 +22,22 @@ Status SweetKnnIndex::Save(const std::string& path,
   snapshot.shard_index = 0;
   snapshot.shard_count = 1;
   snapshot.shard_offset = 0;
-  snapshot.target = engine_.ExportTarget();
-  snapshot.clustering = engine_.ExportTargetClustering();
-  snapshot.options_fingerprint = store::OptionsFingerprint(engine_.options());
-  snapshot.device_fingerprint = store::DeviceFingerprint(device_.spec());
+  snapshot.target = engine_->ExportTarget();
+  snapshot.clustering = engine_->ExportTargetClustering();
+  snapshot.options_fingerprint =
+      store::OptionsFingerprint(engine_->options());
+  snapshot.device_fingerprint = store::DeviceFingerprint(device_->spec());
+  if (!pristine()) {
+    snapshot.id_map = id_map_;
+    snapshot.delta_ids = delta_.ids;
+    snapshot.delta_points = HostMatrix(delta_.size(), dims_);
+    std::memcpy(snapshot.delta_points.mutable_data(), delta_.points.data(),
+                delta_.points.size() * sizeof(float));
+    snapshot.tombstones.assign(delta_.tombstones.begin(),
+                               delta_.tombstones.end());
+    std::sort(snapshot.tombstones.begin(), snapshot.tombstones.end());
+    snapshot.next_id = next_id_;
+  }
   return store::SaveIndexSnapshot(snapshot, path);
 }
 
@@ -30,25 +45,42 @@ Result<std::unique_ptr<SweetKnnIndex>> SweetKnnIndex::Load(
     const std::string& path, const SweetKnn::Config& config) {
   Result<store::IndexSnapshot> snapshot = store::LoadIndexSnapshot(path);
   if (!snapshot.ok()) return snapshot.status();
+  store::IndexSnapshot& snap = snapshot.value();
 
   const std::string want_options = store::OptionsFingerprint(config.options);
-  if (snapshot.value().options_fingerprint != want_options) {
+  if (snap.options_fingerprint != want_options) {
     return Status::InvalidArgument(
         "snapshot " + path + " was built under different options: file has [" +
-        snapshot.value().options_fingerprint + "], this config is [" +
+        snap.options_fingerprint + "], this config is [" +
         want_options + "]");
   }
   const std::string want_device = store::DeviceFingerprint(config.device);
-  if (snapshot.value().device_fingerprint != want_device) {
+  if (snap.device_fingerprint != want_device) {
     return Status::InvalidArgument(
         "snapshot " + path + " was built for a different device: file has [" +
-        snapshot.value().device_fingerprint + "], this config is [" +
+        snap.device_fingerprint + "], this config is [" +
         want_device + "]");
   }
 
-  return std::unique_ptr<SweetKnnIndex>(
-      new SweetKnnIndex(WarmStartTag{}, snapshot.value().target,
-                        snapshot.value().clustering, config));
+  std::unique_ptr<SweetKnnIndex> index(new SweetKnnIndex(
+      WarmStartTag{}, snap.target, snap.clustering, config));
+  // A shard snapshot with no explicit id map names its rows
+  // shard_offset..shard_offset+rows-1; standalone, that needs the map
+  // materialized so stable ids survive the round trip.
+  std::vector<uint32_t> id_map = std::move(snap.id_map);
+  if (id_map.empty() && snap.shard_offset != 0) {
+    id_map.resize(snap.target.rows());
+    std::iota(id_map.begin(), id_map.end(),
+              static_cast<uint32_t>(snap.shard_offset));
+  }
+  if (snap.HasOverlay() || !id_map.empty()) {
+    uint32_t next_id = snap.next_id;
+    if (next_id == 0 && !id_map.empty()) next_id = id_map.back() + 1;
+    index->AdoptOverlay(std::move(id_map), std::move(snap.delta_ids),
+                        snap.delta_points.storage(), snap.tombstones,
+                        next_id);
+  }
+  return index;
 }
 
 }  // namespace sweetknn

@@ -236,6 +236,26 @@ std::string EncodeClustering(const IndexSnapshot& s) {
   return w.Take();
 }
 
+std::string EncodeMutation(const IndexSnapshot& s) {
+  PayloadWriter w;
+  w.PutU32(s.next_id);
+  w.PutU32s(s.id_map.data(), s.id_map.size());
+  w.PutU32s(s.delta_ids.data(), s.delta_ids.size());
+  w.PutMatrix(s.delta_points);
+  w.PutU32s(s.tombstones.data(), s.tombstones.size());
+  return w.Take();
+}
+
+Status DecodeMutation(const std::string& payload, IndexSnapshot* s) {
+  PayloadReader r(payload, "mutation section");
+  SK_RETURN_IF_ERROR(r.GetU32(&s->next_id));
+  SK_RETURN_IF_ERROR(r.GetU32s(&s->id_map));
+  SK_RETURN_IF_ERROR(r.GetU32s(&s->delta_ids));
+  SK_RETURN_IF_ERROR(r.GetMatrix(&s->delta_points));
+  SK_RETURN_IF_ERROR(r.GetU32s(&s->tombstones));
+  return r.ExpectExhausted();
+}
+
 Status DecodeClustering(const std::string& payload, IndexSnapshot* s) {
   core::TargetClusteringHost& tc = s->clustering;
   PayloadReader r(payload, "clustering section");
@@ -304,16 +324,20 @@ std::string DeviceFingerprint(const gpusim::DeviceSpec& s) {
 
 // --- SnapshotWriter ---------------------------------------------------------
 
-SnapshotWriter::SnapshotWriter(const std::string& path)
+SnapshotWriter::SnapshotWriter(const std::string& path, uint32_t version)
     : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
   if (!out_) {
     deferred_error_ =
         Status::IoError("cannot open snapshot for writing: " + path);
     return;
   }
+  if (version < kSnapshotFormatV1 || version > kSnapshotFormatVersion) {
+    deferred_error_ = Status::InvalidArgument(
+        "unsupported snapshot format version " + std::to_string(version));
+    return;
+  }
   Status st = Append(kSnapshotMagic, sizeof(kSnapshotMagic));
   if (st.ok()) {
-    const uint32_t version = kSnapshotFormatVersion;
     st = Append(&version, sizeof(version));
   }
   if (st.ok()) {
@@ -400,10 +424,11 @@ Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
   uint32_t version = 0;
   std::memcpy(&version, file.data() + sizeof(kSnapshotMagic),
               sizeof(version));
-  if (version != kSnapshotFormatVersion) {
+  if (version < kSnapshotFormatV1 || version > kSnapshotFormatVersion) {
     return Status::InvalidArgument(
         what + ": format version skew: file is version " +
-        std::to_string(version) + ", this reader supports version " +
+        std::to_string(version) + ", this reader supports versions " +
+        std::to_string(kSnapshotFormatV1) + ".." +
         std::to_string(kSnapshotFormatVersion));
   }
   uint32_t endian = 0;
@@ -438,9 +463,10 @@ Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
     cursor += sizeof(id);
     std::memcpy(&len, file.data() + cursor, sizeof(len));
     cursor += sizeof(len);
-    if (id > kSectionClustering) {
+    if (id > MaxSectionIdForVersion(version)) {
       return Status::IoError(what + ": unknown section id " +
-                             std::to_string(id) + " at offset " +
+                             std::to_string(id) + " for format version " +
+                             std::to_string(version) + " at offset " +
                              std::to_string(cursor - sizeof(id) -
                                             sizeof(len)));
     }
@@ -504,7 +530,11 @@ const std::string* SnapshotReader::Section(uint32_t id) const {
 Status SaveIndexSnapshot(const IndexSnapshot& snapshot,
                          const std::string& path) {
   SK_RETURN_IF_ERROR(ValidateIndexSnapshot(snapshot));
-  SnapshotWriter writer(path);
+  // Pristine snapshots keep writing v1, byte-identical to what pre-v2
+  // builds produced; only an actual overlay pays the version bump.
+  const uint32_t version =
+      snapshot.HasOverlay() ? kSnapshotFormatV2 : kSnapshotFormatV1;
+  SnapshotWriter writer(path, version);
   SK_RETURN_IF_ERROR(writer.WriteSection(kSectionMeta, EncodeMeta(snapshot)));
   SK_RETURN_IF_ERROR(
       writer.WriteSection(kSectionFingerprint, EncodeFingerprint(snapshot)));
@@ -512,6 +542,10 @@ Status SaveIndexSnapshot(const IndexSnapshot& snapshot,
       writer.WriteSection(kSectionTarget, EncodeTarget(snapshot)));
   SK_RETURN_IF_ERROR(
       writer.WriteSection(kSectionClustering, EncodeClustering(snapshot)));
+  if (snapshot.HasOverlay()) {
+    SK_RETURN_IF_ERROR(
+        writer.WriteSection(kSectionMutation, EncodeMutation(snapshot)));
+  }
   return writer.Finish();
 }
 
@@ -543,6 +577,10 @@ Result<IndexSnapshot> LoadIndexSnapshot(const std::string& path) {
       DecodeTarget(*reader.value().Section(kSectionTarget), &snapshot));
   SK_RETURN_IF_ERROR(DecodeClustering(
       *reader.value().Section(kSectionClustering), &snapshot));
+  if (const std::string* mutation =
+          reader.value().Section(kSectionMutation)) {
+    SK_RETURN_IF_ERROR(DecodeMutation(*mutation, &snapshot));
+  }
 
   if (meta_rows != snapshot.target.rows() ||
       meta_cols != snapshot.target.cols()) {
@@ -636,6 +674,73 @@ Status ValidateIndexSnapshot(const IndexSnapshot& s) {
     return Status::InvalidArgument(
         "shard geometry " + std::to_string(s.shard_index) + "-of-" +
         std::to_string(s.shard_count) + " is malformed");
+  }
+
+  // Mutation overlay (v2). The empty overlay of a v1 / pristine snapshot
+  // passes every check trivially.
+  if (!s.id_map.empty() && s.id_map.size() != n) {
+    return Status::InvalidArgument(
+        "id map has " + std::to_string(s.id_map.size()) + " entries for " +
+        std::to_string(n) + " target rows");
+  }
+  auto strictly_increasing = [](const std::vector<uint32_t>& v) {
+    for (size_t i = 1; i < v.size(); ++i) {
+      if (v[i] <= v[i - 1]) return false;
+    }
+    return true;
+  };
+  if (!strictly_increasing(s.id_map)) {
+    return Status::InvalidArgument("id map is not strictly increasing");
+  }
+  if (!strictly_increasing(s.delta_ids)) {
+    return Status::InvalidArgument("delta ids are not strictly increasing");
+  }
+  if (!strictly_increasing(s.tombstones)) {
+    return Status::InvalidArgument(
+        "tombstones are not strictly increasing");
+  }
+  if (s.delta_points.rows() != s.delta_ids.size() ||
+      (!s.delta_ids.empty() && s.delta_points.cols() != dims)) {
+    return Status::InvalidArgument(
+        "delta points are " + std::to_string(s.delta_points.rows()) + "x" +
+        std::to_string(s.delta_points.cols()) + " for " +
+        std::to_string(s.delta_ids.size()) + " delta ids of dimension " +
+        std::to_string(dims));
+  }
+  // Base row i carries stable id id_map[i], or shard_offset + i with no
+  // explicit map; ids are allocated monotonically so every delta id
+  // postdates (exceeds) every base id.
+  const uint32_t max_base_id =
+      s.id_map.empty()
+          ? static_cast<uint32_t>(s.shard_offset + n - 1)
+          : s.id_map.back();
+  if (!s.delta_ids.empty() && s.delta_ids.front() <= max_base_id) {
+    return Status::InvalidArgument(
+        "delta id " + std::to_string(s.delta_ids.front()) +
+        " does not exceed the largest base id " +
+        std::to_string(max_base_id));
+  }
+  for (const uint32_t id : s.tombstones) {
+    const bool in_base =
+        s.id_map.empty()
+            ? (id >= s.shard_offset && id < s.shard_offset + n)
+            : std::binary_search(s.id_map.begin(), s.id_map.end(), id);
+    if (!in_base) {
+      return Status::InvalidArgument(
+          "tombstone " + std::to_string(id) +
+          " does not name a base row (deleted delta points are erased, "
+          "not tombstoned)");
+    }
+  }
+  if (s.HasOverlay()) {
+    const uint32_t max_id =
+        s.delta_ids.empty() ? max_base_id : s.delta_ids.back();
+    if (s.next_id <= max_id) {
+      return Status::InvalidArgument(
+          "next_id " + std::to_string(s.next_id) +
+          " does not exceed the largest id in the snapshot (" +
+          std::to_string(max_id) + ")");
+    }
   }
   return Status::Ok();
 }

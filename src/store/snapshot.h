@@ -30,23 +30,40 @@ namespace sweetknn::store {
 // CRC covers everything before it, so any single corrupted byte anywhere
 // (including inside the per-section CRCs, or in the file CRC field
 // itself) is detected.
+//
+// Versions. v1 holds a pristine index (sections 1-4). v2 adds the
+// optional mutation section (id 5: stable-id map, delta points,
+// tombstones) for indexes mutated since their base was clustered. The
+// reader accepts both; the writer emits v1 whenever the index has no
+// overlay, so pristine snapshots stay byte-identical across the version
+// bump and old files keep loading.
 // ---------------------------------------------------------------------------
 
 inline constexpr char kSnapshotMagic[8] = {'S', 'K', 'S', 'N',
                                            'A', 'P', '0', '1'};
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+inline constexpr uint32_t kSnapshotFormatV1 = 1;
+inline constexpr uint32_t kSnapshotFormatV2 = 2;
+/// Newest version this build reads and writes.
+inline constexpr uint32_t kSnapshotFormatVersion = kSnapshotFormatV2;
 inline constexpr uint32_t kEndiannessGuard = 0x01020304u;
 
-/// Section ids. New sections get new ids; readers reject unknown ids
-/// (same-version files always contain exactly the sections their writer
-/// produced, so an unknown id means corruption, not extension).
+/// Section ids. New sections get new ids in new format versions; readers
+/// reject ids their file's version cannot contain (a same-version file
+/// always holds exactly the sections its writer could produce, so an
+/// out-of-range id means corruption, not extension).
 enum SnapshotSectionId : uint32_t {
   kSectionEnd = 0,          ///< terminator, zero-length
   kSectionMeta = 1,         ///< provenance: names, shard geometry, shape
   kSectionFingerprint = 2,  ///< TiOptions + DeviceSpec fingerprints
   kSectionTarget = 3,       ///< the target HostMatrix
   kSectionClustering = 4,   ///< the prepared TargetClustering
+  kSectionMutation = 5,     ///< v2: id map, delta buffer, tombstones
 };
+
+/// The largest section id a file of `version` may contain.
+inline uint32_t MaxSectionIdForVersion(uint32_t version) {
+  return version >= kSnapshotFormatV2 ? kSectionMutation : kSectionClustering;
+}
 
 /// Canonical rendering of every TiOptions field that can influence a
 /// prepared index or the answers computed against it. sim_threads is
@@ -76,6 +93,26 @@ struct IndexSnapshot {
 
   std::string options_fingerprint;
   std::string device_fingerprint;
+
+  // Mutation overlay (format v2; all empty/zero in v1 files and for
+  // pristine indexes). Stable ids name rows across mutations: the base
+  // row i carries id `id_map[i]` (or shard_offset + i when id_map is
+  // empty), delta point j carries id `delta_ids[j]`, and `tombstones`
+  // lists deleted ids still physically present in the base. `next_id` is
+  // the id allocator watermark — strictly above every id in the file —
+  // or 0 for a pristine snapshot (allocator restarts at the row count).
+  std::vector<uint32_t> id_map;      ///< strictly increasing, or empty
+  std::vector<uint32_t> delta_ids;   ///< strictly increasing
+  HostMatrix delta_points;           ///< delta_ids.size() x dims
+  std::vector<uint32_t> tombstones;  ///< strictly increasing
+  uint32_t next_id = 0;
+
+  /// True when the snapshot carries mutation state and must be written
+  /// as format v2.
+  bool HasOverlay() const {
+    return next_id != 0 || !id_map.empty() || !delta_ids.empty() ||
+           !tombstones.empty();
+  }
 };
 
 /// Streaming writer: sections are appended one at a time, each CRC'd as
@@ -84,7 +121,8 @@ struct IndexSnapshot {
 /// call that hit it (and poisons every later call).
 class SnapshotWriter {
  public:
-  explicit SnapshotWriter(const std::string& path);
+  explicit SnapshotWriter(const std::string& path,
+                          uint32_t version = kSnapshotFormatVersion);
   SnapshotWriter(const SnapshotWriter&) = delete;
   SnapshotWriter& operator=(const SnapshotWriter&) = delete;
 

@@ -34,8 +34,11 @@ void WriteFile(const std::string& path, const std::string& bytes) {
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }
 
-/// Bytes of a freshly built, valid snapshot.
-std::string BuildSnapshotBytes(const std::string& path) {
+/// Bytes of a freshly built, valid snapshot. With `mutate`, the index
+/// first takes inserts and removes, so the file is format v2 with
+/// non-empty delta and tombstone payloads in the mutation section.
+std::string BuildSnapshotBytes(const std::string& path,
+                               bool mutate = false) {
   Rng rng(21);
   HostMatrix target(90, 4);
   for (size_t i = 0; i < target.rows(); ++i) {
@@ -44,6 +47,15 @@ std::string BuildSnapshotBytes(const std::string& path) {
     }
   }
   SweetKnnIndex index(target);
+  if (mutate) {
+    for (int i = 0; i < 5; ++i) {
+      std::vector<float> p(target.cols());
+      for (float& x : p) x = rng.NextFloat();
+      index.Insert(p);
+    }
+    EXPECT_TRUE(index.Remove(8));
+    EXPECT_TRUE(index.Remove(31));
+  }
   EXPECT_TRUE(index.Save(path, "corruption-fuzz").ok());
   return ReadFile(path);
 }
@@ -117,6 +129,61 @@ TEST(SnapshotCorruptionTest, EveryTruncationIsRejected) {
     ExpectCleanError(path, ("truncation to " + std::to_string(len) +
                             " bytes").c_str());
   }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCorruptionTest, V2MutationSectionBitFlipsAreRejected) {
+  // Same every-byte sweep over a format-v2 file: the mutation section
+  // (id map, delta points, tombstones, next_id) enjoys the same CRC
+  // armor as the v1 sections.
+  const std::string path = TempPath("bitflip_v2.sksnap");
+  const std::string good = BuildSnapshotBytes(path, /*mutate=*/true);
+  ASSERT_FALSE(good.empty());
+  uint32_t version = 0;
+  std::memcpy(&version, good.data() + sizeof(kSnapshotMagic),
+              sizeof(version));
+  ASSERT_EQ(version, kSnapshotFormatV2);
+  ASSERT_TRUE(LoadIndexSnapshot(path).ok());
+
+  Rng rng(43);
+  for (size_t pos = 0; pos < good.size(); ++pos) {
+    std::string bad = good;
+    bad[pos] = static_cast<char>(
+        static_cast<unsigned char>(bad[pos]) ^
+        static_cast<unsigned char>(1u << rng.NextBounded(8)));
+    WriteFile(path, bad);
+    ExpectCleanError(path,
+                     ("v2 bit flip at byte " + std::to_string(pos)).c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCorruptionTest, V2EveryTruncationIsRejected) {
+  const std::string path = TempPath("trunc_v2.sksnap");
+  const std::string good = BuildSnapshotBytes(path, /*mutate=*/true);
+  ASSERT_FALSE(good.empty());
+  for (size_t len = 0; len < good.size(); ++len) {
+    WriteFile(path, good.substr(0, len));
+    ExpectCleanError(path, ("v2 truncation to " + std::to_string(len) +
+                            " bytes").c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCorruptionTest, MutationSectionInV1FileIsRejected) {
+  // A file claiming format v1 must not smuggle in a v2-only section id:
+  // the reader bounds section ids by the file's own version.
+  const std::string path = TempPath("v1_smuggle.sksnap");
+  {
+    SnapshotWriter writer(path, kSnapshotFormatV1);
+    ASSERT_TRUE(writer.WriteSection(kSectionMeta, "m").ok());
+    ASSERT_TRUE(writer.WriteSection(kSectionMutation, "overlay").ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  const Result<SnapshotReader> reader = SnapshotReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("section"), std::string::npos)
+      << reader.status().message();
   std::remove(path.c_str());
 }
 

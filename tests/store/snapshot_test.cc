@@ -253,6 +253,175 @@ TEST(IndexSnapshotTest, SimThreadsDoesNotChangeTheFingerprint) {
   EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
 }
 
+uint32_t FileFormatVersion(const std::string& path) {
+  const std::string bytes = ReadFile(path);
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + sizeof(kSnapshotMagic),
+              sizeof(version));
+  return version;
+}
+
+TEST(SnapshotVersionTest, PristineSnapshotsStayFormatV1) {
+  // The v2 format bump must not disturb pristine files: an unmutated
+  // index writes exactly the bytes a pre-v2 build wrote, so existing
+  // snapshot fleets stay byte-stable (and hash-stable) across upgrades.
+  const std::string path = TempPath("pristine_v1.sksnap");
+  const IndexSnapshot snap = BuildSnapshot(path);
+  EXPECT_FALSE(snap.HasOverlay());
+  EXPECT_EQ(FileFormatVersion(path), kSnapshotFormatV1);
+
+  // The v2 reader reports the original version and re-encodes the file
+  // byte-identically.
+  Result<SnapshotReader> reader = SnapshotReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().format_version(), kSnapshotFormatV1);
+  EXPECT_EQ(reader.value().Section(kSectionMutation), nullptr);
+  const std::string resaved = TempPath("pristine_v1_resave.sksnap");
+  ASSERT_TRUE(SaveIndexSnapshot(snap, resaved).ok());
+  EXPECT_EQ(ReadFile(path), ReadFile(resaved));
+  std::remove(path.c_str());
+  std::remove(resaved.c_str());
+}
+
+/// A snapshot carrying every overlay field: explicit id map (base ids
+/// with holes), delta points, tombstones, and an allocator watermark.
+IndexSnapshot OverlaySnapshot(const std::string& path) {
+  IndexSnapshot snap = BuildSnapshot(path, 40, 3, 19);
+  const size_t dims = snap.target.cols();
+  snap.id_map.clear();
+  for (uint32_t i = 0; i < snap.target.rows(); ++i) {
+    snap.id_map.push_back(2 * i);  // holes: compacted-away history
+  }
+  snap.delta_ids = {90, 93, 95};
+  snap.delta_points = HostMatrix(3, dims);
+  Rng rng(23);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t j = 0; j < dims; ++j) {
+      snap.delta_points.at(r, j) = rng.NextFloat();
+    }
+  }
+  snap.tombstones = {4, 38};
+  snap.next_id = 96;
+  return snap;
+}
+
+TEST(SnapshotVersionTest, OverlayRoundTripsThroughV2) {
+  const std::string path = TempPath("overlay_v2.sksnap");
+  const IndexSnapshot snap = OverlaySnapshot(path);
+  ASSERT_TRUE(snap.HasOverlay());
+  ASSERT_TRUE(ValidateIndexSnapshot(snap).ok());
+  ASSERT_TRUE(SaveIndexSnapshot(snap, path).ok());
+  EXPECT_EQ(FileFormatVersion(path), kSnapshotFormatV2);
+
+  Result<IndexSnapshot> loaded = LoadIndexSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const IndexSnapshot& l = loaded.value();
+  EXPECT_EQ(l.id_map, snap.id_map);
+  EXPECT_EQ(l.delta_ids, snap.delta_ids);
+  EXPECT_EQ(l.tombstones, snap.tombstones);
+  EXPECT_EQ(l.next_id, snap.next_id);
+  ASSERT_EQ(l.delta_points.rows(), snap.delta_points.rows());
+  ASSERT_EQ(l.delta_points.cols(), snap.delta_points.cols());
+  EXPECT_EQ(std::memcmp(l.delta_points.data(), snap.delta_points.data(),
+                        snap.delta_points.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(l.target.data(), snap.target.data(),
+                        snap.target.size() * sizeof(float)),
+            0);
+
+  // v2 encoding is canonical too: Save(Load(file)) == file.
+  const std::string resaved = TempPath("overlay_v2_resave.sksnap");
+  ASSERT_TRUE(SaveIndexSnapshot(l, resaved).ok());
+  EXPECT_EQ(ReadFile(path), ReadFile(resaved));
+  std::remove(path.c_str());
+  std::remove(resaved.c_str());
+}
+
+TEST(SnapshotVersionTest, MutatedIndexSavesAsV2AndWarmLoadsExactly) {
+  // Through the real index path: mutate, save (must become v2), load,
+  // and answer bit-identically to the still-live mutated index.
+  const std::string path = TempPath("mutated_index.sksnap");
+  const HostMatrix target = RandomMatrix(90, 5, 31);
+  SweetKnnIndex index(target);
+  Rng rng(37);
+  for (int i = 0; i < 7; ++i) {
+    std::vector<float> p(5);
+    for (float& x : p) x = rng.NextFloat();
+    index.Insert(p);
+  }
+  ASSERT_TRUE(index.Remove(12));
+  ASSERT_TRUE(index.Remove(57));
+  ASSERT_TRUE(index.Save(path).ok());
+  EXPECT_EQ(FileFormatVersion(path), kSnapshotFormatV2);
+
+  Result<std::unique_ptr<SweetKnnIndex>> warm = SweetKnnIndex::Load(path);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm.value()->size(), index.size());
+  EXPECT_EQ(warm.value()->next_id(), index.next_id());
+  const HostMatrix queries = RandomMatrix(25, 5, 41);
+  for (const int k : {1, 4, 11}) {
+    const KnnResult a = index.Query(queries, k);
+    const KnnResult b = warm.value()->Query(queries, k);
+    for (size_t q = 0; q < a.num_queries(); ++q) {
+      ASSERT_EQ(std::memcmp(a.row(q), b.row(q),
+                            static_cast<size_t>(k) * sizeof(Neighbor)),
+                0)
+          << "k=" << k << " query " << q;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotVersionTest, OverlayValidationRejectsInconsistency) {
+  const std::string path = TempPath("overlay_bad.sksnap");
+  const IndexSnapshot good = OverlaySnapshot(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(ValidateIndexSnapshot(good).ok());
+
+  {
+    IndexSnapshot bad = good;
+    std::swap(bad.delta_ids[0], bad.delta_ids[1]);
+    const Status s = ValidateIndexSnapshot(bad);
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("not strictly increasing"),
+              std::string::npos)
+        << s.message();
+  }
+  {
+    // A tombstone naming a delta id: deletes of delta-resident points
+    // are physical erases, never tombstones.
+    IndexSnapshot bad = good;
+    bad.tombstones.push_back(bad.delta_ids[1]);
+    const Status s = ValidateIndexSnapshot(bad);
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("erased, not tombstoned"), std::string::npos)
+        << s.message();
+  }
+  {
+    // Allocator watermark below an existing id would hand out dupes.
+    IndexSnapshot bad = good;
+    bad.next_id = bad.delta_ids.back();
+    EXPECT_FALSE(ValidateIndexSnapshot(bad).ok());
+  }
+  {
+    // Delta matrix shape must agree with the delta id list.
+    IndexSnapshot bad = good;
+    bad.delta_ids.push_back(bad.next_id - 1);
+    EXPECT_FALSE(ValidateIndexSnapshot(bad).ok());
+  }
+  {
+    // Delta ids must sit above every base id (monotone allocation).
+    IndexSnapshot bad = good;
+    bad.delta_ids[0] = bad.id_map.back() - 1;
+    EXPECT_FALSE(ValidateIndexSnapshot(bad).ok());
+  }
+  {
+    IndexSnapshot bad = good;
+    bad.id_map[0] = bad.id_map[1];  // not strictly increasing
+    EXPECT_FALSE(ValidateIndexSnapshot(bad).ok());
+  }
+}
+
 TEST(ValidateIndexSnapshotTest, CatchesStructuralCorruption) {
   const std::string path = TempPath("structural.sksnap");
   const IndexSnapshot good = BuildSnapshot(path);

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <string>
 
+#include <unistd.h>
+
 #include "baseline/brute_force_cpu.h"
 #include "dataset/generators.h"
 #include "dataset/io.h"
@@ -44,7 +46,14 @@ class CliTest : public ::testing::Test {
     cfg.clusters = 3;
     cfg.seed = 17;
     data_ = dataset::MakeGaussianMixture("cli", cfg);
-    csv_path_ = ::testing::TempDir() + "/cli_points.csv";
+    // Unique per test process: ctest runs the suite's cases in parallel,
+    // and a shared path would let one case's TearDown delete the CSV
+    // while another case's CLI is reading it.
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    csv_path_ = ::testing::TempDir() + "/cli_points_" +
+                std::string(info->name()) + "_" +
+                std::to_string(::getpid()) + ".csv";
     ASSERT_TRUE(dataset::SaveCsv(data_, csv_path_).ok());
   }
   void TearDown() override { std::remove(csv_path_.c_str()); }

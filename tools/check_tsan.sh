@@ -8,7 +8,9 @@
 # cache under concurrent clients; hot_swap_test swaps index generations
 # behind live traffic; metrics_test hammers the lock-free counters and
 # histograms from many threads; shutdown_storm_test races Submit against
-# Shutdown; swap_staleness_test races cache inserts against SwapIndex.
+# Shutdown; swap_staleness_test races cache inserts against SwapIndex;
+# compaction_race_test races mutations, forced compactions, and hot
+# swaps against live clients.
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -35,6 +37,7 @@ TESTS=(
   hot_swap_test
   shutdown_storm_test
   swap_staleness_test
+  compaction_race_test
 )
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"

@@ -396,6 +396,7 @@ const char* SectionName(uint32_t id) {
     case sweetknn::store::kSectionFingerprint: return "fingerprint";
     case sweetknn::store::kSectionTarget: return "target";
     case sweetknn::store::kSectionClustering: return "clustering";
+    case sweetknn::store::kSectionMutation: return "mutation";
     default: return "?";
   }
 }
@@ -448,6 +449,12 @@ int IndexInspect(int argc, char** argv) {
               index.clustering.num_clusters);
   std::printf("options [%s]\n", index.options_fingerprint.c_str());
   std::printf("device [%s]\n", index.device_fingerprint.c_str());
+  if (index.HasOverlay()) {
+    std::printf("mutation overlay: %zu delta points, %zu tombstones, "
+                "next id %u\n",
+                index.delta_ids.size(), index.tombstones.size(),
+                index.next_id);
+  }
   return 0;
 }
 
