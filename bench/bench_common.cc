@@ -4,9 +4,11 @@
 #include <cstdio>
 #include <cstring>
 #include <sstream>
+#include <thread>
 
 #include "common/stopwatch.h"
 #include "core/ti_knn_gpu.h"
+#include "simd/simd_kernels.h"
 
 namespace sweetknn::bench {
 
@@ -86,7 +88,45 @@ dataset::Dataset LoadPaperDataset(const std::string& name,
 
 namespace {
 constexpr int kColumnWidth = 12;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
 }  // namespace
+
+EnvInfo DetectEnv() {
+  EnvInfo env;
+  env.hardware_concurrency = std::thread::hardware_concurrency();
+#ifdef __VERSION__
+  env.compiler = __VERSION__;
+#endif
+#ifdef SWEETKNN_BENCH_CXX_FLAGS
+  env.compile_flags = SWEETKNN_BENCH_CXX_FLAGS;
+#endif
+  env.avx2_supported = simd::CpuSupports(simd::Level::kAvx2);
+  env.avx512_supported = simd::CpuSupports(simd::Level::kAvx512);
+  env.simd_level = simd::LevelName(simd::ActiveLevel());
+  return env;
+}
+
+std::string EnvJson(const EnvInfo& env) {
+  std::ostringstream out;
+  out << "  \"env\": {\"hardware_concurrency\": "
+      << env.hardware_concurrency << ", \"compiler\": \""
+      << JsonEscape(env.compiler) << "\", \"compile_flags\": \""
+      << JsonEscape(env.compile_flags) << "\", \"avx2_supported\": "
+      << (env.avx2_supported ? "true" : "false")
+      << ", \"avx512_supported\": "
+      << (env.avx512_supported ? "true" : "false") << ", \"simd_level\": \""
+      << JsonEscape(env.simd_level) << "\"},\n";
+  return out.str();
+}
 
 void PrintTableHeader(const std::vector<std::string>& columns) {
   for (const std::string& c : columns) {

@@ -53,6 +53,27 @@ Measurement RunTi(const dataset::Dataset& data, int k,
 dataset::Dataset LoadPaperDataset(const std::string& name,
                                   const BenchArgs& args);
 
+/// Host/build provenance stamped into every BENCH_*.json: a perf number
+/// is meaningless without the machine and build that produced it
+/// (docs/performance.md).
+struct EnvInfo {
+  unsigned hardware_concurrency = 0;
+  std::string compiler;       ///< __VERSION__ of the compiler that built this
+  std::string compile_flags;  ///< CMake's CXX flags for the bench build
+  bool avx2_supported = false;
+  bool avx512_supported = false;
+  /// The dispatch tier the SIMD kernels actually run at (respects
+  /// SWEETKNN_FORCE_SCALAR).
+  std::string simd_level;
+};
+
+EnvInfo DetectEnv();
+
+/// `env` as one `"env": {...},` JSON line (two-space indent, trailing
+/// comma + newline) for splicing right after a BENCH_*.json's opening
+/// brace.
+std::string EnvJson(const EnvInfo& env);
+
 /// Fixed-width table printing helpers.
 void PrintTableHeader(const std::vector<std::string>& columns);
 void PrintTableRow(const std::vector<std::string>& cells);

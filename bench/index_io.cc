@@ -127,9 +127,9 @@ int Main(int argc, char** argv) {
   FILE* json = std::fopen("BENCH_index_io.json", "w");
   if (json != nullptr) {
     std::fprintf(json,
-                 "{\n  \"bench\": \"index_io\",\n  \"k\": %d,\n"
+                 "{\n  \"bench\": \"index_io\",\n%s  \"k\": %d,\n"
                  "  \"scale\": %g,\n  \"runs\": [\n",
-                 kNeighbors, args.scale);
+                 EnvJson(DetectEnv()).c_str(), kNeighbors, args.scale);
     for (size_t i = 0; i < runs.size(); ++i) {
       const IoRun& run = runs[i];
       std::fprintf(

@@ -230,13 +230,13 @@ int Main(int argc, char** argv) {
   FILE* json = std::fopen("BENCH_mutation.json", "w");
   if (json != nullptr) {
     std::fprintf(json,
-                 "{\n  \"bench\": \"mutation_throughput\",\n"
+                 "{\n  \"bench\": \"mutation_throughput\",\n%s"
                  "  \"base_rows\": %zu,\n  \"dims\": %zu,\n"
                  "  \"shards\": %d,\n  \"query_clients\": %d,\n"
                  "  \"mutations\": %zu,\n  \"k\": %d,\n"
                  "  \"scale\": %g,\n  \"runs\": [\n",
-                 n, kDims, shards, clients, mutations, kNeighbors,
-                 args.scale);
+                 EnvJson(DetectEnv()).c_str(), n, kDims, shards,
+                 clients, mutations, kNeighbors, args.scale);
     for (size_t i = 0; i < runs.size(); ++i) {
       const MutationRun& run = runs[i];
       std::fprintf(

@@ -135,10 +135,11 @@ int Main(int argc, char** argv) {
   FILE* json = std::fopen("BENCH_parallel_engine.json", "w");
   if (json != nullptr) {
     std::fprintf(json,
-                 "{\n  \"bench\": \"parallel_engine\",\n"
+                 "{\n  \"bench\": \"parallel_engine\",\n%s"
                  "  \"workers\": %d,\n  \"host_cores\": %u,\n"
                  "  \"scale\": %g,\n  \"datasets\": [\n",
-                 threads, host_cores, args.scale);
+                 EnvJson(DetectEnv()).c_str(), threads, host_cores,
+                 args.scale);
     for (size_t i = 0; i < rows.size(); ++i) {
       const Row& row = rows[i];
       std::fprintf(

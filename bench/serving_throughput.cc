@@ -222,11 +222,12 @@ int Main(int argc, char** argv) {
   FILE* json = std::fopen("BENCH_serving.json", "w");
   if (json != nullptr) {
     std::fprintf(json,
-                 "{\n  \"bench\": \"serving_throughput\",\n"
+                 "{\n  \"bench\": \"serving_throughput\",\n%s"
                  "  \"shards\": %d,\n  \"clients\": %d,\n"
                  "  \"rows_per_request\": %d,\n  \"k\": %d,\n"
                  "  \"scale\": %g,\n  \"runs\": [\n",
-                 shards, clients, kRowsPerRequest, kNeighbors, args.scale);
+                 EnvJson(DetectEnv()).c_str(), shards, clients,
+                 kRowsPerRequest, kNeighbors, args.scale);
     for (size_t i = 0; i < runs.size(); ++i) {
       const ServingRun& run = runs[i];
       std::fprintf(

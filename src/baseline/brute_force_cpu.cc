@@ -1,9 +1,8 @@
 #include "baseline/brute_force_cpu.h"
 
-#include "common/parallel_for.h"
 #include "common/thread_pool.h"
-#include "common/topk.h"
 #include "core/device_points.h"
+#include "simd/simd_kernels.h"
 
 namespace sweetknn::baseline {
 
@@ -11,28 +10,17 @@ KnnResult BruteForceCpu(const HostMatrix& query, const HostMatrix& target,
                         int k, core::Metric metric, int threads) {
   SK_CHECK_EQ(query.cols(), target.cols());
   SK_CHECK_GT(k, 0);
-  KnnResult result(query.rows(), k);
-  const size_t dims = query.cols();
   const int workers =
       threads > 0 ? threads : common::SimThreadsFromEnv();
+  // Pack the target once, then run the vectorized batch kernels: same
+  // canonical per-pair accumulation (and therefore the same bytes) as
+  // the old per-pair AccessorDistance loop, at SIMD-width throughput.
   // Queries are independent, so splitting them across workers changes
   // nothing but wall-clock.
-  common::ParallelFor(
-      workers, query.rows(), /*grain=*/8, [&](size_t begin, size_t end) {
-        for (size_t q = begin; q < end; ++q) {
-          TopK heap(k);
-          const float* qrow = query.row(q);
-          for (size_t t = 0; t < target.rows(); ++t) {
-            const float dist =
-                core::AccessorDistance(core::PointAccessor{qrow, 1},
-                                       core::PointAccessor{target.row(t), 1},
-                                       dims, metric);
-            heap.PushIfCloser(Neighbor{static_cast<uint32_t>(t), dist});
-          }
-          result.SetRow(q, heap.Sorted());
-        }
-      });
-  return result;
+  const simd::PackedTargets packed =
+      simd::PackedTargets::Pack(target.data(), target.rows(), target.cols());
+  return simd::PackedKnn(query, packed, k, core::SimdDistFor(metric),
+                         workers);
 }
 
 }  // namespace sweetknn::baseline

@@ -1,6 +1,7 @@
 #include "core/clustering.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <cmath>
 #include <limits>
@@ -10,6 +11,7 @@
 #include "common/parallel_for.h"
 #include "common/rng.h"
 #include "gpusim/gemm_model.h"
+#include "simd/simd_kernels.h"
 
 namespace sweetknn::core {
 
@@ -22,6 +24,28 @@ using gpusim::LaneMask;
 using gpusim::LaunchConfig;
 using gpusim::Reg;
 using gpusim::Warp;
+
+/// Packs the host-side view of a DevicePoints buffer (either layout)
+/// for the vectorized batch kernels. Pure host bookkeeping: no device
+/// charge, and the packed copy holds exactly the device bytes.
+simd::PackedTargets PackPoints(const DevicePoints& pts) {
+  const bool row_major = pts.layout() == PointLayout::kRowMajor;
+  return simd::PackedTargets::PackStrided(
+      pts.HostPoint(0).base, pts.n(), pts.dims(),
+      /*row_stride=*/row_major ? pts.dims() : 1,
+      /*col_stride=*/row_major ? 1 : pts.n());
+}
+
+/// Contiguous view of one lane's point for the batch kernels: row-major
+/// accessors are already contiguous; column-major lanes copy their point
+/// into the lane's scratch slot (bit-exact float copies).
+const float* LaneRow(const PointAccessor& pt, size_t dims, int lane,
+                     std::vector<float>* scratch) {
+  if (pt.stride == 1) return pt.base;
+  float* dst = scratch->data() + static_cast<size_t>(lane) * dims;
+  for (size_t j = 0; j < dims; ++j) dst[j] = pt[j];
+  return dst;
+}
 
 /// Simulated device-side radix-sort throughput (thrust-class sort on
 /// Kepler), used for the per-cluster ordering pass.
@@ -57,6 +81,11 @@ void RunAssignKernelPairs(Device* dev, const DevicePoints& points,
   const size_t chunk_size = (m + num_chunks - 1) / num_chunks;
   const int64_t total_threads =
       static_cast<int64_t>(n) * static_cast<int64_t>(num_chunks);
+  const simd::PackedTargets packed_centers = PackPoints(centers);
+  const simd::Dist dist_kind = SimdDistFor(metric);
+  // Widest span any lane evaluates: its chunk plus the tile-alignment
+  // back-off of the span start.
+  const size_t lane_stride = chunk_size + simd::kTileLanes;
   KernelMeta meta{name + "_pairs", 40, 0};
   dev->Launch(meta, LaunchConfig::Cover(total_threads, block_threads),
               [&](Warp& w) {
@@ -76,6 +105,31 @@ void RunAssignKernelPairs(Device* dev, const DevicePoints& points,
       Reg<PointAccessor> point;
       points.LoadPoints(w, [&](int lane) { return p[lane]; },
                         [&](int lane, PointAccessor a) { point[lane] = a; });
+      // Hoisted bulk math: each lane's chunk of point-vs-center distances
+      // is evaluated up front by the vectorized host kernels (over the
+      // tile-aligned span covering the chunk). The While walk below keeps
+      // its exact lockstep structure and per-step cost charges; its
+      // distance Op reads the precomputed values, which are bit-identical
+      // to AccessorDistance (the tests/simd suite holds the two
+      // definitions together).
+      thread_local std::vector<float> lane_dists;
+      thread_local std::vector<float> lane_scratch;
+      lane_dists.resize(gpusim::kWarpSize * lane_stride);
+      lane_scratch.resize(gpusim::kWarpSize * dims);
+      std::array<size_t, gpusim::kWarpSize> lane_base{};
+      for (int lane = 0; lane < gpusim::kWarpSize; ++lane) {
+        if (static_cast<int64_t>(w.GlobalThreadId(lane)) >= total_threads) {
+          continue;
+        }
+        const size_t start = chunk[lane] * chunk_size;
+        const size_t end = std::min(m, (chunk[lane] + 1) * chunk_size);
+        if (start >= end) continue;
+        const size_t aligned = start - start % simd::kTileLanes;
+        lane_base[lane] = aligned;
+        const float* row = LaneRow(point[lane], dims, lane, &lane_scratch);
+        simd::QueryDistances(row, packed_centers, aligned, end, dist_kind,
+                             lane_dists.data() + lane * lane_stride);
+      }
       Reg<uint64_t> key;
       w.Op([&](int lane) { key[lane] = ~uint64_t{0}; });
       Reg<size_t> c;
@@ -92,8 +146,9 @@ void RunAssignKernelPairs(Device* dev, const DevicePoints& points,
                                });
             w.Op(
                 [&](int lane) {
-                  const float d = AccessorDistance(
-                      point[lane], center[lane], dims, metric);
+                  const float d =
+                      lane_dists[static_cast<size_t>(lane) * lane_stride +
+                                 (c[lane] - lane_base[lane])];
                   uint32_t bits = 0;
                   static_assert(sizeof(bits) == sizeof(d));
                   std::memcpy(&bits, &d, sizeof(bits));
@@ -162,6 +217,8 @@ void RunAssignKernel(Device* dev, const DevicePoints& points,
                          assignment, dist_to_center, max_dist);
     return;
   }
+  const simd::PackedTargets packed_centers = PackPoints(centers);
+  const simd::Dist dist_kind = SimdDistFor(metric);
   KernelMeta meta{name, /*regs_per_thread=*/40, /*shared_bytes_per_block=*/0};
   dev->Launch(meta, LaunchConfig::Cover(static_cast<int64_t>(n),
                                         block_threads),
@@ -174,6 +231,21 @@ void RunAssignKernel(Device* dev, const DevicePoints& points,
       points.LoadPoints(
           w, [&](int lane) { return w.GlobalThreadId(lane); },
           [&](int lane, PointAccessor acc) { point[lane] = acc; });
+      // Hoisted bulk math: all m distances for every active lane are
+      // evaluated up front by the vectorized host kernels. The lockstep
+      // center walk keeps its exact structure and cost charges; its
+      // distance Op reads the precomputed values, which are bit-identical
+      // to AccessorDistance.
+      thread_local std::vector<float> lane_dists;
+      thread_local std::vector<float> lane_scratch;
+      lane_dists.resize(gpusim::kWarpSize * m);
+      lane_scratch.resize(gpusim::kWarpSize * dims);
+      for (int lane = 0; lane < gpusim::kWarpSize; ++lane) {
+        if (static_cast<size_t>(w.GlobalThreadId(lane)) >= n) continue;
+        const float* row = LaneRow(point[lane], dims, lane, &lane_scratch);
+        simd::QueryDistances(row, packed_centers, dist_kind,
+                             lane_dists.data() + lane * m);
+      }
       Reg<float> best_dist;
       Reg<uint32_t> best_cluster;
       w.Op([&](int lane) {
@@ -189,8 +261,7 @@ void RunAssignKernel(Device* dev, const DevicePoints& points,
         Reg<float> dist;
         w.Op(
             [&](int lane) {
-              dist[lane] =
-                  AccessorDistance(point[lane], center[lane], dims, metric);
+              dist[lane] = lane_dists[static_cast<size_t>(lane) * m + c];
             },
             DistanceOpCost(dims));
         w.Op([&](int lane) {
@@ -251,8 +322,16 @@ DevicePoints RefineCentersKMeans(Device* dev, const DevicePoints& points,
           for (size_t p = begin; p < end; ++p) {
             const uint32_t c = assignment[p];
             ++local_counts[c];
-            for (size_t j = 0; j < dims; ++j) {
-              local_means.at(c, j) += points.At(p, j);
+            // AddRow is an elementwise vector add in the same j order,
+            // so either branch produces the same bytes as the old scalar
+            // loop; only contiguous rows can take the vector path.
+            const PointAccessor pt = points.HostPoint(p);
+            if (pt.stride == 1) {
+              simd::AddRow(local_means.mutable_row(c), pt.base, dims);
+            } else {
+              for (size_t j = 0; j < dims; ++j) {
+                local_means.at(c, j) += pt[j];
+              }
             }
           }
           chunk_means[chunk] = std::move(local_means);
@@ -261,9 +340,7 @@ DevicePoints RefineCentersKMeans(Device* dev, const DevicePoints& points,
     for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
       for (size_t c = 0; c < m; ++c) {
         counts[c] += chunk_counts[chunk][c];
-        for (size_t j = 0; j < dims; ++j) {
-          means.at(c, j) += chunk_means[chunk].at(c, j);
-        }
+        simd::AddRow(means.mutable_row(c), chunk_means[chunk].row(c), dims);
       }
     }
     for (size_t c = 0; c < m; ++c) {
@@ -418,14 +495,29 @@ std::vector<uint32_t> SelectLandmarks(Device* dev, const DevicePoints& points,
   dev->RecordAnalyticLaunch("landmark_pair_sums", gemm_time);
 
   std::vector<float> host_sums(static_cast<size_t>(trials), 0.0f);
+  const simd::Dist dist_kind = SimdDistFor(points.metric());
+  std::vector<float> gathered(static_cast<size_t>(m) * dims);
+  std::vector<float> pair_dists(static_cast<size_t>(m));
   for (int trial = 0; trial < trials; ++trial) {
     const size_t base = static_cast<size_t>(trial) * static_cast<size_t>(m);
+    // Gather the trial's candidate rows, pack once, and evaluate each
+    // row-i-vs-all block with the batch kernels. Each pair distance is
+    // bit-identical to the old per-pair walk, and the double sum still
+    // adds them in ascending (i, j>i) order, so host_sums is unchanged.
+    for (int i = 0; i < m; ++i) {
+      const PointAccessor pt =
+          points.HostPoint(candidates[base + static_cast<size_t>(i)]);
+      float* dst = gathered.data() + static_cast<size_t>(i) * dims;
+      for (size_t j = 0; j < dims; ++j) dst[j] = pt[j];
+    }
+    const simd::PackedTargets packed = simd::PackedTargets::Pack(
+        gathered.data(), static_cast<size_t>(m), dims);
     double sum = 0.0;
     for (int i = 0; i < m; ++i) {
+      simd::QueryDistances(gathered.data() + static_cast<size_t>(i) * dims,
+                           packed, dist_kind, pair_dists.data());
       for (int j = i + 1; j < m; ++j) {
-        sum += points.Distance(
-            points.HostPoint(candidates[base + static_cast<size_t>(i)]),
-            points.HostPoint(candidates[base + static_cast<size_t>(j)]));
+        sum += static_cast<double>(pair_dists[static_cast<size_t>(j)]);
       }
     }
     host_sums[static_cast<size_t>(trial)] = static_cast<float>(sum);

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/topk.h"
 #include "core/device_points.h"
+#include "simd/simd_kernels.h"
 
 namespace sweetknn::core {
 
@@ -40,17 +41,27 @@ KnnResult ScanDelta(const DeltaBuffer& delta, const HostMatrix& queries,
   SK_CHECK_GT(k, 0);
   SK_CHECK_EQ(queries.cols(), delta.dims);
   KnnResult result(queries.rows(), k);
+  // Pack the delta once per scan; the batch kernels reproduce the old
+  // per-pair AccessorDistance loop bit for bit. With tombstones present
+  // the select falls back to the skip-aware scalar walk (same ascending
+  // order, same PushIfCloser semantics).
+  const simd::PackedTargets packed =
+      simd::PackedTargets::Pack(delta.points.data(), delta.size(), delta.dims);
+  std::vector<float> dists(delta.size());
   for (size_t q = 0; q < queries.rows(); ++q) {
-    const PointAccessor query{queries.row(q), 1};
     TopK topk(k);
-    for (size_t i = 0; i < delta.size(); ++i) {
-      if (!delta.tombstones.empty() &&
-          delta.tombstones.count(delta.ids[i]) != 0) {
-        continue;
+    if (delta.size() > 0) {
+      simd::QueryDistances(queries.row(q), packed, SimdDistFor(metric),
+                           dists.data());
+      if (delta.tombstones.empty()) {
+        simd::SelectNearest(dists.data(), delta.size(), /*index_base=*/0,
+                            &topk);
+      } else {
+        for (size_t i = 0; i < delta.size(); ++i) {
+          if (delta.tombstones.count(delta.ids[i]) != 0) continue;
+          topk.PushIfCloser(Neighbor{static_cast<uint32_t>(i), dists[i]});
+        }
       }
-      const float dist = AccessorDistance(
-          query, PointAccessor{delta.point(i), 1}, delta.dims, metric);
-      topk.PushIfCloser(Neighbor{static_cast<uint32_t>(i), dist});
     }
     result.SetRow(q, topk.Sorted());
   }

@@ -11,8 +11,17 @@
 #include "core/options.h"
 #include "gpusim/device.h"
 #include "gpusim/warp.h"
+#include "simd/simd_kernels.h"
 
 namespace sweetknn::core {
+
+/// The simd-module distance kind computing exactly what AccessorDistance
+/// computes for this metric (bit-identical; the equivalence suite in
+/// tests/simd holds the two definitions together).
+inline simd::Dist SimdDistFor(Metric metric) {
+  return metric == Metric::kEuclidean ? simd::Dist::kEuclidean
+                                      : simd::Dist::kManhattan;
+}
 
 /// View of one point inside a DevicePoints buffer; dimension j is
 /// base[j * stride] (stride 1 for row-major, N for column-major).

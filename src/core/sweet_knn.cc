@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/thread_pool.h"
+#include "core/device_points.h"
 #include "core/shard_merge.h"
 
 namespace sweetknn {
@@ -13,6 +15,9 @@ SweetKnnIndex::SweetKnnIndex(const HostMatrix& target,
       device_(std::make_unique<gpusim::Device>(config.device)),
       engine_(std::make_unique<core::TiKnnEngine>(device_.get(),
                                                   config.options)),
+      planner_(config.planner),
+      packed_base_(simd::PackedTargets::Pack(target.data(), target.rows(),
+                                             target.cols())),
       dims_(target.cols()),
       base_rows_(target.rows()),
       next_id_(static_cast<uint32_t>(target.rows())) {
@@ -27,6 +32,9 @@ SweetKnnIndex::SweetKnnIndex(WarmStartTag, const HostMatrix& target,
       device_(std::make_unique<gpusim::Device>(config.device)),
       engine_(std::make_unique<core::TiKnnEngine>(device_.get(),
                                                   config.options)),
+      planner_(config.planner),
+      packed_base_(simd::PackedTargets::Pack(target.data(), target.rows(),
+                                             target.cols())),
       dims_(target.cols()),
       base_rows_(target.rows()),
       next_id_(static_cast<uint32_t>(target.rows())) {
@@ -56,13 +64,37 @@ void SweetKnnIndex::AdoptOverlay(std::vector<uint32_t> id_map,
 KnnResult SweetKnnIndex::Query(const HostMatrix& queries, int k,
                                core::KnnRunStats* stats) {
   SK_CHECK_EQ(queries.cols(), dims_);
+  // Route the base scan by cost. Both routes return bit-identical
+  // neighbor lists (the host path runs the same canonical float
+  // pipeline the engine is fuzz-proven against), so only wall-clock and
+  // the stats differ: a host-routed batch reports empty KnnRunStats —
+  // no simulated device ran.
+  const core::QueryRoute route =
+      planner_.Choose(queries.rows(), base_rows_, dims_);
+  const auto run_base = [&](int base_k,
+                            core::KnnRunStats* out) -> KnnResult {
+    if (route == core::QueryRoute::kHost) {
+      if (out != nullptr) *out = core::KnnRunStats{};
+      const int workers = config_.options.sim_threads > 0
+                              ? config_.options.sim_threads
+                              : common::SimThreadsFromEnv();
+      return simd::PackedKnn(queries, packed_base_, base_k,
+                             core::SimdDistFor(config_.options.metric),
+                             workers);
+    }
+    core::KnnRunStats local;
+    const KnnResult result = engine_->RunQueries(queries, base_k, &local);
+    planner_.ObserveDeviceRun(local);
+    if (out != nullptr) *out = local;
+    return result;
+  };
   if (pristine()) {
-    return engine_->RunQueries(queries, k, stats);
+    return run_base(k, stats);
   }
   // Over-query the frozen base so tombstone masking can never leave a
   // row short of k live candidates.
   const int base_k = k + static_cast<int>(delta_.tombstones.size());
-  const KnnResult base = engine_->RunQueries(queries, base_k, stats);
+  const KnnResult base = run_base(base_k, stats);
   std::vector<core::MergeSource> sources;
   core::MergeSource base_src;
   base_src.result = &base;
@@ -171,6 +203,8 @@ void SweetKnnIndex::Compact() {
   engine_ =
       std::make_unique<core::TiKnnEngine>(device_.get(), config_.options);
   engine_->PrepareTarget(fresh);
+  packed_base_ =
+      simd::PackedTargets::Pack(fresh.data(), fresh.rows(), fresh.cols());
   base_rows_ = live;
   // Normalize: ids 0..live-1 need no map (lets Save emit v1 again).
   bool identity = true;

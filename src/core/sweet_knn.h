@@ -11,8 +11,10 @@
 #include "common/status.h"
 #include "core/delta_overlay.h"
 #include "core/options.h"
+#include "core/route_planner.h"
 #include "core/ti_knn_gpu.h"
 #include "gpusim/device.h"
+#include "simd/simd_kernels.h"
 
 namespace sweetknn {
 
@@ -33,6 +35,13 @@ class SweetKnn {
     /// tombstones) exceeds this fraction of the base rows. <= 0 disables
     /// auto-compaction (Compact() stays available).
     double compact_delta_fraction = 0.25;
+    /// SweetKnnIndex only: cost-based routing of each query batch
+    /// between the simulated-GPU TI engine and the vectorized host
+    /// kernels (docs/performance.md). Both routes answer bit-
+    /// identically; force-device restores pre-planner behavior (and is
+    /// what stats-asserting callers should pin, since host-routed
+    /// batches report no simulated-device stats).
+    core::PlannerConfig planner;
   };
 
   SweetKnn() : SweetKnn(Config{}) {}
@@ -174,6 +183,9 @@ class SweetKnnIndex {
 
   gpusim::Device& device() { return *device_; }
   const core::TiKnnEngine& engine() const { return *engine_; }
+  /// The batch router (live mode switch; route counters).
+  core::RoutePlanner& planner() { return planner_; }
+  const core::RoutePlanner& planner() const { return planner_; }
 
  private:
   struct WarmStartTag {};
@@ -199,6 +211,10 @@ class SweetKnnIndex {
   SweetKnn::Config config_;
   std::unique_ptr<gpusim::Device> device_;
   std::unique_ptr<core::TiKnnEngine> engine_;
+  core::RoutePlanner planner_;
+  /// The frozen base, pre-packed for the vectorized host route (rebuilt
+  /// by Compact alongside the engine).
+  simd::PackedTargets packed_base_;
   size_t dims_ = 0;
   size_t base_rows_ = 0;
   /// Base row -> stable id, strictly increasing; empty = identity

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "core/device_points.h"
 #include "core/shard_merge.h"
 
 namespace sweetknn::serve {
@@ -50,7 +51,10 @@ uint32_t SnapshotBaseId(const store::IndexSnapshot& snap, size_t row) {
 }  // namespace
 
 KnnService::KnnService(const HostMatrix& target, const ServiceConfig& config)
-    : config_(config), dims_(target.cols()), target_rows_(target.rows()) {
+    : config_(config),
+      dims_(target.cols()),
+      planner_(config.planner),
+      target_rows_(target.rows()) {
   SK_CHECK(!target.empty()) << "KnnService needs a non-empty target set";
   SK_CHECK_GT(config_.max_batch_size, 0);
   InitMetrics();
@@ -139,6 +143,10 @@ KnnService::KnnService(const HostMatrix& target, const ServiceConfig& config)
     } else {
       shards_[idx]->engine.PrepareTarget(slices[idx]);
     }
+    // Warm or cold, the base bytes are the slice bytes (warm starts
+    // byte-compare the snapshot against the slice above).
+    shards_[idx]->packed_base = simd::PackedTargets::Pack(
+        slices[idx].data(), slices[idx].rows(), slices[idx].cols());
   });
   if (warm) stats_.warm_started_shards = static_cast<uint64_t>(num_shards);
 
@@ -148,7 +156,9 @@ KnnService::KnnService(const HostMatrix& target, const ServiceConfig& config)
 
 KnnService::KnnService(AdoptTag, std::vector<store::IndexSnapshot> snapshots,
                        const ServiceConfig& config)
-    : config_(config), dims_(snapshots[0].target.cols()) {
+    : config_(config),
+      dims_(snapshots[0].target.cols()),
+      planner_(config.planner) {
   SK_CHECK_GT(config_.max_batch_size, 0);
   config_.num_shards = static_cast<int>(snapshots.size());
   InitMetrics();
@@ -266,6 +276,18 @@ void KnnService::InitMetrics() {
   m_compacted_rows_ = metrics_.GetCounter(
       "sweetknn_compacted_rows_total",
       "Rows clustered into fresh bases by compactions");
+  m_planner_device_routes_ = metrics_.GetCounter(
+      "sweetknn_planner_device_routes_total",
+      "Shard base scans routed to the simulated-GPU TI engine");
+  m_planner_host_routes_ = metrics_.GetCounter(
+      "sweetknn_planner_host_routes_total",
+      "Shard base scans routed to the vectorized host kernels");
+  m_route_device_seconds_ = metrics_.GetHistogram(
+      "sweetknn_planner_device_route_seconds",
+      "Host wall-clock of one device-routed shard base scan", latency);
+  m_route_host_seconds_ = metrics_.GetHistogram(
+      "sweetknn_planner_host_route_seconds",
+      "Host wall-clock of one host-routed shard base scan", latency);
   m_compaction_seconds_ = metrics_.GetHistogram(
       "sweetknn_compaction_seconds",
       "Host wall-clock of one shard compaction (capture to install)",
@@ -587,12 +609,32 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
   std::vector<KnnResult> delta_results(static_cast<size_t>(num_shards));
   std::vector<core::KnnRunStats> shard_stats(
       static_cast<size_t>(num_shards));
+  // Route each shard's base scan by cost, serially before the fan-out so
+  // the decision order is deterministic. Both routes return bit-identical
+  // per-shard lists (the host path runs the same canonical float pipeline
+  // the engine is fuzz-proven against), so the merged answer cannot
+  // depend on the route; host-routed shards report empty KnnRunStats.
+  std::vector<core::QueryRoute> routes(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    routes[static_cast<size_t>(s)] = planner_.Choose(
+        rows, shards_[static_cast<size_t>(s)]->base_rows(), dims_);
+  }
+  std::vector<double> shard_seconds(static_cast<size_t>(num_shards), 0.0);
+  const simd::Dist dist_kind = core::SimdDistFor(config_.options.metric);
   const SteadyClock::time_point fanout_start = SteadyClock::now();
   if (all_pristine) {
     common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
       const auto idx = static_cast<size_t>(s);
-      shard_results[idx] =
-          shards_[idx]->engine.RunQueries(queries, k, &shard_stats[idx]);
+      const SteadyClock::time_point start = SteadyClock::now();
+      if (routes[idx] == core::QueryRoute::kHost) {
+        // workers=1: the shard fan-out is already the host-parallel axis.
+        shard_results[idx] = simd::PackedKnn(
+            queries, shards_[idx]->packed_base, k, dist_kind, /*workers=*/1);
+      } else {
+        shard_results[idx] =
+            shards_[idx]->engine.RunQueries(queries, k, &shard_stats[idx]);
+      }
+      shard_seconds[idx] = SecondsBetween(start, SteadyClock::now());
     });
   } else {
     // Mutated path: each shard's frozen base is over-queried at
@@ -606,15 +648,34 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
       const Shard& shard = *shards_[idx];
       const int base_k =
           k + static_cast<int>(shard.delta.tombstones.size());
-      shard_results[idx] =
-          shards_[idx]->engine.RunQueries(queries, base_k,
-                                          &shard_stats[idx]);
+      const SteadyClock::time_point start = SteadyClock::now();
+      if (routes[idx] == core::QueryRoute::kHost) {
+        shard_results[idx] =
+            simd::PackedKnn(queries, shard.packed_base, base_k, dist_kind,
+                            /*workers=*/1);
+      } else {
+        shard_results[idx] =
+            shards_[idx]->engine.RunQueries(queries, base_k,
+                                            &shard_stats[idx]);
+      }
       delta_results[idx] =
           core::ScanDelta(shard.delta, queries, k, config_.options.metric);
+      shard_seconds[idx] = SecondsBetween(start, SteadyClock::now());
     });
   }
   const SteadyClock::time_point merge_start = SteadyClock::now();
   m_shard_fanout_->Observe(SecondsBetween(fanout_start, merge_start));
+  for (int s = 0; s < num_shards; ++s) {
+    const auto idx = static_cast<size_t>(s);
+    if (routes[idx] == core::QueryRoute::kHost) {
+      m_planner_host_routes_->Increment();
+      m_route_host_seconds_->Observe(shard_seconds[idx]);
+    } else {
+      m_planner_device_routes_->Increment();
+      m_route_device_seconds_->Observe(shard_seconds[idx]);
+      planner_.ObserveDeviceRun(shard_stats[idx]);
+    }
+  }
   KnnResult merged;
   if (all_pristine) {
     merged = core::MergeShardResults(shard_results, shard_offsets_, k);
@@ -641,7 +702,7 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
   }
   m_merge_->Observe(SecondsBetween(merge_start, SteadyClock::now()));
 
-  RecordGroupStats(shard_stats, rows);
+  RecordGroupStats(shard_stats, routes, rows);
 
   // Slice the merged result back into per-request answers.
   row = 0;
@@ -659,7 +720,8 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
 }
 
 void KnnService::RecordGroupStats(
-    const std::vector<core::KnnRunStats>& shard_stats, size_t rows) {
+    const std::vector<core::KnnRunStats>& shard_stats,
+    const std::vector<core::QueryRoute>& routes, size_t rows) {
   double slowest = 0.0;
   double total = 0.0;
   double level1 = 0.0;
@@ -667,7 +729,12 @@ void KnnService::RecordGroupStats(
   double transfer = 0.0;
   double preprocess = 0.0;
   uint64_t distance_calcs = 0;
-  for (const core::KnnRunStats& s : shard_stats) {
+  for (size_t i = 0; i < shard_stats.size(); ++i) {
+    // A host-routed shard ran no simulated device: its KnnRunStats is
+    // empty and it made no adaptive decisions, so it contributes to
+    // neither the sim-time counters nor the decision counts.
+    if (routes[i] == core::QueryRoute::kHost) continue;
+    const core::KnnRunStats& s = shard_stats[i];
     total += s.sim_time_s;
     slowest = std::max(slowest, s.sim_time_s);
     distance_calcs += s.distance_calcs;
@@ -855,6 +922,8 @@ Status KnnService::CompactShardInternal(int s) {
   shard_options.sim_threads = 1;
   auto fresh = std::make_unique<Shard>(config_.device, shard_options);
   fresh->engine.PrepareTarget(plan.points);
+  fresh->packed_base = simd::PackedTargets::Pack(
+      plan.points.data(), plan.points.rows(), plan.points.cols());
   fresh->set_base_rows(plan.points.rows());
   fresh->delta.dims = dims_;
   const bool identity =
@@ -1066,6 +1135,9 @@ KnnService::ShardSet KnnService::BuildShardsFromSnapshots(
     const auto idx = static_cast<size_t>(s);
     set.shards[idx]->engine.RestoreTarget(snapshots[idx].target,
                                           snapshots[idx].clustering);
+    set.shards[idx]->packed_base = simd::PackedTargets::Pack(
+        snapshots[idx].target.data(), snapshots[idx].target.rows(),
+        snapshots[idx].target.cols());
   });
   return set;
 }

@@ -22,8 +22,10 @@
 #include "common/status.h"
 #include "core/delta_overlay.h"
 #include "core/options.h"
+#include "core/route_planner.h"
 #include "core/ti_knn_gpu.h"
 #include "gpusim/device.h"
+#include "simd/simd_kernels.h"
 #include "store/snapshot.h"
 
 namespace sweetknn::serve {
@@ -67,6 +69,14 @@ struct ServiceConfig {
   /// explicit CompactShard/CompactAll calls (deterministic; tests use
   /// this).
   bool auto_compact = true;
+  /// Cost-based routing of each query group's per-shard base scan
+  /// between the shard's simulated-GPU TI engine and the vectorized
+  /// host kernels (docs/performance.md). Both routes answer bit-
+  /// identically; host-routed shard runs report no simulated-device
+  /// stats (sim-time counters, filter/placement decisions), so tests
+  /// asserting those pin mode = kForceDevice. SWEETKNN_PLANNER
+  /// ("auto" | "device" | "host") overrides the mode at construction.
+  core::PlannerConfig planner;
 };
 
 /// Service-level counters, all cumulative since construction. The
@@ -281,6 +291,10 @@ class KnnService {
     pre_cache_insert_hook_ = std::move(hook);
   }
 
+  /// The batch router (live mode switch; route counters). Thread-safe.
+  core::RoutePlanner& planner() { return planner_; }
+  const core::RoutePlanner& planner() const { return planner_; }
+
   int num_shards() const { return static_cast<int>(shards_.size()); }
   /// Live rows: base rows minus tombstones plus delta points.
   size_t target_rows() const {
@@ -300,6 +314,10 @@ class KnnService {
         : dev(spec), engine(&dev, options) {}
     gpusim::Device dev;
     core::TiKnnEngine engine;
+    /// The frozen base pre-packed for the vectorized host route; holds
+    /// exactly the bytes PrepareTarget/RestoreTarget uploaded. Replaced
+    /// together with the engine (compaction installs, swaps).
+    simd::PackedTargets packed_base;
     uint32_t offset = 0;  ///< First global target row of this slice.
     /// Base row -> stable id, strictly increasing; empty = identity
     /// shifted by `offset`.
@@ -374,8 +392,11 @@ class KnnService {
   /// install.
   void RunGroup(std::vector<RequestPtr> group);
   /// Folds one engine group's shard stats into ServiceStats and the
-  /// metrics registry. Caller must NOT hold stats_mutex_.
+  /// metrics registry. Host-routed shards contribute no simulated-device
+  /// stats (no device ran for them) and are skipped for the adaptive-
+  /// decision counters. Caller must NOT hold stats_mutex_.
   void RecordGroupStats(const std::vector<core::KnnRunStats>& shard_stats,
+                        const std::vector<core::QueryRoute>& routes,
                         size_t rows);
 
   /// The background compactor: sleeps until a mutation pushes some shard
@@ -443,6 +464,9 @@ class KnnService {
 
   ServiceConfig config_;
   size_t dims_ = 0;
+  /// Routes each group's per-shard base scan; internally atomic (the
+  /// dispatcher chooses while tests flip the mode).
+  core::RoutePlanner planner_;
 
   /// Guards the live index state: shards_ (including their overlays),
   /// shard_offsets_, target_rows_, next_id_ and epoch_counter_. Held by
@@ -513,6 +537,10 @@ class KnnService {
   common::Counter* m_compactions_ = nullptr;
   common::Counter* m_compaction_aborts_ = nullptr;
   common::Counter* m_compacted_rows_ = nullptr;
+  common::Counter* m_planner_device_routes_ = nullptr;
+  common::Counter* m_planner_host_routes_ = nullptr;
+  common::Histogram* m_route_device_seconds_ = nullptr;
+  common::Histogram* m_route_host_seconds_ = nullptr;
   common::Histogram* m_compaction_seconds_ = nullptr;
   common::Histogram* m_threads_per_query_ = nullptr;
   common::Histogram* m_queue_wait_ = nullptr;

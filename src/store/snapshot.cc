@@ -1,5 +1,8 @@
 #include "store/snapshot.h"
 
+#include "core/device_points.h"
+#include "simd/simd_kernels.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -740,6 +743,83 @@ Status ValidateIndexSnapshot(const IndexSnapshot& s) {
           "next_id " + std::to_string(s.next_id) +
           " does not exceed the largest id in the snapshot (" +
           std::to_string(max_id) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+Status VerifySnapshotDistances(const IndexSnapshot& s) {
+  Status structural = ValidateIndexSnapshot(s);
+  if (!structural.ok()) return structural;
+
+  // The fingerprint leads with "metric=<name>;" (OptionsFingerprint);
+  // recover the metric the builder used so the recomputation runs the
+  // same float pipeline.
+  core::Metric metric;
+  if (s.options_fingerprint.rfind("metric=euclidean;", 0) == 0) {
+    metric = core::Metric::kEuclidean;
+  } else if (s.options_fingerprint.rfind("metric=manhattan;", 0) == 0) {
+    metric = core::Metric::kManhattan;
+  } else {
+    return Status::InvalidArgument(
+        "options fingerprint does not name a known metric: [" +
+        s.options_fingerprint + "]");
+  }
+
+  const core::TargetClusteringHost& tc = s.clustering;
+  const size_t dims = s.target.cols();
+  const size_t m = static_cast<size_t>(tc.num_clusters);
+  const simd::Dist dist_kind = core::SimdDistFor(metric);
+  std::vector<float> gathered;
+  std::vector<float> recomputed;
+  for (size_t c = 0; c < m; ++c) {
+    const uint32_t begin = tc.member_offsets[c];
+    const uint32_t end = tc.member_offsets[c + 1];
+    const size_t count = end - begin;
+    float expected_max = 0.0f;
+    if (count > 0) {
+      // Gather this cluster's member rows, pack once, and recompute all
+      // center-to-member distances in one batch-kernel sweep. The batch
+      // kernels reproduce the builder's AccessorDistance bit for bit, so
+      // anything short of byte equality is corruption (or a file edited
+      // outside the writer).
+      gathered.resize(count * dims);
+      recomputed.resize(count);
+      for (size_t i = 0; i < count; ++i) {
+        std::memcpy(gathered.data() + i * dims,
+                    s.target.row(tc.member_ids[begin + i]),
+                    dims * sizeof(float));
+      }
+      const simd::PackedTargets packed =
+          simd::PackedTargets::Pack(gathered.data(), count, dims);
+      simd::QueryDistances(tc.centers.row(c), packed, dist_kind,
+                           recomputed.data());
+      for (size_t i = 0; i < count; ++i) {
+        const float stored = tc.member_dists[begin + i];
+        if (std::memcmp(&stored, &recomputed[i], sizeof(float)) != 0) {
+          return Status::InvalidArgument(
+              "member_dists[" + std::to_string(begin + i) + "] (cluster " +
+              std::to_string(c) + ", row " +
+              std::to_string(tc.member_ids[begin + i]) + ") stores " +
+              std::to_string(stored) + " but recomputes to " +
+              std::to_string(recomputed[i]));
+        }
+        if (i > 0 && tc.member_dists[begin + i - 1] < stored) {
+          return Status::InvalidArgument(
+              "member_dists not non-increasing inside cluster " +
+              std::to_string(c) + " at slot " + std::to_string(begin + i));
+        }
+        if (stored > expected_max) expected_max = stored;
+      }
+    }
+    // The builder's per-cluster radius is an AtomicMaxFloat over member
+    // distances starting from a zeroed buffer; replicate exactly.
+    const float stored_max = tc.max_dist[c];
+    if (std::memcmp(&stored_max, &expected_max, sizeof(float)) != 0) {
+      return Status::InvalidArgument(
+          "max_dist[" + std::to_string(c) + "] stores " +
+          std::to_string(stored_max) + " but member distances max out at " +
+          std::to_string(expected_max));
     }
   }
   return Status::Ok();

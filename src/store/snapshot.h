@@ -188,6 +188,15 @@ Result<IndexSnapshot> LoadIndexSnapshot(const std::string& path);
 /// snapshot (index-verify runs it; Load runs it before returning).
 Status ValidateIndexSnapshot(const IndexSnapshot& snapshot);
 
+/// Deep numeric verification, beyond the structural checks: recomputes
+/// every member's distance to its cluster center with the vectorized
+/// batch kernels (bit-identical to the builder's per-pair walk) and
+/// demands byte equality with the stored member_dists, per-cluster
+/// non-increasing ordering, and max_dist replication. The metric is
+/// recovered from the snapshot's options fingerprint. O(n * dims) —
+/// run by `index-verify`, not on the serving load path.
+Status VerifySnapshotDistances(const IndexSnapshot& snapshot);
+
 /// Canonical file name of one shard's snapshot inside a snapshot
 /// directory: "shard-<index>-of-<count>.sksnap".
 std::string ShardSnapshotPath(const std::string& dir, int shard_index,

@@ -1,0 +1,242 @@
+#include "core/route_planner.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/sweet_knn.h"
+#include "gtest/gtest.h"
+#include "serve/knn_service.h"
+#include "test_util.h"
+
+namespace sweetknn {
+namespace {
+
+using testing::ClusteredPoints;
+
+// The planner's whole contract is that routing is invisible in the
+// answers, so these comparisons are bit-for-bit, not tolerance-based.
+void ExpectBitIdentical(const KnnResult& want, const KnnResult& got,
+                        const char* what) {
+  ASSERT_EQ(want.k(), got.k()) << what;
+  ASSERT_EQ(want.num_queries(), got.num_queries()) << what;
+  for (size_t q = 0; q < want.num_queries(); ++q) {
+    const Neighbor* w = want.row(q);
+    const Neighbor* g = got.row(q);
+    for (int i = 0; i < want.k(); ++i) {
+      EXPECT_EQ(w[i].index, g[i].index)
+          << what << " query " << q << " rank " << i;
+      EXPECT_EQ(std::memcmp(&w[i].distance, &g[i].distance, sizeof(float)),
+                0)
+          << what << " query " << q << " rank " << i;
+    }
+  }
+}
+
+core::KnnRunStats StatsWithSelectivity(double fraction_computed) {
+  core::KnnRunStats stats;
+  stats.total_pairs = 1'000'000;
+  stats.distance_calcs =
+      static_cast<uint64_t>(fraction_computed * 1'000'000);
+  return stats;
+}
+
+TEST(RoutePlannerTest, ForcedModesAlwaysRouteAndCount) {
+  core::PlannerConfig config;
+  config.mode = core::PlannerMode::kForceDevice;
+  core::RoutePlanner device_planner(config);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(device_planner.Choose(8, 1000, 16),
+              core::QueryRoute::kDevice);
+  }
+  EXPECT_EQ(device_planner.device_routes(), 10u);
+  EXPECT_EQ(device_planner.host_routes(), 0u);
+
+  config.mode = core::PlannerMode::kForceHost;
+  core::RoutePlanner host_planner(config);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(host_planner.Choose(8, 1000, 16), core::QueryRoute::kHost);
+  }
+  EXPECT_EQ(host_planner.device_routes(), 0u);
+  EXPECT_EQ(host_planner.host_routes(), 10u);
+}
+
+TEST(RoutePlannerTest, ColdAutoExploresFirstThenPrefersHost) {
+  core::RoutePlanner planner;  // defaults: kAuto, explore_interval = 16
+  ASSERT_EQ(planner.mode(), core::PlannerMode::kAuto);
+  ASSERT_DOUBLE_EQ(planner.PredictedSelectivity(), 1.0);
+  // A cold planner is pessimistic about the TI filter, so for a
+  // moderate fragment the host path must model cheaper.
+  EXPECT_LT(planner.HostCost(8, 1000, 16), planner.DeviceCost(8, 1000, 16));
+
+  // Decision 0 explores on the device (this also seeds the selectivity
+  // estimate and keeps single-query sim-stats assertions meaningful);
+  // the next 15 follow the cost model onto the host; decision 16
+  // explores again.
+  EXPECT_EQ(planner.Choose(8, 1000, 16), core::QueryRoute::kDevice);
+  for (int i = 1; i < 16; ++i) {
+    EXPECT_EQ(planner.Choose(8, 1000, 16), core::QueryRoute::kHost)
+        << "decision " << i;
+  }
+  EXPECT_EQ(planner.Choose(8, 1000, 16), core::QueryRoute::kDevice);
+  EXPECT_EQ(planner.device_routes() + planner.host_routes(), 17u);
+}
+
+TEST(RoutePlannerTest, SelectivityEmaTracksObservations) {
+  core::RoutePlanner planner;
+  const double alpha = planner.config().selectivity_alpha;
+  // An empty run (no pairs) must not disturb the estimate.
+  planner.ObserveDeviceRun(core::KnnRunStats{});
+  EXPECT_DOUBLE_EQ(planner.PredictedSelectivity(), 1.0);
+
+  planner.ObserveDeviceRun(StatsWithSelectivity(0.2));
+  EXPECT_DOUBLE_EQ(planner.PredictedSelectivity(),
+                   alpha * 0.2 + (1.0 - alpha) * 1.0);
+  planner.ObserveDeviceRun(StatsWithSelectivity(0.2));
+  EXPECT_NEAR(planner.PredictedSelectivity(),
+              alpha * 0.2 + (1.0 - alpha) * (alpha * 0.2 + (1.0 - alpha)),
+              1e-12);
+}
+
+TEST(RoutePlannerTest, LearnedSelectivityFlipsLargeFragmentsToDevice) {
+  core::PlannerConfig config;
+  config.explore_interval = 0;  // pure cost decisions
+  core::RoutePlanner planner(config);
+  // Cold (selectivity 1): even a huge fragment stays on the host.
+  EXPECT_EQ(planner.Choose(64, 1'000'000, 128), core::QueryRoute::kHost);
+  // A sharply selective filter (1% of pairs computed) makes the device's
+  // dominant term collapse; the same fragment now routes to the device.
+  for (int i = 0; i < 64; ++i) {
+    planner.ObserveDeviceRun(StatsWithSelectivity(0.01));
+  }
+  EXPECT_LT(planner.PredictedSelectivity(), 0.02);
+  EXPECT_LT(planner.DeviceCost(64, 1'000'000, 128),
+            planner.HostCost(64, 1'000'000, 128));
+  EXPECT_EQ(planner.Choose(64, 1'000'000, 128), core::QueryRoute::kDevice);
+  // Small fragments still prefer the host: the device's fixed cost
+  // dominates regardless of selectivity.
+  EXPECT_EQ(planner.Choose(1, 200, 4), core::QueryRoute::kHost);
+}
+
+TEST(RoutePlannerTest, EnvVariableOverridesConfiguredMode) {
+  ::setenv("SWEETKNN_PLANNER", "host", 1);
+  core::PlannerConfig config;
+  config.mode = core::PlannerMode::kForceDevice;
+  EXPECT_EQ(core::RoutePlanner(config).mode(),
+            core::PlannerMode::kForceHost);
+  ::setenv("SWEETKNN_PLANNER", "device", 1);
+  EXPECT_EQ(core::RoutePlanner().mode(), core::PlannerMode::kForceDevice);
+  ::setenv("SWEETKNN_PLANNER", "auto", 1);
+  EXPECT_EQ(core::RoutePlanner(config).mode(), core::PlannerMode::kAuto);
+  // Unknown values are ignored, not an error.
+  ::setenv("SWEETKNN_PLANNER", "quantum", 1);
+  EXPECT_EQ(core::RoutePlanner(config).mode(),
+            core::PlannerMode::kForceDevice);
+  ::unsetenv("SWEETKNN_PLANNER");
+}
+
+// TSan target (tools/check_tsan.sh): Choose, set_mode, and
+// ObserveDeviceRun race freely; every decision must land in exactly one
+// route counter.
+TEST(RoutePlannerTest, ConcurrentChooseAndModeFlipsLoseNoDecisions) {
+  core::RoutePlanner planner;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&planner, t] {
+      std::mt19937 rng(static_cast<unsigned>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        switch (rng() % 8) {
+          case 0:
+            planner.set_mode(core::PlannerMode::kForceHost);
+            break;
+          case 1:
+            planner.set_mode(core::PlannerMode::kForceDevice);
+            break;
+          case 2:
+            planner.set_mode(core::PlannerMode::kAuto);
+            break;
+          case 3:
+            planner.ObserveDeviceRun(StatsWithSelectivity(0.5));
+            break;
+          default:
+            break;
+        }
+        planner.Choose(1 + rng() % 64, 1000, 16);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(planner.device_routes() + planner.host_routes(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+SweetKnn::Config IndexConfig(core::PlannerMode mode, core::Metric metric) {
+  SweetKnn::Config config;
+  config.planner.mode = mode;
+  config.options.metric = metric;
+  return config;
+}
+
+// The planner's correctness claim: the merged answers are bit-identical
+// no matter which route served the base scan — including through
+// mutations, where the host route feeds the same overlay merge.
+TEST(RoutePlannerTest, IndexAnswersBitIdenticallyOnEveryRoute) {
+  for (const core::Metric metric :
+       {core::Metric::kEuclidean, core::Metric::kManhattan}) {
+    const HostMatrix target = ClusteredPoints(300, 6, 4, 515);
+    const HostMatrix queries = ClusteredPoints(24, 6, 3, 516);
+    SweetKnnIndex device_index(
+        target, IndexConfig(core::PlannerMode::kForceDevice, metric));
+    SweetKnnIndex host_index(
+        target, IndexConfig(core::PlannerMode::kForceHost, metric));
+    SweetKnnIndex auto_index(
+        target, IndexConfig(core::PlannerMode::kAuto, metric));
+
+    const KnnResult want = device_index.Query(queries, 5);
+    ExpectBitIdentical(want, host_index.Query(queries, 5), "pristine host");
+    ExpectBitIdentical(want, auto_index.Query(queries, 5), "pristine auto");
+
+    // Mutate all three identically; the base scan now over-queries and
+    // merges with the delta overlay on whichever route.
+    for (SweetKnnIndex* index : {&device_index, &host_index, &auto_index}) {
+      index->Insert({0.1f, 0.2f, 0.3f, 0.4f, 0.5f, 0.6f});
+      index->Insert({-0.4f, 0.0f, 0.7f, -0.1f, 0.2f, 0.9f});
+      index->Remove(7);
+      index->Remove(42);
+    }
+    const KnnResult mutated = device_index.Query(queries, 5);
+    ExpectBitIdentical(mutated, host_index.Query(queries, 5),
+                       "mutated host");
+    ExpectBitIdentical(mutated, auto_index.Query(queries, 5),
+                       "mutated auto");
+  }
+}
+
+TEST(RoutePlannerTest, ServiceAnswersBitIdenticallyOnEveryRoute) {
+  const HostMatrix target = ClusteredPoints(260, 4, 3, 517);
+  const HostMatrix queries = ClusteredPoints(16, 4, 2, 518);
+  serve::ServiceConfig device_config;
+  device_config.num_shards = 2;
+  device_config.planner.mode = core::PlannerMode::kForceDevice;
+  serve::ServiceConfig host_config = device_config;
+  host_config.planner.mode = core::PlannerMode::kForceHost;
+
+  serve::KnnService device_service(target, device_config);
+  serve::KnnService host_service(target, host_config);
+  const Result<KnnResult> want = device_service.JoinBatch(queries, 4);
+  const Result<KnnResult> got = host_service.JoinBatch(queries, 4);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  ExpectBitIdentical(want.value(), got.value(), "service host route");
+  EXPECT_GT(host_service.planner().host_routes(), 0u);
+  EXPECT_GT(device_service.planner().device_routes(), 0u);
+}
+
+}  // namespace
+}  // namespace sweetknn

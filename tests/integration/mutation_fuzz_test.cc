@@ -11,6 +11,14 @@
 // service), all bit-exact. Any mismatch prints a one-line repro of the
 // failing sequence.
 //
+// Every step also randomly flips the two knobs that are contractually
+// invisible in the answers: the hybrid planner's route (auto / force-
+// device / force-host) and the SIMD dispatch tier (forced scalar vs
+// best available). The bit-identical oracle check therefore proves
+// route and vector-width independence across every interleaving, not
+// just in dedicated equivalence tests. The flips are derived from the
+// sequence seed, so a repro line replays them exactly.
+//
 // Tiers (the totals satisfy the >= 2000 sequence acceptance bar):
 //   MutationFuzzFastTier:  150 short sequences — the CI fast stage.
 //   MutationFuzzSlow:     1200 index + 800 service sequences, sharded
@@ -29,12 +37,32 @@
 #include "core/sweet_knn.h"
 #include "gtest/gtest.h"
 #include "serve/knn_service.h"
+#include "simd/simd_kernels.h"
 #include "test_util.h"
 
 namespace sweetknn {
 namespace {
 
 constexpr uint64_t kBaseSeed = 20260807;
+
+/// Restores normal SIMD dispatch when a sequence ends (including the
+/// early-return failure paths).
+struct ScopedSimdDispatch {
+  ~ScopedSimdDispatch() { simd::ForceLevelForTest(-1); }
+};
+
+/// Per-step flip of the answer-invisible knobs: planner route and SIMD
+/// dispatch tier. `planner` is the live router of the index or service
+/// under test.
+void ToggleInvisibleKnobs(Rng* rng, core::RoutePlanner* planner) {
+  switch (rng->NextBounded(4)) {
+    case 0: planner->set_mode(core::PlannerMode::kAuto); break;
+    case 1: planner->set_mode(core::PlannerMode::kForceDevice); break;
+    case 2: planner->set_mode(core::PlannerMode::kForceHost); break;
+    default: break;  // keep the current mode
+  }
+  simd::ForceLevelForTest(rng->NextBounded(2) == 0 ? 0 : -1);
+}
 
 struct MutationFuzzConfig {
   uint64_t seed = 0;
@@ -208,8 +236,11 @@ void RunIndexSequence(const MutationFuzzConfig& cfg) {
   }
   uint32_t expected_next_id = static_cast<uint32_t>(cfg.n0);
 
+  ScopedSimdDispatch dispatch_guard;
+  Rng toggle_rng(SplitMix64(cfg.seed + 91));
   Rng rng(SplitMix64(cfg.seed + 17));
   for (int op = 0; op < cfg.ops; ++op) {
+    ToggleInvisibleKnobs(&toggle_rng, &index.planner());
     const uint64_t dice = rng.NextBounded(100);
     if (dice < 30) {
       const std::vector<float> point = RandomPoint(&rng, cfg.dims);
@@ -324,8 +355,11 @@ void RunServiceSequence(const MutationFuzzConfig& cfg) {
   uint64_t inserts = 0;
   uint64_t removes = 0;
 
+  ScopedSimdDispatch dispatch_guard;
+  Rng toggle_rng(SplitMix64(cfg.seed + 93));
   Rng rng(SplitMix64(cfg.seed + 31));
   for (int op = 0; op < cfg.ops; ++op) {
+    ToggleInvisibleKnobs(&toggle_rng, &service.planner());
     const uint64_t dice = rng.NextBounded(100);
     if (dice < 22) {
       const std::vector<float> point = RandomPoint(&rng, cfg.dims);

@@ -296,6 +296,9 @@ TEST(KnnServiceTest, MetricsMirrorStatsAndCarryStageBreakdown) {
   const HostMatrix queries = ClusteredPoints(12, 4, 2, 415);
   serve::ServiceConfig config;
   config.num_shards = 2;
+  // This test asserts per-shard simulated-device stats, so pin every
+  // shard onto the device route (host-routed shards report none).
+  config.planner.mode = core::PlannerMode::kForceDevice;
   serve::KnnService service(target, config);
   ASSERT_TRUE(service.JoinBatch(queries, 4).ok());
   const serve::ServiceStats stats = service.stats();

@@ -10,7 +10,9 @@
 # histograms from many threads; shutdown_storm_test races Submit against
 # Shutdown; swap_staleness_test races cache inserts against SwapIndex;
 # compaction_race_test races mutations, forced compactions, and hot
-# swaps against live clients.
+# swaps against live clients; route_planner_test flips the hybrid
+# planner's mode and feeds its selectivity EMA from many threads while
+# Choose() races the lock-free route counters.
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -28,6 +30,7 @@ TESTS=(
   device_test
   parallel_launch_test
   clustering_test
+  route_planner_test
   level1_test
   level2_test
   ti_knn_gpu_test

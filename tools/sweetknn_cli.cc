@@ -494,7 +494,15 @@ int IndexVerify(int argc, char** argv) {
                   snap.status().ToString().c_str());
       return 1;
     }
-    std::printf("OK %s (shard %u of %u, %zu x %zu, %d clusters)\n",
+    // Beyond Load's structural checks: recompute every member distance
+    // with the batch kernels and demand byte equality with the file.
+    const Status deep = store::VerifySnapshotDistances(snap.value());
+    if (!deep.ok()) {
+      std::printf("FAIL %s: %s\n", p.c_str(), deep.ToString().c_str());
+      return 1;
+    }
+    std::printf("OK %s (shard %u of %u, %zu x %zu, %d clusters, "
+                "distances verified)\n",
                 p.c_str(), snap.value().shard_index,
                 snap.value().shard_count, snap.value().target.rows(),
                 snap.value().target.cols(),
