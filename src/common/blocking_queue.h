@@ -53,6 +53,20 @@ class BlockingQueue {
     return PopLocked(out);
   }
 
+  /// Like WaitPopFor with an absolute deadline; false once `deadline`
+  /// passes with nothing available (or on closed-and-empty). The router
+  /// collects per-worker RPC replies with this: every reply of one
+  /// fan-out shares one deadline, so a dead worker can delay the batch
+  /// by at most the RPC timeout instead of wedging it forever.
+  template <typename Clock, typename Duration>
+  bool WaitPopUntil(T* out,
+                    std::chrono::time_point<Clock, Duration> deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_until(lock, deadline,
+                   [this] { return closed_ || !items_.empty(); });
+    return PopLocked(out);
+  }
+
   /// Non-blocking pop.
   bool TryPop(T* out) {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -20,6 +20,11 @@ enum class StatusCode {
   /// request was rejected without side effects and may be retried
   /// elsewhere.
   kUnavailable,
+  /// A bounded wait expired before the operation completed (e.g. a
+  /// remote shard worker failed to answer within the RPC timeout). The
+  /// operation may still complete on the other side; the caller treats
+  /// the peer as unhealthy.
+  kDeadlineExceeded,
 };
 
 /// A lightweight success-or-error value, used instead of exceptions
@@ -49,6 +54,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

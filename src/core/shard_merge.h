@@ -70,6 +70,51 @@ KnnResult MergeMutableResults(const std::vector<MergeSource>& sources,
 /// over the merged profile.
 void AccumulateRunStats(const KnnRunStats& shard, KnnRunStats* total);
 
+/// One shard's complete contribution to a same-k query group, in the
+/// transport-free form both shard backends produce: the in-process
+/// threads (KnnService) and the remote shard-worker processes hand the
+/// router the same struct, so the final merge is one code path whichever
+/// side of a socket the shard ran on.
+///
+/// A pristine shard (no overlay, identity ids) reports its raw engine /
+/// host-kernel result: indices local to the slice, stable id = local
+/// index + `offset`. A mutated shard reports its own exact live top-k
+/// with stable ids already substituted (the shard-local
+/// MergeMutableResults over its over-queried base and its delta scan).
+/// The run-stat fields are the flattened subset the serving layer
+/// aggregates; a host-routed shard ran no simulated device and reports
+/// zeros with device_routed = false.
+struct ShardAnswer {
+  bool pristine = true;
+  KnnResult result;     ///< k columns; see above for index semantics.
+  uint32_t offset = 0;  ///< First stable id of a pristine slice.
+
+  bool device_routed = true;
+  double sim_time_s = 0.0;
+  double level1_s = 0.0;      ///< Simulated level-1 kernel seconds.
+  double level2_s = 0.0;      ///< Simulated level-2 kernel seconds.
+  double transfer_s = 0.0;    ///< Simulated PCIe transfer seconds.
+  double preprocess_s = 0.0;  ///< Everything else (upload, clustering).
+  uint64_t distance_calcs = 0;
+  uint64_t total_pairs = 0;
+  Level2Filter filter_used = Level2Filter::kFull;
+  KnearestsPlacement placement_used = KnearestsPlacement::kGlobal;
+  int threads_per_query = 1;
+  /// Host wall-clock of this shard's scan (route latency observation).
+  double route_seconds = 0.0;
+};
+
+/// Merges per-shard answers into the exact global top-k. When every
+/// answer is pristine this is MergeShardResults verbatim (offset remap,
+/// pool, partial sort under NeighborLess); otherwise each answer's rows
+/// are already that shard's exact live top-k under (distance, stable
+/// id), every stable id lives in exactly one shard, and pooling the
+/// per-shard lists and keeping the k smallest under the same total order
+/// is exactly the flat MergeMutableResults over all base + delta
+/// sources — so the merged rows are bit-identical to the in-process
+/// single-merge path, which is itself fuzz-proven against brute force.
+KnnResult MergeShardAnswers(const std::vector<ShardAnswer>& answers, int k);
+
 }  // namespace sweetknn::core
 
 #endif  // SWEETKNN_CORE_SHARD_MERGE_H_

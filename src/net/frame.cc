@@ -1,0 +1,140 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace sweetknn::net {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// CRC32 over everything the header promises: type, payload_len, and the
+/// payload bytes. Magic and version are validated by value instead — a
+/// frame must be recognizable before its checksum is even located.
+uint32_t FrameCrc(uint32_t type, const std::string& payload) {
+  common::Crc32 crc;
+  crc.Update(&type, sizeof(type));
+  const uint64_t len = payload.size();
+  crc.Update(&len, sizeof(len));
+  crc.Update(payload.data(), payload.size());
+  return crc.Final();
+}
+
+}  // namespace
+
+std::string EncodeFrame(uint32_t type, const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size() + sizeof(uint32_t));
+  AppendU32(&out, kFrameMagic);
+  AppendU32(&out, kFrameVersion);
+  AppendU32(&out, type);
+  AppendU64(&out, payload.size());
+  out.append(payload);
+  AppendU32(&out, FrameCrc(type, payload));
+  return out;
+}
+
+Status DecodeFrame(const std::string& bytes, Frame* out, size_t* consumed) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    return Status::IoError("frame: truncated header (" +
+                           std::to_string(bytes.size()) + " of " +
+                           std::to_string(kFrameHeaderBytes) + " bytes)");
+  }
+  const char* p = bytes.data();
+  const uint32_t magic = ReadU32(p);
+  if (magic != kFrameMagic) {
+    return Status::IoError("frame: bad magic 0x" +
+                           std::to_string(magic));
+  }
+  const uint32_t version = ReadU32(p + 4);
+  if (version != kFrameVersion) {
+    return Status::IoError("frame: protocol version " +
+                           std::to_string(version) + ", this build speaks " +
+                           std::to_string(kFrameVersion));
+  }
+  const uint32_t type = ReadU32(p + 8);
+  const uint64_t len = ReadU64(p + 12);
+  if (len > kMaxFramePayload) {
+    return Status::IoError("frame: payload length " + std::to_string(len) +
+                           " exceeds the " +
+                           std::to_string(kMaxFramePayload) + " byte cap");
+  }
+  const size_t total = kFrameHeaderBytes + len + sizeof(uint32_t);
+  if (bytes.size() < total) {
+    return Status::IoError("frame: truncated payload (" +
+                           std::to_string(bytes.size()) + " of " +
+                           std::to_string(total) + " bytes)");
+  }
+  std::string payload(p + kFrameHeaderBytes, len);
+  const uint32_t want_crc = ReadU32(p + kFrameHeaderBytes + len);
+  const uint32_t got_crc = FrameCrc(type, payload);
+  if (want_crc != got_crc) {
+    return Status::IoError("frame: CRC mismatch (stored " +
+                           std::to_string(want_crc) + ", computed " +
+                           std::to_string(got_crc) + ")");
+  }
+  out->type = type;
+  out->payload = std::move(payload);
+  if (consumed != nullptr) *consumed = total;
+  return Status::Ok();
+}
+
+Status SendFrame(Connection& conn, uint32_t type, const std::string& payload,
+                 std::chrono::steady_clock::time_point deadline) {
+  const std::string bytes = EncodeFrame(type, payload);
+  return conn.SendAll(bytes.data(), bytes.size(), deadline);
+}
+
+Result<Frame> RecvFrame(Connection& conn,
+                        std::chrono::steady_clock::time_point deadline) {
+  // Header first: its length field sizes the payload read, but nothing
+  // about it is believed beyond the magic/version/cap checks until the
+  // CRC at the end vouches for the whole frame.
+  std::string header(kFrameHeaderBytes, '\0');
+  SK_RETURN_IF_ERROR(conn.RecvAll(header.data(), header.size(), deadline));
+  const uint32_t magic = ReadU32(header.data());
+  if (magic != kFrameMagic) {
+    return Status::IoError("frame: bad magic 0x" + std::to_string(magic));
+  }
+  const uint32_t version = ReadU32(header.data() + 4);
+  if (version != kFrameVersion) {
+    return Status::IoError("frame: protocol version " +
+                           std::to_string(version) + ", this build speaks " +
+                           std::to_string(kFrameVersion));
+  }
+  const uint64_t len = ReadU64(header.data() + 12);
+  if (len > kMaxFramePayload) {
+    return Status::IoError("frame: payload length " + std::to_string(len) +
+                           " exceeds the " +
+                           std::to_string(kMaxFramePayload) + " byte cap");
+  }
+  std::string rest(len + sizeof(uint32_t), '\0');
+  SK_RETURN_IF_ERROR(conn.RecvAll(rest.data(), rest.size(), deadline));
+  const std::string whole = header + rest;
+  Frame frame;
+  size_t consumed = 0;
+  SK_RETURN_IF_ERROR(DecodeFrame(whole, &frame, &consumed));
+  return frame;
+}
+
+}  // namespace sweetknn::net

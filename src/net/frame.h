@@ -1,0 +1,58 @@
+#ifndef SWEETKNN_NET_FRAME_H_
+#define SWEETKNN_NET_FRAME_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace sweetknn::net {
+
+/// One framed message of the cluster wire protocol (docs/distributed.md).
+/// The framing follows the .sksnap section conventions (src/store/):
+/// a fixed little header, a length-prefixed payload, and a CRC32 that
+/// must match before a single payload byte is believed.
+///
+///   [magic u32 "SKN1"] [version u32] [type u32] [payload_len u64]
+///   [payload bytes]    [crc32 u32 over type + payload_len + payload]
+///
+/// Like the snapshot store, scalars are the native little-endian
+/// representation (both ends of an AF_UNIX socket share one machine) and
+/// every corruption — bit flip, truncation, oversized length, version
+/// skew — is rejected with a clean Status, never a crash or a silent
+/// wrong answer (tests/net/frame_fuzz_test.cc).
+inline constexpr uint32_t kFrameMagic = 0x314e4b53u;  // "SKN1"
+inline constexpr uint32_t kFrameVersion = 1;
+/// Refuses to allocate for absurd lengths before the CRC can vouch for
+/// them. Generous enough for a full shard slice of any test or bench.
+inline constexpr uint64_t kMaxFramePayload = 1ull << 31;
+/// Bytes before the payload: magic + version + type + payload_len.
+inline constexpr size_t kFrameHeaderBytes = 3 * sizeof(uint32_t) +
+                                            sizeof(uint64_t);
+
+struct Frame {
+  uint32_t type = 0;
+  std::string payload;
+};
+
+/// The full wire bytes of one frame.
+std::string EncodeFrame(uint32_t type, const std::string& payload);
+
+/// Decodes one frame from the front of `bytes`, setting `*consumed` to
+/// the bytes it spanned. Pure (no I/O) so the corruption fuzz can drive
+/// it over flipped and truncated buffers directly.
+Status DecodeFrame(const std::string& bytes, Frame* out, size_t* consumed);
+
+/// Stream variants over a connected socket. Both enforce `deadline`
+/// through the socket's poll()-based waits: a peer that stops reading or
+/// writing yields DeadlineExceeded, never a wedged thread.
+Status SendFrame(Connection& conn, uint32_t type, const std::string& payload,
+                 std::chrono::steady_clock::time_point deadline);
+Result<Frame> RecvFrame(Connection& conn,
+                        std::chrono::steady_clock::time_point deadline);
+
+}  // namespace sweetknn::net
+
+#endif  // SWEETKNN_NET_FRAME_H_

@@ -1,0 +1,205 @@
+#include "net/socket.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <thread>
+
+namespace sweetknn::net {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::string(strerror(errno));
+}
+
+/// Milliseconds until `deadline`, clamped to [0, INT_MAX] for poll().
+int MillisUntil(SteadyClock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - SteadyClock::now());
+  if (left.count() <= 0) return 0;
+  return static_cast<int>(
+      std::min<long long>(left.count(), 1000 * 60 * 60));
+}
+
+/// Waits until the fd is ready for `events` or the deadline passes.
+Status PollFor(int fd, short events, SteadyClock::time_point deadline,
+               const char* what) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int ms = MillisUntil(deadline);
+    const int r = poll(&pfd, 1, ms);
+    if (r > 0) return Status::Ok();
+    if (r == 0) {
+      return Status::DeadlineExceeded(std::string(what) +
+                                      " timed out waiting for the peer");
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError(Errno(std::string(what) + " poll failed"));
+  }
+}
+
+Status FillSockaddr(const std::string& path, struct sockaddr_un* addr) {
+  if (path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Connection> Connection::Connect(const std::string& path,
+                                       SteadyClock::time_point deadline) {
+  struct sockaddr_un addr;
+  SK_RETURN_IF_ERROR(FillSockaddr(path, &addr));
+  for (;;) {
+    const int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return Status::IoError(Errno("socket() failed"));
+    if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) == 0) {
+      return Connection(fd);
+    }
+    const int err = errno;
+    close(fd);
+    // The worker process may not have bound yet; retry until the
+    // deadline for the transient cases.
+    if (err != ENOENT && err != ECONNREFUSED) {
+      errno = err;
+      return Status::IoError(Errno("connect(" + path + ") failed"));
+    }
+    if (SteadyClock::now() >= deadline) {
+      return Status::DeadlineExceeded("connect(" + path +
+                                      ") timed out waiting for the worker");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+Status Connection::SendAll(const void* data, size_t len,
+                           SteadyClock::time_point deadline) {
+  if (fd_ < 0) return Status::Unavailable("send on a closed connection");
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a dead peer reports EPIPE instead of killing the
+    // process — worker death must be a recoverable Status.
+    const ssize_t n = send(fd_, p + sent, len - sent,
+                           MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      SK_RETURN_IF_ERROR(PollFor(fd_, POLLOUT, deadline, "send"));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return Status::Unavailable("peer closed the connection mid-send");
+    }
+    return Status::IoError(Errno("send failed"));
+  }
+  return Status::Ok();
+}
+
+Status Connection::RecvAll(void* data, size_t len,
+                           SteadyClock::time_point deadline) {
+  if (fd_ < 0) return Status::Unavailable("recv on a closed connection");
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = recv(fd_, p + got, len - got, MSG_DONTWAIT);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::Unavailable("peer closed the connection");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      SK_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline, "recv"));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) {
+      return Status::Unavailable("peer reset the connection");
+    }
+    return Status::IoError(Errno("recv failed"));
+  }
+  return Status::Ok();
+}
+
+void Connection::Close() {
+  if (fd_ >= 0) {
+    shutdown(fd_, SHUT_RDWR);
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) close(fd_);
+  if (!path_.empty()) unlink(path_.c_str());
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    if (!path_.empty()) unlink(path_.c_str());
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+Result<Listener> Listener::Bind(const std::string& path) {
+  struct sockaddr_un addr;
+  SK_RETURN_IF_ERROR(FillSockaddr(path, &addr));
+  const int fd = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::IoError(Errno("socket() failed"));
+  unlink(path.c_str());  // replace any stale socket file
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status st = Status::IoError(Errno("bind(" + path + ") failed"));
+    close(fd);
+    return st;
+  }
+  if (listen(fd, 8) != 0) {
+    const Status st = Status::IoError(Errno("listen(" + path + ") failed"));
+    close(fd);
+    unlink(path.c_str());
+    return st;
+  }
+  Listener listener;
+  listener.fd_ = fd;
+  listener.path_ = path;
+  return listener;
+}
+
+Result<Connection> Listener::Accept(SteadyClock::time_point deadline) {
+  if (fd_ < 0) return Status::Unavailable("accept on a closed listener");
+  for (;;) {
+    SK_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline, "accept"));
+    const int fd = accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return Connection(fd);
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return Status::IoError(Errno("accept failed"));
+  }
+}
+
+}  // namespace sweetknn::net

@@ -1,0 +1,92 @@
+#ifndef SWEETKNN_NET_SOCKET_H_
+#define SWEETKNN_NET_SOCKET_H_
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace sweetknn::net {
+
+/// RAII wrapper of one connected AF_UNIX SOCK_STREAM endpoint. All
+/// blocking calls take an absolute deadline enforced with poll(), so a
+/// peer that dies, stalls, or is SIGSTOPped yields DeadlineExceeded
+/// instead of wedging the calling thread (the router's failover path
+/// depends on this). A closed or reset peer yields Unavailable.
+class Connection {
+ public:
+  Connection() = default;
+  explicit Connection(int fd) : fd_(fd) {}
+  ~Connection() { Close(); }
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+  Connection(Connection&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  Connection& operator=(Connection&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connects to a listening unix socket, retrying while the path does
+  /// not exist yet (the worker may still be binding) until `deadline`.
+  static Result<Connection> Connect(
+      const std::string& path, std::chrono::steady_clock::time_point deadline);
+
+  /// Writes exactly `len` bytes or fails.
+  Status SendAll(const void* data, size_t len,
+                 std::chrono::steady_clock::time_point deadline);
+  /// Reads exactly `len` bytes or fails (EOF mid-read is Unavailable).
+  Status RecvAll(void* data, size_t len,
+                 std::chrono::steady_clock::time_point deadline);
+
+  bool valid() const { return fd_ >= 0; }
+  /// Shuts the socket down and closes the fd. Safe to call from another
+  /// thread while a Send/Recv is blocked in poll(): the blocked call
+  /// fails over cleanly. Idempotent.
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// RAII wrapper of a bound + listening unix socket; unlinks the path on
+/// destruction.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  Listener(Listener&& other) noexcept
+      : fd_(other.fd_), path_(std::move(other.path_)) {
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  Listener& operator=(Listener&& other) noexcept;
+
+  /// Binds and listens on `path` (any stale socket file is replaced).
+  static Result<Listener> Bind(const std::string& path);
+
+  /// Accepts one connection; DeadlineExceeded if none arrives in time.
+  Result<Connection> Accept(std::chrono::steady_clock::time_point deadline);
+
+  bool valid() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace sweetknn::net
+
+#endif  // SWEETKNN_NET_SOCKET_H_

@@ -1,0 +1,180 @@
+#ifndef SWEETKNN_NET_WIRE_H_
+#define SWEETKNN_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "core/options.h"
+#include "core/route_planner.h"
+#include "core/shard_merge.h"
+#include "gpusim/device_spec.h"
+
+namespace sweetknn::net {
+
+/// RPC message types carried in the frame header (docs/distributed.md).
+/// Payloads are encoded with the .sksnap payload codec
+/// (store/payload_io.h): native-endian scalars, u64-length-prefixed
+/// strings and arrays, every decoder bounds-checked.
+enum class MsgType : uint32_t {
+  kError = 1,  ///< Any request may be answered with an Error payload.
+  kAck = 2,    ///< Empty payload: the request succeeded.
+
+  kPrepareCold = 10,      ///< Build one shard from a target slice.
+  kPrepareSnapshot = 11,  ///< Adopt one shard from a .sksnap file.
+
+  kQuery = 20,  ///< One same-k group against this worker's shards.
+  kQueryReply = 21,
+
+  kInsert = 30,  ///< Append one point to a shard's delta.
+  kRemove = 31,
+  kRemoveReply = 32,
+  kCompact = 33,  ///< Synchronously fold one shard's overlay.
+
+  kSaveShard = 40,  ///< Export one shard as a .sksnap (replica catch-up).
+
+  kHealth = 50,
+  kHealthReply = 51,
+
+  kShutdown = 60,  ///< Worker acks, then exits its serve loop.
+};
+
+// --- Prepare ----------------------------------------------------------------
+
+/// Cold-builds one shard on the worker: PrepareTarget over `slice`, which
+/// covers global rows [offset, offset + slice.rows()). The options /
+/// device / planner blocks ride in every prepare so a bare worker process
+/// needs no configuration of its own.
+struct PrepareColdRequest {
+  uint32_t shard_index = 0;
+  uint64_t offset = 0;
+  HostMatrix slice;
+  core::TiOptions options;
+  gpusim::DeviceSpec device;
+  core::PlannerConfig planner;
+};
+
+/// Warm-starts (or replica-catches-up) one shard from a snapshot file the
+/// worker reads itself — the bulk bytes never cross the socket twice.
+/// The snapshot's fingerprints must match `options`/`device`.
+struct PrepareSnapshotRequest {
+  uint32_t shard_index = 0;
+  std::string path;
+  core::TiOptions options;
+  gpusim::DeviceSpec device;
+  core::PlannerConfig planner;
+};
+
+// --- Query ------------------------------------------------------------------
+
+/// One same-k query group, fanned to every shard this worker hosts that
+/// appears in `shard_indices` (the router names them so a replica host
+/// answers only for the shards it is primary of).
+struct QueryRequest {
+  uint32_t k = 0;
+  HostMatrix queries;
+  std::vector<uint32_t> shard_indices;
+};
+
+/// Per-shard answers, parallel to `shard_indices`.
+struct QueryReply {
+  std::vector<uint32_t> shard_indices;
+  std::vector<core::ShardAnswer> answers;
+};
+
+// --- Mutations --------------------------------------------------------------
+
+struct InsertRequest {
+  uint32_t shard_index = 0;
+  uint32_t id = 0;  ///< Stable id, allocated by the router.
+  std::vector<float> point;
+};
+
+struct RemoveRequest {
+  uint32_t shard_index = 0;
+  uint32_t id = 0;
+};
+
+struct RemoveReply {
+  bool found = false;
+};
+
+struct CompactRequest {
+  uint32_t shard_index = 0;
+};
+
+// --- Snapshots / health -----------------------------------------------------
+
+/// Exports one shard to `path` as a .sksnap the PrepareSnapshot of
+/// another worker can adopt (replica catch-up; docs/distributed.md).
+struct SaveShardRequest {
+  uint32_t shard_index = 0;
+  /// Global shard count, recorded as the snapshot's shard geometry.
+  uint32_t shard_count = 1;
+  std::string path;
+  std::string dataset_name;
+  /// The router's global id allocator position, recorded in mutated
+  /// snapshots (must exceed every id in the file).
+  uint32_t next_id = 0;
+};
+
+struct HealthReply {
+  uint64_t queries_served = 0;
+  struct ShardHealth {
+    uint32_t index = 0;
+    uint64_t base_rows = 0;
+    uint64_t delta_points = 0;
+    uint64_t tombstones = 0;
+    uint64_t live_rows = 0;
+  };
+  std::vector<ShardHealth> shards;
+};
+
+// --- Codecs -----------------------------------------------------------------
+// Every message has an Encode producing the frame payload and a Decode
+// that rejects malformed payloads with a clean Status (never a crash:
+// tests/net/frame_fuzz_test.cc drives these over corrupted bytes too).
+
+std::string EncodePrepareCold(const PrepareColdRequest& req);
+Status DecodePrepareCold(const std::string& payload, PrepareColdRequest* req);
+
+std::string EncodePrepareSnapshot(const PrepareSnapshotRequest& req);
+Status DecodePrepareSnapshot(const std::string& payload,
+                             PrepareSnapshotRequest* req);
+
+std::string EncodeQuery(const QueryRequest& req);
+Status DecodeQuery(const std::string& payload, QueryRequest* req);
+
+std::string EncodeQueryReply(const QueryReply& reply);
+Status DecodeQueryReply(const std::string& payload, QueryReply* reply);
+
+std::string EncodeInsert(const InsertRequest& req);
+Status DecodeInsert(const std::string& payload, InsertRequest* req);
+
+std::string EncodeRemove(const RemoveRequest& req);
+Status DecodeRemove(const std::string& payload, RemoveRequest* req);
+
+std::string EncodeRemoveReply(const RemoveReply& reply);
+Status DecodeRemoveReply(const std::string& payload, RemoveReply* reply);
+
+std::string EncodeCompact(const CompactRequest& req);
+Status DecodeCompact(const std::string& payload, CompactRequest* req);
+
+std::string EncodeSaveShard(const SaveShardRequest& req);
+Status DecodeSaveShard(const std::string& payload, SaveShardRequest* req);
+
+std::string EncodeHealthReply(const HealthReply& reply);
+Status DecodeHealthReply(const std::string& payload, HealthReply* reply);
+
+/// An Error frame's payload: the failing Status, round-tripped so the
+/// router sees the worker's exact code + message.
+std::string EncodeError(const Status& status);
+/// Reconstructs the Status carried by an Error payload. A malformed
+/// error payload yields an IoError describing that instead.
+Status DecodeError(const std::string& payload);
+
+}  // namespace sweetknn::net
+
+#endif  // SWEETKNN_NET_WIRE_H_

@@ -23,24 +23,6 @@ double SecondsBetween(SteadyClock::time_point from,
   return std::chrono::duration<double>(to - from).count();
 }
 
-/// Splits a profile's simulated kernel time by pipeline stage. Kernel
-/// names are stable identifiers ("level1_calub", "level2_full_filter",
-/// ...); everything that is neither level-1 nor level-2 filtering is
-/// preprocessing (upload layout kernels, landmark clustering, member
-/// scatter — the amortized Step-1 work plus per-batch query prep).
-void AccumulateStageTimes(const gpusim::Profile& profile, double* level1,
-                          double* level2, double* preprocess) {
-  for (const gpusim::LaunchRecord& record : profile.launches) {
-    if (record.kernel_name.rfind("level1", 0) == 0) {
-      *level1 += record.sim_time_s;
-    } else if (record.kernel_name.rfind("level2", 0) == 0) {
-      *level2 += record.sim_time_s;
-    } else {
-      *preprocess += record.sim_time_s;
-    }
-  }
-}
-
 /// Stable ids of one snapshot's base rows, in row order.
 uint32_t SnapshotBaseId(const store::IndexSnapshot& snap, size_t row) {
   return snap.id_map.empty()
@@ -138,15 +120,13 @@ KnnService::KnnService(const HostMatrix& target, const ServiceConfig& config)
   common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
     const auto idx = static_cast<size_t>(s);
     if (warm) {
-      shards_[idx]->engine.RestoreTarget(snapshots[idx].target,
-                                         snapshots[idx].clustering);
+      // Warm or cold, the base bytes are the slice bytes (warm starts
+      // byte-compare the snapshot against the slice above).
+      shards_[idx]->RestoreBase(snapshots[idx].target,
+                                snapshots[idx].clustering);
     } else {
-      shards_[idx]->engine.PrepareTarget(slices[idx]);
+      shards_[idx]->BuildCold(slices[idx]);
     }
-    // Warm or cold, the base bytes are the slice bytes (warm starts
-    // byte-compare the snapshot against the slice above).
-    shards_[idx]->packed_base = simd::PackedTargets::Pack(
-        slices[idx].data(), slices[idx].rows(), slices[idx].cols());
   });
   if (warm) stats_.warm_started_shards = static_cast<uint64_t>(num_shards);
 
@@ -479,19 +459,8 @@ Result<bool> KnnService::Remove(uint32_t id) {
     const int s = OwningShard(id);
     if (s >= 0) {
       Shard& shard = *shards_[static_cast<size_t>(s)];
-      if (shard.delta.tombstones.count(id) == 0) {
-        const size_t pos = shard.delta.Find(id);
-        if (pos == core::DeltaBuffer::kNotFound ||
-            (shard.compact_watermark != kNoCompaction &&
-             pos < shard.compact_watermark)) {
-          // A base point, or a delta entry an in-flight compaction has
-          // already consumed (the rebuild contains it): mask it. Erasing
-          // a consumed entry would resurrect the point at install.
-          shard.delta.tombstones.insert(id);
-        } else {
-          shard.delta.EraseAt(pos);
-        }
-        removed = true;
+      removed = shard.ApplyRemove(id);
+      if (removed) {
         --target_rows_;
         BumpCacheEpochLocked();
         UpdateOverlayGauges();
@@ -514,18 +483,7 @@ Result<bool> KnnService::Remove(uint32_t id) {
 
 int KnnService::OwningShard(uint32_t id) const {
   for (size_t s = 0; s < shards_.size(); ++s) {
-    const Shard& shard = *shards_[s];
-    if (shard.delta.Find(id) != core::DeltaBuffer::kNotFound) {
-      return static_cast<int>(s);
-    }
-    if (shard.id_map.empty()) {
-      if (id >= shard.offset && id < shard.offset + shard.base_rows()) {
-        return static_cast<int>(s);
-      }
-    } else if (std::binary_search(shard.id_map.begin(), shard.id_map.end(),
-                                  id)) {
-      return static_cast<int>(s);
-    }
+    if (shards_[s]->Owns(id)) return static_cast<int>(s);
   }
   return -1;
 }
@@ -597,112 +555,49 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
   // for it), so no request's rows can straddle an index change.
   std::lock_guard<std::mutex> index_lock(index_mutex_);
   const int num_shards = static_cast<int>(shards_.size());
-  bool all_pristine = true;
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    if (!shard->Pristine()) {
-      all_pristine = false;
-      break;
-    }
-  }
 
-  std::vector<KnnResult> shard_results(static_cast<size_t>(num_shards));
-  std::vector<KnnResult> delta_results(static_cast<size_t>(num_shards));
-  std::vector<core::KnnRunStats> shard_stats(
-      static_cast<size_t>(num_shards));
   // Route each shard's base scan by cost, serially before the fan-out so
   // the decision order is deterministic. Both routes return bit-identical
   // per-shard lists (the host path runs the same canonical float pipeline
   // the engine is fuzz-proven against), so the merged answer cannot
-  // depend on the route; host-routed shards report empty KnnRunStats.
+  // depend on the route; host-routed shards report no device stats.
   std::vector<core::QueryRoute> routes(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
     routes[static_cast<size_t>(s)] = planner_.Choose(
         rows, shards_[static_cast<size_t>(s)]->base_rows(), dims_);
   }
-  std::vector<double> shard_seconds(static_cast<size_t>(num_shards), 0.0);
-  const simd::Dist dist_kind = core::SimdDistFor(config_.options.metric);
+  // The per-shard work — base scan (over-queried when mutated), delta
+  // side scan, shard-local merge — lives in ShardHost::SearchGroup, the
+  // one code path the remote shard workers run too; the fan-out here is
+  // just the in-process backend's transport.
+  std::vector<core::ShardAnswer> answers(static_cast<size_t>(num_shards));
   const SteadyClock::time_point fanout_start = SteadyClock::now();
-  if (all_pristine) {
-    common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
-      const auto idx = static_cast<size_t>(s);
-      const SteadyClock::time_point start = SteadyClock::now();
-      if (routes[idx] == core::QueryRoute::kHost) {
-        // workers=1: the shard fan-out is already the host-parallel axis.
-        shard_results[idx] = simd::PackedKnn(
-            queries, shards_[idx]->packed_base, k, dist_kind, /*workers=*/1);
-      } else {
-        shard_results[idx] =
-            shards_[idx]->engine.RunQueries(queries, k, &shard_stats[idx]);
-      }
-      shard_seconds[idx] = SecondsBetween(start, SteadyClock::now());
-    });
-  } else {
-    // Mutated path: each shard's frozen base is over-queried at
-    // k + |tombstones| (masking can then never starve the top k) and its
-    // delta points are answered by the exact CPU side scan; the merge
-    // applies the tombstone masks and re-ranks by (distance, stable id).
-    // The delta scan contributes no simulated device time — it models
-    // host-side work the GPU index never sees.
-    common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
-      const auto idx = static_cast<size_t>(s);
-      const Shard& shard = *shards_[idx];
-      const int base_k =
-          k + static_cast<int>(shard.delta.tombstones.size());
-      const SteadyClock::time_point start = SteadyClock::now();
-      if (routes[idx] == core::QueryRoute::kHost) {
-        shard_results[idx] =
-            simd::PackedKnn(queries, shard.packed_base, base_k, dist_kind,
-                            /*workers=*/1);
-      } else {
-        shard_results[idx] =
-            shards_[idx]->engine.RunQueries(queries, base_k,
-                                            &shard_stats[idx]);
-      }
-      delta_results[idx] =
-          core::ScanDelta(shard.delta, queries, k, config_.options.metric);
-      shard_seconds[idx] = SecondsBetween(start, SteadyClock::now());
-    });
-  }
+  common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
+    const auto idx = static_cast<size_t>(s);
+    answers[idx] = shards_[idx]->SearchGroup(queries, k, routes[idx],
+                                             config_.options.metric);
+  });
   const SteadyClock::time_point merge_start = SteadyClock::now();
   m_shard_fanout_->Observe(SecondsBetween(fanout_start, merge_start));
-  for (int s = 0; s < num_shards; ++s) {
-    const auto idx = static_cast<size_t>(s);
-    if (routes[idx] == core::QueryRoute::kHost) {
-      m_planner_host_routes_->Increment();
-      m_route_host_seconds_->Observe(shard_seconds[idx]);
-    } else {
+  for (const core::ShardAnswer& answer : answers) {
+    if (answer.device_routed) {
       m_planner_device_routes_->Increment();
-      m_route_device_seconds_->Observe(shard_seconds[idx]);
-      planner_.ObserveDeviceRun(shard_stats[idx]);
+      m_route_device_seconds_->Observe(answer.route_seconds);
+      // The planner's selectivity EMA needs exactly the work counters
+      // the answer carries.
+      core::KnnRunStats observed;
+      observed.distance_calcs = answer.distance_calcs;
+      observed.total_pairs = answer.total_pairs;
+      planner_.ObserveDeviceRun(observed);
+    } else {
+      m_planner_host_routes_->Increment();
+      m_route_host_seconds_->Observe(answer.route_seconds);
     }
   }
-  KnnResult merged;
-  if (all_pristine) {
-    merged = core::MergeShardResults(shard_results, shard_offsets_, k);
-  } else {
-    std::vector<core::MergeSource> sources;
-    for (int s = 0; s < num_shards; ++s) {
-      const auto idx = static_cast<size_t>(s);
-      const Shard& shard = *shards_[idx];
-      core::MergeSource base;
-      base.result = &shard_results[idx];
-      base.id_map = shard.id_map.empty() ? nullptr : shard.id_map.data();
-      base.offset = shard.offset;
-      base.tombstones =
-          shard.delta.tombstones.empty() ? nullptr : &shard.delta.tombstones;
-      sources.push_back(base);
-      if (shard.delta.size() > 0) {
-        core::MergeSource delta;
-        delta.result = &delta_results[idx];
-        delta.id_map = shard.delta.ids.data();
-        sources.push_back(delta);
-      }
-    }
-    merged = core::MergeMutableResults(sources, k);
-  }
+  const KnnResult merged = core::MergeShardAnswers(answers, k);
   m_merge_->Observe(SecondsBetween(merge_start, SteadyClock::now()));
 
-  RecordGroupStats(shard_stats, routes, rows);
+  RecordGroupStats(answers, rows);
 
   // Slice the merged result back into per-request answers.
   row = 0;
@@ -720,8 +615,7 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
 }
 
 void KnnService::RecordGroupStats(
-    const std::vector<core::KnnRunStats>& shard_stats,
-    const std::vector<core::QueryRoute>& routes, size_t rows) {
+    const std::vector<core::ShardAnswer>& answers, size_t rows) {
   double slowest = 0.0;
   double total = 0.0;
   double level1 = 0.0;
@@ -729,17 +623,18 @@ void KnnService::RecordGroupStats(
   double transfer = 0.0;
   double preprocess = 0.0;
   uint64_t distance_calcs = 0;
-  for (size_t i = 0; i < shard_stats.size(); ++i) {
-    // A host-routed shard ran no simulated device: its KnnRunStats is
-    // empty and it made no adaptive decisions, so it contributes to
-    // neither the sim-time counters nor the decision counts.
-    if (routes[i] == core::QueryRoute::kHost) continue;
-    const core::KnnRunStats& s = shard_stats[i];
+  for (const core::ShardAnswer& s : answers) {
+    // A host-routed shard ran no simulated device: its answer carries no
+    // device stats and it made no adaptive decisions, so it contributes
+    // to neither the sim-time counters nor the decision counts.
+    if (!s.device_routed) continue;
     total += s.sim_time_s;
     slowest = std::max(slowest, s.sim_time_s);
     distance_calcs += s.distance_calcs;
-    AccumulateStageTimes(s.profile, &level1, &level2, &preprocess);
-    transfer += s.profile.transfer_time_s;
+    level1 += s.level1_s;
+    level2 += s.level2_s;
+    preprocess += s.preprocess_s;
+    transfer += s.transfer_s;
     (s.filter_used == core::Level2Filter::kFull ? m_filter_full_
                                                 : m_filter_partial_)
         ->Increment();
@@ -876,65 +771,19 @@ Status KnnService::CompactShardInternal(int s) {
       // overlay stays as is; queries keep answering all padding.
       return Status::Ok();
     }
-    plan.shard = s;
-    plan.epoch = shard.epoch;
-    plan.watermark = shard.delta.size();
-    plan.captured_tombstones = shard.delta.tombstones;
-    shard.compact_watermark = plan.watermark;
-
-    // The new base: base survivors, then consumed live delta entries —
-    // ascending stable-id order, because every delta id postdates (and
-    // exceeds) every base id of its shard.
-    const HostMatrix base = shard.engine.ExportTarget();
-    std::vector<size_t> base_survivors;
-    for (size_t i = 0; i < base.rows(); ++i) {
-      if (plan.captured_tombstones.count(shard.BaseId(i)) == 0) {
-        base_survivors.push_back(i);
-      }
-    }
-    std::vector<size_t> delta_survivors;
-    for (size_t j = 0; j < plan.watermark; ++j) {
-      if (plan.captured_tombstones.count(shard.delta.ids[j]) == 0) {
-        delta_survivors.push_back(j);
-      }
-    }
-    plan.points =
-        HostMatrix(base_survivors.size() + delta_survivors.size(), dims_);
-    plan.ids.reserve(plan.points.rows());
-    size_t out = 0;
-    for (size_t i : base_survivors) {
-      std::memcpy(plan.points.mutable_row(out++), base.row(i),
-                  dims_ * sizeof(float));
-      plan.ids.push_back(shard.BaseId(i));
-    }
-    for (size_t j : delta_survivors) {
-      std::memcpy(plan.points.mutable_row(out++), shard.delta.point(j),
-                  dims_ * sizeof(float));
-      plan.ids.push_back(shard.delta.ids[j]);
-    }
+    CaptureCompaction(&shard, s, &plan);
   }
 
   // Rebuild off-lock: a fresh simulated device (so the adaptive scheme
   // sees the same free memory a cold build would) and a full Step-1
   // clustering over the captured points. Serving continues against the
-  // old shard the whole time.
+  // old shard the whole time. The capture/rebuild/carry-over protocol is
+  // shared with the shard workers (serve/shard_backend.h), so a
+  // compaction on either backend produces the identical fresh shard.
   core::TiOptions shard_options = config_.options;
   shard_options.sim_threads = 1;
-  auto fresh = std::make_unique<Shard>(config_.device, shard_options);
-  fresh->engine.PrepareTarget(plan.points);
-  fresh->packed_base = simd::PackedTargets::Pack(
-      plan.points.data(), plan.points.rows(), plan.points.cols());
-  fresh->set_base_rows(plan.points.rows());
-  fresh->delta.dims = dims_;
-  const bool identity =
-      !plan.ids.empty() && plan.ids.front() == 0 &&
-      plan.ids.back() == static_cast<uint32_t>(plan.ids.size()) - 1;
-  if (identity) {
-    fresh->offset = 0;  // ids are literally 0..n-1: back to pristine form
-  } else {
-    fresh->id_map = plan.ids;
-    fresh->offset = 0;  // unused once an explicit id map is set
-  }
+  std::unique_ptr<Shard> fresh =
+      RebuildCompacted(plan, config_.device, shard_options, dims_);
 
   // Install: only if the shard we captured from is still the live one
   // (a SwapIndex assigns fresh epochs, orphaning this rebuild).
@@ -952,19 +801,11 @@ Status KnnService::CompactShardInternal(int s) {
           "shard " + std::to_string(s) +
           " was replaced while its compaction ran; rebuild discarded");
     }
-    Shard& old = *shards_[static_cast<size_t>(s)];
     // Mutations that landed during the rebuild carry over: the delta
     // suffix verbatim (its entries are never tombstoned — removes past
     // the watermark erase physically), and removes of captured rows as
     // tombstones of the new base.
-    for (size_t j = plan.watermark; j < old.delta.size(); ++j) {
-      fresh->delta.Append(old.delta.ids[j], old.delta.point(j));
-    }
-    for (uint32_t id : old.delta.tombstones) {
-      if (plan.captured_tombstones.count(id) == 0) {
-        fresh->delta.tombstones.insert(id);
-      }
-    }
+    CarryOverlayForward(*shards_[static_cast<size_t>(s)], plan, fresh.get());
     fresh->epoch = ++epoch_counter_;
     shards_[static_cast<size_t>(s)].swap(fresh);
     shard_offsets_[static_cast<size_t>(s)] =
@@ -1111,14 +952,7 @@ KnnService::ShardSet KnnService::BuildShardsFromSnapshots(
     const auto idx = static_cast<size_t>(s);
     store::IndexSnapshot& snap = snapshots[idx];
     auto shard = std::make_unique<Shard>(config_.device, shard_options);
-    shard->offset = static_cast<uint32_t>(snap.shard_offset);
-    shard->set_base_rows(snap.target.rows());
-    shard->id_map = snap.id_map;
-    shard->delta.dims = snap.target.cols();
-    shard->delta.ids = snap.delta_ids;
-    shard->delta.points = snap.delta_points.storage();
-    shard->delta.tombstones.insert(snap.tombstones.begin(),
-                                   snap.tombstones.end());
+    shard->AdoptOverlay(snap);
     set.live_rows += shard->live_rows();
     // The id allocator restarts strictly above every id any shard knows
     // (file next_ids already satisfy that; pristine shards contribute
@@ -1133,55 +967,18 @@ KnnService::ShardSet KnnService::BuildShardsFromSnapshots(
   }
   common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
     const auto idx = static_cast<size_t>(s);
-    set.shards[idx]->engine.RestoreTarget(snapshots[idx].target,
-                                          snapshots[idx].clustering);
-    set.shards[idx]->packed_base = simd::PackedTargets::Pack(
-        snapshots[idx].target.data(), snapshots[idx].target.rows(),
-        snapshots[idx].target.cols());
+    set.shards[idx]->RestoreBase(snapshots[idx].target,
+                                 snapshots[idx].clustering);
   });
   return set;
 }
 
 store::IndexSnapshot KnnService::ExportShard(int s) const {
-  const Shard& shard = *shards_[static_cast<size_t>(s)];
-  store::IndexSnapshot snap;
-  snap.dataset_name = config_.dataset_name;
-  snap.builder = "KnnService::SaveSnapshots";
-  snap.shard_index = static_cast<uint32_t>(s);
-  snap.shard_count = static_cast<uint32_t>(shards_.size());
-  snap.shard_offset = shard.offset;
-  snap.target = shard.engine.ExportTarget();
-  snap.clustering = shard.engine.ExportTargetClustering();
-  snap.options_fingerprint = store::OptionsFingerprint(config_.options);
-  snap.device_fingerprint = store::DeviceFingerprint(config_.device);
-  if (!shard.Pristine()) {
-    snap.id_map = shard.id_map;
-    // Normalization: a tombstoned delta entry (the transient state of a
-    // remove that hit a compaction-consumed row) is simply dead — the
-    // snapshot drops both the entry and its tombstone, restoring the
-    // file invariant that tombstones name base rows only.
-    for (size_t j = 0; j < shard.delta.size(); ++j) {
-      if (shard.delta.tombstones.count(shard.delta.ids[j]) == 0) {
-        snap.delta_ids.push_back(shard.delta.ids[j]);
-      }
-    }
-    snap.delta_points = HostMatrix(snap.delta_ids.size(), dims_);
-    size_t out = 0;
-    for (size_t j = 0; j < shard.delta.size(); ++j) {
-      if (shard.delta.tombstones.count(shard.delta.ids[j]) == 0) {
-        std::memcpy(snap.delta_points.mutable_row(out++),
-                    shard.delta.point(j), dims_ * sizeof(float));
-      }
-    }
-    for (uint32_t id : shard.delta.tombstones) {
-      if (shard.delta.Find(id) == core::DeltaBuffer::kNotFound) {
-        snap.tombstones.push_back(id);
-      }
-    }
-    std::sort(snap.tombstones.begin(), snap.tombstones.end());
-    snap.next_id = next_id_;
-  }
-  return snap;
+  return shards_[static_cast<size_t>(s)]->Export(
+      config_.dataset_name, "KnnService::SaveSnapshots",
+      static_cast<uint32_t>(s), static_cast<uint32_t>(shards_.size()),
+      store::OptionsFingerprint(config_.options),
+      store::DeviceFingerprint(config_.device), next_id_);
 }
 
 Status KnnService::SaveSnapshots(const std::string& dir) {

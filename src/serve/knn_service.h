@@ -23,8 +23,10 @@
 #include "core/delta_overlay.h"
 #include "core/options.h"
 #include "core/route_planner.h"
+#include "core/shard_merge.h"
 #include "core/ti_knn_gpu.h"
 #include "gpusim/device.h"
+#include "serve/shard_backend.h"
 #include "simd/simd_kernels.h"
 #include "store/snapshot.h"
 
@@ -306,48 +308,14 @@ class KnnService {
 
  private:
   /// No active compaction on this shard.
-  static constexpr size_t kNoCompaction = static_cast<size_t>(-1);
+  static constexpr size_t kNoCompaction = ShardHost::kNoCompaction;
 
-  struct Shard {
-    explicit Shard(const gpusim::DeviceSpec& spec,
-                   const core::TiOptions& options)
-        : dev(spec), engine(&dev, options) {}
-    gpusim::Device dev;
-    core::TiKnnEngine engine;
-    /// The frozen base pre-packed for the vectorized host route; holds
-    /// exactly the bytes PrepareTarget/RestoreTarget uploaded. Replaced
-    /// together with the engine (compaction installs, swaps).
-    simd::PackedTargets packed_base;
-    uint32_t offset = 0;  ///< First global target row of this slice.
-    /// Base row -> stable id, strictly increasing; empty = identity
-    /// shifted by `offset`.
-    std::vector<uint32_t> id_map;
-    /// Inserts since the base was clustered, plus tombstoned ids.
-    core::DeltaBuffer delta;
-    /// Install ticket: bumped (from epoch_counter_) whenever the shard
-    /// object is created or replaced. A compactor that captured an older
-    /// epoch must abandon its install.
-    uint64_t epoch = 0;
-    /// While a compaction is in flight: how many delta entries the
-    /// compactor captured. Removes of captured entries tombstone instead
-    /// of erasing (the rebuild already contains them); the suffix past
-    /// the watermark stays freely mutable.
-    size_t compact_watermark = kNoCompaction;
-
-    bool Pristine() const { return delta.Pristine() && id_map.empty(); }
-    uint32_t BaseId(size_t i) const {
-      return id_map.empty() ? offset + static_cast<uint32_t>(i)
-                            : id_map[i];
-    }
-    size_t base_rows() const { return base_rows_; }
-    void set_base_rows(size_t n) { base_rows_ = n; }
-    size_t live_rows() const {
-      return base_rows_ - delta.tombstones.size() + delta.size();
-    }
-
-   private:
-    size_t base_rows_ = 0;
-  };
+  /// The per-shard state lives in the transport-free ShardHost
+  /// (serve/shard_backend.h) so the in-process backend here and the
+  /// shard-worker processes (serve/shard_worker.h) host the identical
+  /// object — queries answered locally and over a socket run the same
+  /// code against the same state.
+  using Shard = ShardHost;
 
   struct Request {
     std::vector<float> rows;  ///< num_rows * dims query coordinates.
@@ -357,18 +325,6 @@ class KnnService {
     std::promise<KnnResult> promise;
   };
   using RequestPtr = std::unique_ptr<Request>;
-
-  /// Everything a compaction captures under the lock before rebuilding
-  /// off-lock.
-  struct CompactionPlan {
-    int shard = -1;
-    uint64_t epoch = 0;          ///< Shard epoch at capture.
-    size_t watermark = 0;        ///< Delta entries consumed by the plan.
-    HostMatrix points;           ///< Survivors + consumed delta, id order.
-    std::vector<uint32_t> ids;   ///< Stable ids of `points` rows.
-    /// Tombstones at capture (already excluded from `points`).
-    std::unordered_set<uint32_t> captured_tombstones;
-  };
 
   /// Snapshot-set adoption (FromSnapshots).
   struct AdoptTag {};
@@ -391,12 +347,11 @@ class KnnService {
   /// a group never straddles a SwapIndex, mutation, or compaction
   /// install.
   void RunGroup(std::vector<RequestPtr> group);
-  /// Folds one engine group's shard stats into ServiceStats and the
+  /// Folds one engine group's shard answers into ServiceStats and the
   /// metrics registry. Host-routed shards contribute no simulated-device
   /// stats (no device ran for them) and are skipped for the adaptive-
   /// decision counters. Caller must NOT hold stats_mutex_.
-  void RecordGroupStats(const std::vector<core::KnnRunStats>& shard_stats,
-                        const std::vector<core::QueryRoute>& routes,
+  void RecordGroupStats(const std::vector<core::ShardAnswer>& answers,
                         size_t rows);
 
   /// The background compactor: sleeps until a mutation pushes some shard

@@ -1,0 +1,970 @@
+#include "serve/router.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <spawn.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "store/snapshot.h"
+
+extern char** environ;
+
+namespace sweetknn::serve {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double SecondsBetween(SteadyClock::time_point from,
+                      SteadyClock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Budget for the initial connect to a freshly spawned worker (the
+/// Connect retries while the socket file does not exist yet).
+constexpr std::chrono::seconds kConnectTimeout{10};
+/// Best-effort budget for the clean Shutdown RPC per worker.
+constexpr std::chrono::seconds kShutdownRpcTimeout{2};
+/// How long Shutdown waits for a worker to exit before SIGKILLing it.
+constexpr std::chrono::seconds kReapTimeout{2};
+
+/// Waits for `pid` to exit; escalates to SIGKILL after kReapTimeout.
+void ReapWorker(pid_t pid) {
+  const SteadyClock::time_point deadline = SteadyClock::now() + kReapTimeout;
+  int wstatus = 0;
+  for (;;) {
+    const pid_t r = waitpid(pid, &wstatus, WNOHANG);
+    if (r == pid || (r < 0 && errno == ECHILD)) return;
+    if (SteadyClock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  kill(pid, SIGKILL);
+  waitpid(pid, &wstatus, 0);
+}
+
+}  // namespace
+
+// --- WorkerChannel -----------------------------------------------------------
+
+Router::WorkerChannel::WorkerChannel(int index, pid_t pid,
+                                     net::Connection conn,
+                                     common::Histogram* rpc_seconds,
+                                     common::Counter* rpcs,
+                                     common::Counter* failures)
+    : index_(index),
+      pid_(pid),
+      conn_(std::move(conn)),
+      rpc_seconds_(rpc_seconds),
+      rpcs_(rpcs),
+      failures_(failures),
+      io_(&WorkerChannel::IoLoop, this) {}
+
+Router::WorkerChannel::~WorkerChannel() { Join(); }
+
+bool Router::WorkerChannel::Submit(Call call) {
+  return outbox_.Push(std::move(call));
+}
+
+void Router::WorkerChannel::Poison() {
+  poisoned_.store(true, std::memory_order_release);
+  conn_.Close();  // unblocks an in-flight poll on the IO thread
+}
+
+void Router::WorkerChannel::Join() {
+  outbox_.Close();
+  if (io_.joinable()) io_.join();
+}
+
+void Router::WorkerChannel::IoLoop() {
+  Call call;
+  while (outbox_.WaitPop(&call)) {
+    RpcReply reply;
+    reply.worker = index_;
+    if (poisoned_.load(std::memory_order_acquire)) {
+      reply.status = Status::Unavailable(
+          "worker " + std::to_string(index_) + ": channel poisoned");
+    } else {
+      const SteadyClock::time_point start = SteadyClock::now();
+      const SteadyClock::time_point deadline = start + call.timeout;
+      Status status = net::SendFrame(conn_, call.type, call.payload, deadline);
+      if (status.ok()) {
+        Result<net::Frame> frame = net::RecvFrame(conn_, deadline);
+        if (frame.ok()) {
+          reply.frame = std::move(frame).value();
+        } else {
+          status = frame.status();
+        }
+      }
+      rpcs_->Increment();
+      rpc_seconds_->Observe(SecondsBetween(start, SteadyClock::now()));
+      if (!status.ok()) {
+        // The protocol is strictly request/reply in order: one failed or
+        // timed-out exchange leaves the stream unusable (a late reply
+        // could be taken for the next call's), so the first failure
+        // poisons the channel for good.
+        failures_->Increment();
+        reply.status = status;
+        poisoned_.store(true, std::memory_order_release);
+        conn_.Close();
+      }
+    }
+    if (call.reply_to) call.reply_to->Push(std::move(reply));
+  }
+}
+
+// --- Construction ------------------------------------------------------------
+
+Router::Router(const RouterConfig& config, size_t dims, size_t rows)
+    : config_(config),
+      dims_(dims),
+      initial_rows_(static_cast<uint32_t>(rows)),
+      next_id_(static_cast<uint32_t>(rows)),
+      target_rows_(rows) {
+  num_shards_ = std::clamp(config_.service.num_shards, 1,
+                           static_cast<int>(rows));
+  config_.service.num_shards = num_shards_;
+  config_.num_workers = std::clamp(config_.num_workers, 1, num_shards_);
+  config_.replicas =
+      std::clamp(config_.replicas, 0, config_.num_workers - 1);
+  InitMetrics();
+}
+
+Result<std::unique_ptr<Router>> Router::Start(const HostMatrix& target,
+                                              const RouterConfig& config) {
+  if (target.empty()) {
+    return Status::InvalidArgument("Router needs a non-empty target set");
+  }
+  if (config.worker_binary.empty()) {
+    return Status::InvalidArgument(
+        "RouterConfig.worker_binary must name the shard-worker executable");
+  }
+  if (config.service.max_batch_size <= 0) {
+    return Status::InvalidArgument("max_batch_size must be > 0");
+  }
+  std::unique_ptr<Router> router(
+      new Router(config, target.cols(), target.rows()));
+  const Status boot = router->Bootstrap(target);
+  if (!boot.ok()) {
+    router->Shutdown();
+    return boot;
+  }
+  router->dispatcher_ = std::thread(&Router::DispatchLoop, router.get());
+  return router;
+}
+
+Router::~Router() { Shutdown(); }
+
+void Router::InitMetrics() {
+  m_requests_ = metrics_.GetCounter("sweetknn_router_requests_total",
+                                    "Search/JoinBatch calls admitted");
+  m_queries_ = metrics_.GetCounter("sweetknn_router_queries_total",
+                                   "Query rows answered");
+  m_rejected_ = metrics_.GetCounter(
+      "sweetknn_router_rejected_requests_total",
+      "Requests rejected because the router was shutting down");
+  m_batches_ = metrics_.GetCounter("sweetknn_router_batches_total",
+                                   "Micro-batches dispatched");
+  m_engine_groups_ = metrics_.GetCounter(
+      "sweetknn_router_engine_groups_total",
+      "Same-k groups fanned out to the workers");
+  m_batched_queries_ = metrics_.GetCounter(
+      "sweetknn_router_batched_queries_total",
+      "Query rows that went through worker fan-outs");
+  m_inserts_ = metrics_.GetCounter("sweetknn_router_inserts_total",
+                                   "Points admitted through Insert");
+  m_removes_ = metrics_.GetCounter("sweetknn_router_removes_total",
+                                   "Successful Remove calls");
+  m_remove_misses_ = metrics_.GetCounter(
+      "sweetknn_router_remove_misses_total",
+      "Remove calls naming an id that was never live or already removed");
+  m_compactions_ = metrics_.GetCounter(
+      "sweetknn_router_compactions_total",
+      "Shard compactions applied across the cluster");
+  m_worker_deaths_ = metrics_.GetCounter(
+      "sweetknn_router_worker_deaths_total",
+      "Workers declared dead (timeout, transport error, or bad reply)");
+  m_rpc_timeouts_ = metrics_.GetCounter(
+      "sweetknn_router_rpc_timeouts_total", "RPCs that missed rpc_timeout");
+  m_retried_groups_ = metrics_.GetCounter(
+      "sweetknn_router_retried_groups_total",
+      "Query groups re-fanned after a failover");
+  m_replicas_restored_ = metrics_.GetCounter(
+      "sweetknn_router_replicas_restored_total",
+      "Replicas re-established by snapshot catch-up");
+  m_queue_wait_ = metrics_.GetHistogram(
+      "sweetknn_router_queue_wait_seconds",
+      "Admission-to-dispatch wait per request",
+      common::LatencyBucketsSeconds());
+  m_merge_ = metrics_.GetHistogram("sweetknn_router_merge_seconds",
+                                   "Final cross-shard merge per group",
+                                   common::LatencyBucketsSeconds());
+  m_request_latency_ = metrics_.GetHistogram(
+      "sweetknn_router_request_latency_seconds",
+      "End-to-end latency per request", common::LatencyBucketsSeconds());
+  m_workers_alive_ = metrics_.GetGauge("sweetknn_router_workers_alive",
+                                       "Live worker processes");
+  for (int w = 0; w < config_.num_workers; ++w) {
+    const std::string prefix =
+        "sweetknn_router_worker" + std::to_string(w) + "_";
+    m_worker_rpc_seconds_.push_back(metrics_.GetHistogram(
+        prefix + "rpc_seconds", "RPC round-trip latency to this worker",
+        common::LatencyBucketsSeconds()));
+    m_worker_rpcs_.push_back(metrics_.GetCounter(
+        prefix + "rpcs_total", "RPCs issued to this worker"));
+    m_worker_failures_.push_back(metrics_.GetCounter(
+        prefix + "rpc_failures_total",
+        "RPCs to this worker that failed or timed out"));
+    m_worker_alive_.push_back(metrics_.GetGauge(
+        prefix + "alive", "1 while this worker is considered live"));
+  }
+}
+
+Result<pid_t> Router::SpawnWorker(const std::string& socket_path) const {
+  const std::string socket_arg = "--socket=" + socket_path;
+  std::vector<char*> argv;
+  std::string binary = config_.worker_binary;
+  std::string command = "shard-worker";
+  std::string arg = socket_arg;
+  argv.push_back(binary.data());
+  argv.push_back(command.data());
+  argv.push_back(arg.data());
+  argv.push_back(nullptr);
+  pid_t pid = -1;
+  const int rc = posix_spawn(&pid, config_.worker_binary.c_str(),
+                             /*file_actions=*/nullptr, /*attrp=*/nullptr,
+                             argv.data(), environ);
+  if (rc != 0) {
+    return Status::IoError("cannot spawn " + config_.worker_binary + ": " +
+                           std::strerror(rc));
+  }
+  return pid;
+}
+
+Status Router::Bootstrap(const HostMatrix& target) {
+  // Work directory: sockets + catch-up snapshots.
+  if (config_.work_dir.empty()) {
+    std::string tmpl = "/tmp/sweetknn-cluster-XXXXXX";
+    if (mkdtemp(tmpl.data()) == nullptr) {
+      return Status::IoError(std::string("mkdtemp failed: ") +
+                             std::strerror(errno));
+    }
+    config_.work_dir = tmpl;
+    own_work_dir_ = true;
+  } else {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.work_dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create work dir " + config_.work_dir +
+                             ": " + ec.message());
+    }
+  }
+
+  // Spawn and connect the workers.
+  const int num_workers = config_.num_workers;
+  for (int w = 0; w < num_workers; ++w) {
+    const std::string socket_path =
+        config_.work_dir + "/worker-" + std::to_string(w) + ".sock";
+    Result<pid_t> pid = SpawnWorker(socket_path);
+    SK_RETURN_IF_ERROR(pid.status());
+    Result<net::Connection> conn = net::Connection::Connect(
+        socket_path, SteadyClock::now() + kConnectTimeout);
+    if (!conn.ok()) {
+      ReapWorker(pid.value());
+      return Status::Unavailable(
+          "worker " + std::to_string(w) +
+          " never came up: " + conn.status().ToString());
+    }
+    workers_.push_back(std::make_unique<WorkerChannel>(
+        w, pid.value(), std::move(conn).value(),
+        m_worker_rpc_seconds_[static_cast<size_t>(w)],
+        m_worker_rpcs_[static_cast<size_t>(w)],
+        m_worker_failures_[static_cast<size_t>(w)]));
+    alive_.push_back(true);
+    m_worker_alive_[static_cast<size_t>(w)]->Set(1.0);
+  }
+  m_workers_alive_->Set(static_cast<double>(num_workers));
+
+  // Placement: shard s's primary is worker s % W, its replicas the next
+  // `replicas` workers around the ring (distinct because replicas < W).
+  primary_.resize(static_cast<size_t>(num_shards_));
+  replicas_.resize(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    primary_[static_cast<size_t>(s)] = s % num_workers;
+    for (int r = 1; r <= config_.replicas; ++r) {
+      replicas_[static_cast<size_t>(s)].push_back((s + r) % num_workers);
+    }
+  }
+
+  // The same contiguous slices KnnService builds, cold-built on every
+  // host of each shard. All prepares are submitted up front (workers
+  // cluster their slices concurrently), then the acks collected.
+  const size_t base = target.rows() / static_cast<size_t>(num_shards_);
+  const size_t rem = target.rows() % static_cast<size_t>(num_shards_);
+  auto replies = std::make_shared<ReplyQueue>();
+  int outstanding = 0;
+  size_t offset = 0;
+  for (int s = 0; s < num_shards_; ++s) {
+    const size_t rows = base + (static_cast<size_t>(s) < rem ? 1 : 0);
+    net::PrepareColdRequest req;
+    req.shard_index = static_cast<uint32_t>(s);
+    req.offset = offset;
+    req.slice = HostMatrix(rows, dims_);
+    std::memcpy(req.slice.mutable_data(), target.row(offset),
+                rows * dims_ * sizeof(float));
+    req.options = config_.service.options;
+    req.device = config_.service.device;
+    req.planner = config_.service.planner;
+    shard_offsets_.push_back(static_cast<uint32_t>(offset));
+    offset += rows;
+    const std::string payload = net::EncodePrepareCold(req);
+    for (const int host : ShardHostsLocked(s)) {
+      Call call;
+      call.type = static_cast<uint32_t>(net::MsgType::kPrepareCold);
+      call.payload = payload;
+      call.timeout = config_.prepare_timeout;
+      call.reply_to = replies;
+      workers_[static_cast<size_t>(host)]->Submit(std::move(call));
+      ++outstanding;
+    }
+  }
+  const SteadyClock::time_point deadline =
+      SteadyClock::now() + config_.prepare_timeout;
+  for (int i = 0; i < outstanding; ++i) {
+    RpcReply reply;
+    if (!replies->WaitPopUntil(&reply, deadline)) {
+      return Status::DeadlineExceeded("cluster prepare timed out");
+    }
+    SK_RETURN_IF_ERROR(reply.status);
+    if (reply.frame.type == static_cast<uint32_t>(net::MsgType::kError)) {
+      return net::DecodeError(reply.frame.payload);
+    }
+    if (reply.frame.type != static_cast<uint32_t>(net::MsgType::kAck)) {
+      return Status::IoError("unexpected prepare reply type " +
+                             std::to_string(reply.frame.type));
+    }
+  }
+  return Status::Ok();
+}
+
+// --- RPC plumbing ------------------------------------------------------------
+
+Result<net::Frame> Router::CallWorker(int w, net::MsgType type,
+                                      std::string payload,
+                                      std::chrono::milliseconds timeout,
+                                      net::MsgType expect_type) {
+  auto replies = std::make_shared<ReplyQueue>();
+  Call call;
+  call.type = static_cast<uint32_t>(type);
+  call.payload = std::move(payload);
+  call.timeout = timeout;
+  call.reply_to = replies;
+  if (!workers_[static_cast<size_t>(w)]->Submit(std::move(call))) {
+    return Status::Unavailable("worker " + std::to_string(w) +
+                               " is shut down");
+  }
+  RpcReply reply;
+  if (!replies->WaitPopUntil(&reply, SteadyClock::now() + timeout)) {
+    NoteRpcTimeout();
+    return Status::DeadlineExceeded("worker " + std::to_string(w) +
+                                    " RPC timed out");
+  }
+  if (reply.status.code() == StatusCode::kDeadlineExceeded) {
+    NoteRpcTimeout();
+  }
+  SK_RETURN_IF_ERROR(reply.status);
+  if (reply.frame.type == static_cast<uint32_t>(net::MsgType::kError)) {
+    return net::DecodeError(reply.frame.payload);
+  }
+  if (reply.frame.type != static_cast<uint32_t>(expect_type)) {
+    return Status::IoError("worker " + std::to_string(w) +
+                           " replied with unexpected type " +
+                           std::to_string(reply.frame.type));
+  }
+  return std::move(reply.frame);
+}
+
+void Router::NoteRpcTimeout() {
+  m_rpc_timeouts_->Increment();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.rpc_timeouts;
+}
+
+void Router::MarkWorkerDeadLocked(int w, const std::string& why) {
+  const auto idx = static_cast<size_t>(w);
+  if (!alive_[idx]) return;
+  SK_LOG(Warning) << "Router: declaring worker " << w << " dead (" << why
+                  << ")";
+  alive_[idx] = false;
+  workers_[idx]->Poison();
+  // A wedged (e.g. SIGSTOPped) worker still holds its socket and pid;
+  // make the death real so a later restart of the shard cannot race it.
+  kill(workers_[idx]->pid(), SIGKILL);
+  m_worker_alive_[idx]->Set(0.0);
+  m_workers_alive_->Add(-1.0);
+  m_worker_deaths_->Increment();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.worker_deaths;
+  }
+  for (int s = 0; s < num_shards_; ++s) {
+    const auto sidx = static_cast<size_t>(s);
+    std::vector<int>& reps = replicas_[sidx];
+    if (primary_[sidx] == w) {
+      // Promote the first live replica; with none, the shard is lost
+      // until RestoreReplication (or forever without replicas).
+      primary_[sidx] = -1;
+      for (size_t r = 0; r < reps.size(); ++r) {
+        if (alive_[static_cast<size_t>(reps[r])]) {
+          primary_[sidx] = reps[r];
+          reps.erase(reps.begin() + static_cast<long>(r));
+          break;
+        }
+      }
+    }
+    reps.erase(std::remove(reps.begin(), reps.end(), w), reps.end());
+  }
+}
+
+std::vector<int> Router::ShardHostsLocked(int s) const {
+  const auto sidx = static_cast<size_t>(s);
+  std::vector<int> hosts;
+  if (primary_[sidx] >= 0 && alive_[static_cast<size_t>(primary_[sidx])]) {
+    hosts.push_back(primary_[sidx]);
+  }
+  for (const int r : replicas_[sidx]) {
+    if (alive_[static_cast<size_t>(r)]) hosts.push_back(r);
+  }
+  return hosts;
+}
+
+int Router::OwningShardLocked(uint32_t id) const {
+  if (id < initial_rows_) {
+    // Initial rows live where the constructor sliced them; compactions
+    // never move an id across shards.
+    const auto it = std::upper_bound(shard_offsets_.begin(),
+                                     shard_offsets_.end(), id);
+    return static_cast<int>(it - shard_offsets_.begin()) - 1;
+  }
+  // Inserted rows land on shard id % S, same as KnnService::InsertBatch.
+  return static_cast<int>(id % static_cast<uint32_t>(num_shards_));
+}
+
+Result<net::Frame> Router::MutateShardLocked(int s, net::MsgType type,
+                                             const std::string& payload,
+                                             net::MsgType expect_type) {
+  const std::chrono::milliseconds timeout =
+      type == net::MsgType::kCompact ? config_.prepare_timeout
+                                     : config_.rpc_timeout;
+  // Snapshot the hosts first: marking one dead rewrites the placement.
+  const std::vector<int> hosts = ShardHostsLocked(s);
+  if (hosts.empty()) {
+    return Status::Unavailable("shard " + std::to_string(s) +
+                               " has no live host");
+  }
+  Result<net::Frame> first = Status::Unavailable("no host answered");
+  bool have_reply = false;
+  for (const int host : hosts) {
+    Result<net::Frame> reply = CallWorker(host, type, payload, timeout,
+                                          expect_type);
+    if (reply.ok()) {
+      if (!have_reply) {
+        first = std::move(reply);
+        have_reply = true;
+      }
+    } else if (reply.status().code() == StatusCode::kDeadlineExceeded ||
+               reply.status().code() == StatusCode::kUnavailable) {
+      // Transport-level death; application errors (InvalidArgument,
+      // NotFound) are real answers and must not trigger failover.
+      MarkWorkerDeadLocked(host, reply.status().ToString());
+    } else if (!have_reply) {
+      first = std::move(reply);
+      have_reply = true;
+    }
+  }
+  return first;
+}
+
+// --- Admission + dispatch ----------------------------------------------------
+
+Result<std::vector<Neighbor>> Router::Search(
+    const std::vector<float>& query_point, int k) {
+  SK_CHECK_EQ(query_point.size(), dims_);
+  SK_CHECK_GT(k, 0);
+  auto request = std::make_unique<Request>();
+  request->rows = query_point;
+  request->num_rows = 1;
+  request->k = k;
+  Result<std::future<Result<KnnResult>>> submitted =
+      Submit(std::move(request));
+  if (!submitted.ok()) return submitted.status();
+  Result<KnnResult> result = submitted.value().get();
+  if (!result.ok()) return result.status();
+  const KnnResult& answer = result.value();
+  return std::vector<Neighbor>(answer.row(0), answer.row(0) + answer.k());
+}
+
+Result<KnnResult> Router::JoinBatch(const HostMatrix& queries, int k) {
+  SK_CHECK(!queries.empty());
+  SK_CHECK_EQ(queries.cols(), dims_);
+  SK_CHECK_GT(k, 0);
+  auto request = std::make_unique<Request>();
+  request->rows = queries.storage();
+  request->num_rows = queries.rows();
+  request->k = k;
+  Result<std::future<Result<KnnResult>>> submitted =
+      Submit(std::move(request));
+  if (!submitted.ok()) return submitted.status();
+  return submitted.value().get();
+}
+
+Result<std::future<Result<KnnResult>>> Router::Submit(RequestPtr request) {
+  const size_t rows = request->num_rows;
+  request->admit_time = SteadyClock::now();
+  std::future<Result<KnnResult>> future = request->promise.get_future();
+  if (!queue_.Push(std::move(request))) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected_requests;
+    }
+    m_rejected_->Increment();
+    return Status::Unavailable("Router is shut down; request rejected");
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+    stats_.queries += rows;
+  }
+  m_requests_->Increment();
+  m_queries_->Increment(static_cast<double>(rows));
+  return future;
+}
+
+void Router::DispatchLoop() {
+  RequestPtr first;
+  while (queue_.WaitPop(&first)) {
+    // The same micro-batching policy as KnnService::DispatchLoop.
+    const SteadyClock::time_point opened = SteadyClock::now();
+    m_queue_wait_->Observe(SecondsBetween(first->admit_time, opened));
+    std::vector<RequestPtr> batch;
+    size_t rows = first->num_rows;
+    batch.push_back(std::move(first));
+    const auto deadline = opened + config_.service.max_batch_wait;
+    while (rows < static_cast<size_t>(config_.service.max_batch_size)) {
+      RequestPtr next;
+      if (!queue_.TryPop(&next)) {
+        const auto now = SteadyClock::now();
+        if (now >= deadline || !queue_.WaitPopFor(&next, deadline - now)) {
+          break;
+        }
+      }
+      m_queue_wait_->Observe(
+          SecondsBetween(next->admit_time, SteadyClock::now()));
+      rows += next->num_rows;
+      batch.push_back(std::move(next));
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.batches;
+      stats_.batched_queries += rows;
+    }
+    m_batches_->Increment();
+    m_batched_queries_->Increment(static_cast<double>(rows));
+
+    std::map<int, std::vector<RequestPtr>> by_k;
+    for (RequestPtr& request : batch) {
+      by_k[request->k].push_back(std::move(request));
+    }
+    for (auto& [k, group] : by_k) {
+      (void)k;
+      RunGroup(std::move(group));
+    }
+  }
+}
+
+bool Router::TryFanout(const HostMatrix& queries, int k,
+                       std::vector<core::ShardAnswer>* answers,
+                       std::vector<int>* failed) {
+  // Per-worker primary shard lists.
+  std::vector<std::vector<uint32_t>> plan(workers_.size());
+  for (int s = 0; s < num_shards_; ++s) {
+    const int p = primary_[static_cast<size_t>(s)];
+    if (p < 0 || !alive_[static_cast<size_t>(p)]) return false;
+    plan[static_cast<size_t>(p)].push_back(static_cast<uint32_t>(s));
+  }
+  auto replies = std::make_shared<ReplyQueue>();
+  std::vector<bool> pending(workers_.size(), false);
+  int outstanding = 0;
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    if (plan[w].empty()) continue;
+    net::QueryRequest req;
+    req.k = static_cast<uint32_t>(k);
+    req.queries = queries;
+    req.shard_indices = plan[w];
+    Call call;
+    call.type = static_cast<uint32_t>(net::MsgType::kQuery);
+    call.payload = net::EncodeQuery(req);
+    call.timeout = config_.rpc_timeout;
+    call.reply_to = replies;
+    if (!workers_[w]->Submit(std::move(call))) {
+      failed->push_back(static_cast<int>(w));
+      continue;
+    }
+    pending[w] = true;
+    ++outstanding;
+  }
+  if (!failed->empty()) return false;
+
+  const SteadyClock::time_point deadline =
+      SteadyClock::now() + config_.rpc_timeout;
+  bool ok = true;
+  for (int i = 0; i < outstanding; ++i) {
+    RpcReply reply;
+    if (!replies->WaitPopUntil(&reply, deadline)) {
+      // Whoever has not answered by now is wedged or gone.
+      NoteRpcTimeout();
+      for (size_t w = 0; w < pending.size(); ++w) {
+        if (pending[w]) failed->push_back(static_cast<int>(w));
+      }
+      return false;
+    }
+    const auto widx = static_cast<size_t>(reply.worker);
+    pending[widx] = false;
+    if (!reply.status.ok()) {
+      if (reply.status.code() == StatusCode::kDeadlineExceeded) {
+        NoteRpcTimeout();
+      }
+      failed->push_back(reply.worker);
+      ok = false;
+      continue;
+    }
+    if (reply.frame.type != static_cast<uint32_t>(net::MsgType::kQueryReply)) {
+      // An Error frame (or junk) on the query path means the worker's
+      // view of the placement disagrees with ours — treat as dead and
+      // let the retry re-plan.
+      failed->push_back(reply.worker);
+      ok = false;
+      continue;
+    }
+    net::QueryReply decoded;
+    const Status status = net::DecodeQueryReply(reply.frame.payload, &decoded);
+    if (!status.ok() || decoded.shard_indices != plan[widx]) {
+      failed->push_back(reply.worker);
+      ok = false;
+      continue;
+    }
+    for (size_t j = 0; j < decoded.shard_indices.size(); ++j) {
+      (*answers)[decoded.shard_indices[j]] = std::move(decoded.answers[j]);
+    }
+  }
+  return ok;
+}
+
+void Router::RunGroup(std::vector<RequestPtr> group) {
+  const int k = group[0]->k;
+  size_t rows = 0;
+  for (const RequestPtr& request : group) rows += request->num_rows;
+  HostMatrix queries(rows, dims_);
+  size_t row = 0;
+  for (const RequestPtr& request : group) {
+    std::memcpy(queries.mutable_row(row), request->rows.data(),
+                request->num_rows * dims_ * sizeof(float));
+    row += request->num_rows;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.engine_groups;
+  }
+  m_engine_groups_->Increment();
+
+  Status failure = Status::Ok();
+  KnnResult merged;
+  {
+    // One consistent cluster state per group, like index_mutex_: the
+    // fan-out excludes mutations, compactions, and topology changes.
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<core::ShardAnswer> answers(
+        static_cast<size_t>(num_shards_));
+    int attempts = 0;
+    for (;;) {
+      std::vector<int> failed;
+      if (TryFanout(queries, k, &answers, &failed)) break;
+      for (const int w : failed) {
+        MarkWorkerDeadLocked(w, "query fan-out failed");
+      }
+      bool lost = false;
+      for (int s = 0; s < num_shards_; ++s) {
+        const int p = primary_[static_cast<size_t>(s)];
+        if (p < 0 || !alive_[static_cast<size_t>(p)]) lost = true;
+      }
+      if (lost) {
+        failure = Status::Unavailable(
+            "a shard has no live host; cluster cannot answer");
+        break;
+      }
+      if (++attempts > static_cast<int>(workers_.size())) {
+        failure = Status::Unavailable("query fan-out kept failing");
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.retried_groups;
+      }
+      m_retried_groups_->Increment();
+    }
+    if (failure.ok()) {
+      // The identical exact merge the in-process backend runs — this is
+      // where cluster answers become bit-identical to local ones.
+      const SteadyClock::time_point merge_start = SteadyClock::now();
+      merged = core::MergeShardAnswers(answers, k);
+      m_merge_->Observe(SecondsBetween(merge_start, SteadyClock::now()));
+    }
+  }
+
+  row = 0;
+  for (RequestPtr& request : group) {
+    if (!failure.ok()) {
+      request->promise.set_value(failure);
+      continue;
+    }
+    KnnResult answer(request->num_rows, k);
+    for (size_t q = 0; q < request->num_rows; ++q) {
+      std::memcpy(answer.mutable_row(q), merged.row(row + q),
+                  static_cast<size_t>(k) * sizeof(Neighbor));
+    }
+    row += request->num_rows;
+    m_request_latency_->Observe(
+        SecondsBetween(request->admit_time, SteadyClock::now()));
+    request->promise.set_value(std::move(answer));
+  }
+}
+
+// --- Mutations ---------------------------------------------------------------
+
+Result<uint32_t> Router::Insert(const std::vector<float>& point) {
+  SK_CHECK_EQ(point.size(), dims_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("Router is shut down; insert rejected");
+  }
+  // Same id allocation and placement as KnnService::InsertBatch: ids
+  // count upward, id lands on shard id % S.
+  const uint32_t id = next_id_++;
+  const int s = static_cast<int>(id % static_cast<uint32_t>(num_shards_));
+  net::InsertRequest req;
+  req.shard_index = static_cast<uint32_t>(s);
+  req.id = id;
+  req.point = point;
+  Result<net::Frame> reply = MutateShardLocked(
+      s, net::MsgType::kInsert, net::EncodeInsert(req), net::MsgType::kAck);
+  if (!reply.ok()) return reply.status();
+  ++target_rows_;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.inserts;
+  }
+  m_inserts_->Increment();
+  return id;
+}
+
+Result<bool> Router::Remove(uint32_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("Router is shut down; remove rejected");
+  }
+  const int s = OwningShardLocked(id);
+  net::RemoveRequest req;
+  req.shard_index = static_cast<uint32_t>(s);
+  req.id = id;
+  Result<net::Frame> reply =
+      MutateShardLocked(s, net::MsgType::kRemove, net::EncodeRemove(req),
+                        net::MsgType::kRemoveReply);
+  if (!reply.ok()) return reply.status();
+  net::RemoveReply decoded;
+  SK_RETURN_IF_ERROR(net::DecodeRemoveReply(reply.value().payload, &decoded));
+  if (decoded.found) --target_rows_;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    if (decoded.found) {
+      ++stats_.removes;
+    } else {
+      ++stats_.remove_misses;
+    }
+  }
+  (decoded.found ? m_removes_ : m_remove_misses_)->Increment();
+  return decoded.found;
+}
+
+Status Router::CompactShard(int shard) {
+  if (shard < 0 || shard >= num_shards_) {
+    return Status::InvalidArgument("no such shard: " +
+                                   std::to_string(shard));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("Router is shut down; compact rejected");
+  }
+  net::CompactRequest req;
+  req.shard_index = static_cast<uint32_t>(shard);
+  // Every host of the shard compacts; the rebuilds are deterministic
+  // functions of the (identical) shard state, so primaries and replicas
+  // land on byte-identical fresh bases.
+  Result<net::Frame> reply =
+      MutateShardLocked(shard, net::MsgType::kCompact,
+                        net::EncodeCompact(req), net::MsgType::kAck);
+  if (!reply.ok()) return reply.status();
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.compactions;
+  }
+  m_compactions_->Increment();
+  return Status::Ok();
+}
+
+Status Router::CompactAll() {
+  for (int s = 0; s < num_shards_; ++s) {
+    SK_RETURN_IF_ERROR(CompactShard(s));
+  }
+  return Status::Ok();
+}
+
+Status Router::RestoreReplication() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("Router is shut down");
+  }
+  const int num_workers = static_cast<int>(workers_.size());
+  for (int s = 0; s < num_shards_; ++s) {
+    const auto sidx = static_cast<size_t>(s);
+    if (primary_[sidx] < 0 || !alive_[static_cast<size_t>(primary_[sidx])]) {
+      return Status::Unavailable("shard " + std::to_string(s) +
+                                 " has no live host to catch up from");
+    }
+    while (static_cast<int>(replicas_[sidx].size()) < config_.replicas) {
+      // First live worker around the ring not already hosting the shard.
+      int candidate = -1;
+      for (int step = 1; step < num_workers; ++step) {
+        const int w = (primary_[sidx] + step) % num_workers;
+        if (!alive_[static_cast<size_t>(w)]) continue;
+        if (std::find(replicas_[sidx].begin(), replicas_[sidx].end(), w) !=
+            replicas_[sidx].end()) {
+          continue;
+        }
+        candidate = w;
+        break;
+      }
+      if (candidate < 0) break;  // not enough live workers; not an error
+
+      // Catch-up: the primary exports the shard, the candidate adopts it
+      // (the bulk bytes travel through the filesystem, not the socket).
+      const std::string path =
+          config_.work_dir + "/catchup-" + std::to_string(s) + "-" +
+          std::to_string(++catchup_counter_) + ".sksnap";
+      net::SaveShardRequest save;
+      save.shard_index = static_cast<uint32_t>(s);
+      save.shard_count = static_cast<uint32_t>(num_shards_);
+      save.path = path;
+      save.dataset_name = config_.service.dataset_name;
+      save.next_id = next_id_;
+      Result<net::Frame> saved = CallWorker(
+          primary_[sidx], net::MsgType::kSaveShard,
+          net::EncodeSaveShard(save), config_.prepare_timeout,
+          net::MsgType::kAck);
+      if (!saved.ok()) {
+        MarkWorkerDeadLocked(primary_[sidx], saved.status().ToString());
+        return Status::Unavailable("shard " + std::to_string(s) +
+                                   " export failed: " +
+                                   saved.status().ToString());
+      }
+      net::PrepareSnapshotRequest prep;
+      prep.shard_index = static_cast<uint32_t>(s);
+      prep.path = path;
+      prep.options = config_.service.options;
+      prep.device = config_.service.device;
+      prep.planner = config_.service.planner;
+      Result<net::Frame> adopted = CallWorker(
+          candidate, net::MsgType::kPrepareSnapshot,
+          net::EncodePrepareSnapshot(prep), config_.prepare_timeout,
+          net::MsgType::kAck);
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+      if (!adopted.ok()) {
+        MarkWorkerDeadLocked(candidate, adopted.status().ToString());
+        continue;  // try the next candidate
+      }
+      replicas_[sidx].push_back(candidate);
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++stats_.replicas_restored;
+      }
+      m_replicas_restored_->Increment();
+    }
+  }
+  return Status::Ok();
+}
+
+// --- Shutdown / accessors ----------------------------------------------------
+
+void Router::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  queue_.Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t w = 0; w < workers_.size(); ++w) {
+      if (!alive_[w]) continue;
+      // Best effort: a wedged worker just gets reaped below.
+      (void)CallWorker(static_cast<int>(w), net::MsgType::kShutdown, "",
+                       kShutdownRpcTimeout, net::MsgType::kAck);
+    }
+  }
+  for (const std::unique_ptr<WorkerChannel>& channel : workers_) {
+    channel->Join();
+  }
+  for (const std::unique_ptr<WorkerChannel>& channel : workers_) {
+    ReapWorker(channel->pid());
+  }
+  if (own_work_dir_ && !config_.work_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(config_.work_dir, ec);
+  }
+}
+
+RouterStats Router::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+std::string Router::ExportMetricsJson() const { return metrics_.ExportJson(); }
+
+size_t Router::target_rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return target_rows_;
+}
+
+bool Router::worker_alive(int w) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return alive_[static_cast<size_t>(w)];
+}
+
+pid_t Router::worker_pid(int w) const {
+  return workers_[static_cast<size_t>(w)]->pid();
+}
+
+}  // namespace sweetknn::serve

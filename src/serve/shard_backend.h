@@ -1,0 +1,179 @@
+#ifndef SWEETKNN_SERVE_SHARD_BACKEND_H_
+#define SWEETKNN_SERVE_SHARD_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/delta_overlay.h"
+#include "core/options.h"
+#include "core/route_planner.h"
+#include "core/shard_merge.h"
+#include "core/ti_knn_gpu.h"
+#include "gpusim/device.h"
+#include "simd/simd_kernels.h"
+#include "store/snapshot.h"
+
+namespace sweetknn::serve {
+
+/// One target-set shard: a simulated device with a prepared TiKnnEngine
+/// index, the pre-packed host-route copy of the same base, and the
+/// mutation overlay. This is the transport-free unit both shard backends
+/// host — KnnService's in-process threads and the shard-worker processes
+/// hold the identical object, so a query group answered locally and one
+/// answered over a socket run exactly the same code against exactly the
+/// same state (the basis of the cluster-vs-local bit-identity harness).
+///
+/// Thread model: the host is externally synchronized. KnnService guards
+/// every access with index_mutex_; a ShardWorker serves its requests
+/// from one thread.
+struct ShardHost {
+  /// No active compaction on this shard (see compact_watermark).
+  static constexpr size_t kNoCompaction = static_cast<size_t>(-1);
+
+  explicit ShardHost(const gpusim::DeviceSpec& spec,
+                     const core::TiOptions& options)
+      : dev(spec), engine(&dev, options) {}
+
+  gpusim::Device dev;
+  core::TiKnnEngine engine;
+  /// The frozen base pre-packed for the vectorized host route; holds
+  /// exactly the bytes PrepareTarget/RestoreTarget uploaded. Replaced
+  /// together with the engine (compaction installs, swaps).
+  simd::PackedTargets packed_base;
+  uint32_t offset = 0;  ///< First global target row of this slice.
+  /// Base row -> stable id, strictly increasing; empty = identity
+  /// shifted by `offset`.
+  std::vector<uint32_t> id_map;
+  /// Inserts since the base was clustered, plus tombstoned ids.
+  core::DeltaBuffer delta;
+  /// Install ticket: bumped (from the owner's epoch counter) whenever
+  /// the shard object is created or replaced. A compactor that captured
+  /// an older epoch must abandon its install.
+  uint64_t epoch = 0;
+  /// While a compaction is in flight: how many delta entries the
+  /// compactor captured. Removes of captured entries tombstone instead
+  /// of erasing (the rebuild already contains them); the suffix past
+  /// the watermark stays freely mutable.
+  size_t compact_watermark = kNoCompaction;
+
+  bool Pristine() const { return delta.Pristine() && id_map.empty(); }
+  uint32_t BaseId(size_t i) const {
+    return id_map.empty() ? offset + static_cast<uint32_t>(i) : id_map[i];
+  }
+  size_t base_rows() const { return base_rows_; }
+  void set_base_rows(size_t n) { base_rows_ = n; }
+  size_t live_rows() const {
+    return base_rows_ - delta.tombstones.size() + delta.size();
+  }
+
+  /// Cold build: PrepareTarget (upload + Step-1 landmark clustering)
+  /// over this shard's slice, plus the packed host-route copy.
+  void BuildCold(const HostMatrix& slice);
+
+  /// Warm start: re-materializes the prepared index from a snapshot's
+  /// bytes without re-clustering, plus the packed host-route copy.
+  void RestoreBase(const HostMatrix& target,
+                   const core::TargetClusteringHost& clustering);
+
+  /// Adopts a snapshot's geometry and overlay fields (offset, id map,
+  /// delta, tombstones). Does NOT restore the engine — call RestoreBase
+  /// with the snapshot's target afterwards (KnnService batches the
+  /// restores onto the host pool).
+  void AdoptOverlay(const store::IndexSnapshot& snap);
+
+  /// Answers one same-k query group from this shard: the complete,
+  /// exact contribution the final MergeShardAnswers needs, whichever
+  /// side of a socket this host lives on.
+  ///
+  /// A pristine shard runs its base at k and reports local indices
+  /// (pristine answer, stable id = index + offset at merge time). A
+  /// mutated shard over-queries its base at k + |tombstones| (masking
+  /// can then never starve the top k), side-scans its delta, and merges
+  /// the two locally through MergeMutableResults — reporting its exact
+  /// live top-k with stable ids substituted. Either way the answer's
+  /// pooled contribution is bit-identical to the flat single-process
+  /// merge; see MergeShardAnswers.
+  ///
+  /// `route` picks the base-scan path (the caller's planner decides, so
+  /// decision order stays deterministic); both routes answer
+  /// bit-identically. Host-routed scans report no simulated-device
+  /// stats (device_routed = false).
+  core::ShardAnswer SearchGroup(const HostMatrix& queries, int k,
+                                core::QueryRoute route,
+                                core::Metric metric);
+
+  /// True when stable id `id` lives in this shard (base row —
+  /// tombstoned or not — or delta entry).
+  bool Owns(uint32_t id) const;
+
+  /// Removes stable id `id` from this shard: erases a free delta entry
+  /// physically, tombstones a base row or a compaction-consumed delta
+  /// entry (erasing a consumed entry would resurrect the point at
+  /// install). Returns false — with no state change — when the id is
+  /// not here or already removed.
+  bool ApplyRemove(uint32_t id);
+
+  /// Exports the prepared index as a snapshot, normalizing the overlay
+  /// (delta entries tombstoned mid-compaction are dropped outright,
+  /// restoring the file invariant that tombstones name base rows only).
+  /// `next_id` is the owner's id-allocator watermark, recorded in
+  /// mutated snapshots.
+  store::IndexSnapshot Export(const std::string& dataset_name,
+                              const std::string& builder,
+                              uint32_t shard_index, uint32_t shard_count,
+                              const std::string& options_fingerprint,
+                              const std::string& device_fingerprint,
+                              uint32_t next_id) const;
+
+ private:
+  size_t base_rows_ = 0;
+};
+
+/// Everything a compaction captures under the owner's lock before
+/// rebuilding off-lock (docs/mutability.md).
+struct CompactionPlan {
+  int shard = -1;
+  uint64_t epoch = 0;    ///< Shard epoch at capture.
+  size_t watermark = 0;  ///< Delta entries consumed by the plan.
+  HostMatrix points;     ///< Survivors + consumed delta, id order.
+  std::vector<uint32_t> ids;  ///< Stable ids of `points` rows.
+  /// Tombstones at capture (already excluded from `points`).
+  std::unordered_set<uint32_t> captured_tombstones;
+};
+
+/// Capture step of the compaction protocol: snapshots the shard's live
+/// points (base survivors, then consumed live delta entries — ascending
+/// stable-id order) into `plan` and marks the watermark on the shard.
+/// Caller must hold the lock that guards `shard` and must have checked
+/// that the shard is compactable (no compaction in flight, non-pristine
+/// overlay, live_rows > 0).
+void CaptureCompaction(ShardHost* shard, int shard_index,
+                       CompactionPlan* plan);
+
+/// Rebuild step, safe to run off-lock: a fresh simulated device (so the
+/// adaptive scheme sees the same free memory a cold build would) and a
+/// full Step-1 clustering over the captured points. Captured ids that
+/// are literally 0..n-1 restore pristine form (no id map); otherwise the
+/// plan's ids become the new base's id map. `options` should carry the
+/// owner's effective shard options (sim_threads = 1).
+std::unique_ptr<ShardHost> RebuildCompacted(const CompactionPlan& plan,
+                                            const gpusim::DeviceSpec& device,
+                                            const core::TiOptions& options,
+                                            size_t dims);
+
+/// Install-time carry-over: mutations that landed on `old_shard` while
+/// the rebuild ran move onto `fresh` — the delta suffix past the
+/// watermark verbatim (its entries are never tombstoned; removes past
+/// the watermark erase physically), and removes of captured rows as
+/// tombstones of the new base. Caller holds the lock and has already
+/// verified old_shard.epoch == plan.epoch.
+void CarryOverlayForward(const ShardHost& old_shard,
+                         const CompactionPlan& plan, ShardHost* fresh);
+
+}  // namespace sweetknn::serve
+
+#endif  // SWEETKNN_SERVE_SHARD_BACKEND_H_

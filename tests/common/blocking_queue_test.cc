@@ -39,6 +39,62 @@ TEST(BlockingQueueTest, WaitPopForTimesOutEmpty) {
   EXPECT_FALSE(queue.WaitPopFor(&value, std::chrono::microseconds(200)));
 }
 
+TEST(BlockingQueueTest, WaitPopUntilHonorsAbsoluteDeadline) {
+  BlockingQueue<int> queue;
+  int value = 0;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(
+      queue.WaitPopUntil(&value, start + std::chrono::milliseconds(30)));
+  // An absolute deadline must not restart on spurious wakeups: the wait
+  // ends close to the deadline, never multiples of it.
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(2000));
+}
+
+TEST(BlockingQueueTest, WaitPopUntilPopsAvailableItemPastDeadline) {
+  // A deadline already in the past still drains available items — the
+  // router's reply collection depends on this (replies that raced the
+  // deadline are not lost).
+  BlockingQueue<int> queue;
+  queue.Push(7);
+  int value = 0;
+  EXPECT_TRUE(queue.WaitPopUntil(
+      &value,
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(10)));
+  EXPECT_EQ(value, 7);
+  EXPECT_FALSE(queue.WaitPopUntil(
+      &value,
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(10)));
+}
+
+TEST(BlockingQueueTest, WaitPopUntilWakesOnPush) {
+  BlockingQueue<int> queue;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.Push(11);
+  });
+  int value = 0;
+  EXPECT_TRUE(queue.WaitPopUntil(
+      &value, std::chrono::steady_clock::now() + std::chrono::seconds(10)));
+  EXPECT_EQ(value, 11);
+  producer.join();
+}
+
+TEST(BlockingQueueTest, WaitPopUntilWakesOnClose) {
+  BlockingQueue<int> queue;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.Close();
+  });
+  int value = 0;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(queue.WaitPopUntil(
+      &value, start + std::chrono::seconds(30)));
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(10));
+  closer.join();
+}
+
 TEST(BlockingQueueTest, CloseDrainsThenEnds) {
   BlockingQueue<int> queue;
   queue.Push(1);

@@ -12,14 +12,24 @@
 // toolchain; distances are printed with %.9g (float round-trip) and
 // simulated times with %.17g (double round-trip).
 
+// A second leg pins the same neighbor tables through the multi-process
+// serving path: a router/worker cluster (docs/distributed.md) over the
+// same datasets must reproduce the golden neighbor lines byte for byte.
+// That leg needs the worker binary and skips unless SWEETKNN_CLI points
+// at the sweetknn_cli executable (ctest exports it).
+
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "core/ti_knn_gpu.h"
 #include "dataset/paper_datasets.h"
 #include "gtest/gtest.h"
+#include "serve/router.h"
 
 #ifndef SWEETKNN_GOLDEN_DIR
 #define SWEETKNN_GOLDEN_DIR "tests/goldens"
@@ -110,6 +120,105 @@ TEST(GoldenFileTest, Kegg) { CheckGolden("kegg", Snapshot("kegg", 0.02, 10)); }
 
 TEST(GoldenFileTest, SpatialNetwork3D) {
   CheckGolden("3DNet", Snapshot("3DNet", 0.005, 10));
+}
+
+// --- Cluster leg -------------------------------------------------------------
+
+/// The neighbor-table section of a golden snapshot: the "q: id:dist ..."
+/// lines (they alone start with a digit). The counters above them are
+/// engine-run artifacts; the neighbor rows are what any serving backend
+/// must reproduce bit for bit.
+std::string NeighborLines(const std::string& snapshot_text) {
+  std::istringstream in(snapshot_text);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && std::isdigit(static_cast<unsigned char>(line[0]))) {
+      out << line << "\n";
+    }
+  }
+  return out.str();
+}
+
+/// The same self-join the engine snapshot runs, answered by a
+/// router/worker cluster, formatted as golden neighbor lines.
+std::string ClusterNeighborSnapshot(const std::string& dataset_name,
+                                    double size_factor, int k,
+                                    const char* worker_binary) {
+  const dataset::Dataset data = dataset::MakePaperDataset(
+      dataset::PaperDatasetByName(dataset_name), size_factor);
+
+  serve::RouterConfig config;
+  config.service.num_shards = 2;
+  config.num_workers = 2;
+  config.worker_binary = worker_binary;
+  Result<std::unique_ptr<serve::Router>> started =
+      serve::Router::Start(data.points, config);
+  if (!started.ok()) {
+    ADD_FAILURE() << "Router::Start failed: "
+                  << started.status().ToString();
+    return "";
+  }
+  const Result<KnnResult> result =
+      started.value()->JoinBatch(data.points, k);
+  if (!result.ok()) {
+    ADD_FAILURE() << "cluster JoinBatch failed: "
+                  << result.status().ToString();
+    return "";
+  }
+  std::ostringstream out;
+  char buf[64];
+  for (size_t q = 0; q < result.value().num_queries(); ++q) {
+    out << q << ":";
+    for (int i = 0; i < result.value().k(); ++i) {
+      const Neighbor& n = result.value().row(q)[i];
+      std::snprintf(buf, sizeof(buf), "%.9g", n.distance);
+      out << " " << n.index << ":" << buf;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void CheckGoldenNeighborsViaCluster(const std::string& name,
+                                    double size_factor, int k) {
+  const char* cli = std::getenv("SWEETKNN_CLI");
+  if (cli == nullptr) {
+    GTEST_SKIP() << "SWEETKNN_CLI not set; cluster leg needs the CLI binary";
+  }
+  if (g_update_goldens) {
+    GTEST_SKIP() << "goldens are owned by the engine leg";
+  }
+  const std::string path = GoldenPath(name);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden " << path;
+  std::stringstream golden;
+  golden << in.rdbuf();
+  const std::string want = NeighborLines(golden.str());
+  ASSERT_FALSE(want.empty()) << path << " holds no neighbor lines";
+  const std::string got = ClusterNeighborSnapshot(name, size_factor, k, cli);
+  if (::testing::Test::HasFailure()) return;
+  if (want == got) return;
+  std::istringstream a(want);
+  std::istringstream b(got);
+  std::string line_a;
+  std::string line_b;
+  size_t line_no = 1;
+  while (std::getline(a, line_a)) {
+    if (!std::getline(b, line_b)) line_b = "<missing>";
+    if (line_a != line_b) break;
+    ++line_no;
+  }
+  FAIL() << "cluster neighbor mismatch for " << name << " at neighbor line "
+         << line_no << "\n  golden: " << line_a << "\n  cluster: " << line_b;
+}
+
+TEST(GoldenFileClusterTest, Kegg) {
+  CheckGoldenNeighborsViaCluster("kegg", 0.02, 10);
+}
+
+TEST(GoldenFileClusterTest, SpatialNetwork3D) {
+  CheckGoldenNeighborsViaCluster("3DNet", 0.005, 10);
 }
 
 }  // namespace

@@ -12,7 +12,11 @@
 # compaction_race_test races mutations, forced compactions, and hot
 # swaps against live clients; route_planner_test flips the hybrid
 # planner's mode and feeds its selectivity EMA from many threads while
-# Choose() races the lock-free route counters.
+# Choose() races the lock-free route counters; shard_backend_test covers
+# the transport-free shard dispatch/merge core both serving backends
+# share; router_timeout_test drives the cluster router's channel IO
+# threads, reply queues, and worker-death path (it spawns shard-worker
+# processes through the CLI binary).
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -41,9 +45,13 @@ TESTS=(
   shutdown_storm_test
   swap_staleness_test
   compaction_race_test
+  shard_backend_test
+  router_timeout_test
 )
 
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"
+# router_timeout_test spawns shard-worker processes from the CLI binary.
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}" sweetknn_cli
+export SWEETKNN_CLI="$PWD/$BUILD_DIR/tools/sweetknn_cli"
 
 status=0
 for t in "${TESTS[@]}"; do

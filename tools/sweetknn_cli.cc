@@ -24,8 +24,13 @@
 // time per query, latency percentiles, and host throughput. With
 // --snapshot-dir=DIR the service warm-starts from persisted shard
 // snapshots (--require-warm turns a cold-build fallback into an error).
-// --metrics-out=FILE dumps the full metrics registry as JSON (see
-// docs/serving.md, "Metrics"); render such a dump later with:
+// With --cluster=N the same workload instead runs against the
+// multi-process router/worker cluster (docs/distributed.md): N worker
+// processes (this binary, re-exec'd as `shard-worker`), optionally
+// --replicas=R copies of each shard; answers are verified bit-identical
+// against an in-process KnnService over the same target before the
+// counters print. --metrics-out=FILE dumps the full metrics registry as
+// JSON (see docs/serving.md, "Metrics"); render such a dump later with:
 //
 //   sweetknn_cli stats --metrics=FILE
 //
@@ -45,7 +50,13 @@
 // snapshot's sections and provenance; index-verify re-reads and fully
 // validates snapshots (checksums + structural consistency), exiting
 // non-zero on the first bad file.
+//
+// Finally, `shard-worker --socket=PATH` is the cluster worker entry
+// point (docs/distributed.md): it binds the unix socket and serves one
+// router connection. Routers (serve-bench --cluster, the integration
+// tests) spawn it themselves; it is not meant for interactive use.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -61,6 +72,8 @@
 #include "dataset/io.h"
 #include "gpusim/profile_report.h"
 #include "serve/knn_service.h"
+#include "serve/router.h"
+#include "serve/shard_worker.h"
 #include "store/snapshot.h"
 
 namespace {
@@ -124,6 +137,8 @@ struct ServeBenchArgs {
   std::string snapshot_dir;  // warm-start source, empty = cold build
   bool require_warm = false;
   std::string metrics_out;  // JSON metrics dump target, empty = none
+  int cluster = 0;   // worker processes; 0 = in-process KnnService
+  int replicas = 0;  // shard copies beyond the primary (cluster mode)
 };
 
 int ServeBenchUsage(const char* argv0) {
@@ -132,7 +147,7 @@ int ServeBenchUsage(const char* argv0) {
                "          [--clients=N] [--requests=N] [--rows=N]\n"
                "          [--max-batch=N] [--wait-us=N] [--cache=N]\n"
                "          [--snapshot-dir=DIR] [--require-warm]\n"
-               "          [--metrics-out=FILE]\n",
+               "          [--cluster=N [--replicas=R]] [--metrics-out=FILE]\n",
                argv0);
   return 2;
 }
@@ -168,13 +183,158 @@ bool ParseServeBenchArgs(int argc, char** argv, ServeBenchArgs* out) {
       out->require_warm = true;
     } else if (const char* v = value("--metrics-out=")) {
       out->metrics_out = v;
+    } else if (const char* v = value("--cluster=")) {
+      out->cluster = std::atoi(v);
+    } else if (const char* v = value("--replicas=")) {
+      out->replicas = std::atoi(v);
     } else {
       return false;
     }
   }
   return !out->target_path.empty() && out->k > 0 && out->shards > 0 &&
          out->clients > 0 && out->requests > 0 && out->rows > 0 &&
-         out->max_batch > 0 && out->wait_us >= 0;
+         out->max_batch > 0 && out->wait_us >= 0 && out->cluster >= 0 &&
+         out->replicas >= 0;
+}
+
+// The binary to re-exec as `shard-worker` for --cluster runs: this very
+// executable, resolved through /proc/self/exe so a relative argv[0]
+// keeps working after the router chdir-free spawn.
+std::string WorkerBinaryPath(const char* argv0) {
+  std::error_code ec;
+  const std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec && !self.empty()) return self.string();
+  return argv0;
+}
+
+int ClusterServeBench(const sweetknn::HostMatrix& points,
+                      const ServeBenchArgs& args, const char* argv0) {
+  using namespace sweetknn;
+  if (!args.snapshot_dir.empty() || args.require_warm) {
+    std::fprintf(stderr,
+                 "error: --snapshot-dir/--require-warm are not supported "
+                 "with --cluster (workers cold-build their slices)\n");
+    return 2;
+  }
+
+  serve::RouterConfig config;
+  config.service.num_shards = args.shards;
+  config.service.max_batch_size = args.max_batch;
+  config.service.max_batch_wait = std::chrono::microseconds(args.wait_us);
+  config.num_workers = args.cluster;
+  config.replicas = args.replicas;
+  config.worker_binary = WorkerBinaryPath(argv0);
+
+  const Stopwatch start_watch;
+  Result<std::unique_ptr<serve::Router>> started =
+      serve::Router::Start(points, config);
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.status().ToString().c_str());
+    return 1;
+  }
+  serve::Router& router = *started.value();
+  const double start_s = start_watch.ElapsedSeconds();
+  std::fprintf(stderr,
+               "serve-bench: target %zu x %zu, k=%d, shards=%d over "
+               "%d workers (+%d replicas, started in %.3f s), "
+               "clients=%d x %d requests x %d rows\n",
+               points.rows(), points.cols(), args.k, router.num_shards(),
+               router.num_workers(), args.replicas, start_s, args.clients,
+               args.requests, args.rows);
+
+  // Bit-identity probe before the timed run: one batch through the
+  // cluster must match an in-process KnnService byte for byte
+  // (docs/distributed.md; the full proof lives in
+  // tests/integration/cluster_differential_test.cc).
+  {
+    const size_t probe_rows =
+        std::min<size_t>(static_cast<size_t>(args.rows), points.rows());
+    HostMatrix probe(probe_rows, points.cols());
+    for (size_t row = 0; row < probe_rows; ++row) {
+      std::memcpy(probe.mutable_row(row), points.row(row),
+                  points.cols() * sizeof(float));
+    }
+    serve::KnnService reference(points, config.service);
+    const Result<KnnResult> want = reference.JoinBatch(probe, args.k);
+    reference.Shutdown();
+    const Result<KnnResult> got = router.JoinBatch(probe, args.k);
+    if (!want.ok() || !got.ok()) {
+      std::fprintf(stderr, "error: bit-identity probe failed: %s\n",
+                   (!want.ok() ? want.status() : got.status())
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    const size_t bytes = want.value().num_queries() *
+                         static_cast<size_t>(want.value().k()) *
+                         sizeof(Neighbor);
+    if (got.value().num_queries() != want.value().num_queries() ||
+        got.value().k() != want.value().k() ||
+        std::memcmp(got.value().row(0), want.value().row(0), bytes) != 0) {
+      std::fprintf(stderr,
+                   "error: cluster answers diverge from the in-process "
+                   "service on the probe batch\n");
+      return 1;
+    }
+    std::fprintf(stderr, "bit-identity probe: cluster == local (%zu x k=%d)\n",
+                 probe_rows, args.k);
+  }
+
+  const Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < args.clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < args.requests; ++r) {
+        HostMatrix batch(static_cast<size_t>(args.rows), points.cols());
+        const size_t base = static_cast<size_t>(c * args.requests + r) *
+                            static_cast<size_t>(args.rows);
+        for (int row = 0; row < args.rows; ++row) {
+          const size_t src = (base + static_cast<size_t>(row)) %
+                             points.rows();
+          std::memcpy(batch.mutable_row(static_cast<size_t>(row)),
+                      points.row(src), points.cols() * sizeof(float));
+        }
+        if (!router.JoinBatch(batch, args.k).ok()) return;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double wall_s = wall.ElapsedSeconds();
+
+  const serve::RouterStats stats = router.stats();
+  std::printf("requests %llu queries %llu batches %llu groups %llu\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.queries),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.engine_groups));
+  std::printf("worker deaths %llu rpc timeouts %llu retried groups %llu\n",
+              static_cast<unsigned long long>(stats.worker_deaths),
+              static_cast<unsigned long long>(stats.rpc_timeouts),
+              static_cast<unsigned long long>(stats.retried_groups));
+  const common::HistogramSnapshot latency = router.metrics().SnapshotHistogram(
+      "sweetknn_router_request_latency_seconds");
+  const common::HistogramSnapshot queue_wait =
+      router.metrics().SnapshotHistogram("sweetknn_router_queue_wait_seconds");
+  std::printf("request latency p50 %.1f us p90 %.1f us p99 %.1f us "
+              "(queue wait p99 %.1f us)\n",
+              latency.Percentile(0.50) * 1e6, latency.Percentile(0.90) * 1e6,
+              latency.Percentile(0.99) * 1e6,
+              queue_wait.Percentile(0.99) * 1e6);
+  std::printf("wall %.3f s (%.0f queries/s)\n", wall_s,
+              static_cast<double>(stats.queries) / wall_s);
+  if (!args.metrics_out.empty()) {
+    std::ofstream out(args.metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   args.metrics_out.c_str());
+      return 1;
+    }
+    out << router.ExportMetricsJson();
+    std::fprintf(stderr, "metrics written to %s\n", args.metrics_out.c_str());
+  }
+  router.Shutdown();
+  return 0;
 }
 
 int ServeBench(int argc, char** argv) {
@@ -188,6 +348,7 @@ int ServeBench(int argc, char** argv) {
     return 1;
   }
   const HostMatrix& points = target.value().points;
+  if (args.cluster > 0) return ClusterServeBench(points, args, argv[0]);
 
   serve::ServiceConfig config;
   config.num_shards = args.shards;
@@ -511,10 +672,37 @@ int IndexVerify(int argc, char** argv) {
   return 0;
 }
 
+// --- shard-worker: cluster worker process entry point -----------------------
+
+int ShardWorkerMain(int argc, char** argv) {
+  using namespace sweetknn;
+  std::string socket_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(std::strlen("--socket="));
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "usage: %s shard-worker --socket=PATH\n", argv[0]);
+    return 2;
+  }
+  serve::ShardWorker worker(socket_path);
+  const Status status = worker.Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "shard-worker: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace sweetknn;
+  if (argc > 1 && std::strcmp(argv[1], "shard-worker") == 0) {
+    return ShardWorkerMain(argc, argv);
+  }
   if (argc > 1 && std::strcmp(argv[1], "serve-bench") == 0) {
     return ServeBench(argc, argv);
   }
