@@ -1,0 +1,240 @@
+// Measures what the approximate tier buys: exact vs approx query
+// throughput on the same ANN-enabled index, swept over base size and
+// recall target. For every sweep point it reports QPS, the speedup over
+// the exact path, the TRUE recall@k of the approx answers against the
+// exact ones, and the graph-search work counters (hops and distance
+// evaluations per query) — plus the one-off graph build cost per scale.
+// Emits BENCH_ann.json.
+//
+// The run fails (exit 1) if the default mode (recall_target 0.9) does
+// not beat exact throughput at the largest scale, or if any sweep
+// point's measured recall falls below its target — the recall SLA,
+// checked on the bench's own workload.
+//
+// Usage: ann_throughput [--scale=F] [--k=N] [--queries=N]
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/sweet_knn.h"
+
+namespace sweetknn::bench {
+namespace {
+
+constexpr size_t kDims = 16;
+constexpr int kClusters = 32;
+
+struct AnnRun {
+  size_t rows = 0;
+  double recall_target = 0.0;  // 0 = the exact reference row
+  int ef = 0;
+  double qps = 0.0;
+  double speedup = 1.0;
+  double recall = 1.0;
+  double hops_per_query = 0.0;
+  double dists_per_query = 0.0;
+};
+
+HostMatrix ClusteredPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  HostMatrix m(n, kDims);
+  std::vector<std::vector<float>> centers(kClusters,
+                                          std::vector<float>(kDims));
+  for (auto& c : centers) {
+    for (float& x : c) x = static_cast<float>(rng.NextDouble());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const auto& c = centers[i % kClusters];
+    for (size_t j = 0; j < kDims; ++j) {
+      m.at(i, j) = c[j] + static_cast<float>(rng.NextDouble() * 0.1 - 0.05);
+    }
+  }
+  return m;
+}
+
+double RecallAgainstExact(const KnnResult& exact, const KnnResult& approx,
+                          int k) {
+  double sum = 0.0;
+  size_t measured = 0;
+  for (size_t q = 0; q < exact.num_queries(); ++q) {
+    std::set<uint32_t> want;
+    for (int i = 0; i < k; ++i) {
+      if (exact.row(q)[i].index == kInvalidNeighbor) break;
+      want.insert(exact.row(q)[i].index);
+    }
+    if (want.empty()) continue;
+    size_t hits = 0;
+    for (int i = 0; i < k; ++i) {
+      if (want.count(approx.row(q)[i].index) != 0) ++hits;
+    }
+    sum += static_cast<double>(hits) / static_cast<double>(want.size());
+    ++measured;
+  }
+  return measured == 0 ? 1.0 : sum / static_cast<double>(measured);
+}
+
+/// Wall-clock of `reps` identical batches, after one untimed warm-up.
+template <typename Fn>
+double TimeBatches(int reps, const Fn& run) {
+  run();
+  const Stopwatch wall;
+  for (int r = 0; r < reps; ++r) run();
+  return wall.ElapsedSeconds() / static_cast<double>(reps);
+}
+
+int Main(int argc, char** argv) {
+  int k = 10;
+  size_t num_queries = 256;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--k=", 0) == 0) {
+      k = std::atoi(arg.c_str() + 4);
+    } else if (arg.rfind("--queries=", 0) == 0) {
+      num_queries = static_cast<size_t>(std::atoll(arg.c_str() + 10));
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const BenchArgs args =
+      BenchArgs::Parse(static_cast<int>(rest.size()), rest.data());
+  // The largest scale sits past the exact/approx crossover: the exact TI
+  // engine's cost grows with the base while the graph walk's is budget-
+  // bound, so this is where the approximate tier must win to earn its
+  // keep (the exit-code gate below).
+  const std::vector<size_t> base_scales = {2000, 8000, 32000, 128000};
+  const std::vector<double> recall_targets = {0.9, 0.95, 0.99};
+
+  std::printf("=== ANN tier throughput: dims=%zu, k=%d, %zu queries "
+              "per batch ===\n\n",
+              kDims, k, num_queries);
+  PrintTableHeader({"rows", "mode", "ef", "QPS", "speedup", "recall",
+                    "hops/q", "dists/q"});
+
+  std::vector<AnnRun> runs;
+  std::vector<double> build_seconds;
+  std::vector<size_t> scales;
+  bool sla_met = true;
+  double largest_scale_speedup = 0.0;
+  for (const size_t base : base_scales) {
+    const size_t n = static_cast<size_t>(
+        static_cast<double>(base) * args.scale);
+    if (n < 64) continue;
+    scales.push_back(n);
+    const HostMatrix target = ClusteredPoints(n, 42 + n);
+    const HostMatrix queries = ClusteredPoints(num_queries, 4242 + n);
+
+    SweetKnn::Config config;
+    config.enable_ann = true;
+    const Stopwatch build_wall;
+    SweetKnnIndex index(target, config);
+    build_seconds.push_back(build_wall.ElapsedSeconds());
+
+    KnnResult exact(0, 0);
+    const double exact_s =
+        TimeBatches(3, [&] { exact = index.Query(queries, k); });
+    const double exact_qps = static_cast<double>(num_queries) / exact_s;
+    AnnRun exact_run;
+    exact_run.rows = n;
+    exact_run.qps = exact_qps;
+    runs.push_back(exact_run);
+    PrintTableRow({std::to_string(n), "exact", "-",
+                   FormatDouble(exact_qps, 0), "1.00", "1.000", "-", "-"});
+
+    for (const double target_recall : recall_targets) {
+      const ann::SearchMode mode = ann::SearchMode::Approx(target_recall);
+      KnnResult approx(0, 0);
+      ann::AnnSearchStats stats;
+      const double approx_s = TimeBatches(3, [&] {
+        stats = ann::AnnSearchStats();
+        approx = index.Query(queries, k, mode, nullptr, &stats);
+      });
+      AnnRun run;
+      run.rows = n;
+      run.recall_target = target_recall;
+      run.ef = ann::EffectiveEf(mode, k);
+      run.qps = static_cast<double>(num_queries) / approx_s;
+      run.speedup = run.qps / exact_qps;
+      run.recall = RecallAgainstExact(exact, approx, k);
+      run.hops_per_query = static_cast<double>(stats.hops) /
+                           static_cast<double>(num_queries);
+      run.dists_per_query = static_cast<double>(stats.candidates_visited) /
+                            static_cast<double>(num_queries);
+      if (run.recall < target_recall) sla_met = false;
+      if (target_recall == 0.9 && base == base_scales.back()) {
+        largest_scale_speedup = run.speedup;
+      }
+      PrintTableRow({std::to_string(n),
+                     "approx@" + FormatDouble(target_recall, 2),
+                     std::to_string(run.ef), FormatDouble(run.qps, 0),
+                     FormatDouble(run.speedup, 2),
+                     FormatDouble(run.recall, 3),
+                     FormatDouble(run.hops_per_query, 1),
+                     FormatDouble(run.dists_per_query, 0)});
+      runs.push_back(run);
+    }
+    std::printf("  graph build: %.3f s (%zu rows)\n", build_seconds.back(),
+                n);
+  }
+
+  const bool approx_wins = largest_scale_speedup > 1.0;
+  std::printf("\nrecall SLA met on every sweep point: %s\n",
+              sla_met ? "yes" : "NO");
+  std::printf("approx@0.90 beats exact at the largest scale: %s "
+              "(speedup %.2fx)\n",
+              approx_wins ? "yes" : "NO", largest_scale_speedup);
+
+  FILE* json = std::fopen("BENCH_ann.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"ann_throughput\",\n%s"
+                 "  \"dims\": %zu,\n  \"k\": %d,\n  \"queries\": %zu,\n"
+                 "  \"scale\": %g,\n  \"graph_build_s\": [",
+                 EnvJson(DetectEnv()).c_str(), kDims, k, num_queries,
+                 args.scale);
+    for (size_t i = 0; i < build_seconds.size(); ++i) {
+      std::fprintf(json, "%s{\"rows\": %zu, \"seconds\": %.4f}",
+                   i == 0 ? "" : ", ", scales[i], build_seconds[i]);
+    }
+    std::fprintf(json, "],\n  \"runs\": [\n");
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const AnnRun& run = runs[i];
+      if (run.recall_target == 0.0) {
+        std::fprintf(json,
+                     "    {\"rows\": %zu, \"mode\": \"exact\", "
+                     "\"qps\": %.1f}%s\n",
+                     run.rows, run.qps, i + 1 < runs.size() ? "," : "");
+        continue;
+      }
+      std::fprintf(
+          json,
+          "    {\"rows\": %zu, \"mode\": \"approx\", "
+          "\"recall_target\": %g, \"ef\": %d, \"qps\": %.1f, "
+          "\"speedup\": %.3f, \"recall\": %.4f, "
+          "\"hops_per_query\": %.2f, \"dists_per_query\": %.1f}%s\n",
+          run.rows, run.recall_target, run.ef, run.qps, run.speedup,
+          run.recall, run.hops_per_query, run.dists_per_query,
+          i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n  \"sla_met\": %s,\n"
+                 "  \"approx_beats_exact_at_largest_scale\": %s\n}\n",
+                 sla_met ? "true" : "false",
+                 approx_wins ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_ann.json\n");
+  }
+  return (sla_met && approx_wins) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sweetknn::bench
+
+int main(int argc, char** argv) { return sweetknn::bench::Main(argc, argv); }

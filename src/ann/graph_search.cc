@@ -1,0 +1,131 @@
+#include "ann/graph_search.h"
+
+#include <algorithm>
+#include <cstring>
+#include <queue>
+
+#include "simd/simd_kernels.h"
+
+namespace sweetknn::ann {
+
+namespace {
+
+/// Min-heap ordering for the frontier: closest candidate on top.
+struct FrontierGreater {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    return NeighborLess(b, a);
+  }
+};
+
+/// Exact fallback: score every row with the vectorized whole-set kernel
+/// and select through the same ascending-index TopK the packed host path
+/// uses — bit-identical to simd::PackedKnn over these rows.
+std::vector<Neighbor> FullScan(const float* points, size_t rows, size_t dims,
+                               simd::Dist dist, const float* query, int k,
+                               SearchScratch* scratch, AnnSearchStats* stats) {
+  scratch->dist_buf.resize(rows);
+  simd::QueryBlockDistances(query, points, rows, dims, dist,
+                            scratch->dist_buf.data());
+  TopK heap(k);
+  simd::SelectNearest(scratch->dist_buf.data(), rows, /*index_base=*/0, &heap);
+  if (stats != nullptr) {
+    ++stats->full_scans;
+    stats->candidates_visited += rows;
+  }
+  return heap.Sorted();
+}
+
+}  // namespace
+
+std::vector<Neighbor> SearchGraph(const KnnGraph& graph,
+                                  const ReverseAdjacency* reverse,
+                                  const float* points, size_t dims,
+                                  simd::Dist dist, const float* query, int k,
+                                  int ef, SearchScratch* scratch,
+                                  AnnSearchStats* stats) {
+  if (graph.empty() || k <= 0) return {};
+  const size_t rows = graph.num_nodes;
+  ef = std::max(ef, k);
+  if (static_cast<size_t>(ef) >= rows || static_cast<size_t>(k) >= rows) {
+    return FullScan(points, rows, dims, dist, query, k, scratch, stats);
+  }
+
+  // Epoch-marked visited set: a slot is visited iff it holds the current
+  // epoch, so reuse across searches costs one increment, not a clear.
+  if (scratch->visited.size() < rows) scratch->visited.resize(rows, 0);
+  if (++scratch->epoch == 0) {
+    std::fill(scratch->visited.begin(), scratch->visited.end(), 0);
+    scratch->epoch = 1;
+  }
+  const uint32_t epoch = scratch->epoch;
+
+  TopK best(ef);
+  std::priority_queue<Neighbor, std::vector<Neighbor>, FrontierGreater>
+      frontier;
+  for (const uint32_t seed : graph.entry_points) {
+    if (scratch->visited[seed] == epoch) continue;
+    scratch->visited[seed] = epoch;
+    const float d =
+        PointDistance(query, points + static_cast<size_t>(seed) * dims, dims,
+                      dist);
+    if (stats != nullptr) ++stats->candidates_visited;
+    const Neighbor nb{seed, d};
+    best.PushIfCloser(nb);
+    frontier.push(nb);
+  }
+
+  while (!frontier.empty()) {
+    const Neighbor cur = frontier.top();
+    frontier.pop();
+    // Everything reachable from here is no closer than cur; once the
+    // candidate set is full and cur can't beat its worst, we're done.
+    if (best.full() && cur.distance > best.max()) break;
+    if (stats != nullptr) ++stats->hops;
+    // Gather this hop's unvisited neighbors first, prefetching each
+    // point row as it is claimed: the walk touches rows in random order,
+    // so without the prefetch every distance stalls on a cache miss.
+    scratch->gather_buf.clear();
+    const auto claim = [&](uint32_t nb_id) {
+      if (scratch->visited[nb_id] == epoch) return;
+      scratch->visited[nb_id] = epoch;
+      __builtin_prefetch(points + static_cast<size_t>(nb_id) * dims);
+      scratch->gather_buf.push_back(nb_id);
+    };
+    const uint32_t* edges = graph.row(cur.index);
+    for (uint32_t e = 0; e < graph.degree; ++e) {
+      if (edges[e] == kInvalidNeighbor) break;  // padding tail
+      claim(edges[e]);
+    }
+    if (reverse != nullptr && !reverse->empty()) {
+      uint32_t count = 0;
+      const uint32_t* in_edges = reverse->row(cur.index, &count);
+      for (uint32_t e = 0; e < count; ++e) claim(in_edges[e]);
+    }
+    const size_t gathered = scratch->gather_buf.size();
+    if (gathered == 0) continue;
+    if (stats != nullptr) stats->candidates_visited += gathered;
+    // Score the hop's candidates as one contiguous block through the
+    // vectorized kernel: lanes run different rows in the canonical
+    // accumulation order, so the distances are bit-identical to
+    // PointDistance while the per-row serial dependency chain is gone.
+    scratch->gather_rows.resize(gathered * dims);
+    scratch->gather_dists.resize(gathered);
+    for (size_t i = 0; i < gathered; ++i) {
+      std::memcpy(scratch->gather_rows.data() + i * dims,
+                  points + static_cast<size_t>(scratch->gather_buf[i]) * dims,
+                  dims * sizeof(float));
+    }
+    simd::QueryBlockDistances(query, scratch->gather_rows.data(), gathered,
+                              dims, dist, scratch->gather_dists.data());
+    for (size_t i = 0; i < gathered; ++i) {
+      const Neighbor nb{scratch->gather_buf[i], scratch->gather_dists[i]};
+      if (best.PushIfCloser(nb)) frontier.push(nb);
+    }
+  }
+
+  std::vector<Neighbor> sorted = best.Sorted();
+  if (sorted.size() > static_cast<size_t>(k)) sorted.resize(k);
+  return sorted;
+}
+
+}  // namespace sweetknn::ann

@@ -1,0 +1,77 @@
+#ifndef SWEETKNN_ANN_GRAPH_SEARCH_H_
+#define SWEETKNN_ANN_GRAPH_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ann/knn_graph.h"
+#include "common/topk.h"
+
+namespace sweetknn::ann {
+
+/// Per-search work counters, summed across a batch in deterministic
+/// (chunk) order and exported through the service metrics registry.
+struct AnnSearchStats {
+  /// Graph nodes expanded (popped off the frontier).
+  uint64_t hops = 0;
+  /// Distance evaluations (seeds + neighbor visits + fallback rows).
+  uint64_t candidates_visited = 0;
+  /// Queries answered by the exact full-scan fallback (ef >= rows).
+  uint64_t full_scans = 0;
+
+  AnnSearchStats& operator+=(const AnnSearchStats& o) {
+    hops += o.hops;
+    candidates_visited += o.candidates_visited;
+    full_scans += o.full_scans;
+    return *this;
+  }
+};
+
+/// Reusable per-thread search state. The visited set is epoch-marked so
+/// back-to-back searches reuse the allocation without clearing it.
+struct SearchScratch {
+  std::vector<uint32_t> visited;
+  uint32_t epoch = 0;
+  /// Whole-set distance buffer for the full-scan fallback.
+  std::vector<float> dist_buf;
+  /// Per-hop unvisited-neighbor gather: ids are collected (and their
+  /// point rows prefetched) before any distance is computed, hiding the
+  /// random-access latency the walk is otherwise bound by.
+  std::vector<uint32_t> gather_buf;
+  /// The gathered rows, copied contiguous so the hop's candidates score
+  /// through the vectorized block kernel (bit-identical to the scalar
+  /// accumulation) instead of one serial dependency chain per row.
+  std::vector<float> gather_rows;
+  std::vector<float> gather_dists;
+};
+
+/// Greedy best-first search over `graph`: seeds the frontier with the
+/// entry points, then repeatedly expands the closest unexpanded node,
+/// scoring its out-edges — and, when `reverse` is given, its in-edges —
+/// with the canonical PointDistance. Terminates when the closest
+/// frontier node cannot beat the worst of the best `ef` found so far.
+/// Returns the k nearest of those candidates, ascending by
+/// (distance, id) — local base-row ids, same index space as the exact
+/// kernels.
+///
+/// Pass the graph's ReverseAdjacency whenever available: forward-only
+/// walks cannot reach points no kNN row points at (cluster fringes lose
+/// their in-edges to hubs), which caps recall below high SLA targets no
+/// matter the budget.
+///
+/// Exactness escape hatch: when ef >= the node count (or the graph is
+/// smaller than k) the graph walk cannot prune anything, so the search
+/// runs an exact vectorized full scan instead — bit-identical to
+/// simd::PackedKnn on the same rows. This is what makes
+/// approx(recall 1.0 via huge ef) and the k >= live-points edge case
+/// exactly correct rather than merely probably correct.
+std::vector<Neighbor> SearchGraph(const KnnGraph& graph,
+                                  const ReverseAdjacency* reverse,
+                                  const float* points, size_t dims,
+                                  simd::Dist dist, const float* query, int k,
+                                  int ef, SearchScratch* scratch,
+                                  AnnSearchStats* stats);
+
+}  // namespace sweetknn::ann
+
+#endif  // SWEETKNN_ANN_GRAPH_SEARCH_H_

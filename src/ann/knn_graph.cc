@@ -1,0 +1,207 @@
+#include "ann/knn_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/parallel_for.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/topk.h"
+
+namespace sweetknn::ann {
+
+namespace {
+
+/// Nodes per ParallelForChunks chunk. Chunk boundaries depend only on
+/// (n, grain), so per-chunk update counts sum deterministically.
+constexpr size_t kNodeGrain = 64;
+
+}  // namespace
+
+std::vector<size_t> KnnGraph::DegreeHistogram() const {
+  if (empty()) return {};
+  std::vector<size_t> hist(static_cast<size_t>(degree) + 1, 0);
+  for (uint32_t node = 0; node < num_nodes; ++node) {
+    const uint32_t* edges = row(node);
+    uint32_t live = 0;
+    while (live < degree && edges[live] != kInvalidNeighbor) ++live;
+    ++hist[live];
+  }
+  return hist;
+}
+
+ReverseAdjacency BuildReverseAdjacency(const KnnGraph& graph) {
+  ReverseAdjacency reverse;
+  if (graph.empty()) return reverse;
+  reverse.offsets.assign(static_cast<size_t>(graph.num_nodes) + 1, 0);
+  for (uint32_t node = 0; node < graph.num_nodes; ++node) {
+    const uint32_t* edges = graph.row(node);
+    for (uint32_t e = 0; e < graph.degree; ++e) {
+      if (edges[e] == kInvalidNeighbor) break;
+      ++reverse.offsets[edges[e] + 1];
+    }
+  }
+  for (size_t v = 1; v < reverse.offsets.size(); ++v) {
+    reverse.offsets[v] += reverse.offsets[v - 1];
+  }
+  reverse.edges.resize(reverse.offsets.back());
+  std::vector<uint32_t> fill(reverse.offsets.begin(),
+                             reverse.offsets.end() - 1);
+  for (uint32_t node = 0; node < graph.num_nodes; ++node) {
+    const uint32_t* edges = graph.row(node);
+    for (uint32_t e = 0; e < graph.degree; ++e) {
+      if (edges[e] == kInvalidNeighbor) break;
+      reverse.edges[fill[edges[e]]++] = node;
+    }
+  }
+  return reverse;
+}
+
+KnnGraph BuildKnnGraph(const float* points, size_t rows, size_t dims,
+                       simd::Dist dist, const GraphBuildParams& params,
+                       std::vector<uint32_t> entry_points) {
+  KnnGraph graph;
+  if (rows == 0) return graph;
+  const uint32_t n = static_cast<uint32_t>(rows);
+  const uint32_t degree = std::max<uint32_t>(
+      1, std::min<uint64_t>(params.degree, std::max<size_t>(rows - 1, 1)));
+  const int workers =
+      params.workers > 0 ? params.workers : common::SimThreadsFromEnv();
+  const size_t num_chunks = (rows + kNodeGrain - 1) / kNodeGrain;
+
+  // Random initial neighborhoods, one independent stream per node so the
+  // chunking (and therefore the worker count) cannot reach the bits.
+  std::vector<std::vector<Neighbor>> adj(rows);
+  common::ParallelForChunks(
+      workers, rows, kNodeGrain,
+      [&](size_t /*chunk*/, size_t begin, size_t end) {
+        std::vector<uint32_t> picks;
+        for (size_t i = begin; i < end; ++i) {
+          picks.clear();
+          if (rows - 1 <= degree) {
+            for (uint32_t c = 0; c < n; ++c) {
+              if (c != static_cast<uint32_t>(i)) picks.push_back(c);
+            }
+          } else {
+            Rng rng(SplitMix64(params.seed ^ static_cast<uint64_t>(i)));
+            while (picks.size() < degree) {
+              const auto c = static_cast<uint32_t>(rng.NextBounded(n));
+              if (c == static_cast<uint32_t>(i)) continue;
+              if (std::find(picks.begin(), picks.end(), c) == picks.end()) {
+                picks.push_back(c);
+              }
+            }
+          }
+          std::vector<Neighbor>& mine = adj[i];
+          mine.reserve(picks.size());
+          for (const uint32_t c : picks) {
+            mine.push_back(Neighbor{
+                c, PointDistance(points + i * dims, points + c * dims, dims,
+                                 dist)});
+          }
+          std::sort(mine.begin(), mine.end(), NeighborLess);
+        }
+      });
+
+  // Synchronous NN-descent: each round reads the previous adjacency
+  // read-only and writes a fresh one, so nodes refine independently. A
+  // node's candidates are its forward and reverse neighbors plus their
+  // neighborhoods (the local join), scored with the canonical distance
+  // and folded through a (distance, id) TopK.
+  uint32_t iters = 0;
+  if (rows > 2) {
+    std::vector<std::vector<uint32_t>> rev(rows);
+    std::vector<uint64_t> chunk_updates(num_chunks);
+    for (uint32_t round = 0; round < params.max_iters; ++round) {
+      // Reverse adjacency in one deterministic serial pass, capped at
+      // `degree` in-edges per node (ascending source order).
+      for (std::vector<uint32_t>& r : rev) r.clear();
+      for (uint32_t i = 0; i < n; ++i) {
+        for (const Neighbor& nb : adj[i]) {
+          if (rev[nb.index].size() < degree) rev[nb.index].push_back(i);
+        }
+      }
+      std::vector<std::vector<Neighbor>> next(rows);
+      std::fill(chunk_updates.begin(), chunk_updates.end(), 0);
+      common::ParallelForChunks(
+          workers, rows, kNodeGrain,
+          [&](size_t chunk, size_t begin, size_t end) {
+            std::vector<uint32_t> cand;
+            std::vector<uint32_t> have;
+            for (size_t i = begin; i < end; ++i) {
+              const auto self = static_cast<uint32_t>(i);
+              cand.clear();
+              const auto add = [&](uint32_t c) {
+                if (c != self) cand.push_back(c);
+              };
+              const auto expand = [&](uint32_t b) {
+                add(b);
+                for (const Neighbor& nb : adj[b]) add(nb.index);
+                for (const uint32_t r : rev[b]) add(r);
+              };
+              for (const Neighbor& nb : adj[i]) expand(nb.index);
+              for (const uint32_t r : rev[i]) expand(r);
+              std::sort(cand.begin(), cand.end());
+              cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+              have.clear();
+              for (const Neighbor& nb : adj[i]) have.push_back(nb.index);
+              std::sort(have.begin(), have.end());
+              TopK heap(static_cast<int>(degree));
+              for (const Neighbor& nb : adj[i]) heap.PushIfCloser(nb);
+              uint64_t updates = 0;
+              for (const uint32_t c : cand) {
+                if (std::binary_search(have.begin(), have.end(), c)) continue;
+                const float d =
+                    PointDistance(points + i * dims, points + c * dims, dims,
+                                  dist);
+                if (heap.PushIfCloser(Neighbor{c, d})) ++updates;
+              }
+              next[i] = heap.Sorted();
+              chunk_updates[chunk] += updates;
+            }
+          });
+      adj.swap(next);
+      ++iters;
+      uint64_t updates = 0;
+      for (const uint64_t u : chunk_updates) updates += u;
+      if (static_cast<double>(updates) <=
+          params.convergence_fraction * static_cast<double>(rows) *
+              static_cast<double>(degree)) {
+        break;
+      }
+    }
+  }
+
+  graph.num_nodes = n;
+  graph.degree = degree;
+  graph.build_iters = iters;
+  graph.build_seed = params.seed;
+  graph.neighbors.assign(static_cast<size_t>(n) * degree, kInvalidNeighbor);
+  for (size_t i = 0; i < rows; ++i) {
+    uint32_t* out = graph.neighbors.data() + i * degree;
+    for (size_t j = 0; j < adj[i].size(); ++j) out[j] = adj[i][j].index;
+  }
+
+  // Entry seeds: the caller's landmark picks, cleaned up; a strided
+  // deterministic sample when none survive.
+  std::sort(entry_points.begin(), entry_points.end());
+  entry_points.erase(std::unique(entry_points.begin(), entry_points.end()),
+                     entry_points.end());
+  while (!entry_points.empty() && entry_points.back() >= n) {
+    entry_points.pop_back();
+  }
+  if (entry_points.empty()) {
+    const uint32_t count = std::min<uint32_t>(8, n);
+    for (uint32_t j = 0; j < count; ++j) {
+      entry_points.push_back(j * n / count);
+    }
+    entry_points.erase(
+        std::unique(entry_points.begin(), entry_points.end()),
+        entry_points.end());
+  }
+  graph.entry_points = std::move(entry_points);
+  return graph;
+}
+
+}  // namespace sweetknn::ann

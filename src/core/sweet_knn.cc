@@ -23,6 +23,7 @@ SweetKnnIndex::SweetKnnIndex(const HostMatrix& target,
       next_id_(static_cast<uint32_t>(target.rows())) {
   engine_->PrepareTarget(target);
   delta_.dims = dims_;
+  RebuildAnn(target);
 }
 
 SweetKnnIndex::SweetKnnIndex(WarmStartTag, const HostMatrix& target,
@@ -40,6 +41,28 @@ SweetKnnIndex::SweetKnnIndex(WarmStartTag, const HostMatrix& target,
       next_id_(static_cast<uint32_t>(target.rows())) {
   engine_->RestoreTarget(target, clustering);
   delta_.dims = dims_;
+  // No ANN build here: Load (the only caller) either adopts the
+  // persisted graph or rebuilds, after checking the snapshot.
+}
+
+void SweetKnnIndex::RebuildAnn(const HostMatrix& base) {
+  if (!config_.enable_ann || base.rows() == 0) {
+    ann_ = ann::AnnIndex();
+    return;
+  }
+  ann::GraphBuildParams params = config_.ann_params;
+  // Inherit the engine's thread budget (serving pins shards to one
+  // thread and parallelizes across shards instead).
+  if (params.workers <= 0) params.workers = config_.options.sim_threads;
+  ann_ = ann::AnnIndex::Build(
+      base, core::SimdDistFor(config_.options.metric), params,
+      core::AnnEntryPointsFromClustering(engine_->ExportTargetClustering()));
+}
+
+void SweetKnnIndex::AdoptAnnGraph(const HostMatrix& base,
+                                  ann::KnnGraph graph) {
+  ann_ = ann::AnnIndex::Adopt(
+      base, core::SimdDistFor(config_.options.metric), std::move(graph));
 }
 
 void SweetKnnIndex::AdoptOverlay(std::vector<uint32_t> id_map,
@@ -95,6 +118,49 @@ KnnResult SweetKnnIndex::Query(const HostMatrix& queries, int k,
   // row short of k live candidates.
   const int base_k = k + static_cast<int>(delta_.tombstones.size());
   const KnnResult base = run_base(base_k, stats);
+  std::vector<core::MergeSource> sources;
+  core::MergeSource base_src;
+  base_src.result = &base;
+  base_src.id_map = id_map_.empty() ? nullptr : id_map_.data();
+  base_src.tombstones =
+      delta_.tombstones.empty() ? nullptr : &delta_.tombstones;
+  sources.push_back(base_src);
+  KnnResult delta_result;
+  if (delta_.size() > 0) {
+    delta_result = core::ScanDelta(delta_, queries, k,
+                                   config_.options.metric);
+    core::MergeSource delta_src;
+    delta_src.result = &delta_result;
+    delta_src.id_map = delta_.ids.data();
+    sources.push_back(delta_src);
+  }
+  return core::MergeMutableResults(sources, k);
+}
+
+KnnResult SweetKnnIndex::Query(const HostMatrix& queries, int k,
+                               const ann::SearchMode& mode,
+                               core::KnnRunStats* stats,
+                               ann::AnnSearchStats* ann_stats) {
+  // Effectively exact requests — and approx requests against an index
+  // without a graph — take the exact path, bit-identically.
+  if (mode.EffectiveExact() || ann_.empty()) {
+    return Query(queries, k, stats);
+  }
+  SK_CHECK_EQ(queries.cols(), dims_);
+  if (stats != nullptr) *stats = core::KnnRunStats{};  // no device ran
+  const int workers = config_.options.sim_threads > 0
+                          ? config_.options.sim_threads
+                          : common::SimThreadsFromEnv();
+  if (pristine()) {
+    return ann_.Search(queries, k, ann::EffectiveEf(mode, k), workers,
+                       ann_stats);
+  }
+  // Same merge protocol as the exact path: over-query the base so
+  // tombstone masking can never starve the top-k, scan the delta
+  // exactly, mask and merge by stable id.
+  const int base_k = k + static_cast<int>(delta_.tombstones.size());
+  const int ef = std::max(ann::EffectiveEf(mode, k), base_k);
+  const KnnResult base = ann_.Search(queries, base_k, ef, workers, ann_stats);
   std::vector<core::MergeSource> sources;
   core::MergeSource base_src;
   base_src.result = &base;
@@ -205,6 +271,7 @@ void SweetKnnIndex::Compact() {
   engine_->PrepareTarget(fresh);
   packed_base_ =
       simd::PackedTargets::Pack(fresh.data(), fresh.rows(), fresh.cols());
+  RebuildAnn(fresh);
   base_rows_ = live;
   // Normalize: ids 0..live-1 need no map (lets Save emit v1 again).
   bool identity = true;

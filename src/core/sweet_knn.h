@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "ann/ann_index.h"
+#include "ann/search_mode.h"
 #include "common/knn_result.h"
 #include "common/matrix.h"
 #include "common/status.h"
@@ -42,6 +44,13 @@ class SweetKnn {
     /// what stats-asserting callers should pin, since host-routed
     /// batches report no simulated-device stats).
     core::PlannerConfig planner;
+    /// SweetKnnIndex only: build the approximate kNN-graph tier over the
+    /// frozen base (and rebuild it at every compaction), enabling
+    /// SearchMode::Approx queries (docs/approx.md). Exact queries — and
+    /// every index built without this — are completely unaffected.
+    bool enable_ann = false;
+    /// SweetKnnIndex only: NN-descent build knobs for the ANN tier.
+    ann::GraphBuildParams ann_params;
   };
 
   SweetKnn() : SweetKnn(Config{}) {}
@@ -122,6 +131,18 @@ class SweetKnnIndex {
   KnnResult Query(const HostMatrix& queries, int k,
                   core::KnnRunStats* stats = nullptr);
 
+  /// Mode-selected query. Exact (or effectively exact: recall_target >=
+  /// 1.0) modes — and approx requests against an index without a graph —
+  /// run the exact path above, bit-identically. Approx modes answer the
+  /// frozen base from the kNN-graph tier under the mode's candidate
+  /// budget, still scanning delta points exactly and masking tombstones,
+  /// so mutations never weaken below the graph's recall. `ann_stats`
+  /// (optional) accumulates the graph-search work counters.
+  KnnResult Query(const HostMatrix& queries, int k,
+                  const ann::SearchMode& mode,
+                  core::KnnRunStats* stats = nullptr,
+                  ann::AnnSearchStats* ann_stats = nullptr);
+
   /// Single-point convenience.
   std::vector<Neighbor> Query(const std::vector<float>& point, int k);
 
@@ -181,6 +202,11 @@ class SweetKnnIndex {
   /// The live stable ids, ascending.
   std::vector<uint32_t> LiveIds() const;
 
+  /// The ANN tier (empty unless Config::enable_ann and the base is
+  /// non-empty). Covers the frozen base as of the last (re)build.
+  const ann::AnnIndex& ann() const { return ann_; }
+  bool ann_enabled() const { return config_.enable_ann; }
+
   gpusim::Device& device() { return *device_; }
   const core::TiKnnEngine& engine() const { return *engine_; }
   /// The batch router (live mode switch; route counters).
@@ -201,6 +227,13 @@ class SweetKnnIndex {
                     const std::vector<uint32_t>& tombstones,
                     uint32_t next_id);
 
+  /// (Re)builds the ANN tier over `base` when enabled, seeding the entry
+  /// points from the engine's Step-1 landmark clustering. Clears the
+  /// tier when disabled or the base is empty.
+  void RebuildAnn(const HostMatrix& base);
+  /// Installs a persisted graph (Load's v3 path) instead of rebuilding.
+  void AdoptAnnGraph(const HostMatrix& base, ann::KnnGraph graph);
+
   /// Stable id of base row `i`.
   uint32_t BaseId(size_t i) const {
     return id_map_.empty() ? static_cast<uint32_t>(i) : id_map_[i];
@@ -215,6 +248,9 @@ class SweetKnnIndex {
   /// The frozen base, pre-packed for the vectorized host route (rebuilt
   /// by Compact alongside the engine).
   simd::PackedTargets packed_base_;
+  /// The approximate tier over the same frozen base (empty when
+  /// Config::enable_ann is off).
+  ann::AnnIndex ann_;
   size_t dims_ = 0;
   size_t base_rows_ = 0;
   /// Base row -> stable id, strictly increasing; empty = identity

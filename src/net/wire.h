@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "ann/knn_graph.h"
+#include "ann/search_mode.h"
 #include "common/matrix.h"
 #include "common/status.h"
 #include "core/options.h"
@@ -54,6 +56,10 @@ struct PrepareColdRequest {
   core::TiOptions options;
   gpusim::DeviceSpec device;
   core::PlannerConfig planner;
+  /// ANN tier (docs/approx.md): when enabled the worker builds the
+  /// kNN graph right after the cold build, with these NN-descent knobs.
+  bool enable_ann = false;
+  ann::GraphBuildParams ann_params;
 };
 
 /// Warm-starts (or replica-catches-up) one shard from a snapshot file the
@@ -65,6 +71,10 @@ struct PrepareSnapshotRequest {
   core::TiOptions options;
   gpusim::DeviceSpec device;
   core::PlannerConfig planner;
+  /// ANN tier: adopt the snapshot's persisted graph when present (v3),
+  /// rebuild otherwise.
+  bool enable_ann = false;
+  ann::GraphBuildParams ann_params;
 };
 
 // --- Query ------------------------------------------------------------------
@@ -76,6 +86,9 @@ struct QueryRequest {
   uint32_t k = 0;
   HostMatrix queries;
   std::vector<uint32_t> shard_indices;
+  /// Per-group search mode (normalized by the router); every named shard
+  /// answers under the same mode, exactly like the in-process groups.
+  ann::SearchMode mode;
 };
 
 /// Per-shard answers, parallel to `shard_indices`.

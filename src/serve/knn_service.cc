@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <map>
 #include <numeric>
+#include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
@@ -66,6 +67,7 @@ KnnService::KnnService(const HostMatrix& target, const ServiceConfig& config)
                 rows * dims_ * sizeof(float));
     slices.push_back(std::move(slice));
     auto shard = std::make_unique<Shard>(config_.device, shard_options);
+    shard->ConfigureAnn(config_.enable_ann, config_.ann_params);
     shard->offset = static_cast<uint32_t>(offset);
     shard->set_base_rows(rows);
     shard->delta.dims = dims_;
@@ -121,7 +123,10 @@ KnnService::KnnService(const HostMatrix& target, const ServiceConfig& config)
     const auto idx = static_cast<size_t>(s);
     if (warm) {
       // Warm or cold, the base bytes are the slice bytes (warm starts
-      // byte-compare the snapshot against the slice above).
+      // byte-compare the snapshot against the slice above). Adopting the
+      // (pristine) overlay first parks any persisted ANN graph so
+      // RestoreBase can adopt it instead of re-running NN-descent.
+      shards_[idx]->AdoptOverlay(snapshots[idx]);
       shards_[idx]->RestoreBase(snapshots[idx].target,
                                 snapshots[idx].clustering);
     } else {
@@ -294,6 +299,25 @@ void KnnService::InitMetrics() {
   m_batch_rows_ = metrics_.GetHistogram(
       "sweetknn_batch_size_rows", "Query rows per dispatched micro-batch",
       {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  m_approx_groups_ = metrics_.GetCounter(
+      "sweetknn_approx_groups_total",
+      "Engine groups answered through the ANN graph tier");
+  m_approx_queries_ = metrics_.GetCounter(
+      "sweetknn_approx_queries_total",
+      "Query rows answered through the ANN graph tier");
+  m_ann_hops_ = metrics_.GetCounter(
+      "sweetknn_ann_hops_total",
+      "Graph nodes expanded by ANN searches, summed over shards");
+  m_ann_candidates_ = metrics_.GetCounter(
+      "sweetknn_ann_candidates_total",
+      "Distance evaluations made by ANN searches, summed over shards");
+  m_recall_probes_ = metrics_.GetCounter(
+      "sweetknn_ann_recall_probes_total",
+      "Approx groups re-answered exactly to measure recall");
+  m_recall_estimate_ = metrics_.GetHistogram(
+      "sweetknn_ann_recall_estimate",
+      "Measured recall@k of probed approx groups against the exact answer",
+      {0.5, 0.8, 0.9, 0.95, 0.99, 0.995, 0.999, 1.0});
   m_queue_depth_ = metrics_.GetGauge(
       "sweetknn_queue_depth", "Admission-queue depth");
   m_peak_queue_depth_ = metrics_.GetGauge(
@@ -352,8 +376,17 @@ Result<std::future<KnnResult>> KnnService::Submit(RequestPtr request) {
 
 Result<std::vector<Neighbor>> KnnService::Search(
     const std::vector<float>& query_point, int k) {
+  return Search(query_point, k, ann::SearchMode::Exact());
+}
+
+Result<std::vector<Neighbor>> KnnService::Search(
+    const std::vector<float>& query_point, int k,
+    const ann::SearchMode& mode) {
   SK_CHECK_EQ(query_point.size(), dims_);
   SK_CHECK_GT(k, 0);
+  // Normalized up front: approx(recall 1.0) is exact traffic, and must
+  // batch and cache exactly like it.
+  const ann::SearchMode normalized = ann::Normalize(mode);
   const SteadyClock::time_point start = SteadyClock::now();
   // Captured before the answer is computed: if a swap, mutation, or
   // compaction completes while this request is in flight, the cache
@@ -361,7 +394,7 @@ Result<std::vector<Neighbor>> KnnService::Search(
   const uint64_t epoch = cache_epoch_.load(std::memory_order_acquire);
   std::string key;
   if (config_.cache_capacity > 0) {
-    key = CacheKey(query_point.data(), dims_, k);
+    key = CacheKey(query_point.data(), dims_, k, normalized);
     std::vector<Neighbor> cached;
     if (CacheLookup(key, &cached)) {
       {
@@ -380,6 +413,7 @@ Result<std::vector<Neighbor>> KnnService::Search(
   request->rows = query_point;
   request->num_rows = 1;
   request->k = k;
+  request->mode = normalized;
   Result<std::future<KnnResult>> submitted = Submit(std::move(request));
   if (!submitted.ok()) return submitted.status();
   const KnnResult result = submitted.value().get();
@@ -392,6 +426,11 @@ Result<std::vector<Neighbor>> KnnService::Search(
 }
 
 Result<KnnResult> KnnService::JoinBatch(const HostMatrix& queries, int k) {
+  return JoinBatch(queries, k, ann::SearchMode::Exact());
+}
+
+Result<KnnResult> KnnService::JoinBatch(const HostMatrix& queries, int k,
+                                        const ann::SearchMode& mode) {
   SK_CHECK(!queries.empty());
   SK_CHECK_EQ(queries.cols(), dims_);
   SK_CHECK_GT(k, 0);
@@ -399,6 +438,7 @@ Result<KnnResult> KnnService::JoinBatch(const HostMatrix& queries, int k) {
   request->rows = queries.storage();
   request->num_rows = queries.rows();
   request->k = k;
+  request->mode = ann::Normalize(mode);
   Result<std::future<KnnResult>> submitted = Submit(std::move(request));
   if (!submitted.ok()) return submitted.status();
   return submitted.value().get();
@@ -525,14 +565,25 @@ void KnnService::DispatchLoop() {
     }
     m_batches_->Increment();
 
-    // One engine batch per distinct k, preserving admission order within
-    // each group (and deterministic k order across groups).
-    std::map<int, std::vector<RequestPtr>> by_k;
+    // One engine batch per distinct (k, mode), preserving admission
+    // order within each group and deterministic (k ascending, exact
+    // before approx) order across groups. Modes were normalized at
+    // admission, so effectively exact traffic lands in one group.
+    struct GroupKeyLess {
+      bool operator()(const std::pair<int, ann::SearchMode>& a,
+                      const std::pair<int, ann::SearchMode>& b) const {
+        if (a.first != b.first) return a.first < b.first;
+        return ann::SearchModeLess(a.second, b.second);
+      }
+    };
+    std::map<std::pair<int, ann::SearchMode>, std::vector<RequestPtr>,
+             GroupKeyLess>
+        by_key;
     for (RequestPtr& request : batch) {
-      by_k[request->k].push_back(std::move(request));
+      by_key[{request->k, request->mode}].push_back(std::move(request));
     }
-    for (auto& [k, group] : by_k) {
-      (void)k;
+    for (auto& [key, group] : by_key) {
+      (void)key;
       RunGroup(std::move(group));
     }
   }
@@ -540,6 +591,7 @@ void KnnService::DispatchLoop() {
 
 void KnnService::RunGroup(std::vector<RequestPtr> group) {
   const int k = group[0]->k;
+  const ann::SearchMode mode = group[0]->mode;
   size_t rows = 0;
   for (const RequestPtr& request : group) rows += request->num_rows;
   HostMatrix queries(rows, dims_);
@@ -575,11 +627,14 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
   common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
     const auto idx = static_cast<size_t>(s);
     answers[idx] = shards_[idx]->SearchGroup(queries, k, routes[idx],
-                                             config_.options.metric);
+                                             config_.options.metric, mode);
   });
   const SteadyClock::time_point merge_start = SteadyClock::now();
   m_shard_fanout_->Observe(SecondsBetween(fanout_start, merge_start));
   for (const core::ShardAnswer& answer : answers) {
+    // An approx shard ran the graph search, not a planner route; it
+    // belongs to neither route counter.
+    if (answer.approx) continue;
     if (answer.device_routed) {
       m_planner_device_routes_->Increment();
       m_route_device_seconds_->Observe(answer.route_seconds);
@@ -596,6 +651,52 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
   }
   const KnnResult merged = core::MergeShardAnswers(answers, k);
   m_merge_->Observe(SecondsBetween(merge_start, SteadyClock::now()));
+
+  // Recall self-measurement: every Nth approx group is also answered
+  // exactly — same queries, same routes, same index state (we still
+  // hold index_mutex_) — and the measured recall@k lands in the
+  // histogram. The probe costs one exact group; interval 0 disables it.
+  if (!mode.EffectiveExact()) {
+    const int interval = config_.ann_recall_probe_interval;
+    if (interval > 0 &&
+        approx_group_counter_ % static_cast<uint64_t>(interval) == 0) {
+      std::vector<core::ShardAnswer> exact_answers(
+          static_cast<size_t>(num_shards));
+      common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
+        const auto idx = static_cast<size_t>(s);
+        exact_answers[idx] = shards_[idx]->SearchGroup(
+            queries, k, routes[idx], config_.options.metric);
+      });
+      const KnnResult exact = core::MergeShardAnswers(exact_answers, k);
+      // recall@k per row: |approx ids ∩ exact ids| / |exact live ids|
+      // (padding rows measure nothing — there is no truth to recall).
+      double recall_sum = 0.0;
+      size_t measured = 0;
+      std::unordered_set<uint32_t> truth;
+      for (size_t q = 0; q < rows; ++q) {
+        truth.clear();
+        for (int j = 0; j < k; ++j) {
+          const Neighbor& nb = exact.row(q)[j];
+          if (nb.index == kInvalidNeighbor) break;
+          truth.insert(nb.index);
+        }
+        if (truth.empty()) continue;
+        size_t hits = 0;
+        for (int j = 0; j < k; ++j) {
+          if (truth.count(merged.row(q)[j].index) != 0) ++hits;
+        }
+        recall_sum +=
+            static_cast<double>(hits) / static_cast<double>(truth.size());
+        ++measured;
+      }
+      m_recall_probes_->Increment();
+      if (measured > 0) {
+        m_recall_estimate_->Observe(recall_sum /
+                                    static_cast<double>(measured));
+      }
+    }
+    ++approx_group_counter_;
+  }
 
   RecordGroupStats(answers, rows);
 
@@ -623,7 +724,15 @@ void KnnService::RecordGroupStats(
   double transfer = 0.0;
   double preprocess = 0.0;
   uint64_t distance_calcs = 0;
+  bool any_approx = false;
+  uint64_t ann_hops = 0;
+  uint64_t ann_candidates = 0;
   for (const core::ShardAnswer& s : answers) {
+    if (s.approx) {
+      any_approx = true;
+      ann_hops += s.ann_hops;
+      ann_candidates += s.ann_candidates;
+    }
     // A host-routed shard ran no simulated device: its answer carries no
     // device stats and it made no adaptive decisions, so it contributes
     // to neither the sim-time counters nor the decision counts.
@@ -658,6 +767,16 @@ void KnnService::RecordGroupStats(
     stats_.total_sim_time_s += total;
     stats_.critical_sim_time_s += slowest;
     stats_.distance_calcs += distance_calcs;
+    if (any_approx) {
+      ++stats_.approx_groups;
+      stats_.approx_queries += rows;
+    }
+  }
+  if (any_approx) {
+    m_approx_groups_->Increment();
+    m_approx_queries_->Increment(static_cast<double>(rows));
+    m_ann_hops_->Increment(static_cast<double>(ann_hops));
+    m_ann_candidates_->Increment(static_cast<double>(ann_candidates));
   }
   m_engine_groups_->Increment();
   m_batched_queries_->Increment(static_cast<double>(rows));
@@ -783,7 +902,8 @@ Status KnnService::CompactShardInternal(int s) {
   core::TiOptions shard_options = config_.options;
   shard_options.sim_threads = 1;
   std::unique_ptr<Shard> fresh =
-      RebuildCompacted(plan, config_.device, shard_options, dims_);
+      RebuildCompacted(plan, config_.device, shard_options, dims_,
+                       config_.enable_ann, config_.ann_params);
 
   // Install: only if the shard we captured from is still the live one
   // (a SwapIndex assigns fresh epochs, orphaning this rebuild).
@@ -952,6 +1072,7 @@ KnnService::ShardSet KnnService::BuildShardsFromSnapshots(
     const auto idx = static_cast<size_t>(s);
     store::IndexSnapshot& snap = snapshots[idx];
     auto shard = std::make_unique<Shard>(config_.device, shard_options);
+    shard->ConfigureAnn(config_.enable_ann, config_.ann_params);
     shard->AdoptOverlay(snap);
     set.live_rows += shard->live_rows();
     // The id allocator restarts strictly above every id any shard knows
@@ -1103,10 +1224,24 @@ std::string KnnService::ExportMetricsText() const {
   return metrics_.ExportPrometheusText();
 }
 
-std::string KnnService::CacheKey(const float* row, size_t dims, int k) {
-  std::string key(sizeof(int) + dims * sizeof(float), '\0');
-  std::memcpy(key.data(), &k, sizeof(int));
-  std::memcpy(key.data() + sizeof(int), row, dims * sizeof(float));
+std::string KnnService::CacheKey(const float* row, size_t dims, int k,
+                                 const ann::SearchMode& mode) {
+  // `mode` arrives normalized, so every effectively exact request maps
+  // to the one exact key for its (k, point).
+  const uint32_t kind = static_cast<uint32_t>(mode.kind);
+  std::string key(sizeof(int) + sizeof(uint32_t) + sizeof(double) +
+                      sizeof(int) + dims * sizeof(float),
+                  '\0');
+  char* p = key.data();
+  std::memcpy(p, &k, sizeof(int));
+  p += sizeof(int);
+  std::memcpy(p, &kind, sizeof(uint32_t));
+  p += sizeof(uint32_t);
+  std::memcpy(p, &mode.recall_target, sizeof(double));
+  p += sizeof(double);
+  std::memcpy(p, &mode.ef, sizeof(int));
+  p += sizeof(int);
+  std::memcpy(p, row, dims * sizeof(float));
   return key;
 }
 

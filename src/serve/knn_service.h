@@ -79,6 +79,19 @@ struct ServiceConfig {
   /// asserting those pin mode = kForceDevice. SWEETKNN_PLANNER
   /// ("auto" | "device" | "host") overrides the mode at construction.
   core::PlannerConfig planner;
+  /// Build the approximate kNN-graph tier on every shard (and rebuild it
+  /// at each compaction install), enabling SearchMode::Approx requests
+  /// (docs/approx.md). Exact traffic — and every service built without
+  /// this — is completely unaffected.
+  bool enable_ann = false;
+  /// NN-descent build knobs for the ANN tier.
+  ann::GraphBuildParams ann_params;
+  /// Recall self-measurement: every Nth approx group is also answered
+  /// exactly (under the same lock, against the same index state) and the
+  /// observed recall@k lands in the sweetknn_ann_recall_estimate
+  /// histogram. 0 disables the probe; small N is for tests/benchmarks —
+  /// each probe costs one exact group.
+  int ann_recall_probe_interval = 0;
 };
 
 /// Service-level counters, all cumulative since construction. The
@@ -130,6 +143,10 @@ struct ServiceStats {
   /// Current overlay size, summed over shards (gauges, not cumulative).
   uint64_t delta_points = 0;
   uint64_t tombstones = 0;
+  /// Approximate tier: engine groups / query rows answered through the
+  /// ANN graph search (a subset of engine_groups / batched_queries).
+  uint64_t approx_groups = 0;
+  uint64_t approx_queries = 0;
 
   /// Mean fraction of max_batch_size filled per dispatched micro-batch
   /// (> 1 is possible when one JoinBatch request exceeds max_batch_size).
@@ -211,12 +228,20 @@ class KnnService {
   /// Shutdown(); such rejections are counted in stats().rejected_requests.
   Result<std::vector<Neighbor>> Search(const std::vector<float>& query_point,
                                        int k);
+  /// Mode-selected Search: exact (the default above) or approx under a
+  /// recall SLA. Effectively exact modes (recall_target >= 1.0) batch,
+  /// cache, and answer identically to plain Search.
+  Result<std::vector<Neighbor>> Search(const std::vector<float>& query_point,
+                                       int k, const ann::SearchMode& mode);
 
   /// The k nearest target rows for every row of `queries`, as one
   /// request (the rows always ride in the same micro-batch and the row
   /// order is preserved). Thread-safe; blocks until served. Returns
   /// Unavailable if the request raced a concurrent Shutdown().
   Result<KnnResult> JoinBatch(const HostMatrix& queries, int k);
+  /// Mode-selected JoinBatch; see the Search overload.
+  Result<KnnResult> JoinBatch(const HostMatrix& queries, int k,
+                              const ann::SearchMode& mode);
 
   /// Adds a point to the serving set; returns its stable id. The point
   /// is served exactly from the next admitted query group on.
@@ -321,6 +346,9 @@ class KnnService {
     std::vector<float> rows;  ///< num_rows * dims query coordinates.
     size_t num_rows = 0;
     int k = 0;
+    /// Normalized at admission (Normalize()), so grouping and caching
+    /// treat approx(recall 1.0) and exact as the same traffic.
+    ann::SearchMode mode;
     std::chrono::steady_clock::time_point admit_time;
     std::promise<KnnResult> promise;
   };
@@ -408,7 +436,10 @@ class KnnService {
   store::IndexSnapshot ExportShard(int s) const;
 
   // LRU result cache (single-row Search results), guarded by cache_mutex_.
-  static std::string CacheKey(const float* row, size_t dims, int k);
+  // Keys include the (normalized) mode, so exact and approx answers for
+  // the same point never collide.
+  static std::string CacheKey(const float* row, size_t dims, int k,
+                              const ann::SearchMode& mode);
   bool CacheLookup(const std::string& key, std::vector<Neighbor>* out);
   /// Inserts unless `epoch` (captured before the query ran) is no
   /// longer the live cache epoch — a swap, mutation, or compaction
@@ -504,12 +535,22 @@ class KnnService {
   common::Histogram* m_merge_ = nullptr;
   common::Histogram* m_request_latency_ = nullptr;
   common::Histogram* m_batch_rows_ = nullptr;
+  common::Counter* m_approx_groups_ = nullptr;
+  common::Counter* m_approx_queries_ = nullptr;
+  common::Counter* m_ann_hops_ = nullptr;
+  common::Counter* m_ann_candidates_ = nullptr;
+  common::Counter* m_recall_probes_ = nullptr;
+  common::Histogram* m_recall_estimate_ = nullptr;
   common::Gauge* m_queue_depth_ = nullptr;
   common::Gauge* m_peak_queue_depth_ = nullptr;
   common::Gauge* m_index_generation_ = nullptr;
   common::Gauge* m_delta_points_ = nullptr;
   common::Gauge* m_tombstones_ = nullptr;
   common::Gauge* m_live_rows_ = nullptr;
+
+  /// Approx groups seen by the dispatcher (recall-probe cadence).
+  /// Dispatcher-thread only.
+  uint64_t approx_group_counter_ = 0;
 
   std::function<void()> pre_cache_insert_hook_;
 

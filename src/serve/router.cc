@@ -326,6 +326,8 @@ Status Router::Bootstrap(const HostMatrix& target) {
     req.options = config_.service.options;
     req.device = config_.service.device;
     req.planner = config_.service.planner;
+    req.enable_ann = config_.service.enable_ann;
+    req.ann_params = config_.service.ann_params;
     shard_offsets_.push_back(static_cast<uint32_t>(offset));
     offset += rows;
     const std::string payload = net::EncodePrepareCold(req);
@@ -500,12 +502,19 @@ Result<net::Frame> Router::MutateShardLocked(int s, net::MsgType type,
 
 Result<std::vector<Neighbor>> Router::Search(
     const std::vector<float>& query_point, int k) {
+  return Search(query_point, k, ann::SearchMode::Exact());
+}
+
+Result<std::vector<Neighbor>> Router::Search(
+    const std::vector<float>& query_point, int k,
+    const ann::SearchMode& mode) {
   SK_CHECK_EQ(query_point.size(), dims_);
   SK_CHECK_GT(k, 0);
   auto request = std::make_unique<Request>();
   request->rows = query_point;
   request->num_rows = 1;
   request->k = k;
+  request->mode = ann::Normalize(mode);
   Result<std::future<Result<KnnResult>>> submitted =
       Submit(std::move(request));
   if (!submitted.ok()) return submitted.status();
@@ -516,6 +525,11 @@ Result<std::vector<Neighbor>> Router::Search(
 }
 
 Result<KnnResult> Router::JoinBatch(const HostMatrix& queries, int k) {
+  return JoinBatch(queries, k, ann::SearchMode::Exact());
+}
+
+Result<KnnResult> Router::JoinBatch(const HostMatrix& queries, int k,
+                                    const ann::SearchMode& mode) {
   SK_CHECK(!queries.empty());
   SK_CHECK_EQ(queries.cols(), dims_);
   SK_CHECK_GT(k, 0);
@@ -523,6 +537,7 @@ Result<KnnResult> Router::JoinBatch(const HostMatrix& queries, int k) {
   request->rows = queries.storage();
   request->num_rows = queries.rows();
   request->k = k;
+  request->mode = ann::Normalize(mode);
   Result<std::future<Result<KnnResult>>> submitted =
       Submit(std::move(request));
   if (!submitted.ok()) return submitted.status();
@@ -582,18 +597,30 @@ void Router::DispatchLoop() {
     m_batches_->Increment();
     m_batched_queries_->Increment(static_cast<double>(rows));
 
-    std::map<int, std::vector<RequestPtr>> by_k;
+    // Same (k, normalized mode) grouping as KnnService::DispatchLoop —
+    // exact groups first, deterministic order across groups.
+    struct GroupKeyLess {
+      bool operator()(const std::pair<int, ann::SearchMode>& a,
+                      const std::pair<int, ann::SearchMode>& b) const {
+        if (a.first != b.first) return a.first < b.first;
+        return ann::SearchModeLess(a.second, b.second);
+      }
+    };
+    std::map<std::pair<int, ann::SearchMode>, std::vector<RequestPtr>,
+             GroupKeyLess>
+        by_key;
     for (RequestPtr& request : batch) {
-      by_k[request->k].push_back(std::move(request));
+      by_key[{request->k, request->mode}].push_back(std::move(request));
     }
-    for (auto& [k, group] : by_k) {
-      (void)k;
+    for (auto& [key, group] : by_key) {
+      (void)key;
       RunGroup(std::move(group));
     }
   }
 }
 
 bool Router::TryFanout(const HostMatrix& queries, int k,
+                       const ann::SearchMode& mode,
                        std::vector<core::ShardAnswer>* answers,
                        std::vector<int>* failed) {
   // Per-worker primary shard lists.
@@ -612,6 +639,7 @@ bool Router::TryFanout(const HostMatrix& queries, int k,
     req.k = static_cast<uint32_t>(k);
     req.queries = queries;
     req.shard_indices = plan[w];
+    req.mode = mode;
     Call call;
     call.type = static_cast<uint32_t>(net::MsgType::kQuery);
     call.payload = net::EncodeQuery(req);
@@ -673,6 +701,7 @@ bool Router::TryFanout(const HostMatrix& queries, int k,
 
 void Router::RunGroup(std::vector<RequestPtr> group) {
   const int k = group[0]->k;
+  const ann::SearchMode mode = group[0]->mode;
   size_t rows = 0;
   for (const RequestPtr& request : group) rows += request->num_rows;
   HostMatrix queries(rows, dims_);
@@ -699,7 +728,7 @@ void Router::RunGroup(std::vector<RequestPtr> group) {
     int attempts = 0;
     for (;;) {
       std::vector<int> failed;
-      if (TryFanout(queries, k, &answers, &failed)) break;
+      if (TryFanout(queries, k, mode, &answers, &failed)) break;
       for (const int w : failed) {
         MarkWorkerDeadLocked(w, "query fan-out failed");
       }
@@ -893,6 +922,8 @@ Status Router::RestoreReplication() {
       prep.options = config_.service.options;
       prep.device = config_.service.device;
       prep.planner = config_.service.planner;
+      prep.enable_ann = config_.service.enable_ann;
+      prep.ann_params = config_.service.ann_params;
       Result<net::Frame> adopted = CallWorker(
           candidate, net::MsgType::kPrepareSnapshot,
           net::EncodePrepareSnapshot(prep), config_.prepare_timeout,

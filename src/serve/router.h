@@ -129,9 +129,18 @@ class Router {
   /// micro-batch holding it has been served.
   Result<std::vector<Neighbor>> Search(const std::vector<float>& query_point,
                                        int k);
+  /// Mode-selected Search: exact (the default above) or approx under a
+  /// recall SLA, answered by the workers' ANN tier (requires
+  /// service.enable_ann; approx against graph-free workers falls back to
+  /// the exact path shard by shard).
+  Result<std::vector<Neighbor>> Search(const std::vector<float>& query_point,
+                                       int k, const ann::SearchMode& mode);
   /// The k nearest target rows for every row of `queries`, as one
   /// request (rows ride in one micro-batch, order preserved).
   Result<KnnResult> JoinBatch(const HostMatrix& queries, int k);
+  /// Mode-selected JoinBatch; see the Search overload.
+  Result<KnnResult> JoinBatch(const HostMatrix& queries, int k,
+                              const ann::SearchMode& mode);
 
   /// Adds a point; returns its stable id (same allocation sequence as
   /// KnnService::Insert). Applied to the shard's primary and replicas.
@@ -179,6 +188,8 @@ class Router {
     std::vector<float> rows;
     size_t num_rows = 0;
     int k = 0;
+    /// Normalized at admission, like KnnService's.
+    ann::SearchMode mode;
     std::chrono::steady_clock::time_point admit_time;
     /// Unlike KnnService's, a group can fail here (every host of a shard
     /// dead), so the promise carries a Result.
@@ -259,6 +270,7 @@ class Router {
   /// (indexed by shard) on success; on failure records the workers to
   /// declare dead in `failed`. Caller holds mutex_.
   bool TryFanout(const HostMatrix& queries, int k,
+                 const ann::SearchMode& mode,
                  std::vector<core::ShardAnswer>* answers,
                  std::vector<int>* failed);
 

@@ -44,6 +44,11 @@ void ShardHost::BuildCold(const HostMatrix& slice) {
       simd::PackedTargets::Pack(slice.data(), slice.rows(), slice.cols());
   set_base_rows(slice.rows());
   delta.dims = slice.cols();
+  if (ann_enabled_ && slice.rows() > 0) {
+    ann = ann::AnnIndex::Build(
+        slice, core::SimdDistFor(engine.options().metric), ann_params_,
+        core::AnnEntryPointsFromClustering(engine.ExportTargetClustering()));
+  }
 }
 
 void ShardHost::RestoreBase(const HostMatrix& target,
@@ -51,9 +56,25 @@ void ShardHost::RestoreBase(const HostMatrix& target,
   engine.RestoreTarget(target, clustering);
   packed_base = simd::PackedTargets::Pack(target.data(), target.rows(),
                                           target.cols());
+  if (ann_enabled_ && target.rows() > 0) {
+    const simd::Dist dist_kind = core::SimdDistFor(engine.options().metric);
+    if (pending_graph_.num_nodes == target.rows()) {
+      // The snapshot carried the graph: adopt it verbatim (node ids are
+      // local base rows, valid as-is) instead of re-running NN-descent.
+      ann = ann::AnnIndex::Adopt(target, dist_kind,
+                                 std::move(pending_graph_));
+    } else {
+      ann = ann::AnnIndex::Build(
+          target, dist_kind, ann_params_,
+          core::AnnEntryPointsFromClustering(
+              engine.ExportTargetClustering()));
+    }
+  }
+  pending_graph_ = ann::KnnGraph{};
 }
 
 void ShardHost::AdoptOverlay(const store::IndexSnapshot& snap) {
+  pending_graph_ = snap.ann_graph;
   offset = static_cast<uint32_t>(snap.shard_offset);
   set_base_rows(snap.target.rows());
   id_map = snap.id_map;
@@ -65,11 +86,16 @@ void ShardHost::AdoptOverlay(const store::IndexSnapshot& snap) {
 
 core::ShardAnswer ShardHost::SearchGroup(const HostMatrix& queries, int k,
                                          core::QueryRoute route,
-                                         core::Metric metric) {
+                                         core::Metric metric,
+                                         const ann::SearchMode& mode) {
   core::ShardAnswer answer;
   answer.offset = offset;
   answer.pristine = Pristine();
-  answer.device_routed = route == core::QueryRoute::kDevice;
+  // Effectively exact modes — and approx against a graph-free shard —
+  // run the exact base scan below, bit-identically to a plain call.
+  const bool approx = !mode.EffectiveExact() && !ann.empty();
+  answer.approx = approx;
+  answer.device_routed = !approx && route == core::QueryRoute::kDevice;
   // A pristine shard's contribution is the same whether the rest of the
   // service is mutated or not (base_k = k + 0 tombstones; offset remap
   // equals the identity merge source), so the pristine/mutated decision
@@ -82,8 +108,16 @@ core::ShardAnswer ShardHost::SearchGroup(const HostMatrix& queries, int k,
   KnnResult base_result;
   KnnResult delta_result;
   const SteadyClock::time_point start = SteadyClock::now();
-  if (route == core::QueryRoute::kHost) {
+  if (approx) {
+    // The graph search over-queries at base_k too, so tombstone masking
+    // below never eats into the requested k.
+    const int ef = std::max(ann::EffectiveEf(mode, k), base_k);
+    ann::AnnSearchStats ann_stats;
     // workers=1: the shard fan-out is already the host-parallel axis.
+    base_result = ann.Search(queries, base_k, ef, /*workers=*/1, &ann_stats);
+    answer.ann_hops = ann_stats.hops;
+    answer.ann_candidates = ann_stats.candidates_visited;
+  } else if (route == core::QueryRoute::kHost) {
     base_result = simd::PackedKnn(queries, packed_base, base_k, dist_kind,
                                   /*workers=*/1);
   } else {
@@ -202,6 +236,7 @@ store::IndexSnapshot ShardHost::Export(const std::string& dataset_name,
     std::sort(snap.tombstones.begin(), snap.tombstones.end());
     snap.next_id = next_id;
   }
+  if (!ann.empty()) snap.ann_graph = ann.graph();
   return snap;
 }
 
@@ -250,13 +285,24 @@ void CaptureCompaction(ShardHost* shard, int shard_index,
 std::unique_ptr<ShardHost> RebuildCompacted(const CompactionPlan& plan,
                                             const gpusim::DeviceSpec& device,
                                             const core::TiOptions& options,
-                                            size_t dims) {
+                                            size_t dims, bool ann_enabled,
+                                            const ann::GraphBuildParams&
+                                                ann_params) {
   auto fresh = std::make_unique<ShardHost>(device, options);
+  fresh->ConfigureAnn(ann_enabled, ann_params);
   fresh->engine.PrepareTarget(plan.points);
   fresh->packed_base = simd::PackedTargets::Pack(
       plan.points.data(), plan.points.rows(), plan.points.cols());
   fresh->set_base_rows(plan.points.rows());
   fresh->delta.dims = dims;
+  if (ann_enabled && plan.points.rows() > 0) {
+    // Fresh base, fresh graph — part of the off-lock rebuild, so graph
+    // construction never blocks serving.
+    fresh->ann = ann::AnnIndex::Build(
+        plan.points, core::SimdDistFor(options.metric), ann_params,
+        core::AnnEntryPointsFromClustering(
+            fresh->engine.ExportTargetClustering()));
+  }
   const bool identity =
       !plan.ids.empty() && plan.ids.front() == 0 &&
       plan.ids.back() == static_cast<uint32_t>(plan.ids.size()) - 1;

@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "ann/ann_index.h"
+#include "ann/search_mode.h"
 #include "common/matrix.h"
 #include "core/delta_overlay.h"
 #include "core/options.h"
@@ -50,6 +52,12 @@ struct ShardHost {
   std::vector<uint32_t> id_map;
   /// Inserts since the base was clustered, plus tombstoned ids.
   core::DeltaBuffer delta;
+  /// The approximate tier over the same frozen base (empty unless
+  /// ConfigureAnn enabled it). Rebuilt wherever the base is: BuildCold,
+  /// RestoreBase (adopting a snapshot's persisted graph when present),
+  /// RebuildCompacted. Never covers the delta — SearchGroup's side scan
+  /// and merge handle that exactly.
+  ann::AnnIndex ann;
   /// Install ticket: bumped (from the owner's epoch counter) whenever
   /// the shard object is created or replaced. A compactor that captured
   /// an older epoch must abandon its install.
@@ -69,6 +77,15 @@ struct ShardHost {
   size_t live_rows() const {
     return base_rows_ - delta.tombstones.size() + delta.size();
   }
+
+  /// Opts this shard into the ANN tier. Call before BuildCold /
+  /// RestoreBase; the graph is built (or adopted) there.
+  void ConfigureAnn(bool enabled, const ann::GraphBuildParams& params) {
+    ann_enabled_ = enabled;
+    ann_params_ = params;
+  }
+  bool ann_enabled() const { return ann_enabled_; }
+  const ann::GraphBuildParams& ann_params() const { return ann_params_; }
 
   /// Cold build: PrepareTarget (upload + Step-1 landmark clustering)
   /// over this shard's slice, plus the packed host-route copy.
@@ -102,9 +119,17 @@ struct ShardHost {
   /// decision order stays deterministic); both routes answer
   /// bit-identically. Host-routed scans report no simulated-device
   /// stats (device_routed = false).
+  ///
+  /// `mode` selects the base-scan backend per group: an effectively
+  /// approx mode (and a built graph) answers the base from the ANN tier
+  /// under the mode's candidate budget — still over-queried for
+  /// tombstones, still merged exactly with the delta scan — and reports
+  /// the graph-search work counters on the answer. Exact modes (the
+  /// default) are untouched.
   core::ShardAnswer SearchGroup(const HostMatrix& queries, int k,
-                                core::QueryRoute route,
-                                core::Metric metric);
+                                core::QueryRoute route, core::Metric metric,
+                                const ann::SearchMode& mode =
+                                    ann::SearchMode::Exact());
 
   /// True when stable id `id` lives in this shard (base row —
   /// tombstoned or not — or delta entry).
@@ -131,6 +156,11 @@ struct ShardHost {
 
  private:
   size_t base_rows_ = 0;
+  bool ann_enabled_ = false;
+  ann::GraphBuildParams ann_params_;
+  /// A snapshot's persisted graph, parked by AdoptOverlay until
+  /// RestoreBase has the points to pair it with.
+  ann::KnnGraph pending_graph_;
 };
 
 /// Everything a compaction captures under the owner's lock before
@@ -159,11 +189,13 @@ void CaptureCompaction(ShardHost* shard, int shard_index,
 /// full Step-1 clustering over the captured points. Captured ids that
 /// are literally 0..n-1 restore pristine form (no id map); otherwise the
 /// plan's ids become the new base's id map. `options` should carry the
-/// owner's effective shard options (sim_threads = 1).
-std::unique_ptr<ShardHost> RebuildCompacted(const CompactionPlan& plan,
-                                            const gpusim::DeviceSpec& device,
-                                            const core::TiOptions& options,
-                                            size_t dims);
+/// owner's effective shard options (sim_threads = 1). When the owner
+/// serves the ANN tier, pass its config so the fresh base gets a fresh
+/// graph at install.
+std::unique_ptr<ShardHost> RebuildCompacted(
+    const CompactionPlan& plan, const gpusim::DeviceSpec& device,
+    const core::TiOptions& options, size_t dims, bool ann_enabled = false,
+    const ann::GraphBuildParams& ann_params = ann::GraphBuildParams{});
 
 /// Install-time carry-over: mutations that landed on `old_shard` while
 /// the rebuild ran move onto `fresh` — the delta suffix past the

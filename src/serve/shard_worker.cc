@@ -123,10 +123,14 @@ net::Frame ShardWorker::Dispatch(const net::Frame& request, bool* shutdown) {
 
 void ShardWorker::AdoptConfig(const core::TiOptions& options,
                               const gpusim::DeviceSpec& device,
-                              const core::PlannerConfig& planner) {
+                              const core::PlannerConfig& planner,
+                              bool enable_ann,
+                              const ann::GraphBuildParams& ann_params) {
   options_ = options;
   device_ = device;
   if (!planner_) planner_ = std::make_unique<core::RoutePlanner>(planner);
+  enable_ann_ = enable_ann;
+  ann_params_ = ann_params;
   configured_ = true;
 }
 
@@ -146,13 +150,15 @@ Status ShardWorker::HandlePrepareCold(const std::string& payload) {
         "PrepareCold: slice has " + std::to_string(req.slice.cols()) +
         " dims, this worker serves " + std::to_string(dims_));
   }
-  AdoptConfig(req.options, req.device, req.planner);
+  AdoptConfig(req.options, req.device, req.planner, req.enable_ann,
+              req.ann_params);
   // The shard engines are pinned to one execution thread, exactly like
   // KnnService's (the engine is bit-identical at any worker count; the
   // fan-out across workers is the parallel axis here).
   core::TiOptions shard_options = options_;
   shard_options.sim_threads = 1;
   auto shard = std::make_unique<ShardHost>(device_, shard_options);
+  shard->ConfigureAnn(enable_ann_, ann_params_);
   shard->offset = static_cast<uint32_t>(req.offset);
   shard->epoch = ++epoch_counter_;
   shard->BuildCold(req.slice);
@@ -185,10 +191,12 @@ Status ShardWorker::HandlePrepareSnapshot(const std::string& payload) {
         req.path + " holds " + std::to_string(snap.target.cols()) +
         "-dimensional points, this worker serves " + std::to_string(dims_));
   }
-  AdoptConfig(req.options, req.device, req.planner);
+  AdoptConfig(req.options, req.device, req.planner, req.enable_ann,
+              req.ann_params);
   core::TiOptions shard_options = options_;
   shard_options.sim_threads = 1;
   auto shard = std::make_unique<ShardHost>(device_, shard_options);
+  shard->ConfigureAnn(enable_ann_, ann_params_);
   shard->AdoptOverlay(snap);
   shard->RestoreBase(snap.target, snap.clustering);
   shard->epoch = ++epoch_counter_;
@@ -227,8 +235,9 @@ Status ShardWorker::HandleQuery(const std::string& payload,
     // cannot depend on which side of the cost model a shard lands on.
     const core::QueryRoute route = planner_->Choose(
         req.queries.rows(), shard->base_rows(), dims_);
-    out.answers.push_back(shard->SearchGroup(
-        req.queries, static_cast<int>(req.k), route, options_.metric));
+    out.answers.push_back(shard->SearchGroup(req.queries,
+                                             static_cast<int>(req.k), route,
+                                             options_.metric, req.mode));
   }
   queries_served_ += req.queries.rows();
   reply->type = static_cast<uint32_t>(net::MsgType::kQueryReply);
@@ -301,8 +310,8 @@ Status ShardWorker::HandleCompact(const std::string& payload) {
   CaptureCompaction(shard, static_cast<int>(req.shard_index), &plan);
   core::TiOptions shard_options = options_;
   shard_options.sim_threads = 1;
-  std::unique_ptr<ShardHost> fresh =
-      RebuildCompacted(plan, device_, shard_options, dims_);
+  std::unique_ptr<ShardHost> fresh = RebuildCompacted(
+      plan, device_, shard_options, dims_, enable_ann_, ann_params_);
   CarryOverlayForward(*shard, plan, fresh.get());
   fresh->epoch = ++epoch_counter_;
   shards_[req.shard_index] = std::move(fresh);

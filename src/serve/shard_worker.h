@@ -63,10 +63,12 @@ class ShardWorker {
 
   /// Adopts the config blocks that ride in every prepare (options,
   /// device, planner — the planner only on the first prepare, so its
-  /// decision counter spans the worker's lifetime like KnnService's).
+  /// decision counter spans the worker's lifetime like KnnService's —
+  /// and the ANN tier config, needed again at compaction installs).
   void AdoptConfig(const core::TiOptions& options,
                    const gpusim::DeviceSpec& device,
-                   const core::PlannerConfig& planner);
+                   const core::PlannerConfig& planner, bool enable_ann,
+                   const ann::GraphBuildParams& ann_params);
 
   /// The shard named by a request, or nullptr (callers answer NotFound).
   ShardHost* FindShard(uint32_t shard_index);
@@ -78,6 +80,9 @@ class ShardWorker {
   gpusim::DeviceSpec device_;
   std::unique_ptr<core::RoutePlanner> planner_;
   bool configured_ = false;
+  /// ANN tier config (docs/approx.md), adopted from the prepare RPCs.
+  bool enable_ann_ = false;
+  ann::GraphBuildParams ann_params_;
 
   /// Hosted shards by global shard index (primaries and replicas look
   /// identical here; the role lives in the router's placement tables).

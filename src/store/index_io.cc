@@ -38,6 +38,9 @@ Status SweetKnnIndex::Save(const std::string& path,
     std::sort(snapshot.tombstones.begin(), snapshot.tombstones.end());
     snapshot.next_id = next_id_;
   }
+  // Persisting the graph lets Load skip the NN-descent build the same
+  // way the clustering section lets it skip the Step-1 landmark build.
+  if (!ann_.empty()) snapshot.ann_graph = ann_.graph();
   return store::SaveIndexSnapshot(snapshot, path);
 }
 
@@ -79,6 +82,18 @@ Result<std::unique_ptr<SweetKnnIndex>> SweetKnnIndex::Load(
     index->AdoptOverlay(std::move(id_map), std::move(snap.delta_ids),
                         snap.delta_points.storage(), snap.tombstones,
                         next_id);
+  }
+  // ANN tier: adopt the persisted graph when the config wants one (its
+  // node ids are local base rows, so it is valid verbatim); rebuild when
+  // the config wants a graph the file lacks. A persisted graph under a
+  // graph-free config is simply ignored — exact answers never depend on
+  // it.
+  if (config.enable_ann) {
+    if (snap.HasAnnGraph()) {
+      index->AdoptAnnGraph(snap.target, std::move(snap.ann_graph));
+    } else {
+      index->RebuildAnn(snap.target);
+    }
   }
   return index;
 }

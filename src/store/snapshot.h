@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "ann/knn_graph.h"
 #include "common/crc32.h"
 #include "common/matrix.h"
 #include "common/status.h"
@@ -33,18 +34,21 @@ namespace sweetknn::store {
 //
 // Versions. v1 holds a pristine index (sections 1-4). v2 adds the
 // optional mutation section (id 5: stable-id map, delta points,
-// tombstones) for indexes mutated since their base was clustered. The
-// reader accepts both; the writer emits v1 whenever the index has no
-// overlay, so pristine snapshots stay byte-identical across the version
-// bump and old files keep loading.
+// tombstones) for indexes mutated since their base was clustered. v3
+// adds the optional ANN graph section (id 6: the kNN graph of the
+// frozen base plus its build provenance, docs/approx.md). The reader
+// accepts all of them; the writer emits the lowest version whose
+// sections the index actually needs, so graph-free snapshots stay
+// byte-identical across every version bump and old files keep loading.
 // ---------------------------------------------------------------------------
 
 inline constexpr char kSnapshotMagic[8] = {'S', 'K', 'S', 'N',
                                            'A', 'P', '0', '1'};
 inline constexpr uint32_t kSnapshotFormatV1 = 1;
 inline constexpr uint32_t kSnapshotFormatV2 = 2;
+inline constexpr uint32_t kSnapshotFormatV3 = 3;
 /// Newest version this build reads and writes.
-inline constexpr uint32_t kSnapshotFormatVersion = kSnapshotFormatV2;
+inline constexpr uint32_t kSnapshotFormatVersion = kSnapshotFormatV3;
 inline constexpr uint32_t kEndiannessGuard = 0x01020304u;
 
 /// Section ids. New sections get new ids in new format versions; readers
@@ -58,10 +62,12 @@ enum SnapshotSectionId : uint32_t {
   kSectionTarget = 3,       ///< the target HostMatrix
   kSectionClustering = 4,   ///< the prepared TargetClustering
   kSectionMutation = 5,     ///< v2: id map, delta buffer, tombstones
+  kSectionAnnGraph = 6,     ///< v3: kNN graph of the base + build params
 };
 
 /// The largest section id a file of `version` may contain.
 inline uint32_t MaxSectionIdForVersion(uint32_t version) {
+  if (version >= kSnapshotFormatV3) return kSectionAnnGraph;
   return version >= kSnapshotFormatV2 ? kSectionMutation : kSectionClustering;
 }
 
@@ -107,12 +113,21 @@ struct IndexSnapshot {
   std::vector<uint32_t> tombstones;  ///< strictly increasing
   uint32_t next_id = 0;
 
+  /// ANN tier (format v3; empty for graph-free indexes). The graph
+  /// covers exactly the base rows of `target` — delta points are never
+  /// in the graph (they are scanned exactly until the next compaction,
+  /// whose install rebuilds the graph).
+  ann::KnnGraph ann_graph;
+
   /// True when the snapshot carries mutation state and must be written
-  /// as format v2.
+  /// as format v2 or later.
   bool HasOverlay() const {
     return next_id != 0 || !id_map.empty() || !delta_ids.empty() ||
            !tombstones.empty();
   }
+  /// True when the snapshot carries an ANN graph and must be written as
+  /// format v3.
+  bool HasAnnGraph() const { return !ann_graph.empty(); }
 };
 
 /// Streaming writer: sections are appended one at a time, each CRC'd as
@@ -192,7 +207,10 @@ Status ValidateIndexSnapshot(const IndexSnapshot& snapshot);
 /// every member's distance to its cluster center with the vectorized
 /// batch kernels (bit-identical to the builder's per-pair walk) and
 /// demands byte equality with the stored member_dists, per-cluster
-/// non-increasing ordering, and max_dist replication. The metric is
+/// non-increasing ordering, and max_dist replication. When the snapshot
+/// carries an ANN graph, also recomputes every live edge's distance and
+/// demands each row ascending by (distance, id) — the builder's
+/// invariant, broken by any edge id naming the wrong row. The metric is
 /// recovered from the snapshot's options fingerprint. O(n * dims) —
 /// run by `index-verify`, not on the serving load path.
 Status VerifySnapshotDistances(const IndexSnapshot& snapshot);

@@ -1,0 +1,364 @@
+// The approximate tier's unit and edge-case suite (docs/approx.md):
+// SearchMode semantics, graph-build determinism, and the corners where
+// the approx path must collapse to (or merge with) the exact one —
+// k >= live points, empty graphs, all-tombstoned shards, and
+// recall_target = 1.0.
+
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "ann/ann_index.h"
+#include "ann/knn_graph.h"
+#include "ann/search_mode.h"
+#include "baseline/brute_force_cpu.h"
+#include "core/sweet_knn.h"
+#include "gtest/gtest.h"
+#include "serve/knn_service.h"
+#include "test_util.h"
+
+namespace sweetknn {
+namespace {
+
+using testing::ClusteredPoints;
+using testing::UniformPoints;
+
+void ExpectBitIdentical(const KnnResult& a, const KnnResult& b) {
+  ASSERT_EQ(a.num_queries(), b.num_queries());
+  ASSERT_EQ(a.k(), b.k());
+  const size_t bytes =
+      a.num_queries() * static_cast<size_t>(a.k()) * sizeof(Neighbor);
+  EXPECT_EQ(std::memcmp(a.row(0), b.row(0), bytes), 0);
+}
+
+double RecallAt(const KnnResult& truth, const KnnResult& got, size_t q,
+                int k) {
+  std::set<uint32_t> want;
+  for (int j = 0; j < k; ++j) {
+    if (truth.row(q)[j].index == kInvalidNeighbor) break;
+    want.insert(truth.row(q)[j].index);
+  }
+  if (want.empty()) return 1.0;
+  size_t hits = 0;
+  for (int j = 0; j < k; ++j) {
+    if (want.count(got.row(q)[j].index) != 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(want.size());
+}
+
+// --- SearchMode semantics ---------------------------------------------------
+
+TEST(SearchModeTest, NormalizeCollapsesEffectivelyExactModes) {
+  EXPECT_EQ(ann::Normalize(ann::SearchMode::Exact()),
+            ann::SearchMode::Exact());
+  EXPECT_EQ(ann::Normalize(ann::SearchMode::Approx(1.0)),
+            ann::SearchMode::Exact());
+  EXPECT_EQ(ann::Normalize(ann::SearchMode::Approx(1.5, 128)),
+            ann::SearchMode::Exact());
+  const ann::SearchMode approx = ann::SearchMode::Approx(0.95, 64);
+  EXPECT_EQ(ann::Normalize(approx), approx);
+}
+
+TEST(SearchModeTest, EffectiveEfHonorsExplicitBudgetAndKFloor) {
+  EXPECT_EQ(ann::EffectiveEf(ann::SearchMode::Approx(0.9, 200), 10), 200);
+  // The queue must hold a full answer: explicit ef is clamped up to k.
+  EXPECT_EQ(ann::EffectiveEf(ann::SearchMode::Approx(0.9, 5), 50), 50);
+  // Derived budgets grow as the allowed miss rate shrinks.
+  const int ef_90 = ann::EffectiveEf(ann::SearchMode::Approx(0.9), 10);
+  const int ef_99 = ann::EffectiveEf(ann::SearchMode::Approx(0.99), 10);
+  EXPECT_GE(ef_90, 64);
+  EXPECT_GT(ef_99, ef_90);
+}
+
+TEST(SearchModeTest, OrderingIsStrictWeakAndExactFirst) {
+  const ann::SearchMode exact = ann::SearchMode::Exact();
+  const ann::SearchMode a = ann::SearchMode::Approx(0.9);
+  const ann::SearchMode b = ann::SearchMode::Approx(0.95);
+  EXPECT_TRUE(ann::SearchModeLess(exact, a));
+  EXPECT_TRUE(ann::SearchModeLess(a, b));
+  EXPECT_FALSE(ann::SearchModeLess(a, a));
+  EXPECT_FALSE(ann::SearchModeLess(b, a));
+}
+
+// --- Graph build ------------------------------------------------------------
+
+TEST(KnnGraphTest, BuildIsBitIdenticalAcrossWorkerCounts) {
+  const HostMatrix points = ClusteredPoints(300, 6, 5, 0xa11);
+  ann::GraphBuildParams params;
+  params.degree = 8;
+  params.workers = 1;
+  const ann::KnnGraph one = ann::BuildKnnGraph(
+      points.row(0), points.rows(), points.cols(), simd::Dist::kEuclidean,
+      params, {});
+  params.workers = 4;
+  const ann::KnnGraph four = ann::BuildKnnGraph(
+      points.row(0), points.rows(), points.cols(), simd::Dist::kEuclidean,
+      params, {});
+  EXPECT_EQ(one.neighbors, four.neighbors);
+  EXPECT_EQ(one.entry_points, four.entry_points);
+  EXPECT_EQ(one.build_iters, four.build_iters);
+}
+
+TEST(KnnGraphTest, DegreeClampsToRowsMinusOne) {
+  const HostMatrix points = UniformPoints(5, 3, 0xbee);
+  ann::GraphBuildParams params;
+  params.degree = 16;
+  const ann::KnnGraph g = ann::BuildKnnGraph(
+      points.row(0), points.rows(), points.cols(), simd::Dist::kEuclidean,
+      params, {});
+  ASSERT_EQ(g.num_nodes, 5u);
+  // With 5 points every node can name at most 4 neighbors; with only 4
+  // candidates NN-descent must have found them all (the graph is exact).
+  for (uint32_t node = 0; node < g.num_nodes; ++node) {
+    size_t live = 0;
+    for (uint32_t e = 0; e < g.degree; ++e) {
+      if (g.row(node)[e] != kInvalidNeighbor) ++live;
+    }
+    EXPECT_EQ(live, 4u) << "node " << node;
+  }
+}
+
+TEST(AnnIndexTest, EmptyBaseSearchesNothing) {
+  HostMatrix empty(0, 4);
+  const ann::AnnIndex index = ann::AnnIndex::Build(
+      empty, simd::Dist::kEuclidean, ann::GraphBuildParams{}, {});
+  EXPECT_TRUE(index.empty());
+  const HostMatrix queries = UniformPoints(3, 4, 0xeee);
+  ann::AnnSearchStats stats;
+  const KnnResult result = index.Search(queries, 5, 64, 1, &stats);
+  ASSERT_EQ(result.num_queries(), 3u);
+  for (size_t q = 0; q < 3; ++q) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_EQ(result.row(q)[j].index, kInvalidNeighbor);
+    }
+  }
+}
+
+// --- SweetKnnIndex edge cases ----------------------------------------------
+
+SweetKnn::Config AnnConfig() {
+  SweetKnn::Config config;
+  config.enable_ann = true;
+  config.ann_params.degree = 8;
+  return config;
+}
+
+TEST(AnnIndexEdgeTest, RecallTargetOneRunsTheExactPathBitIdentically) {
+  const HostMatrix points = ClusteredPoints(400, 8, 6, 0xc0de);
+  const HostMatrix queries = UniformPoints(16, 8, 0xd0d0);
+  SweetKnnIndex index(points, AnnConfig());
+  const KnnResult exact = index.Query(queries, 10);
+  const KnnResult approx_sla1 =
+      index.Query(queries, 10, ann::SearchMode::Approx(1.0));
+  ExpectBitIdentical(exact, approx_sla1);
+}
+
+TEST(AnnIndexEdgeTest, ApproxWithoutGraphFallsBackToExact) {
+  const HostMatrix points = ClusteredPoints(300, 6, 5, 0xfeed);
+  const HostMatrix queries = UniformPoints(8, 6, 0xbeef);
+  SweetKnn::Config config;  // enable_ann = false: no graph exists
+  SweetKnnIndex index(points, config);
+  const KnnResult exact = index.Query(queries, 7);
+  const KnnResult approx =
+      index.Query(queries, 7, ann::SearchMode::Approx(0.9));
+  ExpectBitIdentical(exact, approx);
+}
+
+TEST(AnnIndexEdgeTest, KAtLeastLivePointsReturnsEveryPoint) {
+  const HostMatrix points = UniformPoints(30, 5, 0x777);
+  const HostMatrix queries = UniformPoints(4, 5, 0x778);
+  SweetKnnIndex index(points, AnnConfig());
+  // k == rows and k > rows: the answer must hold every live point (the
+  // budget escape hatch makes this exact), padded past the live count.
+  for (const int k : {30, 45}) {
+    const KnnResult exact = index.Query(queries, k);
+    const KnnResult approx =
+        index.Query(queries, k, ann::SearchMode::Approx(0.9));
+    ExpectBitIdentical(exact, approx);
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      std::set<uint32_t> seen;
+      for (int j = 0; j < k; ++j) {
+        const Neighbor& nb = approx.row(q)[j];
+        if (j < 30) {
+          EXPECT_NE(nb.index, kInvalidNeighbor);
+          seen.insert(nb.index);
+        } else {
+          EXPECT_EQ(nb.index, kInvalidNeighbor);
+        }
+      }
+      EXPECT_EQ(seen.size(), 30u);
+    }
+  }
+}
+
+TEST(AnnIndexEdgeTest, AllTombstonedIndexAnswersAllPadding) {
+  const HostMatrix points = UniformPoints(40, 4, 0x999);
+  SweetKnn::Config config = AnnConfig();
+  config.compact_delta_fraction = 0.0;  // keep tombstones, no auto-compact
+  SweetKnnIndex index(points, config);
+  for (uint32_t id = 0; id < 40; ++id) {
+    ASSERT_TRUE(index.Remove(id));
+  }
+  ASSERT_EQ(index.size(), 0u);
+  const HostMatrix queries = UniformPoints(3, 4, 0x99a);
+  const KnnResult exact = index.Query(queries, 5);
+  const KnnResult approx =
+      index.Query(queries, 5, ann::SearchMode::Approx(0.9));
+  ExpectBitIdentical(exact, approx);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_EQ(approx.row(q)[j].index, kInvalidNeighbor);
+    }
+  }
+}
+
+TEST(AnnIndexEdgeTest, MutationsAreServedExactlyUnderApprox) {
+  const HostMatrix points = ClusteredPoints(200, 5, 4, 0x1234);
+  SweetKnn::Config config = AnnConfig();
+  config.compact_delta_fraction = 0.0;
+  SweetKnnIndex index(points, config);
+  // Insert a point right on top of the first query: the delta side scan
+  // is exact, so approx must surface it as the nearest neighbor.
+  const HostMatrix queries = UniformPoints(4, 5, 0x4321);
+  std::vector<float> dup(queries.row(0), queries.row(0) + 5);
+  const uint32_t id = index.Insert(dup);
+  // And tombstone a base row; it must never appear again.
+  ASSERT_TRUE(index.Remove(7));
+  const KnnResult approx =
+      index.Query(queries, 6, ann::SearchMode::Approx(0.9, 4096));
+  EXPECT_EQ(approx.row(0)[0].index, id);
+  EXPECT_EQ(approx.row(0)[0].distance, 0.0f);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    for (int j = 0; j < 6; ++j) {
+      EXPECT_NE(approx.row(q)[j].index, 7u);
+    }
+  }
+}
+
+TEST(AnnIndexEdgeTest, LargeEfBudgetIsExact) {
+  const HostMatrix points = ClusteredPoints(250, 6, 5, 0x555);
+  const HostMatrix queries = UniformPoints(10, 6, 0x556);
+  SweetKnnIndex index(points, AnnConfig());
+  const KnnResult exact = index.Query(queries, 9);
+  // ef >= rows triggers the full-scan escape hatch: bit-identical.
+  ann::AnnSearchStats stats;
+  const KnnResult approx = index.Query(
+      queries, 9, ann::SearchMode::Approx(0.9, 250), nullptr, &stats);
+  ExpectBitIdentical(exact, approx);
+  EXPECT_EQ(stats.full_scans, queries.rows());
+}
+
+TEST(AnnIndexEdgeTest, ApproxMeetsItsRecallTarget) {
+  const HostMatrix points = ClusteredPoints(1200, 8, 10, 0xace);
+  const HostMatrix queries = UniformPoints(32, 8, 0xacf);
+  SweetKnnIndex index(points, AnnConfig());
+  const int k = 10;
+  const KnnResult truth = baseline::BruteForceCpu(queries, points, k);
+  ann::AnnSearchStats stats;
+  const KnnResult approx = index.Query(
+      queries, k, ann::SearchMode::Approx(0.9), nullptr, &stats);
+  double recall_sum = 0.0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    recall_sum += RecallAt(truth, approx, q, k);
+  }
+  EXPECT_GE(recall_sum / static_cast<double>(queries.rows()), 0.9);
+  // And it genuinely ran the graph, not the escape hatch.
+  EXPECT_EQ(stats.full_scans, 0u);
+  EXPECT_GT(stats.hops, 0u);
+}
+
+// --- KnnService edge cases --------------------------------------------------
+
+serve::ServiceConfig AnnServiceConfig() {
+  serve::ServiceConfig config;
+  config.num_shards = 2;
+  config.auto_compact = false;
+  config.enable_ann = true;  // default build params (degree 16)
+  return config;
+}
+
+TEST(AnnServiceEdgeTest, EffectivelyExactModesAnswerLikePlainSearch) {
+  const HostMatrix points = ClusteredPoints(300, 6, 5, 0xbed);
+  const HostMatrix queries = UniformPoints(6, 6, 0xbee);
+  serve::KnnService service(points, AnnServiceConfig());
+  const Result<KnnResult> exact = service.JoinBatch(queries, 8);
+  const Result<KnnResult> sla1 =
+      service.JoinBatch(queries, 8, ann::SearchMode::Approx(1.0));
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(sla1.ok());
+  ExpectBitIdentical(exact.value(), sla1.value());
+  // Effectively exact traffic never counts as approx.
+  EXPECT_EQ(service.stats().approx_groups, 0u);
+  service.Shutdown();
+}
+
+TEST(AnnServiceEdgeTest, AllTombstonedServiceAnswersAllPadding) {
+  const HostMatrix points = UniformPoints(60, 4, 0xdead);
+  serve::ServiceConfig config = AnnServiceConfig();
+  config.compact_delta_fraction = 0.0;
+  serve::KnnService service(points, config);
+  for (uint32_t id = 0; id < 60; ++id) {
+    const Result<bool> removed = service.Remove(id);
+    ASSERT_TRUE(removed.ok());
+    ASSERT_TRUE(removed.value());
+  }
+  const HostMatrix queries = UniformPoints(4, 4, 0xdeae);
+  const Result<KnnResult> approx =
+      service.JoinBatch(queries, 5, ann::SearchMode::Approx(0.9));
+  ASSERT_TRUE(approx.ok());
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_EQ(approx.value().row(q)[j].index, kInvalidNeighbor);
+    }
+  }
+  service.Shutdown();
+}
+
+TEST(AnnServiceEdgeTest, ApproxSurvivesCompactionAndStaysAccurate) {
+  const HostMatrix points = ClusteredPoints(500, 6, 6, 0xf00);
+  serve::ServiceConfig config = AnnServiceConfig();
+  serve::KnnService service(points, config);
+  // Mutate enough to matter, then compact: the install must rebuild the
+  // graphs over the new bases.
+  for (uint32_t id = 0; id < 40; ++id) {
+    ASSERT_TRUE(service.Remove(id).ok());
+  }
+  const HostMatrix extra = UniformPoints(40, 6, 0xf01);
+  ASSERT_TRUE(service.InsertBatch(extra).ok());
+  ASSERT_TRUE(service.CompactAll().ok());
+
+  const HostMatrix queries = UniformPoints(12, 6, 0xf02);
+  const int k = 8;
+  const Result<KnnResult> exact = service.JoinBatch(queries, k);
+  const Result<KnnResult> approx =
+      service.JoinBatch(queries, k, ann::SearchMode::Approx(0.9));
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(approx.ok());
+  double recall_sum = 0.0;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    recall_sum += RecallAt(exact.value(), approx.value(), q, k);
+  }
+  EXPECT_GE(recall_sum / static_cast<double>(queries.rows()), 0.9);
+  EXPECT_GT(service.stats().approx_queries, 0u);
+  service.Shutdown();
+}
+
+TEST(AnnServiceEdgeTest, RecallProbeObservesEstimates) {
+  const HostMatrix points = ClusteredPoints(400, 6, 5, 0xaaa);
+  serve::ServiceConfig config = AnnServiceConfig();
+  config.ann_recall_probe_interval = 1;  // probe every approx group
+  serve::KnnService service(points, config);
+  const HostMatrix queries = UniformPoints(8, 6, 0xaab);
+  ASSERT_TRUE(
+      service.JoinBatch(queries, 6, ann::SearchMode::Approx(0.9)).ok());
+  const common::HistogramSnapshot estimate =
+      service.metrics().SnapshotHistogram("sweetknn_ann_recall_estimate");
+  EXPECT_EQ(estimate.count, 1u);
+  EXPECT_GE(estimate.sum, 0.0);
+  EXPECT_LE(estimate.sum, 1.0 + 1e-9);
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace sweetknn

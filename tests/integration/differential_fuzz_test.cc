@@ -6,12 +6,16 @@
 // result of the same options. A second sweep proves the persistence
 // guarantee: an index saved to a snapshot and warm-loaded answers
 // bit-identically to the cold-built one under every fuzzed
-// configuration. Any mismatch prints a one-line repro of the failing
-// seed/config.
+// configuration. A third sweep covers the approximate tier's recall
+// SLA: seeded ANN configs measure true recall@k against the oracle and
+// demand each config's recall_target, while exact traffic on the same
+// ANN-enabled index/service stays bit-identical to an ANN-free build.
+// Any mismatch prints a one-line repro of the failing seed/config.
 
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -302,6 +306,168 @@ TEST(DifferentialFuzzTest, WarmStartedIndexIsBitIdenticalAcrossConfigs) {
     if (::testing::Test::HasFailure()) break;
   }
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Approximate tier: the recall SLA, checked against the oracle
+// (docs/approx.md). Every seeded config computes TRUE recall@k of the
+// approx answers against BruteForceCpu and demands the config's
+// recall_target is met, while the exact path of the very same
+// ANN-enabled index/service stays bit-identical to an ANN-free build.
+// ---------------------------------------------------------------------------
+
+struct ApproxFuzzConfig {
+  uint64_t seed = 0;
+  size_t n = 0;
+  size_t query_n = 0;
+  size_t dims = 0;
+  int k = 0;
+  int clusters = 1;
+  int service_shards = 2;
+  double recall_target = 0.9;
+  core::Metric metric = core::Metric::kEuclidean;
+};
+
+std::string ApproxRepro(const ApproxFuzzConfig& cfg) {
+  std::ostringstream out;
+  out << "approx seed=" << cfg.seed << " n=" << cfg.n
+      << " m=" << cfg.query_n << " d=" << cfg.dims << " k=" << cfg.k
+      << " clusters=" << cfg.clusters << " shards=" << cfg.service_shards
+      << " recall_target=" << cfg.recall_target << " metric="
+      << (cfg.metric == core::Metric::kEuclidean ? "euclidean"
+                                                 : "manhattan");
+  return out.str();
+}
+
+ApproxFuzzConfig DrawApproxConfig(uint64_t seed) {
+  Rng rng(seed);
+  ApproxFuzzConfig cfg;
+  cfg.seed = seed;
+  // Large enough that the default candidate budget (>= 64) cannot fall
+  // back to the exact full scan: the graph search itself is under test.
+  // k and the query count stay high enough that mean recall is a
+  // fine-grained statistic — at k=1 a handful of queries each contribute
+  // 0-or-1 and the mean cannot resolve a 0.95 SLA.
+  cfg.n = 500 + rng.NextBounded(1000);
+  cfg.query_n = 48 + rng.NextBounded(33);
+  cfg.dims = 2 + rng.NextBounded(9);
+  cfg.k = 4 + static_cast<int>(rng.NextBounded(13));
+  cfg.clusters = 4 + static_cast<int>(rng.NextBounded(7));
+  cfg.service_shards = 2 + static_cast<int>(rng.NextBounded(2));
+  switch (rng.NextBounded(3)) {
+    case 0: cfg.recall_target = 0.9; break;
+    case 1: cfg.recall_target = 0.95; break;
+    case 2: cfg.recall_target = 0.99; break;
+  }
+  cfg.metric = rng.NextBounded(2) == 0 ? core::Metric::kEuclidean
+                                       : core::Metric::kManhattan;
+  return cfg;
+}
+
+double MeanRecall(const KnnResult& truth, const KnnResult& got, int k) {
+  double sum = 0.0;
+  size_t measured = 0;
+  for (size_t q = 0; q < truth.num_queries(); ++q) {
+    std::set<uint32_t> want;
+    for (int j = 0; j < k; ++j) {
+      if (truth.row(q)[j].index == kInvalidNeighbor) break;
+      want.insert(truth.row(q)[j].index);
+    }
+    if (want.empty()) continue;
+    size_t hits = 0;
+    for (int j = 0; j < k; ++j) {
+      if (want.count(got.row(q)[j].index) != 0) ++hits;
+    }
+    sum += static_cast<double>(hits) / static_cast<double>(want.size());
+    ++measured;
+  }
+  return measured == 0 ? 1.0 : sum / static_cast<double>(measured);
+}
+
+void RunApproxConfig(const ApproxFuzzConfig& cfg) {
+  const HostMatrix target = testing::ClusteredPoints(
+      cfg.n, cfg.dims, cfg.clusters, SplitMix64(cfg.seed), 0.08f);
+  const HostMatrix queries = testing::ClusteredPoints(
+      cfg.query_n, cfg.dims, cfg.clusters, SplitMix64(cfg.seed + 1), 0.08f);
+  const KnnResult oracle = baseline::BruteForceCpu(
+      queries, target, cfg.k, cfg.metric);
+  const ann::SearchMode mode = ann::SearchMode::Approx(cfg.recall_target);
+
+  // Index tier: exact answers of the ANN-enabled index are bit-identical
+  // to an ANN-free build; approx answers meet the SLA against the oracle.
+  SweetKnn::Config plain_config;
+  plain_config.options.metric = cfg.metric;
+  SweetKnn::Config ann_config = plain_config;
+  ann_config.enable_ann = true;
+  SweetKnnIndex plain(target, plain_config);
+  SweetKnnIndex index(target, ann_config);
+  const KnnResult exact_plain = plain.Query(queries, cfg.k);
+  const KnnResult exact_ann = index.Query(queries, cfg.k);
+  for (size_t q = 0; q < exact_plain.num_queries(); ++q) {
+    if (std::memcmp(exact_plain.row(q), exact_ann.row(q),
+                    static_cast<size_t>(cfg.k) * sizeof(Neighbor)) != 0) {
+      ADD_FAILURE() << "enabling the ANN tier changed an exact answer at "
+                    << "query " << q << " — repro: " << ApproxRepro(cfg);
+      return;
+    }
+  }
+  ann::AnnSearchStats ann_stats;
+  const KnnResult approx =
+      index.Query(queries, cfg.k, mode, nullptr, &ann_stats);
+  const double recall = MeanRecall(oracle, approx, cfg.k);
+  if (recall < cfg.recall_target) {
+    ADD_FAILURE() << "index approx recall " << recall << " misses target "
+                  << cfg.recall_target << " — repro: " << ApproxRepro(cfg);
+    return;
+  }
+  if (ann_stats.hops + ann_stats.full_scans == 0) {
+    ADD_FAILURE() << "approx query did not run the ANN tier — repro: "
+                  << ApproxRepro(cfg);
+    return;
+  }
+
+  // Service tier: the sharded approx merge must meet the same SLA, and
+  // exact service traffic must stay bit-identical to the exact index.
+  serve::ServiceConfig service_config;
+  service_config.num_shards = cfg.service_shards;
+  service_config.max_batch_size = 16;
+  service_config.max_batch_wait = std::chrono::microseconds(300);
+  service_config.options.metric = cfg.metric;
+  service_config.enable_ann = true;
+  serve::KnnService service(target, service_config);
+  const Result<KnnResult> service_exact = service.JoinBatch(queries, cfg.k);
+  ASSERT_TRUE(service_exact.ok()) << service_exact.status().ToString();
+  for (size_t q = 0; q < exact_plain.num_queries(); ++q) {
+    if (std::memcmp(exact_plain.row(q), service_exact.value().row(q),
+                    static_cast<size_t>(cfg.k) * sizeof(Neighbor)) != 0) {
+      ADD_FAILURE() << "ANN-enabled service diverged on exact traffic at "
+                    << "query " << q << " — repro: " << ApproxRepro(cfg);
+      service.Shutdown();
+      return;
+    }
+  }
+  const Result<KnnResult> service_approx =
+      service.JoinBatch(queries, cfg.k, mode);
+  ASSERT_TRUE(service_approx.ok()) << service_approx.status().ToString();
+  const double service_recall =
+      MeanRecall(oracle, service_approx.value(), cfg.k);
+  if (service_recall < cfg.recall_target) {
+    ADD_FAILURE() << "service approx recall " << service_recall
+                  << " misses target " << cfg.recall_target
+                  << " — repro: " << ApproxRepro(cfg);
+  }
+  service.Shutdown();
+}
+
+TEST(DifferentialFuzzTest, ApproxSweepMeetsRecallSlaOnEveryConfig) {
+  constexpr int kApproxConfigs = 25;
+  for (int i = 0; i < kApproxConfigs; ++i) {
+    const ApproxFuzzConfig cfg =
+        DrawApproxConfig(kBaseSeed + 2000 + static_cast<uint64_t>(i));
+    SCOPED_TRACE(ApproxRepro(cfg));
+    RunApproxConfig(cfg);
+    if (::testing::Test::HasFailure()) break;
+  }
 }
 
 }  // namespace

@@ -19,6 +19,15 @@
 // just in dedicated equivalence tests. The flips are derived from the
 // sequence seed, so a repro line replays them exactly.
 //
+// The ANN tier is enabled in every sequence, so all of the bit-identical
+// checks above double as proof that enabling the approximate tier never
+// perturbs exact answers under mutation, and every snapshot round trip
+// carries (and restores) a kNN graph. Each sequence then ends with two
+// approx checkpoints: a saturated-budget approx query (ef >= every
+// shard's base) that must be BIT-IDENTICAL to the oracle — the full-scan
+// escape hatch composed with tombstone masking and the delta merge — and
+// a default-budget approx query held to the 0.9 recall SLA.
+//
 // Tiers (the totals satisfy the >= 2000 sequence acceptance bar):
 //   MutationFuzzFastTier:  150 short sequences — the CI fast stage.
 //   MutationFuzzSlow:     1200 index + 800 service sequences, sharded
@@ -28,6 +37,7 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -179,6 +189,32 @@ bool ExpectBitIdentical(const KnnResult& want, const KnnResult& got,
   return true;
 }
 
+/// A candidate budget no shard's base can exceed, so approx queries with
+/// it must take the exact full-scan hatch on every shard.
+constexpr int kSaturatingEf = 1 << 20;
+
+/// Mean recall@k of `got` against the oracle `want` (both in stable-id
+/// space). Queries whose oracle row is all padding are skipped.
+double ApproxRecall(const KnnResult& want, const KnnResult& got) {
+  double sum = 0.0;
+  size_t measured = 0;
+  for (size_t q = 0; q < want.num_queries(); ++q) {
+    std::set<uint32_t> truth;
+    for (int i = 0; i < want.k(); ++i) {
+      if (want.row(q)[i].index == kInvalidNeighbor) break;
+      truth.insert(want.row(q)[i].index);
+    }
+    if (truth.empty()) continue;
+    size_t hits = 0;
+    for (int i = 0; i < got.k(); ++i) {
+      if (truth.count(got.row(q)[i].index) != 0) ++hits;
+    }
+    sum += static_cast<double>(hits) / static_cast<double>(truth.size());
+    ++measured;
+  }
+  return measured == 0 ? 1.0 : sum / static_cast<double>(measured);
+}
+
 HostMatrix RandomQueries(Rng* rng, size_t rows, size_t dims) {
   HostMatrix queries(rows, dims);
   for (size_t r = 0; r < rows; ++r) {
@@ -227,6 +263,7 @@ void RunIndexSequence(const MutationFuzzConfig& cfg) {
   config.options.metric = cfg.metric;
   config.compact_delta_fraction =
       cfg.auto_compact ? cfg.compact_fraction : 0.0;
+  config.enable_ann = true;
   SweetKnnIndex index(target, config);
 
   Model model;
@@ -324,9 +361,29 @@ void RunIndexSequence(const MutationFuzzConfig& cfg) {
     ADD_FAILURE() << "Load failed: " << loaded.status().ToString();
     return;
   }
-  ExpectBitIdentical(mutated_answer,
-                     loaded.value()->Query(checkpoint_queries, checkpoint_k),
-                     "snapshot round-trip checkpoint");
+  if (!ExpectBitIdentical(
+          mutated_answer,
+          loaded.value()->Query(checkpoint_queries, checkpoint_k),
+          "snapshot round-trip checkpoint")) {
+    return;
+  }
+
+  // Checkpoint 3 (approx): a saturated budget forces the full-scan hatch,
+  // so the whole approx pipeline — over-query, tombstone mask, delta
+  // merge — must be bit-identical to the exact answer; the default
+  // budget must still meet the 0.9 recall SLA over the mutated state.
+  const ann::SearchMode saturated =
+      ann::SearchMode::Approx(0.9, kSaturatingEf);
+  if (!ExpectBitIdentical(mutated_answer,
+                          index.Query(checkpoint_queries, checkpoint_k,
+                                      saturated),
+                          "saturated-approx checkpoint")) {
+    return;
+  }
+  const KnnResult approx_answer = index.Query(
+      checkpoint_queries, checkpoint_k, ann::SearchMode::Approx(0.9));
+  const double recall = ApproxRecall(mutated_answer, approx_answer);
+  EXPECT_GE(recall, 0.9) << "approx checkpoint recall " << recall;
 }
 
 // ---------------------------------------------------------------------------
@@ -344,6 +401,7 @@ void RunServiceSequence(const MutationFuzzConfig& cfg) {
   config.options.metric = cfg.metric;
   config.compact_delta_fraction = cfg.compact_fraction;
   config.auto_compact = cfg.auto_compact;
+  config.enable_ann = true;
   serve::KnnService service(target, config);
 
   Model model;
@@ -490,9 +548,38 @@ void RunServiceSequence(const MutationFuzzConfig& cfg) {
   Result<KnnResult> adopted_answer =
       adopted.value()->JoinBatch(checkpoint_queries, checkpoint_k);
   ASSERT_TRUE(adopted_answer.ok()) << adopted_answer.status().ToString();
-  ExpectBitIdentical(want, adopted_answer.value(),
-                     "FromSnapshots checkpoint");
+  if (!ExpectBitIdentical(want, adopted_answer.value(),
+                          "FromSnapshots checkpoint")) {
+    std::filesystem::remove_all(dir);
+    return;
+  }
   std::filesystem::remove_all(dir);
+
+  // Approx checkpoints, on both the mutated service and the one adopted
+  // from its snapshots (whose graphs just round-tripped through disk):
+  // the saturated budget is bit-identical to the oracle, the default
+  // budget meets the 0.9 recall SLA.
+  const ann::SearchMode saturated =
+      ann::SearchMode::Approx(0.9, kSaturatingEf);
+  const ann::SearchMode default_budget = ann::SearchMode::Approx(0.9);
+  struct { serve::KnnService* svc; const char* what; } tiers[] = {
+      {&service, "service"}, {adopted.value().get(), "adopted service"}};
+  for (const auto& t : tiers) {
+    Result<KnnResult> sat =
+        t.svc->JoinBatch(checkpoint_queries, checkpoint_k, saturated);
+    ASSERT_TRUE(sat.ok()) << sat.status().ToString();
+    if (!ExpectBitIdentical(want, sat.value(),
+                            std::string(t.what) +
+                                " saturated-approx checkpoint")) {
+      return;
+    }
+    Result<KnnResult> approx =
+        t.svc->JoinBatch(checkpoint_queries, checkpoint_k, default_budget);
+    ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+    const double recall = ApproxRecall(want, approx.value());
+    EXPECT_GE(recall, 0.9) << t.what << " approx checkpoint recall "
+                           << recall;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -29,7 +29,8 @@
 // processes (this binary, re-exec'd as `shard-worker`), optionally
 // --replicas=R copies of each shard; answers are verified bit-identical
 // against an in-process KnnService over the same target before the
-// counters print. --metrics-out=FILE dumps the full metrics registry as
+// counters print. The run's socket/work directory is removed on every
+// exit path, including SIGINT/SIGTERM. --metrics-out=FILE dumps the full metrics registry as
 // JSON (see docs/serving.md, "Metrics"); render such a dump later with:
 //
 //   sweetknn_cli stats --metrics=FILE
@@ -41,14 +42,18 @@
 // Index persistence (docs/persistence.md):
 //
 //   sweetknn_cli index-build --target=points.csv --out-dir=DIR
-//                [--shards=N] [--dataset=NAME]
+//                [--shards=N] [--dataset=NAME] [--ann [--ann-degree=N]]
 //   sweetknn_cli index-inspect --snapshot=FILE
 //   sweetknn_cli index-verify --snapshot=FILE | --snapshot-dir=DIR
 //
 // index-build prepares the sharded index (Step-1 landmark clustering)
-// and persists one snapshot per shard; index-inspect prints a
-// snapshot's sections and provenance; index-verify re-reads and fully
-// validates snapshots (checksums + structural consistency), exiting
+// and persists one snapshot per shard; with --ann it also builds the
+// approximate tier's kNN graph per shard (docs/approx.md), persisted as
+// the snapshot's v3 ANN section. index-inspect prints a snapshot's
+// sections and provenance, including the ANN graph block (build params,
+// entry points, degree histogram) when present; index-verify re-reads
+// and fully validates snapshots (checksums + structural consistency +
+// recomputed distances, including ANN graph edge ordering), exiting
 // non-zero on the first bad file.
 //
 // Finally, `shard-worker --socket=PATH` is the cluster worker entry
@@ -57,7 +62,9 @@
 // tests) spawn it themselves; it is not meant for interactive use.
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -208,6 +215,20 @@ std::string WorkerBinaryPath(const char* argv0) {
   return argv0;
 }
 
+// The --cluster run's scratch directory (worker sockets, catch-up
+// snapshots). Written once before the signal handlers install, cleared
+// when the run owns no directory; the handler removes it so a Ctrl-C'd
+// bench does not leak /tmp/sweetknn-bench-* trees full of socket nodes.
+char g_cluster_work_dir[512] = {0};
+
+extern "C" void ClusterSignalExit(int /*sig*/) {
+  if (g_cluster_work_dir[0] != '\0') {
+    std::error_code ec;
+    std::filesystem::remove_all(g_cluster_work_dir, ec);
+  }
+  std::_Exit(130);
+}
+
 int ClusterServeBench(const sweetknn::HostMatrix& points,
                       const ServeBenchArgs& args, const char* argv0) {
   using namespace sweetknn;
@@ -218,7 +239,41 @@ int ClusterServeBench(const sweetknn::HostMatrix& points,
     return 2;
   }
 
+  // Own the cluster's work dir instead of letting the router mkdtemp its
+  // own: a signal (or any early return) must remove the sockets, and the
+  // router's cleanup only runs on an orderly Shutdown.
+  std::string work_dir;
+  {
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        "sweetknn-bench-XXXXXX").string();
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (mkdtemp(buf.data()) == nullptr) {
+      std::fprintf(stderr, "error: cannot create work dir under %s\n",
+                   tmpl.c_str());
+      return 1;
+    }
+    work_dir = buf.data();
+  }
+  std::snprintf(g_cluster_work_dir, sizeof(g_cluster_work_dir), "%s",
+                work_dir.c_str());
+  std::signal(SIGINT, ClusterSignalExit);
+  std::signal(SIGTERM, ClusterSignalExit);
+  // Declared before the router, so the router's destructor (worker
+  // teardown, socket close) runs first on every exit path.
+  struct WorkDirGuard {
+    std::string dir;
+    ~WorkDirGuard() {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+      g_cluster_work_dir[0] = '\0';
+      std::signal(SIGINT, SIG_DFL);
+      std::signal(SIGTERM, SIG_DFL);
+    }
+  } guard{work_dir};
+
   serve::RouterConfig config;
+  config.work_dir = work_dir;
   config.service.num_shards = args.shards;
   config.service.max_batch_size = args.max_batch;
   config.service.max_batch_wait = std::chrono::microseconds(args.wait_us);
@@ -486,6 +541,8 @@ int IndexBuild(int argc, char** argv) {
   std::string out_dir;
   std::string dataset_name;
   int shards = 2;
+  bool ann = false;
+  int ann_degree = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&](const char* prefix) -> const char* {
@@ -500,15 +557,21 @@ int IndexBuild(int argc, char** argv) {
       dataset_name = v;
     } else if (const char* v = value("--shards=")) {
       shards = std::atoi(v);
+    } else if (arg == "--ann") {
+      ann = true;
+    } else if (const char* v = value("--ann-degree=")) {
+      ann = true;  // an explicit degree implies the tier
+      ann_degree = std::atoi(v);
     } else {
       target_path.clear();
       break;
     }
   }
-  if (target_path.empty() || out_dir.empty() || shards <= 0) {
+  if (target_path.empty() || out_dir.empty() || shards <= 0 ||
+      ann_degree < 0) {
     std::fprintf(stderr,
                  "usage: %s index-build --target=FILE --out-dir=DIR"
-                 " [--shards=N] [--dataset=NAME]\n",
+                 " [--shards=N] [--dataset=NAME] [--ann [--ann-degree=N]]\n",
                  argv[0]);
     return 2;
   }
@@ -524,6 +587,10 @@ int IndexBuild(int argc, char** argv) {
   serve::ServiceConfig config;
   config.num_shards = shards;
   config.dataset_name = target.value().name;
+  config.enable_ann = ann;
+  if (ann_degree > 0) {
+    config.ann_params.degree = static_cast<uint32_t>(ann_degree);
+  }
   const Stopwatch build;
   serve::KnnService service(points, config);
   const double build_s = build.ElapsedSeconds();
@@ -558,6 +625,7 @@ const char* SectionName(uint32_t id) {
     case sweetknn::store::kSectionTarget: return "target";
     case sweetknn::store::kSectionClustering: return "clustering";
     case sweetknn::store::kSectionMutation: return "mutation";
+    case sweetknn::store::kSectionAnnGraph: return "ann-graph";
     default: return "?";
   }
 }
@@ -616,6 +684,26 @@ int IndexInspect(int argc, char** argv) {
                 index.delta_ids.size(), index.tombstones.size(),
                 index.next_id);
   }
+  if (index.HasAnnGraph()) {
+    const ann::KnnGraph& g = index.ann_graph;
+    std::printf("ann graph: %u nodes x degree %u, built in %u rounds "
+                "(seed %llu)\n",
+                g.num_nodes, g.degree, g.build_iters,
+                static_cast<unsigned long long>(g.build_seed));
+    std::printf("  entry points (%zu):", g.entry_points.size());
+    const size_t show = std::min<size_t>(g.entry_points.size(), 8);
+    for (size_t i = 0; i < show; ++i) {
+      std::printf(" %u", g.entry_points[i]);
+    }
+    if (show < g.entry_points.size()) std::printf(" ...");
+    std::printf("\n");
+    const std::vector<size_t> hist = g.DegreeHistogram();
+    std::printf("  degree histogram:");
+    for (size_t d = 0; d < hist.size(); ++d) {
+      if (hist[d] != 0) std::printf(" %zu:%zu", d, hist[d]);
+    }
+    std::printf("\n");
+  }
   return 0;
 }
 
@@ -662,12 +750,13 @@ int IndexVerify(int argc, char** argv) {
       std::printf("FAIL %s: %s\n", p.c_str(), deep.ToString().c_str());
       return 1;
     }
-    std::printf("OK %s (shard %u of %u, %zu x %zu, %d clusters, "
+    std::printf("OK %s (shard %u of %u, %zu x %zu, %d clusters%s, "
                 "distances verified)\n",
                 p.c_str(), snap.value().shard_index,
                 snap.value().shard_count, snap.value().target.rows(),
                 snap.value().target.cols(),
-                snap.value().clustering.num_clusters);
+                snap.value().clustering.num_clusters,
+                snap.value().HasAnnGraph() ? ", ann graph" : "");
   }
   return 0;
 }
