@@ -1,6 +1,8 @@
 #include "ann/knn_graph.h"
 
 #include <algorithm>
+#include <functional>
+#include <mutex>
 #include <utility>
 
 #include "common/logging.h"
@@ -17,7 +19,27 @@ namespace {
 /// (n, grain), so per-chunk update counts sum deterministically.
 constexpr size_t kNodeGrain = 64;
 
+std::mutex& ObserverMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::function<void(int)>& ObserverSlot() {
+  static std::function<void(int)> observer;
+  return observer;
+}
+
+void NotifyObserver(int workers) {
+  std::lock_guard<std::mutex> lock(ObserverMutex());
+  if (ObserverSlot()) ObserverSlot()(workers);
+}
+
 }  // namespace
+
+void SetGraphBuildObserverForTest(std::function<void(int)> observer) {
+  std::lock_guard<std::mutex> lock(ObserverMutex());
+  ObserverSlot() = std::move(observer);
+}
 
 std::vector<size_t> KnnGraph::DegreeHistogram() const {
   if (empty()) return {};
@@ -68,6 +90,7 @@ KnnGraph BuildKnnGraph(const float* points, size_t rows, size_t dims,
       1, std::min<uint64_t>(params.degree, std::max<size_t>(rows - 1, 1)));
   const int workers =
       params.workers > 0 ? params.workers : common::SimThreadsFromEnv();
+  NotifyObserver(workers);
   const size_t num_chunks = (rows + kNodeGrain - 1) / kNodeGrain;
 
   // Random initial neighborhoods, one independent stream per node so the

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/knn_result.h"
@@ -113,6 +114,12 @@ inline float PointDistance(const float* a, const float* b, size_t dims,
 KnnGraph BuildKnnGraph(const float* points, size_t rows, size_t dims,
                        simd::Dist dist, const GraphBuildParams& params,
                        std::vector<uint32_t> entry_points);
+
+/// Test-only: observer invoked by every BuildKnnGraph call with the
+/// worker count it resolved (params.workers, or the environment fallback
+/// when unset). Thread-safe — builds may run concurrently on the host
+/// pool. Pass nullptr to clear.
+void SetGraphBuildObserverForTest(std::function<void(int)> observer);
 
 }  // namespace sweetknn::ann
 

@@ -10,13 +10,32 @@
 
 namespace sweetknn::common {
 
+/// Outcome of a timed pop. The timed waits used to return a plain bool,
+/// which conflated "nothing arrived before the deadline" (the queue is
+/// merely idle — keep polling) with "the queue is closed and drained"
+/// (the stream has ended — stop). Deadline-aware consumers such as the
+/// service dispatcher and the router's RPC reply collector need to tell
+/// those apart, so every timed pop reports a tri-state:
+///   kItem    — *out was filled with the front item.
+///   kTimeout — the deadline passed with the queue open but empty; more
+///              items may still arrive.
+///   kClosed  — the queue is closed AND empty; no item can ever arrive.
+/// Note kClosed is only reported once the backlog is drained: a closed
+/// queue keeps yielding kItem until it is empty, preserving the
+/// admit-before-shutdown drain guarantee.
+enum class PopResult {
+  kItem,
+  kTimeout,
+  kClosed,
+};
+
 /// Multi-producer multi-consumer FIFO used as the admission queue of the
 /// serving layer: producers (client threads) push requests, a consumer
 /// (the batch dispatcher) drains them with the blocking / timed pops a
 /// micro-batcher needs. Close() ends the stream: pushes are rejected,
-/// pops keep succeeding until the queue is empty and then return false,
-/// so a consumer loop `while (WaitPop(&x)) ...` drains everything that
-/// was admitted before shutdown.
+/// pops keep succeeding until the queue is empty and then report
+/// closed, so a consumer loop `while (WaitPop(&x)) ...` drains
+/// everything that was admitted before shutdown.
 template <typename T>
 class BlockingQueue {
  public:
@@ -38,36 +57,40 @@ class BlockingQueue {
   }
 
   /// Blocks until an item is available or the queue is closed and empty.
+  /// Untimed, so there is no timeout case to distinguish: true = item,
+  /// false = closed-and-drained.
   bool WaitPop(T* out) {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
     return PopLocked(out);
   }
 
-  /// Like WaitPop with a timeout; false on timeout or closed-and-empty.
+  /// Like WaitPop with a timeout; see PopResult for the tri-state.
   template <typename Rep, typename Period>
-  bool WaitPopFor(T* out, std::chrono::duration<Rep, Period> timeout) {
+  PopResult WaitPopFor(T* out, std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait_for(lock, timeout,
                  [this] { return closed_ || !items_.empty(); });
-    return PopLocked(out);
+    return TimedPopLocked(out);
   }
 
-  /// Like WaitPopFor with an absolute deadline; false once `deadline`
-  /// passes with nothing available (or on closed-and-empty). The router
-  /// collects per-worker RPC replies with this: every reply of one
-  /// fan-out shares one deadline, so a dead worker can delay the batch
-  /// by at most the RPC timeout instead of wedging it forever.
+  /// Like WaitPopFor with an absolute deadline; kTimeout once `deadline`
+  /// passes with nothing available, kClosed on closed-and-empty. The
+  /// router collects per-worker RPC replies with this: every reply of
+  /// one fan-out shares one deadline, so a dead worker can delay the
+  /// batch by at most the RPC timeout instead of wedging it forever. A
+  /// deadline already in the past still drains available items (replies
+  /// that raced the deadline are not lost).
   template <typename Clock, typename Duration>
-  bool WaitPopUntil(T* out,
-                    std::chrono::time_point<Clock, Duration> deadline) {
+  PopResult WaitPopUntil(T* out,
+                         std::chrono::time_point<Clock, Duration> deadline) {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait_until(lock, deadline,
                    [this] { return closed_ || !items_.empty(); });
-    return PopLocked(out);
+    return TimedPopLocked(out);
   }
 
-  /// Non-blocking pop.
+  /// Non-blocking pop. True iff an item was available.
   bool TryPop(T* out) {
     std::lock_guard<std::mutex> lock(mutex_);
     return PopLocked(out);
@@ -105,6 +128,11 @@ class BlockingQueue {
     *out = std::move(items_.front());
     items_.pop_front();
     return true;
+  }
+
+  PopResult TimedPopLocked(T* out) {
+    if (PopLocked(out)) return PopResult::kItem;
+    return closed_ ? PopResult::kClosed : PopResult::kTimeout;
   }
 
   mutable std::mutex mutex_;

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -110,53 +111,102 @@ std::vector<double> LatencyBucketsSeconds() {
   return bounds;
 }
 
-Counter* MetricsRegistry::GetCounter(const std::string& name,
-                                     const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(name);
+std::string MetricLabel(const std::string& key, const std::string& value) {
+  std::string out = key;
+  out += "=\"";
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+std::string TenantLabel(const std::string& tenant) {
+  return MetricLabel("tenant", tenant);
+}
+
+namespace {
+
+/// Registry key of a (family, rendered-labels) pair.
+std::string SeriesKey(const std::string& name, const std::string& labels) {
+  return labels.empty() ? name : name + "{" + labels + "}";
+}
+
+}  // namespace
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreateLocked(
+    const std::string& name, const std::string& labels, Type type,
+    const std::string& help) {
+  const auto family = family_types_.emplace(name, type).first;
+  SK_CHECK(family->second == type)
+      << "metric family '" << name << "' already registered with another type";
+  const std::string key = SeriesKey(name, labels);
+  auto it = entries_.find(key);
   if (it == entries_.end()) {
     Entry entry;
-    entry.type = Type::kCounter;
+    entry.type = type;
+    entry.name = name;
+    entry.labels = labels;
     entry.help = help;
-    entry.counter = std::make_unique<Counter>();
-    it = entries_.emplace(name, std::move(entry)).first;
+    switch (type) {
+      case Type::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Type::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Type::kHistogram:
+        break;  // the caller installs the histogram (it needs bounds)
+    }
+    it = entries_.emplace(key, std::move(entry)).first;
   }
-  SK_CHECK(it->second.type == Type::kCounter)
-      << "metric '" << name << "' already registered with another type";
-  return it->second.counter.get();
+  SK_CHECK(it->second.type == type)
+      << "metric '" << key << "' already registered with another type";
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  return GetCounter(name, std::string(), help);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& labels,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FindOrCreateLocked(name, labels, Type::kCounter, help)
+      ->counter.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help) {
+  return GetGauge(name, std::string(), help);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& labels,
+                                 const std::string& help) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    Entry entry;
-    entry.type = Type::kGauge;
-    entry.help = help;
-    entry.gauge = std::make_unique<Gauge>();
-    it = entries_.emplace(name, std::move(entry)).first;
-  }
-  SK_CHECK(it->second.type == Type::kGauge)
-      << "metric '" << name << "' already registered with another type";
-  return it->second.gauge.get();
+  return FindOrCreateLocked(name, labels, Type::kGauge, help)->gauge.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& help,
                                          std::vector<double> bounds) {
+  return GetHistogram(name, std::string(), help, std::move(bounds));
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& labels,
+                                         const std::string& help,
+                                         std::vector<double> bounds) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(name);
-  if (it == entries_.end()) {
-    Entry entry;
-    entry.type = Type::kHistogram;
-    entry.help = help;
-    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
-    it = entries_.emplace(name, std::move(entry)).first;
+  Entry* entry = FindOrCreateLocked(name, labels, Type::kHistogram, help);
+  if (entry->histogram == nullptr) {
+    entry->histogram = std::make_unique<Histogram>(std::move(bounds));
   }
-  SK_CHECK(it->second.type == Type::kHistogram)
-      << "metric '" << name << "' already registered with another type";
-  return it->second.histogram.get();
+  return entry->histogram.get();
 }
 
 HistogramSnapshot MetricsRegistry::SnapshotHistogram(
@@ -191,8 +241,11 @@ std::string MetricsRegistry::ExportJson() const {
   std::ostringstream out;
   out << "{\n  \"metrics\": [\n";
   size_t emitted = 0;
-  for (const auto& [name, entry] : entries_) {
-    out << "    {\"name\": \"" << JsonEscape(name) << "\", ";
+  for (const auto& [key, entry] : entries_) {
+    out << "    {\"name\": \"" << JsonEscape(entry.name) << "\", ";
+    if (!entry.labels.empty()) {
+      out << "\"labels\": \"" << JsonEscape(entry.labels) << "\", ";
+    }
     switch (entry.type) {
       case Type::kCounter:
         out << "\"type\": \"counter\", \"help\": \"" << JsonEscape(entry.help)
@@ -235,32 +288,49 @@ std::string MetricsRegistry::ExportJson() const {
 std::string MetricsRegistry::ExportPrometheusText() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
-  for (const auto& [name, entry] : entries_) {
-    if (!entry.help.empty()) {
-      out << "# HELP " << name << " " << entry.help << "\n";
+  // HELP/TYPE describe the family, emitted once at its first series
+  // (label sets of one family share them, Prometheus-style).
+  std::set<std::string> described;
+  for (const auto& [key, entry] : entries_) {
+    const std::string& name = entry.name;
+    if (described.insert(name).second) {
+      if (!entry.help.empty()) {
+        out << "# HELP " << name << " " << entry.help << "\n";
+      }
+      const char* type = entry.type == Type::kCounter   ? "counter"
+                         : entry.type == Type::kGauge   ? "gauge"
+                                                        : "histogram";
+      out << "# TYPE " << name << " " << type << "\n";
     }
+    // `{labels}` on every sample of a labeled series; histograms fold
+    // the series labels in front of `le` inside one brace block.
+    const std::string suffix =
+        entry.labels.empty() ? "" : "{" + entry.labels + "}";
+    const std::string le_prefix =
+        entry.labels.empty() ? "{le=\"" : "{" + entry.labels + ",le=\"";
     switch (entry.type) {
       case Type::kCounter:
-        out << "# TYPE " << name << " counter\n"
-            << name << " " << FormatMetricValue(entry.counter->value())
-            << "\n";
+        out << name << suffix << " "
+            << FormatMetricValue(entry.counter->value()) << "\n";
         break;
       case Type::kGauge:
-        out << "# TYPE " << name << " gauge\n"
-            << name << " " << FormatMetricValue(entry.gauge->value()) << "\n";
+        out << name << suffix << " "
+            << FormatMetricValue(entry.gauge->value()) << "\n";
         break;
       case Type::kHistogram: {
         const HistogramSnapshot snap = entry.histogram->Snapshot();
-        out << "# TYPE " << name << " histogram\n";
         uint64_t cumulative = 0;
         for (size_t i = 0; i < snap.bounds.size(); ++i) {
           cumulative += snap.counts[i];
-          out << name << "_bucket{le=\"" << FormatMetricValue(snap.bounds[i])
-              << "\"} " << cumulative << "\n";
+          out << name << "_bucket" << le_prefix
+              << FormatMetricValue(snap.bounds[i]) << "\"} " << cumulative
+              << "\n";
         }
-        out << name << "_bucket{le=\"+Inf\"} " << snap.count << "\n"
-            << name << "_sum " << FormatMetricValue(snap.sum) << "\n"
-            << name << "_count " << snap.count << "\n";
+        out << name << "_bucket" << le_prefix << "+Inf\"} " << snap.count
+            << "\n"
+            << name << "_sum" << suffix << " "
+            << FormatMetricValue(snap.sum) << "\n"
+            << name << "_count" << suffix << " " << snap.count << "\n";
         break;
       }
     }
@@ -428,14 +498,18 @@ Status ParseMetricsJson(const std::string& text, MetricsRegistry* out) {
     if (name == nullptr || type == nullptr || help == nullptr) {
       return MalformedMetric("metric without name/type/help");
     }
+    const JsonValue* labels_field = m.Find("labels");
+    const std::string labels =
+        labels_field != nullptr ? labels_field->string : std::string();
     if (type->string == "counter" || type->string == "gauge") {
       const JsonValue* value = m.Find("value");
       if (value == nullptr) return MalformedMetric(name->string);
       if (type->string == "counter") {
-        out->GetCounter(name->string, help->string)
+        out->GetCounter(name->string, labels, help->string)
             ->Increment(value->number);
       } else {
-        out->GetGauge(name->string, help->string)->Set(value->number);
+        out->GetGauge(name->string, labels, help->string)
+            ->Set(value->number);
       }
       continue;
     }
@@ -458,7 +532,7 @@ Status ParseMetricsJson(const std::string& text, MetricsRegistry* out) {
     for (const JsonValue& c : counts->array) {
       bucket_counts.push_back(static_cast<uint64_t>(c.number));
     }
-    out->GetHistogram(name->string, help->string, bounds)
+    out->GetHistogram(name->string, labels, help->string, bounds)
         ->ImportState(bucket_counts, sum->number,
                       static_cast<uint64_t>(count->number), max->number);
   }
@@ -469,7 +543,11 @@ Status ParseMetricsPrometheusText(const std::string& text,
                                   MetricsRegistry* out) {
   // Accumulated histogram state, materialized when its _count arrives
   // (the exporter always emits buckets, _sum, _count in that order).
+  // Keyed by series — `name` or `name{labels}` with the `le` label
+  // stripped — so labeled histograms of one family stay separate.
   struct PendingHistogram {
+    std::string name;
+    std::string labels;
     std::string help;
     std::vector<double> bounds;
     std::vector<uint64_t> cumulative;
@@ -479,6 +557,19 @@ Status ParseMetricsPrometheusText(const std::string& text,
   std::map<std::string, PendingHistogram> pending;
   std::map<std::string, std::string> helps;
   std::map<std::string, std::string> types;
+
+  const auto series_key = [](const std::string& name,
+                             const std::string& labels) {
+    return labels.empty() ? name : name + "{" + labels + "}";
+  };
+  const auto strip_suffix = [](const std::string& s,
+                               const char* suffix) -> std::string {
+    const size_t len = std::strlen(suffix);
+    if (s.size() > len && s.compare(s.size() - len, len, suffix) == 0) {
+      return s.substr(0, s.size() - len);
+    }
+    return std::string();
+  };
 
   std::istringstream lines(text);
   std::string line;
@@ -504,20 +595,34 @@ Status ParseMetricsPrometheusText(const std::string& text,
     std::string key = line.substr(0, space);
     const double value = std::strtod(line.c_str() + space + 1, nullptr);
 
-    // Histogram sample lines: <name>_bucket{le="<edge>"}, _sum, _count.
+    // Split `family{labels}` (either part of the label block may be a
+    // series label set, an le edge, or both).
+    std::string family = key;
+    std::string labels;
     const size_t brace = key.find('{');
     if (brace != std::string::npos) {
-      if (brace < 7 || key.compare(brace - 7, 7, "_bucket") != 0) {
+      if (key.back() != '}') return MalformedMetric(line);
+      family = key.substr(0, brace);
+      labels = key.substr(brace + 1, key.size() - brace - 2);
+    }
+
+    // Histogram sample lines: <name>_bucket{[labels,]le="<edge>"},
+    // <name>_sum[{labels}], <name>_count[{labels}].
+    const std::string bucket_name = strip_suffix(family, "_bucket");
+    if (!bucket_name.empty() && brace != std::string::npos) {
+      // `le` is always the last label the exporter writes.
+      const size_t le_pos = labels.rfind("le=\"");
+      if (le_pos == std::string::npos || labels.back() != '"') {
         return MalformedMetric(line);
       }
-      const std::string name = key.substr(0, brace - 7);
-      const size_t open = key.find('"', brace);
-      const size_t close = key.rfind('"');
-      if (open == std::string::npos || close <= open) {
-        return MalformedMetric(line);
-      }
-      const std::string edge = key.substr(open + 1, close - open - 1);
-      PendingHistogram& h = pending[name];
+      const std::string edge =
+          labels.substr(le_pos + 4, labels.size() - le_pos - 5);
+      const std::string series_labels =
+          le_pos == 0 ? std::string() : labels.substr(0, le_pos - 1);
+      PendingHistogram& h =
+          pending[series_key(bucket_name, series_labels)];
+      h.name = bucket_name;
+      h.labels = series_labels;
       if (edge == "+Inf") {
         h.inf_count = static_cast<uint64_t>(value);
       } else {
@@ -526,23 +631,17 @@ Status ParseMetricsPrometheusText(const std::string& text,
       }
       continue;
     }
-    auto strip_suffix = [&key](const char* suffix) -> std::string {
-      const size_t len = std::strlen(suffix);
-      if (key.size() > len &&
-          key.compare(key.size() - len, len, suffix) == 0) {
-        return key.substr(0, key.size() - len);
-      }
-      return std::string();
-    };
-    const std::string sum_name = strip_suffix("_sum");
-    if (!sum_name.empty() && pending.count(sum_name) > 0) {
-      pending[sum_name].sum = value;
+    const std::string sum_name = strip_suffix(family, "_sum");
+    if (!sum_name.empty() &&
+        pending.count(series_key(sum_name, labels)) > 0) {
+      pending[series_key(sum_name, labels)].sum = value;
       continue;
     }
-    const std::string count_name = strip_suffix("_count");
-    if (!count_name.empty() && pending.count(count_name) > 0) {
+    const std::string count_name = strip_suffix(family, "_count");
+    if (!count_name.empty() &&
+        pending.count(series_key(count_name, labels)) > 0) {
       // The final histogram line: materialize it.
-      PendingHistogram& h = pending[count_name];
+      PendingHistogram& h = pending[series_key(count_name, labels)];
       const uint64_t total = static_cast<uint64_t>(value);
       if (total != h.inf_count) return MalformedMetric(line);
       std::vector<uint64_t> counts;
@@ -562,16 +661,17 @@ Status ParseMetricsPrometheusText(const std::string& text,
       if (counts.back() > 0 && total > 0) {
         max = std::max(max, h.sum / static_cast<double>(total));
       }
-      out->GetHistogram(count_name, helps[count_name], h.bounds)
+      out->GetHistogram(h.name, h.labels, helps[h.name], h.bounds)
           ->ImportState(counts, h.sum, total, max);
-      pending.erase(count_name);
+      pending.erase(series_key(count_name, labels));
       continue;
     }
-    const std::string& type = types[key];
+    // Plain (or labeled) counter/gauge sample.
+    const std::string& type = types[family];
     if (type == "counter") {
-      out->GetCounter(key, helps[key])->Increment(value);
+      out->GetCounter(family, labels, helps[family])->Increment(value);
     } else if (type == "gauge") {
-      out->GetGauge(key, helps[key])->Set(value);
+      out->GetGauge(family, labels, helps[family])->Set(value);
     } else {
       return MalformedMetric("untyped sample '" + key + "'");
     }

@@ -101,9 +101,24 @@ class Histogram {
 /// roughly logarithmic (1-2-5 per decade).
 std::vector<double> LatencyBucketsSeconds();
 
+/// One rendered Prometheus label pair, `key="value"`, with `"` and `\`
+/// in the value escaped. Compose several with "," between them; pass
+/// the result as the `labels` argument of the registry Get* overloads.
+std::string MetricLabel(const std::string& key, const std::string& value);
+
+/// The serving layer's per-tenant label: `tenant="<name>"`.
+std::string TenantLabel(const std::string& tenant);
+
 /// Owns named metrics. Get* registers on first use and returns the same
 /// pointer afterwards (pointers stay valid for the registry's lifetime);
 /// re-registering a name as a different type aborts.
+///
+/// Labeled variants: the three-argument Get* overloads take a rendered
+/// label set (see MetricLabel), giving one independent time series per
+/// (name, labels) pair under a shared family name — the registry key is
+/// `name{labels}`. A family must keep one type across all label sets.
+/// Both exporters emit labeled series in native Prometheus style and
+/// both parsers round-trip them.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -115,7 +130,18 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name, const std::string& help,
                           std::vector<double> bounds);
 
-  /// Snapshot of one histogram by name; null count == 0 when absent.
+  /// Labeled series of the family `name`; `labels` is a rendered label
+  /// set such as TenantLabel("alpha") (empty behaves like unlabeled).
+  Counter* GetCounter(const std::string& name, const std::string& labels,
+                      const std::string& help);
+  Gauge* GetGauge(const std::string& name, const std::string& labels,
+                  const std::string& help);
+  Histogram* GetHistogram(const std::string& name, const std::string& labels,
+                          const std::string& help,
+                          std::vector<double> bounds);
+
+  /// Snapshot of one histogram by key — the plain name, or
+  /// `name{labels}` for a labeled series; count == 0 when absent.
   HistogramSnapshot SnapshotHistogram(const std::string& name) const;
 
   /// JSON document: {"metrics": [...]} with one object per metric in
@@ -138,14 +164,23 @@ class MetricsRegistry {
   enum class Type { kCounter, kGauge, kHistogram };
   struct Entry {
     Type type;
+    std::string name;    ///< Family name (key minus the label set).
+    std::string labels;  ///< Rendered label set; empty for unlabeled.
     std::string help;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
 
+  /// Finds or creates the entry keyed `name{labels}`; checks the type
+  /// of the entry and of the whole family. Caller holds mutex_.
+  Entry* FindOrCreateLocked(const std::string& name,
+                            const std::string& labels, Type type,
+                            const std::string& help);
+
   mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;  // name order == export order
+  std::map<std::string, Entry> entries_;  // key order == export order
+  std::map<std::string, Type> family_types_;
 };
 
 /// Rebuilds a registry from a document produced by ExportJson /

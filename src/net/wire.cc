@@ -344,6 +344,7 @@ std::string EncodePrepareCold(const PrepareColdRequest& req) {
   PutDevice(&w, req.device);
   PutPlanner(&w, req.planner);
   PutAnnConfig(&w, req.enable_ann, req.ann_params);
+  w.PutString(req.tenant);
   return w.Take();
 }
 
@@ -356,6 +357,7 @@ Status DecodePrepareCold(const std::string& payload, PrepareColdRequest* req) {
   SK_RETURN_IF_ERROR(GetDevice(&r, &req->device));
   SK_RETURN_IF_ERROR(GetPlanner(&r, &req->planner));
   SK_RETURN_IF_ERROR(GetAnnConfig(&r, &req->enable_ann, &req->ann_params));
+  SK_RETURN_IF_ERROR(r.GetString(&req->tenant));
   return r.ExpectExhausted();
 }
 
@@ -367,6 +369,7 @@ std::string EncodePrepareSnapshot(const PrepareSnapshotRequest& req) {
   PutDevice(&w, req.device);
   PutPlanner(&w, req.planner);
   PutAnnConfig(&w, req.enable_ann, req.ann_params);
+  w.PutString(req.tenant);
   return w.Take();
 }
 
@@ -379,6 +382,7 @@ Status DecodePrepareSnapshot(const std::string& payload,
   SK_RETURN_IF_ERROR(GetDevice(&r, &req->device));
   SK_RETURN_IF_ERROR(GetPlanner(&r, &req->planner));
   SK_RETURN_IF_ERROR(GetAnnConfig(&r, &req->enable_ann, &req->ann_params));
+  SK_RETURN_IF_ERROR(r.GetString(&req->tenant));
   return r.ExpectExhausted();
 }
 
@@ -388,6 +392,7 @@ std::string EncodeQuery(const QueryRequest& req) {
   w.PutMatrix(req.queries);
   w.PutU32s(req.shard_indices.data(), req.shard_indices.size());
   PutSearchMode(&w, req.mode);
+  w.PutString(req.tenant);
   return w.Take();
 }
 
@@ -397,6 +402,7 @@ Status DecodeQuery(const std::string& payload, QueryRequest* req) {
   SK_RETURN_IF_ERROR(r.GetMatrix(&req->queries));
   SK_RETURN_IF_ERROR(r.GetU32s(&req->shard_indices));
   SK_RETURN_IF_ERROR(GetSearchMode(&r, &req->mode));
+  SK_RETURN_IF_ERROR(r.GetString(&req->tenant));
   return r.ExpectExhausted();
 }
 
@@ -537,6 +543,34 @@ Status DecodeHealthReply(const std::string& payload, HealthReply* reply) {
     SK_RETURN_IF_ERROR(r.GetU64(&s.tombstones));
     SK_RETURN_IF_ERROR(r.GetU64(&s.live_rows));
     reply->shards.push_back(s);
+  }
+  return r.ExpectExhausted();
+}
+
+std::string EncodeListIndexesReply(const ListIndexesReply& reply) {
+  PayloadWriter w;
+  w.PutU64(reply.names.size());
+  for (const std::string& name : reply.names) w.PutString(name);
+  return w.Take();
+}
+
+Status DecodeListIndexesReply(const std::string& payload,
+                              ListIndexesReply* reply) {
+  PayloadReader r(payload, "ListIndexesReply");
+  uint64_t count = 0;
+  SK_RETURN_IF_ERROR(r.GetU64(&count));
+  // Each name costs at least its 8-byte length prefix; cap before
+  // reserving so a corrupted count can't drive a huge allocation.
+  if (count > payload.size() / 8 + 1) {
+    return Status::IoError("ListIndexesReply: name count " +
+                           std::to_string(count) + " exceeds the payload");
+  }
+  reply->names.clear();
+  reply->names.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    SK_RETURN_IF_ERROR(r.GetString(&name));
+    reply->names.push_back(std::move(name));
   }
   return r.ExpectExhausted();
 }

@@ -41,6 +41,9 @@ enum class MsgType : uint32_t {
   kHealthReply = 51,
 
   kShutdown = 60,  ///< Worker acks, then exits its serve loop.
+
+  kListIndexes = 70,  ///< Names of the indexes this worker hosts.
+  kListIndexesReply = 71,
 };
 
 // --- Prepare ----------------------------------------------------------------
@@ -60,6 +63,10 @@ struct PrepareColdRequest {
   /// kNN graph right after the cold build, with these NN-descent knobs.
   bool enable_ann = false;
   ann::GraphBuildParams ann_params;
+  /// Named index this shard belongs to (docs/serving.md). The distributed
+  /// tier serves one tenant per cluster today; workers record the name at
+  /// prepare time and reject queries that name a different one.
+  std::string tenant = "default";
 };
 
 /// Warm-starts (or replica-catches-up) one shard from a snapshot file the
@@ -75,6 +82,8 @@ struct PrepareSnapshotRequest {
   /// rebuild otherwise.
   bool enable_ann = false;
   ann::GraphBuildParams ann_params;
+  /// Named index this shard belongs to (see PrepareColdRequest::tenant).
+  std::string tenant = "default";
 };
 
 // --- Query ------------------------------------------------------------------
@@ -89,6 +98,10 @@ struct QueryRequest {
   /// Per-group search mode (normalized by the router); every named shard
   /// answers under the same mode, exactly like the in-process groups.
   ann::SearchMode mode;
+  /// Named index the group targets. Workers answer only for the tenant
+  /// they were prepared with — a mismatch is an InvalidArgument error
+  /// frame, never a silent cross-tenant answer.
+  std::string tenant = "default";
 };
 
 /// Per-shard answers, parallel to `shard_indices`.
@@ -131,6 +144,13 @@ struct SaveShardRequest {
   /// The router's global id allocator position, recorded in mutated
   /// snapshots (must exceed every id in the file).
   uint32_t next_id = 0;
+};
+
+/// Names of the indexes a worker hosts (kListIndexes has an empty
+/// payload). One name per distinct tenant across the hosted shards —
+/// today at most one, but the wire shape already carries many.
+struct ListIndexesReply {
+  std::vector<std::string> names;
 };
 
 struct HealthReply {
@@ -180,6 +200,10 @@ Status DecodeSaveShard(const std::string& payload, SaveShardRequest* req);
 
 std::string EncodeHealthReply(const HealthReply& reply);
 Status DecodeHealthReply(const std::string& payload, HealthReply* reply);
+
+std::string EncodeListIndexesReply(const ListIndexesReply& reply);
+Status DecodeListIndexesReply(const std::string& payload,
+                              ListIndexesReply* reply);
 
 /// An Error frame's payload: the failing Status, round-tripped so the
 /// router sees the worker's exact code + message.

@@ -33,109 +33,37 @@ uint32_t SnapshotBaseId(const store::IndexSnapshot& snap, size_t row) {
 
 }  // namespace
 
+auto KnnService::SchedOptions(const ServiceConfig& config)
+    -> FairScheduler<RequestPtr>::Options {
+  FairScheduler<RequestPtr>::Options opts;
+  opts.max_queue_depth = config.max_queue_depth;
+  opts.quantum = config.fair_quantum > 0
+                     ? config.fair_quantum
+                     : static_cast<size_t>(std::max(config.max_batch_size, 1));
+  return opts;
+}
+
 KnnService::KnnService(const HostMatrix& target, const ServiceConfig& config)
     : config_(config),
       dims_(target.cols()),
       planner_(config.planner),
-      target_rows_(target.rows()) {
+      queue_(SchedOptions(config)) {
   SK_CHECK(!target.empty()) << "KnnService needs a non-empty target set";
   SK_CHECK_GT(config_.max_batch_size, 0);
   InitMetrics();
-  const int num_shards = std::clamp(
-      config_.num_shards, 1, static_cast<int>(target_rows_));
-  // config_ carries the effective count from here on: it is the one
-  // shard-count readable without index_mutex_ (the count never changes
-  // after construction; SwapIndex replaces shards, never their number).
-  config_.num_shards = num_shards;
-
-  // Each shard simulates its own device, so the shard fan-out below is the
-  // host-parallel axis. The shard engines are pinned to one execution
-  // thread: ThreadPool::ForkJoin is non-reentrant from slot 0, so a shard
-  // running inside the fan-out must never open a nested region — and by
-  // the execution engine's guarantee this changes nothing but wall-clock.
-  core::TiOptions shard_options = config_.options;
-  shard_options.sim_threads = 1;
-
-  const size_t base = target_rows_ / static_cast<size_t>(num_shards);
-  const size_t rem = target_rows_ % static_cast<size_t>(num_shards);
-  std::vector<HostMatrix> slices;
-  size_t offset = 0;
-  for (int s = 0; s < num_shards; ++s) {
-    const size_t rows = base + (static_cast<size_t>(s) < rem ? 1 : 0);
-    HostMatrix slice(rows, dims_);
-    std::memcpy(slice.mutable_data(), target.row(offset),
-                rows * dims_ * sizeof(float));
-    slices.push_back(std::move(slice));
-    auto shard = std::make_unique<Shard>(config_.device, shard_options);
-    shard->ConfigureAnn(config_.enable_ann, config_.ann_params);
-    shard->offset = static_cast<uint32_t>(offset);
-    shard->set_base_rows(rows);
-    shard->delta.dims = dims_;
-    shard->epoch = ++epoch_counter_;
-    shard_offsets_.push_back(static_cast<uint32_t>(offset));
-    shards_.push_back(std::move(shard));
-    offset += rows;
-  }
-  // The constructor's rows carry stable ids 0..rows-1; Insert allocates
-  // upward from here.
-  next_id_ = static_cast<uint32_t>(target_rows_);
-
-  // Warm start: restore the prepared indexes from the snapshot directory
-  // if one is configured and its contents match this service exactly;
-  // anything less falls back to the cold build below (correctness never
-  // depends on the snapshots). Overlay (v2) sets are rejected here — the
-  // byte-compare below only makes sense for pristine indexes; mutated
-  // sets are adopted with FromSnapshots instead.
-  std::vector<store::IndexSnapshot> snapshots;
-  bool warm = false;
-  if (!config_.snapshot_dir.empty()) {
-    Result<std::vector<store::IndexSnapshot>> loaded =
-        LoadShardSet(config_.snapshot_dir, num_shards, config_, dims_,
-                     /*allow_overlay=*/false);
-    if (loaded.ok()) {
-      snapshots = std::move(loaded).value();
-      warm = true;
-      for (int s = 0; s < num_shards; ++s) {
-        const auto idx = static_cast<size_t>(s);
-        const store::IndexSnapshot& snap = snapshots[idx];
-        if (snap.shard_offset != shard_offsets_[idx] ||
-            snap.target.rows() != slices[idx].rows() ||
-            std::memcmp(snap.target.data(), slices[idx].data(),
-                        slices[idx].size() * sizeof(float)) != 0) {
-          SK_LOG(Warning) << "KnnService: snapshot shard " << s
-                          << " does not hold this target's bytes; "
-                          << "cold-building all shards";
-          warm = false;
-          break;
-        }
-      }
-    } else {
-      SK_LOG(Warning) << "KnnService: warm start from '"
-                      << config_.snapshot_dir << "' failed ("
-                      << loaded.status().ToString()
-                      << "); cold-building all shards";
-    }
-  }
-
-  // Build the per-shard indexes in parallel; each PrepareTarget /
-  // RestoreTarget touches only its own device.
-  common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
-    const auto idx = static_cast<size_t>(s);
-    if (warm) {
-      // Warm or cold, the base bytes are the slice bytes (warm starts
-      // byte-compare the snapshot against the slice above). Adopting the
-      // (pristine) overlay first parks any persisted ANN graph so
-      // RestoreBase can adopt it instead of re-running NN-descent.
-      shards_[idx]->AdoptOverlay(snapshots[idx]);
-      shards_[idx]->RestoreBase(snapshots[idx].target,
-                                snapshots[idx].clustering);
-    } else {
-      shards_[idx]->BuildCold(slices[idx]);
-    }
-  });
-  if (warm) stats_.warm_started_shards = static_cast<uint64_t>(num_shards);
-
-  UpdateOverlayGauges();
+  default_tenant_ =
+      BuildTenant(kDefaultTenant, /*weight=*/1.0, target,
+                  TenantSnapshotDir(kDefaultTenant));
+  // config_ carries the default tenant's effective shard count from here
+  // on: it is the one count readable without any index mutex (a tenant's
+  // count never changes after its build; SwapIndex replaces shards,
+  // never their number).
+  config_.num_shards = default_tenant_->num_shards;
+  const Status installed = manager_.Install(default_tenant_);
+  SK_CHECK(installed.ok()) << installed.ToString();
+  queue_.SetWeight(kDefaultTenant, 1.0);
+  RefreshGlobalOverlayGauges();
+  m_tenants_->Set(static_cast<double>(manager_.size()));
   StartThreads();
 }
 
@@ -143,19 +71,35 @@ KnnService::KnnService(AdoptTag, std::vector<store::IndexSnapshot> snapshots,
                        const ServiceConfig& config)
     : config_(config),
       dims_(snapshots[0].target.cols()),
-      planner_(config.planner) {
+      planner_(config.planner),
+      queue_(SchedOptions(config)) {
   SK_CHECK_GT(config_.max_batch_size, 0);
   config_.num_shards = static_cast<int>(snapshots.size());
   InitMetrics();
+  auto tenant = std::make_shared<TenantIndex>();
+  tenant->name = kDefaultTenant;
+  tenant->dims = dims_;
+  tenant->num_shards = static_cast<int>(snapshots.size());
+  tenant->snapshot_dir = TenantSnapshotDir(kDefaultTenant);
+  RegisterTenantMetrics(tenant.get());
   ShardSet set = BuildShardsFromSnapshots(std::move(snapshots));
   for (std::unique_ptr<Shard>& shard : set.shards) {
     shard->epoch = ++epoch_counter_;
   }
-  shards_ = std::move(set.shards);
-  shard_offsets_ = std::move(set.offsets);
-  target_rows_ = set.live_rows;
-  next_id_ = set.next_id;
-  UpdateOverlayGauges();
+  tenant->shards = std::move(set.shards);
+  tenant->shard_offsets = std::move(set.offsets);
+  tenant->target_rows = set.live_rows;
+  tenant->next_id = set.next_id;
+  {
+    std::lock_guard<std::mutex> lock(tenant->mutex);
+    UpdateOverlayGaugesLocked(tenant.get());
+  }
+  default_tenant_ = tenant;
+  const Status installed = manager_.Install(std::move(tenant));
+  SK_CHECK(installed.ok()) << installed.ToString();
+  queue_.SetWeight(kDefaultTenant, 1.0);
+  RefreshGlobalOverlayGauges();
+  m_tenants_->Set(static_cast<double>(manager_.size()));
   StartThreads();
 }
 
@@ -180,6 +124,209 @@ void KnnService::StartThreads() {
   }
 }
 
+std::string KnnService::TenantSnapshotDir(const std::string& name) const {
+  if (config_.snapshot_dir.empty()) return std::string();
+  if (name == kDefaultTenant) return config_.snapshot_dir;
+  return (std::filesystem::path(config_.snapshot_dir) / name).string();
+}
+
+Result<std::shared_ptr<TenantIndex>> KnnService::ResolveTenant(
+    const std::string& name) const {
+  std::shared_ptr<TenantIndex> tenant = manager_.Get(name);
+  if (!tenant) return Status::NotFound("no index named '" + name + "'");
+  return tenant;
+}
+
+std::shared_ptr<TenantIndex> KnnService::BuildTenant(
+    const std::string& name, double weight, const HostMatrix& target,
+    const std::string& snapshot_dir) {
+  auto tenant = std::make_shared<TenantIndex>();
+  tenant->name = name;
+  tenant->dims = target.cols();
+  tenant->weight = weight;
+  tenant->snapshot_dir = snapshot_dir;
+  tenant->target_rows = target.rows();
+  const int num_shards = std::clamp(
+      config_.num_shards, 1, static_cast<int>(target.rows()));
+  tenant->num_shards = num_shards;
+  RegisterTenantMetrics(tenant.get());
+
+  // Each shard simulates its own device, so the shard fan-out below is the
+  // host-parallel axis. The shard engines are pinned to one execution
+  // thread: ThreadPool::ForkJoin is non-reentrant from slot 0, so a shard
+  // running inside the fan-out must never open a nested region — and by
+  // the execution engine's guarantee this changes nothing but wall-clock.
+  core::TiOptions shard_options = config_.options;
+  shard_options.sim_threads = 1;
+
+  const size_t dims = tenant->dims;
+  const size_t base = target.rows() / static_cast<size_t>(num_shards);
+  const size_t rem = target.rows() % static_cast<size_t>(num_shards);
+  std::vector<HostMatrix> slices;
+  size_t offset = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    const size_t rows = base + (static_cast<size_t>(s) < rem ? 1 : 0);
+    HostMatrix slice(rows, dims);
+    std::memcpy(slice.mutable_data(), target.row(offset),
+                rows * dims * sizeof(float));
+    slices.push_back(std::move(slice));
+    auto shard = std::make_unique<Shard>(config_.device, shard_options);
+    // ann_params.workers falls back to the service's configured
+    // parallelism, not silently to SWEETKNN_SIM_THREADS.
+    shard->ConfigureAnn(config_.enable_ann, config_.ann_params,
+                        config_.options.sim_threads);
+    shard->offset = static_cast<uint32_t>(offset);
+    shard->set_base_rows(rows);
+    shard->delta.dims = dims;
+    shard->epoch = ++epoch_counter_;
+    tenant->shard_offsets.push_back(static_cast<uint32_t>(offset));
+    tenant->shards.push_back(std::move(shard));
+    offset += rows;
+  }
+  // The constructor's rows carry stable ids 0..rows-1; Insert allocates
+  // upward from here.
+  tenant->next_id = static_cast<uint32_t>(target.rows());
+
+  // Warm start: restore the prepared indexes from the tenant's snapshot
+  // directory if one is configured and its contents match this tenant
+  // exactly; anything less falls back to the cold build below
+  // (correctness never depends on the snapshots). Overlay (v2) sets are
+  // rejected here — the byte-compare below only makes sense for pristine
+  // indexes; mutated sets are adopted with FromSnapshots instead.
+  std::vector<store::IndexSnapshot> snapshots;
+  bool warm = false;
+  if (!snapshot_dir.empty()) {
+    Result<std::vector<store::IndexSnapshot>> loaded =
+        LoadShardSet(snapshot_dir, num_shards, config_, dims,
+                     /*allow_overlay=*/false);
+    if (loaded.ok()) {
+      snapshots = std::move(loaded).value();
+      warm = true;
+      for (int s = 0; s < num_shards; ++s) {
+        const auto idx = static_cast<size_t>(s);
+        const store::IndexSnapshot& snap = snapshots[idx];
+        if (snap.shard_offset != tenant->shard_offsets[idx] ||
+            snap.target.rows() != slices[idx].rows() ||
+            std::memcmp(snap.target.data(), slices[idx].data(),
+                        slices[idx].size() * sizeof(float)) != 0) {
+          SK_LOG(Warning) << "KnnService: snapshot shard " << s
+                          << " of index '" << name
+                          << "' does not hold this target's bytes; "
+                          << "cold-building all shards";
+          warm = false;
+          break;
+        }
+      }
+    } else {
+      SK_LOG(Warning) << "KnnService: warm start of index '" << name
+                      << "' from '" << snapshot_dir << "' failed ("
+                      << loaded.status().ToString()
+                      << "); cold-building all shards";
+    }
+  }
+
+  // Build the per-shard indexes in parallel; each PrepareTarget /
+  // RestoreTarget touches only its own device.
+  common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
+    const auto idx = static_cast<size_t>(s);
+    if (warm) {
+      // Warm or cold, the base bytes are the slice bytes (warm starts
+      // byte-compare the snapshot against the slice above). Adopting the
+      // (pristine) overlay first parks any persisted ANN graph so
+      // RestoreBase can adopt it instead of re-running NN-descent.
+      tenant->shards[idx]->AdoptOverlay(snapshots[idx]);
+      tenant->shards[idx]->RestoreBase(snapshots[idx].target,
+                                       snapshots[idx].clustering);
+    } else {
+      tenant->shards[idx]->BuildCold(slices[idx]);
+    }
+  });
+  if (warm) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.warm_started_shards += static_cast<uint64_t>(num_shards);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(tenant->mutex);
+    UpdateOverlayGaugesLocked(tenant.get());
+  }
+  return tenant;
+}
+
+// ---------------------------------------------------------------------------
+// Index management
+// ---------------------------------------------------------------------------
+
+Status KnnService::CreateIndex(const std::string& name,
+                               const HostMatrix& target, double weight) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Status::Unavailable(
+        "KnnService is shut down; CreateIndex rejected");
+  }
+  if (!IndexManager::ValidName(name)) {
+    return Status::InvalidArgument(
+        "'" + name +
+        "' is not a valid index name (1-64 chars of [A-Za-z0-9_.-], "
+        "not starting with a dot)");
+  }
+  if (target.empty()) {
+    return Status::InvalidArgument("index '" + name +
+                                   "' needs a non-empty target set");
+  }
+  // Pre-check so a duplicate never pays for the build; Install
+  // re-validates, so a racing CreateIndex loses the build, never
+  // consistency.
+  if (manager_.Get(name)) {
+    return Status::InvalidArgument("an index named '" + name +
+                                   "' already exists");
+  }
+  std::shared_ptr<TenantIndex> tenant =
+      BuildTenant(name, weight, target, TenantSnapshotDir(name));
+  SK_RETURN_IF_ERROR(manager_.Install(tenant));
+  queue_.SetWeight(name, weight);
+  RefreshGlobalOverlayGauges();
+  m_tenants_->Set(static_cast<double>(manager_.size()));
+  return Status::Ok();
+}
+
+Status KnnService::DropIndex(const std::string& name) {
+  if (name == kDefaultTenant) {
+    return Status::InvalidArgument("the default index cannot be dropped");
+  }
+  Result<std::shared_ptr<TenantIndex>> dropped = manager_.Drop(name);
+  if (!dropped.ok()) return dropped.status();
+  dropped.value()->dropped.store(true, std::memory_order_release);
+  // Empty sub-queues forget their bookkeeping now; queued requests keep
+  // the sub-queue alive until the dispatcher drains and fails them.
+  queue_.Forget(name);
+  // A recreated same-name index must never serve answers cached against
+  // the dropped one.
+  BumpCacheEpoch();
+  ClearCache();
+  RefreshGlobalOverlayGauges();
+  m_tenants_->Set(static_cast<double>(manager_.size()));
+  return Status::Ok();
+}
+
+std::vector<std::string> KnnService::ListIndexes() const {
+  return manager_.List();
+}
+
+Status KnnService::SetIndexWeight(const std::string& name, double weight) {
+  Result<std::shared_ptr<TenantIndex>> resolved = ResolveTenant(name);
+  if (!resolved.ok()) return resolved.status();
+  {
+    std::lock_guard<std::mutex> lock(resolved.value()->mutex);
+    resolved.value()->weight = weight;
+  }
+  queue_.SetWeight(name, weight);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registration
+// ---------------------------------------------------------------------------
+
 void KnnService::InitMetrics() {
   const std::vector<double> latency = common::LatencyBucketsSeconds();
   m_requests_ = metrics_.GetCounter(
@@ -190,6 +337,12 @@ void KnnService::InitMetrics() {
   m_rejected_ = metrics_.GetCounter(
       "sweetknn_rejected_requests_total",
       "Requests rejected because the service was shutting down");
+  m_shed_requests_ = metrics_.GetCounter(
+      "sweetknn_shed_requests_total",
+      "Requests bounced by the max_queue_depth admission bound");
+  m_deadline_exceeded_ = metrics_.GetCounter(
+      "sweetknn_deadline_exceeded_total",
+      "Admitted requests whose deadline expired while queued");
   m_batches_ = metrics_.GetCounter(
       "sweetknn_batches_total", "Micro-batches dispatched");
   m_engine_groups_ = metrics_.GetCounter(
@@ -322,6 +475,8 @@ void KnnService::InitMetrics() {
       "sweetknn_queue_depth", "Admission-queue depth");
   m_peak_queue_depth_ = metrics_.GetGauge(
       "sweetknn_peak_queue_depth", "Admission-queue high-water mark");
+  m_tenants_ = metrics_.GetGauge(
+      "sweetknn_tenants", "Live named indexes (including the default)");
   m_index_generation_ = metrics_.GetGauge(
       "sweetknn_index_generation", "Live index generation (SwapIndex count)");
   m_delta_points_ = metrics_.GetGauge(
@@ -332,6 +487,29 @@ void KnnService::InitMetrics() {
   m_live_rows_ = metrics_.GetGauge(
       "sweetknn_live_rows",
       "Live target rows: base minus tombstones plus delta");
+}
+
+void KnnService::RegisterTenantMetrics(TenantIndex* tenant) {
+  const std::string labels = common::TenantLabel(tenant->name);
+  tenant->m_requests = metrics_.GetCounter(
+      "sweetknn_tenant_requests_total", labels,
+      "Search/JoinBatch calls admitted, per tenant");
+  tenant->m_queries = metrics_.GetCounter(
+      "sweetknn_tenant_queries_total", labels,
+      "Query rows answered, per tenant");
+  tenant->m_shed = metrics_.GetCounter(
+      "sweetknn_tenant_shed_requests_total", labels,
+      "Requests shed by the admission bound, per tenant");
+  tenant->m_deadline_exceeded = metrics_.GetCounter(
+      "sweetknn_tenant_deadline_exceeded_total", labels,
+      "Requests whose deadline expired while queued, per tenant");
+  tenant->m_latency = metrics_.GetHistogram(
+      "sweetknn_tenant_request_latency_seconds", labels,
+      "Admission to promise fulfillment, per tenant",
+      common::LatencyBucketsSeconds());
+  tenant->m_live_rows = metrics_.GetGauge(
+      "sweetknn_tenant_live_rows", labels,
+      "Live target rows of this tenant");
 }
 
 void KnnService::Shutdown() {
@@ -346,22 +524,51 @@ void KnnService::Shutdown() {
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
-Result<std::future<KnnResult>> KnnService::Submit(RequestPtr request) {
+// ---------------------------------------------------------------------------
+// Admission and queries
+// ---------------------------------------------------------------------------
+
+Result<std::future<Result<KnnResult>>> KnnService::Submit(
+    RequestPtr request) {
   const size_t rows = request->num_rows;
+  // Pinned before the move: the dispatcher may consume the request (and
+  // a concurrent DropIndex release the manager's reference) before the
+  // accounting below runs.
+  const std::shared_ptr<TenantIndex> tenant = request->tenant;
   request->admit_time = SteadyClock::now();
-  std::future<KnnResult> future = request->promise.get_future();
-  // Push() refuses once Shutdown() has closed the queue — including when
-  // the close lands between our caller's checks and here. Rejection is a
-  // clean Unavailable, never an abort: a serving process must survive
-  // clients racing its shutdown.
-  if (!queue_.Push(std::move(request))) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.rejected_requests;
+  if (request->timeout.count() > 0) {
+    request->has_deadline = true;
+    request->deadline = request->admit_time + request->timeout;
+  }
+  std::future<Result<KnnResult>> future = request->promise.get_future();
+  // Submit() refuses once Shutdown() has closed the scheduler — including
+  // when the close lands between our caller's checks and here. Rejection
+  // is a clean Unavailable, never an abort: a serving process must
+  // survive clients racing its shutdown. A shed is the same status with
+  // its own counters: the client backs off either way.
+  switch (queue_.Submit(tenant->name, std::move(request), rows)) {
+    case FairScheduler<RequestPtr>::Admit::kClosed: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.rejected_requests;
+      }
+      m_rejected_->Increment();
+      return Status::Unavailable(
+          "KnnService is shut down; request rejected");
     }
-    m_rejected_->Increment();
-    return Status::Unavailable(
-        "KnnService is shut down; request rejected");
+    case FairScheduler<RequestPtr>::Admit::kShed: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.shed_requests;
+      }
+      m_shed_requests_->Increment();
+      tenant->m_shed->Increment();
+      return Status::Unavailable(
+          "admission queue is full (max_queue_depth=" +
+          std::to_string(config_.max_queue_depth) + "); request shed");
+    }
+    case FairScheduler<RequestPtr>::Admit::kAdmitted:
+      break;
   }
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -370,19 +577,34 @@ Result<std::future<KnnResult>> KnnService::Submit(RequestPtr request) {
   }
   m_requests_->Increment();
   m_queries_->Increment(static_cast<double>(rows));
-  m_queue_depth_->Set(static_cast<double>(queue_.size()));
+  tenant->m_requests->Increment();
+  tenant->m_queries->Increment(static_cast<double>(rows));
   return future;
 }
 
 Result<std::vector<Neighbor>> KnnService::Search(
     const std::vector<float>& query_point, int k) {
-  return Search(query_point, k, ann::SearchMode::Exact());
+  return Search(CallOptions{}, query_point, k, ann::SearchMode::Exact());
 }
 
 Result<std::vector<Neighbor>> KnnService::Search(
     const std::vector<float>& query_point, int k,
     const ann::SearchMode& mode) {
-  SK_CHECK_EQ(query_point.size(), dims_);
+  return Search(CallOptions{}, query_point, k, mode);
+}
+
+Result<std::vector<Neighbor>> KnnService::Search(
+    const CallOptions& opts, const std::vector<float>& query_point, int k) {
+  return Search(opts, query_point, k, ann::SearchMode::Exact());
+}
+
+Result<std::vector<Neighbor>> KnnService::Search(
+    const CallOptions& opts, const std::vector<float>& query_point, int k,
+    const ann::SearchMode& mode) {
+  Result<std::shared_ptr<TenantIndex>> resolved = ResolveTenant(opts.tenant);
+  if (!resolved.ok()) return resolved.status();
+  const std::shared_ptr<TenantIndex> tenant = std::move(resolved).value();
+  SK_CHECK_EQ(query_point.size(), tenant->dims);
   SK_CHECK_GT(k, 0);
   // Normalized up front: approx(recall 1.0) is exact traffic, and must
   // batch and cache exactly like it.
@@ -394,7 +616,8 @@ Result<std::vector<Neighbor>> KnnService::Search(
   const uint64_t epoch = cache_epoch_.load(std::memory_order_acquire);
   std::string key;
   if (config_.cache_capacity > 0) {
-    key = CacheKey(query_point.data(), dims_, k, normalized);
+    key = CacheKey(tenant->name, query_point.data(), tenant->dims, k,
+                   normalized);
     std::vector<Neighbor> cached;
     if (CacheLookup(key, &cached)) {
       {
@@ -404,20 +627,29 @@ Result<std::vector<Neighbor>> KnnService::Search(
       }
       m_requests_->Increment();
       m_queries_->Increment();
-      m_request_latency_->Observe(SecondsBetween(start, SteadyClock::now()));
+      tenant->m_requests->Increment();
+      tenant->m_queries->Increment();
+      const double seconds = SecondsBetween(start, SteadyClock::now());
+      m_request_latency_->Observe(seconds);
+      tenant->m_latency->Observe(seconds);
       return cached;
     }
   }
 
   auto request = std::make_unique<Request>();
+  request->tenant = tenant;
   request->rows = query_point;
   request->num_rows = 1;
   request->k = k;
   request->mode = normalized;
-  Result<std::future<KnnResult>> submitted = Submit(std::move(request));
+  request->timeout = opts.timeout;
+  Result<std::future<Result<KnnResult>>> submitted =
+      Submit(std::move(request));
   if (!submitted.ok()) return submitted.status();
-  const KnnResult result = submitted.value().get();
-  std::vector<Neighbor> neighbors(result.row(0), result.row(0) + result.k());
+  Result<KnnResult> result = submitted.value().get();
+  if (!result.ok()) return result.status();
+  const KnnResult& answer = result.value();
+  std::vector<Neighbor> neighbors(answer.row(0), answer.row(0) + answer.k());
   if (config_.cache_capacity > 0) {
     if (pre_cache_insert_hook_) pre_cache_insert_hook_();
     CacheInsert(key, neighbors, epoch);
@@ -426,59 +658,95 @@ Result<std::vector<Neighbor>> KnnService::Search(
 }
 
 Result<KnnResult> KnnService::JoinBatch(const HostMatrix& queries, int k) {
-  return JoinBatch(queries, k, ann::SearchMode::Exact());
+  return JoinBatch(CallOptions{}, queries, k, ann::SearchMode::Exact());
 }
 
 Result<KnnResult> KnnService::JoinBatch(const HostMatrix& queries, int k,
                                         const ann::SearchMode& mode) {
+  return JoinBatch(CallOptions{}, queries, k, mode);
+}
+
+Result<KnnResult> KnnService::JoinBatch(const CallOptions& opts,
+                                        const HostMatrix& queries, int k) {
+  return JoinBatch(opts, queries, k, ann::SearchMode::Exact());
+}
+
+Result<KnnResult> KnnService::JoinBatch(const CallOptions& opts,
+                                        const HostMatrix& queries, int k,
+                                        const ann::SearchMode& mode) {
+  Result<std::shared_ptr<TenantIndex>> resolved = ResolveTenant(opts.tenant);
+  if (!resolved.ok()) return resolved.status();
+  const std::shared_ptr<TenantIndex> tenant = std::move(resolved).value();
   SK_CHECK(!queries.empty());
-  SK_CHECK_EQ(queries.cols(), dims_);
+  SK_CHECK_EQ(queries.cols(), tenant->dims);
   SK_CHECK_GT(k, 0);
   auto request = std::make_unique<Request>();
+  request->tenant = tenant;
   request->rows = queries.storage();
   request->num_rows = queries.rows();
   request->k = k;
   request->mode = ann::Normalize(mode);
-  Result<std::future<KnnResult>> submitted = Submit(std::move(request));
+  request->timeout = opts.timeout;
+  Result<std::future<Result<KnnResult>>> submitted =
+      Submit(std::move(request));
   if (!submitted.ok()) return submitted.status();
   return submitted.value().get();
 }
 
+// ---------------------------------------------------------------------------
+// Mutations
+// ---------------------------------------------------------------------------
+
 Result<uint32_t> KnnService::Insert(const std::vector<float>& point) {
-  SK_CHECK_EQ(point.size(), dims_);
-  HostMatrix one(1, dims_);
-  std::memcpy(one.mutable_data(), point.data(), dims_ * sizeof(float));
-  Result<std::vector<uint32_t>> ids = InsertBatch(one);
+  return Insert(CallOptions{}, point);
+}
+
+Result<uint32_t> KnnService::Insert(const CallOptions& opts,
+                                    const std::vector<float>& point) {
+  SK_CHECK(!point.empty());
+  HostMatrix one(1, point.size());
+  std::memcpy(one.mutable_data(), point.data(),
+              point.size() * sizeof(float));
+  Result<std::vector<uint32_t>> ids = InsertBatch(opts, one);
   if (!ids.ok()) return ids.status();
   return ids.value()[0];
 }
 
 Result<std::vector<uint32_t>> KnnService::InsertBatch(
     const HostMatrix& points) {
+  return InsertBatch(CallOptions{}, points);
+}
+
+Result<std::vector<uint32_t>> KnnService::InsertBatch(
+    const CallOptions& opts, const HostMatrix& points) {
+  Result<std::shared_ptr<TenantIndex>> resolved = ResolveTenant(opts.tenant);
+  if (!resolved.ok()) return resolved.status();
+  const std::shared_ptr<TenantIndex> tenant = std::move(resolved).value();
   SK_CHECK(!points.empty());
-  SK_CHECK_EQ(points.cols(), dims_);
+  SK_CHECK_EQ(points.cols(), tenant->dims);
   std::vector<uint32_t> ids;
   ids.reserve(points.rows());
   {
-    std::lock_guard<std::mutex> index_lock(index_mutex_);
+    std::lock_guard<std::mutex> index_lock(tenant->mutex);
     if (stopping_.load(std::memory_order_acquire)) {
       return Status::Unavailable(
           "KnnService is shut down; insert rejected");
     }
     for (size_t r = 0; r < points.rows(); ++r) {
-      const uint32_t id = next_id_++;
+      const uint32_t id = tenant->next_id++;
       Shard& shard =
-          *shards_[id % static_cast<uint32_t>(shards_.size())];
+          *tenant->shards[id % static_cast<uint32_t>(tenant->shards.size())];
       shard.delta.Append(id, points.row(r));
       ids.push_back(id);
-      ++target_rows_;
+      ++tenant->target_rows;
     }
-    BumpCacheEpochLocked();
-    UpdateOverlayGauges();
-    for (const std::unique_ptr<Shard>& shard : shards_) {
+    BumpCacheEpoch();
+    UpdateOverlayGaugesLocked(tenant.get());
+    for (const std::unique_ptr<Shard>& shard : tenant->shards) {
       MaybeScheduleCompaction(*shard);
     }
   }
+  RefreshGlobalOverlayGauges();
   ClearCache();
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -489,26 +757,36 @@ Result<std::vector<uint32_t>> KnnService::InsertBatch(
 }
 
 Result<bool> KnnService::Remove(uint32_t id) {
+  return Remove(CallOptions{}, id);
+}
+
+Result<bool> KnnService::Remove(const CallOptions& opts, uint32_t id) {
+  Result<std::shared_ptr<TenantIndex>> resolved = ResolveTenant(opts.tenant);
+  if (!resolved.ok()) return resolved.status();
+  const std::shared_ptr<TenantIndex> tenant = std::move(resolved).value();
   bool removed = false;
   {
-    std::lock_guard<std::mutex> index_lock(index_mutex_);
+    std::lock_guard<std::mutex> index_lock(tenant->mutex);
     if (stopping_.load(std::memory_order_acquire)) {
       return Status::Unavailable(
           "KnnService is shut down; remove rejected");
     }
-    const int s = OwningShard(id);
+    const int s = OwningShard(*tenant, id);
     if (s >= 0) {
-      Shard& shard = *shards_[static_cast<size_t>(s)];
+      Shard& shard = *tenant->shards[static_cast<size_t>(s)];
       removed = shard.ApplyRemove(id);
       if (removed) {
-        --target_rows_;
-        BumpCacheEpochLocked();
-        UpdateOverlayGauges();
+        --tenant->target_rows;
+        BumpCacheEpoch();
+        UpdateOverlayGaugesLocked(tenant.get());
         MaybeScheduleCompaction(shard);
       }
     }
   }
-  if (removed) ClearCache();
+  if (removed) {
+    RefreshGlobalOverlayGauges();
+    ClearCache();
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     if (removed) {
@@ -521,19 +799,64 @@ Result<bool> KnnService::Remove(uint32_t id) {
   return removed;
 }
 
-int KnnService::OwningShard(uint32_t id) const {
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    if (shards_[s]->Owns(id)) return static_cast<int>(s);
+int KnnService::OwningShard(const TenantIndex& tenant, uint32_t id) const {
+  for (size_t s = 0; s < tenant.shards.size(); ++s) {
+    if (tenant.shards[s]->Owns(id)) return static_cast<int>(s);
   }
   return -1;
 }
 
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+bool KnnService::FailFast(RequestPtr* request) {
+  Request& req = **request;
+  if (req.tenant->dropped.load(std::memory_order_acquire)) {
+    req.promise.set_value(Result<KnnResult>(
+        Status::NotFound("index '" + req.tenant->name + "' was dropped")));
+    // The sub-queue may be empty now; let the scheduler forget it.
+    queue_.Forget(req.tenant->name);
+    request->reset();
+    return true;
+  }
+  if (req.has_deadline && SteadyClock::now() >= req.deadline) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.deadline_exceeded;
+    }
+    m_deadline_exceeded_->Increment();
+    req.tenant->m_deadline_exceeded->Increment();
+    req.promise.set_value(Result<KnnResult>(Status::DeadlineExceeded(
+        "request deadline expired in the admission queue")));
+    request->reset();
+    return true;
+  }
+  return false;
+}
+
 void KnnService::DispatchLoop() {
-  RequestPtr first;
-  while (queue_.WaitPop(&first)) {
-    // Micro-batching: coalesce admitted requests until max_batch_size
-    // query rows are on board or max_batch_wait has passed since the
-    // batch opened.
+  for (;;) {
+    RequestPtr first;
+    std::string tenant_name;
+    if (queue_.WaitPop(&first, &tenant_name) != common::PopResult::kItem) {
+      return;
+    }
+    {
+      std::function<void()> hook;
+      {
+        std::lock_guard<std::mutex> lock(hook_mutex_);
+        hook = pre_dispatch_hook_;
+      }
+      if (hook) hook();
+    }
+    if (FailFast(&first)) continue;
+    // Micro-batching: coalesce admitted requests OF THIS TENANT until
+    // max_batch_size query rows are on board or max_batch_wait has
+    // passed since the batch opened. Batches are single-tenant — a
+    // group runs under one tenant's index mutex — and the out-of-turn
+    // tenant pops below charge the same DRR deficit WaitPop does, so
+    // coalescing cannot cheat the fair shares.
     const SteadyClock::time_point opened = SteadyClock::now();
     m_queue_wait_->Observe(SecondsBetween(first->admit_time, opened));
     std::vector<RequestPtr> batch;
@@ -542,12 +865,14 @@ void KnnService::DispatchLoop() {
     const auto deadline = opened + config_.max_batch_wait;
     while (rows < static_cast<size_t>(config_.max_batch_size)) {
       RequestPtr next;
-      if (!queue_.TryPop(&next)) {
-        const auto now = SteadyClock::now();
-        if (now >= deadline || !queue_.WaitPopFor(&next, deadline - now)) {
+      if (!queue_.TryPopTenant(tenant_name, &next)) {
+        if (SteadyClock::now() >= deadline ||
+            queue_.WaitPopTenantUntil(tenant_name, &next, deadline) !=
+                common::PopResult::kItem) {
           break;  // the batch is as full as it will get
         }
       }
+      if (FailFast(&next)) continue;
       m_queue_wait_->Observe(
           SecondsBetween(next->admit_time, SteadyClock::now()));
       rows += next->num_rows;
@@ -555,7 +880,10 @@ void KnnService::DispatchLoop() {
     }
     m_batch_assembly_->Observe(SecondsBetween(opened, SteadyClock::now()));
     m_batch_rows_->Observe(static_cast<double>(rows));
-    m_queue_depth_->Set(static_cast<double>(queue_.size()));
+    // The queue-depth gauge is deliberately NOT Set here (nor in
+    // Submit): two racing writers could publish a stale depth. It is
+    // computed from the live scheduler at export time instead.
+    //
     // One micro-batch dispatched; the per-k engine groups below are
     // accounted separately (engine_groups), so mixed-k traffic cannot
     // inflate the batch count and skew occupancy.
@@ -590,23 +918,27 @@ void KnnService::DispatchLoop() {
 }
 
 void KnnService::RunGroup(std::vector<RequestPtr> group) {
+  const std::shared_ptr<TenantIndex> tenant = group[0]->tenant;
   const int k = group[0]->k;
   const ann::SearchMode mode = group[0]->mode;
+  const size_t dims = tenant->dims;
   size_t rows = 0;
   for (const RequestPtr& request : group) rows += request->num_rows;
-  HostMatrix queries(rows, dims_);
+  HostMatrix queries(rows, dims);
   size_t row = 0;
   for (const RequestPtr& request : group) {
     std::memcpy(queries.mutable_row(row), request->rows.data(),
-                request->num_rows * dims_ * sizeof(float));
+                request->num_rows * dims * sizeof(float));
     row += request->num_rows;
   }
 
-  // The whole group runs against one index state: a concurrent
-  // SwapIndex, mutation, or compaction install waits here (or we wait
-  // for it), so no request's rows can straddle an index change.
-  std::lock_guard<std::mutex> index_lock(index_mutex_);
-  const int num_shards = static_cast<int>(shards_.size());
+  // The whole group runs against one index state of one tenant: a
+  // concurrent SwapIndex, mutation, or compaction install of this
+  // tenant waits here (or we wait for it), so no request's rows can
+  // straddle an index change — and other tenants' mutexes are never
+  // touched, so their mutations never stall this group.
+  std::lock_guard<std::mutex> index_lock(tenant->mutex);
+  const int num_shards = static_cast<int>(tenant->shards.size());
 
   // Route each shard's base scan by cost, serially before the fan-out so
   // the decision order is deterministic. Both routes return bit-identical
@@ -616,7 +948,7 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
   std::vector<core::QueryRoute> routes(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
     routes[static_cast<size_t>(s)] = planner_.Choose(
-        rows, shards_[static_cast<size_t>(s)]->base_rows(), dims_);
+        rows, tenant->shards[static_cast<size_t>(s)]->base_rows(), dims);
   }
   // The per-shard work — base scan (over-queried when mutated), delta
   // side scan, shard-local merge — lives in ShardHost::SearchGroup, the
@@ -626,8 +958,8 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
   const SteadyClock::time_point fanout_start = SteadyClock::now();
   common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
     const auto idx = static_cast<size_t>(s);
-    answers[idx] = shards_[idx]->SearchGroup(queries, k, routes[idx],
-                                             config_.options.metric, mode);
+    answers[idx] = tenant->shards[idx]->SearchGroup(
+        queries, k, routes[idx], config_.options.metric, mode);
   });
   const SteadyClock::time_point merge_start = SteadyClock::now();
   m_shard_fanout_->Observe(SecondsBetween(fanout_start, merge_start));
@@ -654,8 +986,9 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
 
   // Recall self-measurement: every Nth approx group is also answered
   // exactly — same queries, same routes, same index state (we still
-  // hold index_mutex_) — and the measured recall@k lands in the
-  // histogram. The probe costs one exact group; interval 0 disables it.
+  // hold the tenant's index mutex) — and the measured recall@k lands in
+  // the histogram. The probe costs one exact group; interval 0 disables
+  // it.
   if (!mode.EffectiveExact()) {
     const int interval = config_.ann_recall_probe_interval;
     if (interval > 0 &&
@@ -664,7 +997,7 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
           static_cast<size_t>(num_shards));
       common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
         const auto idx = static_cast<size_t>(s);
-        exact_answers[idx] = shards_[idx]->SearchGroup(
+        exact_answers[idx] = tenant->shards[idx]->SearchGroup(
             queries, k, routes[idx], config_.options.metric);
       });
       const KnnResult exact = core::MergeShardAnswers(exact_answers, k);
@@ -709,9 +1042,11 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
                   static_cast<size_t>(k) * sizeof(Neighbor));
     }
     row += request->num_rows;
-    m_request_latency_->Observe(
-        SecondsBetween(request->admit_time, SteadyClock::now()));
-    request->promise.set_value(std::move(answer));
+    const double seconds =
+        SecondsBetween(request->admit_time, SteadyClock::now());
+    m_request_latency_->Observe(seconds);
+    tenant->m_latency->Observe(seconds);
+    request->promise.set_value(Result<KnnResult>(std::move(answer)));
   }
 }
 
@@ -813,10 +1148,10 @@ void KnnService::MaybeScheduleCompaction(const Shard& shard) {
   compact_cv_.notify_one();
 }
 
-int KnnService::PickCompactionCandidate() {
-  std::lock_guard<std::mutex> index_lock(index_mutex_);
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    const Shard& shard = *shards_[s];
+int KnnService::PickCompactionCandidate(TenantIndex* tenant) {
+  std::lock_guard<std::mutex> index_lock(tenant->mutex);
+  for (size_t s = 0; s < tenant->shards.size(); ++s) {
+    const Shard& shard = *tenant->shards[s];
     if (shard.compact_watermark == kNoCompaction && OverThreshold(shard) &&
         shard.live_rows() > 0) {
       return static_cast<int>(s);
@@ -834,21 +1169,31 @@ void KnnService::CompactorLoop() {
       if (compactor_stop_) return;
       compact_pending_ = false;
     }
-    // Drain every over-threshold shard, one rebuild at a time; serving
-    // continues throughout (the index lock is only held for the capture
-    // and the install).
+    // Drain every over-threshold shard of every tenant, one rebuild at a
+    // time; serving continues throughout (a tenant's index lock is only
+    // held for the capture and the install).
     for (;;) {
       if (stopping_.load(std::memory_order_acquire)) break;
-      const int candidate = PickCompactionCandidate();
-      if (candidate < 0) break;
-      // An abort (epoch superseded by a swap) is already counted; any
-      // other status here would be a logic error worth the log line.
-      const Status status = CompactShardInternal(candidate);
-      if (!status.ok() && status.code() != StatusCode::kUnavailable) {
-        SK_LOG(Warning) << "KnnService: background compaction of shard "
-                        << candidate << " failed: " << status.ToString();
-        break;
+      bool progressed = false;
+      bool failed = false;
+      for (const std::shared_ptr<TenantIndex>& tenant : manager_.All()) {
+        if (stopping_.load(std::memory_order_acquire)) break;
+        const int candidate = PickCompactionCandidate(tenant.get());
+        if (candidate < 0) continue;
+        // An abort (epoch superseded by a swap) is already counted; any
+        // other status here would be a logic error worth the log line.
+        const Status status =
+            CompactShardInternal(tenant.get(), candidate);
+        if (!status.ok() && status.code() != StatusCode::kUnavailable) {
+          SK_LOG(Warning) << "KnnService: background compaction of shard "
+                          << candidate << " of index '" << tenant->name
+                          << "' failed: " << status.ToString();
+          failed = true;
+          break;
+        }
+        progressed = true;
       }
+      if (failed || !progressed) break;
     }
   }
 }
@@ -857,28 +1202,49 @@ Status KnnService::CompactShard(int shard) {
   SK_CHECK_GE(shard, 0);
   // The shard count is fixed at construction (SwapIndex replaces the
   // shards but never their number); checking config_ avoids touching
-  // shards_ outside index_mutex_.
+  // the shard vector outside the tenant's mutex.
   SK_CHECK_LT(shard, config_.num_shards);
-  return CompactShardInternal(shard);
+  return CompactShardInternal(default_tenant_.get(), shard);
+}
+
+Status KnnService::CompactShard(const std::string& tenant_name, int shard) {
+  Result<std::shared_ptr<TenantIndex>> resolved = ResolveTenant(tenant_name);
+  if (!resolved.ok()) return resolved.status();
+  SK_CHECK_GE(shard, 0);
+  SK_CHECK_LT(shard, resolved.value()->num_shards);
+  return CompactShardInternal(resolved.value().get(), shard);
 }
 
 Status KnnService::CompactAll() {
   const int num_shards = config_.num_shards;
   for (int s = 0; s < num_shards; ++s) {
-    SK_RETURN_IF_ERROR(CompactShardInternal(s));
+    SK_RETURN_IF_ERROR(CompactShardInternal(default_tenant_.get(), s));
   }
   return Status::Ok();
 }
 
-Status KnnService::CompactShardInternal(int s) {
+Status KnnService::CompactAll(const std::string& tenant_name) {
+  Result<std::shared_ptr<TenantIndex>> resolved = ResolveTenant(tenant_name);
+  if (!resolved.ok()) return resolved.status();
+  const std::shared_ptr<TenantIndex> tenant = std::move(resolved).value();
+  for (int s = 0; s < tenant->num_shards; ++s) {
+    SK_RETURN_IF_ERROR(CompactShardInternal(tenant.get(), s));
+  }
+  return Status::Ok();
+}
+
+Status KnnService::CompactShardInternal(TenantIndex* tenant, int s) {
   const SteadyClock::time_point start = SteadyClock::now();
   CompactionPlan plan;
-  // Capture: everything the rebuild needs, snapshotted under the index
-  // lock. The consumed prefix is delta[0..watermark); entries appended
-  // after the capture stay in the suffix and carry over untouched.
+  bool ann_enabled = false;
+  ann::GraphBuildParams ann_params;
+  // Capture: everything the rebuild needs, snapshotted under the tenant's
+  // index lock. The consumed prefix is delta[0..watermark); entries
+  // appended after the capture stay in the suffix and carry over
+  // untouched.
   {
-    std::lock_guard<std::mutex> index_lock(index_mutex_);
-    Shard& shard = *shards_[static_cast<size_t>(s)];
+    std::lock_guard<std::mutex> index_lock(tenant->mutex);
+    Shard& shard = *tenant->shards[static_cast<size_t>(s)];
     if (shard.compact_watermark != kNoCompaction) {
       return Status::Unavailable(
           "shard " + std::to_string(s) +
@@ -890,6 +1256,11 @@ Status KnnService::CompactShardInternal(int s) {
       // overlay stays as is; queries keep answering all padding.
       return Status::Ok();
     }
+    // The live shard's params carry the resolved worker count
+    // (ConfigureAnn's fallback), so the rebuilt graph parallelizes the
+    // same way the original build did.
+    ann_enabled = shard.ann_enabled();
+    ann_params = shard.ann_params();
     CaptureCompaction(&shard, s, &plan);
   }
 
@@ -902,16 +1273,16 @@ Status KnnService::CompactShardInternal(int s) {
   core::TiOptions shard_options = config_.options;
   shard_options.sim_threads = 1;
   std::unique_ptr<Shard> fresh =
-      RebuildCompacted(plan, config_.device, shard_options, dims_,
-                       config_.enable_ann, config_.ann_params);
+      RebuildCompacted(plan, config_.device, shard_options, tenant->dims,
+                       ann_enabled, ann_params);
 
   // Install: only if the shard we captured from is still the live one
   // (a SwapIndex assigns fresh epochs, orphaning this rebuild).
   std::unique_ptr<Shard> retired;
   {
-    std::lock_guard<std::mutex> index_lock(index_mutex_);
-    if (static_cast<size_t>(s) >= shards_.size() ||
-        shards_[static_cast<size_t>(s)]->epoch != plan.epoch) {
+    std::lock_guard<std::mutex> index_lock(tenant->mutex);
+    if (static_cast<size_t>(s) >= tenant->shards.size() ||
+        tenant->shards[static_cast<size_t>(s)]->epoch != plan.epoch) {
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.compaction_aborts;
@@ -925,16 +1296,18 @@ Status KnnService::CompactShardInternal(int s) {
     // suffix verbatim (its entries are never tombstoned — removes past
     // the watermark erase physically), and removes of captured rows as
     // tombstones of the new base.
-    CarryOverlayForward(*shards_[static_cast<size_t>(s)], plan, fresh.get());
+    CarryOverlayForward(*tenant->shards[static_cast<size_t>(s)], plan,
+                        fresh.get());
     fresh->epoch = ++epoch_counter_;
-    shards_[static_cast<size_t>(s)].swap(fresh);
-    shard_offsets_[static_cast<size_t>(s)] =
-        shards_[static_cast<size_t>(s)]->offset;
+    tenant->shards[static_cast<size_t>(s)].swap(fresh);
+    tenant->shard_offsets[static_cast<size_t>(s)] =
+        tenant->shards[static_cast<size_t>(s)]->offset;
     retired = std::move(fresh);
-    BumpCacheEpochLocked();
-    UpdateOverlayGauges();
+    BumpCacheEpoch();
+    UpdateOverlayGaugesLocked(tenant);
   }
   retired.reset();  // the old engine dies here, off the serving path
+  RefreshGlobalOverlayGauges();
   ClearCache();
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -1072,7 +1445,8 @@ KnnService::ShardSet KnnService::BuildShardsFromSnapshots(
     const auto idx = static_cast<size_t>(s);
     store::IndexSnapshot& snap = snapshots[idx];
     auto shard = std::make_unique<Shard>(config_.device, shard_options);
-    shard->ConfigureAnn(config_.enable_ann, config_.ann_params);
+    shard->ConfigureAnn(config_.enable_ann, config_.ann_params,
+                        config_.options.sim_threads);
     shard->AdoptOverlay(snap);
     set.live_rows += shard->live_rows();
     // The id allocator restarts strictly above every id any shard knows
@@ -1094,35 +1468,73 @@ KnnService::ShardSet KnnService::BuildShardsFromSnapshots(
   return set;
 }
 
-store::IndexSnapshot KnnService::ExportShard(int s) const {
-  return shards_[static_cast<size_t>(s)]->Export(
+store::IndexSnapshot KnnService::ExportShard(const TenantIndex& tenant,
+                                             int s) const {
+  return tenant.shards[static_cast<size_t>(s)]->Export(
       config_.dataset_name, "KnnService::SaveSnapshots",
-      static_cast<uint32_t>(s), static_cast<uint32_t>(shards_.size()),
+      static_cast<uint32_t>(s), static_cast<uint32_t>(tenant.shards.size()),
       store::OptionsFingerprint(config_.options),
-      store::DeviceFingerprint(config_.device), next_id_);
+      store::DeviceFingerprint(config_.device), tenant.next_id);
 }
 
-Status KnnService::SaveSnapshots(const std::string& dir) {
+Status KnnService::SaveTenantSnapshots(TenantIndex* tenant,
+                                       const std::string& dir) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
     return Status::IoError("cannot create snapshot directory " + dir + ": " +
                            ec.message());
   }
-  std::lock_guard<std::mutex> index_lock(index_mutex_);
-  const int num_shards = static_cast<int>(shards_.size());
+  std::lock_guard<std::mutex> index_lock(tenant->mutex);
+  const int num_shards = static_cast<int>(tenant->shards.size());
   for (int s = 0; s < num_shards; ++s) {
     SK_RETURN_IF_ERROR(store::SaveIndexSnapshot(
-        ExportShard(s), store::ShardSnapshotPath(dir, s, num_shards)));
+        ExportShard(*tenant, s),
+        store::ShardSnapshotPath(dir, s, num_shards)));
   }
   return Status::Ok();
 }
 
+Status KnnService::SaveSnapshots(const std::string& dir) {
+  // The default tenant saves at the root — byte-identical to the
+  // single-tenant layout — and every named tenant under "<dir>/<name>/"
+  // (ListShardSnapshots ignores subdirectories, so the extra tenant
+  // directories never confuse a legacy load of the root).
+  SK_RETURN_IF_ERROR(SaveTenantSnapshots(default_tenant_.get(), dir));
+  for (const std::shared_ptr<TenantIndex>& tenant : manager_.All()) {
+    if (tenant->name == kDefaultTenant) continue;
+    SK_RETURN_IF_ERROR(SaveTenantSnapshots(
+        tenant.get(),
+        (std::filesystem::path(dir) / tenant->name).string()));
+  }
+  return Status::Ok();
+}
+
+Status KnnService::SaveSnapshots(const std::string& tenant_name,
+                                 const std::string& dir) {
+  Result<std::shared_ptr<TenantIndex>> resolved = ResolveTenant(tenant_name);
+  if (!resolved.ok()) return resolved.status();
+  return SaveTenantSnapshots(resolved.value().get(), dir);
+}
+
 Status KnnService::SwapIndex(const std::string& dir) {
-  // shards_ itself is index_mutex_ territory; the fixed count is not.
-  const int num_shards = config_.num_shards;
-  Result<std::vector<store::IndexSnapshot>> loaded =
-      LoadShardSet(dir, num_shards, config_, dims_, /*allow_overlay=*/true);
+  return SwapIndexInternal(default_tenant_.get(), dir);
+}
+
+Status KnnService::SwapIndex(const std::string& tenant_name,
+                             const std::string& dir) {
+  Result<std::shared_ptr<TenantIndex>> resolved = ResolveTenant(tenant_name);
+  if (!resolved.ok()) return resolved.status();
+  return SwapIndexInternal(resolved.value().get(), dir);
+}
+
+Status KnnService::SwapIndexInternal(TenantIndex* tenant,
+                                     const std::string& dir) {
+  // The shard vector itself is index-mutex territory; the fixed count is
+  // not.
+  const int num_shards = tenant->num_shards;
+  Result<std::vector<store::IndexSnapshot>> loaded = LoadShardSet(
+      dir, num_shards, config_, tenant->dims, /*allow_overlay=*/true);
   if (!loaded.ok()) return loaded.status();
 
   // Re-materialize the replacement generation off to the side; the live
@@ -1130,32 +1542,33 @@ Status KnnService::SwapIndex(const std::string& dir) {
   ShardSet set = BuildShardsFromSnapshots(std::move(loaded).value());
 
   {
-    std::lock_guard<std::mutex> index_lock(index_mutex_);
+    std::lock_guard<std::mutex> index_lock(tenant->mutex);
     // Fresh epochs orphan every compaction captured against the old
     // generation: its install will see a mismatch and discard itself.
     for (std::unique_ptr<Shard>& shard : set.shards) {
       shard->epoch = ++epoch_counter_;
     }
-    shards_.swap(set.shards);
-    shard_offsets_ = std::move(set.offsets);
-    target_rows_ = set.live_rows;
+    tenant->shards.swap(set.shards);
+    tenant->shard_offsets = std::move(set.offsets);
+    tenant->target_rows = set.live_rows;
     // The allocator never rewinds — ids of the replaced generation must
     // stay retired, or a later insert could collide with an id a client
     // still holds.
-    next_id_ = std::max(next_id_, set.next_id);
+    tenant->next_id = std::max(tenant->next_id, set.next_id);
     // Bump the generation before the cache clear below: any in-flight
     // request that computed its answer against the old shards now holds
     // a stale epoch tag, so its CacheInsert is dropped whether it lands
     // before or after the clear.
     index_generation_.fetch_add(1, std::memory_order_acq_rel);
-    BumpCacheEpochLocked();
-    UpdateOverlayGauges();
+    BumpCacheEpoch();
+    UpdateOverlayGaugesLocked(tenant);
   }
   m_index_generation_->Set(
       static_cast<double>(index_generation_.load(std::memory_order_acquire)));
   // `set.shards` now holds the previous generation; it dies here, after
   // the lock, so teardown never blocks the dispatcher.
   set.shards.clear();
+  RefreshGlobalOverlayGauges();
   ClearCache();
   {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
@@ -1169,7 +1582,7 @@ Status KnnService::SwapIndex(const std::string& dir) {
 // Stats, metrics, cache
 // ---------------------------------------------------------------------------
 
-void KnnService::BumpCacheEpochLocked() {
+void KnnService::BumpCacheEpoch() {
   cache_epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
@@ -1180,31 +1593,61 @@ void KnnService::ClearCache() {
   lru_.clear();
 }
 
-void KnnService::UpdateOverlayGauges() {
+void KnnService::UpdateOverlayGaugesLocked(TenantIndex* tenant) {
   size_t delta_points = 0;
   size_t tombstones = 0;
-  for (const std::unique_ptr<Shard>& shard : shards_) {
+  for (const std::unique_ptr<Shard>& shard : tenant->shards) {
     delta_points += shard->delta.size();
     tombstones += shard->delta.tombstones.size();
   }
+  tenant->delta_points.store(delta_points, std::memory_order_release);
+  tenant->tombstones.store(tombstones, std::memory_order_release);
+  tenant->live_rows.store(tenant->target_rows, std::memory_order_release);
+  tenant->m_live_rows->Set(static_cast<double>(tenant->target_rows));
+}
+
+void KnnService::RefreshGlobalOverlayGauges() {
+  uint64_t delta_points = 0;
+  uint64_t tombstones = 0;
+  uint64_t live_rows = 0;
+  // Sums the per-tenant atomics — no tenant's index mutex is taken, so
+  // this is safe from any locking context (see the lock-order note).
+  for (const std::shared_ptr<TenantIndex>& tenant : manager_.All()) {
+    delta_points += tenant->delta_points.load(std::memory_order_acquire);
+    tombstones += tenant->tombstones.load(std::memory_order_acquire);
+    live_rows += tenant->live_rows.load(std::memory_order_acquire);
+  }
   m_delta_points_->Set(static_cast<double>(delta_points));
   m_tombstones_->Set(static_cast<double>(tombstones));
-  m_live_rows_->Set(static_cast<double>(target_rows_));
+  m_live_rows_->Set(static_cast<double>(live_rows));
+}
+
+size_t KnnService::target_rows() const {
+  std::lock_guard<std::mutex> lock(default_tenant_->mutex);
+  return default_tenant_->target_rows;
+}
+
+Result<size_t> KnnService::target_rows(const std::string& tenant_name) const {
+  Result<std::shared_ptr<TenantIndex>> resolved = ResolveTenant(tenant_name);
+  if (!resolved.ok()) return resolved.status();
+  std::lock_guard<std::mutex> lock(resolved.value()->mutex);
+  return resolved.value()->target_rows;
 }
 
 ServiceStats KnnService::stats() const {
-  uint64_t delta_points = 0;
-  uint64_t tombstones = 0;
   ServiceStats snapshot;
   {
-    // index_mutex_ before stats_mutex_ — the service-wide lock order.
-    std::lock_guard<std::mutex> index_lock(index_mutex_);
-    for (const std::unique_ptr<Shard>& shard : shards_) {
-      delta_points += shard->delta.size();
-      tombstones += shard->delta.tombstones.size();
-    }
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     snapshot = stats_;
+  }
+  // The overlay sums come from the per-tenant atomics (maintained under
+  // each tenant's mutex by UpdateOverlayGaugesLocked) — no index mutex
+  // is taken, so stats() can never stall behind a compaction install.
+  uint64_t delta_points = 0;
+  uint64_t tombstones = 0;
+  for (const std::shared_ptr<TenantIndex>& tenant : manager_.All()) {
+    delta_points += tenant->delta_points.load(std::memory_order_acquire);
+    tombstones += tenant->tombstones.load(std::memory_order_acquire);
   }
   snapshot.delta_points = delta_points;
   snapshot.tombstones = tombstones;
@@ -1215,24 +1658,31 @@ ServiceStats KnnService::stats() const {
 std::string KnnService::ExportMetricsJson() const {
   m_queue_depth_->Set(static_cast<double>(queue_.size()));
   m_peak_queue_depth_->Set(static_cast<double>(queue_.peak_depth()));
+  m_tenants_->Set(static_cast<double>(manager_.size()));
   return metrics_.ExportJson();
 }
 
 std::string KnnService::ExportMetricsText() const {
   m_queue_depth_->Set(static_cast<double>(queue_.size()));
   m_peak_queue_depth_->Set(static_cast<double>(queue_.peak_depth()));
+  m_tenants_->Set(static_cast<double>(manager_.size()));
   return metrics_.ExportPrometheusText();
 }
 
-std::string KnnService::CacheKey(const float* row, size_t dims, int k,
+std::string KnnService::CacheKey(const std::string& tenant, const float* row,
+                                 size_t dims, int k,
                                  const ann::SearchMode& mode) {
   // `mode` arrives normalized, so every effectively exact request maps
-  // to the one exact key for its (k, point).
+  // to the one exact key for its (tenant, k, point). The tenant prefix
+  // ends at the NUL — tenant names cannot contain one (ValidName) — so
+  // two tenants' keys can never alias.
   const uint32_t kind = static_cast<uint32_t>(mode.kind);
-  std::string key(sizeof(int) + sizeof(uint32_t) + sizeof(double) +
-                      sizeof(int) + dims * sizeof(float),
+  std::string key(tenant.size() + 1 + sizeof(int) + sizeof(uint32_t) +
+                      sizeof(double) + sizeof(int) + dims * sizeof(float),
                   '\0');
   char* p = key.data();
+  std::memcpy(p, tenant.data(), tenant.size());
+  p += tenant.size() + 1;  // the NUL separator is already there
   std::memcpy(p, &k, sizeof(int));
   p += sizeof(int);
   std::memcpy(p, &kind, sizeof(uint32_t));
@@ -1275,9 +1725,9 @@ void KnnService::CacheInsert(const std::string& key,
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     // A swap, mutation, or compaction that completed after this answer
-    // was computed has already bumped the cache epoch (under
-    // index_mutex_, before clearing the cache): inserting now would
-    // serve pre-change neighbors forever.
+    // was computed has already bumped the cache epoch (under the
+    // tenant's index mutex, before clearing the cache): inserting now
+    // would serve pre-change neighbors forever.
     if (cache_epoch_.load(std::memory_order_acquire) != epoch) {
       stale = true;
     } else {

@@ -15,7 +15,6 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/blocking_queue.h"
 #include "common/knn_result.h"
 #include "common/matrix.h"
 #include "common/metrics.h"
@@ -26,6 +25,8 @@
 #include "core/shard_merge.h"
 #include "core/ti_knn_gpu.h"
 #include "gpusim/device.h"
+#include "serve/index_manager.h"
+#include "serve/scheduler.h"
 #include "serve/shard_backend.h"
 #include "simd/simd_kernels.h"
 #include "store/snapshot.h"
@@ -34,18 +35,30 @@ namespace sweetknn::serve {
 
 /// Knobs of the serving layer.
 struct ServiceConfig {
-  /// Target-set shards, each a simulated device with its own prepared
-  /// TiKnnEngine index. Clamped to the target row count.
+  /// Target-set shards per index, each a simulated device with its own
+  /// prepared TiKnnEngine index. Clamped per index to its target row
+  /// count.
   int num_shards = 2;
-  /// Micro-batching: the dispatcher coalesces admitted requests until a
-  /// batch holds this many query rows ...
+  /// Micro-batching: the dispatcher coalesces admitted requests of one
+  /// tenant until a batch holds this many query rows ...
   int max_batch_size = 64;
   /// ... or this much wall-clock has passed since the batch's first
   /// request, whichever comes first.
   std::chrono::microseconds max_batch_wait{500};
-  /// LRU result-cache entries, keyed on (k, query row bytes). 0 = off.
-  /// Serves single-row Search() requests only.
+  /// LRU result-cache entries, keyed on (tenant, k, query row bytes).
+  /// 0 = off. Serves single-row Search() requests only.
   size_t cache_capacity = 0;
+  /// Load shedding: total admitted-but-undispatched requests, summed
+  /// over every tenant, beyond which Search/JoinBatch are bounced with
+  /// kUnavailable instead of growing the queue (and its tail latency)
+  /// without limit. Shed requests are counted in stats().shed_requests
+  /// and the sweetknn_shed_requests_total counter. 0 = unbounded (the
+  /// legacy behavior).
+  size_t max_queue_depth = 0;
+  /// Cost units (query rows) a weight-1.0 tenant earns per round of the
+  /// weighted-fair scheduler (see serve/scheduler.h). 0 = use
+  /// max_batch_size, so one round roughly funds one micro-batch.
+  size_t fair_quantum = 0;
   gpusim::DeviceSpec device = gpusim::DeviceSpec::TeslaK20c();
   core::TiOptions options = core::TiOptions::Sweet();
   /// If non-empty, warm start: restore each shard's prepared index from
@@ -56,7 +69,8 @@ struct ServiceConfig {
   /// adopt mutated snapshots with FromSnapshots instead); on any
   /// mismatch or load failure the service logs a warning and cold-builds
   /// every shard (check stats().warm_started_shards to see which path
-  /// ran).
+  /// ran). Named tenants created with CreateIndex warm-start from
+  /// "<snapshot_dir>/<tenant>/" the same way.
   std::string snapshot_dir;
   /// Dataset name recorded as provenance in snapshots written by
   /// SaveSnapshots.
@@ -84,7 +98,9 @@ struct ServiceConfig {
   /// (docs/approx.md). Exact traffic — and every service built without
   /// this — is completely unaffected.
   bool enable_ann = false;
-  /// NN-descent build knobs for the ANN tier.
+  /// NN-descent build knobs for the ANN tier. When ann_params.workers
+  /// is 0, graph builds use options.sim_threads (the service's
+  /// configured parallelism) before falling back to SWEETKNN_SIM_THREADS.
   ann::GraphBuildParams ann_params;
   /// Recall self-measurement: every Nth approx group is also answered
   /// exactly (under the same lock, against the same index state) and the
@@ -94,15 +110,35 @@ struct ServiceConfig {
   int ann_recall_probe_interval = 0;
 };
 
+/// Per-call options of the tenant-qualified Search/JoinBatch/mutation
+/// overloads. The zero-argument legacy overloads behave exactly like
+/// CallOptions{} — default tenant, no deadline.
+struct CallOptions {
+  /// The named index the call targets (see CreateIndex). Unknown names
+  /// fail with NotFound.
+  std::string tenant = kDefaultTenant;
+  /// Queries only: relative deadline, measured from admission. A
+  /// request still queued when it expires completes with
+  /// kDeadlineExceeded without ever touching the shards. 0 = none.
+  std::chrono::microseconds timeout{0};
+};
+
 /// Service-level counters, all cumulative since construction. The
 /// metrics registry (KnnService::metrics()) carries the richer view —
-/// latency histograms, per-stage sim time, compaction timings.
+/// latency histograms, per-stage sim time, compaction timings, and the
+/// per-tenant labeled series.
 struct ServiceStats {
   uint64_t requests = 0;        ///< Search/JoinBatch calls admitted.
   uint64_t queries = 0;         ///< Query rows answered (incl. cache hits).
   /// Search/JoinBatch calls rejected because the service was shutting
   /// down (never admitted, not counted in requests).
   uint64_t rejected_requests = 0;
+  /// Search/JoinBatch calls bounced with kUnavailable by the
+  /// max_queue_depth admission bound (never admitted).
+  uint64_t shed_requests = 0;
+  /// Admitted requests whose deadline expired while queued; completed
+  /// with kDeadlineExceeded without touching the shards.
+  uint64_t deadline_exceeded = 0;
   /// Micro-batches dispatched by the batching loop (one per coalescing
   /// window, regardless of how many distinct k values it held).
   uint64_t batches = 0;
@@ -140,7 +176,8 @@ struct ServiceStats {
   /// Compactions abandoned because a SwapIndex (or competing install)
   /// replaced the shard while the rebuild ran off-lock.
   uint64_t compaction_aborts = 0;
-  /// Current overlay size, summed over shards (gauges, not cumulative).
+  /// Current overlay size, summed over every tenant's shards (gauges,
+  /// not cumulative).
   uint64_t delta_points = 0;
   uint64_t tombstones = 0;
   /// Approximate tier: engine groups / query rows answered through the
@@ -170,39 +207,49 @@ struct ServiceStats {
 };
 
 /// A concurrent batched KNN serving front-end over sharded
-/// TiKnnEngine indexes — the first "many users" code path of the
-/// ROADMAP's north star.
+/// TiKnnEngine indexes — the "many users, many datasets" code path of
+/// the ROADMAP's north star.
 ///
-/// Construction partitions the target rows into `num_shards` contiguous
-/// slices and prepares one engine per slice (PrepareTarget: upload +
-/// landmark clustering) on its own simulated device. Client threads call
-/// Search/JoinBatch concurrently; requests land in an admission queue
-/// that a dispatcher thread drains with dynamic micro-batching
-/// (max_batch_size / max_batch_wait). Each micro-batch fans out over the
-/// shards on the shared host thread pool and the per-shard top-k lists
-/// are merged into the exact global top-k — answers are bit-identical to
-/// a single-engine RunOnce over the unsharded target set.
+/// The service is multi-tenant: an IndexManager hosts any number of
+/// named indexes (the constructor's target becomes the "default"
+/// tenant; CreateIndex/DropIndex add and remove others at runtime),
+/// each sharded, mutable, and snapshot-able independently. Client
+/// threads call Search/JoinBatch concurrently — with a CallOptions
+/// naming a tenant and optionally carrying a deadline — and requests
+/// land in a weighted-fair admission scheduler (serve/scheduler.h):
+/// per-tenant sub-queues drained in deficit-round-robin order, so a
+/// flooding tenant cannot starve the others, and an optional
+/// max_queue_depth bound sheds overload with kUnavailable instead of
+/// letting tail latency grow without bound. The dispatcher thread
+/// drains the scheduler with dynamic micro-batching (max_batch_size /
+/// max_batch_wait, one tenant per batch); each micro-batch fans out
+/// over the tenant's shards on the shared host thread pool and the
+/// per-shard top-k lists are merged into the exact global top-k —
+/// answers are bit-identical to a single-engine RunOnce over that
+/// tenant's unsharded target set.
 ///
-/// The target set is mutable while serving: Insert/Remove buffer changes
-/// in per-shard delta overlays (new points served by an exact
+/// Every target set is mutable while serving: Insert/Remove buffer
+/// changes in per-shard delta overlays (new points served by an exact
 /// brute-force side scan merged through MergeMutableResults, deleted ids
 /// tombstone-masked), and a background compactor folds over-threshold
 /// overlays into freshly clustered bases off the serving path —
 /// queries never block on a compaction, and every answer reflects one
 /// consistent index state (mutations and swaps are serialized with
-/// query groups on index_mutex_). Rows are named by stable ids: the
-/// constructor's target rows get 0..rows-1 and Insert allocates upward.
+/// query groups on the tenant's index mutex). Rows are named by stable
+/// ids per tenant: the initial rows get 0..rows-1 and Insert allocates
+/// upward.
 ///
 ///   KnnService service(gallery, {.num_shards = 4});
+///   service.CreateIndex("faces", faces_matrix, /*weight=*/4.0);
 ///   // from many threads:
 ///   std::vector<Neighbor> nn = service.Search(point, /*k=*/10).value();
-///   uint32_t id = service.Insert(new_point).value();
-///   service.Remove(id);
+///   auto fnn = service.Search({.tenant = "faces"}, point, 10);
 ///
-/// Lock order (to keep the TSan suites meaningful): index_mutex_ may be
-/// held while taking stats_mutex_ or compact_mutex_ (never the
-/// reverse); cache_mutex_ never nests with any of them — cache
-/// bookkeeping that needs stats releases the cache lock first.
+/// Lock order (to keep the TSan suites meaningful): a tenant's index
+/// mutex may be held while taking stats_mutex_, compact_mutex_, or the
+/// manager's map mutex (never the reverse); two tenants' index mutexes
+/// are never held together; cache_mutex_ never nests with any of them —
+/// cache bookkeeping that needs stats releases the cache lock first.
 class KnnService {
  public:
   explicit KnnService(const HostMatrix& target,
@@ -213,19 +260,45 @@ class KnnService {
   KnnService& operator=(const KnnService&) = delete;
 
   /// Adopts a complete shard snapshot set — including any mutation
-  /// overlays (.sksnap v2) — as a new service. The number of shards
-  /// comes from the file set (config.num_shards is ignored); the
-  /// fingerprints must match `config`. This is how a mutated service
-  /// warm-starts exactly: SaveSnapshots + FromSnapshots round-trips
-  /// every answer bit-identically.
+  /// overlays (.sksnap v2) — as a new service's default tenant. The
+  /// number of shards comes from the file set (config.num_shards is
+  /// ignored); the fingerprints must match `config`. This is how a
+  /// mutated service warm-starts exactly: SaveSnapshots + FromSnapshots
+  /// round-trips every answer bit-identically.
   static Result<std::unique_ptr<KnnService>> FromSnapshots(
       const std::string& dir, const ServiceConfig& config = {});
+
+  // -- Index management (multi-tenancy; see docs/serving.md) ----------
+
+  /// Creates a named index over `target` with the given fair-share
+  /// weight. The index is built off to the side (cold, or warm from
+  /// "<snapshot_dir>/<name>/" when the bytes match) and published
+  /// atomically: no query sees it half-built. InvalidArgument on a
+  /// malformed or duplicate name; Unavailable when shutting down. Must
+  /// not be called from a host-pool worker thread.
+  Status CreateIndex(const std::string& name, const HostMatrix& target,
+                     double weight = 1.0);
+
+  /// Removes a named index. In-flight and queued requests naming it
+  /// complete with NotFound; its shards die with the last reference.
+  /// The default tenant cannot be dropped.
+  Status DropIndex(const std::string& name);
+
+  /// Live index names, lexicographic (always includes "default").
+  std::vector<std::string> ListIndexes() const;
+
+  /// Updates a tenant's fair-share weight (takes effect on the next
+  /// scheduler round). NotFound when unknown.
+  Status SetIndexWeight(const std::string& name, double weight);
+
+  // -- Queries --------------------------------------------------------
 
   /// The k nearest target rows of one query point. Thread-safe; blocks
   /// until the request's micro-batch has been served (or a cache hit
   /// answers immediately). Returns Unavailable — without aborting and
   /// without side effects — if the request raced a concurrent
-  /// Shutdown(); such rejections are counted in stats().rejected_requests.
+  /// Shutdown() (counted in stats().rejected_requests) or was shed by
+  /// the max_queue_depth bound (counted in stats().shed_requests).
   Result<std::vector<Neighbor>> Search(const std::vector<float>& query_point,
                                        int k);
   /// Mode-selected Search: exact (the default above) or approx under a
@@ -233,31 +306,54 @@ class KnnService {
   /// cache, and answer identically to plain Search.
   Result<std::vector<Neighbor>> Search(const std::vector<float>& query_point,
                                        int k, const ann::SearchMode& mode);
+  /// Tenant-qualified Search: targets opts.tenant, honors opts.timeout
+  /// (kDeadlineExceeded when it expires in the queue). NotFound for
+  /// unknown tenants.
+  Result<std::vector<Neighbor>> Search(const CallOptions& opts,
+                                       const std::vector<float>& query_point,
+                                       int k);
+  Result<std::vector<Neighbor>> Search(const CallOptions& opts,
+                                       const std::vector<float>& query_point,
+                                       int k, const ann::SearchMode& mode);
 
   /// The k nearest target rows for every row of `queries`, as one
   /// request (the rows always ride in the same micro-batch and the row
   /// order is preserved). Thread-safe; blocks until served. Returns
-  /// Unavailable if the request raced a concurrent Shutdown().
+  /// Unavailable if the request raced a concurrent Shutdown() or was
+  /// shed by the admission bound.
   Result<KnnResult> JoinBatch(const HostMatrix& queries, int k);
   /// Mode-selected JoinBatch; see the Search overload.
   Result<KnnResult> JoinBatch(const HostMatrix& queries, int k,
                               const ann::SearchMode& mode);
+  /// Tenant-qualified JoinBatch; see the Search overload.
+  Result<KnnResult> JoinBatch(const CallOptions& opts,
+                              const HostMatrix& queries, int k);
+  Result<KnnResult> JoinBatch(const CallOptions& opts,
+                              const HostMatrix& queries, int k,
+                              const ann::SearchMode& mode);
+
+  // -- Mutations ------------------------------------------------------
 
   /// Adds a point to the serving set; returns its stable id. The point
   /// is served exactly from the next admitted query group on.
   /// Thread-safe; never blocks on a compaction. Returns Unavailable
   /// when racing a Shutdown().
   Result<uint32_t> Insert(const std::vector<float>& point);
+  Result<uint32_t> Insert(const CallOptions& opts,
+                          const std::vector<float>& point);
 
   /// Insert for many rows under one lock acquisition; returns their
   /// stable ids in row order.
   Result<std::vector<uint32_t>> InsertBatch(const HostMatrix& points);
+  Result<std::vector<uint32_t>> InsertBatch(const CallOptions& opts,
+                                            const HostMatrix& points);
 
   /// Deletes the point with this stable id. Returns true if it was
   /// live, false if unknown or already removed; Unavailable when racing
   /// a Shutdown(). Removing every point is allowed — queries then
   /// answer all padding.
   Result<bool> Remove(uint32_t id);
+  Result<bool> Remove(const CallOptions& opts, uint32_t id);
 
   /// Synchronously folds one shard's overlay into a freshly clustered
   /// base (same protocol as the background compactor: capture under the
@@ -265,8 +361,10 @@ class KnnService {
   /// Returns Unavailable if a competing compaction or swap superseded
   /// the rebuild; Ok when installed or when there was nothing to do.
   Status CompactShard(int shard);
+  Status CompactShard(const std::string& tenant, int shard);
   /// CompactShard over every shard, stopping at the first error.
   Status CompactAll();
+  Status CompactAll(const std::string& tenant);
 
   /// Rejects new requests and mutations, drains everything already
   /// admitted, and joins the dispatcher and the compactor. Idempotent;
@@ -274,14 +372,14 @@ class KnnService {
   /// shutdown still resolves with its answer.
   void Shutdown();
 
-  /// Persists every shard's prepared index — including its mutation
-  /// overlay, if any — into `dir` (created if missing) as
-  /// "shard-<s>-of-<n>.sksnap" (v1 for pristine shards, v2 for mutated
-  /// ones). Waits for the in-flight micro-batch; safe to call while
-  /// clients keep submitting. A pristine directory warm-starts a later
-  /// service with the same config; a mutated one is adopted with
-  /// FromSnapshots.
+  /// Persists every tenant's shards into `dir` (created if missing):
+  /// the default tenant's as "shard-<s>-of-<n>.sksnap" at the root —
+  /// byte-identical to the single-tenant layout — and each named
+  /// tenant's under "<dir>/<tenant>/". Waits for in-flight micro-
+  /// batches per tenant; safe to call while clients keep submitting.
   Status SaveSnapshots(const std::string& dir);
+  /// Persists one tenant's shards into `dir` (at the root).
+  Status SaveSnapshots(const std::string& tenant, const std::string& dir);
 
   /// Hot-swap: loads a complete shard set from `dir` (v1 or v2),
   /// re-materializes the replacement engines off to the side, then
@@ -291,11 +389,12 @@ class KnnService {
   /// computed against the old generation can never repopulate the cache
   /// after the swap. Pending (uncompacted) mutations of the old
   /// generation are replaced wholesale along with it. The set must have
-  /// this service's shard count, dims, and options/device fingerprints;
-  /// on any failure the live index stays untouched and the error is
-  /// returned. Must not be called from a host-pool worker thread (it
-  /// runs its own fork-join region).
+  /// the tenant's shard count, dims, and the service's options/device
+  /// fingerprints; on any failure the live index stays untouched and
+  /// the error is returned. Must not be called from a host-pool worker
+  /// thread (it runs its own fork-join region).
   Status SwapIndex(const std::string& dir);
+  Status SwapIndex(const std::string& tenant, const std::string& dir);
 
   /// Consistent snapshot of the cumulative counters.
   ServiceStats stats() const;
@@ -303,10 +402,15 @@ class KnnService {
   /// The service's metrics registry: latency histograms (queue wait,
   /// batch assembly, shard fan-out, merge, end-to-end), per-stage
   /// simulated-time counters, adaptive-decision counts,
-  /// mutation/compaction counters, and counter mirrors of ServiceStats.
+  /// mutation/compaction counters, counter mirrors of ServiceStats,
+  /// and the per-tenant labeled series (sweetknn_tenant_*{tenant="x"}).
   /// See docs/serving.md, "Metrics".
   const common::MetricsRegistry& metrics() const { return metrics_; }
-  /// Registry exports with queue-depth gauges refreshed first.
+  /// Registry exports with the queue-depth/peak/tenant-count gauges
+  /// refreshed first. The queue-depth gauge is computed from the live
+  /// scheduler size at export time only — it is never Set on the
+  /// submit/dispatch paths, where two racing writers used to be able
+  /// to publish a stale depth.
   std::string ExportMetricsJson() const;
   std::string ExportMetricsText() const;
 
@@ -318,16 +422,25 @@ class KnnService {
     pre_cache_insert_hook_ = std::move(hook);
   }
 
+  /// Test-only: invoked on the dispatcher thread right after it dequeues
+  /// the first request of each micro-batch, with no scheduler lock held.
+  /// Lets tests park the dispatcher (submit a sentinel, block in the
+  /// hook) to hold a known queue depth. Safe to set at any time.
+  void SetPreDispatchHookForTest(std::function<void()> hook) {
+    std::lock_guard<std::mutex> lock(hook_mutex_);
+    pre_dispatch_hook_ = std::move(hook);
+  }
+
   /// The batch router (live mode switch; route counters). Thread-safe.
   core::RoutePlanner& planner() { return planner_; }
   const core::RoutePlanner& planner() const { return planner_; }
 
-  int num_shards() const { return static_cast<int>(shards_.size()); }
-  /// Live rows: base rows minus tombstones plus delta points.
-  size_t target_rows() const {
-    std::lock_guard<std::mutex> lock(index_mutex_);
-    return target_rows_;
-  }
+  /// Shards of the default tenant (named tenants may clamp lower).
+  int num_shards() const { return config_.num_shards; }
+  /// Live rows of the default tenant: base minus tombstones plus delta.
+  size_t target_rows() const;
+  /// Live rows of a named tenant; NotFound when unknown.
+  Result<size_t> target_rows(const std::string& tenant) const;
   size_t dims() const { return dims_; }
   const ServiceConfig& config() const { return config_; }
 
@@ -343,14 +456,22 @@ class KnnService {
   using Shard = ShardHost;
 
   struct Request {
+    /// The index this request targets; pinned so a concurrent DropIndex
+    /// can never pull the shards out from under a queued request.
+    std::shared_ptr<TenantIndex> tenant;
     std::vector<float> rows;  ///< num_rows * dims query coordinates.
     size_t num_rows = 0;
     int k = 0;
     /// Normalized at admission (Normalize()), so grouping and caching
     /// treat approx(recall 1.0) and exact as the same traffic.
     ann::SearchMode mode;
+    /// Relative deadline copied from CallOptions; 0 = none. Submit
+    /// turns it into the absolute `deadline` below at admit time.
+    std::chrono::microseconds timeout{0};
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
     std::chrono::steady_clock::time_point admit_time;
-    std::promise<KnnResult> promise;
+    std::promise<Result<KnnResult>> promise;
   };
   using RequestPtr = std::unique_ptr<Request>;
 
@@ -359,21 +480,48 @@ class KnnService {
   KnnService(AdoptTag, std::vector<store::IndexSnapshot> snapshots,
              const ServiceConfig& config);
 
+  static FairScheduler<RequestPtr>::Options SchedOptions(
+      const ServiceConfig& config);
+
   /// Registers every metric of the registry and caches the pointers.
   void InitMetrics();
+  /// Registers the tenant's labeled series (TenantLabel(name)).
+  void RegisterTenantMetrics(TenantIndex* tenant);
   /// Starts the dispatcher and (if configured) the compactor.
   void StartThreads();
 
-  /// Admission. Fails with Unavailable (counting the rejection) when the
-  /// queue has been closed by Shutdown(); a successful return guarantees
-  /// the future resolves, because the dispatcher drains everything
-  /// admitted before the close.
-  Result<std::future<KnnResult>> Submit(RequestPtr request);
+  /// "<snapshot_dir>/<name>/" for named tenants, the root for the
+  /// default tenant, "" when snapshots are not configured.
+  std::string TenantSnapshotDir(const std::string& name) const;
+
+  /// The tenant, or NotFound. Never nullptr on Ok.
+  Result<std::shared_ptr<TenantIndex>> ResolveTenant(
+      const std::string& name) const;
+
+  /// Builds a complete tenant off to the side: contiguous slices,
+  /// per-shard engines (warm from `snapshot_dir` when it matches, cold
+  /// otherwise), id allocator, labeled metrics. Publishing it is the
+  /// caller's job (IndexManager::Install + scheduler weight).
+  std::shared_ptr<TenantIndex> BuildTenant(const std::string& name,
+                                           double weight,
+                                           const HostMatrix& target,
+                                           const std::string& snapshot_dir);
+
+  /// Admission. Fails with Unavailable — counting the rejection or the
+  /// shed — when the scheduler is closed or the max_queue_depth bound
+  /// bounces the request; a successful return guarantees the future
+  /// resolves, because the dispatcher drains everything admitted
+  /// before the close.
+  Result<std::future<Result<KnnResult>>> Submit(RequestPtr request);
   void DispatchLoop();
-  /// Runs one same-k group of coalesced requests through every shard and
-  /// fulfills their promises. Holds index_mutex_ for the whole group, so
-  /// a group never straddles a SwapIndex, mutation, or compaction
-  /// install.
+  /// Completes a popped request without touching the shards when its
+  /// tenant was dropped (NotFound) or its deadline expired while
+  /// queued (DeadlineExceeded). True = the request was consumed.
+  bool FailFast(RequestPtr* request);
+  /// Runs one same-(k, mode) group of one tenant's coalesced requests
+  /// through the tenant's shards and fulfills their promises. Holds the
+  /// tenant's index mutex for the whole group, so a group never
+  /// straddles a SwapIndex, mutation, or compaction install.
   void RunGroup(std::vector<RequestPtr> group);
   /// Folds one engine group's shard answers into ServiceStats and the
   /// metrics registry. Host-routed shards contribute no simulated-device
@@ -384,27 +532,33 @@ class KnnService {
 
   /// The background compactor: sleeps until a mutation pushes some shard
   /// over the threshold (or Shutdown), then rebuilds candidates one at a
-  /// time.
+  /// time across every tenant.
   void CompactorLoop();
-  /// First over-threshold shard with no compaction in flight, or -1.
-  int PickCompactionCandidate();
+  /// First over-threshold shard of this tenant with no compaction in
+  /// flight, or -1.
+  int PickCompactionCandidate(TenantIndex* tenant);
   /// Capture -> rebuild (off-lock) -> install for one shard. See
   /// docs/mutability.md for the protocol.
-  Status CompactShardInternal(int s);
-  /// Overlay fraction check for one shard. Caller holds index_mutex_.
+  Status CompactShardInternal(TenantIndex* tenant, int s);
+  /// Overlay fraction check for one shard. Caller holds the tenant's
+  /// index mutex.
   bool OverThreshold(const Shard& shard) const;
-  /// Wakes the compactor if `shard` warrants it. Caller holds
-  /// index_mutex_.
+  /// Wakes the compactor if `shard` warrants it. Caller holds the
+  /// owning tenant's index mutex.
   void MaybeScheduleCompaction(const Shard& shard);
-  /// Shard owning stable id `id`, or -1. Caller holds index_mutex_.
-  int OwningShard(uint32_t id) const;
-  /// Marks answers computed before now as stale for the cache and
-  /// clears it. Caller holds index_mutex_ for the bump; the clear runs
-  /// after release.
-  void BumpCacheEpochLocked();
+  /// Shard of `tenant` owning stable id `id`, or -1. Caller holds the
+  /// tenant's index mutex.
+  int OwningShard(const TenantIndex& tenant, uint32_t id) const;
+  /// Marks answers computed before now as stale for the cache; the
+  /// clear runs separately (ClearCache) after the index lock drops.
+  void BumpCacheEpoch();
   void ClearCache();
-  /// Refreshes the overlay gauges. Caller holds index_mutex_.
-  void UpdateOverlayGauges();
+  /// Mirrors one tenant's overlay sizes into its atomics and per-tenant
+  /// gauge. Caller holds the tenant's index mutex.
+  void UpdateOverlayGaugesLocked(TenantIndex* tenant);
+  /// Re-sums the cross-tenant overlay gauges from the atomics (no
+  /// index mutex needed).
+  void RefreshGlobalOverlayGauges();
 
   /// Loads and fully validates "<dir>/shard-<s>-of-<num_shards>.sksnap"
   /// for every shard (files read in parallel on the host pool): shard
@@ -418,7 +572,8 @@ class KnnService {
       size_t dims, bool allow_overlay);
 
   /// A replacement shard set materialized off to the side, ready to
-  /// install. Epochs are assigned at install time (under index_mutex_).
+  /// install. Epochs are assigned at install time (under the tenant's
+  /// index mutex).
   struct ShardSet {
     std::vector<std::unique_ptr<Shard>> shards;
     std::vector<uint32_t> offsets;
@@ -430,15 +585,20 @@ class KnnService {
   ShardSet BuildShardsFromSnapshots(
       std::vector<store::IndexSnapshot> snapshots) const;
 
-  /// Exports one shard's prepared index as a snapshot, normalizing the
-  /// overlay (delta entries tombstoned mid-compaction are dropped
-  /// outright). Caller holds index_mutex_.
-  store::IndexSnapshot ExportShard(int s) const;
+  /// Exports one shard of `tenant`, normalizing the overlay (delta
+  /// entries tombstoned mid-compaction are dropped outright). Caller
+  /// holds the tenant's index mutex.
+  store::IndexSnapshot ExportShard(const TenantIndex& tenant, int s) const;
 
-  // LRU result cache (single-row Search results), guarded by cache_mutex_.
-  // Keys include the (normalized) mode, so exact and approx answers for
-  // the same point never collide.
-  static std::string CacheKey(const float* row, size_t dims, int k,
+  Status SaveTenantSnapshots(TenantIndex* tenant, const std::string& dir);
+  Status SwapIndexInternal(TenantIndex* tenant, const std::string& dir);
+
+  // LRU result cache (single-row Search results), guarded by cache_mutex_
+  // and shared across tenants. Keys are tenant-prefixed, so two tenants'
+  // answers for the same point bytes never collide; keys also include
+  // the (normalized) mode, so exact and approx answers never collide.
+  static std::string CacheKey(const std::string& tenant, const float* row,
+                              size_t dims, int k,
                               const ann::SearchMode& mode);
   bool CacheLookup(const std::string& key, std::vector<Neighbor>* out);
   /// Inserts unless `epoch` (captured before the query ran) is no
@@ -449,38 +609,35 @@ class KnnService {
                    uint64_t epoch);
 
   ServiceConfig config_;
-  size_t dims_ = 0;
+  size_t dims_ = 0;  ///< Default tenant's dims (legacy accessor).
   /// Routes each group's per-shard base scan; internally atomic (the
   /// dispatcher chooses while tests flip the mode).
   core::RoutePlanner planner_;
 
-  /// Guards the live index state: shards_ (including their overlays),
-  /// shard_offsets_, target_rows_, next_id_ and epoch_counter_. Held by
-  /// RunGroup (dispatcher thread) for each group, by mutations, by
-  /// SwapIndex / compaction installs for the swap, and by SaveSnapshots
-  /// for the export, so each of those is atomic with respect to the
-  /// others.
-  mutable std::mutex index_mutex_;
-  size_t target_rows_ = 0;
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<uint32_t> shard_offsets_;
-  /// Next stable id Insert allocates; starts at the initial row count.
-  uint32_t next_id_ = 0;
-  /// Source of shard epochs (see Shard::epoch).
-  uint64_t epoch_counter_ = 0;
+  /// The named indexes. Each TenantIndex carries its own index mutex
+  /// (the per-tenant successor of the old service-wide index_mutex_).
+  IndexManager manager_;
+  /// The constructor's tenant; pinned so the legacy single-tenant API
+  /// never pays a map lookup.
+  std::shared_ptr<TenantIndex> default_tenant_;
+
+  /// Source of shard epochs (see Shard::epoch), shared by every tenant.
+  std::atomic<uint64_t> epoch_counter_{0};
   /// Bumped by every completed SwapIndex; surfaced as a gauge.
   std::atomic<uint64_t> index_generation_{0};
   /// Bumped by every index change that invalidates computed answers:
-  /// swaps, mutations, compaction installs. Cache inserts tagged with an
-  /// older epoch are dropped (see CacheInsert).
+  /// swaps, mutations, compaction installs, drops. Cache inserts tagged
+  /// with an older epoch are dropped (see CacheInsert).
   std::atomic<uint64_t> cache_epoch_{0};
 
-  common::BlockingQueue<RequestPtr> queue_;
+  /// The weighted-fair admission scheduler (replaces the old single
+  /// FIFO BlockingQueue).
+  FairScheduler<RequestPtr> queue_;
   std::thread dispatcher_;
 
   /// Compactor wake-up state. compact_mutex_ may be taken while holding
-  /// index_mutex_ (mutations scheduling work), never the reverse — the
-  /// compactor drops it before touching the index.
+  /// a tenant's index mutex (mutations scheduling work), never the
+  /// reverse — the compactor drops it before touching any index.
   std::mutex compact_mutex_;
   std::condition_variable compact_cv_;
   bool compact_pending_ = false;
@@ -498,6 +655,8 @@ class KnnService {
   common::Counter* m_requests_ = nullptr;
   common::Counter* m_queries_ = nullptr;
   common::Counter* m_rejected_ = nullptr;
+  common::Counter* m_shed_requests_ = nullptr;
+  common::Counter* m_deadline_exceeded_ = nullptr;
   common::Counter* m_batches_ = nullptr;
   common::Counter* m_engine_groups_ = nullptr;
   common::Counter* m_batched_queries_ = nullptr;
@@ -543,6 +702,7 @@ class KnnService {
   common::Histogram* m_recall_estimate_ = nullptr;
   common::Gauge* m_queue_depth_ = nullptr;
   common::Gauge* m_peak_queue_depth_ = nullptr;
+  common::Gauge* m_tenants_ = nullptr;
   common::Gauge* m_index_generation_ = nullptr;
   common::Gauge* m_delta_points_ = nullptr;
   common::Gauge* m_tombstones_ = nullptr;
@@ -553,6 +713,10 @@ class KnnService {
   uint64_t approx_group_counter_ = 0;
 
   std::function<void()> pre_cache_insert_hook_;
+  /// Guarded by hook_mutex_ (the dispatcher copies it per batch, so a
+  /// test may install it while traffic is flowing).
+  mutable std::mutex hook_mutex_;
+  std::function<void()> pre_dispatch_hook_;
 
   std::mutex cache_mutex_;
   std::list<std::string> lru_;  // front = most recent

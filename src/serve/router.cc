@@ -328,6 +328,7 @@ Status Router::Bootstrap(const HostMatrix& target) {
     req.planner = config_.service.planner;
     req.enable_ann = config_.service.enable_ann;
     req.ann_params = config_.service.ann_params;
+    req.tenant = config_.tenant;
     shard_offsets_.push_back(static_cast<uint32_t>(offset));
     offset += rows;
     const std::string payload = net::EncodePrepareCold(req);
@@ -345,8 +346,13 @@ Status Router::Bootstrap(const HostMatrix& target) {
       SteadyClock::now() + config_.prepare_timeout;
   for (int i = 0; i < outstanding; ++i) {
     RpcReply reply;
-    if (!replies->WaitPopUntil(&reply, deadline)) {
-      return Status::DeadlineExceeded("cluster prepare timed out");
+    switch (replies->WaitPopUntil(&reply, deadline)) {
+      case common::PopResult::kItem:
+        break;
+      case common::PopResult::kTimeout:
+        return Status::DeadlineExceeded("cluster prepare timed out");
+      case common::PopResult::kClosed:
+        return Status::Unavailable("router shut down during prepare");
     }
     SK_RETURN_IF_ERROR(reply.status);
     if (reply.frame.type == static_cast<uint32_t>(net::MsgType::kError)) {
@@ -377,10 +383,19 @@ Result<net::Frame> Router::CallWorker(int w, net::MsgType type,
                                " is shut down");
   }
   RpcReply reply;
-  if (!replies->WaitPopUntil(&reply, SteadyClock::now() + timeout)) {
-    NoteRpcTimeout();
-    return Status::DeadlineExceeded("worker " + std::to_string(w) +
-                                    " RPC timed out");
+  switch (replies->WaitPopUntil(&reply, SteadyClock::now() + timeout)) {
+    case common::PopResult::kItem:
+      break;
+    case common::PopResult::kTimeout:
+      // Genuinely no answer inside the budget: the worker is slow or
+      // wedged. Counts toward the failover health accounting.
+      NoteRpcTimeout();
+      return Status::DeadlineExceeded("worker " + std::to_string(w) +
+                                      " RPC timed out");
+    case common::PopResult::kClosed:
+      // Shutdown, not sickness — do not charge an RPC timeout.
+      return Status::Unavailable("worker " + std::to_string(w) +
+                                 " channel closed");
   }
   if (reply.status.code() == StatusCode::kDeadlineExceeded) {
     NoteRpcTimeout();
@@ -580,8 +595,10 @@ void Router::DispatchLoop() {
       RequestPtr next;
       if (!queue_.TryPop(&next)) {
         const auto now = SteadyClock::now();
-        if (now >= deadline || !queue_.WaitPopFor(&next, deadline - now)) {
-          break;
+        if (now >= deadline ||
+            queue_.WaitPopFor(&next, deadline - now) !=
+                common::PopResult::kItem) {
+          break;  // batch window over (or shutdown: outer WaitPop ends)
         }
       }
       m_queue_wait_->Observe(
@@ -640,6 +657,7 @@ bool Router::TryFanout(const HostMatrix& queries, int k,
     req.queries = queries;
     req.shard_indices = plan[w];
     req.mode = mode;
+    req.tenant = config_.tenant;
     Call call;
     call.type = static_cast<uint32_t>(net::MsgType::kQuery);
     call.payload = net::EncodeQuery(req);
@@ -659,9 +677,13 @@ bool Router::TryFanout(const HostMatrix& queries, int k,
   bool ok = true;
   for (int i = 0; i < outstanding; ++i) {
     RpcReply reply;
-    if (!replies->WaitPopUntil(&reply, deadline)) {
-      // Whoever has not answered by now is wedged or gone.
-      NoteRpcTimeout();
+    const common::PopResult got = replies->WaitPopUntil(&reply, deadline);
+    if (got != common::PopResult::kItem) {
+      // kTimeout: whoever has not answered by now is wedged or gone —
+      // that is a health event. kClosed: the reply channel was torn
+      // down under us (shutdown); the stragglers still failed this
+      // fan-out, but it is not a worker-sickness signal.
+      if (got == common::PopResult::kTimeout) NoteRpcTimeout();
       for (size_t w = 0; w < pending.size(); ++w) {
         if (pending[w]) failed->push_back(static_cast<int>(w));
       }
@@ -924,6 +946,7 @@ Status Router::RestoreReplication() {
       prep.planner = config_.service.planner;
       prep.enable_ann = config_.service.enable_ann;
       prep.ann_params = config_.service.ann_params;
+      prep.tenant = config_.tenant;
       Result<net::Frame> adopted = CallWorker(
           candidate, net::MsgType::kPrepareSnapshot,
           net::EncodePrepareSnapshot(prep), config_.prepare_timeout,
@@ -996,6 +1019,24 @@ bool Router::worker_alive(int w) const {
 
 pid_t Router::worker_pid(int w) const {
   return workers_[static_cast<size_t>(w)]->pid();
+}
+
+Result<std::vector<std::string>> Router::ListWorkerIndexes(int w) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (w < 0 || static_cast<size_t>(w) >= workers_.size()) {
+    return Status::InvalidArgument("no worker " + std::to_string(w));
+  }
+  if (!alive_[static_cast<size_t>(w)]) {
+    return Status::Unavailable("worker " + std::to_string(w) + " is dead");
+  }
+  Result<net::Frame> reply =
+      CallWorker(w, net::MsgType::kListIndexes, "", config_.rpc_timeout,
+                 net::MsgType::kListIndexesReply);
+  SK_RETURN_IF_ERROR(reply.status());
+  net::ListIndexesReply decoded;
+  SK_RETURN_IF_ERROR(
+      net::DecodeListIndexesReply(reply.value().payload, &decoded));
+  return std::move(decoded.names);
 }
 
 }  // namespace sweetknn::serve

@@ -51,6 +51,10 @@ struct RouterConfig {
   /// Sockets and catch-up snapshots live here; created (and removed at
   /// Shutdown) when empty: a fresh directory under TMPDIR.
   std::string work_dir;
+  /// Named index this cluster serves. Rides every prepare and query
+  /// frame; workers record it at prepare time and reject queries naming
+  /// a different one (one tenant per cluster today; docs/serving.md).
+  std::string tenant = kDefaultTenant;
 };
 
 /// Cumulative cluster counters, the router-side subset of ServiceStats
@@ -182,6 +186,10 @@ class Router {
   bool worker_alive(int w) const;
   /// The worker's process id — tests kill/SIGSTOP it to drive failover.
   pid_t worker_pid(int w) const;
+  /// Asks worker `w` for the names of the indexes it hosts (the
+  /// kListIndexes RPC) — the wire-level counterpart of
+  /// KnnService::ListIndexes.
+  Result<std::vector<std::string>> ListWorkerIndexes(int w);
 
  private:
   struct Request {

@@ -1,0 +1,30 @@
+#include "serve/scheduler.h"
+
+#include <cstdlib>
+
+namespace sweetknn::serve {
+
+Result<std::vector<double>> ParseWeightList(const std::string& spec) {
+  std::vector<double> weights;
+  if (spec.empty()) return weights;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(pos, comma - pos);
+    if (token.empty()) {
+      return Status::InvalidArgument("empty weight in '" + spec + "'");
+    }
+    char* end = nullptr;
+    const double w = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !(w > 0.0)) {
+      return Status::InvalidArgument("weight '" + token +
+                                     "' is not a positive number");
+    }
+    weights.push_back(w);
+    pos = comma + 1;
+  }
+  return weights;
+}
+
+}  // namespace sweetknn::serve

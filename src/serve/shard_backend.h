@@ -79,10 +79,17 @@ struct ShardHost {
   }
 
   /// Opts this shard into the ANN tier. Call before BuildCold /
-  /// RestoreBase; the graph is built (or adopted) there.
-  void ConfigureAnn(bool enabled, const ann::GraphBuildParams& params) {
+  /// RestoreBase; the graph is built (or adopted) there. When
+  /// `params.workers` is unset (<= 0), `fallback_workers` — the host's
+  /// configured parallelism — fills it in, so graph builds stop silently
+  /// falling back to the SWEETKNN_SIM_THREADS environment default.
+  void ConfigureAnn(bool enabled, const ann::GraphBuildParams& params,
+                    int fallback_workers = 0) {
     ann_enabled_ = enabled;
     ann_params_ = params;
+    if (ann_params_.workers <= 0 && fallback_workers > 0) {
+      ann_params_.workers = fallback_workers;
+    }
   }
   bool ann_enabled() const { return ann_enabled_; }
   const ann::GraphBuildParams& ann_params() const { return ann_params_; }

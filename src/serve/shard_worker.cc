@@ -111,6 +111,8 @@ net::Frame ShardWorker::Dispatch(const net::Frame& request, bool* shutdown) {
     }
     case net::MsgType::kHealth:
       return HandleHealth();
+    case net::MsgType::kListIndexes:
+      return HandleListIndexes();
     case net::MsgType::kShutdown:
       *shutdown = true;
       return AckFrame();
@@ -150,6 +152,12 @@ Status ShardWorker::HandlePrepareCold(const std::string& payload) {
         "PrepareCold: slice has " + std::to_string(req.slice.cols()) +
         " dims, this worker serves " + std::to_string(dims_));
   }
+  if (!shards_.empty() && req.tenant != tenant_) {
+    return Status::InvalidArgument("PrepareCold: shard belongs to index '" +
+                                   req.tenant + "', this worker hosts '" +
+                                   tenant_ + "'");
+  }
+  tenant_ = req.tenant;
   AdoptConfig(req.options, req.device, req.planner, req.enable_ann,
               req.ann_params);
   // The shard engines are pinned to one execution thread, exactly like
@@ -158,7 +166,7 @@ Status ShardWorker::HandlePrepareCold(const std::string& payload) {
   core::TiOptions shard_options = options_;
   shard_options.sim_threads = 1;
   auto shard = std::make_unique<ShardHost>(device_, shard_options);
-  shard->ConfigureAnn(enable_ann_, ann_params_);
+  shard->ConfigureAnn(enable_ann_, ann_params_, options_.sim_threads);
   shard->offset = static_cast<uint32_t>(req.offset);
   shard->epoch = ++epoch_counter_;
   shard->BuildCold(req.slice);
@@ -191,12 +199,18 @@ Status ShardWorker::HandlePrepareSnapshot(const std::string& payload) {
         req.path + " holds " + std::to_string(snap.target.cols()) +
         "-dimensional points, this worker serves " + std::to_string(dims_));
   }
+  if (!shards_.empty() && req.tenant != tenant_) {
+    return Status::InvalidArgument(
+        "PrepareSnapshot: shard belongs to index '" + req.tenant +
+        "', this worker hosts '" + tenant_ + "'");
+  }
+  tenant_ = req.tenant;
   AdoptConfig(req.options, req.device, req.planner, req.enable_ann,
               req.ann_params);
   core::TiOptions shard_options = options_;
   shard_options.sim_threads = 1;
   auto shard = std::make_unique<ShardHost>(device_, shard_options);
-  shard->ConfigureAnn(enable_ann_, ann_params_);
+  shard->ConfigureAnn(enable_ann_, ann_params_, options_.sim_threads);
   shard->AdoptOverlay(snap);
   shard->RestoreBase(snap.target, snap.clustering);
   shard->epoch = ++epoch_counter_;
@@ -209,6 +223,10 @@ Status ShardWorker::HandleQuery(const std::string& payload,
                                 net::Frame* reply) {
   net::QueryRequest req;
   SK_RETURN_IF_ERROR(net::DecodeQuery(payload, &req));
+  if (req.tenant != tenant_) {
+    return Status::InvalidArgument("Query: names index '" + req.tenant +
+                                   "', this worker hosts '" + tenant_ + "'");
+  }
   if (req.k == 0) return Status::InvalidArgument("Query: k must be > 0");
   if (req.queries.empty()) {
     return Status::InvalidArgument("Query: empty query matrix");
@@ -349,6 +367,15 @@ net::Frame ShardWorker::HandleHealth() const {
   net::Frame reply;
   reply.type = static_cast<uint32_t>(net::MsgType::kHealthReply);
   reply.payload = net::EncodeHealthReply(out);
+  return reply;
+}
+
+net::Frame ShardWorker::HandleListIndexes() const {
+  net::ListIndexesReply out;
+  if (!shards_.empty()) out.names.push_back(tenant_);
+  net::Frame reply;
+  reply.type = static_cast<uint32_t>(net::MsgType::kListIndexesReply);
+  reply.payload = net::EncodeListIndexesReply(out);
   return reply;
 }
 

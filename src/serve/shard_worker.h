@@ -60,6 +60,7 @@ class ShardWorker {
   Status HandleCompact(const std::string& payload);
   Status HandleSaveShard(const std::string& payload);
   net::Frame HandleHealth() const;
+  net::Frame HandleListIndexes() const;
 
   /// Adopts the config blocks that ride in every prepare (options,
   /// device, planner — the planner only on the first prepare, so its
@@ -83,6 +84,12 @@ class ShardWorker {
   /// ANN tier config (docs/approx.md), adopted from the prepare RPCs.
   bool enable_ann_ = false;
   ann::GraphBuildParams ann_params_;
+  /// The named index this worker's shards belong to, adopted from the
+  /// first prepare. Every later prepare must name the same tenant, and
+  /// queries naming a different one are rejected — the cluster serves
+  /// one tenant per worker set today, and this pins that invariant on
+  /// the wire instead of by convention.
+  std::string tenant_ = "default";
 
   /// Hosted shards by global shard index (primaries and replicas look
   /// identical here; the role lives in the router's placement tables).

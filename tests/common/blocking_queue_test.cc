@@ -36,15 +36,17 @@ TEST(BlockingQueueTest, WaitPopBlocksUntilPush) {
 TEST(BlockingQueueTest, WaitPopForTimesOutEmpty) {
   BlockingQueue<int> queue;
   int value = 0;
-  EXPECT_FALSE(queue.WaitPopFor(&value, std::chrono::microseconds(200)));
+  EXPECT_EQ(queue.WaitPopFor(&value, std::chrono::microseconds(200)),
+            PopResult::kTimeout);
 }
 
 TEST(BlockingQueueTest, WaitPopUntilHonorsAbsoluteDeadline) {
   BlockingQueue<int> queue;
   int value = 0;
   const auto start = std::chrono::steady_clock::now();
-  EXPECT_FALSE(
-      queue.WaitPopUntil(&value, start + std::chrono::milliseconds(30)));
+  EXPECT_EQ(
+      queue.WaitPopUntil(&value, start + std::chrono::milliseconds(30)),
+      PopResult::kTimeout);
   // An absolute deadline must not restart on spurious wakeups: the wait
   // ends close to the deadline, never multiples of it.
   EXPECT_LT(std::chrono::steady_clock::now() - start,
@@ -58,13 +60,17 @@ TEST(BlockingQueueTest, WaitPopUntilPopsAvailableItemPastDeadline) {
   BlockingQueue<int> queue;
   queue.Push(7);
   int value = 0;
-  EXPECT_TRUE(queue.WaitPopUntil(
-      &value,
-      std::chrono::steady_clock::now() - std::chrono::milliseconds(10)));
+  EXPECT_EQ(queue.WaitPopUntil(
+                &value,
+                std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(10)),
+            PopResult::kItem);
   EXPECT_EQ(value, 7);
-  EXPECT_FALSE(queue.WaitPopUntil(
-      &value,
-      std::chrono::steady_clock::now() - std::chrono::milliseconds(10)));
+  EXPECT_EQ(queue.WaitPopUntil(
+                &value,
+                std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(10)),
+            PopResult::kTimeout);
 }
 
 TEST(BlockingQueueTest, WaitPopUntilWakesOnPush) {
@@ -74,8 +80,10 @@ TEST(BlockingQueueTest, WaitPopUntilWakesOnPush) {
     queue.Push(11);
   });
   int value = 0;
-  EXPECT_TRUE(queue.WaitPopUntil(
-      &value, std::chrono::steady_clock::now() + std::chrono::seconds(10)));
+  EXPECT_EQ(queue.WaitPopUntil(
+                &value,
+                std::chrono::steady_clock::now() + std::chrono::seconds(10)),
+            PopResult::kItem);
   EXPECT_EQ(value, 11);
   producer.join();
 }
@@ -88,11 +96,60 @@ TEST(BlockingQueueTest, WaitPopUntilWakesOnClose) {
   });
   int value = 0;
   const auto start = std::chrono::steady_clock::now();
-  EXPECT_FALSE(queue.WaitPopUntil(
-      &value, start + std::chrono::seconds(30)));
+  EXPECT_EQ(queue.WaitPopUntil(&value, start + std::chrono::seconds(30)),
+            PopResult::kClosed);
   EXPECT_LT(std::chrono::steady_clock::now() - start,
             std::chrono::seconds(10));
   closer.join();
+}
+
+// Regression: the timed pops used to return bool, conflating "timed out
+// but still open" with "closed and drained" — a consumer could not tell
+// an idle queue from a dead one. The tri-state must report kTimeout
+// while the queue is open, and kClosed only once it is BOTH closed and
+// fully drained.
+TEST(BlockingQueueTest, TimedPopsDistinguishTimeoutFromClosed) {
+  BlockingQueue<int> queue;
+  int value = 0;
+  // Open and empty: timeout, not closed.
+  EXPECT_EQ(queue.WaitPopFor(&value, std::chrono::microseconds(100)),
+            PopResult::kTimeout);
+  EXPECT_EQ(queue.WaitPopUntil(&value,
+                               std::chrono::steady_clock::now() -
+                                   std::chrono::milliseconds(1)),
+            PopResult::kTimeout);
+  // Closed with a backlog: still kItem until drained (the shutdown
+  // drain guarantee), THEN kClosed — never kTimeout again.
+  queue.Push(1);
+  queue.Push(2);
+  queue.Close();
+  EXPECT_EQ(queue.WaitPopFor(&value, std::chrono::microseconds(100)),
+            PopResult::kItem);
+  EXPECT_EQ(value, 1);
+  EXPECT_EQ(queue.WaitPopUntil(&value,
+                               std::chrono::steady_clock::now() -
+                                   std::chrono::milliseconds(1)),
+            PopResult::kItem);
+  EXPECT_EQ(value, 2);
+  EXPECT_EQ(queue.WaitPopFor(&value, std::chrono::microseconds(100)),
+            PopResult::kClosed);
+  EXPECT_EQ(queue.WaitPopUntil(&value,
+                               std::chrono::steady_clock::now() +
+                                   std::chrono::milliseconds(1)),
+            PopResult::kClosed);
+}
+
+TEST(BlockingQueueTest, ClosedPopReturnsImmediately) {
+  // kClosed must not burn the full timeout: a closed-and-empty queue
+  // answers immediately even with a far-future deadline.
+  BlockingQueue<int> queue;
+  queue.Close();
+  int value = 0;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(queue.WaitPopFor(&value, std::chrono::seconds(30)),
+            PopResult::kClosed);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(10));
 }
 
 TEST(BlockingQueueTest, CloseDrainsThenEnds) {

@@ -266,6 +266,84 @@ TEST(ExportTest, FormatTableRendersEveryMetric) {
   EXPECT_NE(table.find("p99"), std::string::npos);
 }
 
+TEST(LabeledMetricsTest, SeriesAreIndependentPerLabelSet) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("req_total", TenantLabel("alpha"), "h");
+  Counter* b = registry.GetCounter("req_total", TenantLabel("beta"), "h");
+  EXPECT_NE(a, b);
+  a->Increment(3);
+  b->Increment(5);
+  EXPECT_EQ(a->value(), 3.0);
+  EXPECT_EQ(b->value(), 5.0);
+  // Same (name, labels) pair returns the same series.
+  EXPECT_EQ(registry.GetCounter("req_total", TenantLabel("alpha"), "h"), a);
+}
+
+TEST(LabeledMetricsTest, LabelValuesEscapeQuotesAndBackslashes) {
+  EXPECT_EQ(MetricLabel("tenant", "plain"), "tenant=\"plain\"");
+  EXPECT_EQ(MetricLabel("tenant", "a\"b\\c"), "tenant=\"a\\\"b\\\\c\"");
+  EXPECT_EQ(TenantLabel("x"), "tenant=\"x\"");
+}
+
+TEST(LabeledMetricsTest, PrometheusExportUsesNativeLabelSyntax) {
+  MetricsRegistry registry;
+  registry.GetCounter("req_total", TenantLabel("alpha"), "per-tenant")
+      ->Increment(2);
+  registry.GetGauge("depth", TenantLabel("beta"), "")->Set(7);
+  registry.GetHistogram("lat_seconds", TenantLabel("alpha"), "",
+                        std::vector<double>{1.0, 2.0})
+      ->Observe(1.5);
+  const std::string text = registry.ExportPrometheusText();
+  EXPECT_NE(text.find("req_total{tenant=\"alpha\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("depth{tenant=\"beta\"} 7\n"), std::string::npos);
+  // Histogram series labels fold in front of le inside one brace block.
+  EXPECT_NE(text.find("lat_seconds_bucket{tenant=\"alpha\",le=\"2\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum{tenant=\"alpha\"} 1.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count{tenant=\"alpha\"} 1\n"),
+            std::string::npos);
+  // HELP/TYPE name the family, not the series.
+  EXPECT_NE(text.find("# TYPE req_total counter\n"), std::string::npos);
+  EXPECT_EQ(text.find("# TYPE req_total{"), std::string::npos);
+}
+
+TEST(LabeledMetricsTest, LabeledSeriesRoundTripBothFormats) {
+  MetricsRegistry registry;
+  // A family with an unlabeled series AND two labeled ones, plus a
+  // labeled histogram — the hard cases for both parsers.
+  registry.GetCounter("req_total", "base")->Increment(1);
+  registry.GetCounter("req_total", TenantLabel("alpha"), "base")
+      ->Increment(2);
+  registry.GetCounter("req_total", TenantLabel("beta"), "base")
+      ->Increment(3);
+  Histogram* h = registry.GetHistogram(
+      "lat_seconds", TenantLabel("alpha"), "lat", LatencyBucketsSeconds());
+  h->Observe(0.004);
+  h->Observe(0.9);
+  registry.GetHistogram("lat_seconds", TenantLabel("beta"), "lat",
+                        LatencyBucketsSeconds());
+
+  const std::string json = registry.ExportJson();
+  MetricsRegistry from_json;
+  ASSERT_TRUE(ParseMetricsJson(json, &from_json).ok());
+  EXPECT_EQ(from_json.ExportJson(), json);
+
+  const std::string text = registry.ExportPrometheusText();
+  MetricsRegistry from_text;
+  ASSERT_TRUE(ParseMetricsPrometheusText(text, &from_text).ok());
+  EXPECT_EQ(from_text.ExportPrometheusText(), text);
+
+  // The reconstructed labeled series carry the right values.
+  EXPECT_EQ(from_json.GetCounter("req_total", "base")->value(), 1.0);
+  EXPECT_EQ(
+      from_json.GetCounter("req_total", TenantLabel("beta"), "base")->value(),
+      3.0);
+  const HistogramSnapshot snap =
+      from_text.SnapshotHistogram("lat_seconds{tenant=\"alpha\"}");
+  EXPECT_EQ(snap.count, 2u);
+}
+
 TEST(FormatMetricValueTest, ShortestRoundTrip) {
   EXPECT_EQ(FormatMetricValue(0.0), "0");
   EXPECT_EQ(FormatMetricValue(1.0), "1");

@@ -21,6 +21,7 @@
 #include "gtest/gtest.h"
 #include "net/frame.h"
 #include "net/wire.h"
+#include "store/payload_io.h"
 
 namespace sweetknn::net {
 namespace {
@@ -168,6 +169,7 @@ std::vector<CodecSample> AllCodecSamples() {
   cold.shard_index = 2;
   cold.offset = 100;
   cold.slice = SmallMatrix(5, 3, 1);
+  cold.tenant = "faces";
   samples.push_back({"PrepareCold", EncodePrepareCold(cold),
                      [](const std::string& p) {
                        PrepareColdRequest req;
@@ -177,6 +179,7 @@ std::vector<CodecSample> AllCodecSamples() {
   PrepareSnapshotRequest snap;
   snap.shard_index = 1;
   snap.path = "/tmp/some/shard-0-of-2.sksnap";
+  snap.tenant = "faces";
   samples.push_back({"PrepareSnapshot", EncodePrepareSnapshot(snap),
                      [](const std::string& p) {
                        PrepareSnapshotRequest req;
@@ -187,6 +190,7 @@ std::vector<CodecSample> AllCodecSamples() {
   query.k = 4;
   query.queries = SmallMatrix(3, 6, 2);
   query.shard_indices = {0, 2, 5};
+  query.tenant = "faces";
   samples.push_back({"Query", EncodeQuery(query), [](const std::string& p) {
                        QueryRequest req;
                        return DecodeQuery(p, &req);
@@ -251,6 +255,14 @@ std::vector<CodecSample> AllCodecSamples() {
                        return DecodeSaveShard(p, &req);
                      }});
 
+  ListIndexesReply indexes;
+  indexes.names = {"default", "faces", "a-rather-long-index-name"};
+  samples.push_back({"ListIndexesReply", EncodeListIndexesReply(indexes),
+                     [](const std::string& p) {
+                       ListIndexesReply r;
+                       return DecodeListIndexesReply(p, &r);
+                     }});
+
   HealthReply health;
   health.queries_served = 12;
   health.shards.push_back({0, 50, 3, 1, 52});
@@ -303,6 +315,60 @@ TEST(WireFuzzTest, RandomSoupNeverCrashes) {
     }
     DecodeError(soup);  // returns some Status either way; must not crash
   }
+}
+
+// The tenant name rides at the END of the prepare/query payloads (the
+// legacy field order is untouched ahead of it) and must survive the
+// round trip exactly — a worker validating the wrong index name would
+// serve cross-tenant answers.
+TEST(WireFuzzTest, TenantFieldRoundTrip) {
+  PrepareColdRequest cold;
+  cold.shard_index = 1;
+  cold.slice = SmallMatrix(2, 3, 5);
+  cold.tenant = "faces";
+  PrepareColdRequest cold_out;
+  ASSERT_TRUE(DecodePrepareCold(EncodePrepareCold(cold), &cold_out).ok());
+  EXPECT_EQ(cold_out.tenant, "faces");
+
+  PrepareSnapshotRequest snap;
+  snap.shard_index = 0;
+  snap.path = "/tmp/x.sksnap";
+  snap.tenant = "plates";
+  PrepareSnapshotRequest snap_out;
+  ASSERT_TRUE(
+      DecodePrepareSnapshot(EncodePrepareSnapshot(snap), &snap_out).ok());
+  EXPECT_EQ(snap_out.tenant, "plates");
+
+  QueryRequest query;
+  query.k = 2;
+  query.queries = SmallMatrix(1, 3, 6);
+  query.shard_indices = {0};
+  query.tenant = "default";
+  QueryRequest query_out;
+  ASSERT_TRUE(DecodeQuery(EncodeQuery(query), &query_out).ok());
+  EXPECT_EQ(query_out.tenant, "default");
+}
+
+TEST(WireFuzzTest, ListIndexesReplyRoundTripAndAbsurdCountRejected) {
+  ListIndexesReply reply;
+  reply.names = {"default", "faces"};
+  ListIndexesReply out;
+  ASSERT_TRUE(
+      DecodeListIndexesReply(EncodeListIndexesReply(reply), &out).ok());
+  EXPECT_EQ(out.names, reply.names);
+
+  ListIndexesReply empty;
+  ASSERT_TRUE(
+      DecodeListIndexesReply(EncodeListIndexesReply(empty), &out).ok());
+  EXPECT_TRUE(out.names.empty());
+
+  // A count no payload of this size could carry must be refused before
+  // any reserve() happens.
+  store::PayloadWriter w;
+  w.PutU64(~uint64_t{0});
+  const Status absurd = DecodeListIndexesReply(w.Take(), &out);
+  ASSERT_FALSE(absurd.ok());
+  EXPECT_EQ(absurd.code(), StatusCode::kIoError) << absurd.ToString();
 }
 
 TEST(WireFuzzTest, ErrorRoundTrip) {

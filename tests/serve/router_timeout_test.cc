@@ -146,5 +146,49 @@ TEST(RouterTimeoutTest, WedgedWorkerTimesOutAndDies) {
   router.Shutdown();
 }
 
+// The named tenant rides every prepare/query frame: a cluster started
+// with config.tenant = "faces" must answer queries (the workers adopted
+// that index name at prepare) and report it from ListWorkerIndexes. And
+// the reply queue's tri-state matters after Shutdown: a closed channel
+// is kUnavailable — shutdown, not sickness — and must never be charged
+// as an RPC timeout (the old boolean pop conflated the two).
+TEST(RouterTimeoutTest, TenantRidesTheWireAndShutdownIsNotATimeout) {
+  const char* cli = std::getenv("SWEETKNN_CLI");
+  if (cli == nullptr) {
+    GTEST_SKIP() << "SWEETKNN_CLI not set; cluster leg needs the CLI binary";
+  }
+  const HostMatrix target = testing::ClusteredPoints(48, 3, 2, 616, 0.08f);
+
+  RouterConfig config;
+  config.service.num_shards = 2;
+  config.service.max_batch_size = 8;
+  config.service.max_batch_wait = std::chrono::microseconds(200);
+  config.num_workers = 1;
+  config.replicas = 0;
+  config.tenant = "faces";
+  config.worker_binary = cli;
+
+  Result<std::unique_ptr<Router>> started = Router::Start(target, config);
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  Router& router = *started.value();
+
+  const HostMatrix queries = testing::UniformPoints(2, 3, 10);
+  ASSERT_TRUE(router.JoinBatch(queries, 3).ok());
+
+  const Result<std::vector<std::string>> hosted = router.ListWorkerIndexes(0);
+  ASSERT_TRUE(hosted.ok()) << hosted.status().ToString();
+  EXPECT_EQ(hosted.value(), std::vector<std::string>{"faces"});
+  EXPECT_EQ(router.ListWorkerIndexes(5).status().code(),
+            StatusCode::kInvalidArgument);
+
+  router.Shutdown();
+  const Result<std::vector<std::string>> after = router.ListWorkerIndexes(0);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kUnavailable)
+      << after.status().ToString();
+  EXPECT_EQ(router.stats().rpc_timeouts, 0u)
+      << "a closed channel was charged as an RPC timeout";
+}
+
 }  // namespace
 }  // namespace sweetknn::serve

@@ -16,7 +16,12 @@
 # the transport-free shard dispatch/merge core both serving backends
 # share; router_timeout_test drives the cluster router's channel IO
 # threads, reply queues, and worker-death path (it spawns shard-worker
-# processes through the CLI binary).
+# processes through the CLI binary); scheduler_test hammers the
+# deficit-round-robin admission scheduler's pops against concurrent
+# submits; multitenant_test parks the dispatcher to race metric exports
+# and drops against queued requests; tenant_storm_test floods two
+# weighted tenants past capacity and runs a compaction storm on one
+# tenant while another serves.
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -47,6 +52,9 @@ TESTS=(
   compaction_race_test
   shard_backend_test
   router_timeout_test
+  scheduler_test
+  multitenant_test
+  tenant_storm_test
 )
 
 # router_timeout_test spawns shard-worker processes from the CLI binary.

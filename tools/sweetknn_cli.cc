@@ -15,7 +15,8 @@
 //   sweetknn_cli serve-bench --target=points.csv [--k=10] [--shards=2]
 //                [--clients=4] [--requests=32] [--rows=4]
 //                [--max-batch=64] [--wait-us=500] [--cache=0]
-//                [--metrics-out=FILE]
+//                [--metrics-out=FILE] [--tenants=N [--weights=4,1,..]]
+//                [--max-queue-depth=N]
 //
 // It builds a sharded KnnService over the target set, fires `clients`
 // host threads each issuing `requests` JoinBatch calls of `rows` query
@@ -30,7 +31,13 @@
 // --replicas=R copies of each shard; answers are verified bit-identical
 // against an in-process KnnService over the same target before the
 // counters print. The run's socket/work directory is removed on every
-// exit path, including SIGINT/SIGTERM. --metrics-out=FILE dumps the full metrics registry as
+// exit path, including SIGINT/SIGTERM. With --tenants=N (in-process
+// mode only) the bench hosts N named indexes over the same target set,
+// round-robins the client threads across them, applies the --weights
+// list to the weighted-fair scheduler, and prints a per-tenant
+// served/shed/latency breakdown; --max-queue-depth bounds admission so
+// overload sheds instead of queueing without limit (docs/serving.md,
+// "Multi-tenant serving"). --metrics-out=FILE dumps the full metrics registry as
 // JSON (see docs/serving.md, "Metrics"); render such a dump later with:
 //
 //   sweetknn_cli stats --metrics=FILE
@@ -62,6 +69,7 @@
 // tests) spawn it themselves; it is not meant for interactive use.
 
 #include <algorithm>
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -80,6 +88,7 @@
 #include "gpusim/profile_report.h"
 #include "serve/knn_service.h"
 #include "serve/router.h"
+#include "serve/scheduler.h"
 #include "serve/shard_worker.h"
 #include "store/snapshot.h"
 
@@ -146,6 +155,9 @@ struct ServeBenchArgs {
   std::string metrics_out;  // JSON metrics dump target, empty = none
   int cluster = 0;   // worker processes; 0 = in-process KnnService
   int replicas = 0;  // shard copies beyond the primary (cluster mode)
+  int tenants = 1;   // named indexes; clients round-robin across them
+  std::string weights;  // per-tenant weights "4,1,..." (default all 1.0)
+  int max_queue_depth = 0;  // admission bound; 0 = unbounded
 };
 
 int ServeBenchUsage(const char* argv0) {
@@ -154,7 +166,9 @@ int ServeBenchUsage(const char* argv0) {
                "          [--clients=N] [--requests=N] [--rows=N]\n"
                "          [--max-batch=N] [--wait-us=N] [--cache=N]\n"
                "          [--snapshot-dir=DIR] [--require-warm]\n"
-               "          [--cluster=N [--replicas=R]] [--metrics-out=FILE]\n",
+               "          [--cluster=N [--replicas=R]] [--metrics-out=FILE]\n"
+               "          [--tenants=N [--weights=W1,..,WN]]\n"
+               "          [--max-queue-depth=N]\n",
                argv0);
   return 2;
 }
@@ -194,6 +208,12 @@ bool ParseServeBenchArgs(int argc, char** argv, ServeBenchArgs* out) {
       out->cluster = std::atoi(v);
     } else if (const char* v = value("--replicas=")) {
       out->replicas = std::atoi(v);
+    } else if (const char* v = value("--tenants=")) {
+      out->tenants = std::atoi(v);
+    } else if (const char* v = value("--weights=")) {
+      out->weights = v;
+    } else if (const char* v = value("--max-queue-depth=")) {
+      out->max_queue_depth = std::atoi(v);
     } else {
       return false;
     }
@@ -201,7 +221,8 @@ bool ParseServeBenchArgs(int argc, char** argv, ServeBenchArgs* out) {
   return !out->target_path.empty() && out->k > 0 && out->shards > 0 &&
          out->clients > 0 && out->requests > 0 && out->rows > 0 &&
          out->max_batch > 0 && out->wait_us >= 0 && out->cluster >= 0 &&
-         out->replicas >= 0;
+         out->replicas >= 0 && out->tenants >= 1 &&
+         out->max_queue_depth >= 0;
 }
 
 // The binary to re-exec as `shard-worker` for --cluster runs: this very
@@ -236,6 +257,12 @@ int ClusterServeBench(const sweetknn::HostMatrix& points,
     std::fprintf(stderr,
                  "error: --snapshot-dir/--require-warm are not supported "
                  "with --cluster (workers cold-build their slices)\n");
+    return 2;
+  }
+  if (args.tenants > 1) {
+    std::fprintf(stderr,
+                 "error: --tenants is not supported with --cluster (a "
+                 "worker set hosts one index; see docs/serving.md)\n");
     return 2;
   }
 
@@ -405,13 +432,51 @@ int ServeBench(int argc, char** argv) {
   const HostMatrix& points = target.value().points;
   if (args.cluster > 0) return ClusterServeBench(points, args, argv[0]);
 
+  const Result<std::vector<double>> weights =
+      serve::ParseWeightList(args.weights);
+  if (!weights.ok()) {
+    std::fprintf(stderr, "error: --weights: %s\n",
+                 weights.status().ToString().c_str());
+    return 2;
+  }
+  if (!weights.value().empty() &&
+      weights.value().size() != static_cast<size_t>(args.tenants)) {
+    std::fprintf(stderr, "error: --weights lists %zu entries for %d tenants\n",
+                 weights.value().size(), args.tenants);
+    return 2;
+  }
+  auto tenant_weight = [&](int t) {
+    return weights.value().empty() ? 1.0
+                                   : weights.value()[static_cast<size_t>(t)];
+  };
+
   serve::ServiceConfig config;
   config.num_shards = args.shards;
   config.max_batch_size = args.max_batch;
   config.max_batch_wait = std::chrono::microseconds(args.wait_us);
   config.cache_capacity = args.cache;
   config.snapshot_dir = args.snapshot_dir;
+  config.max_queue_depth = static_cast<size_t>(args.max_queue_depth);
   serve::KnnService service(points, config);
+
+  // Tenant 0 is the default index the service was built with; the rest
+  // are named indexes over the same target set, so every tenant answers
+  // identically and the bench measures scheduling, not index luck.
+  std::vector<std::string> tenant_names = {serve::kDefaultTenant};
+  if (tenant_weight(0) != 1.0) {
+    (void)service.SetIndexWeight(serve::kDefaultTenant, tenant_weight(0));
+  }
+  for (int t = 1; t < args.tenants; ++t) {
+    const std::string name = "tenant-" + std::to_string(t);
+    const sweetknn::Status created =
+        service.CreateIndex(name, points, tenant_weight(t));
+    if (!created.ok()) {
+      std::fprintf(stderr, "error: CreateIndex(%s): %s\n", name.c_str(),
+                   created.ToString().c_str());
+      return 1;
+    }
+    tenant_names.push_back(name);
+  }
   const uint64_t warm_shards = service.stats().warm_started_shards;
   if (args.require_warm && warm_shards == 0) {
     std::fprintf(stderr,
@@ -428,9 +493,17 @@ int ServeBench(int argc, char** argv) {
                args.clients, args.requests, args.rows);
 
   const Stopwatch wall;
+  std::vector<std::atomic<uint64_t>> tenant_served(tenant_names.size());
+  std::vector<std::atomic<uint64_t>> tenant_shed(tenant_names.size());
   std::vector<std::thread> clients;
   for (int c = 0; c < args.clients; ++c) {
     clients.emplace_back([&, c] {
+      // Clients round-robin across tenants: client c drives tenant
+      // c mod N for its whole run, so every tenant sees sustained load.
+      const size_t tenant_idx =
+          static_cast<size_t>(c) % tenant_names.size();
+      serve::CallOptions opts;
+      opts.tenant = tenant_names[tenant_idx];
       for (int r = 0; r < args.requests; ++r) {
         HostMatrix batch(static_cast<size_t>(args.rows), points.cols());
         // Query rows cycle through the target set, staggered per client.
@@ -442,7 +515,17 @@ int ServeBench(int argc, char** argv) {
           std::memcpy(batch.mutable_row(static_cast<size_t>(row)),
                       points.row(src), points.cols() * sizeof(float));
         }
-        if (!service.JoinBatch(batch, args.k).ok()) return;
+        const Result<KnnResult> answer =
+            service.JoinBatch(opts, batch, args.k);
+        if (answer.ok()) {
+          tenant_served[tenant_idx].fetch_add(1, std::memory_order_relaxed);
+        } else if (answer.status().code() == StatusCode::kUnavailable) {
+          // Overload shed: counted, not retried — the bench reports the
+          // shed rate the chosen --max-queue-depth produced.
+          tenant_shed[tenant_idx].fetch_add(1, std::memory_order_relaxed);
+        } else {
+          return;
+        }
       }
     });
   }
@@ -479,6 +562,25 @@ int ServeBench(int argc, char** argv) {
               latency.Percentile(0.50) * 1e6, latency.Percentile(0.90) * 1e6,
               latency.Percentile(0.99) * 1e6,
               queue_wait.Percentile(0.99) * 1e6);
+  if (args.tenants > 1) {
+    for (size_t t = 0; t < tenant_names.size(); ++t) {
+      const common::HistogramSnapshot tenant_latency =
+          service.metrics().SnapshotHistogram(
+              "sweetknn_tenant_request_latency_seconds{" +
+              common::TenantLabel(tenant_names[t]) + "}");
+      std::printf("tenant %-12s weight %.2f served %llu shed %llu "
+                  "p50 %.1f us p99 %.1f us\n",
+                  tenant_names[t].c_str(), tenant_weight(static_cast<int>(t)),
+                  static_cast<unsigned long long>(tenant_served[t].load()),
+                  static_cast<unsigned long long>(tenant_shed[t].load()),
+                  tenant_latency.Percentile(0.50) * 1e6,
+                  tenant_latency.Percentile(0.99) * 1e6);
+    }
+    std::printf("shed total %llu of %llu offered\n",
+                static_cast<unsigned long long>(stats.shed_requests),
+                static_cast<unsigned long long>(stats.shed_requests +
+                                                stats.requests));
+  }
   std::printf("wall %.3f s (%.0f queries/s)\n", wall_s,
               static_cast<double>(stats.queries) / wall_s);
   if (!args.metrics_out.empty()) {
