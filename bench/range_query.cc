@@ -1,0 +1,209 @@
+// Measures the range modalities (docs/modalities.md) on the paper
+// datasets: RadiusSearch through the TI-pruned route vs the exhaustive
+// host scan across a radius sweep (wall time, candidate fraction,
+// pruning counters, speedup), plus one SelfJoin and one KnnGraph
+// timing per dataset. Every sweep point verifies the two routes answer
+// bit-identically — the number next to a speedup is worthless if the
+// fast route changed the answer. Emits BENCH_range.json.
+//
+// Usage: range_query [--scale=F] [--only=kegg,...]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/range_result.h"
+#include "common/stopwatch.h"
+#include "core/range_search.h"
+#include "core/sweet_knn.h"
+
+namespace sweetknn::bench {
+namespace {
+
+constexpr int kGraphNeighbors = 10;
+
+struct RangeRun {
+  std::string dataset;
+  float radius = 0.0f;
+  double radius_factor = 0.0;
+  uint64_t matches = 0;
+  double selectivity = 0.0;         // matches / (|Q| * n)
+  double candidate_fraction = 0.0;  // TI route: evaluated / total pairs
+  uint64_t clusters_pruned = 0;
+  uint64_t members_pruned = 0;
+  double ti_wall_s = 0.0;
+  double host_wall_s = 0.0;
+  double speedup = 0.0;
+  bool exact = false;
+};
+
+/// The dataset's distance scale: the mean kth-neighbor distance of a
+/// small self-query sample, the anchor the radius sweep multiplies.
+float BaseRadius(SweetKnnIndex* index, const HostMatrix& points) {
+  const size_t sample = std::min<size_t>(points.rows(), 16);
+  HostMatrix queries(sample, points.cols());
+  for (size_t r = 0; r < sample; ++r) {
+    std::memcpy(queries.mutable_row(r), points.row(r),
+                points.cols() * sizeof(float));
+  }
+  const KnnResult result = index->Query(queries, kGraphNeighbors);
+  double sum = 0.0;
+  size_t counted = 0;
+  for (size_t q = 0; q < result.num_queries(); ++q) {
+    for (int i = result.k() - 1; i >= 0; --i) {
+      if (result.row(q)[i].index != kInvalidNeighbor) {
+        sum += result.row(q)[i].distance;
+        ++counted;
+        break;
+      }
+    }
+  }
+  return counted == 0 ? 1.0f
+                      : static_cast<float>(sum / static_cast<double>(counted));
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const double factors[] = {0.5, 1.0, 2.0, 4.0};
+
+  std::vector<RangeRun> runs;
+  struct DatasetSummary {
+    std::string name;
+    size_t n = 0;
+    size_t dims = 0;
+    size_t join_pairs = 0;
+    double join_wall_s = 0.0;
+    double graph_wall_s = 0.0;
+  };
+  std::vector<DatasetSummary> datasets;
+  bool all_exact = true;
+
+  PrintTableHeader({"dataset", "radius", "matches", "sel%", "cand%",
+                    "ti ms", "host ms", "speedup", "exact"});
+  for (const char* name : {"kegg", "3DNet"}) {
+    if (!args.WantDataset(name)) continue;
+    const dataset::Dataset data = LoadPaperDataset(name, args);
+
+    SweetKnn::Config ti_config;
+    ti_config.planner.mode = core::PlannerMode::kForceDevice;
+    SweetKnn::Config host_config;
+    host_config.planner.mode = core::PlannerMode::kForceHost;
+    SweetKnnIndex ti_index(data.points, ti_config);
+    SweetKnnIndex host_index(data.points, host_config);
+    const float base_radius = BaseRadius(&ti_index, data.points);
+
+    for (const double factor : factors) {
+      RangeRun run;
+      run.dataset = name;
+      run.radius_factor = factor;
+      run.radius = static_cast<float>(factor) * base_radius;
+
+      core::RangeScanStats ti_stats;
+      const Stopwatch ti_watch;
+      const RangeResult ti_result =
+          ti_index.RadiusSearch(data.points, run.radius, &ti_stats);
+      run.ti_wall_s = ti_watch.ElapsedSeconds();
+
+      const Stopwatch host_watch;
+      const RangeResult host_result =
+          host_index.RadiusSearch(data.points, run.radius);
+      run.host_wall_s = host_watch.ElapsedSeconds();
+
+      run.matches = ti_result.total_matches();
+      const double total =
+          static_cast<double>(data.n()) * static_cast<double>(data.n());
+      run.selectivity = static_cast<double>(run.matches) / total;
+      run.candidate_fraction =
+          ti_stats.total_pairs == 0
+              ? 0.0
+              : static_cast<double>(ti_stats.candidates) /
+                    static_cast<double>(ti_stats.total_pairs);
+      run.clusters_pruned = ti_stats.clusters_pruned;
+      run.members_pruned = ti_stats.members_pruned;
+      run.speedup = run.ti_wall_s == 0.0 ? 0.0
+                                         : run.host_wall_s / run.ti_wall_s;
+      run.exact = BitIdentical(ti_result, host_result);
+      all_exact = all_exact && run.exact;
+
+      PrintTableRow({run.dataset, FormatDouble(run.radius, 4),
+                     std::to_string(run.matches),
+                     FormatDouble(run.selectivity * 100.0, 2),
+                     FormatDouble(run.candidate_fraction * 100.0, 2),
+                     FormatDouble(run.ti_wall_s * 1e3, 2),
+                     FormatDouble(run.host_wall_s * 1e3, 2),
+                     FormatDouble(run.speedup, 2),
+                     run.exact ? "yes" : "NO"});
+      runs.push_back(run);
+    }
+
+    DatasetSummary summary;
+    summary.name = name;
+    summary.n = data.n();
+    summary.dims = data.dims();
+    const Stopwatch join_watch;
+    summary.join_pairs = ti_index.SelfJoin(base_radius).size();
+    summary.join_wall_s = join_watch.ElapsedSeconds();
+    const Stopwatch graph_watch;
+    const SweetKnnIndex::KnnGraphResult graph =
+        ti_index.KnnGraph(kGraphNeighbors);
+    summary.graph_wall_s = graph_watch.ElapsedSeconds();
+    std::printf("%s: self-join(r=%.4g) %zu pairs in %.2f ms, "
+                "knn-graph(k=%d) %zu rows in %.2f ms\n",
+                name, static_cast<double>(base_radius), summary.join_pairs,
+                summary.join_wall_s * 1e3, kGraphNeighbors,
+                graph.ids.size(), summary.graph_wall_s * 1e3);
+    datasets.push_back(summary);
+  }
+
+  std::printf("\nall radius sweeps bit-identical across routes: %s\n",
+              all_exact ? "yes" : "NO");
+
+  FILE* json = std::fopen("BENCH_range.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"range_query\",\n%s"
+                 "  \"graph_k\": %d,\n  \"scale\": %g,\n  \"runs\": [\n",
+                 EnvJson(DetectEnv()).c_str(), kGraphNeighbors, args.scale);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const RangeRun& run = runs[i];
+      std::fprintf(
+          json,
+          "    {\"dataset\": \"%s\", \"radius\": %.9g, "
+          "\"radius_factor\": %g, \"matches\": %llu, "
+          "\"selectivity\": %.6g, \"candidate_fraction\": %.6g, "
+          "\"clusters_pruned\": %llu, \"members_pruned\": %llu, "
+          "\"ti_wall_s\": %.6f, \"host_wall_s\": %.6f, "
+          "\"speedup\": %.3f, \"exact\": %s}%s\n",
+          run.dataset.c_str(), static_cast<double>(run.radius),
+          run.radius_factor, static_cast<unsigned long long>(run.matches),
+          run.selectivity, run.candidate_fraction,
+          static_cast<unsigned long long>(run.clusters_pruned),
+          static_cast<unsigned long long>(run.members_pruned), run.ti_wall_s,
+          run.host_wall_s, run.speedup, run.exact ? "true" : "false",
+          i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"datasets\": [\n");
+    for (size_t i = 0; i < datasets.size(); ++i) {
+      const DatasetSummary& d = datasets[i];
+      std::fprintf(json,
+                   "    {\"dataset\": \"%s\", \"n\": %zu, \"dims\": %zu, "
+                   "\"self_join_pairs\": %zu, \"self_join_wall_s\": %.6f, "
+                   "\"knn_graph_wall_s\": %.6f}%s\n",
+                   d.name.c_str(), d.n, d.dims, d.join_pairs, d.join_wall_s,
+                   d.graph_wall_s, i + 1 < datasets.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"all_exact\": %s\n}\n",
+                 all_exact ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_range.json\n");
+  }
+  return all_exact ? 0 : 1;
+}
+
+}  // namespace sweetknn::bench
+
+int main(int argc, char** argv) { return sweetknn::bench::Main(argc, argv); }

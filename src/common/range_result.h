@@ -1,0 +1,110 @@
+#ifndef SWEETKNN_COMMON_RANGE_RESULT_H_
+#define SWEETKNN_COMMON_RANGE_RESULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/topk.h"
+
+namespace sweetknn {
+
+/// Variable-cardinality neighbor lists: the result shape of radius
+/// search, where every query row matches an arbitrary (possibly empty)
+/// number of targets, as opposed to KnnResult's fixed k-by-rows grid.
+///
+/// Storage is a flat Neighbor vector plus a CSR-style offsets array of
+/// num_queries() + 1 entries: query q's matches are
+/// [begin(q), end(q)). Every row is kept sorted ascending under
+/// NeighborLess on (distance, index) — a total order — so two
+/// RangeResults over the same match sets are bit-identical vectors,
+/// whatever route or tier produced them. Membership is the closed ball
+/// (distance <= r), so a match exactly on the boundary is always
+/// included, deterministically.
+class RangeResult {
+ public:
+  RangeResult() { offsets_.push_back(0); }
+
+  size_t num_queries() const { return offsets_.size() - 1; }
+  /// Total matches across every query row.
+  size_t total_matches() const { return flat_.size(); }
+  size_t count(size_t q) const { return offsets_[q + 1] - offsets_[q]; }
+
+  const Neighbor* begin(size_t q) const {
+    SK_DCHECK(q + 1 < offsets_.size());
+    return flat_.data() + offsets_[q];
+  }
+  const Neighbor* end(size_t q) const { return flat_.data() + offsets_[q + 1]; }
+
+  /// Appends the next query row's matches, which must already be sorted
+  /// ascending under NeighborLess.
+  void AppendRow(const std::vector<Neighbor>& row) {
+    flat_.insert(flat_.end(), row.begin(), row.end());
+    offsets_.push_back(flat_.size());
+  }
+  void AppendRow(const Neighbor* row, size_t n) {
+    flat_.insert(flat_.end(), row, row + n);
+    offsets_.push_back(flat_.size());
+  }
+  /// Appends every row of `other` (chunked jobs concatenate this way).
+  void AppendRows(const RangeResult& other) {
+    for (size_t q = 0; q < other.num_queries(); ++q) {
+      AppendRow(other.begin(q), other.count(q));
+    }
+  }
+
+  /// A single-row view copied out (per-request slicing in the service).
+  std::vector<Neighbor> Row(size_t q) const {
+    return std::vector<Neighbor>(begin(q), end(q));
+  }
+
+  /// The raw pieces, for codecs and byte-level comparisons.
+  const std::vector<uint64_t>& offsets() const { return offsets_; }
+  const std::vector<Neighbor>& flat() const { return flat_; }
+
+  /// Adopts raw pieces (wire decode). `offsets` must start at 0, be
+  /// non-decreasing, and end at flat.size().
+  static RangeResult FromParts(std::vector<uint64_t> offsets,
+                               std::vector<Neighbor> flat) {
+    RangeResult r;
+    SK_CHECK(!offsets.empty() && offsets.front() == 0);
+    SK_CHECK_EQ(offsets.back(), flat.size());
+    r.offsets_ = std::move(offsets);
+    r.flat_ = std::move(flat);
+    return r;
+  }
+
+  /// Bitwise equality (float bits compared exactly, like the kNN
+  /// bit-identity checks).
+  friend bool BitIdentical(const RangeResult& a, const RangeResult& b) {
+    if (a.offsets_ != b.offsets_) return false;
+    if (a.flat_.size() != b.flat_.size()) return false;
+    return a.flat_.empty() ||
+           std::memcmp(a.flat_.data(), b.flat_.data(),
+                       a.flat_.size() * sizeof(Neighbor)) == 0;
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;  // num_queries + 1, offsets_[0] == 0
+  std::vector<Neighbor> flat_;
+};
+
+/// One unordered pair of a similarity self-join: stable ids a < b with
+/// their distance. SelfJoin emits each qualifying pair exactly once,
+/// ordered by ascending a, then (distance, b) under NeighborLess —
+/// deterministic whatever route produced it.
+struct SelfJoinPair {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  float distance = 0.0f;
+
+  friend bool operator==(const SelfJoinPair& x, const SelfJoinPair& y) {
+    return x.a == y.a && x.b == y.b && x.distance == y.distance;
+  }
+};
+
+}  // namespace sweetknn
+
+#endif  // SWEETKNN_COMMON_RANGE_RESULT_H_

@@ -1,0 +1,105 @@
+#ifndef SWEETKNN_CORE_RANGE_SEARCH_H_
+#define SWEETKNN_CORE_RANGE_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/range_result.h"
+#include "core/clustering.h"
+#include "core/delta_overlay.h"
+#include "core/options.h"
+#include "simd/simd_kernels.h"
+
+namespace sweetknn::core {
+
+/// Work counters of one range scan (docs/modalities.md). The TI route
+/// reports how much of the base the landmark bounds pruned away; the
+/// full-scan route evaluates every pair.
+struct RangeScanStats {
+  uint64_t candidates = 0;      ///< Pairs whose distance was evaluated.
+  uint64_t total_pairs = 0;     ///< |Q| * base rows.
+  uint64_t clusters_pruned = 0; ///< Level-1: whole clusters skipped.
+  uint64_t members_pruned = 0;  ///< Level-2: members outside the annulus.
+
+  void Accumulate(const RangeScanStats& other) {
+    candidates += other.candidates;
+    total_pairs += other.total_pairs;
+    clusters_pruned += other.clusters_pruned;
+    members_pruned += other.members_pruned;
+  }
+};
+
+/// All base rows within the closed ball distance(q, t) <= radius, for
+/// every query row, by exhaustive scan over the packed base: chunked
+/// simd::QueryDistances (the canonical accumulation order) plus the
+/// membership test. Neighbor indices are base row numbers; rows are
+/// sorted ascending under NeighborLess.
+RangeResult FullRangeScan(const HostMatrix& queries,
+                          const simd::PackedTargets& targets, float radius,
+                          simd::Dist dist_kind, RangeScanStats* stats = nullptr);
+
+/// The same closed-ball membership, answered through the Step-1 landmark
+/// clustering's triangle-inequality bounds (PAPER.md §III, repurposed
+/// for range predicates; docs/modalities.md has the argument):
+///
+///  - level 1: cluster c is skipped when d(q, center_c) - max_dist_c
+///    exceeds radius (+ a conservative float slack) — no member can be
+///    within the ball;
+///  - level 2: member t of a surviving cluster is skipped when
+///    |d(q, center_c) - d(t, center_c)| exceeds radius (+ slack). The
+///    per-cluster member lists are sorted descending by
+///    distance-to-center, so the surviving window is found by binary
+///    search and walked until the monotone lower bound crosses radius.
+///
+/// Candidates that survive both filters get their exact distance from
+/// the same packed-tile kernels FullRangeScan runs, and the exact
+/// closed-ball test decides membership — the slack only ever admits
+/// extra candidates, so the result is bit-identical to FullRangeScan
+/// whatever the pruning did.
+RangeResult TiRangeScan(const HostMatrix& queries,
+                        const simd::PackedTargets& targets,
+                        const TargetClusteringHost& clustering, float radius,
+                        simd::Dist dist_kind, RangeScanStats* stats = nullptr);
+
+/// All non-tombstoned delta points within the closed ball, per query
+/// row. Neighbor indices are positions into `delta.ids` (the caller maps
+/// them to stable ids); position order equals id order, so tie-breaking
+/// on position is tie-breaking on stable id. Same canonical distance
+/// pipeline as ScanDelta.
+RangeResult RangeScanDelta(const DeltaBuffer& delta, const HostMatrix& queries,
+                           float radius, Metric metric);
+
+/// One shard's complete contribution to a radius group, the range
+/// counterpart of ShardAnswer. Unlike kNN answers there is no pristine
+/// fast path: rows always carry stable ids (tombstones already masked,
+/// id maps already applied, delta matches already merged in), so the
+/// cross-shard merge never needs the shard's overlay. `result` rows are
+/// each sorted ascending under NeighborLess on (distance, stable id).
+struct RangeShardAnswer {
+  RangeResult result;
+  bool device_routed = false;  ///< TI-pruned route (vs full scan).
+  double route_seconds = 0.0;  ///< Host wall-clock of this shard's scan.
+  RangeScanStats stats;
+};
+
+/// Merges per-shard range answers into the global per-query match
+/// lists. Every stable id lives in exactly one shard and every shard
+/// reports its complete in-ball set, so the union is the global set;
+/// re-sorting each pooled row under NeighborLess on (distance, stable
+/// id) — a total order — makes the merged rows bit-identical to a
+/// single-index scan over the same live points.
+RangeResult MergeRangeShardAnswers(const std::vector<RangeShardAnswer>& answers,
+                                   size_t num_queries);
+
+/// The conservative float slack added to the TI pruning thresholds:
+/// large enough to cover accumulated rounding in the center/member
+/// distances, small enough that pruning still bites. Exactness never
+/// depends on it (see TiRangeScan).
+inline float RangePruneSlack(float radius, float a, float b) {
+  return 1e-4f * (radius + a + b) + 1e-6f;
+}
+
+}  // namespace sweetknn::core
+
+#endif  // SWEETKNN_CORE_RANGE_SEARCH_H_

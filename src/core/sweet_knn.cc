@@ -189,6 +189,145 @@ std::vector<Neighbor> SweetKnnIndex::Query(const std::vector<float>& point,
   return std::vector<Neighbor>(result.row(0), result.row(0) + result.k());
 }
 
+const core::TargetClusteringHost& SweetKnnIndex::CachedClustering() {
+  if (clustering_cache_ == nullptr) {
+    clustering_cache_ = std::make_unique<core::TargetClusteringHost>(
+        engine_->ExportTargetClustering());
+  }
+  return *clustering_cache_;
+}
+
+RangeResult SweetKnnIndex::RadiusSearch(const HostMatrix& queries,
+                                        float radius,
+                                        core::RangeScanStats* stats) {
+  SK_CHECK_EQ(queries.cols(), dims_);
+  if (stats != nullptr) *stats = core::RangeScanStats{};
+  const simd::Dist dist_kind = core::SimdDistFor(config_.options.metric);
+  RangeResult base;
+  if (base_rows_ > 0) {
+    const core::QueryRoute route =
+        planner_.Choose(queries.rows(), base_rows_, dims_);
+    base = route == core::QueryRoute::kDevice
+               ? core::TiRangeScan(queries, packed_base_, CachedClustering(),
+                                   radius, dist_kind, stats)
+               : core::FullRangeScan(queries, packed_base_, radius, dist_kind,
+                                     stats);
+  } else {
+    for (size_t q = 0; q < queries.rows(); ++q) base.AppendRow(nullptr, 0);
+  }
+  if (pristine()) return base;  // base row index == stable id already
+  const RangeResult delta =
+      core::RangeScanDelta(delta_, queries, radius, config_.options.metric);
+  RangeResult out;
+  std::vector<Neighbor> row;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    row.clear();
+    for (const Neighbor* nb = base.begin(q); nb != base.end(q); ++nb) {
+      const uint32_t id = BaseId(nb->index);
+      if (delta_.tombstones.count(id) != 0) continue;
+      row.push_back(Neighbor{id, nb->distance});
+    }
+    for (const Neighbor* nb = delta.begin(q); nb != delta.end(q); ++nb) {
+      row.push_back(Neighbor{delta_.ids[nb->index], nb->distance});
+    }
+    std::sort(row.begin(), row.end(), NeighborLess);
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+namespace {
+/// Rows per chunk of the offline jobs (SelfJoin / KnnGraph): small
+/// enough to bound peak memory, large enough to amortize the scans.
+constexpr size_t kJobChunkRows = 64;
+}  // namespace
+
+std::vector<SelfJoinPair> SweetKnnIndex::SelfJoin(
+    float radius, core::RangeScanStats* stats) {
+  if (stats != nullptr) *stats = core::RangeScanStats{};
+  std::vector<uint32_t> ids;
+  HostMatrix points;
+  ExportLive(&ids, &points);
+  std::vector<SelfJoinPair> pairs;
+  for (size_t begin = 0; begin < ids.size(); begin += kJobChunkRows) {
+    const size_t end = std::min(ids.size(), begin + kJobChunkRows);
+    HostMatrix chunk(end - begin, dims_);
+    std::memcpy(chunk.mutable_data(), points.row(begin),
+                (end - begin) * dims_ * sizeof(float));
+    core::RangeScanStats chunk_stats;
+    const RangeResult r = RadiusSearch(chunk, radius,
+                                       stats != nullptr ? &chunk_stats
+                                                        : nullptr);
+    if (stats != nullptr) stats->Accumulate(chunk_stats);
+    for (size_t i = 0; i < r.num_queries(); ++i) {
+      const uint32_t a = ids[begin + i];
+      for (const Neighbor* nb = r.begin(i); nb != r.end(i); ++nb) {
+        // id > a emits each unordered pair once and drops the
+        // self-match; rows are NeighborLess-sorted, so pairs of one `a`
+        // come out in (distance, b) order.
+        if (nb->index > a) pairs.push_back({a, nb->index, nb->distance});
+      }
+    }
+  }
+  return pairs;
+}
+
+SweetKnnIndex::KnnGraphResult SweetKnnIndex::KnnGraph(int k) {
+  SK_CHECK_GT(k, 0);
+  KnnGraphResult out;
+  HostMatrix points;
+  ExportLive(&out.ids, &points);
+  out.neighbors = KnnResult(out.ids.size(), k);
+  std::vector<Neighbor> row;
+  for (size_t begin = 0; begin < out.ids.size(); begin += kJobChunkRows) {
+    const size_t end = std::min(out.ids.size(), begin + kJobChunkRows);
+    HostMatrix chunk(end - begin, dims_);
+    std::memcpy(chunk.mutable_data(), points.row(begin),
+                (end - begin) * dims_ * sizeof(float));
+    const KnnResult r = Query(chunk, k + 1);
+    for (size_t i = 0; i < end - begin; ++i) {
+      row.clear();
+      const uint32_t self = out.ids[begin + i];
+      bool dropped_self = false;
+      for (const Neighbor* nb = r.row(i); nb != r.row(i) + r.k(); ++nb) {
+        if (nb->index == kInvalidNeighbor) break;
+        if (!dropped_self && nb->index == self) {
+          dropped_self = true;
+          continue;
+        }
+        if (row.size() == static_cast<size_t>(k)) break;
+        row.push_back(*nb);
+      }
+      out.neighbors.SetRow(begin + i, row);
+    }
+  }
+  return out;
+}
+
+void SweetKnnIndex::ExportLive(std::vector<uint32_t>* ids,
+                               HostMatrix* points) const {
+  const HostMatrix base = engine_->ExportTarget();
+  ids->clear();
+  std::vector<const float*> rows;
+  ids->reserve(size());
+  rows.reserve(size());
+  for (size_t i = 0; i < base_rows_; ++i) {
+    const uint32_t id = BaseId(i);
+    if (delta_.tombstones.count(id) != 0) continue;
+    ids->push_back(id);
+    rows.push_back(base.row(i));
+  }
+  // Delta ids all exceed every base id, so appending stays ascending.
+  for (size_t i = 0; i < delta_.size(); ++i) {
+    ids->push_back(delta_.ids[i]);
+    rows.push_back(delta_.point(i));
+  }
+  *points = HostMatrix(ids->size(), dims_);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::memcpy(points->mutable_row(i), rows[i], dims_ * sizeof(float));
+  }
+}
+
 uint32_t SweetKnnIndex::Insert(const std::vector<float>& point) {
   SK_CHECK_EQ(point.size(), dims_);
   const uint32_t id = next_id_++;
@@ -271,6 +410,7 @@ void SweetKnnIndex::Compact() {
   engine_->PrepareTarget(fresh);
   packed_base_ =
       simd::PackedTargets::Pack(fresh.data(), fresh.rows(), fresh.cols());
+  clustering_cache_.reset();  // the base (and its clustering) changed
   RebuildAnn(fresh);
   base_rows_ = live;
   // Normalize: ids 0..live-1 need no map (lets Save emit v1 again).

@@ -10,9 +10,11 @@
 #include "ann/search_mode.h"
 #include "common/knn_result.h"
 #include "common/matrix.h"
+#include "common/range_result.h"
 #include "common/status.h"
 #include "core/delta_overlay.h"
 #include "core/options.h"
+#include "core/range_search.h"
 #include "core/route_planner.h"
 #include "core/ti_knn_gpu.h"
 #include "gpusim/device.h"
@@ -146,6 +148,44 @@ class SweetKnnIndex {
   /// Single-point convenience.
   std::vector<Neighbor> Query(const std::vector<float>& point, int k);
 
+  // -- Range modalities (docs/modalities.md) --------------------------
+
+  /// Every live point within the closed ball distance <= radius of each
+  /// query row, as stable ids, each row sorted ascending under
+  /// NeighborLess on (distance, id). The planner picks the base-scan
+  /// route — the TI-pruned scan reusing the Step-1 landmark bounds
+  /// (kDevice) or the exhaustive vectorized host scan (kHost) — and
+  /// both answer bit-identically; neither touches the simulated device,
+  /// so kNN stats and the adaptive state are unperturbed. `stats`
+  /// (optional) reports the base-scan work/pruning counters.
+  RangeResult RadiusSearch(const HostMatrix& queries, float radius,
+                           core::RangeScanStats* stats = nullptr);
+
+  /// Every unordered pair of live points within the closed ball, each
+  /// emitted once as (a, b, distance) with a < b, ordered by ascending
+  /// a then (distance, b). Runs as chunked RadiusSearch over the live
+  /// points (so pruning, routing, and overlay handling are the same
+  /// fuzz-proven path), keeping matches with id > query id — which also
+  /// excludes self-matches while keeping distinct duplicate points.
+  std::vector<SelfJoinPair> SelfJoin(float radius,
+                                     core::RangeScanStats* stats = nullptr);
+
+  /// The exact kNN graph over the live points: row i of `neighbors`
+  /// holds the k nearest live points of ids[i], excluding itself,
+  /// padded with kInvalidNeighbor when fewer than k other points exist.
+  /// Built as chunked Query(chunk, k + 1) with the self entry dropped:
+  /// a point absent from its own top k+1 (duplicate-heavy sets) leaves
+  /// the top k of the others intact, so the graph is exact either way.
+  struct KnnGraphResult {
+    std::vector<uint32_t> ids;  ///< Live stable ids, ascending.
+    KnnResult neighbors;        ///< ids.size() rows of k stable-id entries.
+  };
+  KnnGraphResult KnnGraph(int k);
+
+  /// The live points and their stable ids, ascending id order (the
+  /// query source of the offline jobs).
+  void ExportLive(std::vector<uint32_t>* ids, HostMatrix* points) const;
+
   /// Adds a point; returns its stable id. The point lands in the delta
   /// buffer and is served exactly from the next Query on. May trigger
   /// auto-compaction (see Config::compact_delta_fraction).
@@ -241,6 +281,11 @@ class SweetKnnIndex {
   bool BaseContains(uint32_t id) const;
   void MaybeCompact();
 
+  /// The host image of the engine's Step-1 target clustering, exported
+  /// lazily and cached until the next Compact() replaces the base (the
+  /// export is charge-free, so caching is purely to avoid re-copying).
+  const core::TargetClusteringHost& CachedClustering();
+
   SweetKnn::Config config_;
   std::unique_ptr<gpusim::Device> device_;
   std::unique_ptr<core::TiKnnEngine> engine_;
@@ -259,6 +304,8 @@ class SweetKnnIndex {
   core::DeltaBuffer delta_;
   uint32_t next_id_ = 0;
   uint64_t compactions_ = 0;
+  /// See CachedClustering().
+  std::unique_ptr<core::TargetClusteringHost> clustering_cache_;
 };
 
 }  // namespace sweetknn

@@ -331,6 +331,56 @@ Status GetAnswer(PayloadReader* r, core::ShardAnswer* a) {
   return Status::Ok();
 }
 
+// --- RangeResult ------------------------------------------------------------
+
+void PutRangeResult(PayloadWriter* w, const RangeResult& r) {
+  const std::vector<uint64_t>& offsets = r.offsets();
+  w->PutU64(r.num_queries());
+  for (const uint64_t o : offsets) w->PutU64(o);
+  for (size_t q = 0; q < r.num_queries(); ++q) {
+    for (const Neighbor* nb = r.begin(q); nb != r.end(q); ++nb) {
+      w->PutU32(nb->index);
+      PutFloat(w, nb->distance);
+    }
+  }
+}
+
+Status GetRangeResult(PayloadReader* r, const std::string& payload,
+                      RangeResult* out) {
+  uint64_t num_queries = 0;
+  SK_RETURN_IF_ERROR(r->GetU64(&num_queries));
+  // Offsets occupy 8 bytes each in the payload; bound before reserving.
+  if (num_queries > payload.size() / 8 + 1) {
+    return Status::IoError("wire: range result of " +
+                           std::to_string(num_queries) +
+                           " queries exceeds the payload");
+  }
+  std::vector<uint64_t> offsets;
+  offsets.reserve(num_queries + 1);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i <= num_queries; ++i) {
+    uint64_t o = 0;
+    SK_RETURN_IF_ERROR(r->GetU64(&o));
+    if ((i == 0 && o != 0) || o < prev) {
+      return Status::IoError("wire: range result offsets not monotone");
+    }
+    prev = o;
+    offsets.push_back(o);
+  }
+  const uint64_t total = offsets.back();
+  if (total > kMaxFramePayload / 8) {
+    return Status::IoError("wire: range result of " + std::to_string(total) +
+                           " matches exceeds the frame cap");
+  }
+  std::vector<Neighbor> flat(total);
+  for (uint64_t i = 0; i < total; ++i) {
+    SK_RETURN_IF_ERROR(r->GetU32(&flat[i].index));
+    SK_RETURN_IF_ERROR(GetFloat(r, &flat[i].distance));
+  }
+  *out = RangeResult::FromParts(std::move(offsets), std::move(flat));
+  return Status::Ok();
+}
+
 }  // namespace
 
 // --- Messages ---------------------------------------------------------------
@@ -543,6 +593,137 @@ Status DecodeHealthReply(const std::string& payload, HealthReply* reply) {
     SK_RETURN_IF_ERROR(r.GetU64(&s.tombstones));
     SK_RETURN_IF_ERROR(r.GetU64(&s.live_rows));
     reply->shards.push_back(s);
+  }
+  return r.ExpectExhausted();
+}
+
+std::string EncodeJobSubmit(const JobSubmitRequest& req) {
+  PayloadWriter w;
+  w.PutU64(req.job_id);
+  w.PutU32(static_cast<uint32_t>(req.kind));
+  PutFloat(&w, req.radius);
+  w.PutU32(req.k);
+  w.PutMatrix(req.queries);
+  w.PutU32s(req.shard_indices.data(), req.shard_indices.size());
+  w.PutU32(req.chunk_rows);
+  w.PutString(req.tenant);
+  return w.Take();
+}
+
+Status DecodeJobSubmit(const std::string& payload, JobSubmitRequest* req) {
+  PayloadReader r(payload, "JobSubmit");
+  SK_RETURN_IF_ERROR(r.GetU64(&req->job_id));
+  SK_RETURN_IF_ERROR(GetEnum(&r, 1, "job kind", &req->kind));
+  SK_RETURN_IF_ERROR(GetFloat(&r, &req->radius));
+  SK_RETURN_IF_ERROR(r.GetU32(&req->k));
+  SK_RETURN_IF_ERROR(r.GetMatrix(&req->queries));
+  SK_RETURN_IF_ERROR(r.GetU32s(&req->shard_indices));
+  SK_RETURN_IF_ERROR(r.GetU32(&req->chunk_rows));
+  SK_RETURN_IF_ERROR(r.GetString(&req->tenant));
+  return r.ExpectExhausted();
+}
+
+std::string EncodeJobPoll(const JobPollRequest& req) {
+  PayloadWriter w;
+  w.PutU64(req.job_id);
+  return w.Take();
+}
+
+Status DecodeJobPoll(const std::string& payload, JobPollRequest* req) {
+  PayloadReader r(payload, "JobPoll");
+  SK_RETURN_IF_ERROR(r.GetU64(&req->job_id));
+  return r.ExpectExhausted();
+}
+
+std::string EncodeJobPollReply(const JobPollReply& reply) {
+  PayloadWriter w;
+  w.PutU32(static_cast<uint32_t>(reply.state));
+  w.PutU64(reply.total_rows);
+  w.PutU64(reply.done_rows);
+  w.PutString(reply.error);
+  return w.Take();
+}
+
+Status DecodeJobPollReply(const std::string& payload, JobPollReply* reply) {
+  PayloadReader r(payload, "JobPollReply");
+  SK_RETURN_IF_ERROR(GetEnum(&r, 2, "job state", &reply->state));
+  SK_RETURN_IF_ERROR(r.GetU64(&reply->total_rows));
+  SK_RETURN_IF_ERROR(r.GetU64(&reply->done_rows));
+  SK_RETURN_IF_ERROR(r.GetString(&reply->error));
+  return r.ExpectExhausted();
+}
+
+std::string EncodeJobCancel(const JobCancelRequest& req) {
+  PayloadWriter w;
+  w.PutU64(req.job_id);
+  return w.Take();
+}
+
+Status DecodeJobCancel(const std::string& payload, JobCancelRequest* req) {
+  PayloadReader r(payload, "JobCancel");
+  SK_RETURN_IF_ERROR(r.GetU64(&req->job_id));
+  return r.ExpectExhausted();
+}
+
+std::string EncodeJobResult(const JobResultRequest& req) {
+  PayloadWriter w;
+  w.PutU64(req.job_id);
+  return w.Take();
+}
+
+Status DecodeJobResult(const std::string& payload, JobResultRequest* req) {
+  PayloadReader r(payload, "JobResult");
+  SK_RETURN_IF_ERROR(r.GetU64(&req->job_id));
+  return r.ExpectExhausted();
+}
+
+std::string EncodeJobResultReply(const JobResultReply& reply) {
+  PayloadWriter w;
+  w.PutU32(static_cast<uint32_t>(reply.kind));
+  PutRangeResult(&w, reply.range);
+  PutResult(&w, reply.knn);
+  return w.Take();
+}
+
+Status DecodeJobResultReply(const std::string& payload,
+                            JobResultReply* reply) {
+  PayloadReader r(payload, "JobResultReply");
+  SK_RETURN_IF_ERROR(GetEnum(&r, 1, "job kind", &reply->kind));
+  SK_RETURN_IF_ERROR(GetRangeResult(&r, payload, &reply->range));
+  SK_RETURN_IF_ERROR(GetResult(&r, &reply->knn));
+  return r.ExpectExhausted();
+}
+
+std::string EncodeExportLive(const ExportLiveRequest& req) {
+  PayloadWriter w;
+  w.PutU32s(req.shard_indices.data(), req.shard_indices.size());
+  w.PutString(req.tenant);
+  return w.Take();
+}
+
+Status DecodeExportLive(const std::string& payload, ExportLiveRequest* req) {
+  PayloadReader r(payload, "ExportLive");
+  SK_RETURN_IF_ERROR(r.GetU32s(&req->shard_indices));
+  SK_RETURN_IF_ERROR(r.GetString(&req->tenant));
+  return r.ExpectExhausted();
+}
+
+std::string EncodeExportLiveReply(const ExportLiveReply& reply) {
+  PayloadWriter w;
+  w.PutU32s(reply.ids.data(), reply.ids.size());
+  w.PutMatrix(reply.points);
+  return w.Take();
+}
+
+Status DecodeExportLiveReply(const std::string& payload,
+                             ExportLiveReply* reply) {
+  PayloadReader r(payload, "ExportLiveReply");
+  SK_RETURN_IF_ERROR(r.GetU32s(&reply->ids));
+  SK_RETURN_IF_ERROR(r.GetMatrix(&reply->points));
+  if (reply->ids.size() != reply->points.rows()) {
+    return Status::IoError("ExportLiveReply: " +
+                           std::to_string(reply->ids.size()) + " ids for " +
+                           std::to_string(reply->points.rows()) + " rows");
   }
   return r.ExpectExhausted();
 }

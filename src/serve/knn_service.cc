@@ -119,6 +119,7 @@ KnnService::~KnnService() { Shutdown(); }
 
 void KnnService::StartThreads() {
   dispatcher_ = std::thread(&KnnService::DispatchLoop, this);
+  job_thread_ = std::thread(&KnnService::JobLoop, this);
   if (config_.auto_compact) {
     compactor_ = std::thread(&KnnService::CompactorLoop, this);
   }
@@ -452,6 +453,28 @@ void KnnService::InitMetrics() {
   m_batch_rows_ = metrics_.GetHistogram(
       "sweetknn_batch_size_rows", "Query rows per dispatched micro-batch",
       {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  m_range_groups_ = metrics_.GetCounter(
+      "sweetknn_range_groups_total",
+      "Same-radius range groups run through the shards");
+  m_range_queries_ = metrics_.GetCounter(
+      "sweetknn_range_queries_total",
+      "Query rows answered by range groups");
+  m_range_matches_ = metrics_.GetCounter(
+      "sweetknn_range_matches_total",
+      "In-ball matches returned by range groups");
+  m_jobs_submitted_ = metrics_.GetCounter(
+      "sweetknn_jobs_submitted_total", "Offline jobs admitted");
+  m_jobs_completed_ = metrics_.GetCounter(
+      "sweetknn_jobs_completed_total", "Offline jobs finished kDone");
+  m_jobs_cancelled_ = metrics_.GetCounter(
+      "sweetknn_jobs_cancelled_total", "Offline jobs finished kCancelled");
+  m_jobs_failed_ = metrics_.GetCounter(
+      "sweetknn_jobs_failed_total", "Offline jobs finished kFailed");
+  m_job_seconds_ = metrics_.GetHistogram(
+      "sweetknn_job_seconds",
+      "Submit to terminal state of one offline job", latency);
+  m_active_jobs_ = metrics_.GetGauge(
+      "sweetknn_active_jobs", "Offline jobs pending or running");
   m_approx_groups_ = metrics_.GetCounter(
       "sweetknn_approx_groups_total",
       "Engine groups answered through the ANN graph tier");
@@ -520,6 +543,16 @@ void KnnService::Shutdown() {
   }
   compact_cv_.notify_all();
   if (compactor_.joinable()) compactor_.join();
+  // The job thread goes down before the queue closes: a running job
+  // sees stopping_ at its next chunk boundary and fails Unavailable,
+  // and its in-flight chunk — admitted before the close — is still
+  // drained by the dispatcher, so the join below cannot deadlock.
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    jobs_stop_ = true;
+  }
+  jobs_cv_.notify_all();
+  if (job_thread_.joinable()) job_thread_.join();
   queue_.Close();
   if (dispatcher_.joinable()) dispatcher_.join();
 }
@@ -530,6 +563,20 @@ void KnnService::Shutdown() {
 
 Result<std::future<Result<KnnResult>>> KnnService::Submit(
     RequestPtr request) {
+  std::future<Result<KnnResult>> future = request->promise.get_future();
+  SK_RETURN_IF_ERROR(AdmitRequest(std::move(request)));
+  return future;
+}
+
+Result<std::future<Result<RangeResult>>> KnnService::SubmitRange(
+    RequestPtr request) {
+  std::future<Result<RangeResult>> future =
+      request->range_promise.get_future();
+  SK_RETURN_IF_ERROR(AdmitRequest(std::move(request)));
+  return future;
+}
+
+Status KnnService::AdmitRequest(RequestPtr request) {
   const size_t rows = request->num_rows;
   // Pinned before the move: the dispatcher may consume the request (and
   // a concurrent DropIndex release the manager's reference) before the
@@ -540,8 +587,7 @@ Result<std::future<Result<KnnResult>>> KnnService::Submit(
     request->has_deadline = true;
     request->deadline = request->admit_time + request->timeout;
   }
-  std::future<Result<KnnResult>> future = request->promise.get_future();
-  // Submit() refuses once Shutdown() has closed the scheduler — including
+  // Admission refuses once Shutdown() has closed the scheduler — including
   // when the close lands between our caller's checks and here. Rejection
   // is a clean Unavailable, never an abort: a serving process must
   // survive clients racing its shutdown. A shed is the same status with
@@ -579,7 +625,7 @@ Result<std::future<Result<KnnResult>>> KnnService::Submit(
   m_queries_->Increment(static_cast<double>(rows));
   tenant->m_requests->Increment();
   tenant->m_queries->Increment(static_cast<double>(rows));
-  return future;
+  return Status::Ok();
 }
 
 Result<std::vector<Neighbor>> KnnService::Search(
@@ -691,6 +737,495 @@ Result<KnnResult> KnnService::JoinBatch(const CallOptions& opts,
       Submit(std::move(request));
   if (!submitted.ok()) return submitted.status();
   return submitted.value().get();
+}
+
+// ---------------------------------------------------------------------------
+// Range queries and offline jobs (docs/modalities.md)
+// ---------------------------------------------------------------------------
+
+Result<RangeResult> KnnService::RadiusSearch(const HostMatrix& queries,
+                                             float radius) {
+  return RadiusSearch(CallOptions{}, queries, radius);
+}
+
+Result<RangeResult> KnnService::RadiusSearch(const CallOptions& opts,
+                                             const HostMatrix& queries,
+                                             float radius) {
+  Result<std::shared_ptr<TenantIndex>> resolved = ResolveTenant(opts.tenant);
+  if (!resolved.ok()) return resolved.status();
+  const std::shared_ptr<TenantIndex> tenant = std::move(resolved).value();
+  SK_CHECK(!queries.empty());
+  SK_CHECK_EQ(queries.cols(), tenant->dims);
+  SK_CHECK_GE(radius, 0.0f);
+  auto request = std::make_unique<Request>();
+  request->tenant = tenant;
+  request->rows = queries.storage();
+  request->num_rows = queries.rows();
+  request->is_range = true;
+  request->radius = radius;
+  request->mode = ann::SearchMode::Exact();
+  request->timeout = opts.timeout;
+  Result<std::future<Result<RangeResult>>> submitted =
+      SubmitRange(std::move(request));
+  if (!submitted.ok()) return submitted.status();
+  return submitted.value().get();
+}
+
+Result<uint64_t> KnnService::SubmitJob(const JobSpec& spec) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("KnnService is shut down; job rejected");
+  }
+  Result<std::shared_ptr<TenantIndex>> resolved = ResolveTenant(spec.tenant);
+  if (!resolved.ok()) return resolved.status();
+  switch (spec.kind) {
+    case JobKind::kRadiusSearch:
+      if (spec.queries.empty()) {
+        return Status::InvalidArgument(
+            "radius-search jobs need query rows");
+      }
+      if (spec.queries.cols() != resolved.value()->dims) {
+        return Status::InvalidArgument(
+            "job queries have " + std::to_string(spec.queries.cols()) +
+            " dims, index '" + spec.tenant + "' serves " +
+            std::to_string(resolved.value()->dims));
+      }
+      if (!(spec.radius >= 0.0f)) {
+        return Status::InvalidArgument("job radius must be >= 0");
+      }
+      break;
+    case JobKind::kSelfJoin:
+      if (!(spec.radius >= 0.0f)) {
+        return Status::InvalidArgument("job radius must be >= 0");
+      }
+      break;
+    case JobKind::kKnnGraph:
+      if (spec.k <= 0) {
+        return Status::InvalidArgument("kNN-graph jobs need k > 0");
+      }
+      break;
+  }
+  auto job = std::make_unique<Job>();
+  job->spec = spec;
+  if (job->spec.chunk_rows == 0) job->spec.chunk_rows = 1;
+  job->tenant = std::move(resolved).value();
+  job->submit_time = SteadyClock::now();
+  uint64_t id = 0;
+  size_t active = 0;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    if (jobs_stop_) {
+      return Status::Unavailable("KnnService is shut down; job rejected");
+    }
+    id = next_job_id_++;
+    job->id = id;
+    jobs_.emplace(id, std::move(job));
+    pending_jobs_.push_back(id);
+    for (const auto& [jid, j] : jobs_) {
+      (void)jid;
+      if (j->state == JobState::kPending || j->state == JobState::kRunning) {
+        ++active;
+      }
+    }
+  }
+  jobs_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.jobs_submitted;
+  }
+  m_jobs_submitted_->Increment();
+  m_active_jobs_->Set(static_cast<double>(active));
+  return id;
+}
+
+Result<JobProgress> KnnService::PollJob(uint64_t job_id) const {
+  std::lock_guard<std::mutex> lock(jobs_mutex_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job " + std::to_string(job_id));
+  }
+  JobProgress progress;
+  progress.state = it->second->state;
+  progress.total_rows = it->second->total_rows;
+  progress.done_rows = it->second->done_rows;
+  progress.error = it->second->error;
+  return progress;
+}
+
+Status KnnService::CancelJob(uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(jobs_mutex_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job " + std::to_string(job_id));
+  }
+  // Terminal jobs keep their outcome; the flag only steers pending and
+  // running jobs (honored at the next chunk boundary).
+  it->second->cancel.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+Result<JobOutput> KnnService::TakeJobResult(uint64_t job_id) {
+  std::unique_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) {
+      return Status::NotFound("no job " + std::to_string(job_id));
+    }
+    if (it->second->state == JobState::kPending ||
+        it->second->state == JobState::kRunning) {
+      return Status::InvalidArgument(
+          "job " + std::to_string(job_id) + " is still running");
+    }
+    // Any terminal job is reaped here — cancelled and failed jobs
+    // surrender their slot too, reporting why instead of an output.
+    job = std::move(it->second);
+    jobs_.erase(it);
+  }
+  switch (job->state) {
+    case JobState::kDone:
+      return std::move(job->output);
+    case JobState::kCancelled:
+      return Status::Unavailable("job " + std::to_string(job_id) +
+                                 " was cancelled");
+    default:
+      return job->fail_status;
+  }
+}
+
+Result<JobOutput> KnnService::WaitAndTake(uint64_t job_id) {
+  std::unique_ptr<Job> job;
+  {
+    std::unique_lock<std::mutex> lock(jobs_mutex_);
+    jobs_cv_.wait(lock, [&] {
+      auto it = jobs_.find(job_id);
+      return it == jobs_.end() || (it->second->state != JobState::kPending &&
+                                   it->second->state != JobState::kRunning);
+    });
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) {
+      return Status::NotFound("job " + std::to_string(job_id) +
+                              " was taken concurrently");
+    }
+    job = std::move(it->second);
+    jobs_.erase(it);
+  }
+  switch (job->state) {
+    case JobState::kDone:
+      return std::move(job->output);
+    case JobState::kCancelled:
+      return Status::Unavailable("job " + std::to_string(job_id) +
+                                 " was cancelled");
+    case JobState::kFailed:
+      return job->fail_status;
+    default:
+      return Status::Internal("job " + std::to_string(job_id) +
+                              " left the wait in a non-terminal state");
+  }
+}
+
+Result<std::vector<SelfJoinPair>> KnnService::SelfJoin(float radius) {
+  return SelfJoin(CallOptions{}, radius);
+}
+
+Result<std::vector<SelfJoinPair>> KnnService::SelfJoin(
+    const CallOptions& opts, float radius) {
+  JobSpec spec;
+  spec.kind = JobKind::kSelfJoin;
+  spec.radius = radius;
+  spec.tenant = opts.tenant;
+  Result<uint64_t> id = SubmitJob(spec);
+  if (!id.ok()) return id.status();
+  Result<JobOutput> out = WaitAndTake(id.value());
+  if (!out.ok()) return out.status();
+  return std::move(out.value().pairs);
+}
+
+Result<JobOutput> KnnService::KnnGraph(int k) {
+  return KnnGraph(CallOptions{}, k);
+}
+
+Result<JobOutput> KnnService::KnnGraph(const CallOptions& opts, int k) {
+  JobSpec spec;
+  spec.kind = JobKind::kKnnGraph;
+  spec.k = k;
+  spec.tenant = opts.tenant;
+  Result<uint64_t> id = SubmitJob(spec);
+  if (!id.ok()) return id.status();
+  return WaitAndTake(id.value());
+}
+
+void KnnService::SnapshotLive(TenantIndex* tenant,
+                              std::vector<uint32_t>* ids,
+                              HostMatrix* points) const {
+  std::vector<std::vector<uint32_t>> shard_ids;
+  std::vector<HostMatrix> shard_points;
+  {
+    std::lock_guard<std::mutex> lock(tenant->mutex);
+    shard_ids.resize(tenant->shards.size());
+    shard_points.resize(tenant->shards.size());
+    for (size_t s = 0; s < tenant->shards.size(); ++s) {
+      tenant->shards[s]->ExportLive(&shard_ids[s], &shard_points[s]);
+    }
+  }
+  // Shards interleave in id space (inserts route by id % S), so the
+  // global ascending order is a cross-shard sort, done off the lock.
+  size_t total = 0;
+  for (const std::vector<uint32_t>& v : shard_ids) total += v.size();
+  std::vector<std::pair<uint32_t, std::pair<size_t, size_t>>> order;
+  order.reserve(total);
+  for (size_t s = 0; s < shard_ids.size(); ++s) {
+    for (size_t r = 0; r < shard_ids[s].size(); ++r) {
+      order.emplace_back(shard_ids[s][r], std::make_pair(s, r));
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const size_t dims = tenant->dims;
+  ids->clear();
+  ids->reserve(total);
+  *points = HostMatrix(total, dims);
+  for (size_t r = 0; r < order.size(); ++r) {
+    ids->push_back(order[r].first);
+    std::memcpy(points->mutable_row(r),
+                shard_points[order[r].second.first].row(
+                    order[r].second.second),
+                dims * sizeof(float));
+  }
+}
+
+Result<RangeResult> KnnService::RangeChunk(
+    const std::shared_ptr<TenantIndex>& tenant, const HostMatrix& queries,
+    float radius) {
+  auto request = std::make_unique<Request>();
+  request->tenant = tenant;
+  request->rows = queries.storage();
+  request->num_rows = queries.rows();
+  request->is_range = true;
+  request->radius = radius;
+  request->mode = ann::SearchMode::Exact();
+  Result<std::future<Result<RangeResult>>> submitted =
+      SubmitRange(std::move(request));
+  if (!submitted.ok()) return submitted.status();
+  return submitted.value().get();
+}
+
+void KnnService::FinishJob(Job* job, JobState state, Status status) {
+  size_t active = 0;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    job->state = state;
+    if (!status.ok()) {
+      job->fail_status = status;
+      job->error = status.ToString();
+    }
+    for (const auto& [jid, j] : jobs_) {
+      (void)jid;
+      if (j->state == JobState::kPending || j->state == JobState::kRunning) {
+        ++active;
+      }
+    }
+  }
+  jobs_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    switch (state) {
+      case JobState::kDone:
+        ++stats_.jobs_completed;
+        break;
+      case JobState::kCancelled:
+        ++stats_.jobs_cancelled;
+        break;
+      default:
+        ++stats_.jobs_failed;
+        break;
+    }
+  }
+  switch (state) {
+    case JobState::kDone:
+      m_jobs_completed_->Increment();
+      break;
+    case JobState::kCancelled:
+      m_jobs_cancelled_->Increment();
+      break;
+    default:
+      m_jobs_failed_->Increment();
+      break;
+  }
+  m_job_seconds_->Observe(SecondsBetween(job->submit_time,
+                                         SteadyClock::now()));
+  m_active_jobs_->Set(static_cast<double>(active));
+}
+
+void KnnService::JobLoop() {
+  for (;;) {
+    Job* job = nullptr;
+    std::vector<uint64_t> orphaned;
+    {
+      std::unique_lock<std::mutex> lock(jobs_mutex_);
+      jobs_cv_.wait(lock,
+                    [this] { return jobs_stop_ || !pending_jobs_.empty(); });
+      if (jobs_stop_) {
+        orphaned = std::move(pending_jobs_);
+        pending_jobs_.clear();
+      } else {
+        const uint64_t id = pending_jobs_.front();
+        pending_jobs_.erase(pending_jobs_.begin());
+        auto it = jobs_.find(id);
+        if (it != jobs_.end()) {
+          job = it->second.get();
+          job->state = JobState::kRunning;
+        }
+      }
+    }
+    if (job != nullptr) {
+      // The Job object outlives this call: only a terminal state makes
+      // it takeable, and RunJob publishes that itself, last.
+      RunJob(job);
+      continue;
+    }
+    // Shutdown: fail everything still pending, then exit.
+    for (uint64_t id : orphaned) {
+      Job* pending = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(jobs_mutex_);
+        auto it = jobs_.find(id);
+        if (it != jobs_.end()) pending = it->second.get();
+      }
+      if (pending != nullptr) {
+        FinishJob(pending, JobState::kFailed,
+                  Status::Unavailable(
+                      "KnnService shut down before the job ran"));
+      }
+    }
+    return;
+  }
+}
+
+void KnnService::RunJob(Job* job) {
+  const std::shared_ptr<TenantIndex> tenant = job->tenant;
+  if (job->cancel.load(std::memory_order_acquire)) {
+    FinishJob(job, JobState::kCancelled);
+    return;
+  }
+  if (tenant->dropped.load(std::memory_order_acquire)) {
+    FinishJob(job, JobState::kFailed,
+              Status::NotFound("index '" + tenant->name + "' was dropped"));
+    return;
+  }
+
+  JobOutput out;
+  out.kind = job->spec.kind;
+  const size_t chunk_rows = std::max<size_t>(job->spec.chunk_rows, 1);
+  const size_t dims = tenant->dims;
+  const int k = job->spec.k;
+
+  // Query source: radius jobs bring their own rows; the live-set kinds
+  // snapshot the tenant's points once, at job start — each chunk then
+  // answers against the index state of its own admission (every chunk
+  // is internally consistent; mutations landing mid-job affect only
+  // later chunks).
+  HostMatrix queries;
+  if (job->spec.kind == JobKind::kRadiusSearch) {
+    queries = job->spec.queries;
+  } else {
+    SnapshotLive(tenant.get(), &out.query_ids, &queries);
+  }
+  const size_t total = queries.rows();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    job->total_rows = total;
+  }
+  if (job->spec.kind == JobKind::kKnnGraph) {
+    out.graph = KnnResult(total, k);
+  }
+
+  std::vector<Neighbor> rowbuf;
+  for (size_t begin = 0; begin < total; begin += chunk_rows) {
+    if (job->cancel.load(std::memory_order_acquire)) {
+      FinishJob(job, JobState::kCancelled);
+      return;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      FinishJob(job, JobState::kFailed,
+                Status::Unavailable("KnnService shut down mid-job"));
+      return;
+    }
+    const size_t end = std::min(total, begin + chunk_rows);
+    HostMatrix chunk(end - begin, dims);
+    std::memcpy(chunk.mutable_data(), queries.row(begin),
+                (end - begin) * dims * sizeof(float));
+    if (job->spec.kind == JobKind::kKnnGraph) {
+      // One ordinary kNN request at k+1 (the one extra slot absorbs the
+      // query point itself; see core::SweetKnnIndex::KnnGraph for the
+      // exactness argument), fair-shared through the admission queue.
+      auto request = std::make_unique<Request>();
+      request->tenant = tenant;
+      request->rows.assign(chunk.storage().begin(), chunk.storage().end());
+      request->num_rows = end - begin;
+      request->k = k + 1;
+      request->mode = ann::SearchMode::Exact();
+      Result<std::future<Result<KnnResult>>> submitted =
+          Submit(std::move(request));
+      if (!submitted.ok()) {
+        FinishJob(job, JobState::kFailed, submitted.status());
+        return;
+      }
+      Result<KnnResult> answer = submitted.value().get();
+      if (!answer.ok()) {
+        FinishJob(job, JobState::kFailed, answer.status());
+        return;
+      }
+      for (size_t q = 0; q < end - begin; ++q) {
+        const uint32_t self = out.query_ids[begin + q];
+        const Neighbor* src = answer.value().row(q);
+        rowbuf.clear();
+        bool dropped_self = false;
+        for (int j = 0; j < k + 1; ++j) {
+          if (src[j].index == kInvalidNeighbor) break;
+          if (!dropped_self && src[j].index == self) {
+            dropped_self = true;
+            continue;
+          }
+          if (static_cast<int>(rowbuf.size()) == k) break;
+          rowbuf.push_back(src[j]);
+        }
+        out.graph.SetRow(begin + q, rowbuf);
+      }
+    } else {
+      Result<RangeResult> answer =
+          RangeChunk(tenant, chunk, job->spec.radius);
+      if (!answer.ok()) {
+        FinishJob(job, JobState::kFailed, answer.status());
+        return;
+      }
+      if (job->spec.kind == JobKind::kRadiusSearch) {
+        out.range.AppendRows(answer.value());
+      } else {
+        // Self-join reduction: query a's in-ball matches, kept only for
+        // ids above a — each unordered pair lands exactly once (on its
+        // smaller id), self-matches drop (a == a fails a < b), exact
+        // duplicates survive (distinct ids).
+        for (size_t q = 0; q < answer.value().num_queries(); ++q) {
+          const uint32_t a = out.query_ids[begin + q];
+          for (const Neighbor* nb = answer.value().begin(q);
+               nb != answer.value().end(q); ++nb) {
+            if (nb->index > a) {
+              out.pairs.push_back(SelfJoinPair{a, nb->index, nb->distance});
+            }
+          }
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(jobs_mutex_);
+      job->done_rows = end;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    job->output = std::move(out);
+  }
+  FinishJob(job, JobState::kDone);
 }
 
 // ---------------------------------------------------------------------------
@@ -810,11 +1345,19 @@ int KnnService::OwningShard(const TenantIndex& tenant, uint32_t id) const {
 // Dispatch
 // ---------------------------------------------------------------------------
 
+void KnnService::FailRequest(Request* request, Status status) {
+  if (request->is_range) {
+    request->range_promise.set_value(Result<RangeResult>(std::move(status)));
+  } else {
+    request->promise.set_value(Result<KnnResult>(std::move(status)));
+  }
+}
+
 bool KnnService::FailFast(RequestPtr* request) {
   Request& req = **request;
   if (req.tenant->dropped.load(std::memory_order_acquire)) {
-    req.promise.set_value(Result<KnnResult>(
-        Status::NotFound("index '" + req.tenant->name + "' was dropped")));
+    FailRequest(&req, Status::NotFound("index '" + req.tenant->name +
+                                       "' was dropped"));
     // The sub-queue may be empty now; let the scheduler forget it.
     queue_.Forget(req.tenant->name);
     request->reset();
@@ -827,8 +1370,8 @@ bool KnnService::FailFast(RequestPtr* request) {
     }
     m_deadline_exceeded_->Increment();
     req.tenant->m_deadline_exceeded->Increment();
-    req.promise.set_value(Result<KnnResult>(Status::DeadlineExceeded(
-        "request deadline expired in the admission queue")));
+    FailRequest(&req, Status::DeadlineExceeded(
+                          "request deadline expired in the admission queue"));
     request->reset();
     return true;
   }
@@ -893,26 +1436,38 @@ void KnnService::DispatchLoop() {
     }
     m_batches_->Increment();
 
-    // One engine batch per distinct (k, mode), preserving admission
-    // order within each group and deterministic (k ascending, exact
-    // before approx) order across groups. Modes were normalized at
-    // admission, so effectively exact traffic lands in one group.
+    // One engine batch per distinct (k, mode) — or per distinct radius
+    // for range requests — preserving admission order within each group
+    // and a deterministic order across groups (kNN groups by k
+    // ascending, exact before approx; range groups after them by
+    // radius). Modes were normalized at admission, so effectively exact
+    // traffic lands in one group.
+    struct GroupKey {
+      bool is_range;
+      float radius;
+      int k;
+      ann::SearchMode mode;
+    };
     struct GroupKeyLess {
-      bool operator()(const std::pair<int, ann::SearchMode>& a,
-                      const std::pair<int, ann::SearchMode>& b) const {
-        if (a.first != b.first) return a.first < b.first;
-        return ann::SearchModeLess(a.second, b.second);
+      bool operator()(const GroupKey& a, const GroupKey& b) const {
+        if (a.is_range != b.is_range) return b.is_range;
+        if (a.is_range) return a.radius < b.radius;
+        if (a.k != b.k) return a.k < b.k;
+        return ann::SearchModeLess(a.mode, b.mode);
       }
     };
-    std::map<std::pair<int, ann::SearchMode>, std::vector<RequestPtr>,
-             GroupKeyLess>
-        by_key;
+    std::map<GroupKey, std::vector<RequestPtr>, GroupKeyLess> by_key;
     for (RequestPtr& request : batch) {
-      by_key[{request->k, request->mode}].push_back(std::move(request));
+      by_key[{request->is_range, request->radius, request->k,
+              request->mode}]
+          .push_back(std::move(request));
     }
     for (auto& [key, group] : by_key) {
-      (void)key;
-      RunGroup(std::move(group));
+      if (key.is_range) {
+        RunRangeGroup(std::move(group));
+      } else {
+        RunGroup(std::move(group));
+      }
     }
   }
 }
@@ -1048,6 +1603,86 @@ void KnnService::RunGroup(std::vector<RequestPtr> group) {
     tenant->m_latency->Observe(seconds);
     request->promise.set_value(Result<KnnResult>(std::move(answer)));
   }
+}
+
+void KnnService::RunRangeGroup(std::vector<RequestPtr> group) {
+  const std::shared_ptr<TenantIndex> tenant = group[0]->tenant;
+  const float radius = group[0]->radius;
+  const size_t dims = tenant->dims;
+  size_t rows = 0;
+  for (const RequestPtr& request : group) rows += request->num_rows;
+  HostMatrix queries(rows, dims);
+  size_t row = 0;
+  for (const RequestPtr& request : group) {
+    std::memcpy(queries.mutable_row(row), request->rows.data(),
+                request->num_rows * dims * sizeof(float));
+    row += request->num_rows;
+  }
+
+  // Same index-mutex scope as RunGroup: the whole range group answers
+  // against one consistent index state of one tenant.
+  std::lock_guard<std::mutex> index_lock(tenant->mutex);
+  const int num_shards = static_cast<int>(tenant->shards.size());
+
+  // The planner routes each shard's base scan exactly as it does for
+  // kNN groups — both routes are bit-identical — but range scans never
+  // feed the device-selectivity EMA (no simulated device runs for
+  // them), so no ObserveDeviceRun here.
+  std::vector<core::QueryRoute> routes(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    routes[static_cast<size_t>(s)] = planner_.Choose(
+        rows, tenant->shards[static_cast<size_t>(s)]->base_rows(), dims);
+  }
+  std::vector<core::RangeShardAnswer> answers(
+      static_cast<size_t>(num_shards));
+  const SteadyClock::time_point fanout_start = SteadyClock::now();
+  common::ThreadPool::Global()->ForkJoin(num_shards, [&](int s) {
+    const auto idx = static_cast<size_t>(s);
+    answers[idx] = tenant->shards[idx]->RangeGroup(
+        queries, radius, routes[idx], config_.options.metric);
+  });
+  const SteadyClock::time_point merge_start = SteadyClock::now();
+  m_shard_fanout_->Observe(SecondsBetween(fanout_start, merge_start));
+  for (const core::RangeShardAnswer& answer : answers) {
+    if (answer.device_routed) {
+      m_planner_device_routes_->Increment();
+      m_route_device_seconds_->Observe(answer.route_seconds);
+    } else {
+      m_planner_host_routes_->Increment();
+      m_route_host_seconds_->Observe(answer.route_seconds);
+    }
+  }
+  const RangeResult merged = core::MergeRangeShardAnswers(answers, rows);
+  m_merge_->Observe(SecondsBetween(merge_start, SteadyClock::now()));
+
+  RecordRangeGroupStats(rows, merged.total_matches());
+
+  // Slice the merged result back into per-request answers.
+  row = 0;
+  for (RequestPtr& request : group) {
+    RangeResult answer;
+    for (size_t q = 0; q < request->num_rows; ++q) {
+      answer.AppendRow(merged.begin(row + q), merged.count(row + q));
+    }
+    row += request->num_rows;
+    const double seconds =
+        SecondsBetween(request->admit_time, SteadyClock::now());
+    m_request_latency_->Observe(seconds);
+    tenant->m_latency->Observe(seconds);
+    request->range_promise.set_value(Result<RangeResult>(std::move(answer)));
+  }
+}
+
+void KnnService::RecordRangeGroupStats(size_t rows, size_t matches) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.range_groups;
+    stats_.range_queries += rows;
+    stats_.range_matches += matches;
+  }
+  m_range_groups_->Increment();
+  m_range_queries_->Increment(static_cast<double>(rows));
+  m_range_matches_->Increment(static_cast<double>(matches));
 }
 
 void KnnService::RecordGroupStats(

@@ -18,6 +18,7 @@
 #include "common/knn_result.h"
 #include "common/matrix.h"
 #include "common/metrics.h"
+#include "common/range_result.h"
 #include "common/status.h"
 #include "core/delta_overlay.h"
 #include "core/options.h"
@@ -110,6 +111,60 @@ struct ServiceConfig {
   int ann_recall_probe_interval = 0;
 };
 
+/// The three offline modalities KnnService runs as long-running jobs
+/// (docs/modalities.md). Radius jobs carry their own query rows;
+/// self-join and kNN-graph jobs run over the tenant's live set as
+/// snapshotted at job start.
+enum class JobKind { kRadiusSearch, kSelfJoin, kKnnGraph };
+
+/// Job lifecycle: kPending (queued behind earlier jobs) -> kRunning ->
+/// one of kDone / kCancelled / kFailed. CancelJob flips the cancel
+/// flag; the job thread honors it between chunks, so a cancel lands
+/// within one chunk's worth of work.
+enum class JobState { kPending, kRunning, kDone, kCancelled, kFailed };
+
+/// What SubmitJob takes. `chunk_rows` bounds how many query rows each
+/// admitted chunk carries — chunks ride the same weighted-fair admission
+/// queue as point lookups, so a job never monopolizes the dispatcher
+/// and a mid-job CancelJob takes effect at the next chunk boundary.
+struct JobSpec {
+  JobKind kind = JobKind::kRadiusSearch;
+  /// Closed-ball radius (kRadiusSearch / kSelfJoin).
+  float radius = 0.0f;
+  /// Neighbors per node (kKnnGraph).
+  int k = 0;
+  /// Query rows (kRadiusSearch only; the other kinds query the live set).
+  HostMatrix queries;
+  /// Query rows per admitted chunk (clamped to >= 1).
+  size_t chunk_rows = 64;
+  std::string tenant = kDefaultTenant;
+};
+
+/// PollJob's answer.
+struct JobProgress {
+  JobState state = JobState::kPending;
+  uint64_t total_rows = 0;  ///< Query rows the job will run.
+  uint64_t done_rows = 0;   ///< Query rows completed so far.
+  std::string error;        ///< Set when state == kFailed.
+};
+
+/// A finished job's result (TakeJobResult). Which fields are populated
+/// depends on the kind; `query_ids` gives the stable id behind each
+/// result row for the live-set kinds.
+struct JobOutput {
+  JobKind kind = JobKind::kRadiusSearch;
+  /// kSelfJoin / kKnnGraph: stable ids of the snapshot rows, ascending.
+  std::vector<uint32_t> query_ids;
+  /// kRadiusSearch: row q = matches of input query q.
+  RangeResult range;
+  /// kSelfJoin: each unordered live pair within the radius exactly once
+  /// (a < b), ascending (a, distance, b).
+  std::vector<SelfJoinPair> pairs;
+  /// kKnnGraph: row i = exact k nearest live points of query_ids[i],
+  /// excluding itself.
+  KnnResult graph;
+};
+
 /// Per-call options of the tenant-qualified Search/JoinBatch/mutation
 /// overloads. The zero-argument legacy overloads behave exactly like
 /// CallOptions{} — default tenant, no deadline.
@@ -184,6 +239,17 @@ struct ServiceStats {
   /// ANN graph search (a subset of engine_groups / batched_queries).
   uint64_t approx_groups = 0;
   uint64_t approx_queries = 0;
+  /// Range modality: same-radius groups run through the shards, query
+  /// rows in them, and in-ball matches returned.
+  uint64_t range_groups = 0;
+  uint64_t range_queries = 0;
+  uint64_t range_matches = 0;
+  /// Offline jobs by terminal state (submitted >= the other three +
+  /// still-active jobs).
+  uint64_t jobs_submitted = 0;
+  uint64_t jobs_completed = 0;
+  uint64_t jobs_cancelled = 0;
+  uint64_t jobs_failed = 0;
 
   /// Mean fraction of max_batch_size filled per dispatched micro-batch
   /// (> 1 is possible when one JoinBatch request exceeds max_batch_size).
@@ -332,6 +398,50 @@ class KnnService {
                               const HostMatrix& queries, int k,
                               const ann::SearchMode& mode);
 
+  /// Every live point within the closed ball of each query row, as one
+  /// request through the admission queue (variable-cardinality rows;
+  /// see common/range_result.h). Answers are bit-identical across
+  /// planner routes, SIMD tiers, and shard counts. Thread-safe; blocks
+  /// until served; Unavailable on shutdown/shed like JoinBatch.
+  Result<RangeResult> RadiusSearch(const HostMatrix& queries, float radius);
+  Result<RangeResult> RadiusSearch(const CallOptions& opts,
+                                   const HostMatrix& queries, float radius);
+
+  // -- Offline jobs (docs/modalities.md) ------------------------------
+
+  /// Enqueues a long-running job; returns its id immediately. Jobs run
+  /// one at a time on the job thread, chunked through the same
+  /// weighted-fair admission queue as point lookups — lookups keep
+  /// being served while a job runs. Unavailable when shutting down;
+  /// NotFound for an unknown tenant; InvalidArgument on a malformed
+  /// spec (kRadiusSearch without queries, kKnnGraph with k <= 0, ...).
+  Result<uint64_t> SubmitJob(const JobSpec& spec);
+
+  /// The job's state and progress. NotFound for an unknown (or already
+  /// taken) id.
+  Result<JobProgress> PollJob(uint64_t job_id) const;
+
+  /// Requests cancellation. Takes effect at the next chunk boundary
+  /// (kPending jobs cancel before running at all); terminal jobs are
+  /// left as they ended. NotFound for an unknown id.
+  Status CancelJob(uint64_t job_id);
+
+  /// Moves a kDone job's output out and erases the job (poll/take of
+  /// the id fail with NotFound afterwards). InvalidArgument while the
+  /// job is pending/running/cancelled/failed.
+  Result<JobOutput> TakeJobResult(uint64_t job_id);
+
+  /// Synchronous self-join: submit + poll + take. Every unordered pair
+  /// of live points within the closed radius, exactly once (a < b).
+  Result<std::vector<SelfJoinPair>> SelfJoin(float radius);
+  Result<std::vector<SelfJoinPair>> SelfJoin(const CallOptions& opts,
+                                             float radius);
+
+  /// Synchronous exact kNN graph over the live set: output.query_ids
+  /// pairs with output.graph rows.
+  Result<JobOutput> KnnGraph(int k);
+  Result<JobOutput> KnnGraph(const CallOptions& opts, int k);
+
   // -- Mutations ------------------------------------------------------
 
   /// Adds a point to the serving set; returns its stable id. The point
@@ -472,8 +582,32 @@ class KnnService {
     std::chrono::steady_clock::time_point deadline;
     std::chrono::steady_clock::time_point admit_time;
     std::promise<Result<KnnResult>> promise;
+    /// Range requests (is_range) group on radius instead of (k, mode)
+    /// and resolve range_promise; k/mode/promise are unused for them.
+    bool is_range = false;
+    float radius = 0.0f;
+    std::promise<Result<RangeResult>> range_promise;
   };
   using RequestPtr = std::unique_ptr<Request>;
+
+  /// One queued/running offline job (jobs_mutex_ guards everything but
+  /// `cancel`, which PollJob-era readers never touch, and the job
+  /// thread's private use of `output` while kRunning).
+  struct Job {
+    uint64_t id = 0;
+    JobSpec spec;
+    std::shared_ptr<TenantIndex> tenant;
+    JobState state = JobState::kPending;
+    uint64_t total_rows = 0;
+    uint64_t done_rows = 0;
+    std::string error;
+    /// The chunk status that killed a kFailed job (sync wrappers
+    /// propagate it verbatim).
+    Status fail_status = Status::Ok();
+    std::atomic<bool> cancel{false};
+    std::chrono::steady_clock::time_point submit_time;
+    JobOutput output;
+  };
 
   /// Snapshot-set adoption (FromSnapshots).
   struct AdoptTag {};
@@ -513,7 +647,15 @@ class KnnService {
   /// resolves, because the dispatcher drains everything admitted
   /// before the close.
   Result<std::future<Result<KnnResult>>> Submit(RequestPtr request);
+  /// Admission for range requests (the range twin of Submit; same
+  /// shed/reject handling, resolves the range promise's future).
+  Result<std::future<Result<RangeResult>>> SubmitRange(RequestPtr request);
+  /// Shared admission tail: queue submit + accounting. On success the
+  /// caller's pre-extracted future is valid.
+  Status AdmitRequest(RequestPtr request);
   void DispatchLoop();
+  /// Resolves whichever promise the request carries with `status`.
+  static void FailRequest(Request* request, Status status);
   /// Completes a popped request without touching the shards when its
   /// tenant was dropped (NotFound) or its deadline expired while
   /// queued (DeadlineExceeded). True = the request was consumed.
@@ -523,12 +665,41 @@ class KnnService {
   /// tenant's index mutex for the whole group, so a group never
   /// straddles a SwapIndex, mutation, or compaction install.
   void RunGroup(std::vector<RequestPtr> group);
+  /// Runs one same-radius range group of one tenant's coalesced
+  /// requests (the range twin of RunGroup; same index-mutex scope).
+  void RunRangeGroup(std::vector<RequestPtr> group);
+  /// Folds one range group into ServiceStats and the range metrics.
+  /// Caller must NOT hold stats_mutex_.
+  void RecordRangeGroupStats(size_t rows, size_t matches);
   /// Folds one engine group's shard answers into ServiceStats and the
   /// metrics registry. Host-routed shards contribute no simulated-device
   /// stats (no device ran for them) and are skipped for the adaptive-
   /// decision counters. Caller must NOT hold stats_mutex_.
   void RecordGroupStats(const std::vector<core::ShardAnswer>& answers,
                         size_t rows);
+
+  /// The job thread: runs queued jobs one at a time, chunking each
+  /// through the admission queue. See docs/modalities.md.
+  void JobLoop();
+  /// Executes one job end to end (chunk loop, cancel checks). Called by
+  /// the job thread with no locks held; publishes progress and the
+  /// terminal state under jobs_mutex_.
+  void RunJob(Job* job);
+  /// The tenant's live points and stable ids, globally ascending by id
+  /// (per-shard ExportLive merged). Takes and releases the tenant's
+  /// index mutex.
+  void SnapshotLive(TenantIndex* tenant, std::vector<uint32_t>* ids,
+                    HostMatrix* points) const;
+  /// Blocking range scan of `queries` used by the job chunk loop:
+  /// admission-queue submit + wait, like RadiusSearch.
+  Result<RangeResult> RangeChunk(const std::shared_ptr<TenantIndex>& tenant,
+                                 const HostMatrix& queries, float radius);
+  /// Marks the job terminal and updates the job counters/gauge.
+  void FinishJob(Job* job, JobState state, Status status = Status::Ok());
+  /// Blocks until the job is terminal, then takes its output (kDone) or
+  /// propagates the cancelled/failed status, erasing the job either way
+  /// — the synchronous wrappers' tail.
+  Result<JobOutput> WaitAndTake(uint64_t job_id);
 
   /// The background compactor: sleeps until a mutation pushes some shard
   /// over the threshold (or Shutdown), then rebuilds candidates one at a
@@ -646,6 +817,17 @@ class KnnService {
   /// Set by Shutdown before the queue closes; mutations check it.
   std::atomic<bool> stopping_{false};
 
+  /// Offline-job state. jobs_mutex_ is a leaf lock: never held while
+  /// taking a tenant's index mutex, the scheduler, or any other service
+  /// lock (the job thread drops it before touching the index).
+  mutable std::mutex jobs_mutex_;
+  std::condition_variable jobs_cv_;
+  std::unordered_map<uint64_t, std::unique_ptr<Job>> jobs_;
+  std::vector<uint64_t> pending_jobs_;  // FIFO by submit order
+  uint64_t next_job_id_ = 1;
+  bool jobs_stop_ = false;
+  std::thread job_thread_;
+
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;  // guarded by stats_mutex_ (except peak_queue_depth
                         // and the overlay gauges, read at snapshot time)
@@ -694,6 +876,15 @@ class KnnService {
   common::Histogram* m_merge_ = nullptr;
   common::Histogram* m_request_latency_ = nullptr;
   common::Histogram* m_batch_rows_ = nullptr;
+  common::Counter* m_range_groups_ = nullptr;
+  common::Counter* m_range_queries_ = nullptr;
+  common::Counter* m_range_matches_ = nullptr;
+  common::Counter* m_jobs_submitted_ = nullptr;
+  common::Counter* m_jobs_completed_ = nullptr;
+  common::Counter* m_jobs_cancelled_ = nullptr;
+  common::Counter* m_jobs_failed_ = nullptr;
+  common::Histogram* m_job_seconds_ = nullptr;
+  common::Gauge* m_active_jobs_ = nullptr;
   common::Counter* m_approx_groups_ = nullptr;
   common::Counter* m_approx_queries_ = nullptr;
   common::Counter* m_ann_hops_ = nullptr;

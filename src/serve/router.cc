@@ -203,6 +203,9 @@ void Router::InitMetrics() {
   m_replicas_restored_ = metrics_.GetCounter(
       "sweetknn_router_replicas_restored_total",
       "Replicas re-established by snapshot catch-up");
+  m_jobs_ = metrics_.GetCounter(
+      "sweetknn_router_jobs_total",
+      "Completed cluster jobs (radius search, self-join, knn graph)");
   m_queue_wait_ = metrics_.GetHistogram(
       "sweetknn_router_queue_wait_seconds",
       "Admission-to-dispatch wait per request",
@@ -799,6 +802,325 @@ void Router::RunGroup(std::vector<RequestPtr> group) {
         SecondsBetween(request->admit_time, SteadyClock::now()));
     request->promise.set_value(std::move(answer));
   }
+}
+
+// --- Offline jobs (docs/modalities.md) --------------------------------------
+
+namespace {
+
+/// True for failures that mean the worker (or its channel) is gone, as
+/// opposed to a clean worker-side Error frame.
+bool IsTransportFailure(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kIoError;
+}
+
+}  // namespace
+
+Result<std::vector<std::pair<int, std::vector<uint32_t>>>>
+Router::JobPlanLocked() const {
+  std::vector<std::pair<int, std::vector<uint32_t>>> plan;
+  for (int s = 0; s < num_shards_; ++s) {
+    const int p = primary_[static_cast<size_t>(s)];
+    if (p < 0 || !alive_[static_cast<size_t>(p)]) {
+      return Status::Unavailable("shard " + std::to_string(s) +
+                                 " has no live host; cluster cannot run "
+                                 "the job");
+    }
+    auto it = std::find_if(plan.begin(), plan.end(),
+                           [p](const auto& e) { return e.first == p; });
+    if (it == plan.end()) {
+      plan.emplace_back(p, std::vector<uint32_t>{static_cast<uint32_t>(s)});
+    } else {
+      it->second.push_back(static_cast<uint32_t>(s));
+    }
+  }
+  std::sort(plan.begin(), plan.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return plan;
+}
+
+Status Router::RunWireJobLocked(
+    net::WireJobKind kind, float radius, uint32_t k,
+    const HostMatrix& queries,
+    const std::vector<std::pair<int, std::vector<uint32_t>>>& plan,
+    std::vector<net::JobResultReply>* replies) {
+  const uint64_t job_id = next_wire_job_id_++;
+  // Best-effort cleanup on any failure: drop the job from every worker
+  // that might still hold it (cancel is idempotent on the worker).
+  auto cancel_all = [&] {
+    net::JobCancelRequest cancel;
+    cancel.job_id = job_id;
+    for (const auto& [w, shards] : plan) {
+      (void)shards;
+      if (!alive_[static_cast<size_t>(w)]) continue;
+      (void)CallWorker(w, net::MsgType::kJobCancel,
+                       net::EncodeJobCancel(cancel), config_.rpc_timeout,
+                       net::MsgType::kAck);
+    }
+  };
+  auto fail = [&](int w, const Status& status) {
+    if (IsTransportFailure(status)) {
+      MarkWorkerDeadLocked(w, "job RPC failed: " + status.ToString());
+    }
+    cancel_all();
+    return Status::Unavailable("cluster job failed on worker " +
+                               std::to_string(w) + ": " + status.ToString());
+  };
+
+  for (const auto& [w, shards] : plan) {
+    net::JobSubmitRequest req;
+    req.job_id = job_id;
+    req.kind = kind;
+    req.radius = radius;
+    req.k = k;
+    req.queries = queries;
+    req.shard_indices = shards;
+    req.tenant = config_.tenant;
+    Result<net::Frame> reply =
+        CallWorker(w, net::MsgType::kJobSubmit, net::EncodeJobSubmit(req),
+                   config_.rpc_timeout, net::MsgType::kAck);
+    if (!reply.ok()) return fail(w, reply.status());
+  }
+
+  // Poll rounds: each poll advances its worker by one chunk, so the
+  // cluster's workers make progress concurrently, one bounded RPC each.
+  std::vector<bool> done(plan.size(), false);
+  size_t remaining = plan.size();
+  net::JobPollRequest poll;
+  poll.job_id = job_id;
+  while (remaining > 0) {
+    for (size_t i = 0; i < plan.size(); ++i) {
+      if (done[i]) continue;
+      const int w = plan[i].first;
+      Result<net::Frame> reply =
+          CallWorker(w, net::MsgType::kJobPoll, net::EncodeJobPoll(poll),
+                     config_.rpc_timeout, net::MsgType::kJobPollReply);
+      if (!reply.ok()) return fail(w, reply.status());
+      net::JobPollReply progress;
+      const Status decoded =
+          net::DecodeJobPollReply(reply.value().payload, &progress);
+      if (!decoded.ok()) return fail(w, decoded);
+      if (progress.state == net::WireJobState::kFailed) {
+        return fail(w, Status::Internal("worker job failed: " +
+                                        progress.error));
+      }
+      if (progress.state == net::WireJobState::kDone) {
+        done[i] = true;
+        --remaining;
+      }
+    }
+  }
+
+  replies->clear();
+  replies->reserve(plan.size());
+  net::JobResultRequest fetch;
+  fetch.job_id = job_id;
+  for (const auto& [w, shards] : plan) {
+    (void)shards;
+    Result<net::Frame> reply =
+        CallWorker(w, net::MsgType::kJobResult, net::EncodeJobResult(fetch),
+                   config_.rpc_timeout, net::MsgType::kJobResultReply);
+    if (!reply.ok()) return fail(w, reply.status());
+    net::JobResultReply result;
+    const Status decoded =
+        net::DecodeJobResultReply(reply.value().payload, &result);
+    if (!decoded.ok()) return fail(w, decoded);
+    const size_t answered = kind == net::WireJobKind::kRange
+                                ? result.range.num_queries()
+                                : result.knn.num_queries();
+    if (result.kind != kind || answered != queries.rows()) {
+      return fail(w, Status::IoError("job result shape mismatch"));
+    }
+    replies->push_back(std::move(result));
+  }
+  return Status::Ok();
+}
+
+Status Router::ExportLiveLocked(
+    const std::vector<std::pair<int, std::vector<uint32_t>>>& plan,
+    std::vector<uint32_t>* ids, HostMatrix* points) {
+  std::vector<net::ExportLiveReply> parts;
+  parts.reserve(plan.size());
+  size_t total = 0;
+  for (const auto& [w, shards] : plan) {
+    net::ExportLiveRequest req;
+    req.shard_indices = shards;
+    req.tenant = config_.tenant;
+    Result<net::Frame> reply =
+        CallWorker(w, net::MsgType::kExportLive, net::EncodeExportLive(req),
+                   config_.rpc_timeout, net::MsgType::kExportLiveReply);
+    if (!reply.ok()) {
+      if (IsTransportFailure(reply.status())) {
+        MarkWorkerDeadLocked(w, "export-live RPC failed");
+      }
+      return Status::Unavailable("cluster export-live failed on worker " +
+                                 std::to_string(w) + ": " +
+                                 reply.status().ToString());
+    }
+    net::ExportLiveReply part;
+    SK_RETURN_IF_ERROR(
+        net::DecodeExportLiveReply(reply.value().payload, &part));
+    total += part.ids.size();
+    parts.push_back(std::move(part));
+  }
+  // Shards interleave in id space; the global ascending order is a
+  // cross-worker sort, same as KnnService::SnapshotLive's.
+  std::vector<std::pair<uint32_t, std::pair<size_t, size_t>>> order;
+  order.reserve(total);
+  for (size_t p = 0; p < parts.size(); ++p) {
+    for (size_t r = 0; r < parts[p].ids.size(); ++r) {
+      order.emplace_back(parts[p].ids[r], std::make_pair(p, r));
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  ids->clear();
+  ids->reserve(total);
+  *points = HostMatrix(total, dims_);
+  for (size_t r = 0; r < order.size(); ++r) {
+    ids->push_back(order[r].first);
+    std::memcpy(
+        points->mutable_row(r),
+        parts[order[r].second.first].points.row(order[r].second.second),
+        dims_ * sizeof(float));
+  }
+  return Status::Ok();
+}
+
+void Router::NoteJobDone() {
+  m_jobs_->Increment();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.jobs;
+}
+
+Result<RangeResult> Router::RadiusSearch(const HostMatrix& queries,
+                                         float radius) {
+  SK_CHECK(!queries.empty());
+  SK_CHECK_EQ(queries.cols(), dims_);
+  SK_CHECK_GE(radius, 0.0f);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("Router is shut down; job rejected");
+  }
+  Result<std::vector<std::pair<int, std::vector<uint32_t>>>> plan =
+      JobPlanLocked();
+  if (!plan.ok()) return plan.status();
+  std::vector<net::JobResultReply> replies;
+  SK_RETURN_IF_ERROR(RunWireJobLocked(net::WireJobKind::kRange, radius, 0,
+                                      queries, plan.value(), &replies));
+  // Per-query concat + NeighborLess sort across workers — with each
+  // worker already merged over its shards, this equals the flat
+  // MergeRangeShardAnswers the in-process backend runs: bit-identical.
+  RangeResult out;
+  std::vector<Neighbor> row;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    row.clear();
+    for (const net::JobResultReply& reply : replies) {
+      row.insert(row.end(), reply.range.begin(q), reply.range.end(q));
+    }
+    std::sort(row.begin(), row.end(), NeighborLess);
+    out.AppendRow(row);
+  }
+  NoteJobDone();
+  return out;
+}
+
+Result<std::vector<SelfJoinPair>> Router::SelfJoin(float radius) {
+  SK_CHECK_GE(radius, 0.0f);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("Router is shut down; job rejected");
+  }
+  Result<std::vector<std::pair<int, std::vector<uint32_t>>>> plan =
+      JobPlanLocked();
+  if (!plan.ok()) return plan.status();
+  std::vector<uint32_t> ids;
+  HostMatrix live;
+  SK_RETURN_IF_ERROR(ExportLiveLocked(plan.value(), &ids, &live));
+  std::vector<SelfJoinPair> pairs;
+  if (ids.empty()) {
+    NoteJobDone();
+    return pairs;
+  }
+  std::vector<net::JobResultReply> replies;
+  SK_RETURN_IF_ERROR(RunWireJobLocked(net::WireJobKind::kRange, radius, 0,
+                                      live, plan.value(), &replies));
+  // The same pair reduction KnnService::RunJob applies: query rows in
+  // ascending id order, each row's matches kept for ids above the
+  // query's own — every unordered pair lands exactly once.
+  std::vector<Neighbor> row;
+  for (size_t q = 0; q < ids.size(); ++q) {
+    row.clear();
+    for (const net::JobResultReply& reply : replies) {
+      row.insert(row.end(), reply.range.begin(q), reply.range.end(q));
+    }
+    std::sort(row.begin(), row.end(), NeighborLess);
+    for (const Neighbor& nb : row) {
+      if (nb.index > ids[q]) {
+        pairs.push_back(SelfJoinPair{ids[q], nb.index, nb.distance});
+      }
+    }
+  }
+  NoteJobDone();
+  return pairs;
+}
+
+Result<JobOutput> Router::KnnGraph(int k) {
+  SK_CHECK_GT(k, 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("Router is shut down; job rejected");
+  }
+  Result<std::vector<std::pair<int, std::vector<uint32_t>>>> plan =
+      JobPlanLocked();
+  if (!plan.ok()) return plan.status();
+  JobOutput out;
+  out.kind = JobKind::kKnnGraph;
+  HostMatrix live;
+  SK_RETURN_IF_ERROR(ExportLiveLocked(plan.value(), &out.query_ids, &live));
+  out.graph = KnnResult(out.query_ids.size(), k);
+  if (out.query_ids.empty()) {
+    NoteJobDone();
+    return out;
+  }
+  std::vector<net::JobResultReply> replies;
+  SK_RETURN_IF_ERROR(RunWireJobLocked(net::WireJobKind::kKnn, 0.0f,
+                                      static_cast<uint32_t>(k) + 1, live,
+                                      plan.value(), &replies));
+  // Cross-worker top-(k+1) under NeighborLess, then the same self-drop
+  // KnnService::RunJob applies — the one extra slot absorbs the query
+  // point itself, so the graph row is the exact k nearest others.
+  std::vector<Neighbor> candidates;
+  std::vector<Neighbor> rowbuf;
+  for (size_t q = 0; q < out.query_ids.size(); ++q) {
+    candidates.clear();
+    for (const net::JobResultReply& reply : replies) {
+      const Neighbor* row = reply.knn.row(q);
+      for (int j = 0; j < k + 1; ++j) {
+        if (row[j].index == kInvalidNeighbor) break;
+        candidates.push_back(row[j]);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(), NeighborLess);
+    if (candidates.size() > static_cast<size_t>(k) + 1) {
+      candidates.resize(static_cast<size_t>(k) + 1);
+    }
+    rowbuf.clear();
+    bool dropped_self = false;
+    for (const Neighbor& nb : candidates) {
+      if (!dropped_self && nb.index == out.query_ids[q]) {
+        dropped_self = true;
+        continue;
+      }
+      if (static_cast<int>(rowbuf.size()) == k) break;
+      rowbuf.push_back(nb);
+    }
+    out.graph.SetRow(q, rowbuf);
+  }
+  NoteJobDone();
+  return out;
 }
 
 // --- Mutations ---------------------------------------------------------------

@@ -78,6 +78,8 @@ struct RouterStats {
   uint64_t retried_groups = 0;
   /// Replicas re-established by RestoreReplication.
   uint64_t replicas_restored = 0;
+  /// Completed cluster jobs (RadiusSearch / SelfJoin / KnnGraph).
+  uint64_t jobs = 0;
 };
 
 /// The multi-process cluster front-end: KnnService's dispatch/merge
@@ -145,6 +147,24 @@ class Router {
   /// Mode-selected JoinBatch; see the Search overload.
   Result<KnnResult> JoinBatch(const HostMatrix& queries, int k,
                               const ann::SearchMode& mode);
+
+  // -- Offline jobs (docs/modalities.md) ------------------------------
+  // Each runs as a wire-level job on every primary worker (kJobSubmit /
+  // kJobPoll / kJobResult; one chunk per poll) and merges the per-worker
+  // stable-id answers with the same reductions KnnService applies —
+  // cluster job answers are bit-identical to local ones. The calls are
+  // synchronous and serialize with queries and mutations on the
+  // cluster mutex (one consistent cluster state per job). A worker
+  // death mid-job fails the job with Unavailable (jobs are not
+  // re-fanned; the caller simply resubmits).
+
+  /// Every live point within the closed ball of each query row.
+  Result<RangeResult> RadiusSearch(const HostMatrix& queries, float radius);
+  /// Every unordered live pair within `radius`, once per pair (a < b).
+  Result<std::vector<SelfJoinPair>> SelfJoin(float radius);
+  /// Exact kNN graph over the live set; output.query_ids pairs with
+  /// output.graph rows, ascending stable-id order.
+  Result<JobOutput> KnnGraph(int k);
 
   /// Adds a point; returns its stable id (same allocation sequence as
   /// KnnService::Insert). Applied to the shard's primary and replicas.
@@ -314,6 +334,35 @@ class Router {
                                        const std::string& payload,
                                        net::MsgType expect_type);
 
+  /// The job fan-out plan: (worker, its primary shards), ascending by
+  /// worker, every shard covered exactly once. Unavailable when a shard
+  /// has no live host. Caller holds mutex_.
+  Result<std::vector<std::pair<int, std::vector<uint32_t>>>> JobPlanLocked()
+      const;
+
+  /// Runs one wire-level job over `plan` to completion: submit on every
+  /// worker, poll rounds (each poll advances a worker by one chunk),
+  /// result fetch. Fills `replies` in plan order. On any worker failure
+  /// the job is cancelled on the survivors and the error returned (the
+  /// failing worker is declared dead on transport-level errors). Caller
+  /// holds mutex_.
+  Status RunWireJobLocked(
+      net::WireJobKind kind, float radius, uint32_t k,
+      const HostMatrix& queries,
+      const std::vector<std::pair<int, std::vector<uint32_t>>>& plan,
+      std::vector<net::JobResultReply>* replies);
+
+  /// The cluster's live points in globally ascending stable-id order
+  /// (kExportLive per worker + merge) — the query source of SelfJoin
+  /// and KnnGraph, mirroring KnnService::SnapshotLive. Caller holds
+  /// mutex_.
+  Status ExportLiveLocked(
+      const std::vector<std::pair<int, std::vector<uint32_t>>>& plan,
+      std::vector<uint32_t>* ids, HostMatrix* points);
+
+  /// Bumps the completed-jobs counter + stats.
+  void NoteJobDone();
+
   RouterConfig config_;
   size_t dims_ = 0;
   int num_shards_ = 0;
@@ -334,6 +383,7 @@ class Router {
   uint32_t next_id_ = 0;
   size_t target_rows_ = 0;
   uint64_t catchup_counter_ = 0;  ///< names catch-up snapshot files
+  uint64_t next_wire_job_id_ = 1;  ///< names cluster jobs on the wire
 
   common::BlockingQueue<RequestPtr> queue_;
   std::thread dispatcher_;
@@ -358,6 +408,7 @@ class Router {
   common::Counter* m_rpc_timeouts_ = nullptr;
   common::Counter* m_retried_groups_ = nullptr;
   common::Counter* m_replicas_restored_ = nullptr;
+  common::Counter* m_jobs_ = nullptr;
   common::Histogram* m_queue_wait_ = nullptr;
   common::Histogram* m_merge_ = nullptr;
   common::Histogram* m_request_latency_ = nullptr;

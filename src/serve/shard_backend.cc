@@ -40,6 +40,7 @@ void AccumulateStageTimes(const gpusim::Profile& profile, double* level1,
 
 void ShardHost::BuildCold(const HostMatrix& slice) {
   engine.PrepareTarget(slice);
+  clustering_cache_.reset();
   packed_base =
       simd::PackedTargets::Pack(slice.data(), slice.rows(), slice.cols());
   set_base_rows(slice.rows());
@@ -54,6 +55,7 @@ void ShardHost::BuildCold(const HostMatrix& slice) {
 void ShardHost::RestoreBase(const HostMatrix& target,
                             const core::TargetClusteringHost& clustering) {
   engine.RestoreTarget(target, clustering);
+  clustering_cache_.reset();
   packed_base = simd::PackedTargets::Pack(target.data(), target.rows(),
                                           target.cols());
   if (ann_enabled_ && target.rows() > 0) {
@@ -165,6 +167,88 @@ core::ShardAnswer ShardHost::SearchGroup(const HostMatrix& queries, int k,
     answer.transfer_s = stats.profile.transfer_time_s;
   }
   return answer;
+}
+
+const core::TargetClusteringHost& ShardHost::CachedClustering() {
+  if (clustering_cache_ == nullptr) {
+    clustering_cache_ = std::make_unique<core::TargetClusteringHost>(
+        engine.ExportTargetClustering());
+  }
+  return *clustering_cache_;
+}
+
+core::RangeShardAnswer ShardHost::RangeGroup(const HostMatrix& queries,
+                                             float radius,
+                                             core::QueryRoute route,
+                                             core::Metric metric) {
+  core::RangeShardAnswer answer;
+  answer.device_routed = route == core::QueryRoute::kDevice;
+  const simd::Dist dist_kind = core::SimdDistFor(metric);
+  const SteadyClock::time_point start = SteadyClock::now();
+  RangeResult base;
+  if (base_rows() > 0) {
+    base = answer.device_routed
+               ? core::TiRangeScan(queries, packed_base, CachedClustering(),
+                                   radius, dist_kind, &answer.stats)
+               : core::FullRangeScan(queries, packed_base, radius, dist_kind,
+                                     &answer.stats);
+  } else {
+    for (size_t q = 0; q < queries.rows(); ++q) {
+      base.AppendRow(nullptr, 0);
+    }
+  }
+  const bool has_delta = delta.size() > 0;
+  RangeResult delta_matches;
+  if (has_delta) {
+    delta_matches = core::RangeScanDelta(delta, queries, radius, metric);
+  }
+  // Stable-id substitution happens here unconditionally — range answers
+  // have no pristine fast path (a pristine shard's BaseId is just the
+  // offset shift), so the merge side never sees local indices.
+  std::vector<Neighbor> row;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    row.clear();
+    for (const Neighbor* nb = base.begin(q); nb != base.end(q); ++nb) {
+      const uint32_t id = BaseId(nb->index);
+      if (delta.tombstones.count(id) != 0) continue;
+      row.push_back(Neighbor{id, nb->distance});
+    }
+    if (has_delta) {
+      for (const Neighbor* nb = delta_matches.begin(q);
+           nb != delta_matches.end(q); ++nb) {
+        row.push_back(Neighbor{delta.ids[nb->index], nb->distance});
+      }
+    }
+    std::sort(row.begin(), row.end(), NeighborLess);
+    answer.result.AppendRow(row);
+  }
+  answer.route_seconds = SecondsBetween(start, SteadyClock::now());
+  return answer;
+}
+
+void ShardHost::ExportLive(std::vector<uint32_t>* ids,
+                           HostMatrix* points) const {
+  const HostMatrix base = engine.ExportTarget();
+  const size_t dims = base.cols() > 0 ? base.cols() : delta.dims;
+  std::vector<std::pair<uint32_t, const float*>> live;
+  live.reserve(base.rows() + delta.size());
+  for (size_t i = 0; i < base.rows(); ++i) {
+    const uint32_t id = BaseId(i);
+    if (delta.tombstones.count(id) == 0) live.emplace_back(id, base.row(i));
+  }
+  for (size_t j = 0; j < delta.size(); ++j) {
+    if (delta.tombstones.count(delta.ids[j]) == 0) {
+      live.emplace_back(delta.ids[j], delta.point(j));
+    }
+  }
+  ids->clear();
+  ids->reserve(live.size());
+  *points = HostMatrix(live.size(), dims);
+  for (size_t r = 0; r < live.size(); ++r) {
+    ids->push_back(live[r].first);
+    std::memcpy(points->mutable_row(r), live[r].second,
+                dims * sizeof(float));
+  }
 }
 
 bool ShardHost::Owns(uint32_t id) const {

@@ -10,7 +10,9 @@
 #include "ann/ann_index.h"
 #include "ann/search_mode.h"
 #include "common/matrix.h"
+#include "common/range_result.h"
 #include "core/delta_overlay.h"
+#include "core/range_search.h"
 #include "core/options.h"
 #include "core/route_planner.h"
 #include "core/shard_merge.h"
@@ -138,6 +140,21 @@ struct ShardHost {
                                 const ann::SearchMode& mode =
                                     ann::SearchMode::Exact());
 
+  /// Answers one same-radius range group from this shard: every live
+  /// point within the closed ball of each query row, as stable ids
+  /// (tombstones masked, delta matches merged in — see
+  /// core::RangeShardAnswer). `route` picks the TI-pruned scan
+  /// (kDevice) or the exhaustive host scan (kHost); both answer
+  /// bit-identically and neither touches the simulated device.
+  core::RangeShardAnswer RangeGroup(const HostMatrix& queries, float radius,
+                                    core::QueryRoute route,
+                                    core::Metric metric);
+
+  /// This shard's live points and their stable ids, ascending id order
+  /// (base survivors then delta — every delta id postdates the base).
+  /// The query source of the offline jobs; the caller merges shards.
+  void ExportLive(std::vector<uint32_t>* ids, HostMatrix* points) const;
+
   /// True when stable id `id` lives in this shard (base row —
   /// tombstoned or not — or delta entry).
   bool Owns(uint32_t id) const;
@@ -162,12 +179,18 @@ struct ShardHost {
                               uint32_t next_id) const;
 
  private:
+  /// The host image of the engine's Step-1 clustering, exported lazily
+  /// for the TI range scans and cached until the base is replaced
+  /// (BuildCold / RestoreBase; compaction installs a fresh ShardHost).
+  const core::TargetClusteringHost& CachedClustering();
+
   size_t base_rows_ = 0;
   bool ann_enabled_ = false;
   ann::GraphBuildParams ann_params_;
   /// A snapshot's persisted graph, parked by AdoptOverlay until
   /// RestoreBase has the points to pair it with.
   ann::KnnGraph pending_graph_;
+  std::unique_ptr<core::TargetClusteringHost> clustering_cache_;
 };
 
 /// Everything a compaction captures under the owner's lock before

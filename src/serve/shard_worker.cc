@@ -109,6 +109,27 @@ net::Frame ShardWorker::Dispatch(const net::Frame& request, bool* shutdown) {
       const Status status = HandleSaveShard(request.payload);
       return status.ok() ? AckFrame() : ErrorFrame(status);
     }
+    case net::MsgType::kJobSubmit: {
+      const Status status = HandleJobSubmit(request.payload);
+      return status.ok() ? AckFrame() : ErrorFrame(status);
+    }
+    case net::MsgType::kJobPoll: {
+      net::Frame reply;
+      const Status status = HandleJobPoll(request.payload, &reply);
+      return status.ok() ? std::move(reply) : ErrorFrame(status);
+    }
+    case net::MsgType::kJobCancel:
+      return HandleJobCancel(request.payload);
+    case net::MsgType::kJobResult: {
+      net::Frame reply;
+      const Status status = HandleJobResult(request.payload, &reply);
+      return status.ok() ? std::move(reply) : ErrorFrame(status);
+    }
+    case net::MsgType::kExportLive: {
+      net::Frame reply;
+      const Status status = HandleExportLive(request.payload, &reply);
+      return status.ok() ? std::move(reply) : ErrorFrame(status);
+    }
     case net::MsgType::kHealth:
       return HandleHealth();
     case net::MsgType::kListIndexes:
@@ -350,6 +371,193 @@ Status ShardWorker::HandleSaveShard(const std::string& payload) {
       req.shard_count, store::OptionsFingerprint(options_),
       store::DeviceFingerprint(device_), req.next_id);
   return store::SaveIndexSnapshot(snap, req.path);
+}
+
+Status ShardWorker::HandleJobSubmit(const std::string& payload) {
+  net::JobSubmitRequest req;
+  SK_RETURN_IF_ERROR(net::DecodeJobSubmit(payload, &req));
+  if (req.tenant != tenant_) {
+    return Status::InvalidArgument("JobSubmit: names index '" + req.tenant +
+                                   "', this worker hosts '" + tenant_ + "'");
+  }
+  if (job_ != nullptr) {
+    return Status::InvalidArgument(
+        "JobSubmit: job " + std::to_string(job_->spec.job_id) +
+        " is already active (one job slot per worker)");
+  }
+  if (req.queries.rows() > 0 && req.queries.cols() != dims_) {
+    return Status::InvalidArgument(
+        "JobSubmit: " + std::to_string(req.queries.cols()) +
+        "-dimensional queries, this worker serves " + std::to_string(dims_));
+  }
+  if (req.kind == net::WireJobKind::kKnn && req.k == 0) {
+    return Status::InvalidArgument("JobSubmit: knn jobs need k > 0");
+  }
+  if (req.shard_indices.empty()) {
+    return Status::InvalidArgument("JobSubmit: no shard indices named");
+  }
+  for (const uint32_t index : req.shard_indices) {
+    if (FindShard(index) == nullptr) {
+      return Status::NotFound("JobSubmit: shard " + std::to_string(index) +
+                              " is not hosted by this worker");
+    }
+  }
+  if (req.chunk_rows == 0) req.chunk_rows = 1;
+  auto job = std::make_unique<WorkerJob>();
+  if (req.kind == net::WireJobKind::kKnn) {
+    job->knn = KnnResult(req.queries.rows(), static_cast<int>(req.k));
+  }
+  job->spec = std::move(req);
+  job_ = std::move(job);
+  return Status::Ok();
+}
+
+void ShardWorker::AdvanceJob() {
+  WorkerJob& job = *job_;
+  const size_t total = job.spec.queries.rows();
+  if (job.failed || job.done_rows >= total) return;
+  const size_t begin = job.done_rows;
+  const size_t end =
+      std::min<size_t>(total, begin + job.spec.chunk_rows);
+  HostMatrix chunk(end - begin, dims_);
+  std::memcpy(chunk.mutable_data(), job.spec.queries.row(begin),
+              (end - begin) * dims_ * sizeof(float));
+  std::vector<core::RangeShardAnswer> range_answers;
+  std::vector<core::ShardAnswer> knn_answers;
+  for (const uint32_t index : job.spec.shard_indices) {
+    ShardHost* shard = FindShard(index);
+    if (shard == nullptr) {  // cannot happen in the single-threaded loop
+      job.failed = true;
+      job.error = "shard " + std::to_string(index) + " disappeared mid-job";
+      return;
+    }
+    const core::QueryRoute route =
+        planner_->Choose(chunk.rows(), shard->base_rows(), dims_);
+    if (job.spec.kind == net::WireJobKind::kRange) {
+      range_answers.push_back(
+          shard->RangeGroup(chunk, job.spec.radius, route, options_.metric));
+    } else {
+      knn_answers.push_back(shard->SearchGroup(
+          chunk, static_cast<int>(job.spec.k), route, options_.metric));
+    }
+  }
+  if (job.spec.kind == net::WireJobKind::kRange) {
+    job.range.AppendRows(
+        core::MergeRangeShardAnswers(range_answers, chunk.rows()));
+  } else {
+    const KnnResult merged =
+        core::MergeShardAnswers(knn_answers, static_cast<int>(job.spec.k));
+    for (size_t q = 0; q < merged.num_queries(); ++q) {
+      std::memcpy(job.knn.mutable_row(begin + q), merged.row(q),
+                  job.spec.k * sizeof(Neighbor));
+    }
+  }
+  job.done_rows = end;
+  queries_served_ += chunk.rows();
+}
+
+Status ShardWorker::HandleJobPoll(const std::string& payload,
+                                  net::Frame* reply) {
+  net::JobPollRequest req;
+  SK_RETURN_IF_ERROR(net::DecodeJobPoll(payload, &req));
+  if (job_ == nullptr || job_->spec.job_id != req.job_id) {
+    return Status::NotFound("JobPoll: no active job " +
+                            std::to_string(req.job_id));
+  }
+  AdvanceJob();
+  net::JobPollReply out;
+  out.total_rows = job_->spec.queries.rows();
+  out.done_rows = job_->done_rows;
+  if (job_->failed) {
+    out.state = net::WireJobState::kFailed;
+    out.error = job_->error;
+  } else if (job_->done_rows >= out.total_rows) {
+    out.state = net::WireJobState::kDone;
+  } else {
+    out.state = net::WireJobState::kRunning;
+  }
+  reply->type = static_cast<uint32_t>(net::MsgType::kJobPollReply);
+  reply->payload = net::EncodeJobPollReply(out);
+  return Status::Ok();
+}
+
+net::Frame ShardWorker::HandleJobCancel(const std::string& payload) {
+  net::JobCancelRequest req;
+  const Status status = net::DecodeJobCancel(payload, &req);
+  if (!status.ok()) return ErrorFrame(status);
+  // Idempotent: cancelling an unknown (already finished, never started)
+  // job is an ack — the router cancels on cleanup paths where the
+  // worker may have forgotten the job long ago.
+  if (job_ != nullptr && job_->spec.job_id == req.job_id) job_.reset();
+  return AckFrame();
+}
+
+Status ShardWorker::HandleJobResult(const std::string& payload,
+                                    net::Frame* reply) {
+  net::JobResultRequest req;
+  SK_RETURN_IF_ERROR(net::DecodeJobResult(payload, &req));
+  if (job_ == nullptr || job_->spec.job_id != req.job_id) {
+    return Status::NotFound("JobResult: no active job " +
+                            std::to_string(req.job_id));
+  }
+  if (job_->failed) {
+    const std::string error = job_->error;
+    job_.reset();
+    return Status::Internal("JobResult: job failed: " + error);
+  }
+  if (job_->done_rows < job_->spec.queries.rows()) {
+    return Status::InvalidArgument(
+        "JobResult: job " + std::to_string(req.job_id) +
+        " is still running");
+  }
+  net::JobResultReply out;
+  out.kind = job_->spec.kind;
+  out.range = std::move(job_->range);
+  out.knn = std::move(job_->knn);
+  job_.reset();
+  reply->type = static_cast<uint32_t>(net::MsgType::kJobResultReply);
+  reply->payload = net::EncodeJobResultReply(out);
+  return Status::Ok();
+}
+
+Status ShardWorker::HandleExportLive(const std::string& payload,
+                                     net::Frame* reply) {
+  net::ExportLiveRequest req;
+  SK_RETURN_IF_ERROR(net::DecodeExportLive(payload, &req));
+  if (req.tenant != tenant_) {
+    return Status::InvalidArgument("ExportLive: names index '" + req.tenant +
+                                   "', this worker hosts '" + tenant_ + "'");
+  }
+  if (req.shard_indices.empty()) {
+    return Status::InvalidArgument("ExportLive: no shard indices named");
+  }
+  std::vector<std::vector<uint32_t>> ids(req.shard_indices.size());
+  std::vector<HostMatrix> points(req.shard_indices.size());
+  size_t total = 0;
+  for (size_t s = 0; s < req.shard_indices.size(); ++s) {
+    ShardHost* shard = FindShard(req.shard_indices[s]);
+    if (shard == nullptr) {
+      return Status::NotFound("ExportLive: shard " +
+                              std::to_string(req.shard_indices[s]) +
+                              " is not hosted by this worker");
+    }
+    shard->ExportLive(&ids[s], &points[s]);
+    total += ids[s].size();
+  }
+  net::ExportLiveReply out;
+  out.ids.reserve(total);
+  out.points = HostMatrix(total, dims_);
+  size_t row = 0;
+  for (size_t s = 0; s < ids.size(); ++s) {
+    for (size_t r = 0; r < ids[s].size(); ++r, ++row) {
+      out.ids.push_back(ids[s][r]);
+      std::memcpy(out.points.mutable_row(row), points[s].row(r),
+                  dims_ * sizeof(float));
+    }
+  }
+  reply->type = static_cast<uint32_t>(net::MsgType::kExportLiveReply);
+  reply->payload = net::EncodeExportLiveReply(out);
+  return Status::Ok();
 }
 
 net::Frame ShardWorker::HandleHealth() const {

@@ -6,11 +6,14 @@
 #include <memory>
 #include <string>
 
+#include "common/knn_result.h"
+#include "common/range_result.h"
 #include "common/status.h"
 #include "core/options.h"
 #include "core/route_planner.h"
 #include "gpusim/device_spec.h"
 #include "net/frame.h"
+#include "net/wire.h"
 #include "serve/shard_backend.h"
 
 namespace sweetknn::serve {
@@ -62,6 +65,15 @@ class ShardWorker {
   net::Frame HandleHealth() const;
   net::Frame HandleListIndexes() const;
 
+  // Offline jobs (docs/modalities.md): the worker holds one job slot
+  // that each poll advances by one chunk — bounded work per RPC, so the
+  // serve loop stays responsive between polls.
+  Status HandleJobSubmit(const std::string& payload);
+  Status HandleJobPoll(const std::string& payload, net::Frame* reply);
+  net::Frame HandleJobCancel(const std::string& payload);
+  Status HandleJobResult(const std::string& payload, net::Frame* reply);
+  Status HandleExportLive(const std::string& payload, net::Frame* reply);
+
   /// Adopts the config blocks that ride in every prepare (options,
   /// device, planner — the planner only on the first prepare, so its
   /// decision counter spans the worker's lifetime like KnnService's —
@@ -73,6 +85,22 @@ class ShardWorker {
 
   /// The shard named by a request, or nullptr (callers answer NotFound).
   ShardHost* FindShard(uint32_t shard_index);
+
+  /// The worker's single active job: the submit request plus the
+  /// accumulated stable-id answer (range rows or knn rows, merged over
+  /// this worker's shards chunk by chunk).
+  struct WorkerJob {
+    net::JobSubmitRequest spec;
+    uint64_t done_rows = 0;
+    bool failed = false;
+    std::string error;
+    RangeResult range;
+    KnnResult knn;
+  };
+
+  /// Advances the active job by one chunk; a handler error marks the
+  /// job failed instead of erroring the poll RPC.
+  void AdvanceJob();
 
   std::string socket_path_;
 
@@ -98,6 +126,8 @@ class ShardWorker {
   /// Source of shard epochs (ShardHost::epoch), worker-local.
   uint64_t epoch_counter_ = 0;
   uint64_t queries_served_ = 0;
+  /// Active job, nullptr when idle (at most one per worker).
+  std::unique_ptr<WorkerJob> job_;
 };
 
 }  // namespace sweetknn::serve

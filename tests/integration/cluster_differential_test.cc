@@ -250,6 +250,54 @@ void RunClusterSequence(const ClusterFuzzConfig& cfg) {
                        "post-CompactAll epilogue query");
   }
 
+  // Job modalities (docs/modalities.md): the same offline jobs against
+  // both backends — cluster jobs run through the kJobSubmit/kJobPoll/
+  // kJobResult wire protocol and must still be byte-equal to local.
+  if (!::testing::Test::HasFailure()) {
+    const float radius = 0.05f + rng.NextFloat() * 0.5f;
+    const HostMatrix range_queries = RandomQueries(&rng, 3, cfg.dims);
+    const Result<RangeResult> local_range =
+        local.RadiusSearch(range_queries, radius);
+    const Result<RangeResult> cluster_range =
+        cluster.RadiusSearch(range_queries, radius);
+    ASSERT_TRUE(local_range.ok()) << local_range.status().ToString();
+    ASSERT_TRUE(cluster_range.ok()) << cluster_range.status().ToString();
+    EXPECT_TRUE(BitIdentical(local_range.value(), cluster_range.value()))
+        << "RadiusSearch(r=" << radius << ") diverged local vs cluster";
+
+    const Result<std::vector<SelfJoinPair>> local_join =
+        local.SelfJoin(radius);
+    const Result<std::vector<SelfJoinPair>> cluster_join =
+        cluster.SelfJoin(radius);
+    ASSERT_TRUE(local_join.ok()) << local_join.status().ToString();
+    ASSERT_TRUE(cluster_join.ok()) << cluster_join.status().ToString();
+    ASSERT_EQ(local_join.value().size(), cluster_join.value().size())
+        << "SelfJoin(r=" << radius << ") pair counts diverged";
+    for (size_t i = 0; i < local_join.value().size(); ++i) {
+      const SelfJoinPair& w = local_join.value()[i];
+      const SelfJoinPair& g = cluster_join.value()[i];
+      ASSERT_TRUE(w == g) << "SelfJoin pair " << i << ": local (" << w.a
+                          << "," << w.b << "," << w.distance
+                          << ") cluster (" << g.a << "," << g.b << ","
+                          << g.distance << ")";
+    }
+
+    if (!live.empty()) {
+      const int graph_k = 1 + static_cast<int>(rng.NextBounded(
+                                  std::min<uint64_t>(live.size(), 6)));
+      const Result<serve::JobOutput> local_graph = local.KnnGraph(graph_k);
+      const Result<serve::JobOutput> cluster_graph =
+          cluster.KnnGraph(graph_k);
+      ASSERT_TRUE(local_graph.ok()) << local_graph.status().ToString();
+      ASSERT_TRUE(cluster_graph.ok()) << cluster_graph.status().ToString();
+      ASSERT_EQ(local_graph.value().query_ids, cluster_graph.value().query_ids)
+          << "KnnGraph(k=" << graph_k << ") id order diverged";
+      ExpectBitIdentical(local_graph.value().graph,
+                         cluster_graph.value().graph,
+                         "KnnGraph(k=" + std::to_string(graph_k) + ")");
+    }
+  }
+
   EXPECT_EQ(local.target_rows(), cluster.target_rows());
   cluster.Shutdown();
   local.Shutdown();

@@ -12,9 +12,11 @@
 // ANN-enabled index/service stays bit-identical to an ANN-free build.
 // Any mismatch prints a one-line repro of the failing seed/config.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -26,6 +28,7 @@
 #include "core/ti_knn_gpu.h"
 #include "gtest/gtest.h"
 #include "serve/knn_service.h"
+#include "simd/simd_kernels.h"
 #include "test_util.h"
 
 namespace sweetknn {
@@ -466,6 +469,361 @@ TEST(DifferentialFuzzTest, ApproxSweepMeetsRecallSlaOnEveryConfig) {
         DrawApproxConfig(kBaseSeed + 2000 + static_cast<uint64_t>(i));
     SCOPED_TRACE(ApproxRepro(cfg));
     RunApproxConfig(cfg);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Range modalities (docs/modalities.md): RadiusSearch, SelfJoin, and
+// KnnGraph vs their brute-force oracles, ≥200 seeded configs per
+// modality. Every config runs the modality through a fuzzed planner
+// route at a fuzzed SIMD dispatch tier, then re-runs it through the
+// OPPOSITE forced route at a DIFFERENT tier and demands the two answers
+// be bit-identical — the canonical accumulation order is what makes
+// that hold, and these sweeps are its proof for the unbounded-
+// cardinality result shape. Mutations (inserts + removes) run before
+// the scan so the delta overlay and tombstone masking are on the
+// fuzzed path too.
+// ---------------------------------------------------------------------------
+
+struct RangeFuzzConfig {
+  uint64_t seed = 0;
+  size_t n = 0;
+  size_t query_n = 0;
+  size_t dims = 0;
+  int clusters = 1;
+  int mutations = 0;
+  float radius = 0.0f;
+  int graph_k = 1;
+  core::Metric metric = core::Metric::kEuclidean;
+  core::PlannerMode mode = core::PlannerMode::kAuto;
+  int simd_level = -1;  ///< simd::ForceLevelForTest arg; -1 = detected.
+};
+
+const char* ModeName(core::PlannerMode mode) {
+  switch (mode) {
+    case core::PlannerMode::kAuto: return "auto";
+    case core::PlannerMode::kForceDevice: return "device";
+    case core::PlannerMode::kForceHost: return "host";
+  }
+  return "?";
+}
+
+std::string RangeRepro(const char* kind, const RangeFuzzConfig& cfg) {
+  std::ostringstream out;
+  out << kind << " seed=" << cfg.seed << " n=" << cfg.n
+      << " m=" << cfg.query_n << " d=" << cfg.dims
+      << " clusters=" << cfg.clusters << " muts=" << cfg.mutations
+      << " r=" << cfg.radius << " gk=" << cfg.graph_k << " metric="
+      << (cfg.metric == core::Metric::kEuclidean ? "euclidean"
+                                                 : "manhattan")
+      << " route=" << ModeName(cfg.mode) << " simd=" << cfg.simd_level;
+  return out.str();
+}
+
+RangeFuzzConfig DrawRangeConfig(uint64_t seed) {
+  Rng rng(seed);
+  RangeFuzzConfig cfg;
+  cfg.seed = seed;
+  cfg.n = 16 + rng.NextBounded(180);
+  cfg.query_n = 1 + rng.NextBounded(12);
+  cfg.dims = 1 + rng.NextBounded(12);
+  cfg.clusters = 1 + static_cast<int>(rng.NextBounded(5));
+  cfg.mutations = static_cast<int>(rng.NextBounded(25));
+  // Cluster centers land in the unit cube (spread 0.08), so this spans
+  // empty rows, partial balls, and near-total matches.
+  cfg.radius = 0.02f + rng.NextFloat() * 0.9f;
+  cfg.graph_k = 1 + static_cast<int>(rng.NextBounded(12));
+  cfg.metric = rng.NextBounded(2) == 0 ? core::Metric::kEuclidean
+                                       : core::Metric::kManhattan;
+  switch (rng.NextBounded(3)) {
+    case 0: cfg.mode = core::PlannerMode::kAuto; break;
+    case 1: cfg.mode = core::PlannerMode::kForceDevice; break;
+    case 2: cfg.mode = core::PlannerMode::kForceHost; break;
+  }
+  const uint64_t level = rng.NextBounded(4);
+  cfg.simd_level = level == 3 ? -1 : static_cast<int>(level);
+  return cfg;
+}
+
+simd::Dist RangeDistKind(core::Metric metric) {
+  return metric == core::Metric::kEuclidean ? simd::Dist::kEuclidean
+                                            : simd::Dist::kManhattan;
+}
+
+/// Restores normal SIMD dispatch on scope exit, whatever the sweep
+/// pinned it to.
+struct SimdLevelGuard {
+  ~SimdLevelGuard() { simd::ForceLevelForTest(-1); }
+};
+
+/// Builds the config's index (metric + planner route) and replays its
+/// seeded mutation tape. Insert/remove draws come from a dedicated Rng
+/// so every replay — primary route, alternate route — sees the identical
+/// live set.
+std::unique_ptr<SweetKnnIndex> BuildMutatedIndex(const RangeFuzzConfig& cfg,
+                                                 core::PlannerMode mode) {
+  const HostMatrix target = testing::ClusteredPoints(
+      cfg.n, cfg.dims, cfg.clusters, SplitMix64(cfg.seed), 0.08f);
+  SweetKnn::Config config;
+  config.options.metric = cfg.metric;
+  config.planner.mode = mode;
+  auto index = std::make_unique<SweetKnnIndex>(target, config);
+  Rng rng(SplitMix64(cfg.seed + 2));
+  uint32_t next_id = static_cast<uint32_t>(cfg.n);
+  std::vector<uint32_t> live;
+  for (uint32_t i = 0; i < cfg.n; ++i) live.push_back(i);
+  for (int op = 0; op < cfg.mutations; ++op) {
+    if (rng.NextBounded(2) == 0) {
+      std::vector<float> point(cfg.dims);
+      for (float& v : point) v = rng.NextFloat();
+      const uint32_t id = index->Insert(point);
+      EXPECT_EQ(id, next_id);  // replays depend on deterministic ids
+      live.push_back(next_id++);
+    } else if (!live.empty()) {
+      const size_t victim = rng.NextBounded(live.size());
+      EXPECT_TRUE(index->Remove(live[victim]));
+      live.erase(live.begin() + static_cast<long>(victim));
+    }
+  }
+  return index;
+}
+
+/// Closed-ball oracle row over the live (id, point) set, canonical
+/// distance order, sorted under NeighborLess.
+std::vector<Neighbor> OracleRangeRow(const float* query,
+                                     const std::vector<uint32_t>& ids,
+                                     const HostMatrix& points, float radius,
+                                     core::Metric metric) {
+  std::vector<Neighbor> out;
+  if (points.rows() == 0) return out;
+  std::vector<float> dists(points.rows());
+  simd::QueryBlockDistances(query, points.data(), points.rows(),
+                            points.cols(), RangeDistKind(metric),
+                            dists.data());
+  for (size_t i = 0; i < points.rows(); ++i) {
+    if (dists[i] <= radius) out.push_back(Neighbor{ids[i], dists[i]});
+  }
+  std::sort(out.begin(), out.end(), NeighborLess);
+  return out;
+}
+
+/// The alternate leg of each config: the opposite forced route at a
+/// different SIMD tier (ForceLevelForTest clamps unavailable tiers to
+/// scalar, which still exercises the dispatch seam).
+core::PlannerMode OppositeRoute(core::PlannerMode mode) {
+  return mode == core::PlannerMode::kForceHost
+             ? core::PlannerMode::kForceDevice
+             : core::PlannerMode::kForceHost;
+}
+
+int AlternateSimdLevel(int level) { return level == 0 ? 2 : 0; }
+
+void RunRadiusConfig(const RangeFuzzConfig& cfg) {
+  SimdLevelGuard guard;
+  simd::ForceLevelForTest(cfg.simd_level);
+  const std::unique_ptr<SweetKnnIndex> index =
+      BuildMutatedIndex(cfg, cfg.mode);
+  const HostMatrix queries = testing::ClusteredPoints(
+      cfg.query_n, cfg.dims, cfg.clusters, SplitMix64(cfg.seed + 1), 0.08f);
+  std::vector<uint32_t> ids;
+  HostMatrix live;
+  index->ExportLive(&ids, &live);
+
+  const RangeResult got = index->RadiusSearch(queries, cfg.radius);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const std::vector<Neighbor> want = OracleRangeRow(
+        queries.row(q), ids, live, cfg.radius, cfg.metric);
+    if (got.count(q) != want.size()) {
+      ADD_FAILURE() << "query " << q << " cardinality: want " << want.size()
+                    << " got " << got.count(q) << " — repro: "
+                    << RangeRepro("radius", cfg);
+      return;
+    }
+    const Neighbor* row = got.begin(q);
+    for (size_t i = 0; i < want.size(); ++i) {
+      if (row[i].index != want[i].index ||
+          row[i].distance != want[i].distance) {
+        ADD_FAILURE() << "query " << q << " slot " << i << ": want ("
+                      << want[i].index << ", " << want[i].distance
+                      << ") got (" << row[i].index << ", "
+                      << row[i].distance << ") — repro: "
+                      << RangeRepro("radius", cfg);
+        return;
+      }
+    }
+  }
+
+  // Opposite route, different tier: bit-identical or bust.
+  simd::ForceLevelForTest(AlternateSimdLevel(cfg.simd_level));
+  const std::unique_ptr<SweetKnnIndex> alternate =
+      BuildMutatedIndex(cfg, OppositeRoute(cfg.mode));
+  const RangeResult other = alternate->RadiusSearch(queries, cfg.radius);
+  if (!BitIdentical(got, other)) {
+    ADD_FAILURE() << "routes diverged — repro: " << RangeRepro("radius", cfg);
+  }
+}
+
+TEST(DifferentialFuzzTest, RadiusSearchSweepMatchesOracle) {
+  constexpr int kRangeConfigs = 200;
+  for (int i = 0; i < kRangeConfigs; ++i) {
+    const RangeFuzzConfig cfg =
+        DrawRangeConfig(kBaseSeed + 3000 + static_cast<uint64_t>(i));
+    SCOPED_TRACE(RangeRepro("radius", cfg));
+    RunRadiusConfig(cfg);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+bool SelfJoinPairLess(const SelfJoinPair& x, const SelfJoinPair& y) {
+  if (x.a != y.a) return x.a < y.a;
+  if (x.distance != y.distance) return x.distance < y.distance;
+  return x.b < y.b;
+}
+
+void RunSelfJoinConfig(const RangeFuzzConfig& cfg) {
+  SimdLevelGuard guard;
+  simd::ForceLevelForTest(cfg.simd_level);
+  const std::unique_ptr<SweetKnnIndex> index =
+      BuildMutatedIndex(cfg, cfg.mode);
+  std::vector<uint32_t> ids;
+  HostMatrix live;
+  index->ExportLive(&ids, &live);
+
+  // O(n^2) oracle: one emission per unordered pair, b > a, ordered by
+  // ascending a then (distance, b) — the documented SelfJoin contract.
+  std::vector<SelfJoinPair> want;
+  for (size_t i = 0; i < live.rows(); ++i) {
+    for (const Neighbor& nb : OracleRangeRow(live.row(i), ids, live,
+                                             cfg.radius, cfg.metric)) {
+      if (nb.index > ids[i]) {
+        want.push_back(SelfJoinPair{ids[i], nb.index, nb.distance});
+      }
+    }
+  }
+  std::sort(want.begin(), want.end(), SelfJoinPairLess);
+
+  const std::vector<SelfJoinPair> got = index->SelfJoin(cfg.radius);
+  if (got.size() != want.size()) {
+    ADD_FAILURE() << "pair count: want " << want.size() << " got "
+                  << got.size() << " — repro: "
+                  << RangeRepro("selfjoin", cfg);
+    return;
+  }
+  for (size_t i = 0; i < want.size(); ++i) {
+    if (!(got[i] == want[i])) {
+      ADD_FAILURE() << "pair " << i << ": want (" << want[i].a << ","
+                    << want[i].b << "," << want[i].distance << ") got ("
+                    << got[i].a << "," << got[i].b << ","
+                    << got[i].distance << ") — repro: "
+                    << RangeRepro("selfjoin", cfg);
+      return;
+    }
+  }
+
+  simd::ForceLevelForTest(AlternateSimdLevel(cfg.simd_level));
+  const std::unique_ptr<SweetKnnIndex> alternate =
+      BuildMutatedIndex(cfg, OppositeRoute(cfg.mode));
+  const std::vector<SelfJoinPair> other = alternate->SelfJoin(cfg.radius);
+  if (other.size() != got.size() ||
+      !std::equal(got.begin(), got.end(), other.begin())) {
+    ADD_FAILURE() << "routes diverged — repro: "
+                  << RangeRepro("selfjoin", cfg);
+  }
+}
+
+TEST(DifferentialFuzzTest, SelfJoinSweepMatchesOracle) {
+  constexpr int kRangeConfigs = 200;
+  for (int i = 0; i < kRangeConfigs; ++i) {
+    const RangeFuzzConfig cfg =
+        DrawRangeConfig(kBaseSeed + 4000 + static_cast<uint64_t>(i));
+    SCOPED_TRACE(RangeRepro("selfjoin", cfg));
+    RunSelfJoinConfig(cfg);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+void RunKnnGraphConfig(const RangeFuzzConfig& cfg) {
+  SimdLevelGuard guard;
+  simd::ForceLevelForTest(cfg.simd_level);
+  const std::unique_ptr<SweetKnnIndex> index =
+      BuildMutatedIndex(cfg, cfg.mode);
+  std::vector<uint32_t> ids;
+  HostMatrix live;
+  index->ExportLive(&ids, &live);
+
+  const SweetKnnIndex::KnnGraphResult got = index->KnnGraph(cfg.graph_k);
+  if (got.ids != ids) {
+    ADD_FAILURE() << "graph id order != ascending live ids — repro: "
+                  << RangeRepro("graph", cfg);
+    return;
+  }
+  if (got.neighbors.num_queries() != ids.size()) {
+    ADD_FAILURE() << "graph rows: want " << ids.size() << " got "
+                  << got.neighbors.num_queries() << " — repro: "
+                  << RangeRepro("graph", cfg);
+    return;
+  }
+  const size_t k = static_cast<size_t>(cfg.graph_k);
+  for (size_t q = 0; q < live.rows(); ++q) {
+    // Brute top-k of everything-but-self (by position, so duplicate
+    // points of the self row survive), padded with kInvalidNeighbor.
+    std::vector<Neighbor> want;
+    if (live.rows() > 1) {
+      std::vector<float> dists(live.rows());
+      simd::QueryBlockDistances(live.row(q), live.data(), live.rows(),
+                                live.cols(), RangeDistKind(cfg.metric),
+                                dists.data());
+      for (size_t i = 0; i < live.rows(); ++i) {
+        if (i == q) continue;
+        want.push_back(Neighbor{ids[i], dists[i]});
+      }
+      std::sort(want.begin(), want.end(), NeighborLess);
+      if (want.size() > k) want.resize(k);
+    }
+    want.resize(k, Neighbor{kInvalidNeighbor, 0.0f});
+    const Neighbor* row = got.neighbors.row(q);
+    for (size_t i = 0; i < k; ++i) {
+      const bool pad = want[i].index == kInvalidNeighbor;
+      if (row[i].index != want[i].index ||
+          (!pad && row[i].distance != want[i].distance)) {
+        ADD_FAILURE() << "graph row " << q << " slot " << i << ": want ("
+                      << want[i].index << ", " << want[i].distance
+                      << ") got (" << row[i].index << ", "
+                      << row[i].distance << ") — repro: "
+                      << RangeRepro("graph", cfg);
+        return;
+      }
+    }
+  }
+
+  simd::ForceLevelForTest(AlternateSimdLevel(cfg.simd_level));
+  const std::unique_ptr<SweetKnnIndex> alternate =
+      BuildMutatedIndex(cfg, OppositeRoute(cfg.mode));
+  const SweetKnnIndex::KnnGraphResult other =
+      alternate->KnnGraph(cfg.graph_k);
+  if (other.ids != got.ids) {
+    ADD_FAILURE() << "routes diverged on ids — repro: "
+                  << RangeRepro("graph", cfg);
+    return;
+  }
+  for (size_t q = 0; q < got.neighbors.num_queries(); ++q) {
+    if (std::memcmp(got.neighbors.row(q), other.neighbors.row(q),
+                    k * sizeof(Neighbor)) != 0) {
+      ADD_FAILURE() << "routes diverged at graph row " << q << " — repro: "
+                    << RangeRepro("graph", cfg);
+      return;
+    }
+  }
+}
+
+TEST(DifferentialFuzzTest, KnnGraphSweepMatchesOracle) {
+  constexpr int kRangeConfigs = 200;
+  for (int i = 0; i < kRangeConfigs; ++i) {
+    const RangeFuzzConfig cfg =
+        DrawRangeConfig(kBaseSeed + 5000 + static_cast<uint64_t>(i));
+    SCOPED_TRACE(RangeRepro("graph", cfg));
+    RunKnnGraphConfig(cfg);
     if (::testing::Test::HasFailure()) break;
   }
 }

@@ -33,6 +33,7 @@
 //   MutationFuzzSlow:     1200 index + 800 service sequences, sharded
 //                         into parallel ctest cases.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -184,6 +185,102 @@ bool ExpectBitIdentical(const KnnResult& want, const KnnResult& got,
                       << ") got (" << g.index << ", " << g.distance << ")";
         return false;
       }
+    }
+  }
+  return true;
+}
+
+/// Closed-ball oracle row over the model's live (id, point) set, in the
+/// canonical distance order, sorted under NeighborLess — the ground
+/// truth of the range-modality checkpoints (docs/modalities.md).
+std::vector<Neighbor> ExpectedRangeRow(const float* query,
+                                       const std::vector<uint32_t>& ids,
+                                       const HostMatrix& points, float radius,
+                                       core::Metric metric) {
+  std::vector<Neighbor> out;
+  if (points.rows() == 0) return out;
+  std::vector<float> dists(points.rows());
+  simd::QueryBlockDistances(query, points.data(), points.rows(),
+                            points.cols(),
+                            metric == core::Metric::kEuclidean
+                                ? simd::Dist::kEuclidean
+                                : simd::Dist::kManhattan,
+                            dists.data());
+  for (size_t i = 0; i < points.rows(); ++i) {
+    if (dists[i] <= radius) out.push_back(Neighbor{ids[i], dists[i]});
+  }
+  std::sort(out.begin(), out.end(), NeighborLess);
+  return out;
+}
+
+bool ExpectRangeMatchesModel(const Model& model, size_t dims,
+                             const HostMatrix& queries, float radius,
+                             core::Metric metric, const RangeResult& got,
+                             const std::string& what) {
+  std::vector<uint32_t> ids;
+  const HostMatrix live = ModelMatrix(model, dims, &ids);
+  if (got.num_queries() != queries.rows()) {
+    ADD_FAILURE() << what << ": row count " << got.num_queries() << " != "
+                  << queries.rows();
+    return false;
+  }
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const std::vector<Neighbor> want =
+        ExpectedRangeRow(queries.row(q), ids, live, radius, metric);
+    if (got.count(q) != want.size()) {
+      ADD_FAILURE() << what << ": query " << q << " cardinality "
+                    << got.count(q) << " != " << want.size();
+      return false;
+    }
+    const Neighbor* row = got.begin(q);
+    for (size_t i = 0; i < want.size(); ++i) {
+      if (row[i].index != want[i].index ||
+          std::memcmp(&row[i].distance, &want[i].distance,
+                      sizeof(float)) != 0) {
+        ADD_FAILURE() << what << ": query " << q << " slot " << i
+                      << " want (" << want[i].index << ", "
+                      << want[i].distance << ") got (" << row[i].index
+                      << ", " << row[i].distance << ")";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool ExpectSelfJoinMatchesModel(const Model& model, size_t dims,
+                                float radius, core::Metric metric,
+                                const std::vector<SelfJoinPair>& got,
+                                const std::string& what) {
+  std::vector<uint32_t> ids;
+  const HostMatrix live = ModelMatrix(model, dims, &ids);
+  std::vector<SelfJoinPair> want;
+  for (size_t i = 0; i < live.rows(); ++i) {
+    for (const Neighbor& nb :
+         ExpectedRangeRow(live.row(i), ids, live, radius, metric)) {
+      if (nb.index > ids[i]) {
+        want.push_back(SelfJoinPair{ids[i], nb.index, nb.distance});
+      }
+    }
+  }
+  std::sort(want.begin(), want.end(),
+            [](const SelfJoinPair& x, const SelfJoinPair& y) {
+              if (x.a != y.a) return x.a < y.a;
+              if (x.distance != y.distance) return x.distance < y.distance;
+              return x.b < y.b;
+            });
+  if (got.size() != want.size()) {
+    ADD_FAILURE() << what << ": pair count " << got.size() << " != "
+                  << want.size();
+    return false;
+  }
+  for (size_t i = 0; i < want.size(); ++i) {
+    if (!(got[i] == want[i])) {
+      ADD_FAILURE() << what << ": pair " << i << " want (" << want[i].a
+                    << "," << want[i].b << "," << want[i].distance
+                    << ") got (" << got[i].a << "," << got[i].b << ","
+                    << got[i].distance << ")";
+      return false;
     }
   }
   return true;
@@ -365,6 +462,25 @@ void RunIndexSequence(const MutationFuzzConfig& cfg) {
           mutated_answer,
           loaded.value()->Query(checkpoint_queries, checkpoint_k),
           "snapshot round-trip checkpoint")) {
+    return;
+  }
+
+  // Checkpoint (range modalities): RadiusSearch and SelfJoin over the
+  // mutated overlay match the brute-force closed-ball oracle over the
+  // model, under one more random flip of the invisible knobs.
+  ToggleInvisibleKnobs(&toggle_rng, &index.planner());
+  const float checkpoint_radius = 0.05f + rng.NextFloat() * 0.6f;
+  if (!ExpectRangeMatchesModel(
+          model, cfg.dims, checkpoint_queries, checkpoint_radius,
+          cfg.metric, index.RadiusSearch(checkpoint_queries,
+                                         checkpoint_radius),
+          "range checkpoint")) {
+    return;
+  }
+  if (!ExpectSelfJoinMatchesModel(model, cfg.dims, checkpoint_radius,
+                                  cfg.metric,
+                                  index.SelfJoin(checkpoint_radius),
+                                  "self-join checkpoint")) {
     return;
   }
 
@@ -554,6 +670,30 @@ void RunServiceSequence(const MutationFuzzConfig& cfg) {
     return;
   }
   std::filesystem::remove_all(dir);
+
+  // Checkpoint (range modalities): the service's RadiusSearch goes
+  // through admission + the batch scheduler, SelfJoin through the whole
+  // job pipeline (submit, snapshot, chunks, reduce) — both must match
+  // the model's closed-ball oracle bit-for-bit.
+  ToggleInvisibleKnobs(&toggle_rng, &service.planner());
+  const float checkpoint_radius = 0.05f + rng.NextFloat() * 0.6f;
+  const Result<RangeResult> range_got =
+      service.RadiusSearch(checkpoint_queries, checkpoint_radius);
+  ASSERT_TRUE(range_got.ok()) << range_got.status().ToString();
+  if (!ExpectRangeMatchesModel(model, cfg.dims, checkpoint_queries,
+                               checkpoint_radius, cfg.metric,
+                               range_got.value(),
+                               "service range checkpoint")) {
+    return;
+  }
+  const Result<std::vector<SelfJoinPair>> join_got =
+      service.SelfJoin(checkpoint_radius);
+  ASSERT_TRUE(join_got.ok()) << join_got.status().ToString();
+  if (!ExpectSelfJoinMatchesModel(model, cfg.dims, checkpoint_radius,
+                                  cfg.metric, join_got.value(),
+                                  "service self-join checkpoint")) {
+    return;
+  }
 
   // Approx checkpoints, on both the mutated service and the one adopted
   // from its snapshots (whose graphs just round-tripped through disk):

@@ -273,6 +273,89 @@ std::vector<CodecSample> AllCodecSamples() {
                        return DecodeHealthReply(p, &r);
                      }});
 
+  // Offline-job codecs (docs/modalities.md): the range payloads carry a
+  // variable-cardinality CSR section, so their truncation/flip coverage
+  // guards the offset-monotonicity and allocation checks.
+  JobSubmitRequest job_submit;
+  job_submit.job_id = 9;
+  job_submit.kind = WireJobKind::kRange;
+  job_submit.radius = 0.5f;
+  job_submit.k = 3;
+  job_submit.queries = SmallMatrix(2, 3, 9);
+  job_submit.shard_indices = {0, 1};
+  job_submit.chunk_rows = 16;
+  job_submit.tenant = "faces";
+  samples.push_back({"JobSubmit", EncodeJobSubmit(job_submit),
+                     [](const std::string& p) {
+                       JobSubmitRequest req;
+                       return DecodeJobSubmit(p, &req);
+                     }});
+
+  JobPollRequest job_poll;
+  job_poll.job_id = 9;
+  samples.push_back({"JobPoll", EncodeJobPoll(job_poll),
+                     [](const std::string& p) {
+                       JobPollRequest req;
+                       return DecodeJobPoll(p, &req);
+                     }});
+
+  JobPollReply job_progress;
+  job_progress.state = WireJobState::kRunning;
+  job_progress.total_rows = 100;
+  job_progress.done_rows = 40;
+  job_progress.error = "still chewing";
+  samples.push_back({"JobPollReply", EncodeJobPollReply(job_progress),
+                     [](const std::string& p) {
+                       JobPollReply r;
+                       return DecodeJobPollReply(p, &r);
+                     }});
+
+  JobCancelRequest job_cancel;
+  job_cancel.job_id = 9;
+  samples.push_back({"JobCancel", EncodeJobCancel(job_cancel),
+                     [](const std::string& p) {
+                       JobCancelRequest req;
+                       return DecodeJobCancel(p, &req);
+                     }});
+
+  JobResultRequest job_result;
+  job_result.job_id = 9;
+  samples.push_back({"JobResult", EncodeJobResult(job_result),
+                     [](const std::string& p) {
+                       JobResultRequest req;
+                       return DecodeJobResult(p, &req);
+                     }});
+
+  JobResultReply job_answer;
+  job_answer.kind = WireJobKind::kRange;
+  job_answer.range.AppendRow({Neighbor{3, 0.25f}, Neighbor{8, 0.5f}});
+  job_answer.range.AppendRow({});
+  job_answer.range.AppendRow({Neighbor{1, 0.125f}});
+  job_answer.knn = KnnResult(1, 2);
+  samples.push_back({"JobResultReply", EncodeJobResultReply(job_answer),
+                     [](const std::string& p) {
+                       JobResultReply r;
+                       return DecodeJobResultReply(p, &r);
+                     }});
+
+  ExportLiveRequest export_live;
+  export_live.shard_indices = {0, 2};
+  export_live.tenant = "faces";
+  samples.push_back({"ExportLive", EncodeExportLive(export_live),
+                     [](const std::string& p) {
+                       ExportLiveRequest req;
+                       return DecodeExportLive(p, &req);
+                     }});
+
+  ExportLiveReply export_reply;
+  export_reply.ids = {3, 5};
+  export_reply.points = SmallMatrix(2, 3, 11);
+  samples.push_back({"ExportLiveReply", EncodeExportLiveReply(export_reply),
+                     [](const std::string& p) {
+                       ExportLiveReply r;
+                       return DecodeExportLiveReply(p, &r);
+                     }});
+
   return samples;
 }
 

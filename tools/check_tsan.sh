@@ -21,7 +21,11 @@
 # submits; multitenant_test parks the dispatcher to race metric exports
 # and drops against queued requests; tenant_storm_test floods two
 # weighted tenants past capacity and runs a compaction storm on one
-# tenant while another serves.
+# tenant while another serves; job_test runs the offline-job engine —
+# submit/poll/cancel from client threads racing the job thread and the
+# batch scheduler, including a mid-job cancel under live point lookups —
+# and range_query_test covers the range modalities' boundary cases on
+# the same service paths.
 #
 # Usage: tools/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -55,6 +59,8 @@ TESTS=(
   scheduler_test
   multitenant_test
   tenant_storm_test
+  range_query_test
+  job_test
 )
 
 # router_timeout_test spawns shard-worker processes from the CLI binary.

@@ -339,7 +339,6 @@ int ClusterServeBench(const sweetknn::HostMatrix& points,
     }
     serve::KnnService reference(points, config.service);
     const Result<KnnResult> want = reference.JoinBatch(probe, args.k);
-    reference.Shutdown();
     const Result<KnnResult> got = router.JoinBatch(probe, args.k);
     if (!want.ok() || !got.ok()) {
       std::fprintf(stderr, "error: bit-identity probe failed: %s\n",
@@ -361,6 +360,86 @@ int ClusterServeBench(const sweetknn::HostMatrix& points,
     }
     std::fprintf(stderr, "bit-identity probe: cluster == local (%zu x k=%d)\n",
                  probe_rows, args.k);
+
+    // Job-mode probe (docs/modalities.md): a radius scan, a self-join,
+    // and a kNN graph through the cluster's wire-job pipeline must also
+    // match the in-process service byte for byte. The radius is the
+    // first probe row's kth-neighbor distance, so it tracks the data
+    // scale whatever the dataset.
+    float probe_radius = 1.0f;
+    for (int i = args.k - 1; i >= 0; --i) {
+      if (want.value().row(0)[i].index != kInvalidNeighbor) {
+        probe_radius = want.value().row(0)[i].distance;
+        break;
+      }
+    }
+    const Result<RangeResult> range_want =
+        reference.RadiusSearch(probe, probe_radius);
+    const Result<RangeResult> range_got =
+        router.RadiusSearch(probe, probe_radius);
+    const Result<std::vector<SelfJoinPair>> join_want =
+        reference.SelfJoin(probe_radius);
+    const Result<std::vector<SelfJoinPair>> join_got =
+        router.SelfJoin(probe_radius);
+    const Result<serve::JobOutput> graph_want = reference.KnnGraph(args.k);
+    const Result<serve::JobOutput> graph_got = router.KnnGraph(args.k);
+    reference.Shutdown();
+    for (const auto* status :
+         {&range_want, &range_got}) {
+      if (!status->ok()) {
+        std::fprintf(stderr, "error: job probe failed: %s\n",
+                     status->status().ToString().c_str());
+        return 1;
+      }
+    }
+    if (!join_want.ok() || !join_got.ok() || !graph_want.ok() ||
+        !graph_got.ok()) {
+      std::fprintf(stderr, "error: job probe failed: %s\n",
+                   (!join_want.ok()   ? join_want.status()
+                    : !join_got.ok()  ? join_got.status()
+                    : !graph_want.ok() ? graph_want.status()
+                                       : graph_got.status())
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    if (!BitIdentical(range_want.value(), range_got.value())) {
+      std::fprintf(stderr,
+                   "error: cluster RadiusSearch diverges from the "
+                   "in-process service\n");
+      return 1;
+    }
+    if (join_want.value().size() != join_got.value().size() ||
+        !std::equal(join_want.value().begin(), join_want.value().end(),
+                    join_got.value().begin())) {
+      std::fprintf(stderr,
+                   "error: cluster SelfJoin diverges from the in-process "
+                   "service\n");
+      return 1;
+    }
+    const KnnResult& graph_a = graph_want.value().graph;
+    const KnnResult& graph_b = graph_got.value().graph;
+    const size_t graph_bytes = graph_a.num_queries() *
+                               static_cast<size_t>(graph_a.k()) *
+                               sizeof(Neighbor);
+    if (graph_want.value().query_ids != graph_got.value().query_ids ||
+        graph_a.num_queries() != graph_b.num_queries() ||
+        graph_a.k() != graph_b.k() ||
+        (graph_bytes != 0 &&
+         std::memcmp(graph_a.row(0), graph_b.row(0), graph_bytes) != 0)) {
+      std::fprintf(stderr,
+                   "error: cluster KnnGraph diverges from the in-process "
+                   "service\n");
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "job probe: cluster == local (radius %.3g: %llu matches, "
+                 "%zu pairs; graph %zu x k=%d)\n",
+                 static_cast<double>(probe_radius),
+                 static_cast<unsigned long long>(
+                     range_want.value().total_matches()),
+                 join_want.value().size(), graph_a.num_queries(),
+                 graph_a.k());
   }
 
   const Stopwatch wall;
